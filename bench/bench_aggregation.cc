@@ -1,0 +1,206 @@
+// E4 — aggregation queries (§V.A Aggregation).
+//
+// SUM/AVG exploit the additive homomorphism of the shares: providers sum
+// locally and ship one share each ("intermediate computation" in the
+// paper); MIN/MAX/MEDIAN exploit order-preserving shares to ship one
+// candidate row each. The encrypted baseline must ship the matching
+// superset and aggregate at the client. Counters show the bytes gap.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace ssdb {
+namespace {
+
+using bench::SharedEmployeeDb;
+using bench::SharedEncryptedDb;
+
+constexpr size_t kRows = 20000;
+// Aggregate over salary in [40000, 120000] (~40% of rows).
+constexpr int64_t kLo = 40000, kHi = 120000;
+
+void BM_Agg_SharedSum(benchmark::State& state) {
+  OutsourcedDatabase* db = SharedEmployeeDb(4, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(kLo),
+                                            Value::Int(kHi)))
+                             .Aggregate(AggregateOp::kSum, "salary"));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Agg_SharedSum);
+
+void BM_Agg_SharedSum_ClientSide(benchmark::State& state) {
+  // Same SUM but without provider-side aggregation: fetch matching rows,
+  // reconstruct, add at the client (what §IV calls the impractical path).
+  OutsourcedDatabase* db = SharedEmployeeDb(4, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(kLo),
+                                            Value::Int(kHi))));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    int64_t sum = 0;
+    for (const auto& row : r->rows) sum += row[1].AsInt();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Agg_SharedSum_ClientSide);
+
+void BM_Agg_EncryptedSum(benchmark::State& state) {
+  EncryptedDas* das = SharedEncryptedDb(kRows, 64, EncIndexKind::kOpe);
+  if (das == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  das->ResetStats();
+  for (auto _ : state) {
+    auto r = das->Sum("salary", "salary", Value::Int(kLo), Value::Int(kHi));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(das->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["decrypts/query"] = benchmark::Counter(
+      static_cast<double>(das->stats().tuples_decrypted) / state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Agg_EncryptedSum);
+
+void RunOrderAggregate(benchmark::State& state, AggregateOp op) {
+  OutsourcedDatabase* db = SharedEmployeeDb(4, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(kLo),
+                                            Value::Int(kHi)))
+                             .Aggregate(op, "salary"));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Agg_SharedMin(benchmark::State& state) {
+  RunOrderAggregate(state, AggregateOp::kMin);
+}
+BENCHMARK(BM_Agg_SharedMin);
+
+void BM_Agg_SharedMax(benchmark::State& state) {
+  RunOrderAggregate(state, AggregateOp::kMax);
+}
+BENCHMARK(BM_Agg_SharedMax);
+
+void BM_Agg_SharedMedian(benchmark::State& state) {
+  RunOrderAggregate(state, AggregateOp::kMedian);
+}
+BENCHMARK(BM_Agg_SharedMedian);
+
+void BM_Agg_SharedCount(benchmark::State& state) {
+  RunOrderAggregate(state, AggregateOp::kCount);
+}
+BENCHMARK(BM_Agg_SharedCount);
+
+void BM_Agg_GroupedSum(benchmark::State& state) {
+  // GROUP BY dept (100 groups): providers return one partial per group.
+  OutsourcedDatabase* db = SharedEmployeeDb(4, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  uint64_t groups = 0;
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(kLo),
+                                            Value::Int(kHi)))
+                             .Aggregate(AggregateOp::kSum, "salary")
+                             .GroupBy("dept"));
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    groups = r->groups.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["groups"] = benchmark::Counter(static_cast<double>(groups));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Agg_GroupedSum);
+
+void BM_Agg_GroupedSum_ClientSide(benchmark::State& state) {
+  // Reference: fetch rows, group at the client.
+  OutsourcedDatabase* db = SharedEmployeeDb(4, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(kLo),
+                                            Value::Int(kHi))));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    std::map<int64_t, int64_t> sums;
+    for (const auto& row : r->rows) sums[row[2].AsInt()] += row[1].AsInt();
+    benchmark::DoNotOptimize(sums);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Agg_GroupedSum_ClientSide);
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

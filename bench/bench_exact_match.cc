@@ -1,0 +1,106 @@
+// E2 — exact-match query cost across the three designs (§V.A Exact Match).
+//
+// For each table size: an exact-match lookup answered by
+//   (a) secret sharing  — k providers filter deterministic shares,
+//   (b) encrypted DAS   — one bucket retrieved, client decrypts superset,
+//   (c) trivial         — whole encrypted table shipped and filtered.
+// Counters report application bytes moved per query so the communication
+// shape is visible next to wall-clock time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ssdb {
+namespace {
+
+using bench::SharedEmployeeDb;
+using bench::SharedEncryptedDb;
+
+void BM_ExactMatch_SecretSharing(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  OutsourcedDatabase* db = SharedEmployeeDb(4, 2, rows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  EmployeeGenerator probe(1234, Distribution::kUniform);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < 64; ++i) names.push_back(probe.Next().name);
+  db->network().ResetStats();
+  size_t q = 0;
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Eq("name", Value::Str(names[q++ % 64]))));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  const ChannelStats net = db->network_stats();
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(net.total_bytes()) / state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactMatch_SecretSharing)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ExactMatch_EncryptedBuckets(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  EncryptedDas* das =
+      SharedEncryptedDb(rows, 256, EncIndexKind::kBucketRange);
+  if (das == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  EmployeeGenerator probe(1234, Distribution::kUniform);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < 64; ++i) names.push_back(probe.Next().name);
+  das->ResetStats();
+  size_t q = 0;
+  for (auto _ : state) {
+    auto r = das->ExecuteExact("name", Value::Str(names[q++ % 64]));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(das->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["falsepos/query"] = benchmark::Counter(
+      static_cast<double>(das->stats().false_positives) / state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactMatch_EncryptedBuckets)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ExactMatch_TrivialTransfer(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  EncryptedDas* das =
+      SharedEncryptedDb(rows, 256, EncIndexKind::kBucketRange);
+  if (das == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  das->ResetStats();
+  for (auto _ : state) {
+    auto r = das->FetchAllAndFilter("salary", Value::Int(50000),
+                                    Value::Int(50000));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(das->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactMatch_TrivialTransfer)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,162 @@
+// E8 — fault tolerance and availability (§V.A's "greater fault-tolerance
+// and data availability in the presence of failures"; §VI challenge (b)).
+//
+// Measures, for n = 5 providers:
+//   * query latency and bytes as providers go down (reads survive up to
+//     n - k failures; the replacement legs cost extra round trips),
+//   * the n-of-n write amplification versus k-of-n reads,
+//   * read availability under probabilistic message loss, as a function
+//     of k.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ssdb {
+namespace {
+
+using bench::SharedEmployeeDb;
+
+constexpr size_t kRows = 5000;
+
+void BM_Fault_QueryWithDownProviders(benchmark::State& state) {
+  const size_t down = static_cast<size_t>(state.range(0));
+  OutsourcedDatabase* db = SharedEmployeeDb(5, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->HealAll();
+  for (size_t i = 0; i < down; ++i) {
+    db->InjectFailure(i, FailureMode::kDown);
+  }
+  db->network().ResetStats();
+  const uint64_t sim_start = db->simulated_time_us();
+  uint64_t failures = 0;
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(100000),
+                                            Value::Int(101000))));
+    if (!r.ok()) ++failures;
+    benchmark::DoNotOptimize(r);
+  }
+  db->HealAll();
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["sim_us/query"] = benchmark::Counter(
+      static_cast<double>(db->simulated_time_us() - sim_start) /
+      state.iterations());
+  state.counters["failed_queries"] =
+      benchmark::Counter(static_cast<double>(failures));
+  state.SetItemsProcessed(state.iterations());
+}
+// k=2, n=5: up to 3 failures survivable; 4 exhausts the quorum.
+BENCHMARK(BM_Fault_QueryWithDownProviders)->Arg(0)->Arg(1)->Arg(3)->Arg(4);
+
+void BM_Fault_CorruptProviderRecovery(benchmark::State& state) {
+  OutsourcedDatabase* db = SharedEmployeeDb(5, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->HealAll();
+  db->InjectFailure(1, FailureMode::kCorruptResponse);
+  db->network().ResetStats();
+  uint64_t failures = 0;
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(100000),
+                                            Value::Int(100500))));
+    if (!r.ok()) ++failures;
+    benchmark::DoNotOptimize(r);
+  }
+  db->HealAll();
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["failed_queries"] =
+      benchmark::Counter(static_cast<double>(failures));
+  state.counters["corruption_retries"] = benchmark::Counter(
+      static_cast<double>(db->client_stats().corruption_retries));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fault_CorruptProviderRecovery);
+
+void BM_Fault_AvailabilityUnderLoss(benchmark::State& state) {
+  // 20% message loss on every link; availability is the fraction of
+  // queries that still assemble k responses (phase-2 retries help).
+  const size_t k = static_cast<size_t>(state.range(0));
+  static std::map<size_t, std::unique_ptr<OutsourcedDatabase>> cache;
+  OutsourcedDatabase* db = nullptr;
+  auto it = cache.find(k);
+  if (it != cache.end()) {
+    db = it->second.get();
+  } else {
+    OutsourcedDbOptions options;
+    options.n = 5;
+    options.client.k = k;
+    auto created = OutsourcedDatabase::Create(options);
+    if (!created.ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    (void)created.value()->CreateTable(EmployeeGenerator::EmployeesSchema());
+    EmployeeGenerator gen(5, Distribution::kUniform);
+    (void)created.value()->Insert("Employees", gen.Rows(1000));
+    db = created.value().get();
+    cache.emplace(k, std::move(created).value());
+  }
+  for (size_t p = 0; p < 5; ++p) {
+    db->InjectFailure(p, FailureMode::kDropSome, 0.2);
+  }
+  uint64_t ok = 0, total = 0;
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(0),
+                                            Value::Int(1000))));
+    ++total;
+    if (r.ok()) ++ok;
+    benchmark::DoNotOptimize(r);
+  }
+  db->HealAll();
+  state.counters["availability"] = benchmark::Counter(
+      total == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(total));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fault_AvailabilityUnderLoss)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_Fault_WriteAmplification(benchmark::State& state) {
+  // Writes must reach all n providers; reads only k. The counter shows
+  // bytes per inserted row at n=5 (the §V.A "overhead ... does result in
+  // greater fault-tolerance" trade).
+  OutsourcedDbOptions options;
+  options.n = 5;
+  options.client.k = 2;
+  auto db = OutsourcedDatabase::Create(options);
+  if (!db.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  (void)db.value()->CreateTable(EmployeeGenerator::EmployeesSchema());
+  EmployeeGenerator gen(6, Distribution::kUniform);
+  db.value()->network().ResetStats();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    if (!db.value()->Insert("Employees", gen.Rows(100)).ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+    rows += 100;
+  }
+  state.counters["bytes/row"] = benchmark::Counter(
+      static_cast<double>(db.value()->network_stats().total_bytes()) /
+      static_cast<double>(rows));
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_Fault_WriteAmplification);
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// F1 — Figure 1 reproduction.
+//
+// Prints the paper's worked example (the exact share table of Figure 1)
+// and then benchmarks the two kernels it illustrates: splitting a salary
+// into 3 shares with a degree-1 polynomial, and reconstructing from any 2.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "field/poly.h"
+#include "sss/shamir.h"
+
+namespace ssdb {
+namespace {
+
+SharingContext Fig1Context() {
+  auto ctx = SharingContext::Create(
+      3, 2, {Fp61::FromU64(2), Fp61::FromU64(4), Fp61::FromU64(1)});
+  return std::move(ctx).value();
+}
+
+void PrintFigure1() {
+  std::printf("---- Figure 1 (paper page 1712) ----\n");
+  std::printf("X = {x1=2, x2=4, x3=1}; salaries and their polynomials:\n");
+  const uint64_t salaries[5] = {10, 20, 40, 60, 80};
+  const uint64_t slopes[5] = {100, 5, 1, 2, 4};
+  const char* das[3] = {"DAS1", "DAS2", "DAS3"};
+  const uint64_t xs[3] = {2, 4, 1};
+  for (int p = 0; p < 3; ++p) {
+    std::printf("  %s stores { ", das[p]);
+    for (int i = 0; i < 5; ++i) {
+      FpPoly q({Fp61::FromU64(salaries[i]), Fp61::FromU64(slopes[i])});
+      std::printf("%llu ", static_cast<unsigned long long>(
+                               q.Eval(Fp61::FromU64(xs[p])).value()));
+    }
+    std::printf("}\n");
+  }
+  std::printf("(paper: DAS1 {210 30 42 64 88}, DAS2 {410 40 44 68 96}, "
+              "DAS3 {110 25 41 62 84})\n\n");
+}
+
+void BM_Fig1Split(benchmark::State& state) {
+  const SharingContext ctx = Fig1Context();
+  Rng rng(1);
+  for (auto _ : state) {
+    auto shares = ctx.Split(Fp61::FromU64(40), &rng);
+    benchmark::DoNotOptimize(shares);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1Split);
+
+void BM_Fig1Reconstruct(benchmark::State& state) {
+  const SharingContext ctx = Fig1Context();
+  Rng rng(2);
+  const auto shares = ctx.Split(Fp61::FromU64(40), &rng);
+  std::vector<IndexedShare> subset = {{0, shares[0]}, {2, shares[2]}};
+  for (auto _ : state) {
+    auto v = ctx.Reconstruct(subset);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fig1Reconstruct);
+
+}  // namespace
+}  // namespace ssdb
+
+int main(int argc, char** argv) {
+  ssdb::PrintFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,180 @@
+// E5 — same-domain equi-joins (§V.A Join).
+//
+// Employees x Managers on a shared eid domain. Compares:
+//   (a) provider-side share join — each provider hash-joins deterministic
+//       shares locally and ships only the joined pairs,
+//   (b) ship-and-join            — both tables are fetched and joined at
+//       the client (what a scheme without same-domain polynomials is
+//       forced to do).
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "core/outsourced_db.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+struct JoinSetup {
+  std::unique_ptr<OutsourcedDatabase> db;
+};
+
+JoinSetup* SharedJoinDb(size_t employees, size_t managers) {
+  static std::map<std::pair<size_t, size_t>, std::unique_ptr<JoinSetup>>
+      cache;
+  auto key = std::make_pair(employees, managers);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  OutsourcedDbOptions options;
+  options.n = 4;
+  options.client.k = 2;
+  auto db = OutsourcedDatabase::Create(options);
+  if (!db.ok()) return nullptr;
+
+  TableSchema emp;
+  emp.table_name = "Employees";
+  emp.columns = {
+      IntColumn("eid", 0, 1'000'000, kCapExactMatch | kCapRange, "eid"),
+      IntColumn("salary", 0, 200000),
+  };
+  TableSchema mgr;
+  mgr.table_name = "Managers";
+  mgr.columns = {
+      IntColumn("eid", 0, 1'000'000, kCapExactMatch | kCapRange, "eid"),
+      IntColumn("level", 0, 10),
+  };
+  if (!db.value()->CreateTable(emp).ok()) return nullptr;
+  if (!db.value()->CreateTable(mgr).ok()) return nullptr;
+
+  Rng rng(55);
+  std::vector<std::vector<Value>> emp_rows, mgr_rows;
+  for (size_t i = 0; i < employees; ++i) {
+    emp_rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                        Value::Int(rng.UniformInt(0, 200000))});
+  }
+  for (size_t i = 0; i < managers; ++i) {
+    // Managers reference a random existing employee: every manager joins.
+    mgr_rows.push_back(
+        {Value::Int(rng.UniformInt(0, static_cast<int64_t>(employees) - 1)),
+         Value::Int(rng.UniformInt(0, 10))});
+  }
+  if (!db.value()->Insert("Employees", emp_rows).ok()) return nullptr;
+  if (!db.value()->Insert("Managers", mgr_rows).ok()) return nullptr;
+
+  auto setup = std::make_unique<JoinSetup>();
+  setup->db = std::move(db).value();
+  auto* raw = setup.get();
+  cache.emplace(key, std::move(setup));
+  return raw;
+}
+
+void BM_Join_ProviderSide(benchmark::State& state) {
+  JoinSetup* setup = SharedJoinDb(static_cast<size_t>(state.range(0)),
+                                  static_cast<size_t>(state.range(1)));
+  if (setup == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  setup->db->network().ResetStats();
+  JoinQuery jq;
+  jq.left_table = "Employees";
+  jq.left_column = "eid";
+  jq.right_table = "Managers";
+  jq.right_column = "eid";
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    auto r = setup->db->ExecuteJoin(jq);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    pairs = r->pairs.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(setup->db->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["pairs"] = benchmark::Counter(static_cast<double>(pairs));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Join_ProviderSide)
+    ->Args({1000, 100})
+    ->Args({5000, 500})
+    ->Args({10000, 2000});
+
+void BM_Join_ShipAndJoin(benchmark::State& state) {
+  JoinSetup* setup = SharedJoinDb(static_cast<size_t>(state.range(0)),
+                                  static_cast<size_t>(state.range(1)));
+  if (setup == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  setup->db->network().ResetStats();
+  uint64_t pairs = 0;
+  for (auto _ : state) {
+    auto left = setup->db->Execute(Query::Select("Employees"));
+    auto right = setup->db->Execute(Query::Select("Managers"));
+    if (!left.ok() || !right.ok()) {
+      state.SkipWithError("fetch failed");
+      return;
+    }
+    std::unordered_multimap<int64_t, size_t> build;
+    for (size_t i = 0; i < left->rows.size(); ++i) {
+      build.emplace(left->rows[i][0].AsInt(), i);
+    }
+    pairs = 0;
+    for (const auto& mrow : right->rows) {
+      auto range = build.equal_range(mrow[0].AsInt());
+      for (auto it = range.first; it != range.second; ++it) ++pairs;
+    }
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(setup->db->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["pairs"] = benchmark::Counter(static_cast<double>(pairs));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Join_ShipAndJoin)
+    ->Args({1000, 100})
+    ->Args({5000, 500})
+    ->Args({10000, 2000});
+
+void BM_Join_WithSelection(benchmark::State& state) {
+  // §V.A's manager-salaries query with an extra filter: join restricted to
+  // high salaries; the providers apply both the predicate and the join.
+  JoinSetup* setup = SharedJoinDb(10000, 2000);
+  if (setup == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  setup->db->network().ResetStats();
+  JoinQuery jq;
+  jq.left_table = "Employees";
+  jq.left_column = "eid";
+  jq.right_table = "Managers";
+  jq.right_column = "eid";
+  jq.left_predicates = {
+      Between("salary", Value::Int(150000), Value::Int(200000))};
+  for (auto _ : state) {
+    auto r = setup->db->ExecuteJoin(jq);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(setup->db->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Join_WithSelection);
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// E6 — private information retrieval (§II.B).
+//
+// Sweeps database size for trivial / 2-server XOR / k-server polynomial
+// PIR, reporting bytes moved and wall-clock time. Two claims to observe:
+//   * k-server replication gives communication sublinear in N (the
+//     O(N^{1/(2k-1)}) family of results the paper cites), and
+//   * per Sion & Carbunar, PIR servers still touch the whole database, so
+//     on *time* the trivial protocol wins whenever bandwidth is cheap —
+//     the "server_words" counter makes the Omega(N) server cost visible.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "pir/pir.h"
+
+namespace ssdb {
+namespace {
+
+const std::vector<uint64_t>& SharedDb(size_t n) {
+  static std::map<size_t, std::vector<uint64_t>> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Rng rng(42);
+  std::vector<uint64_t> db(n);
+  for (auto& x : db) x = rng.Uniform(Fp61::kP);
+  return cache.emplace(n, std::move(db)).first->second;
+}
+
+void Report(benchmark::State& state, const PirStats& stats) {
+  state.counters["bytes_up"] =
+      benchmark::Counter(static_cast<double>(stats.bytes_up));
+  state.counters["bytes_down"] =
+      benchmark::Counter(static_cast<double>(stats.bytes_down));
+  state.counters["server_words"] =
+      benchmark::Counter(static_cast<double>(stats.server_word_ops));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Pir_Trivial(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TrivialPir pir(SharedDb(n));
+  PirStats stats;
+  for (auto _ : state) {
+    stats = PirStats();
+    auto r = pir.Fetch(n / 2, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  Report(state, stats);
+}
+BENCHMARK(BM_Pir_Trivial)->Range(1 << 10, 1 << 20)->RangeMultiplier(16);
+
+void BM_Pir_TwoServerXor(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TwoServerXorPir pir(SharedDb(n));
+  Rng rng(1);
+  PirStats stats;
+  for (auto _ : state) {
+    stats = PirStats();
+    auto r = pir.Fetch(n / 2, &rng, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  Report(state, stats);
+}
+BENCHMARK(BM_Pir_TwoServerXor)->Range(1 << 10, 1 << 20)->RangeMultiplier(16);
+
+void BM_Pir_Poly(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t servers = static_cast<size_t>(state.range(1));
+  auto pir = PolyPir::Create(SharedDb(n), servers);
+  if (!pir.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  Rng rng(2);
+  PirStats stats;
+  for (auto _ : state) {
+    stats = PirStats();
+    auto r = pir->Fetch(n / 2, &rng, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  Report(state, stats);
+}
+BENCHMARK(BM_Pir_Poly)
+    ->Args({1 << 10, 3})
+    ->Args({1 << 14, 3})
+    ->Args({1 << 18, 3})
+    ->Args({1 << 10, 4})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 18, 4});
+
+void BM_Pir_WoodruffYekhanin(benchmark::State& state) {
+  // The O(N^{1/(2k-1)}) refinement the paper cites (§II.B): k servers,
+  // derivative sharing, Hermite interpolation.
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t servers = static_cast<size_t>(state.range(1));
+  auto pir = WoodruffYekhaninPir::Create(SharedDb(n), servers);
+  if (!pir.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  Rng rng(3);
+  PirStats stats;
+  for (auto _ : state) {
+    stats = PirStats();
+    auto r = pir->Fetch(n / 2, &rng, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+  Report(state, stats);
+}
+BENCHMARK(BM_Pir_WoodruffYekhanin)
+    ->Args({1 << 10, 2})
+    ->Args({1 << 14, 2})
+    ->Args({1 << 18, 2})
+    ->Args({1 << 14, 3})
+    ->Args({1 << 18, 3});
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

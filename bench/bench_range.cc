@@ -1,0 +1,152 @@
+// E3 — range queries and the Section IV order-preserving construction.
+//
+// Sweeps selectivity on a fixed table and compares tuples moved:
+//   (a) order-preserving shares — providers filter exactly (§IV's goal),
+//   (b) basic shares, no OP     — the "idealized" §III scheme: the whole
+//       table is retrieved per query and filtered at the client,
+//   (c) encrypted bucketization — superset retrieval, false positives,
+//   (d) OPE                     — exact filtering on ciphertext.
+// The paper's argument: (a) needs k providers but moves only the answer;
+// (b) is what §IV calls "not practical"; (c) trades privacy for precision.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace ssdb {
+namespace {
+
+using bench::SharedEmployeeDb;
+using bench::SharedEncryptedDb;
+
+constexpr size_t kRows = 20000;
+
+// Selectivity expressed in tenths of a percent via state.range(0).
+std::pair<int64_t, int64_t> RangeFor(int64_t permille) {
+  const int64_t span =
+      (EmployeeGenerator::kSalaryHi - EmployeeGenerator::kSalaryLo);
+  const int64_t width = span * permille / 1000;
+  const int64_t lo = 50000;
+  return {lo, lo + width};
+}
+
+void BM_Range_OrderPreservingShares(benchmark::State& state) {
+  OutsourcedDatabase* db = SharedEmployeeDb(4, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  const auto [lo, hi] = RangeFor(state.range(0));
+  db->network().ResetStats();
+  uint64_t matched = 0;
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(lo),
+                                            Value::Int(hi))));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    matched = r->count;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["matched"] = benchmark::Counter(static_cast<double>(matched));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Range_OrderPreservingShares)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->ArgName("permille");
+
+void BM_Range_BasicSharesFetchAll(benchmark::State& state) {
+  // §III idealized scheme: providers are pure storage; every query ships
+  // the entire share table to the client.
+  OutsourcedDatabase* db = SharedEmployeeDb(4, 2, kRows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  const auto [lo, hi] = RangeFor(state.range(0));
+  db->network().ResetStats();
+  for (auto _ : state) {
+    auto all = db->Execute(Query::Select("Employees"));
+    if (!all.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    // Client-side filter.
+    size_t hits = 0;
+    for (const auto& row : all->rows) {
+      const int64_t s = row[1].AsInt();
+      if (s >= lo && s <= hi) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Range_BasicSharesFetchAll)->Arg(10)->ArgName("permille");
+
+void BM_Range_EncryptedBuckets(benchmark::State& state) {
+  EncryptedDas* das =
+      SharedEncryptedDb(kRows, 64, EncIndexKind::kBucketRange);
+  if (das == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  const auto [lo, hi] = RangeFor(state.range(0));
+  das->ResetStats();
+  for (auto _ : state) {
+    auto r = das->ExecuteRange("salary", Value::Int(lo), Value::Int(hi));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(das->network_stats().total_bytes()) /
+      state.iterations());
+  state.counters["falsepos/query"] = benchmark::Counter(
+      static_cast<double>(das->stats().false_positives) / state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Range_EncryptedBuckets)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->ArgName("permille");
+
+void BM_Range_EncryptedOpe(benchmark::State& state) {
+  EncryptedDas* das = SharedEncryptedDb(kRows, 64, EncIndexKind::kOpe);
+  if (das == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  const auto [lo, hi] = RangeFor(state.range(0));
+  das->ResetStats();
+  for (auto _ : state) {
+    auto r = das->ExecuteRange("salary", Value::Int(lo), Value::Int(hi));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(das->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Range_EncryptedOpe)->Arg(1)->Arg(10)->Arg(100)->ArgName("permille");
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

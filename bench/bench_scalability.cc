@@ -1,0 +1,134 @@
+// E12 — scalability with the number of providers (§III: the approach
+// "exploits the paradigm of Internet-scale computing by taking advantage
+// of the large number of available resources").
+//
+// Sweeps n (providers) and k (threshold): outsourcing cost grows linearly
+// in n (n share rows per tuple), read cost grows with k only, and the
+// reconstruction kernel grows with k. The crossing of those curves is the
+// design trade the paper sells.
+
+#include <benchmark/benchmark.h>
+
+#include "core/outsourced_db.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+OutsourcedDatabase* SharedDbNK(size_t n, size_t k) {
+  static std::map<std::pair<size_t, size_t>,
+                  std::unique_ptr<OutsourcedDatabase>>
+      cache;
+  auto key = std::make_pair(n, k);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+  OutsourcedDbOptions options;
+  options.n = n;
+  options.client.k = k;
+  auto db = OutsourcedDatabase::Create(options);
+  if (!db.ok()) return nullptr;
+  if (!db.value()->CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) {
+    return nullptr;
+  }
+  EmployeeGenerator gen(9, Distribution::kUniform);
+  if (!db.value()->Insert("Employees", gen.Rows(2000)).ok()) return nullptr;
+  auto* raw = db.value().get();
+  cache.emplace(key, std::move(db).value());
+  return raw;
+}
+
+void BM_Scal_Outsource(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  OutsourcedDbOptions options;
+  options.n = n;
+  options.client.k = k;
+  auto db = OutsourcedDatabase::Create(options);
+  if (!db.ok() ||
+      !db.value()->CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  EmployeeGenerator gen(10, Distribution::kUniform);
+  db.value()->network().ResetStats();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    if (!db.value()->Insert("Employees", gen.Rows(200)).ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+    rows += 200;
+  }
+  state.counters["bytes/row"] = benchmark::Counter(
+      static_cast<double>(db.value()->network_stats().total_bytes()) /
+      static_cast<double>(rows));
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_Scal_Outsource)
+    ->Args({2, 2})
+    ->Args({4, 2})
+    ->Args({8, 2})
+    ->Args({16, 2})
+    ->Args({32, 2});
+
+void BM_Scal_RangeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  OutsourcedDatabase* db = SharedDbNK(n, k);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(80000),
+                                            Value::Int(90000))));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Scal_RangeQuery)
+    ->Args({2, 2})
+    ->Args({8, 2})
+    ->Args({32, 2})
+    ->Args({8, 4})
+    ->Args({8, 8})
+    ->Args({32, 16});
+
+void BM_Scal_SumQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  OutsourcedDatabase* db = SharedDbNK(n, k);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Aggregate(AggregateOp::kSum, "salary"));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["bytes/query"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Scal_SumQuery)->Args({4, 2})->Args({16, 8})->Args({32, 16});
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// E1 — "encryption is computationally expensive; Shamir's algorithm is
+// computationally efficient" (§I / §II.C).
+//
+// Per-value micro-costs of every client-side transform the two designs
+// need: random/deterministic/order-preserving sharing and reconstruction
+// versus AES-CTR encryption/decryption and order-preserving encryption.
+// The paper's claim holds if the sharing column of this table is
+// comparable to or cheaper than the encryption column.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/ope.h"
+#include "crypto/prf.h"
+#include "crypto/sha256.h"
+#include "sss/order_preserving.h"
+#include "sss/shamir.h"
+
+namespace ssdb {
+namespace {
+
+SharingContext MakeCtx(size_t n, size_t k) {
+  Rng rng(7);
+  return std::move(SharingContext::CreateRandom(n, k, &rng)).value();
+}
+
+// --- Secret sharing side ------------------------------------------------
+
+void BM_ShamirSplit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const SharingContext ctx = MakeCtx(n, k);
+  Rng rng(1);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    auto shares = ctx.Split(Fp61::FromU64(v++), &rng);
+    benchmark::DoNotOptimize(shares);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShamirSplit)->Args({3, 2})->Args({5, 3})->Args({16, 8});
+
+void BM_ShamirReconstruct(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const SharingContext ctx = MakeCtx(k + 1, k);
+  Rng rng(2);
+  const auto shares = ctx.Split(Fp61::FromU64(123456), &rng);
+  std::vector<IndexedShare> subset;
+  for (size_t i = 0; i < k; ++i) subset.push_back({i, shares[i]});
+  for (auto _ : state) {
+    auto v = ctx.Reconstruct(subset);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShamirReconstruct)->Arg(2)->Arg(3)->Arg(8);
+
+void BM_DeterministicShare(benchmark::State& state) {
+  const SharingContext ctx = MakeCtx(4, 2);
+  const Prf prf(1, 2);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    auto shares = ctx.SplitDeterministic(prf, 9, Fp61::FromU64(v++));
+    benchmark::DoNotOptimize(shares);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeterministicShare);
+
+void BM_OrderPreservingShare(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  const bool recursive = state.range(1) != 0;
+  auto scheme = OrderPreservingScheme::Create(
+      Prf(3, 4), OpDomain{0, 1'000'000'000}, degree, {7, 33, 101, 250},
+      recursive ? OpSlotMode::kRecursive : OpSlotMode::kPaperSlots);
+  int64_t v = 0;
+  for (auto _ : state) {
+    auto shares = scheme->ShareAll(v);
+    v = (v + 999'983) % 1'000'000'000;
+    benchmark::DoNotOptimize(shares);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(recursive ? "recursive" : "paper-slots");
+}
+BENCHMARK(BM_OrderPreservingShare)
+    ->Args({1, 0})
+    ->Args({3, 0})
+    ->Args({3, 1});
+
+void BM_OrderPreservingReconstruct(benchmark::State& state) {
+  auto scheme = OrderPreservingScheme::Create(
+      Prf(3, 4), OpDomain{0, 1'000'000'000}, 3, {7, 33, 101, 250});
+  auto shares = scheme->ShareAll(123'456'789);
+  std::vector<IndexedOpShare> subset;
+  for (size_t i = 0; i < 4; ++i) subset.push_back({i, shares.value()[i]});
+  for (auto _ : state) {
+    auto v = scheme->Reconstruct(subset);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OrderPreservingReconstruct);
+
+// --- Encryption side ------------------------------------------------------
+
+void BM_AesEncryptBlock(benchmark::State& state) {
+  Aes128::Key key = {};
+  Aes128 aes(key);
+  uint8_t block[16] = {1, 2, 3};
+  for (auto _ : state) {
+    aes.EncryptBlock(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+void BM_AesCtrRow(benchmark::State& state) {
+  // A typical 64-byte tuple, encrypt + decrypt round trip (the client pays
+  // both on every query in the encrypted-DAS model).
+  Aes128::Key key = {};
+  AesCtr ctr(key, 42);
+  uint8_t row[64];
+  for (size_t i = 0; i < sizeof(row); ++i) row[i] = static_cast<uint8_t>(i);
+  for (auto _ : state) {
+    ctr.Transform(row, sizeof(row));
+    ctr.Transform(row, sizeof(row));
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_AesCtrRow);
+
+void BM_OpeEncrypt(benchmark::State& state) {
+  OrderPreservingEncryption ope(Prf(5, 6), 40);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    auto c = ope.Encrypt(v);
+    v = (v + 997) & ((1ULL << 40) - 1);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OpeEncrypt);
+
+void BM_Sha256Row(benchmark::State& state) {
+  uint8_t row[64] = {9};
+  for (auto _ : state) {
+    auto d = Sha256::Hash(Slice(row, sizeof(row)));
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256Row);
+
+void BM_ModExp(benchmark::State& state) {
+  // The commutative-encryption primitive of the §II.A intersection
+  // protocol: one modular exponentiation per element per pass.
+  Rng rng(8);
+  const uint64_t e = rng.Next() | 1;
+  Fp61 x = Fp61::FromU64(rng.Next());
+  for (auto _ : state) {
+    x = x.Pow(e);
+    if (x.is_zero()) x = Fp61::FromU64(3);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModExp);
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

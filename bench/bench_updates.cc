@@ -1,0 +1,148 @@
+// E9 — database updates (§V.C).
+//
+// Eager updates pay read-reconstruct-reshare per statement against all n
+// providers; the lazy client log batches the reshare traffic. Counters
+// report bytes and network round trips per updated row for both modes and
+// several batch sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/outsourced_db.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+std::unique_ptr<OutsourcedDatabase> FreshDb(bool lazy, size_t rows) {
+  OutsourcedDbOptions options;
+  options.n = 4;
+  options.client.k = 2;
+  options.client.lazy_updates = lazy;
+  options.client.lazy_flush_threshold = 1'000'000;  // manual flush
+  auto db = OutsourcedDatabase::Create(options);
+  if (!db.ok()) return nullptr;
+  if (!db.value()->CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) {
+    return nullptr;
+  }
+  EmployeeGenerator gen(77, Distribution::kSequential);
+  if (!db.value()->Insert("Employees", gen.Rows(rows)).ok()) return nullptr;
+  if (!db.value()->Flush().ok()) return nullptr;
+  return std::move(db).value();
+}
+
+void RunUpdateBatch(benchmark::State& state, bool lazy) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const size_t rows = 2000;
+  auto db = FreshDb(lazy, rows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  uint64_t updated_total = 0;
+  int64_t target = 0;
+  for (auto _ : state) {
+    // `batch` single-row updates (sequential salaries -> each salary value
+    // hits exactly one or two rows), then one flush in lazy mode.
+    for (size_t i = 0; i < batch; ++i) {
+      target = (target + 1) % static_cast<int64_t>(rows);
+      auto r = db->Update(
+          "Employees",
+          {Between("salary", Value::Int(target), Value::Int(target))},
+          "dept", Value::Int(7));
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+      updated_total += *r;
+    }
+    if (lazy) {
+      if (!db->Flush().ok()) {
+        state.SkipWithError("flush failed");
+        return;
+      }
+    }
+  }
+  const ChannelStats net = db->network_stats();
+  state.counters["bytes/updated_row"] =
+      benchmark::Counter(updated_total == 0
+                             ? 0.0
+                             : static_cast<double>(net.total_bytes()) /
+                                   static_cast<double>(updated_total));
+  state.counters["calls/updated_row"] =
+      benchmark::Counter(updated_total == 0
+                             ? 0.0
+                             : static_cast<double>(net.calls) /
+                                   static_cast<double>(updated_total));
+  state.SetLabel(lazy ? "lazy" : "eager");
+  state.SetItemsProcessed(static_cast<int64_t>(updated_total));
+}
+
+void BM_Update_Eager(benchmark::State& state) { RunUpdateBatch(state, false); }
+BENCHMARK(BM_Update_Eager)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_Update_LazyBatched(benchmark::State& state) {
+  RunUpdateBatch(state, true);
+}
+BENCHMARK(BM_Update_LazyBatched)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_Update_DeleteEager(benchmark::State& state) {
+  // Deletes: resolve ids (k reads) then delete at all n.
+  const size_t rows = 5000;
+  auto db = FreshDb(false, rows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  int64_t lo = 0;
+  uint64_t deleted = 0;
+  for (auto _ : state) {
+    auto r = db->Delete("Employees", {Between("salary", Value::Int(lo),
+                                              Value::Int(lo + 4))});
+    lo += 5;
+    if (!r.ok()) {
+      state.SkipWithError("delete failed");
+      return;
+    }
+    deleted += *r;
+    if (lo >= static_cast<int64_t>(rows)) break;  // table drained
+  }
+  state.counters["bytes/deleted_row"] =
+      benchmark::Counter(deleted == 0
+                             ? 0.0
+                             : static_cast<double>(
+                                   db->network_stats().total_bytes()) /
+                                   static_cast<double>(deleted));
+  state.SetItemsProcessed(static_cast<int64_t>(deleted));
+}
+BENCHMARK(BM_Update_DeleteEager)->Iterations(100);
+
+void BM_Update_ProactiveRefresh(benchmark::State& state) {
+  // §VI(b) extension: re-randomize every stored share of a table.
+  const size_t rows = static_cast<size_t>(state.range(0));
+  auto db = FreshDb(false, rows);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->network().ResetStats();
+  uint64_t refreshes = 0;
+  for (auto _ : state) {
+    if (!db->RefreshTable("Employees").ok()) {
+      state.SkipWithError("refresh failed");
+      return;
+    }
+    ++refreshes;
+  }
+  state.counters["bytes/row"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      static_cast<double>(refreshes * rows));
+  state.SetItemsProcessed(static_cast<int64_t>(refreshes * rows));
+}
+BENCHMARK(BM_Update_ProactiveRefresh)->Arg(1000)->Iterations(20);
+
+}  // namespace
+}  // namespace ssdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Shared helpers for the experiment benchmarks: lazily-built, cached
+// deployments so each (configuration, size) pair is loaded once per
+// binary run.
+
+#ifndef SSDB_BENCH_BENCH_UTIL_H_
+#define SSDB_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseline/encrypted_das.h"
+#include "core/outsourced_db.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace bench {
+
+/// An OutsourcedDatabase pre-loaded with `rows` uniform employees,
+/// cached per (n, k, rows).
+inline OutsourcedDatabase* SharedEmployeeDb(size_t n, size_t k, size_t rows) {
+  static std::map<std::tuple<size_t, size_t, size_t>,
+                  std::unique_ptr<OutsourcedDatabase>>
+      cache;
+  auto key = std::make_tuple(n, k, rows);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  OutsourcedDbOptions options;
+  options.n = n;
+  options.client.k = k;
+  auto db = OutsourcedDatabase::Create(options);
+  if (!db.ok()) return nullptr;
+  if (!db.value()->CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) {
+    return nullptr;
+  }
+  EmployeeGenerator gen(1234, Distribution::kUniform);
+  if (!db.value()->Insert("Employees", gen.Rows(rows)).ok()) return nullptr;
+  auto* raw = db.value().get();
+  cache.emplace(key, std::move(db).value());
+  return raw;
+}
+
+/// An EncryptedDas pre-loaded with the same employee workload, cached per
+/// (rows, buckets, index kind).
+inline EncryptedDas* SharedEncryptedDb(size_t rows, size_t buckets,
+                                       EncIndexKind kind) {
+  static std::map<std::tuple<size_t, size_t, int>,
+                  std::unique_ptr<EncryptedDas>>
+      cache;
+  auto key = std::make_tuple(rows, buckets, static_cast<int>(kind));
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second.get();
+
+  EncryptedDasOptions options;
+  options.buckets = buckets;
+  options.range_index = kind;
+  auto das =
+      EncryptedDas::Create(EmployeeGenerator::EmployeesSchema(), options);
+  if (!das.ok()) return nullptr;
+  EmployeeGenerator gen(1234, Distribution::kUniform);
+  if (!das.value()->Insert(gen.Rows(rows)).ok()) return nullptr;
+  auto* raw = das.value().get();
+  cache.emplace(key, std::move(das).value());
+  return raw;
+}
+
+}  // namespace bench
+}  // namespace ssdb
+
+#endif  // SSDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Privacy-preserving document intersection (§II.A's cost anecdote).
+//
+// Runs both intersection protocols on the paper's quoted configuration —
+// a 10-document site against a 100-document site, 1000 words each — and
+// prints time and bytes for each, plus the ratio. The paper quotes
+// ~2 hours / ~3 Gbit for the encryption-based approach on 2009 hardware;
+// the shape to observe here is the encryption/sharing cost ratio, not the
+// absolute numbers.
+//
+//   ./build/examples/example_document_intersection [docs_a docs_b words]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
+#include "workload/generators.h"
+#include "workload/intersection.h"
+
+using namespace ssdb;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  size_t docs_a = 10, docs_b = 100, words = 1000;
+  if (argc > 3) {
+    docs_a = static_cast<size_t>(std::atoll(argv[1]));
+    docs_b = static_cast<size_t>(std::atoll(argv[2]));
+    words = static_cast<size_t>(std::atoll(argv[3]));
+  }
+  std::printf("site A: %zu documents x %zu words; site B: %zu x %zu\n",
+              docs_a, words, docs_b, words);
+
+  DocumentGenerator gen_a(11, 200000), gen_b(22, 200000);
+  const auto corpus_a = gen_a.Corpus(docs_a, words);
+  const auto corpus_b = gen_b.Corpus(docs_b, words);
+
+  Rng rng(33);
+  StopWatch enc_watch;
+  auto enc = EncryptedIntersection(corpus_a, corpus_b, &rng);
+  const double enc_ms = enc_watch.ElapsedMillis();
+
+  StopWatch shared_watch;
+  auto shared = SharedIntersection(corpus_a, corpus_b, /*n=*/4, /*k=*/2,
+                                   /*key_seed=*/44);
+  const double shared_ms = shared_watch.ElapsedMillis();
+
+  if (!enc.ok() || !shared.ok()) {
+    std::fprintf(stderr, "protocol failure\n");
+    return 1;
+  }
+
+  std::printf("\n%-28s %12s %14s %12s\n", "protocol", "time (ms)",
+              "bytes moved", "matches");
+  std::printf("%-28s %12.1f %14llu %12zu   (%llu modexp ops)\n",
+              "commutative encryption", enc_ms,
+              static_cast<unsigned long long>(enc->bytes_transferred),
+              enc->matches,
+              static_cast<unsigned long long>(enc->modexp_ops));
+  std::printf("%-28s %12.1f %14llu %12zu   (%llu PRF ops)\n",
+              "secret sharing (n=4)", shared_ms,
+              static_cast<unsigned long long>(shared->bytes_transferred),
+              shared->matches,
+              static_cast<unsigned long long>(shared->prf_ops));
+  std::printf("\nspeedup of sharing over encryption: %.1fx compute\n",
+              shared_ms > 0 ? enc_ms / shared_ms : 0.0);
+  std::printf("(the paper quotes ~2h / ~3 Gbit for the encrypted protocol "
+              "on its 2009 testbed at this size)\n");
+  return enc->matches == shared->matches ? 0 : 1;
+}

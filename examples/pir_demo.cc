@@ -1,0 +1,79 @@
+// Private information retrieval demo (§II.B).
+//
+// Fetches records privately from a replicated database with all three
+// schemes and prints the communication / computation trade-off that the
+// Sion-Carbunar argument (and the paper's §II.B) is about.
+//
+//   ./build/examples/example_pir_demo [db_size]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
+#include "pir/pir.h"
+
+using namespace ssdb;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  size_t n = 1 << 16;
+  if (argc > 1) n = static_cast<size_t>(std::atoll(argv[1]));
+
+  Rng rng(99);
+  std::vector<uint64_t> db(n);
+  for (auto& x : db) x = rng.Uniform(Fp61::kP);
+  std::printf("database: %zu records of 8 bytes (%.2f MB)\n\n", n,
+              static_cast<double>(n) * 8 / 1e6);
+
+  const size_t target = n / 3;
+  std::printf("%-24s %10s %12s %14s %10s\n", "scheme", "up (B)", "down (B)",
+              "server words", "time (us)");
+
+  {
+    TrivialPir trivial(db);
+    PirStats stats;
+    StopWatch watch;
+    auto r = trivial.Fetch(target, &stats);
+    std::printf("%-24s %10llu %12llu %14llu %10.0f   -> %llu\n",
+                "trivial (download all)",
+                static_cast<unsigned long long>(stats.bytes_up),
+                static_cast<unsigned long long>(stats.bytes_down),
+                static_cast<unsigned long long>(stats.server_word_ops),
+                watch.ElapsedMicros(),
+                static_cast<unsigned long long>(r.value_or(0)));
+  }
+  {
+    TwoServerXorPir xorpir(db);
+    PirStats stats;
+    StopWatch watch;
+    auto r = xorpir.Fetch(target, &rng, &stats);
+    std::printf("%-24s %10llu %12llu %14llu %10.0f   -> %llu\n",
+                "2-server XOR (sqrt N)",
+                static_cast<unsigned long long>(stats.bytes_up),
+                static_cast<unsigned long long>(stats.bytes_down),
+                static_cast<unsigned long long>(stats.server_word_ops),
+                watch.ElapsedMicros(),
+                static_cast<unsigned long long>(r.value_or(0)));
+  }
+  for (size_t servers : {2UL, 3UL, 4UL}) {
+    auto poly = PolyPir::Create(db, servers);
+    if (!poly.ok()) continue;
+    PirStats stats;
+    StopWatch watch;
+    auto r = poly->Fetch(target, &rng, &stats);
+    char label[64];
+    std::snprintf(label, sizeof(label), "%zu-server polynomial", servers);
+    std::printf("%-24s %10llu %12llu %14llu %10.0f   -> %llu\n", label,
+                static_cast<unsigned long long>(stats.bytes_up),
+                static_cast<unsigned long long>(stats.bytes_down),
+                static_cast<unsigned long long>(stats.server_word_ops),
+                watch.ElapsedMicros(),
+                static_cast<unsigned long long>(r.value_or(0)));
+  }
+
+  std::printf(
+      "\nevery multi-server scheme still touches the whole database on the\n"
+      "server side — the Sion-Carbunar observation that trivial transfer\n"
+      "beats PIR on *time* whenever bandwidth is cheap relative to server\n"
+      "compute, even though PIR wins on *bytes*.\n");
+  return 0;
+}

@@ -1,0 +1,340 @@
+#include "baseline/encrypted_das.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "crypto/hmac.h"
+#include "storage/btree.h"
+
+namespace ssdb {
+
+namespace {
+// Private wire protocol of the encrypted baseline.
+enum class EncMsg : uint8_t {
+  kInsert = 1,
+  kQueryEq = 2,
+  kQueryRange = 3,
+  kFetchAll = 4,
+};
+}  // namespace
+
+/// The encrypted server: ciphertext blobs plus bucket/OPE index columns.
+class EncryptedDas::Server : public ProviderEndpoint {
+ public:
+  explicit Server(size_t num_columns) : num_columns_(num_columns) {
+    eq_index_.resize(num_columns);
+    range_index_.resize(num_columns);
+  }
+
+  std::string name() const override { return "enc-das-server"; }
+
+  Result<Buffer> Handle(Slice request) override {
+    Decoder dec(request);
+    uint8_t type = 0;
+    SSDB_RETURN_IF_ERROR(dec.GetU8(&type));
+    Buffer out;
+    switch (static_cast<EncMsg>(type)) {
+      case EncMsg::kInsert: {
+        uint64_t n = 0;
+        SSDB_RETURN_IF_ERROR(dec.GetVarint(&n));
+        for (uint64_t i = 0; i < n; ++i) {
+          Row row;
+          SSDB_RETURN_IF_ERROR(dec.GetU64(&row.row_id));
+          row.index.resize(num_columns_);
+          for (auto& [eq, range] : row.index) {
+            SSDB_RETURN_IF_ERROR(dec.GetU64(&eq));
+            SSDB_RETURN_IF_ERROR(dec.GetU128(&range));
+          }
+          Slice blob;
+          SSDB_RETURN_IF_ERROR(dec.GetLengthPrefixed(&blob));
+          row.blob.assign(blob.data(), blob.data() + blob.size());
+          const size_t pos = rows_.size();
+          for (size_t c = 0; c < num_columns_; ++c) {
+            eq_index_[c].emplace(row.index[c].first, pos);
+            range_index_[c].Insert(row.index[c].second, pos);
+          }
+          rows_.push_back(std::move(row));
+        }
+        out.PutU8(0);
+        return out;
+      }
+      case EncMsg::kQueryEq: {
+        uint32_t col = 0;
+        uint64_t bucket = 0;
+        SSDB_RETURN_IF_ERROR(dec.GetU32(&col));
+        SSDB_RETURN_IF_ERROR(dec.GetU64(&bucket));
+        if (col >= num_columns_) {
+          return Status::InvalidArgument("enc server: bad column");
+        }
+        std::vector<size_t> hits;
+        auto range = eq_index_[col].equal_range(bucket);
+        for (auto it = range.first; it != range.second; ++it) {
+          hits.push_back(it->second);
+        }
+        std::sort(hits.begin(), hits.end());
+        WriteRows(hits, &out);
+        return out;
+      }
+      case EncMsg::kQueryRange: {
+        uint32_t col = 0;
+        u128 lo = 0, hi = 0;
+        SSDB_RETURN_IF_ERROR(dec.GetU32(&col));
+        SSDB_RETURN_IF_ERROR(dec.GetU128(&lo));
+        SSDB_RETURN_IF_ERROR(dec.GetU128(&hi));
+        if (col >= num_columns_) {
+          return Status::InvalidArgument("enc server: bad column");
+        }
+        std::vector<uint64_t> positions = range_index_[col].Range(lo, hi);
+        std::vector<size_t> hits(positions.begin(), positions.end());
+        std::sort(hits.begin(), hits.end());
+        WriteRows(hits, &out);
+        return out;
+      }
+      case EncMsg::kFetchAll: {
+        std::vector<size_t> all(rows_.size());
+        for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+        WriteRows(all, &out);
+        return out;
+      }
+    }
+    return Status::InvalidArgument("enc server: unknown message");
+  }
+
+ private:
+  struct Row {
+    uint64_t row_id = 0;
+    std::vector<std::pair<uint64_t, u128>> index;  // (eq bucket, range key)
+    std::vector<uint8_t> blob;
+  };
+
+  void WriteRows(const std::vector<size_t>& positions, Buffer* out) {
+    out->PutU8(0);
+    out->PutVarint(positions.size());
+    for (size_t pos : positions) {
+      out->PutU64(rows_[pos].row_id);
+      out->PutLengthPrefixed(Slice(rows_[pos].blob));
+    }
+  }
+
+  size_t num_columns_;
+  std::vector<Row> rows_;
+  std::vector<std::unordered_multimap<uint64_t, size_t>> eq_index_;
+  std::vector<BPlusTree> range_index_;
+};
+
+EncryptedDas::EncryptedDas(TableSchema schema, EncryptedDasOptions options)
+    : schema_(std::move(schema)),
+      options_(std::move(options)),
+      index_prf_(Prf::Derive(Slice(options_.master_key), Slice("bucket"))),
+      network_(options_.network) {
+  const Sha256::Digest kd =
+      DeriveSubkey(Slice(options_.master_key), Slice("data"));
+  std::copy(kd.begin(), kd.begin() + Aes128::kKeySize, data_key_.begin());
+}
+
+Result<std::unique_ptr<EncryptedDas>> EncryptedDas::Create(
+    TableSchema schema, EncryptedDasOptions options) {
+  SSDB_RETURN_IF_ERROR(schema.Validate());
+  if (options.buckets == 0) {
+    return Status::InvalidArgument("enc das: buckets must be positive");
+  }
+  auto das = std::unique_ptr<EncryptedDas>(
+      new EncryptedDas(std::move(schema), std::move(options)));
+  das->server_index_ = das->network_.AddProvider(
+      std::make_shared<Server>(das->schema_.columns.size()));
+  return das;
+}
+
+Result<std::vector<uint8_t>> EncryptedDas::EncryptRow(
+    uint64_t row_id, const std::vector<Value>& row) const {
+  Buffer plain;
+  for (const Value& v : row) v.EncodeTo(&plain);
+  AesCtr ctr(data_key_, row_id);
+  return ctr.TransformCopy(plain.AsSlice());
+}
+
+Result<std::vector<Value>> EncryptedDas::DecryptRow(uint64_t row_id,
+                                                    Slice blob) const {
+  AesCtr ctr(data_key_, row_id);
+  const std::vector<uint8_t> plain = ctr.TransformCopy(blob);
+  Decoder dec{Slice(plain)};
+  std::vector<Value> row(schema_.columns.size());
+  for (auto& v : row) {
+    SSDB_RETURN_IF_ERROR(Value::DecodeFrom(&dec, &v));
+  }
+  return row;
+}
+
+uint64_t EncryptedDas::EqBucket(const ColumnSpec& col, int64_t code) const {
+  return index_prf_.Eval64(static_cast<uint64_t>(code), col.DomainTag()) %
+         options_.buckets;
+}
+
+Result<uint64_t> EncryptedDas::RangeBucket(const ColumnSpec& col,
+                                           int64_t code) const {
+  SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+  const u128 w = static_cast<u128>(static_cast<uint64_t>(code) -
+                                   static_cast<uint64_t>(dom.lo));
+  // Contiguous equal-width buckets over the domain.
+  const u128 width = (dom.size() + options_.buckets - 1) / options_.buckets;
+  return static_cast<uint64_t>(w / width);
+}
+
+Result<OrderPreservingEncryption*> EncryptedDas::GetOpe(size_t col_idx) {
+  if (ope_.empty()) ope_.resize(schema_.columns.size());
+  if (ope_[col_idx] == nullptr) {
+    SSDB_ASSIGN_OR_RETURN(OpDomain dom, schema_.columns[col_idx].CodeDomain());
+    int bits = 1;
+    while ((dom.size() - 1) >> bits != 0) ++bits;
+    ope_[col_idx] = std::make_unique<OrderPreservingEncryption>(
+        Prf::Derive(Slice(options_.master_key),
+                    Slice("ope:" + schema_.columns[col_idx].name)),
+        bits);
+  }
+  return ope_[col_idx].get();
+}
+
+Status EncryptedDas::Insert(const std::vector<std::vector<Value>>& rows) {
+  Buffer req;
+  req.PutU8(static_cast<uint8_t>(EncMsg::kInsert));
+  req.PutVarint(rows.size());
+  for (const auto& row : rows) {
+    SSDB_RETURN_IF_ERROR(schema_.ValidateRow(row));
+    const uint64_t row_id = next_row_id_++;
+    req.PutU64(row_id);
+    for (size_t c = 0; c < schema_.columns.size(); ++c) {
+      const ColumnSpec& col = schema_.columns[c];
+      SSDB_ASSIGN_OR_RETURN(int64_t code, col.EncodeToCode(row[c]));
+      req.PutU64(EqBucket(col, code));
+      u128 range_key = 0;
+      if (options_.range_index == EncIndexKind::kOpe) {
+        SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+        SSDB_ASSIGN_OR_RETURN(OrderPreservingEncryption * ope, GetOpe(c));
+        const uint64_t w = static_cast<uint64_t>(code) -
+                           static_cast<uint64_t>(dom.lo);
+        SSDB_ASSIGN_OR_RETURN(range_key, ope->Encrypt(w));
+      } else {
+        SSDB_ASSIGN_OR_RETURN(uint64_t bucket, RangeBucket(col, code));
+        range_key = bucket;
+      }
+      req.PutU128(range_key);
+    }
+    SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, EncryptRow(row_id, row));
+    ++stats_.tuples_encrypted;
+    req.PutLengthPrefixed(Slice(blob));
+  }
+  SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> resp,
+                        network_.Call(server_index_, req.AsSlice()));
+  Decoder dec{Slice(resp)};
+  uint8_t code = 0;
+  SSDB_RETURN_IF_ERROR(dec.GetU8(&code));
+  if (code != 0) return Status::Internal("enc das: insert failed");
+  return Status::OK();
+}
+
+Result<QueryResult> EncryptedDas::RoundTrip(const Buffer& request,
+                                            size_t col_idx, int64_t lo_code,
+                                            int64_t hi_code) {
+  SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> resp,
+                        network_.Call(server_index_, request.AsSlice()));
+  Decoder dec{Slice(resp)};
+  uint8_t code = 0;
+  SSDB_RETURN_IF_ERROR(dec.GetU8(&code));
+  if (code != 0) return Status::Internal("enc das: query failed");
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec.GetVarint(&n));
+  QueryResult out;
+  const ColumnSpec& col = schema_.columns[col_idx];
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t row_id = 0;
+    Slice blob;
+    SSDB_RETURN_IF_ERROR(dec.GetU64(&row_id));
+    SSDB_RETURN_IF_ERROR(dec.GetLengthPrefixed(&blob));
+    SSDB_ASSIGN_OR_RETURN(std::vector<Value> row, DecryptRow(row_id, blob));
+    ++stats_.tuples_decrypted;
+    SSDB_ASSIGN_OR_RETURN(int64_t c, col.EncodeToCode(row[col_idx]));
+    if (c < lo_code || c > hi_code) {
+      ++stats_.false_positives;
+      continue;
+    }
+    out.row_ids.push_back(row_id);
+    out.rows.push_back(std::move(row));
+  }
+  out.count = out.rows.size();
+  return out;
+}
+
+Result<QueryResult> EncryptedDas::ExecuteExact(const std::string& column,
+                                               const Value& v) {
+  SSDB_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(column));
+  const ColumnSpec& col = schema_.columns[idx];
+  SSDB_ASSIGN_OR_RETURN(int64_t code, col.EncodeToCode(v));
+  Buffer req;
+  req.PutU8(static_cast<uint8_t>(EncMsg::kQueryEq));
+  req.PutU32(static_cast<uint32_t>(idx));
+  req.PutU64(EqBucket(col, code));
+  return RoundTrip(req, idx, code, code);
+}
+
+Result<QueryResult> EncryptedDas::ExecuteRange(const std::string& column,
+                                               const Value& lo,
+                                               const Value& hi) {
+  SSDB_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(column));
+  const ColumnSpec& col = schema_.columns[idx];
+  SSDB_ASSIGN_OR_RETURN(int64_t lo_code, col.EncodeToCode(lo));
+  SSDB_ASSIGN_OR_RETURN(int64_t hi_code, col.EncodeToCode(hi));
+  if (lo_code > hi_code) return QueryResult();
+
+  Buffer req;
+  req.PutU8(static_cast<uint8_t>(EncMsg::kQueryRange));
+  req.PutU32(static_cast<uint32_t>(idx));
+  if (options_.range_index == EncIndexKind::kOpe) {
+    SSDB_ASSIGN_OR_RETURN(OrderPreservingEncryption * ope, GetOpe(idx));
+    SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+    const uint64_t wlo = static_cast<uint64_t>(lo_code) -
+                         static_cast<uint64_t>(dom.lo);
+    const uint64_t whi = static_cast<uint64_t>(hi_code) -
+                         static_cast<uint64_t>(dom.lo);
+    SSDB_ASSIGN_OR_RETURN(u128 clo, ope->Encrypt(wlo));
+    SSDB_ASSIGN_OR_RETURN(u128 chi, ope->Encrypt(whi));
+    req.PutU128(clo);
+    req.PutU128(chi);
+  } else {
+    SSDB_ASSIGN_OR_RETURN(uint64_t blo, RangeBucket(col, lo_code));
+    SSDB_ASSIGN_OR_RETURN(uint64_t bhi, RangeBucket(col, hi_code));
+    req.PutU128(blo);
+    req.PutU128(bhi);
+  }
+  return RoundTrip(req, idx, lo_code, hi_code);
+}
+
+Result<int64_t> EncryptedDas::Sum(const std::string& sum_column,
+                                  const std::string& where_column,
+                                  const Value& lo, const Value& hi) {
+  SSDB_ASSIGN_OR_RETURN(size_t sum_idx, schema_.ColumnIndex(sum_column));
+  SSDB_ASSIGN_OR_RETURN(QueryResult matched,
+                        ExecuteRange(where_column, lo, hi));
+  int64_t sum = 0;
+  for (const auto& row : matched.rows) {
+    if (!row[sum_idx].is_int()) {
+      return Status::InvalidArgument("enc das: SUM over non-integer column");
+    }
+    sum += row[sum_idx].AsInt();
+  }
+  return sum;
+}
+
+Result<QueryResult> EncryptedDas::FetchAllAndFilter(const std::string& column,
+                                                    const Value& lo,
+                                                    const Value& hi) {
+  SSDB_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(column));
+  const ColumnSpec& col = schema_.columns[idx];
+  SSDB_ASSIGN_OR_RETURN(int64_t lo_code, col.EncodeToCode(lo));
+  SSDB_ASSIGN_OR_RETURN(int64_t hi_code, col.EncodeToCode(hi));
+  Buffer req;
+  req.PutU8(static_cast<uint8_t>(EncMsg::kFetchAll));
+  return RoundTrip(req, idx, lo_code, hi_code);
+}
+
+}  // namespace ssdb

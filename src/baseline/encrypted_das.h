@@ -1,0 +1,128 @@
+// Encryption-based database-as-a-service baseline (Section II.A).
+//
+// This is the model the paper argues against: the NetDB2 / Hacigumus et
+// al. design where tuples are encrypted client-side and the server only
+// sees ciphertext plus coarse filtering metadata. Three server-side
+// filtering strategies are provided:
+//
+//   * kBucketEquality  — a keyed hash of the value modulo B buckets; exact
+//     match retrieves one bucket (a superset with false positives).
+//   * kBucketRange     — the domain is cut into B contiguous buckets
+//     (Hore et al. [2]); a range retrieves every overlapping bucket.
+//   * kOpe             — order-preserving encryption of the value
+//     (Agrawal et al. [3]); ranges filter exactly, at the security cost
+//     the paper cites from [5].
+//
+// The server cannot aggregate: SUM/AVG/MIN/MAX are computed client-side
+// after decrypting the (super)set — this asymmetry versus provider-side
+// share aggregation is exactly experiment E4's subject. The same class
+// doubles as the "trivial transfer" baseline via FetchAll().
+
+#ifndef SSDB_BASELINE_ENCRYPTED_DAS_H_
+#define SSDB_BASELINE_ENCRYPTED_DAS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/query.h"
+#include "codec/schema.h"
+#include "crypto/aes.h"
+#include "crypto/ope.h"
+#include "crypto/prf.h"
+#include "net/network.h"
+
+namespace ssdb {
+
+enum class EncIndexKind : uint8_t {
+  kBucketEquality = 0,
+  kBucketRange = 1,
+  kOpe = 2,
+};
+
+struct EncryptedDasOptions {
+  /// Buckets per indexed column (the privacy/performance dial of §II.A).
+  size_t buckets = 64;
+  /// Range strategy: bucketization or order-preserving encryption.
+  EncIndexKind range_index = EncIndexKind::kBucketRange;
+  std::string master_key = "ssdb-enc-baseline-key";
+  NetworkCostModel network;
+};
+
+/// Client-side work counters for the cost comparison.
+struct EncClientStats {
+  uint64_t tuples_encrypted = 0;
+  uint64_t tuples_decrypted = 0;     ///< Includes false positives.
+  uint64_t false_positives = 0;      ///< Decrypted then discarded.
+};
+
+/// \brief Encrypted-DAS client + single encrypted server behind a
+/// simulated network.
+class EncryptedDas {
+ public:
+  static Result<std::unique_ptr<EncryptedDas>> Create(
+      TableSchema schema, EncryptedDasOptions options);
+
+  Status Insert(const std::vector<std::vector<Value>>& rows);
+
+  /// Exact-match via the equality bucket index; decrypts and post-filters
+  /// client-side.
+  Result<QueryResult> ExecuteExact(const std::string& column, const Value& v);
+
+  /// Range query via the configured range strategy.
+  Result<QueryResult> ExecuteRange(const std::string& column, const Value& lo,
+                                   const Value& hi);
+
+  /// SUM over a range predicate: ships the superset, decrypts, filters,
+  /// sums at the client (no server-side aggregation over ciphertext).
+  Result<int64_t> Sum(const std::string& sum_column,
+                      const std::string& where_column, const Value& lo,
+                      const Value& hi);
+
+  /// The trivial protocol: download every ciphertext and filter locally.
+  Result<QueryResult> FetchAllAndFilter(const std::string& column,
+                                        const Value& lo, const Value& hi);
+
+  const EncClientStats& stats() const { return stats_; }
+  ChannelStats network_stats() const { return network_.TotalStats(); }
+  uint64_t simulated_time_us() { return network_.clock().now_us(); }
+  void ResetStats() {
+    stats_ = EncClientStats();
+    network_.ResetStats();
+  }
+  size_t num_rows() const { return next_row_id_ - 1; }
+
+ private:
+  class Server;
+
+  EncryptedDas(TableSchema schema, EncryptedDasOptions options);
+
+  Result<std::vector<uint8_t>> EncryptRow(uint64_t row_id,
+                                          const std::vector<Value>& row) const;
+  Result<std::vector<Value>> DecryptRow(uint64_t row_id,
+                                        Slice blob) const;
+  uint64_t EqBucket(const ColumnSpec& col, int64_t code) const;
+  Result<uint64_t> RangeBucket(const ColumnSpec& col, int64_t code) const;
+  Result<OrderPreservingEncryption*> GetOpe(size_t col_idx);
+
+  /// Ships the given request, decrypts the returned blobs, post-filters
+  /// with [lo_code, hi_code] on `col_idx`.
+  Result<QueryResult> RoundTrip(const Buffer& request, size_t col_idx,
+                                int64_t lo_code, int64_t hi_code);
+
+  TableSchema schema_;
+  EncryptedDasOptions options_;
+  Prf index_prf_;
+  Aes128::Key data_key_;
+  Network network_;
+  size_t server_index_ = 0;
+  uint64_t next_row_id_ = 1;
+  EncClientStats stats_;
+  /// Per-column OPE instances (plain_bits depends on each column's domain).
+  std::vector<std::unique_ptr<OrderPreservingEncryption>> ope_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_BASELINE_ENCRYPTED_DAS_H_

@@ -1,0 +1,1616 @@
+#include "client/client.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "field/poly.h"
+
+namespace ssdb {
+
+namespace {
+
+/// Signature of a response payload, used to majority-group providers that
+/// agree on a result set.
+uint64_t PayloadSignature(const std::vector<uint8_t>& bytes) {
+  return Fnv1a64(Slice(bytes));
+}
+
+/// Tries to reconstruct from all shares; on inconsistency, retries with
+/// each single provider excluded (recovers from one corrupt provider when
+/// the remaining shares still self-validate, i.e. >= k+1 of them).
+Result<Fp61> RobustFieldReconstruct(const SharingContext& ctx,
+                                    const std::vector<IndexedShare>& shares) {
+  Result<Fp61> direct = ctx.Reconstruct(shares);
+  if (direct.ok() || !direct.status().IsCorruption()) return direct;
+  if (shares.size() < ctx.k() + 2) return direct;  // cannot localize
+  for (size_t excluded = 0; excluded < shares.size(); ++excluded) {
+    std::vector<IndexedShare> subset;
+    subset.reserve(shares.size() - 1);
+    for (size_t i = 0; i < shares.size(); ++i) {
+      if (i != excluded) subset.push_back(shares[i]);
+    }
+    Result<Fp61> retry = ctx.Reconstruct(subset);
+    if (retry.ok()) return retry;
+  }
+  return direct;
+}
+
+}  // namespace
+
+DataSourceClient::DataSourceClient(Network* network,
+                                   std::vector<size_t> providers,
+                                   ClientOptions options, SharingContext ctx,
+                                   std::vector<uint32_t> op_xs)
+    : network_(network),
+      providers_(std::move(providers)),
+      options_(std::move(options)),
+      ctx_(std::move(ctx)),
+      op_xs_(std::move(op_xs)),
+      rng_(options_.rng_seed),
+      prf_det_(Prf::Derive(Slice(options_.master_key), Slice("det"))),
+      prf_tag_(Prf::Derive(Slice(options_.master_key), Slice("tag"))),
+      prf_op_master_(Prf::Derive(Slice(options_.master_key), Slice("op"))) {}
+
+Result<std::unique_ptr<DataSourceClient>> DataSourceClient::Create(
+    Network* network, std::vector<size_t> providers, ClientOptions options) {
+  const size_t n = providers.size();
+  if (network == nullptr) {
+    return Status::InvalidArgument("client: null network");
+  }
+  if (n == 0 || options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("client: require 1 <= k <= n, n > 0");
+  }
+  if (n > 255) {
+    return Status::InvalidArgument(
+        "client: at most 255 providers (order-preserving x points)");
+  }
+  for (size_t p : providers) {
+    if (p >= network->num_providers()) {
+      return Status::InvalidArgument("client: provider index out of range");
+    }
+  }
+
+  // Secret evaluation points X for the field sharing, derived from the
+  // master key (the "secret information X, known only to the data
+  // source" of §III).
+  const Prf xprf = Prf::Derive(Slice(options.master_key), Slice("X"));
+  std::vector<Fp61> xs;
+  uint64_t tweak = 0;
+  while (xs.size() < n) {
+    const Fp61 cand =
+        Fp61::FromCanonical(xprf.EvalUniform(xs.size(), tweak++,
+                                             Fp61::kP - 1) +
+                            1);
+    if (std::find(xs.begin(), xs.end(), cand) == xs.end()) xs.push_back(cand);
+  }
+  SSDB_ASSIGN_OR_RETURN(SharingContext ctx,
+                        SharingContext::Create(n, options.k, std::move(xs)));
+
+  // Small distinct evaluation points for the order-preserving polynomials.
+  std::vector<uint32_t> pool(OrderPreservingScheme::kMaxX);
+  for (uint32_t i = 0; i < pool.size(); ++i) pool[i] = i + 1;
+  Rng xrng(xprf.Eval64(0xFEED, 0));
+  xrng.Shuffle(&pool);
+  std::vector<uint32_t> op_xs(pool.begin(), pool.begin() + static_cast<long>(n));
+
+  return std::unique_ptr<DataSourceClient>(
+      new DataSourceClient(network, std::move(providers), std::move(options),
+                           std::move(ctx), std::move(op_xs)));
+}
+
+// --- Share construction ------------------------------------------------------
+
+Result<OrderPreservingScheme*> DataSourceClient::GetOpScheme(
+    const ColumnSpec& column) {
+  const uint64_t tag = column.DomainTag();
+  auto it = op_schemes_.find(tag);
+  if (it != op_schemes_.end()) return it->second.get();
+
+  if (options_.k < 2) {
+    return Status::InvalidArgument(
+        "client: order-preserving shares need k >= 2");
+  }
+  SSDB_ASSIGN_OR_RETURN(OpDomain domain, column.CodeDomain());
+  const int degree = static_cast<int>(std::min<size_t>(options_.k - 1, 3));
+  const Prf dom_prf(prf_op_master_.Eval64(tag, 1),
+                    prf_op_master_.Eval64(tag, 2));
+  SSDB_ASSIGN_OR_RETURN(
+      OrderPreservingScheme scheme,
+      OrderPreservingScheme::Create(dom_prf, domain, degree, op_xs_,
+                                    options_.op_mode));
+  auto owned = std::make_unique<OrderPreservingScheme>(std::move(scheme));
+  OrderPreservingScheme* raw = owned.get();
+  op_schemes_.emplace(tag, std::move(owned));
+  return raw;
+}
+
+uint64_t DataSourceClient::RowTag(uint32_t table_id, uint64_t row_id,
+                                  const std::vector<int64_t>& codes) const {
+  Buffer buf;
+  buf.PutU32(table_id);
+  buf.PutU64(row_id);
+  for (int64_t c : codes) buf.PutI64(c);
+  return prf_tag_.EvalBytes(buf.AsSlice());
+}
+
+Result<std::vector<StoredRow>> DataSourceClient::BuildShareRows(
+    TableInfo* info, uint64_t row_id, const std::vector<Value>& row) {
+  const TableSchema& schema = info->schema;
+  SSDB_RETURN_IF_ERROR(schema.ValidateRow(row));
+
+  const size_t num_providers = providers_.size();
+  std::vector<StoredRow> out(num_providers);
+  for (size_t p = 0; p < num_providers; ++p) {
+    out[p].row_id = row_id;
+    out[p].cells.resize(schema.columns.size());
+  }
+
+  std::vector<int64_t> codes(schema.columns.size());
+  for (size_t c = 0; c < schema.columns.size(); ++c) {
+    const ColumnSpec& col = schema.columns[c];
+    SSDB_ASSIGN_OR_RETURN(int64_t code, col.EncodeToCode(row[c]));
+    codes[c] = code;
+    SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+    const uint64_t w =
+        static_cast<uint64_t>(code) - static_cast<uint64_t>(dom.lo);
+    const Fp61 secret = Fp61::FromU64(w);
+
+    const std::vector<Fp61> random_shares = ctx_.Split(secret, &rng_);
+    for (size_t p = 0; p < num_providers; ++p) {
+      out[p].cells[c].secret = random_shares[p].value();
+    }
+    if (col.exact_match()) {
+      const std::vector<Fp61> det =
+          ctx_.SplitDeterministic(prf_det_, col.DomainTag(), secret);
+      for (size_t p = 0; p < num_providers; ++p) {
+        out[p].cells[c].det = det[p].value();
+      }
+    }
+    if (col.range()) {
+      SSDB_ASSIGN_OR_RETURN(OrderPreservingScheme * scheme, GetOpScheme(col));
+      SSDB_ASSIGN_OR_RETURN(std::vector<u128> op, scheme->ShareAll(code));
+      for (size_t p = 0; p < num_providers; ++p) {
+        out[p].cells[c].op = op[p];
+      }
+    }
+  }
+
+  const uint64_t tag = RowTag(info->id, row_id, codes);
+  for (size_t p = 0; p < num_providers; ++p) out[p].tag = tag;
+  return out;
+}
+
+// --- Transport ----------------------------------------------------------------
+
+Result<std::vector<DataSourceClient::ProviderResponse>>
+DataSourceClient::CallQuorum(const std::vector<Buffer>& requests,
+                             size_t desired, size_t minimum) {
+  if (minimum == 0) minimum = desired;
+  std::vector<ProviderResponse> ok;
+  // Phase 1: parallel fan-out to the first `desired` providers.
+  std::vector<size_t> first(providers_.begin(),
+                            providers_.begin() + static_cast<long>(desired));
+  std::vector<Buffer> first_reqs;
+  for (size_t i = 0; i < desired; ++i) {
+    Buffer b;
+    b.Append(requests[i].AsSlice());
+    first_reqs.push_back(std::move(b));
+  }
+  Network::FanOutResult fan = network_->CallManyDistinct(first, first_reqs);
+  for (size_t i = 0; i < desired; ++i) {
+    if (fan.responses[i].ok()) {
+      ok.push_back(ProviderResponse{i, std::move(*fan.responses[i])});
+    }
+  }
+  // Phase 2: sequential replacements for failed legs.
+  size_t next = desired;
+  while (ok.size() < desired && next < providers_.size()) {
+    auto r = network_->Call(providers_[next], requests[next].AsSlice());
+    if (r.ok()) {
+      ok.push_back(ProviderResponse{next, std::move(*r)});
+    }
+    ++next;
+  }
+  if (ok.size() < minimum) {
+    return Status::Unavailable(
+        "client: fewer than the required providers responded (" +
+        std::to_string(ok.size()) + "/" + std::to_string(minimum) + ")");
+  }
+  return ok;
+}
+
+Status DataSourceClient::CallAll(const std::vector<Buffer>& requests) {
+  Network::FanOutResult fan =
+      network_->CallManyDistinct(providers_, requests);
+  for (size_t i = 0; i < fan.responses.size(); ++i) {
+    if (!fan.responses[i].ok()) return fan.responses[i].status();
+    Decoder dec(Slice(*fan.responses[i]));
+    SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&dec));
+  }
+  return Status::OK();
+}
+
+Status DataSourceClient::CallAllSame(const Buffer& request) {
+  std::vector<Buffer> requests(providers_.size());
+  for (auto& b : requests) b.Append(request.AsSlice());
+  return CallAll(requests);
+}
+
+// --- Schema & data -------------------------------------------------------------
+
+Status DataSourceClient::CreateTable(TableSchema schema) {
+  // Qualify default domain names with the table name: two tables may both
+  // have a "salary" column with different domains, and they must not
+  // collide in the per-domain sharing schemes. Cross-table joins require
+  // an explicitly shared domain_name (the paper's per-domain polynomials).
+  for (ColumnSpec& col : schema.columns) {
+    if (col.domain_name.empty()) {
+      col.domain_name = schema.table_name + "." + col.name;
+    }
+  }
+  SSDB_RETURN_IF_ERROR(schema.Validate());
+  if (tables_.count(schema.table_name) != 0) {
+    return Status::AlreadyExists("client: table '" + schema.table_name +
+                                 "' already registered");
+  }
+  for (const ColumnSpec& col : schema.columns) {
+    if (col.range() && options_.k < 2) {
+      return Status::InvalidArgument(
+          "client: range column '" + col.name + "' requires k >= 2");
+    }
+    // Columns sharing a domain across tables must agree on the domain.
+    SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+    for (const auto& [other_name, other] : tables_) {
+      for (const ColumnSpec& existing : other.schema.columns) {
+        if (existing.DomainTag() != col.DomainTag()) continue;
+        SSDB_ASSIGN_OR_RETURN(OpDomain other_dom, existing.CodeDomain());
+        if (other_dom.lo != dom.lo || other_dom.hi != dom.hi) {
+          return Status::InvalidArgument(
+              "client: column '" + col.name + "' shares domain '" +
+              col.domain_name + "' with '" + other_name + "." +
+              existing.name + "' but declares a different code domain");
+        }
+      }
+    }
+  }
+
+  TableInfo info;
+  info.id = next_table_id_++;
+  info.layout = ProviderLayout(schema);
+  info.schema = std::move(schema);
+
+  Buffer req;
+  EncodeCreateTable(info.id, info.layout, &req);
+  SSDB_RETURN_IF_ERROR(CallAllSame(req));
+  const std::string name = info.schema.table_name;
+  tables_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+Result<const TableSchema*> DataSourceClient::GetSchema(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("client: unknown table '" + table + "'");
+  }
+  return &it->second.schema;
+}
+
+Status DataSourceClient::Insert(const std::string& table,
+                                const std::vector<std::vector<Value>>& rows) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("client: unknown table '" + table + "'");
+  }
+  TableInfo& info = it->second;
+
+  if (options_.lazy_updates) {
+    for (const auto& row : rows) {
+      SSDB_RETURN_IF_ERROR(info.schema.ValidateRow(row));
+      LazyOp op;
+      op.kind = LazyOp::Kind::kInsert;
+      op.table = table;
+      op.row_id = info.next_row_id++;
+      op.row = row;
+      SSDB_RETURN_IF_ERROR(AppendLazy(std::move(op)));
+    }
+    return Status::OK();
+  }
+
+  // Eager: one batched insert message per provider.
+  std::vector<std::vector<StoredRow>> per_provider(providers_.size());
+  for (const auto& row : rows) {
+    const uint64_t row_id = info.next_row_id++;
+    SSDB_ASSIGN_OR_RETURN(std::vector<StoredRow> shares,
+                          BuildShareRows(&info, row_id, row));
+    for (size_t p = 0; p < providers_.size(); ++p) {
+      per_provider[p].push_back(std::move(shares[p]));
+    }
+  }
+  std::vector<Buffer> requests(providers_.size());
+  for (size_t p = 0; p < providers_.size(); ++p) {
+    EncodeInsertRows(info.id, info.layout, per_provider[p], &requests[p]);
+  }
+  return CallAll(requests);
+}
+
+// --- Query rewriting (§V.A) -----------------------------------------------------
+
+Result<SharePredicate> DataSourceClient::RewritePredicate(
+    const TableInfo& info, const Predicate& pred, size_t provider,
+    bool* always_empty) {
+  SSDB_ASSIGN_OR_RETURN(size_t col_idx,
+                        info.schema.ColumnIndex(pred.column));
+  const ColumnSpec& col = info.schema.columns[col_idx];
+  SharePredicate out;
+  out.column = static_cast<uint32_t>(col_idx);
+
+  switch (pred.kind) {
+    case Predicate::Kind::kEq: {
+      if (!col.exact_match()) {
+        return Status::NotSupported("client: column '" + col.name +
+                                    "' was not declared kCapExactMatch");
+      }
+      auto code = col.EncodeToCode(pred.eq);
+      if (code.status().IsOutOfRange()) {
+        *always_empty = true;  // a value outside the domain matches nothing
+        return out;
+      }
+      SSDB_RETURN_IF_ERROR(code.status());
+      SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+      const uint64_t w = static_cast<uint64_t>(*code) -
+                         static_cast<uint64_t>(dom.lo);
+      out.kind = PredicateKind::kExactDet;
+      out.det_share = ctx_.DeterministicShareFor(prf_det_, col.DomainTag(),
+                                                 Fp61::FromU64(w), provider)
+                          .value();
+      return out;
+    }
+    case Predicate::Kind::kBetween: {
+      if (!col.range()) {
+        return Status::NotSupported("client: column '" + col.name +
+                                    "' was not declared kCapRange");
+      }
+      SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+      int64_t lo_code = 0, hi_code = 0;
+      if (col.type == ValueType::kInt64) {
+        if (!pred.lo.is_int() || !pred.hi.is_int()) {
+          return Status::InvalidArgument(
+              "client: BETWEEN bounds must match the column type");
+        }
+        lo_code = std::max(pred.lo.AsInt(), dom.lo);
+        hi_code = std::min(pred.hi.AsInt(), dom.hi);
+      } else {
+        if (!pred.lo.is_string() || !pred.hi.is_string()) {
+          return Status::InvalidArgument(
+              "client: BETWEEN bounds must match the column type");
+        }
+        SSDB_ASSIGN_OR_RETURN(String27 codec,
+                              String27::Create(col.string_width));
+        SSDB_ASSIGN_OR_RETURN(
+            OpDomain lex, codec.LexRange(pred.lo.AsString(),
+                                         pred.hi.AsString()));
+        lo_code = lex.lo;
+        hi_code = lex.hi;
+      }
+      if (lo_code > hi_code) {
+        *always_empty = true;
+        return out;
+      }
+      SSDB_ASSIGN_OR_RETURN(OrderPreservingScheme * scheme, GetOpScheme(col));
+      out.kind = PredicateKind::kRangeOp;
+      SSDB_ASSIGN_OR_RETURN(out.op_lo, scheme->Share(lo_code, provider));
+      SSDB_ASSIGN_OR_RETURN(out.op_hi, scheme->Share(hi_code, provider));
+      return out;
+    }
+    case Predicate::Kind::kPrefix: {
+      if (col.type != ValueType::kString) {
+        return Status::InvalidArgument(
+            "client: prefix predicate needs a string column");
+      }
+      if (!col.range()) {
+        return Status::NotSupported("client: column '" + col.name +
+                                    "' was not declared kCapRange");
+      }
+      SSDB_ASSIGN_OR_RETURN(String27 codec, String27::Create(col.string_width));
+      SSDB_ASSIGN_OR_RETURN(OpDomain range, codec.PrefixRange(pred.prefix));
+      SSDB_ASSIGN_OR_RETURN(OrderPreservingScheme * scheme, GetOpScheme(col));
+      out.kind = PredicateKind::kRangeOp;
+      SSDB_ASSIGN_OR_RETURN(out.op_lo, scheme->Share(range.lo, provider));
+      SSDB_ASSIGN_OR_RETURN(out.op_hi, scheme->Share(range.hi, provider));
+      return out;
+    }
+  }
+  return Status::Internal("client: unhandled predicate kind");
+}
+
+// --- Reconstruction -------------------------------------------------------------
+
+Result<Value> DataSourceClient::ReconstructColumn(
+    const ColumnSpec& column, const std::vector<IndexedShare>& shares,
+    int64_t* code_out) const {
+  SSDB_ASSIGN_OR_RETURN(Fp61 w, RobustFieldReconstruct(ctx_, shares));
+  SSDB_ASSIGN_OR_RETURN(OpDomain dom, column.CodeDomain());
+  if (static_cast<u128>(w.value()) >= dom.size()) {
+    return Status::Corruption("client: reconstructed offset outside domain");
+  }
+  const int64_t code = dom.lo + static_cast<int64_t>(w.value());
+  if (code_out != nullptr) *code_out = code;
+  return column.DecodeFromCode(code);
+}
+
+Result<std::vector<std::vector<Value>>> DataSourceClient::ReconstructRows(
+    const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
+    bool full_row,
+    const std::vector<std::pair<size_t, StoredRow>>& provider_rows,
+    uint64_t row_id) const {
+  (void)row_id;
+  std::vector<Value> row(columns.size());
+  std::vector<int64_t> codes(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::vector<IndexedShare> shares;
+    shares.reserve(provider_rows.size());
+    for (const auto& [p, srow] : provider_rows) {
+      shares.push_back(
+          IndexedShare{p, Fp61::FromCanonical(srow.cells[c].secret)});
+    }
+    SSDB_ASSIGN_OR_RETURN(row[c],
+                          ReconstructColumn(*columns[c], shares, &codes[c]));
+  }
+  // Tags cover every column, so they can only be checked on full rows.
+  if (options_.verify_tags && full_row) {
+    const uint64_t expect =
+        RowTag(info.id, provider_rows.front().second.row_id, codes);
+    size_t matches = 0;
+    for (const auto& [p, srow] : provider_rows) {
+      if (srow.tag == expect) ++matches;
+    }
+    if (matches * 2 <= provider_rows.size()) {
+      return Status::Corruption("client: row integrity tag mismatch");
+    }
+  }
+  return std::vector<std::vector<Value>>{std::move(row)};
+}
+
+// --- Query execution -------------------------------------------------------------
+
+Status DataSourceClient::ResolveTableAndPreds(const Query& query,
+                                              TableInfo** info,
+                                              QueryAction* action,
+                                              uint32_t* target_column) {
+  auto it = tables_.find(query.table());
+  if (it == tables_.end()) {
+    return Status::NotFound("client: unknown table '" + query.table() + "'");
+  }
+  *info = &it->second;
+
+  *target_column = 0;
+  const bool grouped = !query.group_by().empty();
+  if (grouped) {
+    if (query.aggregate() != AggregateOp::kSum &&
+        query.aggregate() != AggregateOp::kAvg &&
+        query.aggregate() != AggregateOp::kCount) {
+      return Status::NotSupported(
+          "client: GROUP BY supports SUM/AVG/COUNT only");
+    }
+    SSDB_ASSIGN_OR_RETURN(size_t gidx,
+                          (*info)->schema.ColumnIndex(query.group_by()));
+    if (!(*info)->schema.columns[gidx].exact_match()) {
+      return Status::NotSupported(
+          "client: GROUP BY column must be declared kCapExactMatch");
+    }
+    *action = QueryAction::kGroupedSum;
+    // For COUNT the summed column is irrelevant; reuse the group column.
+    const std::string& target = query.aggregate() == AggregateOp::kCount
+                                    ? query.group_by()
+                                    : query.aggregate_column();
+    SSDB_ASSIGN_OR_RETURN(size_t tidx, (*info)->schema.ColumnIndex(target));
+    *target_column = static_cast<uint32_t>(tidx);
+    return Status::OK();
+  }
+  switch (query.aggregate()) {
+    case AggregateOp::kNone:
+      *action = QueryAction::kFetchRows;
+      return Status::OK();
+    case AggregateOp::kCount:
+      *action = QueryAction::kCount;
+      return Status::OK();
+    case AggregateOp::kSum:
+    case AggregateOp::kAvg:
+      *action = QueryAction::kPartialSum;
+      break;
+    case AggregateOp::kMin:
+      *action = QueryAction::kArgMin;
+      break;
+    case AggregateOp::kMax:
+      *action = QueryAction::kArgMax;
+      break;
+    case AggregateOp::kMedian:
+      *action = QueryAction::kMedian;
+      break;
+  }
+  SSDB_ASSIGN_OR_RETURN(
+      size_t idx, (*info)->schema.ColumnIndex(query.aggregate_column()));
+  const ColumnSpec& col = (*info)->schema.columns[idx];
+  if ((*action == QueryAction::kArgMin || *action == QueryAction::kArgMax ||
+       *action == QueryAction::kMedian) &&
+      !col.range()) {
+    return Status::NotSupported(
+        "client: MIN/MAX/MEDIAN need kCapRange on the aggregate column");
+  }
+  *target_column = static_cast<uint32_t>(idx);
+  return Status::OK();
+}
+
+Result<QueryResult> DataSourceClient::Execute(const Query& query) {
+  ++stats_.queries;
+  // Aggregates cannot be merged with a pending client-side log; flush first.
+  if (!lazy_log_.empty() && query.aggregate() != AggregateOp::kNone) {
+    SSDB_RETURN_IF_ERROR(Flush());
+  }
+  if (!query.disjuncts().empty()) {
+    return ExecuteDisjuncts(query);
+  }
+
+  // Row responses are protected by integrity tags; scalar aggregate
+  // responses (PartialSum / GroupedSum / Count) are not, and a bare
+  // k-share reconstruction has zero redundancy — a single corrupted share
+  // would be silently accepted as a different polynomial. Querying one
+  // extra provider (when available) lets the consistency check catch it.
+  size_t quorum = options_.k;
+  if (query.aggregate() == AggregateOp::kSum ||
+      query.aggregate() == AggregateOp::kAvg ||
+      query.aggregate() == AggregateOp::kCount) {
+    quorum = std::min(providers_.size(), options_.k + 1);
+  }
+
+  Result<QueryResult> first = ExecuteEager(query, quorum);
+  if (first.ok() || !first.status().IsCorruption() ||
+      options_.k == providers_.size()) {
+    if (first.ok()) {
+      TableInfo* info = nullptr;
+      QueryAction action;
+      uint32_t target;
+      SSDB_RETURN_IF_ERROR(ResolveTableAndPreds(query, &info, &action, &target));
+      SSDB_RETURN_IF_ERROR(ApplyLazyToResult(*info, query, &first.value()));
+    }
+    return first;
+  }
+  // A corrupt or inconsistent quorum: retry once against every provider,
+  // letting the consistency checks localize the bad one.
+  ++stats_.corruption_retries;
+  Result<QueryResult> retry = ExecuteEager(query, providers_.size());
+  if (retry.ok()) {
+    TableInfo* info = nullptr;
+    QueryAction action;
+    uint32_t target;
+    SSDB_RETURN_IF_ERROR(ResolveTableAndPreds(query, &info, &action, &target));
+    SSDB_RETURN_IF_ERROR(ApplyLazyToResult(*info, query, &retry.value()));
+  }
+  return retry;
+}
+
+Result<std::string> DataSourceClient::Explain(const Query& query) {
+  TableInfo* info = nullptr;
+  QueryAction action;
+  uint32_t target_column = 0;
+  SSDB_RETURN_IF_ERROR(
+      ResolveTableAndPreds(query, &info, &action, &target_column));
+
+  std::string out = "Query on '" + query.table() + "' (table id " +
+                    std::to_string(info->id) + ")\n";
+  auto describe = [&](const Predicate& pred) -> Result<std::string> {
+    SSDB_ASSIGN_OR_RETURN(size_t idx, info->schema.ColumnIndex(pred.column));
+    const ColumnSpec& col = info->schema.columns[idx];
+    switch (pred.kind) {
+      case Predicate::Kind::kEq:
+        return "  " + pred.column + " = " + pred.eq.ToString() +
+               "  -> provider equality on deterministic shares (column " +
+               std::to_string(idx) + ")\n";
+      case Predicate::Kind::kBetween: {
+        const int degree =
+            static_cast<int>(std::min<size_t>(options_.k - 1, 3));
+        return "  " + pred.column + " BETWEEN " + pred.lo.ToString() +
+               " AND " + pred.hi.ToString() +
+               "  -> provider range scan on order-preserving shares "
+               "(column " +
+               std::to_string(idx) + ", degree-" + std::to_string(degree) +
+               " polynomials, " +
+               (options_.op_mode == OpSlotMode::kPaperSlots
+                    ? "paper slots"
+                    : "recursive coefficients") +
+               ")\n";
+      }
+      case Predicate::Kind::kPrefix: {
+        SSDB_ASSIGN_OR_RETURN(String27 codec,
+                              String27::Create(col.string_width));
+        SSDB_ASSIGN_OR_RETURN(OpDomain range, codec.PrefixRange(pred.prefix));
+        return "  " + pred.column + " LIKE '" + pred.prefix +
+               "%'  -> base-27 codes [" + std::to_string(range.lo) + ", " +
+               std::to_string(range.hi) +
+               "], provider range scan on order-preserving shares\n";
+      }
+    }
+    return Status::Internal("explain: unhandled predicate kind");
+  };
+  for (const Predicate& pred : query.predicates()) {
+    SSDB_ASSIGN_OR_RETURN(std::string line, describe(pred));
+    out += line;
+  }
+  for (const Predicate& pred : query.disjuncts()) {
+    SSDB_ASSIGN_OR_RETURN(std::string line, describe(pred));
+    out += "  [OR]" + line.substr(1);
+  }
+
+  static const char* kActionNames[] = {
+      "FetchRows",  "FetchRowIds", "Count",  "PartialSum(provider-side)",
+      "ArgMin",     "ArgMax",      "Median", "GroupedSum(provider-side)"};
+  out += "  action: ";
+  out += kActionNames[static_cast<int>(action)];
+  if (action != QueryAction::kFetchRows &&
+      action != QueryAction::kFetchRowIds && action != QueryAction::kCount) {
+    out += " on column " + std::to_string(target_column);
+  }
+  out += "\n";
+  if (!query.projection().empty()) {
+    out += "  projection:";
+    for (const std::string& c : query.projection()) out += " " + c;
+    out += " (pushed to providers; integrity tags unverifiable)\n";
+  }
+  out += "  read quorum: " + std::to_string(options_.k) + " of " +
+         std::to_string(providers_.size()) + " providers; writes fan out to " +
+         std::to_string(providers_.size()) + "\n";
+  return out;
+}
+
+Result<QueryResult> DataSourceClient::ExecuteDisjuncts(const Query& query) {
+  if (query.aggregate() != AggregateOp::kNone) {
+    return Status::NotSupported(
+        "client: disjunctive predicates only support row-fetching queries");
+  }
+  // One sub-query per disjunct (conjuncts are applied to each); results
+  // are unioned by row id.
+  std::map<uint64_t, std::vector<Value>> merged;
+  for (const Predicate& disjunct : query.disjuncts()) {
+    Query sub = Query::Select(query.table());
+    for (const Predicate& p : query.predicates()) sub.Where(p);
+    sub.Where(disjunct);
+    if (!query.projection().empty()) sub.Project(query.projection());
+    // Recurse through Execute so lazy merging applies per sub-query.
+    --stats_.queries;  // don't double-count the umbrella query
+    SSDB_ASSIGN_OR_RETURN(QueryResult part, Execute(sub));
+    for (size_t i = 0; i < part.rows.size(); ++i) {
+      merged.emplace(part.row_ids[i], std::move(part.rows[i]));
+    }
+  }
+  QueryResult out;
+  for (auto& [id, row] : merged) {
+    out.row_ids.push_back(id);
+    out.rows.push_back(std::move(row));
+  }
+  out.count = out.rows.size();
+  return out;
+}
+
+Result<QueryResult> DataSourceClient::ExecuteEager(const Query& query,
+                                                   size_t quorum) {
+  TableInfo* info = nullptr;
+  QueryAction action;
+  uint32_t target_column = 0;
+  SSDB_RETURN_IF_ERROR(
+      ResolveTableAndPreds(query, &info, &action, &target_column));
+
+  // Resolve GROUP BY and projection to column indices.
+  uint32_t group_column = 0;
+  if (action == QueryAction::kGroupedSum) {
+    SSDB_ASSIGN_OR_RETURN(size_t gidx,
+                          info->schema.ColumnIndex(query.group_by()));
+    group_column = static_cast<uint32_t>(gidx);
+  }
+  std::vector<uint32_t> projection;
+  std::vector<const ColumnSpec*> result_columns;
+  const bool full_row = query.projection().empty();
+  if (full_row) {
+    for (const ColumnSpec& col : info->schema.columns) {
+      result_columns.push_back(&col);
+    }
+  } else {
+    for (const std::string& name : query.projection()) {
+      SSDB_ASSIGN_OR_RETURN(size_t idx, info->schema.ColumnIndex(name));
+      projection.push_back(static_cast<uint32_t>(idx));
+      result_columns.push_back(&info->schema.columns[idx]);
+    }
+  }
+  std::vector<ProviderColumnLayout> response_layout;
+  if (full_row) {
+    response_layout = info->layout;
+  } else {
+    for (uint32_t idx : projection) {
+      response_layout.push_back(info->layout[idx]);
+    }
+  }
+
+  // Rewrite per provider.
+  std::vector<Buffer> requests(providers_.size());
+  bool always_empty = false;
+  for (size_t p = 0; p < providers_.size(); ++p) {
+    QueryRequest q;
+    q.table_id = info->id;
+    q.action = action;
+    q.target_column = target_column;
+    q.group_column = group_column;
+    q.projection = projection;
+    for (const Predicate& pred : query.predicates()) {
+      SSDB_ASSIGN_OR_RETURN(SharePredicate sp,
+                            RewritePredicate(*info, pred, p, &always_empty));
+      if (always_empty) break;
+      q.predicates.push_back(sp);
+    }
+    if (always_empty) break;
+    EncodeQuery(q, &requests[p]);
+  }
+  if (always_empty) {
+    return QueryResult();  // provably no matches; zero communication
+  }
+
+  SSDB_ASSIGN_OR_RETURN(std::vector<ProviderResponse> responses,
+                        CallQuorum(requests, quorum, options_.k));
+
+  // Majority-group identical payloads to tolerate corrupt responses.
+  std::unordered_map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    groups[PayloadSignature(responses[i].bytes)].push_back(i);
+  }
+  // Validate response headers first; providers that returned an in-band
+  // error are excluded from grouping by virtue of their distinct payload.
+
+  switch (action) {
+    case QueryAction::kCount: {
+      std::vector<size_t> best;
+      for (auto& [sig, members] : groups) {
+        if (members.size() > best.size()) best = members;
+      }
+      // Require a strict majority (or unanimity) of the responses; a
+      // split vote means someone is corrupt and triggers the wider retry.
+      if (best.size() != responses.size() &&
+          best.size() * 2 <= responses.size()) {
+        return Status::Corruption(
+            "client: providers disagree on the count");
+      }
+      const auto& r = responses[best.front()];
+      Decoder dec(Slice(r.bytes));
+      SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&dec));
+      QueryResult out;
+      SSDB_RETURN_IF_ERROR(DecodeCountResponse(&dec, &out.count));
+      out.aggregate_int = static_cast<int64_t>(out.count);
+      return out;
+    }
+    case QueryAction::kPartialSum: {
+      // Sum shares legitimately differ per provider; only counts must
+      // agree.
+      std::vector<IndexedShare> sum_shares;
+      std::vector<uint64_t> counts;
+      for (const auto& r : responses) {
+        Decoder dec(Slice(r.bytes));
+        Status st = DecodeResponseHeader(&dec);
+        if (!st.ok()) continue;
+        PartialAggregate agg;
+        if (!DecodeAggResponse(&dec, &agg).ok()) continue;
+        sum_shares.push_back(
+            IndexedShare{r.provider, Fp61::FromCanonical(agg.sum_share)});
+        counts.push_back(agg.count);
+      }
+      if (sum_shares.size() < options_.k) {
+        return Status::Unavailable("client: too few aggregate responses");
+      }
+      // Majority count.
+      std::sort(counts.begin(), counts.end());
+      const uint64_t count = counts[counts.size() / 2];
+      SSDB_ASSIGN_OR_RETURN(Fp61 sum_w,
+                            RobustFieldReconstruct(ctx_, sum_shares));
+      const TableInfo& ti = *info;
+      const ColumnSpec& col = ti.schema.columns[target_column];
+      SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+      QueryResult out;
+      out.count = count;
+      out.aggregate_int =
+          static_cast<int64_t>(sum_w.value()) +
+          static_cast<int64_t>(count) * dom.lo;
+      out.aggregate_double =
+          count == 0 ? 0.0
+                     : static_cast<double>(out.aggregate_int) /
+                           static_cast<double>(count);
+      return out;
+    }
+    case QueryAction::kGroupedSum: {
+      // Zip the per-provider group lists (ordered by representative row
+      // id at every provider) and reconstruct key + sum per group.
+      struct ParsedGroups {
+        size_t provider;
+        std::vector<GroupPartial> groups;
+      };
+      std::vector<ParsedGroups> parsed;
+      for (const auto& r : responses) {
+        Decoder dec(Slice(r.bytes));
+        Status st = DecodeResponseHeader(&dec);
+        if (!st.ok()) {
+          if (st.IsNotSupported() || st.IsInvalidArgument()) return st;
+          continue;
+        }
+        ParsedGroups p;
+        p.provider = r.provider;
+        if (!DecodeGroupedAggResponse(&dec, &p.groups).ok()) continue;
+        parsed.push_back(std::move(p));
+      }
+      if (parsed.size() < options_.k) {
+        return Status::Unavailable("client: too few grouped responses");
+      }
+      const size_t num_groups = parsed.front().groups.size();
+      for (const auto& p : parsed) {
+        if (p.groups.size() != num_groups) {
+          return Status::Corruption(
+              "client: providers disagree on the group count");
+        }
+      }
+      const ColumnSpec& key_col = info->schema.columns[group_column];
+      const ColumnSpec& sum_col = info->schema.columns[target_column];
+      SSDB_ASSIGN_OR_RETURN(OpDomain sum_dom, sum_col.CodeDomain());
+      QueryResult out;
+      for (size_t g = 0; g < num_groups; ++g) {
+        std::vector<IndexedShare> key_shares, sum_shares;
+        uint64_t count = parsed.front().groups[g].count;
+        for (const auto& p : parsed) {
+          const GroupPartial& gp = p.groups[g];
+          if (gp.rep_row_id != parsed.front().groups[g].rep_row_id ||
+              gp.count != count) {
+            return Status::Corruption(
+                "client: providers disagree on a group's membership");
+          }
+          key_shares.push_back(
+              IndexedShare{p.provider, Fp61::FromCanonical(gp.key_share)});
+          sum_shares.push_back(
+              IndexedShare{p.provider, Fp61::FromCanonical(gp.sum_share)});
+        }
+        GroupResult group;
+        SSDB_ASSIGN_OR_RETURN(group.key,
+                              ReconstructColumn(key_col, key_shares, nullptr));
+        SSDB_ASSIGN_OR_RETURN(Fp61 sum_w,
+                              RobustFieldReconstruct(ctx_, sum_shares));
+        group.count = count;
+        group.sum = static_cast<int64_t>(sum_w.value()) +
+                    static_cast<int64_t>(count) * sum_dom.lo;
+        group.average = count == 0 ? 0.0
+                                   : static_cast<double>(group.sum) /
+                                         static_cast<double>(count);
+        out.count += count;
+        out.groups.push_back(std::move(group));
+      }
+      return out;
+    }
+    case QueryAction::kFetchRows:
+    case QueryAction::kArgMin:
+    case QueryAction::kArgMax:
+    case QueryAction::kMedian: {
+      SSDB_ASSIGN_OR_RETURN(
+          QueryResult out,
+          ExecuteFetch(*info, result_columns, full_row, response_layout,
+                       responses));
+      if (action != QueryAction::kFetchRows && !out.rows.empty()) {
+        // With projection the aggregate column may sit at a new position;
+        // find it in the result columns.
+        size_t pos = result_columns.size();
+        for (size_t c = 0; c < result_columns.size(); ++c) {
+          if (result_columns[c] == &info->schema.columns[target_column]) {
+            pos = c;
+          }
+        }
+        if (pos < result_columns.size()) {
+          SSDB_ASSIGN_OR_RETURN(
+              int64_t code,
+              result_columns[pos]->EncodeToCode(out.rows.front()[pos]));
+          out.aggregate_int = code;
+          out.aggregate_double = static_cast<double>(code);
+        }
+      }
+      out.count = out.rows.size();
+      return out;
+    }
+    case QueryAction::kFetchRowIds:
+      break;
+  }
+  return Status::Internal("client: unhandled action");
+}
+
+Result<QueryResult> DataSourceClient::ExecuteFetch(
+    const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
+    bool full_row, const std::vector<ProviderColumnLayout>& layout,
+    const std::vector<ProviderResponse>& responses) {
+  // Decode rows per provider; majority-group by the row id sequence.
+  struct Parsed {
+    size_t provider;
+    std::vector<StoredRow> rows;
+  };
+  std::vector<Parsed> parsed;
+  for (const auto& r : responses) {
+    Decoder dec(Slice(r.bytes));
+    Status st = DecodeResponseHeader(&dec);
+    if (!st.ok()) {
+      if (st.IsNotSupported() || st.IsInvalidArgument() || st.IsNotFound()) {
+        return st;  // a semantic error is the query's fault, not noise
+      }
+      continue;
+    }
+    Parsed p;
+    p.provider = r.provider;
+    if (!DecodeRowsResponse(&dec, layout, &p.rows).ok()) continue;
+    parsed.push_back(std::move(p));
+  }
+
+  std::unordered_map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    Buffer sig;
+    for (const StoredRow& row : parsed[i].rows) sig.PutU64(row.row_id);
+    groups[Fnv1a64(sig.AsSlice())].push_back(i);
+  }
+  std::vector<size_t> best;
+  for (auto& [sig, members] : groups) {
+    if (members.size() > best.size()) best = members;
+  }
+  if (best.size() < options_.k) {
+    return Status::Corruption(
+        "client: providers disagree on the matching row set");
+  }
+
+  const std::vector<StoredRow>& reference = parsed[best.front()].rows;
+  QueryResult out;
+  for (size_t row_idx = 0; row_idx < reference.size(); ++row_idx) {
+    std::vector<std::pair<size_t, StoredRow>> per_provider;
+    for (size_t member : best) {
+      per_provider.emplace_back(parsed[member].provider,
+                                parsed[member].rows[row_idx]);
+    }
+    SSDB_ASSIGN_OR_RETURN(
+        std::vector<std::vector<Value>> rows,
+        ReconstructRows(info, columns, full_row, per_provider,
+                        reference[row_idx].row_id));
+    ++stats_.rows_reconstructed;
+    out.row_ids.push_back(reference[row_idx].row_id);
+    out.rows.push_back(std::move(rows.front()));
+  }
+  out.count = out.rows.size();
+  return out;
+}
+
+// --- Join -----------------------------------------------------------------------
+
+Result<JoinResult> DataSourceClient::ExecuteJoin(const JoinQuery& join) {
+  ++stats_.queries;
+  if (!lazy_log_.empty()) SSDB_RETURN_IF_ERROR(Flush());
+
+  auto lit = tables_.find(join.left_table);
+  auto rit = tables_.find(join.right_table);
+  if (lit == tables_.end() || rit == tables_.end()) {
+    return Status::NotFound("client: unknown table in join");
+  }
+  TableInfo& left = lit->second;
+  TableInfo& right = rit->second;
+  SSDB_ASSIGN_OR_RETURN(size_t lcol, left.schema.ColumnIndex(join.left_column));
+  SSDB_ASSIGN_OR_RETURN(size_t rcol,
+                        right.schema.ColumnIndex(join.right_column));
+  const ColumnSpec& lspec = left.schema.columns[lcol];
+  const ColumnSpec& rspec = right.schema.columns[rcol];
+  if (!lspec.exact_match() || !rspec.exact_match()) {
+    return Status::NotSupported(
+        "client: join columns must be declared kCapExactMatch");
+  }
+  // The paper's limitation: joins work only within one domain (§V.A).
+  if (lspec.DomainTag() != rspec.DomainTag()) {
+    return Status::NotSupported(
+        "client: cross-domain joins are not supported by the secret-sharing "
+        "scheme (columns '" + lspec.name + "' and '" + rspec.name +
+        "' are in different domains)");
+  }
+  SSDB_ASSIGN_OR_RETURN(OpDomain ldom, lspec.CodeDomain());
+  SSDB_ASSIGN_OR_RETURN(OpDomain rdom, rspec.CodeDomain());
+  if (ldom.lo != rdom.lo || ldom.hi != rdom.hi) {
+    return Status::NotSupported(
+        "client: join columns declare different code domains");
+  }
+
+  std::vector<Buffer> requests(providers_.size());
+  bool always_empty = false;
+  for (size_t p = 0; p < providers_.size(); ++p) {
+    JoinRequest jr;
+    jr.left_table = left.id;
+    jr.left_column = static_cast<uint32_t>(lcol);
+    jr.right_table = right.id;
+    jr.right_column = static_cast<uint32_t>(rcol);
+    for (const Predicate& pred : join.left_predicates) {
+      SSDB_ASSIGN_OR_RETURN(SharePredicate sp,
+                            RewritePredicate(left, pred, p, &always_empty));
+      if (always_empty) return JoinResult();
+      jr.left_predicates.push_back(sp);
+    }
+    for (const Predicate& pred : join.right_predicates) {
+      SSDB_ASSIGN_OR_RETURN(SharePredicate sp,
+                            RewritePredicate(right, pred, p, &always_empty));
+      if (always_empty) return JoinResult();
+      jr.right_predicates.push_back(sp);
+    }
+    EncodeJoin(jr, &requests[p]);
+  }
+
+  SSDB_ASSIGN_OR_RETURN(std::vector<ProviderResponse> responses,
+                        CallQuorum(requests, options_.k));
+
+  struct Parsed {
+    size_t provider;
+    std::vector<JoinedRowPair> pairs;
+  };
+  std::vector<Parsed> parsed;
+  for (const auto& r : responses) {
+    Decoder dec(Slice(r.bytes));
+    Status st = DecodeResponseHeader(&dec);
+    if (!st.ok()) {
+      if (st.IsNotSupported() || st.IsInvalidArgument()) return st;
+      continue;
+    }
+    Parsed p;
+    p.provider = r.provider;
+    if (!DecodeJoinResponse(&dec, left.layout, right.layout, &p.pairs).ok()) {
+      continue;
+    }
+    parsed.push_back(std::move(p));
+  }
+  std::unordered_map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    Buffer sig;
+    for (const auto& pr : parsed[i].pairs) {
+      sig.PutU64(pr.left.row_id);
+      sig.PutU64(pr.right.row_id);
+    }
+    groups[Fnv1a64(sig.AsSlice())].push_back(i);
+  }
+  std::vector<size_t> best;
+  for (auto& [sig, members] : groups) {
+    if (members.size() > best.size()) best = members;
+  }
+  if (best.size() < options_.k) {
+    return Status::Corruption("client: providers disagree on the join result");
+  }
+
+  const auto& reference = parsed[best.front()].pairs;
+  JoinResult out;
+  for (size_t i = 0; i < reference.size(); ++i) {
+    std::vector<std::pair<size_t, StoredRow>> lrows, rrows;
+    for (size_t member : best) {
+      lrows.emplace_back(parsed[member].provider, parsed[member].pairs[i].left);
+      rrows.emplace_back(parsed[member].provider,
+                         parsed[member].pairs[i].right);
+    }
+    std::vector<const ColumnSpec*> lcols, rcols;
+    for (const ColumnSpec& c : left.schema.columns) lcols.push_back(&c);
+    for (const ColumnSpec& c : right.schema.columns) rcols.push_back(&c);
+    SSDB_ASSIGN_OR_RETURN(
+        auto lvals, ReconstructRows(left, lcols, /*full_row=*/true, lrows,
+                                    reference[i].left.row_id));
+    SSDB_ASSIGN_OR_RETURN(
+        auto rvals, ReconstructRows(right, rcols, /*full_row=*/true, rrows,
+                                    reference[i].right.row_id));
+    stats_.rows_reconstructed += 2;
+    out.pairs.emplace_back(std::move(lvals.front()), std::move(rvals.front()));
+  }
+  return out;
+}
+
+// --- Updates (§V.C) ---------------------------------------------------------------
+
+Result<uint64_t> DataSourceClient::Update(const std::string& table,
+                                          const std::vector<Predicate>& where,
+                                          const std::string& set_column,
+                                          const Value& value) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("client: unknown table '" + table + "'");
+  }
+  TableInfo& info = it->second;
+  SSDB_ASSIGN_OR_RETURN(size_t set_idx, info.schema.ColumnIndex(set_column));
+  SSDB_ASSIGN_OR_RETURN(int64_t check,
+                        info.schema.columns[set_idx].EncodeToCode(value));
+  (void)check;
+
+  // Read-reconstruct phase (merged with any pending client-side ops).
+  Query q = Query::Select(table);
+  for (const Predicate& p : where) q.Where(p);
+  SSDB_ASSIGN_OR_RETURN(QueryResult matched, Execute(q));
+
+  uint64_t updated = 0;
+  if (options_.lazy_updates) {
+    for (size_t i = 0; i < matched.rows.size(); ++i) {
+      std::vector<Value> new_row = matched.rows[i];
+      new_row[set_idx] = value;
+      // Coalesce with a pending op on the same row if present.
+      bool coalesced = false;
+      for (LazyOp& op : lazy_log_) {
+        if (op.table == table && op.row_id == matched.row_ids[i] &&
+            op.kind != LazyOp::Kind::kDelete) {
+          op.row = new_row;
+          coalesced = true;
+          break;
+        }
+      }
+      if (!coalesced) {
+        LazyOp op;
+        op.kind = LazyOp::Kind::kUpdate;
+        op.table = table;
+        op.row_id = matched.row_ids[i];
+        op.row = std::move(new_row);
+        SSDB_RETURN_IF_ERROR(AppendLazy(std::move(op)));
+      }
+      ++updated;
+    }
+    return updated;
+  }
+
+  // Eager reshare: fresh polynomials for every updated row (§V.C).
+  std::vector<std::vector<StoredRow>> per_provider(providers_.size());
+  for (size_t i = 0; i < matched.rows.size(); ++i) {
+    std::vector<Value> new_row = matched.rows[i];
+    new_row[set_idx] = value;
+    SSDB_ASSIGN_OR_RETURN(
+        std::vector<StoredRow> shares,
+        BuildShareRows(&info, matched.row_ids[i], new_row));
+    for (size_t p = 0; p < providers_.size(); ++p) {
+      per_provider[p].push_back(std::move(shares[p]));
+    }
+    ++updated;
+  }
+  if (updated == 0) return updated;
+  std::vector<Buffer> requests(providers_.size());
+  for (size_t p = 0; p < providers_.size(); ++p) {
+    EncodeUpdateRows(info.id, info.layout, per_provider[p], &requests[p]);
+  }
+  SSDB_RETURN_IF_ERROR(CallAll(requests));
+  return updated;
+}
+
+Result<uint64_t> DataSourceClient::Delete(const std::string& table,
+                                          const std::vector<Predicate>& where) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("client: unknown table '" + table + "'");
+  }
+  TableInfo& info = it->second;
+
+  Query q = Query::Select(table);
+  for (const Predicate& p : where) q.Where(p);
+  SSDB_ASSIGN_OR_RETURN(QueryResult matched, Execute(q));
+  if (matched.row_ids.empty()) return static_cast<uint64_t>(0);
+
+  if (options_.lazy_updates) {
+    for (uint64_t id : matched.row_ids) {
+      // A pending insert/update of this row is simply dropped.
+      bool was_pending_insert = false;
+      for (auto op_it = lazy_log_.begin(); op_it != lazy_log_.end();) {
+        if (op_it->table == table && op_it->row_id == id) {
+          was_pending_insert = (op_it->kind == LazyOp::Kind::kInsert);
+          op_it = lazy_log_.erase(op_it);
+        } else {
+          ++op_it;
+        }
+      }
+      if (!was_pending_insert) {
+        LazyOp op;
+        op.kind = LazyOp::Kind::kDelete;
+        op.table = table;
+        op.row_id = id;
+        SSDB_RETURN_IF_ERROR(AppendLazy(std::move(op)));
+      }
+    }
+    return static_cast<uint64_t>(matched.row_ids.size());
+  }
+
+  Buffer req;
+  EncodeDeleteRows(info.id, matched.row_ids, &req);
+  SSDB_RETURN_IF_ERROR(CallAllSame(req));
+  return static_cast<uint64_t>(matched.row_ids.size());
+}
+
+Status DataSourceClient::AppendLazy(LazyOp op) {
+  lazy_log_.push_back(std::move(op));
+  if (lazy_log_.size() >= options_.lazy_flush_threshold) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status DataSourceClient::Flush() {
+  if (lazy_log_.empty()) return Status::OK();
+  ++stats_.lazy_flushes;
+
+  // Coalesce per (table, row_id), preserving op order.
+  struct Final {
+    LazyOp::Kind kind;
+    std::vector<Value> row;
+  };
+  std::map<std::pair<std::string, uint64_t>, Final> final_ops;
+  for (const LazyOp& op : lazy_log_) {
+    auto key = std::make_pair(op.table, op.row_id);
+    auto fit = final_ops.find(key);
+    if (fit == final_ops.end()) {
+      final_ops.emplace(key, Final{op.kind, op.row});
+      continue;
+    }
+    switch (op.kind) {
+      case LazyOp::Kind::kInsert:
+        fit->second = Final{LazyOp::Kind::kInsert, op.row};
+        break;
+      case LazyOp::Kind::kUpdate:
+        // insert+update stays an insert with the newer payload.
+        fit->second.row = op.row;
+        break;
+      case LazyOp::Kind::kDelete:
+        fit->second = Final{LazyOp::Kind::kDelete, {}};
+        break;
+    }
+  }
+
+  // Build batched per-table, per-provider messages.
+  for (auto& [table_name, info] : tables_) {
+    std::vector<std::vector<StoredRow>> inserts(providers_.size());
+    std::vector<std::vector<StoredRow>> updates(providers_.size());
+    std::vector<uint64_t> deletes;
+    for (auto& [key, final_op] : final_ops) {
+      if (key.first != table_name) continue;
+      switch (final_op.kind) {
+        case LazyOp::Kind::kInsert: {
+          SSDB_ASSIGN_OR_RETURN(
+              std::vector<StoredRow> shares,
+              BuildShareRows(&info, key.second, final_op.row));
+          for (size_t p = 0; p < providers_.size(); ++p) {
+            inserts[p].push_back(std::move(shares[p]));
+          }
+          break;
+        }
+        case LazyOp::Kind::kUpdate: {
+          SSDB_ASSIGN_OR_RETURN(
+              std::vector<StoredRow> shares,
+              BuildShareRows(&info, key.second, final_op.row));
+          for (size_t p = 0; p < providers_.size(); ++p) {
+            updates[p].push_back(std::move(shares[p]));
+          }
+          break;
+        }
+        case LazyOp::Kind::kDelete:
+          deletes.push_back(key.second);
+          break;
+      }
+    }
+    if (!inserts[0].empty()) {
+      std::vector<Buffer> reqs(providers_.size());
+      for (size_t p = 0; p < providers_.size(); ++p) {
+        EncodeInsertRows(info.id, info.layout, inserts[p], &reqs[p]);
+      }
+      SSDB_RETURN_IF_ERROR(CallAll(reqs));
+    }
+    if (!updates[0].empty()) {
+      std::vector<Buffer> reqs(providers_.size());
+      for (size_t p = 0; p < providers_.size(); ++p) {
+        EncodeUpdateRows(info.id, info.layout, updates[p], &reqs[p]);
+      }
+      SSDB_RETURN_IF_ERROR(CallAll(reqs));
+    }
+    if (!deletes.empty()) {
+      Buffer req;
+      EncodeDeleteRows(info.id, deletes, &req);
+      SSDB_RETURN_IF_ERROR(CallAllSame(req));
+    }
+  }
+  lazy_log_.clear();
+  return Status::OK();
+}
+
+Status DataSourceClient::RefreshTable(const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("client: unknown table '" + table + "'");
+  }
+  TableInfo& info = it->second;
+  SSDB_RETURN_IF_ERROR(Flush());
+
+  // Probe every provider first: a refresh applied by only a subset of the
+  // providers would desynchronize the sharing (some shares on the new
+  // polynomial, some on the old), so abort early if anyone is unreachable.
+  // This narrows, but does not close, the partial-failure window — a
+  // crash mid-refresh still requires re-running the refresh to completion
+  // before reads that mix refreshed and stale providers reconstruct.
+  Buffer probe;
+  EncodeTableStats(info.id, &probe);
+  SSDB_RETURN_IF_ERROR(CallAllSame(probe));
+
+  // Fetch the row id set from a read quorum.
+  QueryRequest idq;
+  idq.table_id = info.id;
+  idq.action = QueryAction::kFetchRowIds;
+  Buffer id_request;
+  EncodeQuery(idq, &id_request);
+  std::vector<Buffer> requests(providers_.size());
+  for (auto& b : requests) b.Append(id_request.AsSlice());
+  SSDB_ASSIGN_OR_RETURN(std::vector<ProviderResponse> responses,
+                        CallQuorum(requests, options_.k));
+  std::vector<uint64_t> row_ids;
+  Status last = Status::Unavailable("client: no usable id response");
+  for (const auto& r : responses) {
+    Decoder dec(Slice(r.bytes));
+    last = DecodeResponseHeader(&dec);
+    if (!last.ok()) continue;
+    last = DecodeRowIdsResponse(&dec, &row_ids);
+    if (last.ok()) break;
+  }
+  SSDB_RETURN_IF_ERROR(last);
+
+  // Fresh zero-shares per (row, column); every provider must apply them
+  // or the sharing desynchronizes, so this is an n-of-n operation.
+  std::vector<std::vector<RefreshDelta>> per_provider(providers_.size());
+  for (auto& v : per_provider) v.reserve(row_ids.size());
+  for (uint64_t row_id : row_ids) {
+    for (size_t p = 0; p < providers_.size(); ++p) {
+      per_provider[p].push_back(RefreshDelta{row_id, {}});
+      per_provider[p].back().column_deltas.resize(info.schema.columns.size());
+    }
+    for (size_t c = 0; c < info.schema.columns.size(); ++c) {
+      const std::vector<Fp61> zeros = ctx_.ZeroShares(&rng_);
+      for (size_t p = 0; p < providers_.size(); ++p) {
+        per_provider[p].back().column_deltas[c] = zeros[p].value();
+      }
+    }
+  }
+  std::vector<Buffer> refresh_requests(providers_.size());
+  for (size_t p = 0; p < providers_.size(); ++p) {
+    EncodeRefreshRows(info.id, per_provider[p], &refresh_requests[p]);
+  }
+  return CallAll(refresh_requests);
+}
+
+Result<bool> DataSourceClient::MatchesPlain(
+    const TableSchema& schema, const std::vector<Value>& row,
+    const std::vector<Predicate>& preds) const {
+  for (const Predicate& pred : preds) {
+    SSDB_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(pred.column));
+    const ColumnSpec& col = schema.columns[idx];
+    SSDB_ASSIGN_OR_RETURN(int64_t code, col.EncodeToCode(row[idx]));
+    switch (pred.kind) {
+      case Predicate::Kind::kEq: {
+        auto target = col.EncodeToCode(pred.eq);
+        if (!target.ok()) return false;
+        if (code != *target) return false;
+        break;
+      }
+      case Predicate::Kind::kBetween: {
+        int64_t lo, hi;
+        if (col.type == ValueType::kInt64) {
+          lo = pred.lo.AsInt();
+          hi = pred.hi.AsInt();
+        } else {
+          SSDB_ASSIGN_OR_RETURN(String27 codec,
+                                String27::Create(col.string_width));
+          SSDB_ASSIGN_OR_RETURN(
+              OpDomain lex,
+              codec.LexRange(pred.lo.AsString(), pred.hi.AsString()));
+          lo = lex.lo;
+          hi = lex.hi;
+        }
+        if (code < lo || code > hi) return false;
+        break;
+      }
+      case Predicate::Kind::kPrefix: {
+        SSDB_ASSIGN_OR_RETURN(String27 codec,
+                              String27::Create(col.string_width));
+        SSDB_ASSIGN_OR_RETURN(OpDomain range, codec.PrefixRange(pred.prefix));
+        if (code < range.lo || code > range.hi) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+Status DataSourceClient::ApplyLazyToResult(const TableInfo& info,
+                                           const Query& query,
+                                           QueryResult* result) {
+  if (lazy_log_.empty() || query.aggregate() != AggregateOp::kNone) {
+    return Status::OK();
+  }
+  // Last pending op per row id for this table.
+  std::map<uint64_t, const LazyOp*> pending;
+  for (const LazyOp& op : lazy_log_) {
+    if (op.table == info.schema.table_name) pending[op.row_id] = &op;
+  }
+  if (pending.empty()) return Status::OK();
+
+  QueryResult merged;
+  for (size_t i = 0; i < result->rows.size(); ++i) {
+    auto pit = pending.find(result->row_ids[i]);
+    if (pit == pending.end()) {
+      merged.row_ids.push_back(result->row_ids[i]);
+      merged.rows.push_back(std::move(result->rows[i]));
+      continue;
+    }
+    // Row has a pending op; it is re-evaluated below from the log.
+  }
+  for (auto& [row_id, op] : pending) {
+    if (op->kind == LazyOp::Kind::kDelete) continue;
+    SSDB_ASSIGN_OR_RETURN(
+        bool matches, MatchesPlain(info.schema, op->row, query.predicates()));
+    if (matches) {
+      merged.row_ids.push_back(row_id);
+      merged.rows.push_back(op->row);
+    }
+  }
+  merged.count = merged.rows.size();
+  *result = std::move(merged);
+  return Status::OK();
+}
+
+// --- Public data mash-up (§V.D) -----------------------------------------------------
+
+Status DataSourceClient::PublishPublicTable(
+    const std::string& name, std::vector<ColumnSpec> columns,
+    const std::vector<std::vector<Value>>& rows) {
+  if (public_tables_.count(name) != 0) {
+    return Status::AlreadyExists("client: public table '" + name +
+                                 "' already exists");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("client: public table needs columns");
+  }
+  for (const auto& row : rows) {
+    if (row.size() != columns.size()) {
+      return Status::InvalidArgument("client: public row arity mismatch");
+    }
+  }
+  PublicInfo info;
+  info.id = next_table_id_++;
+  info.columns = std::move(columns);
+  for (ColumnSpec& col : info.columns) {
+    if (col.domain_name.empty()) {
+      col.domain_name = name + "." + col.name;
+    }
+  }
+  info.subscribed.assign(info.columns.size(), false);
+  info.num_rows = rows.size();
+
+  Buffer create;
+  EncodeCreatePublicTable(info.id,
+                          static_cast<uint32_t>(info.columns.size()), &create);
+  SSDB_RETURN_IF_ERROR(CallAllSame(create));
+  Buffer insert;
+  EncodeInsertPublicRows(info.id, rows, &insert);
+  SSDB_RETURN_IF_ERROR(CallAllSame(insert));
+  public_tables_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+Status DataSourceClient::SubscribePublicColumn(const std::string& name,
+                                               const std::string& column) {
+  auto it = public_tables_.find(name);
+  if (it == public_tables_.end()) {
+    return Status::NotFound("client: unknown public table '" + name + "'");
+  }
+  PublicInfo& info = it->second;
+  size_t col_idx = info.columns.size();
+  for (size_t i = 0; i < info.columns.size(); ++i) {
+    if (info.columns[i].name == column) col_idx = i;
+  }
+  if (col_idx == info.columns.size()) {
+    return Status::NotFound("client: unknown public column '" + column + "'");
+  }
+  const ColumnSpec& spec = info.columns[col_idx];
+
+  // One-time download of the (public) column from any single provider.
+  Buffer fetch;
+  EncodeFetchPublicColumn(info.id, static_cast<uint32_t>(col_idx), &fetch);
+  std::vector<std::vector<Value>> rows;
+  std::vector<uint64_t> row_ids;
+  Status last = Status::Unavailable("client: no provider reachable");
+  for (size_t p = 0; p < providers_.size(); ++p) {
+    auto r = network_->Call(providers_[p], fetch.AsSlice());
+    if (!r.ok()) {
+      last = r.status();
+      continue;
+    }
+    Decoder dec{Slice(*r)};
+    last = DecodeResponseHeader(&dec);
+    if (!last.ok()) continue;
+    last = DecodePublicRowsResponse(&dec, &rows, &row_ids);
+    if (last.ok()) break;
+  }
+  SSDB_RETURN_IF_ERROR(last);
+
+  // Build the private share index under this column's domain keys and
+  // attach it to every provider.
+  SSDB_ASSIGN_OR_RETURN(OpDomain dom, spec.CodeDomain());
+  SSDB_ASSIGN_OR_RETURN(OrderPreservingScheme * scheme, GetOpScheme(spec));
+  std::vector<Buffer> requests(providers_.size());
+  std::vector<std::vector<ShareIndexEntry>> entries(providers_.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    SSDB_ASSIGN_OR_RETURN(int64_t code, spec.EncodeToCode(rows[i][0]));
+    const uint64_t w =
+        static_cast<uint64_t>(code) - static_cast<uint64_t>(dom.lo);
+    for (size_t p = 0; p < providers_.size(); ++p) {
+      ShareIndexEntry e;
+      e.row_id = row_ids[i];
+      e.det_share = ctx_.DeterministicShareFor(prf_det_, spec.DomainTag(),
+                                               Fp61::FromU64(w), p)
+                        .value();
+      SSDB_ASSIGN_OR_RETURN(e.op_share, scheme->Share(code, p));
+      entries[p].push_back(e);
+    }
+  }
+  for (size_t p = 0; p < providers_.size(); ++p) {
+    EncodeAttachShareIndex(info.id, static_cast<uint32_t>(col_idx),
+                           entries[p], &requests[p]);
+  }
+  SSDB_RETURN_IF_ERROR(CallAll(requests));
+  info.subscribed[col_idx] = true;
+  return Status::OK();
+}
+
+Result<QueryResult> DataSourceClient::QueryPublic(const std::string& name,
+                                                  const Predicate& predicate) {
+  ++stats_.queries;
+  auto it = public_tables_.find(name);
+  if (it == public_tables_.end()) {
+    return Status::NotFound("client: unknown public table '" + name + "'");
+  }
+  PublicInfo& info = it->second;
+  size_t col_idx = info.columns.size();
+  for (size_t i = 0; i < info.columns.size(); ++i) {
+    if (info.columns[i].name == predicate.column) col_idx = i;
+  }
+  if (col_idx == info.columns.size()) {
+    return Status::NotFound("client: unknown public column '" +
+                            predicate.column + "'");
+  }
+  if (!info.subscribed[col_idx]) {
+    return Status::NotSupported(
+        "client: subscribe to the public column before querying it");
+  }
+
+  // Reuse the private rewriting machinery via a synthetic table view.
+  TableInfo view;
+  view.id = info.id;
+  view.schema.table_name = name;
+  view.schema.columns = info.columns;
+  bool always_empty = false;
+
+  Status last = Status::Unavailable("client: no provider reachable");
+  for (size_t p = 0; p < providers_.size(); ++p) {
+    SSDB_ASSIGN_OR_RETURN(
+        SharePredicate sp,
+        RewritePredicate(view, predicate, p, &always_empty));
+    if (always_empty) return QueryResult();
+    Buffer req;
+    EncodePublicFilter(info.id, static_cast<uint32_t>(col_idx), sp, &req);
+    auto r = network_->Call(providers_[p], req.AsSlice());
+    if (!r.ok()) {
+      last = r.status();
+      continue;
+    }
+    Decoder dec{Slice(*r)};
+    last = DecodeResponseHeader(&dec);
+    if (!last.ok()) continue;
+    std::vector<std::vector<Value>> rows;
+    std::vector<uint64_t> row_ids;
+    last = DecodePublicRowsResponse(&dec, &rows, &row_ids);
+    if (!last.ok()) continue;
+    QueryResult out;
+    out.rows = std::move(rows);
+    out.row_ids = std::move(row_ids);
+    out.count = out.rows.size();
+    return out;
+  }
+  return last;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,250 @@
+// The data source D: the trusted client that owns the keys.
+//
+// DataSourceClient is the only component that ever sees plaintext. It
+//   * turns rows into share rows (random + deterministic + order-preserving
+//     representations per codec/schema.h) and distributes them to the n
+//     providers,
+//   * rewrites queries into per-provider share-space requests (§V.A),
+//   * reconstructs results from any k provider responses (Lagrange), with
+//     consistency checks, integrity tags, and single-corrupt-provider
+//     recovery when n is large enough,
+//   * runs updates eagerly (read-reconstruct-reshare, §V.C) or lazily
+//     (client-side batched log, the paper's "lazy update" future-work
+//     direction),
+//   * manages private x public mash-ups (§V.D) by subscribing to public
+//     columns and attaching private share indexes at the providers.
+
+#ifndef SSDB_CLIENT_CLIENT_H_
+#define SSDB_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/query.h"
+#include "codec/schema.h"
+#include "common/rng.h"
+#include "crypto/prf.h"
+#include "net/network.h"
+#include "provider/protocol.h"
+#include "sss/order_preserving.h"
+#include "sss/shamir.h"
+
+namespace ssdb {
+
+/// Configuration of a data source.
+struct ClientOptions {
+  /// Reconstruction threshold k (1 < k <= n). Range-capable columns
+  /// additionally require k >= 2.
+  size_t k = 2;
+  /// Master secret; all PRF keys and the secret points X derive from it.
+  std::string master_key = "ssdb-demo-master-key";
+  /// Seed for the (non-secret-critical) randomness of fresh shares.
+  uint64_t rng_seed = 0x5EED;
+  /// Coefficient construction for order-preserving shares (Section IV
+  /// paper slots vs. hardened recursive mode; see sss/order_preserving.h).
+  OpSlotMode op_mode = OpSlotMode::kPaperSlots;
+  /// Buffer writes client-side and flush in batches (§V.C lazy updates).
+  bool lazy_updates = false;
+  /// Auto-flush the lazy log at this many buffered operations.
+  size_t lazy_flush_threshold = 64;
+  /// Verify per-row integrity tags on reads.
+  bool verify_tags = true;
+};
+
+/// Client-side operation counters.
+struct ClientStats {
+  uint64_t queries = 0;
+  uint64_t rows_reconstructed = 0;
+  uint64_t corruption_retries = 0;
+  uint64_t lazy_flushes = 0;
+};
+
+/// \brief The data source / query front-end.
+class DataSourceClient {
+ public:
+  /// Creates a client over `providers` (indexes into `network`). The
+  /// sharing context (n = |providers|, k, secret X) is derived from the
+  /// master key.
+  static Result<std::unique_ptr<DataSourceClient>> Create(
+      Network* network, std::vector<size_t> providers, ClientOptions options);
+
+  // --- Schema & data ---------------------------------------------------
+
+  /// Registers a table and creates it at every provider.
+  Status CreateTable(TableSchema schema);
+
+  /// Inserts plaintext rows (shared and distributed; lazy mode buffers).
+  Status Insert(const std::string& table,
+                const std::vector<std::vector<Value>>& rows);
+
+  // --- Queries ----------------------------------------------------------
+
+  /// Executes a single-table query (exact match / range / aggregates).
+  Result<QueryResult> Execute(const Query& query);
+
+  /// Renders the execution plan of a query — which share representation
+  /// answers each predicate, the provider-side action, and the quorum —
+  /// without contacting any provider.
+  Result<std::string> Explain(const Query& query);
+
+  /// Executes a same-domain equi-join at the providers (§V.A Join).
+  /// Cross-domain joins return NotSupported, as in the paper.
+  Result<JoinResult> ExecuteJoin(const JoinQuery& join);
+
+  // --- Updates (§V.C) ----------------------------------------------------
+
+  /// UPDATE table SET set_column = value WHERE predicates.
+  /// Returns the number of rows updated.
+  Result<uint64_t> Update(const std::string& table,
+                          const std::vector<Predicate>& where,
+                          const std::string& set_column, const Value& value);
+
+  /// DELETE FROM table WHERE predicates. Returns rows deleted.
+  Result<uint64_t> Delete(const std::string& table,
+                          const std::vector<Predicate>& where);
+
+  /// Flushes the lazy write log (no-op when empty / eager mode).
+  Status Flush();
+  size_t pending_lazy_ops() const { return lazy_log_.size(); }
+
+  /// Proactively re-randomizes every stored random share of `table` by
+  /// adding fresh shares of zero (§VI(b)): secrets are unchanged, but
+  /// shares captured before the refresh become useless to an adversary
+  /// gathering k of them over time. Requires all n providers reachable
+  /// (a partially applied refresh would desynchronize the sharing).
+  Status RefreshTable(const std::string& table);
+
+  // --- Private x public mash-up (§V.D) -----------------------------------
+
+  /// Publishes a plaintext table to every provider (acting as the public
+  /// data owner for the simulation).
+  Status PublishPublicTable(const std::string& name,
+                            std::vector<ColumnSpec> columns,
+                            const std::vector<std::vector<Value>>& rows);
+
+  /// Downloads one public column once and attaches a private share index
+  /// at every provider; afterwards QueryPublic filters without revealing
+  /// per-query interests.
+  Status SubscribePublicColumn(const std::string& name,
+                               const std::string& column);
+
+  /// Filters a public table through the private share index.
+  Result<QueryResult> QueryPublic(const std::string& name,
+                                  const Predicate& predicate);
+
+  // --- Introspection ------------------------------------------------------
+
+  size_t n() const { return providers_.size(); }
+  size_t k() const { return options_.k; }
+  const ClientStats& stats() const { return stats_; }
+  Network* network() { return network_; }
+  /// Schema of a registered table.
+  Result<const TableSchema*> GetSchema(const std::string& table) const;
+
+ private:
+  struct TableInfo {
+    uint32_t id = 0;
+    TableSchema schema;
+    std::vector<ProviderColumnLayout> layout;
+    uint64_t next_row_id = 1;
+  };
+  struct PublicInfo {
+    uint32_t id = 0;
+    std::vector<ColumnSpec> columns;
+    std::vector<bool> subscribed;
+    uint64_t num_rows = 0;
+  };
+  struct LazyOp {
+    enum class Kind { kInsert, kUpdate, kDelete } kind;
+    std::string table;
+    uint64_t row_id = 0;
+    std::vector<Value> row;  // kInsert / kUpdate
+  };
+  struct ProviderResponse {
+    size_t provider;
+    std::vector<uint8_t> bytes;
+  };
+
+  DataSourceClient(Network* network, std::vector<size_t> providers,
+                   ClientOptions options, SharingContext ctx,
+                   std::vector<uint32_t> op_xs);
+
+  // Share construction.
+  Result<OrderPreservingScheme*> GetOpScheme(const ColumnSpec& column);
+  Result<std::vector<StoredRow>> BuildShareRows(TableInfo* info,
+                                                uint64_t row_id,
+                                                const std::vector<Value>& row);
+  uint64_t RowTag(uint32_t table_id, uint64_t row_id,
+                  const std::vector<int64_t>& codes) const;
+
+  // Query rewriting (§V.A): plaintext predicate -> provider i's share space.
+  Result<SharePredicate> RewritePredicate(const TableInfo& info,
+                                          const Predicate& pred,
+                                          size_t provider,
+                                          bool* always_empty);
+
+  // Transport. Fans out to `desired` providers (with sequential
+  // replacement of failed legs); succeeds as long as at least `minimum`
+  // responses arrive (`minimum` = 0 means `desired`).
+  Result<std::vector<ProviderResponse>> CallQuorum(
+      const std::vector<Buffer>& requests, size_t desired,
+      size_t minimum = 0);
+  Status CallAll(const std::vector<Buffer>& requests);
+  Status CallAllSame(const Buffer& request);
+
+  // Reconstruction.
+  Result<Value> ReconstructColumn(const ColumnSpec& column,
+                                  const std::vector<IndexedShare>& shares,
+                                  int64_t* code_out) const;
+  /// Reconstructs one row. `columns` names the (possibly projected)
+  /// schema columns the stored cells correspond to; tags are verified only
+  /// for unprojected reads (`full_row`).
+  Result<std::vector<std::vector<Value>>> ReconstructRows(
+      const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
+      bool full_row,
+      const std::vector<std::pair<size_t, StoredRow>>& provider_rows,
+      uint64_t row_id) const;
+
+  // Full query paths.
+  Result<QueryResult> ExecuteEager(const Query& query, size_t quorum);
+  Result<QueryResult> ExecuteFetch(
+      const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
+      bool full_row, const std::vector<ProviderColumnLayout>& layout,
+      const std::vector<ProviderResponse>& rs);
+  Result<QueryResult> ExecuteDisjuncts(const Query& query);
+  Status ResolveTableAndPreds(const Query& query, TableInfo** info,
+                              QueryAction* action, uint32_t* target_column);
+
+  // Lazy log.
+  Status AppendLazy(LazyOp op);
+  Status ApplyLazyToResult(const TableInfo& info, const Query& query,
+                           QueryResult* result);
+  Result<bool> MatchesPlain(const TableSchema& schema,
+                            const std::vector<Value>& row,
+                            const std::vector<Predicate>& preds) const;
+
+  Network* network_;
+  std::vector<size_t> providers_;
+  ClientOptions options_;
+  SharingContext ctx_;
+  std::vector<uint32_t> op_xs_;
+  Rng rng_;
+  Prf prf_det_;
+  Prf prf_tag_;
+  Prf prf_op_master_;
+
+  uint32_t next_table_id_ = 1;
+  std::map<std::string, TableInfo> tables_;
+  std::map<std::string, PublicInfo> public_tables_;
+  std::map<uint64_t, std::unique_ptr<OrderPreservingScheme>> op_schemes_;
+  std::vector<LazyOp> lazy_log_;
+  ClientStats stats_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CLIENT_CLIENT_H_

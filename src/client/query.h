@@ -1,0 +1,170 @@
+// Client-side query description (the public query surface).
+//
+// Queries are built programmatically and cover exactly the classes the
+// paper enumerates in §III/§V.A:
+//   * exact match        — Eq("name", Value::Str("JOHN"))
+//   * range              — Between("salary", 10'000, 40'000)
+//   * string prefix      — Prefix("name", "AB")   (via §V.B encoding)
+//   * aggregation        — Count / Sum / Avg / Min / Max / Median over
+//                          exact matches or ranges
+//   * same-domain joins  — JoinQuery
+// Predicates combine conjunctively.
+
+#ifndef SSDB_CLIENT_QUERY_H_
+#define SSDB_CLIENT_QUERY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/value.h"
+
+namespace ssdb {
+
+/// One conjunct of a WHERE clause.
+struct Predicate {
+  enum class Kind { kEq, kBetween, kPrefix };
+
+  std::string column;
+  Kind kind = Kind::kEq;
+  Value eq;          ///< kEq
+  Value lo, hi;      ///< kBetween (inclusive)
+  std::string prefix;  ///< kPrefix
+};
+
+inline Predicate Eq(std::string column, Value v) {
+  Predicate p;
+  p.column = std::move(column);
+  p.kind = Predicate::Kind::kEq;
+  p.eq = std::move(v);
+  return p;
+}
+
+inline Predicate Between(std::string column, Value lo, Value hi) {
+  Predicate p;
+  p.column = std::move(column);
+  p.kind = Predicate::Kind::kBetween;
+  p.lo = std::move(lo);
+  p.hi = std::move(hi);
+  return p;
+}
+
+inline Predicate Prefix(std::string column, std::string prefix) {
+  Predicate p;
+  p.column = std::move(column);
+  p.kind = Predicate::Kind::kPrefix;
+  p.prefix = std::move(prefix);
+  return p;
+}
+
+enum class AggregateOp {
+  kNone = 0,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kMedian,
+};
+
+/// \brief A single-table query.
+class Query {
+ public:
+  static Query Select(std::string table) {
+    Query q;
+    q.table_ = std::move(table);
+    return q;
+  }
+
+  Query& Where(Predicate p) {
+    predicates_.push_back(std::move(p));
+    return *this;
+  }
+
+  /// Disjunction: the query matches rows satisfying ALL Where() conjuncts
+  /// AND at least one WhereAny() disjunct. Only row-fetching queries (no
+  /// aggregate) support disjunctions.
+  Query& WhereAny(std::vector<Predicate> disjuncts) {
+    disjuncts_ = std::move(disjuncts);
+    return *this;
+  }
+
+  Query& Aggregate(AggregateOp op, std::string column = "") {
+    aggregate_ = op;
+    aggregate_column_ = std::move(column);
+    return *this;
+  }
+
+  /// GROUP BY for SUM/AVG/COUNT aggregates: one result group per distinct
+  /// value of `column` (which must be kCapExactMatch).
+  Query& GroupBy(std::string column) {
+    group_by_ = std::move(column);
+    return *this;
+  }
+
+  /// Projection: return only the named columns, in the given order.
+  /// Projection is pushed to the providers (unrequested shares never
+  /// travel), so row integrity tags cannot be verified on projected reads.
+  Query& Project(std::vector<std::string> columns) {
+    projection_ = std::move(columns);
+    return *this;
+  }
+
+  const std::string& table() const { return table_; }
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  const std::vector<Predicate>& disjuncts() const { return disjuncts_; }
+  AggregateOp aggregate() const { return aggregate_; }
+  const std::string& aggregate_column() const { return aggregate_column_; }
+  const std::string& group_by() const { return group_by_; }
+  const std::vector<std::string>& projection() const { return projection_; }
+
+ private:
+  std::string table_;
+  std::vector<Predicate> predicates_;
+  std::vector<Predicate> disjuncts_;
+  AggregateOp aggregate_ = AggregateOp::kNone;
+  std::string aggregate_column_;
+  std::string group_by_;
+  std::vector<std::string> projection_;
+};
+
+/// \brief A same-domain equi-join between two outsourced tables.
+struct JoinQuery {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+  std::vector<Predicate> left_predicates;
+  std::vector<Predicate> right_predicates;
+};
+
+/// One group of a GROUP BY aggregate.
+struct GroupResult {
+  Value key;
+  int64_t sum = 0;
+  uint64_t count = 0;
+  double average = 0.0;
+};
+
+/// \brief Result of a query: reconstructed plaintext rows and/or an
+/// aggregate.
+struct QueryResult {
+  std::vector<uint64_t> row_ids;
+  std::vector<std::vector<Value>> rows;
+  /// For kCount/kSum/kMin/kMax/kMedian.
+  int64_t aggregate_int = 0;
+  /// For kAvg.
+  double aggregate_double = 0.0;
+  uint64_t count = 0;  ///< Matching-row count (all aggregate paths).
+  /// For GROUP BY aggregates, ordered by first appearance (row id).
+  std::vector<GroupResult> groups;
+};
+
+/// \brief Result of a join: pairs of reconstructed rows.
+struct JoinResult {
+  std::vector<std::pair<std::vector<Value>, std::vector<Value>>> pairs;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CLIENT_QUERY_H_

@@ -1,0 +1,362 @@
+#include "client/sql.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ssdb {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kSymbol,  // ( ) , = * ;
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // verbatim spelling
+  std::string upper;  // upper-cased (idents only; for keyword matching)
+  int64_t number = 0;
+  char symbol = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < input_.size()) {
+      const char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        // Quoted string ('' escapes a quote).
+        std::string s;
+        ++i;
+        bool closed = false;
+        while (i < input_.size()) {
+          if (input_[i] == '\'') {
+            if (i + 1 < input_.size() && input_[i + 1] == '\'') {
+              s.push_back('\'');
+              i += 2;
+              continue;
+            }
+            ++i;
+            closed = true;
+            break;
+          }
+          s.push_back(input_[i++]);
+        }
+        if (!closed) {
+          return Status::InvalidArgument("sql: unterminated string literal");
+        }
+        Token t;
+        t.kind = TokKind::kString;
+        t.text = std::move(s);
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i + (c == '-' ? 1 : 0);
+        if (j >= input_.size() ||
+            !std::isdigit(static_cast<unsigned char>(input_[j]))) {
+          return Status::InvalidArgument("sql: stray '-'");
+        }
+        while (j < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[j]))) {
+          ++j;
+        }
+        Token t;
+        t.kind = TokKind::kNumber;
+        t.number = std::strtoll(input_.substr(i, j - i).c_str(), nullptr, 10);
+        out.push_back(t);
+        i = j;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[j])) ||
+                input_[j] == '_')) {
+          ++j;
+        }
+        Token t;
+        t.kind = TokKind::kIdent;
+        t.text = input_.substr(i, j - i);
+        t.upper = t.text;
+        for (char& ch : t.upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        out.push_back(std::move(t));
+        i = j;
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == '=' || c == '*' ||
+          c == ';') {
+        Token t;
+        t.kind = TokKind::kSymbol;
+        t.symbol = c;
+        out.push_back(t);
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument(std::string("sql: unexpected character '") +
+                                     c + "'");
+    }
+    out.push_back(Token{});  // kEnd sentinel
+    return out;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SqlCommand> Parse() {
+    if (AcceptKeyword("SELECT")) return ParseSelect();
+    if (AcceptKeyword("UPDATE")) return ParseUpdate();
+    if (AcceptKeyword("DELETE")) return ParseDelete();
+    return Status::InvalidArgument(
+        "sql: statement must start with SELECT, UPDATE or DELETE");
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().kind == TokKind::kIdent && Peek().upper == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(char s) {
+    if (Peek().kind == TokKind::kSymbol && Peek().symbol == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument(std::string("sql: expected ") + kw);
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(char s) {
+    if (!AcceptSymbol(s)) {
+      return Status::InvalidArgument(std::string("sql: expected '") + s + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("sql: expected an identifier");
+    }
+    return Next().text;
+  }
+  Result<Value> ExpectLiteral() {
+    if (Peek().kind == TokKind::kNumber) return Value::Int(Next().number);
+    if (Peek().kind == TokKind::kString) return Value::Str(Next().text);
+    return Status::InvalidArgument("sql: expected a literal");
+  }
+  Status ExpectEnd() {
+    (void)AcceptSymbol(';');
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("sql: trailing input after statement");
+    }
+    return Status::OK();
+  }
+
+  /// column = lit | column BETWEEN a AND b | column LIKE 'p%'.
+  Result<Predicate> ParsePredicate() {
+    SSDB_ASSIGN_OR_RETURN(std::string column, ExpectIdent());
+    if (AcceptSymbol('=')) {
+      SSDB_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
+      return Eq(column, std::move(v));
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      SSDB_ASSIGN_OR_RETURN(Value lo, ExpectLiteral());
+      SSDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      SSDB_ASSIGN_OR_RETURN(Value hi, ExpectLiteral());
+      return Between(column, std::move(lo), std::move(hi));
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().kind != TokKind::kString) {
+        return Status::InvalidArgument("sql: LIKE needs a string pattern");
+      }
+      std::string pattern = Next().text;
+      if (pattern.empty() || pattern.back() != '%' ||
+          pattern.find('%') != pattern.size() - 1) {
+        return Status::NotSupported(
+            "sql: only prefix patterns ('AB%') are supported");
+      }
+      pattern.pop_back();
+      return Prefix(column, std::move(pattern));
+    }
+    return Status::InvalidArgument("sql: expected =, BETWEEN or LIKE");
+  }
+
+  /// condition := term (AND term)*; term := pred | '(' pred (OR pred)+ ')'.
+  Status ParseCondition(std::vector<Predicate>* conjuncts,
+                        std::vector<Predicate>* disjuncts) {
+    for (;;) {
+      if (AcceptSymbol('(')) {
+        std::vector<Predicate> group;
+        SSDB_ASSIGN_OR_RETURN(Predicate first, ParsePredicate());
+        group.push_back(std::move(first));
+        while (AcceptKeyword("OR")) {
+          SSDB_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+          group.push_back(std::move(p));
+        }
+        SSDB_RETURN_IF_ERROR(ExpectSymbol(')'));
+        if (group.size() == 1) {
+          conjuncts->push_back(std::move(group.front()));
+        } else {
+          if (!disjuncts->empty()) {
+            return Status::NotSupported(
+                "sql: at most one OR group per statement");
+          }
+          *disjuncts = std::move(group);
+        }
+      } else {
+        SSDB_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+        conjuncts->push_back(std::move(p));
+      }
+      if (!AcceptKeyword("AND")) return Status::OK();
+    }
+  }
+
+  Result<SqlCommand> ParseSelect() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kSelect;
+
+    // Select list.
+    bool star = false;
+    AggregateOp agg = AggregateOp::kNone;
+    std::string agg_column;
+    std::vector<std::string> projection;
+    if (AcceptSymbol('*')) {
+      star = true;
+    } else {
+      for (;;) {
+        if (Peek().kind != TokKind::kIdent) {
+          return Status::InvalidArgument("sql: expected a select item");
+        }
+        const std::string upper = Peek().upper;
+        std::string item = Next().text;
+        AggregateOp op = AggregateOp::kNone;
+        if (upper == "SUM") op = AggregateOp::kSum;
+        if (upper == "AVG") op = AggregateOp::kAvg;
+        if (upper == "MIN") op = AggregateOp::kMin;
+        if (upper == "MAX") op = AggregateOp::kMax;
+        if (upper == "MEDIAN") op = AggregateOp::kMedian;
+        if (upper == "COUNT") op = AggregateOp::kCount;
+        if (op != AggregateOp::kNone && AcceptSymbol('(')) {
+          if (agg != AggregateOp::kNone) {
+            return Status::NotSupported("sql: one aggregate per statement");
+          }
+          agg = op;
+          if (op == AggregateOp::kCount) {
+            if (!AcceptSymbol('*')) {
+              SSDB_ASSIGN_OR_RETURN(agg_column, ExpectIdent());
+            }
+          } else {
+            SSDB_ASSIGN_OR_RETURN(agg_column, ExpectIdent());
+          }
+          SSDB_RETURN_IF_ERROR(ExpectSymbol(')'));
+        } else {
+          projection.push_back(std::move(item));
+        }
+        if (!AcceptSymbol(',')) break;
+      }
+    }
+
+    SSDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SSDB_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    Query q = Query::Select(table);  // identifiers keep their spelling
+
+    if (AcceptKeyword("WHERE")) {
+      std::vector<Predicate> conjuncts, disjuncts;
+      SSDB_RETURN_IF_ERROR(ParseCondition(&conjuncts, &disjuncts));
+      for (Predicate& p : conjuncts) q.Where(std::move(p));
+      if (!disjuncts.empty()) q.WhereAny(std::move(disjuncts));
+    }
+    if (AcceptKeyword("GROUP")) {
+      SSDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      SSDB_ASSIGN_OR_RETURN(std::string group, ExpectIdent());
+      q.GroupBy(std::move(group));
+    }
+    SSDB_RETURN_IF_ERROR(ExpectEnd());
+
+    if (agg != AggregateOp::kNone) {
+      q.Aggregate(agg, agg_column);
+      if (!projection.empty()) {
+        return Status::NotSupported(
+            "sql: mixing an aggregate with plain columns is not supported");
+      }
+    } else if (!star) {
+      q.Project(std::move(projection));
+    }
+    cmd.query = std::move(q);
+    return cmd;
+  }
+
+  Result<SqlCommand> ParseUpdate() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kUpdate;
+    SSDB_ASSIGN_OR_RETURN(cmd.table, ExpectIdent());
+    SSDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    SSDB_ASSIGN_OR_RETURN(cmd.set_column, ExpectIdent());
+    SSDB_RETURN_IF_ERROR(ExpectSymbol('='));
+    SSDB_ASSIGN_OR_RETURN(cmd.set_value, ExpectLiteral());
+    if (AcceptKeyword("WHERE")) {
+      SSDB_RETURN_IF_ERROR(ParseCondition(&cmd.where, &cmd.where_any));
+      if (!cmd.where_any.empty()) {
+        return Status::NotSupported("sql: OR is not supported in UPDATE");
+      }
+    }
+    SSDB_RETURN_IF_ERROR(ExpectEnd());
+    return cmd;
+  }
+
+  Result<SqlCommand> ParseDelete() {
+    SqlCommand cmd;
+    cmd.kind = SqlCommand::Kind::kDelete;
+    SSDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SSDB_ASSIGN_OR_RETURN(cmd.table, ExpectIdent());
+    if (AcceptKeyword("WHERE")) {
+      SSDB_RETURN_IF_ERROR(ParseCondition(&cmd.where, &cmd.where_any));
+      if (!cmd.where_any.empty()) {
+        return Status::NotSupported("sql: OR is not supported in DELETE");
+      }
+    }
+    SSDB_RETURN_IF_ERROR(ExpectEnd());
+    return cmd;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SqlCommand> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  SSDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace ssdb

@@ -1,0 +1,59 @@
+// A small SQL front-end over the query API.
+//
+// The paper phrases every workload in SQL prose ("Retrieve the names of
+// all employees whose salary is 20", "SELECT SUM(salary) ..."); this
+// parser lets examples and applications say exactly that. Supported
+// grammar (keywords case-insensitive):
+//
+//   SELECT select_list FROM table [WHERE condition] [GROUP BY column]
+//   UPDATE table SET column = literal [WHERE condition]
+//   DELETE FROM table [WHERE condition]
+//
+//   select_list := '*' | item (',' item)*
+//   item        := column
+//                | SUM|AVG|MIN|MAX|MEDIAN '(' column ')'
+//                | COUNT '(' '*' ')'
+//   condition   := term (AND term)*
+//   term        := predicate
+//                | '(' predicate (OR predicate)+ ')'   -- one OR group
+//   predicate   := column '=' literal
+//                | column BETWEEN literal AND literal
+//                | column LIKE 'PREFIX%'
+//   literal     := integer | 'string'
+//
+// The grammar deliberately mirrors what the secret-sharing engine can
+// push to providers — anything else fails to parse rather than silently
+// degrading.
+
+#ifndef SSDB_CLIENT_SQL_H_
+#define SSDB_CLIENT_SQL_H_
+
+#include <string>
+#include <vector>
+
+#include "client/query.h"
+#include "common/status.h"
+
+namespace ssdb {
+
+/// A parsed SQL statement.
+struct SqlCommand {
+  enum class Kind { kSelect, kUpdate, kDelete };
+
+  Kind kind = Kind::kSelect;
+  /// For kSelect: the full query.
+  Query query = Query::Select("");
+  /// For kUpdate / kDelete.
+  std::string table;
+  std::vector<Predicate> where;
+  std::vector<Predicate> where_any;
+  std::string set_column;  ///< kUpdate only.
+  Value set_value;         ///< kUpdate only.
+};
+
+/// Parses one SQL statement (optionally ';'-terminated).
+Result<SqlCommand> ParseSql(const std::string& sql);
+
+}  // namespace ssdb
+
+#endif  // SSDB_CLIENT_SQL_H_

@@ -1,0 +1,147 @@
+#include "codec/schema.h"
+
+namespace ssdb {
+
+Result<OpDomain> ColumnSpec::CodeDomain() const {
+  if (type == ValueType::kInt64) {
+    if (int_domain.hi < int_domain.lo) {
+      return Status::InvalidArgument("column '" + name +
+                                     "': int domain hi < lo");
+    }
+    return int_domain;
+  }
+  SSDB_ASSIGN_OR_RETURN(String27 codec, String27::Create(string_width));
+  return codec.domain();
+}
+
+Result<int64_t> ColumnSpec::EncodeToCode(const Value& v) const {
+  if (v.type() != type) {
+    return Status::InvalidArgument("column '" + name +
+                                   "': value type mismatch");
+  }
+  if (type == ValueType::kInt64) {
+    if (!int_domain.Contains(v.AsInt())) {
+      return Status::OutOfRange("column '" + name +
+                                "': value outside declared domain");
+    }
+    return v.AsInt();
+  }
+  SSDB_ASSIGN_OR_RETURN(String27 codec, String27::Create(string_width));
+  return codec.Encode(v.AsString());
+}
+
+Result<Value> ColumnSpec::DecodeFromCode(int64_t code) const {
+  if (type == ValueType::kInt64) {
+    if (!int_domain.Contains(code)) {
+      return Status::Corruption("column '" + name +
+                                "': reconstructed code outside domain");
+    }
+    return Value::Int(code);
+  }
+  SSDB_ASSIGN_OR_RETURN(String27 codec, String27::Create(string_width));
+  SSDB_ASSIGN_OR_RETURN(std::string s, codec.Decode(code));
+  return Value::Str(std::move(s));
+}
+
+ColumnSpec IntColumn(std::string name, int64_t lo, int64_t hi, uint32_t caps,
+                     std::string domain_name) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.type = ValueType::kInt64;
+  c.caps = caps;
+  c.domain_name = std::move(domain_name);
+  c.int_domain = OpDomain{lo, hi};
+  return c;
+}
+
+ColumnSpec StringColumn(std::string name, uint32_t width, uint32_t caps,
+                        std::string domain_name) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.type = ValueType::kString;
+  c.caps = caps;
+  c.domain_name = std::move(domain_name);
+  c.string_width = width;
+  return c;
+}
+
+Status TableSchema::Validate() const {
+  if (table_name.empty()) {
+    return Status::InvalidArgument("schema: empty table name");
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema: table needs at least one column");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const ColumnSpec& c = columns[i];
+    if (c.name.empty()) {
+      return Status::InvalidArgument("schema: empty column name");
+    }
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[j].name == c.name) {
+        return Status::AlreadyExists("schema: duplicate column '" + c.name +
+                                     "'");
+      }
+    }
+    SSDB_ASSIGN_OR_RETURN(OpDomain dom, c.CodeDomain());
+    if (dom.size() > (static_cast<u128>(1)
+                      << OrderPreservingScheme::kMaxDomainBits)) {
+      return Status::InvalidArgument("schema: column '" + c.name +
+                                     "' domain wider than 2^60 values");
+    }
+    // Columns sharing a domain name must declare identical code domains,
+    // or deterministic shares would not align across them.
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      if (columns[j].DomainTag() != c.DomainTag()) continue;
+      SSDB_ASSIGN_OR_RETURN(OpDomain other, columns[j].CodeDomain());
+      if (other.lo != dom.lo || other.hi != dom.hi) {
+        return Status::InvalidArgument(
+            "schema: columns '" + c.name + "' and '" + columns[j].name +
+            "' share a domain but declare different code domains");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return i;
+  }
+  return Status::NotFound("schema: no column '" + name + "' in table '" +
+                          table_name + "'");
+}
+
+Status TableSchema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns.size()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    SSDB_ASSIGN_OR_RETURN(int64_t code, columns[i].EncodeToCode(row[i]));
+    (void)code;
+  }
+  return Status::OK();
+}
+
+void ProviderColumnLayout::EncodeTo(Buffer* buf) const {
+  buf->PutBool(has_det);
+  buf->PutBool(has_op);
+}
+
+Status ProviderColumnLayout::DecodeFrom(Decoder* dec,
+                                        ProviderColumnLayout* out) {
+  SSDB_RETURN_IF_ERROR(dec->GetBool(&out->has_det));
+  SSDB_RETURN_IF_ERROR(dec->GetBool(&out->has_op));
+  return Status::OK();
+}
+
+std::vector<ProviderColumnLayout> ProviderLayout(const TableSchema& schema) {
+  std::vector<ProviderColumnLayout> out(schema.columns.size());
+  for (size_t i = 0; i < schema.columns.size(); ++i) {
+    out[i].has_det = schema.columns[i].exact_match();
+    out[i].has_op = schema.columns[i].range();
+  }
+  return out;
+}
+
+}  // namespace ssdb

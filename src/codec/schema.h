@@ -1,0 +1,111 @@
+// Table schemas and column sharing capabilities.
+//
+// The data source declares, per column, which provider-side operations the
+// column must support; that choice determines which share representations
+// are materialized at the providers:
+//
+//   capability        share stored at each provider        enables (§V.A)
+//   ---------------   ----------------------------------   -----------------
+//   (always)          random Shamir share  (Fp61)          reconstruction,
+//                                                          SUM/AVG partials
+//   kExactMatch       deterministic Shamir share (Fp61)    point lookups,
+//                                                          same-domain joins
+//   kRange            order-preserving share (u128)        range filtering,
+//                                                          MIN/MAX/MEDIAN
+//
+// Columns carry a `domain_name`; the sharing polynomials are constructed
+// per *domain*, not per attribute ("our polynomials are constructed for
+// each domain not for each attribute", §V.A Join), so two columns with the
+// same domain name are joinable on shares and columns with different
+// domains are not (the paper's cross-domain join limitation).
+
+#ifndef SSDB_CODEC_SCHEMA_H_
+#define SSDB_CODEC_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/string27.h"
+#include "codec/value.h"
+#include "common/buffer.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "sss/order_preserving.h"
+
+namespace ssdb {
+
+/// Provider-side operations a column must support (bitmask).
+enum ColumnCaps : uint32_t {
+  kCapNone = 0,        ///< Reconstruction and SUM only.
+  kCapExactMatch = 1,  ///< Provider-side equality / join on shares.
+  kCapRange = 2,       ///< Provider-side range filtering (order-preserving).
+};
+
+/// \brief Declaration of one column.
+struct ColumnSpec {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  uint32_t caps = kCapNone;
+  /// Join-compatibility class; defaults to the column name when empty.
+  std::string domain_name;
+  /// Value domain for kInt64 columns (inclusive); required.
+  OpDomain int_domain;
+  /// Fixed width for kString columns (1..12).
+  uint32_t string_width = 0;
+
+  bool exact_match() const { return (caps & kCapExactMatch) != 0; }
+  bool range() const { return (caps & kCapRange) != 0; }
+
+  /// The numeric code domain of this column (int_domain, or [0, 27^w-1]).
+  Result<OpDomain> CodeDomain() const;
+
+  /// Domain tag used to key deterministic polynomials; equal for columns
+  /// of the same domain.
+  uint64_t DomainTag() const {
+    const std::string& d = domain_name.empty() ? name : domain_name;
+    return Fnv1a64(Slice(d));
+  }
+
+  /// Maps a typed value into its numeric code (checking the domain).
+  Result<int64_t> EncodeToCode(const Value& v) const;
+  /// Maps a code back to a typed value.
+  Result<Value> DecodeFromCode(int64_t code) const;
+};
+
+/// Convenience constructors.
+ColumnSpec IntColumn(std::string name, int64_t lo, int64_t hi,
+                     uint32_t caps = kCapExactMatch | kCapRange,
+                     std::string domain_name = "");
+ColumnSpec StringColumn(std::string name, uint32_t width,
+                        uint32_t caps = kCapExactMatch | kCapRange,
+                        std::string domain_name = "");
+
+/// \brief A named table: ordered list of column declarations.
+struct TableSchema {
+  std::string table_name;
+  std::vector<ColumnSpec> columns;
+
+  Status Validate() const;
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Checks a row against the schema (arity, types, domains).
+  Status ValidateRow(const std::vector<Value>& row) const;
+};
+
+/// What a provider is told about a column: only which share kinds exist.
+/// Domains, widths, and domain names never leave the data source.
+struct ProviderColumnLayout {
+  bool has_det = false;
+  bool has_op = false;
+
+  void EncodeTo(Buffer* buf) const;
+  static Status DecodeFrom(Decoder* dec, ProviderColumnLayout* out);
+};
+
+/// Derives the provider-visible layout of a schema.
+std::vector<ProviderColumnLayout> ProviderLayout(const TableSchema& schema);
+
+}  // namespace ssdb
+
+#endif  // SSDB_CODEC_SCHEMA_H_

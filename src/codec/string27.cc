@@ -1,0 +1,90 @@
+#include "codec/string27.h"
+
+namespace ssdb {
+
+String27::String27(uint32_t width) : width_(width) {
+  int64_t max_code = 1;
+  for (uint32_t i = 0; i < width; ++i) max_code *= 27;
+  max_code_ = max_code - 1;
+}
+
+Result<String27> String27::Create(uint32_t width) {
+  if (width < 1 || width > kMaxWidth) {
+    return Status::InvalidArgument(
+        "String27: width must be in [1, 12] (27^12 < 2^58)");
+  }
+  return String27(width);
+}
+
+Result<int> String27::CharCode(char c) {
+  if (c == kBlank) return 0;
+  if (c >= 'A' && c <= 'Z') return c - 'A' + 1;
+  if (c >= 'a' && c <= 'z') return c - 'a' + 1;
+  return Status::InvalidArgument(
+      std::string("String27: character '") + c +
+      "' outside the {*, A..Z} alphabet");
+}
+
+Result<int64_t> String27::Encode(const std::string& s) const {
+  if (s.size() > width_) {
+    return Status::OutOfRange("String27: string longer than declared width");
+  }
+  int64_t code = 0;
+  for (uint32_t i = 0; i < width_; ++i) {
+    int digit = 0;
+    if (i < s.size()) {
+      SSDB_ASSIGN_OR_RETURN(digit, CharCode(s[i]));
+    }
+    code = code * 27 + digit;
+  }
+  return code;
+}
+
+Result<std::string> String27::Decode(int64_t code) const {
+  if (code < 0 || code > max_code_) {
+    return Status::OutOfRange("String27: code outside 27^width domain");
+  }
+  std::string padded(width_, kBlank);
+  for (uint32_t i = width_; i-- > 0;) {
+    const int digit = static_cast<int>(code % 27);
+    code /= 27;
+    padded[i] = digit == 0 ? kBlank : static_cast<char>('A' + digit - 1);
+  }
+  // Strip the right padding (interior blanks, while unusual, are kept).
+  size_t end = padded.size();
+  while (end > 0 && padded[end - 1] == kBlank) --end;
+  return padded.substr(0, end);
+}
+
+Result<OpDomain> String27::PrefixRange(const std::string& prefix) const {
+  if (prefix.size() > width_) {
+    return Status::OutOfRange("String27: prefix longer than width");
+  }
+  // Low end: prefix padded with blanks (digit 0); high end: prefix padded
+  // with 'Z' (digit 26).
+  int64_t lo = 0, hi = 0;
+  for (uint32_t i = 0; i < width_; ++i) {
+    int lo_digit = 0, hi_digit = 26;
+    if (i < prefix.size()) {
+      SSDB_ASSIGN_OR_RETURN(lo_digit, CharCode(prefix[i]));
+      hi_digit = lo_digit;
+    }
+    lo = lo * 27 + lo_digit;
+    hi = hi * 27 + hi_digit;
+  }
+  return OpDomain{lo, hi};
+}
+
+Result<OpDomain> String27::LexRange(const std::string& lo,
+                                    const std::string& hi) const {
+  SSDB_ASSIGN_OR_RETURN(int64_t lo_code, Encode(lo));
+  // The upper end is inclusive of every padded string that starts with
+  // `hi`: encode hi then fill the tail with 'Z'.
+  SSDB_ASSIGN_OR_RETURN(OpDomain hi_range, PrefixRange(hi));
+  if (lo_code > hi_range.hi) {
+    return Status::InvalidArgument("String27: empty lexicographic range");
+  }
+  return OpDomain{lo_code, hi_range.hi};
+}
+
+}  // namespace ssdb

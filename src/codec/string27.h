@@ -1,0 +1,69 @@
+// Base-27 string encoding (Section V.B of the paper).
+//
+// Fixed-width strings over the alphabet {*, A..Z} (with '*' the blank
+// padding character) are enumerated as numbers in base 27:
+//     * = 0, A = 1, B = 2, ..., Z = 26,
+// most significant character first, padded with blanks on the right. The
+// paper's example: "ABC" at width 5 becomes (1 2 3 0 0)_27 = 572994.
+// (The paper's prose quotes 21998878, which cannot be a width-5 code at
+// all — 27^5 = 14348907 — so we reproduce the *scheme* and the tests pin
+// the correct arithmetic.)
+//
+// The encoding is order-isomorphic to the lexicographic order of the
+// padded strings, so exact-match, prefix ("starts with AB") and range
+// ("between Albert and Jack") queries on names all reduce to the numeric
+// machinery. Width is limited to 12 characters so encodings stay below
+// 27^12 < 2^58 and fit the sharing domain.
+
+#ifndef SSDB_CODEC_STRING27_H_
+#define SSDB_CODEC_STRING27_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "sss/order_preserving.h"
+
+namespace ssdb {
+
+/// \brief Codec between width-limited upper-case strings and base-27
+/// integers.
+class String27 {
+ public:
+  static constexpr uint32_t kMaxWidth = 12;
+  static constexpr char kBlank = '*';
+
+  /// Creates a codec for the given fixed width (1..12).
+  static Result<String27> Create(uint32_t width);
+
+  uint32_t width() const { return width_; }
+  /// The numeric domain the encodings live in: [0, 27^width - 1].
+  OpDomain domain() const { return OpDomain{0, max_code_}; }
+
+  /// Encodes `s` (length <= width; upper-case letters only; lower-case is
+  /// folded). Shorter strings are right-padded with blanks.
+  Result<int64_t> Encode(const std::string& s) const;
+
+  /// Decodes a code back to the unpadded string.
+  Result<std::string> Decode(int64_t code) const;
+
+  /// Numeric interval covering exactly the strings with prefix `prefix`
+  /// ("name LIKE 'AB%'").
+  Result<OpDomain> PrefixRange(const std::string& prefix) const;
+
+  /// Numeric interval covering the lexicographic closed range [lo, hi]
+  /// ("name BETWEEN 'ALBERT' AND 'JACK'").
+  Result<OpDomain> LexRange(const std::string& lo, const std::string& hi) const;
+
+ private:
+  explicit String27(uint32_t width);
+
+  static Result<int> CharCode(char c);
+
+  uint32_t width_;
+  int64_t max_code_;  // 27^width - 1
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CODEC_STRING27_H_

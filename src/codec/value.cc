@@ -1,0 +1,32 @@
+#include "codec/value.h"
+
+namespace ssdb {
+
+void Value::EncodeTo(Buffer* buf) const {
+  buf->PutU8(static_cast<uint8_t>(type_));
+  if (is_int()) {
+    buf->PutI64(i_);
+  } else {
+    buf->PutLengthPrefixed(Slice(s_));
+  }
+}
+
+Status Value::DecodeFrom(Decoder* dec, Value* out) {
+  uint8_t tag = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU8(&tag));
+  if (tag == static_cast<uint8_t>(ValueType::kInt64)) {
+    int64_t v = 0;
+    SSDB_RETURN_IF_ERROR(dec->GetI64(&v));
+    *out = Value::Int(v);
+    return Status::OK();
+  }
+  if (tag == static_cast<uint8_t>(ValueType::kString)) {
+    std::string s;
+    SSDB_RETURN_IF_ERROR(dec->GetLengthPrefixedString(&s));
+    *out = Value::Str(std::move(s));
+    return Status::OK();
+  }
+  return Status::Corruption("Value: unknown type tag");
+}
+
+}  // namespace ssdb

@@ -1,0 +1,73 @@
+// Typed values exchanged through the public API.
+//
+// The query surface of the paper is integer-centric (salaries) plus
+// fixed-width upper-case strings that are funneled through the base-27
+// numeric encoding of Section V.B (see codec/string27.h). A Value is a
+// tagged union of the two.
+
+#ifndef SSDB_CODEC_VALUE_H_
+#define SSDB_CODEC_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/buffer.h"
+#include "common/status.h"
+
+namespace ssdb {
+
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kString = 1,
+};
+
+/// \brief A typed scalar: 64-bit signed integer or a string.
+class Value {
+ public:
+  Value() : type_(ValueType::kInt64), i_(0) {}
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt64;
+    out.i_ = v;
+    return out;
+  }
+  static Value Str(std::string s) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.s_ = std::move(s);
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_int() const { return type_ == ValueType::kInt64; }
+  bool is_string() const { return type_ == ValueType::kString; }
+
+  int64_t AsInt() const { return i_; }
+  const std::string& AsString() const { return s_; }
+
+  bool operator==(const Value& o) const {
+    if (type_ != o.type_) return false;
+    return is_int() ? i_ == o.i_ : s_ == o.s_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Human-readable rendering for examples and logs.
+  std::string ToString() const {
+    return is_int() ? std::to_string(i_) : "'" + s_ + "'";
+  }
+
+  /// Wire encoding (type tag + payload).
+  void EncodeTo(Buffer* buf) const;
+  static Status DecodeFrom(Decoder* dec, Value* out);
+
+ private:
+  ValueType type_;
+  int64_t i_ = 0;
+  std::string s_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CODEC_VALUE_H_

@@ -1,0 +1,162 @@
+#include "common/buffer.h"
+
+#include <cstring>
+
+namespace ssdb {
+
+void Buffer::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void Buffer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Buffer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Buffer::PutU128(u128 v) {
+  PutU64(U128Lo(v));
+  PutU64(U128Hi(v));
+}
+
+void Buffer::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Buffer::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void Buffer::PutLengthPrefixed(Slice s) {
+  PutVarint(s.size());
+  Append(s);
+}
+
+namespace {
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("decode: truncated ") + what);
+}
+}  // namespace
+
+Status Decoder::GetRaw(size_t n, Slice* out) {
+  if (input_.size() < n) return Truncated("raw bytes");
+  *out = Slice(input_.data(), n);
+  input_.remove_prefix(n);
+  return Status::OK();
+}
+
+Status Decoder::GetU8(uint8_t* out) {
+  if (input_.empty()) return Truncated("u8");
+  *out = input_[0];
+  input_.remove_prefix(1);
+  return Status::OK();
+}
+
+Status Decoder::GetU16(uint16_t* out) {
+  Slice raw;
+  SSDB_RETURN_IF_ERROR(GetRaw(2, &raw));
+  *out = static_cast<uint16_t>(raw[0]) |
+         static_cast<uint16_t>(static_cast<uint16_t>(raw[1]) << 8);
+  return Status::OK();
+}
+
+Status Decoder::GetU32(uint32_t* out) {
+  Slice raw;
+  SSDB_RETURN_IF_ERROR(GetRaw(4, &raw));
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | raw[static_cast<size_t>(i)];
+  *out = v;
+  return Status::OK();
+}
+
+Status Decoder::GetU64(uint64_t* out) {
+  Slice raw;
+  SSDB_RETURN_IF_ERROR(GetRaw(8, &raw));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | raw[static_cast<size_t>(i)];
+  *out = v;
+  return Status::OK();
+}
+
+Status Decoder::GetU128(u128* out) {
+  uint64_t lo = 0, hi = 0;
+  SSDB_RETURN_IF_ERROR(GetU64(&lo));
+  SSDB_RETURN_IF_ERROR(GetU64(&hi));
+  *out = MakeU128(hi, lo);
+  return Status::OK();
+}
+
+Status Decoder::GetI64(int64_t* out) {
+  uint64_t v = 0;
+  SSDB_RETURN_IF_ERROR(GetU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::OK();
+}
+
+Status Decoder::GetDouble(double* out) {
+  uint64_t bits = 0;
+  SSDB_RETURN_IF_ERROR(GetU64(&bits));
+  memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Decoder::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  Slice cursor = input_;
+  while (!cursor.empty()) {
+    const uint8_t byte = cursor[0];
+    cursor.remove_prefix(1);
+    if (shift >= 64 || (shift == 63 && (byte & 0x7E) != 0)) {
+      return Status::Corruption("decode: varint overflow");
+    }
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      input_ = cursor;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Truncated("varint");
+}
+
+Status Decoder::GetLengthPrefixed(Slice* out) {
+  uint64_t len = 0;
+  Slice saved = input_;
+  SSDB_RETURN_IF_ERROR(GetVarint(&len));
+  if (input_.size() < len) {
+    input_ = saved;
+    return Truncated("length-prefixed bytes");
+  }
+  *out = Slice(input_.data(), len);
+  input_.remove_prefix(len);
+  return Status::OK();
+}
+
+Status Decoder::GetLengthPrefixedString(std::string* out) {
+  Slice s;
+  SSDB_RETURN_IF_ERROR(GetLengthPrefixed(&s));
+  *out = s.ToString();
+  return Status::OK();
+}
+
+Status Decoder::GetBool(bool* out) {
+  uint8_t v = 0;
+  SSDB_RETURN_IF_ERROR(GetU8(&v));
+  if (v > 1) return Status::Corruption("decode: bool out of range");
+  *out = (v == 1);
+  return Status::OK();
+}
+
+}  // namespace ssdb

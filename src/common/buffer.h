@@ -1,0 +1,92 @@
+// Byte buffer with a little-endian wire encoder/decoder.
+//
+// All messages exchanged between the data source and the service providers
+// (src/net) and all persisted provider state are encoded with this format:
+// fixed-width little-endian integers, LEB128 varints, and length-prefixed
+// byte strings. The decoder is bounds-checked and returns Status on
+// truncated or malformed input so a corrupt message can never crash a
+// provider.
+
+#ifndef SSDB_COMMON_BUFFER_H_
+#define SSDB_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/wide_int.h"
+
+namespace ssdb {
+
+/// \brief Growable byte buffer used as the target of wire encoding.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  const uint8_t* data() const { return bytes_.data(); }
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  void clear() { bytes_.clear(); }
+  void reserve(size_t n) { bytes_.reserve(n); }
+
+  Slice AsSlice() const { return Slice(bytes_.data(), bytes_.size()); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t>&& TakeBytes() { return std::move(bytes_); }
+
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutU128(u128 v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  /// LEB128 unsigned varint (1..10 bytes).
+  void PutVarint(uint64_t v);
+  /// Varint length prefix followed by the raw bytes.
+  void PutLengthPrefixed(Slice s);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  /// Appends raw bytes with no framing.
+  void Append(Slice s) {
+    bytes_.insert(bytes_.end(), s.data(), s.data() + s.size());
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// \brief Bounds-checked reader over an encoded byte range.
+///
+/// Every Get* returns Status::Corruption on truncation; the cursor is only
+/// advanced on success.
+class Decoder {
+ public:
+  explicit Decoder(Slice input) : input_(input) {}
+
+  size_t remaining() const { return input_.size(); }
+  bool done() const { return input_.empty(); }
+
+  Status GetU8(uint8_t* out);
+  Status GetU16(uint16_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetU128(u128* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);
+  Status GetVarint(uint64_t* out);
+  /// Reads a varint length prefix then views that many bytes (no copy).
+  Status GetLengthPrefixed(Slice* out);
+  /// Reads a length-prefixed byte string into an owned std::string.
+  Status GetLengthPrefixedString(std::string* out);
+  Status GetBool(bool* out);
+  /// Views `n` raw bytes.
+  Status GetRaw(size_t n, Slice* out);
+
+ private:
+  Slice input_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_COMMON_BUFFER_H_

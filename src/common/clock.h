@@ -1,0 +1,55 @@
+// Wall-clock and simulated-clock utilities.
+//
+// The simulated network (src/net) charges latency and transmission time to
+// a VirtualClock so benchmarks can report modelled wide-area costs that are
+// independent of the host machine, alongside real CPU time measured with
+// StopWatch.
+
+#ifndef SSDB_COMMON_CLOCK_H_
+#define SSDB_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ssdb {
+
+/// \brief Monotonic real-time stopwatch (microsecond resolution).
+class StopWatch {
+ public:
+  StopWatch() { Reset(); }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  /// Microseconds since construction or the last Reset().
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Logical clock advanced by the network simulator.
+///
+/// Time is in microseconds. Channels advance the clock by
+/// latency + bytes/bandwidth for every message; parallel round trips are
+/// modelled by `AdvanceToAtLeast` (the slowest provider in a fan-out
+/// dominates).
+class VirtualClock {
+ public:
+  uint64_t now_us() const { return now_us_; }
+  void Advance(uint64_t delta_us) { now_us_ += delta_us; }
+  void AdvanceToAtLeast(uint64_t t_us) {
+    if (t_us > now_us_) now_us_ = t_us;
+  }
+  void Reset() { now_us_ = 0; }
+
+ private:
+  uint64_t now_us_ = 0;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_COMMON_CLOCK_H_

@@ -1,0 +1,84 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace ssdb {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int b) { return (x << b) | (x >> (64 - b)); }
+
+#define SSDB_SIPROUND     \
+  do {                    \
+    v0 += v1;             \
+    v1 = Rotl(v1, 13);    \
+    v1 ^= v0;             \
+    v0 = Rotl(v0, 32);    \
+    v2 += v3;             \
+    v3 = Rotl(v3, 16);    \
+    v3 ^= v2;             \
+    v0 += v3;             \
+    v3 = Rotl(v3, 21);    \
+    v3 ^= v0;             \
+    v2 += v1;             \
+    v1 = Rotl(v1, 17);    \
+    v1 ^= v2;             \
+    v2 = Rotl(v2, 32);    \
+  } while (0)
+}  // namespace
+
+uint64_t SipHash24(const SipHashKey& key, Slice data) {
+  uint64_t v0 = 0x736F6D6570736575ULL ^ key.k0;
+  uint64_t v1 = 0x646F72616E646F6DULL ^ key.k1;
+  uint64_t v2 = 0x6C7967656E657261ULL ^ key.k0;
+  uint64_t v3 = 0x7465646279746573ULL ^ key.k1;
+
+  const uint8_t* in = data.data();
+  const size_t len = data.size();
+  const size_t left = len & 7;
+  const uint8_t* end = in + len - left;
+
+  for (; in != end; in += 8) {
+    uint64_t m;
+    memcpy(&m, in, 8);
+    v3 ^= m;
+    SSDB_SIPROUND;
+    SSDB_SIPROUND;
+    v0 ^= m;
+  }
+
+  uint64_t b = static_cast<uint64_t>(len) << 56;
+  for (size_t i = 0; i < left; ++i) {
+    b |= static_cast<uint64_t>(in[i]) << (8 * i);
+  }
+  v3 ^= b;
+  SSDB_SIPROUND;
+  SSDB_SIPROUND;
+  v0 ^= b;
+
+  v2 ^= 0xFF;
+  SSDB_SIPROUND;
+  SSDB_SIPROUND;
+  SSDB_SIPROUND;
+  SSDB_SIPROUND;
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+#undef SSDB_SIPROUND
+
+uint64_t SipHash24U64(const SipHashKey& key, uint64_t message, uint64_t tweak) {
+  uint8_t buf[16];
+  memcpy(buf, &message, 8);
+  memcpy(buf + 8, &tweak, 8);
+  return SipHash24(key, Slice(buf, sizeof(buf)));
+}
+
+uint64_t Fnv1a64(Slice data) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < data.size(); ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace ssdb

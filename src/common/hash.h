@@ -1,0 +1,35 @@
+// Keyed and unkeyed hashing.
+//
+// SipHash-2-4 is the keyed hash used by the order-preserving polynomial
+// construction of Section IV (the per-value slot hashes h_a, h_b, h_c) and
+// by deterministic coefficient derivation. FNV-1a is the cheap unkeyed hash
+// for in-memory hash indexes.
+
+#ifndef SSDB_COMMON_HASH_H_
+#define SSDB_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace ssdb {
+
+/// 128-bit SipHash key.
+struct SipHashKey {
+  uint64_t k0 = 0;
+  uint64_t k1 = 0;
+};
+
+/// SipHash-2-4 of `data` under `key` (64-bit output).
+uint64_t SipHash24(const SipHashKey& key, Slice data);
+
+/// Convenience: SipHash of a 64-bit message with a 64-bit tweak mixed in.
+uint64_t SipHash24U64(const SipHashKey& key, uint64_t message,
+                      uint64_t tweak = 0);
+
+/// FNV-1a 64-bit (unkeyed, non-cryptographic).
+uint64_t Fnv1a64(Slice data);
+
+}  // namespace ssdb
+
+#endif  // SSDB_COMMON_HASH_H_

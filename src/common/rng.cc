@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ssdb {
+
+namespace {
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(&x);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  // Lemire-style rejection to remove modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + Uniform(span));
+}
+
+u128 Rng::Uniform128(u128 bound) {
+  const u128 threshold = (static_cast<u128>(0) - bound) % bound;
+  for (;;) {
+    const u128 r = MakeU128(Next(), Next());
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+void Rng::FillBytes(uint8_t* out, size_t n) {
+  while (n >= 8) {
+    const uint64_t v = Next();
+    memcpy(out, &v, 8);
+    out += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    const uint64_t v = Next();
+    memcpy(out, &v, n);
+  }
+}
+
+Zipf::Zipf(uint64_t n, double theta) : n_(n == 0 ? 1 : n), theta_(theta) {
+  double zetan = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) zetan += 1.0 / std::pow(i, theta_);
+  zetan_ = zetan;
+  zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t Zipf::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < zeta2_) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything random in the library (polynomial coefficients, secret
+// evaluation points, workload generation) flows through Rng so that runs
+// are reproducible from a seed. The generator is xoshiro256** (Blackman &
+// Vigna), which is fast and passes BigCrush; it is NOT used where
+// cryptographic strength is claimed — key-derived randomness for
+// deterministic shares uses crypto::Prf instead.
+
+#ifndef SSDB_COMMON_RNG_H_
+#define SSDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/wide_int.h"
+
+namespace ssdb {
+
+/// \brief xoshiro256** seeded PRNG.
+class Rng {
+ public:
+  /// Seeds the state via splitmix64 of `seed` (any seed is acceptable,
+  /// including 0).
+  explicit Rng(uint64_t seed = 0xB0BACAFEDEADBEEFULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound) using rejection sampling (unbiased).
+  /// `bound` must be non-zero.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform 128-bit value in [0, bound); `bound` must be non-zero.
+  u128 Uniform128(u128 bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fills `out` with random bytes.
+  void FillBytes(uint8_t* out, size_t n);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipfian distribution over [0, n) with exponent `theta`
+/// (YCSB-style), used by workload generators.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta);
+  /// Draws one sample in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_COMMON_RNG_H_

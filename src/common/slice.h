@@ -1,0 +1,82 @@
+// A non-owning view over a byte range, in the spirit of rocksdb::Slice.
+
+#ifndef SSDB_COMMON_SLICE_H_
+#define SSDB_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssdb {
+
+/// \brief A pointer + length view of immutable bytes.
+///
+/// A Slice never owns its data; the caller must keep the underlying storage
+/// alive for the lifetime of the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  /// From a NUL-terminated C string (not including the terminator).
+  Slice(const char* cstr)  // NOLINT(runtime/explicit): mirrors rocksdb
+      : data_(reinterpret_cast<const uint8_t*>(cstr)),
+        size_(cstr ? strlen(cstr) : 0) {}
+  Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const std::vector<uint8_t>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first `n` bytes from the view.
+  void remove_prefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  /// Returns a copy of the viewed bytes as a std::string.
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  /// Returns the viewed bytes as a std::string_view (no copy).
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  /// Three-way lexicographic comparison (memcmp order).
+  int compare(const Slice& other) const {
+    const size_t min_len = size_ < other.size_ ? size_ : other.size_;
+    int r = (min_len == 0) ? 0 : memcmp(data_, other.data_, min_len);
+    if (r == 0) {
+      if (size_ < other.size_) return -1;
+      if (size_ > other.size_) return 1;
+    }
+    return r;
+  }
+
+  bool operator==(const Slice& other) const { return compare(other) == 0; }
+  bool operator!=(const Slice& other) const { return compare(other) != 0; }
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           (prefix.size_ == 0 ||
+            memcmp(data_, prefix.data_, prefix.size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_COMMON_SLICE_H_

@@ -1,0 +1,175 @@
+// Status / Result error model for ShamirDB.
+//
+// The library does not throw exceptions on anticipated failure paths
+// (bad input, unavailable providers, corrupt shares, ...). Every fallible
+// public API returns either a Status or a Result<T> carrying a Status.
+// The style follows the RocksDB / Arrow convention.
+
+#ifndef SSDB_COMMON_STATUS_H_
+#define SSDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ssdb {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed something malformed.
+  kNotFound = 2,          ///< Table / column / row / key does not exist.
+  kAlreadyExists = 3,     ///< Create of an object that is already present.
+  kUnavailable = 4,       ///< Too few providers reachable (< k).
+  kCorruption = 5,        ///< Share / message failed an integrity check.
+  kNotSupported = 6,      ///< Operation outside the scheme's capability
+                          ///< (e.g. cross-domain join, Section V.A).
+  kOutOfRange = 7,        ///< Value outside its declared domain.
+  kInternal = 8,          ///< Invariant violation inside the library.
+  kPermissionDenied = 9,  ///< Provider rejected an unauthorized request.
+};
+
+/// \brief Result of an operation that can fail without a payload.
+///
+/// A Status is cheap to copy (a code plus an optional message). Use the
+/// static constructors (`Status::InvalidArgument(...)`) to build errors and
+/// `Status::OK()` for success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status PermissionDenied(std::string m) {
+    return Status(StatusCode::kPermissionDenied, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string for logs and tests.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A value-or-error container, analogous to arrow::Result.
+///
+/// Holds either a T (when `ok()`) or a non-OK Status. Accessing the value of
+/// an errored Result is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define SSDB_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::ssdb::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Assigns the value of a Result to `lhs`, or propagates its error status.
+#define SSDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define SSDB_CONCAT_INNER(a, b) a##b
+#define SSDB_CONCAT(a, b) SSDB_CONCAT_INNER(a, b)
+#define SSDB_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SSDB_ASSIGN_OR_RETURN_IMPL(SSDB_CONCAT(_ssdb_res_, __LINE__), lhs, rexpr)
+
+}  // namespace ssdb
+
+#endif  // SSDB_COMMON_STATUS_H_

@@ -1,0 +1,197 @@
+#include "common/wide_int.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdb {
+
+std::string U128ToString(u128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v != 0) {
+    out.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string I128ToString(i128 v) {
+  if (v < 0) return "-" + U128ToString(static_cast<u128>(-(v + 1)) + 1);
+  return U128ToString(static_cast<u128>(v));
+}
+
+Int256::Int256(int64_t v) {
+  const uint64_t ext = v < 0 ? ~0ULL : 0ULL;
+  limbs_ = {static_cast<uint64_t>(v), ext, ext, ext};
+}
+
+Int256::Int256(i128 v) {
+  const uint64_t ext = v < 0 ? ~0ULL : 0ULL;
+  const u128 uv = static_cast<u128>(v);
+  limbs_ = {U128Lo(uv), U128Hi(uv), ext, ext};
+}
+
+Int256 Int256::FromU128(u128 v) {
+  Int256 r;
+  r.limbs_ = {U128Lo(v), U128Hi(v), 0, 0};
+  return r;
+}
+
+Int256 Int256::operator+(const Int256& o) const {
+  Int256 r;
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 s = static_cast<u128>(limbs_[i]) + o.limbs_[i] + carry;
+    r.limbs_[i] = U128Lo(s);
+    carry = s >> 64;
+  }
+  return r;
+}
+
+Int256 Int256::operator-() const {
+  Int256 r;
+  u128 carry = 1;
+  for (int i = 0; i < 4; ++i) {
+    u128 s = static_cast<u128>(~limbs_[i]) + carry;
+    r.limbs_[i] = U128Lo(s);
+    carry = s >> 64;
+  }
+  return r;
+}
+
+Int256 Int256::operator-(const Int256& o) const { return *this + (-o); }
+
+Int256 Int256::MulU128(u128 a, u128 b) {
+  const uint64_t a0 = U128Lo(a), a1 = U128Hi(a);
+  const uint64_t b0 = U128Lo(b), b1 = U128Hi(b);
+  const u128 p00 = static_cast<u128>(a0) * b0;
+  const u128 p01 = static_cast<u128>(a0) * b1;
+  const u128 p10 = static_cast<u128>(a1) * b0;
+  const u128 p11 = static_cast<u128>(a1) * b1;
+
+  Int256 r;
+  r.limbs_[0] = U128Lo(p00);
+  u128 mid = static_cast<u128>(U128Hi(p00)) + U128Lo(p01) + U128Lo(p10);
+  r.limbs_[1] = U128Lo(mid);
+  u128 hi = static_cast<u128>(U128Hi(mid)) + U128Hi(p01) + U128Hi(p10) +
+            U128Lo(p11);
+  r.limbs_[2] = U128Lo(hi);
+  r.limbs_[3] = U128Hi(hi) + U128Hi(p11);
+  return r;
+}
+
+Int256 Int256::Mul128(i128 a, i128 b) {
+  const bool neg = (a < 0) != (b < 0);
+  const u128 ua = a < 0 ? static_cast<u128>(-(a + 1)) + 1 : static_cast<u128>(a);
+  const u128 ub = b < 0 ? static_cast<u128>(-(b + 1)) + 1 : static_cast<u128>(b);
+  Int256 r = MulU128(ua, ub);
+  return neg ? -r : r;
+}
+
+Int256 Int256::MulSmall(i128 m) const {
+  const bool neg_this = is_negative();
+  const bool neg = neg_this != (m < 0);
+  const Int256 mag_this = neg_this ? -*this : *this;
+  const u128 um = m < 0 ? static_cast<u128>(-(m + 1)) + 1 : static_cast<u128>(m);
+  const uint64_t m0 = U128Lo(um), m1 = U128Hi(um);
+
+  // Magnitude multiply, wrapping mod 2^256.
+  Int256 r;
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 p = static_cast<u128>(mag_this.limbs_[i]) * m0 + U128Lo(carry);
+    r.limbs_[i] = U128Lo(p);
+    carry = (p >> 64) + U128Hi(carry);
+  }
+  if (m1 != 0) {
+    carry = 0;
+    for (int i = 0; i + 1 < 4; ++i) {
+      u128 p = static_cast<u128>(mag_this.limbs_[i]) * m1 +
+               r.limbs_[i + 1] + U128Lo(carry);
+      r.limbs_[i + 1] = U128Lo(p);
+      carry = (p >> 64) + U128Hi(carry);
+    }
+  }
+  return neg ? -r : r;
+}
+
+Int256 Int256::UDivSmall(u128 d, u128* rem) const {
+  assert(d != 0);
+  Int256 q;
+  // Base-2^64 long division by a (possibly) 128-bit divisor. We divide the
+  // running remainder (< d <= 2^128) extended by one limb, using 128/128
+  // hardware division when the divisor fits in 64 bits and a bitwise loop
+  // otherwise.
+  u128 r = 0;
+  for (int i = 3; i >= 0; --i) {
+    if (U128Hi(d) == 0) {
+      // r < d <= 2^64-1, so (r << 64) | limb fits in 128 bits.
+      u128 cur = (r << 64) | limbs_[i];
+      q.limbs_[i] = static_cast<uint64_t>(cur / d);
+      r = cur % d;
+    } else {
+      // Divisor is wider than 64 bits: shift in the limb bit by bit.
+      uint64_t limb = limbs_[i];
+      uint64_t qword = 0;
+      for (int b = 63; b >= 0; --b) {
+        r = (r << 1) | ((limb >> b) & 1);
+        qword <<= 1;
+        if (r >= d) {
+          r -= d;
+          qword |= 1;
+        }
+      }
+      q.limbs_[i] = qword;
+    }
+  }
+  *rem = r;
+  return q;
+}
+
+Int256 Int256::DivSmall(i128 d, bool* exact) const {
+  assert(d != 0);
+  const bool neg_this = is_negative();
+  const bool neg = neg_this != (d < 0);
+  const Int256 mag = neg_this ? -*this : *this;
+  const u128 ud = d < 0 ? static_cast<u128>(-(d + 1)) + 1 : static_cast<u128>(d);
+  u128 rem = 0;
+  Int256 q = mag.UDivSmall(ud, &rem);
+  if (exact != nullptr) *exact = (rem == 0);
+  return neg ? -q : q;
+}
+
+i128 Int256::ToI128() const {
+  return static_cast<i128>(MakeU128(limbs_[1], limbs_[0]));
+}
+
+bool Int256::FitsInI128() const {
+  const uint64_t ext = (limbs_[1] >> 63) != 0 ? ~0ULL : 0ULL;
+  return limbs_[2] == ext && limbs_[3] == ext;
+}
+
+int Int256::Compare(const Int256& o) const {
+  const bool an = is_negative(), bn = o.is_negative();
+  if (an != bn) return an ? -1 : 1;
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] < o.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::string Int256::ToString() const {
+  if (is_zero()) return "0";
+  const bool neg = is_negative();
+  Int256 mag = neg ? -*this : *this;
+  std::string digits;
+  while (!mag.is_zero()) {
+    u128 rem = 0;
+    mag = mag.UDivSmall(10, &rem);
+    digits.push_back(static_cast<char>('0' + static_cast<int>(rem)));
+  }
+  if (neg) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,97 @@
+// 128-bit and 256-bit integer support.
+//
+// Order-preserving shares (src/sss/order_preserving.h) are evaluations of
+// degree-3 integer polynomials with large coefficients; they do not fit in
+// 64 bits, and exact Lagrange reconstruction of their constant term needs
+// intermediate products beyond 128 bits. This header provides:
+//   * `u128` / `i128`  — aliases of the compiler's __int128 types plus
+//      helpers (decimal formatting, parsing halves).
+//   * `Int256`         — a minimal signed 256-bit integer (two's complement
+//      over four 64-bit limbs) supporting exactly the operations the exact
+//      interpolation path needs: add, sub, negate, multiply by i128,
+//      divide by i128, and comparison.
+
+#ifndef SSDB_COMMON_WIDE_INT_H_
+#define SSDB_COMMON_WIDE_INT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ssdb {
+
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+/// Formats an unsigned 128-bit integer in decimal.
+std::string U128ToString(u128 v);
+/// Formats a signed 128-bit integer in decimal.
+std::string I128ToString(i128 v);
+
+constexpr uint64_t U128Lo(u128 v) { return static_cast<uint64_t>(v); }
+constexpr uint64_t U128Hi(u128 v) { return static_cast<uint64_t>(v >> 64); }
+constexpr u128 MakeU128(uint64_t hi, uint64_t lo) {
+  return (static_cast<u128>(hi) << 64) | lo;
+}
+
+/// \brief Signed 256-bit integer (two's complement, little-endian limbs).
+///
+/// Only the operations required by exact rational Lagrange interpolation of
+/// order-preserving shares are implemented; all arithmetic wraps modulo
+/// 2^256 like ordinary machine integers (callers are responsible for
+/// choosing operand magnitudes that cannot overflow; see
+/// sss/order_preserving.cc for the bound derivation).
+class Int256 {
+ public:
+  Int256() : limbs_{0, 0, 0, 0} {}
+  Int256(int64_t v);   // NOLINT(runtime/explicit): numeric promotion
+  Int256(i128 v);      // NOLINT(runtime/explicit)
+  static Int256 FromU128(u128 v);
+
+  bool is_negative() const { return (limbs_[3] >> 63) != 0; }
+  bool is_zero() const {
+    return limbs_[0] == 0 && limbs_[1] == 0 && limbs_[2] == 0 &&
+           limbs_[3] == 0;
+  }
+
+  Int256 operator-() const;
+  Int256 operator+(const Int256& o) const;
+  Int256 operator-(const Int256& o) const;
+  Int256& operator+=(const Int256& o) { return *this = *this + o; }
+  Int256& operator-=(const Int256& o) { return *this = *this - o; }
+
+  /// Full signed product of two 128-bit values (never overflows 256 bits).
+  static Int256 Mul128(i128 a, i128 b);
+  /// this * m, wrapping mod 2^256.
+  Int256 MulSmall(i128 m) const;
+
+  /// Exact division by a non-zero 128-bit divisor; `*exact` is set to
+  /// whether the remainder was zero. Truncates toward zero.
+  Int256 DivSmall(i128 d, bool* exact) const;
+
+  /// Truncating conversion to i128 (caller must know the value fits).
+  i128 ToI128() const;
+  /// True iff the value is representable in a signed 128-bit integer.
+  bool FitsInI128() const;
+
+  int Compare(const Int256& o) const;
+  bool operator==(const Int256& o) const { return Compare(o) == 0; }
+  bool operator!=(const Int256& o) const { return Compare(o) != 0; }
+  bool operator<(const Int256& o) const { return Compare(o) < 0; }
+  bool operator>(const Int256& o) const { return Compare(o) > 0; }
+  bool operator<=(const Int256& o) const { return Compare(o) <= 0; }
+  bool operator>=(const Int256& o) const { return Compare(o) >= 0; }
+
+  /// Decimal string (for diagnostics and tests).
+  std::string ToString() const;
+
+ private:
+  static Int256 MulU128(u128 a, u128 b);  // unsigned full product
+  Int256 UDivSmall(u128 d, u128* rem) const;
+
+  std::array<uint64_t, 4> limbs_;  // little-endian
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_COMMON_WIDE_INT_H_

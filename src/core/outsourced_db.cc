@@ -1,0 +1,53 @@
+#include "core/outsourced_db.h"
+
+namespace ssdb {
+
+Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
+    OutsourcedDbOptions options) {
+  if (options.n == 0) {
+    return Status::InvalidArgument("OutsourcedDatabase: n must be positive");
+  }
+  auto network = std::make_unique<Network>(options.network);
+  std::vector<std::shared_ptr<Provider>> providers;
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < options.n; ++i) {
+    auto p = std::make_shared<Provider>("DAS" + std::to_string(i + 1));
+    indices.push_back(network->AddProvider(p));
+    providers.push_back(std::move(p));
+  }
+  SSDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<DataSourceClient> client,
+      DataSourceClient::Create(network.get(), indices, options.client));
+  return std::unique_ptr<OutsourcedDatabase>(
+      new OutsourcedDatabase(std::move(options), std::move(network),
+                             std::move(providers), std::move(client)));
+}
+
+Result<QueryResult> OutsourcedDatabase::ExecuteSql(const std::string& sql) {
+  SSDB_ASSIGN_OR_RETURN(SqlCommand cmd, ParseSql(sql));
+  switch (cmd.kind) {
+    case SqlCommand::Kind::kSelect:
+      return client_->Execute(cmd.query);
+    case SqlCommand::Kind::kUpdate: {
+      SSDB_ASSIGN_OR_RETURN(
+          uint64_t updated,
+          client_->Update(cmd.table, cmd.where, cmd.set_column,
+                          cmd.set_value));
+      QueryResult out;
+      out.count = updated;
+      out.aggregate_int = static_cast<int64_t>(updated);
+      return out;
+    }
+    case SqlCommand::Kind::kDelete: {
+      SSDB_ASSIGN_OR_RETURN(uint64_t deleted,
+                            client_->Delete(cmd.table, cmd.where));
+      QueryResult out;
+      out.count = deleted;
+      out.aggregate_int = static_cast<int64_t>(deleted);
+      return out;
+    }
+  }
+  return Status::Internal("unhandled SQL command kind");
+}
+
+}  // namespace ssdb

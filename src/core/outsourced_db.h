@@ -1,0 +1,147 @@
+// OutsourcedDatabase — the library's top-level public API.
+//
+// One object assembles the full deployment of the paper: n simulated
+// Database Service Providers behind a cost-modelled network, plus the
+// trusted data source client holding the keys. Most applications only
+// need this header:
+//
+//   OutsourcedDbOptions options;
+//   options.n = 3;
+//   options.client.k = 2;
+//   auto db = OutsourcedDatabase::Create(options).value();
+//   db->CreateTable(...);
+//   db->Insert("Employees", rows);
+//   auto result = db->Execute(
+//       Query::Select("Employees")
+//           .Where(Between("salary", Value::Int(10000), Value::Int(40000))));
+//
+// See examples/quickstart.cc for the full Figure 1 walk-through.
+
+#ifndef SSDB_CORE_OUTSOURCED_DB_H_
+#define SSDB_CORE_OUTSOURCED_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "client/query.h"
+#include "client/sql.h"
+#include "net/network.h"
+#include "provider/provider.h"
+
+namespace ssdb {
+
+/// Options assembling a full deployment.
+struct OutsourcedDbOptions {
+  /// Number of service providers n.
+  size_t n = 4;
+  /// Network latency/bandwidth model for every client<->provider link.
+  NetworkCostModel network;
+  /// Data source configuration (threshold k, keys, update mode, ...).
+  ClientOptions client;
+};
+
+/// \brief A complete simulated deployment: n providers + network + client.
+class OutsourcedDatabase {
+ public:
+  static Result<std::unique_ptr<OutsourcedDatabase>> Create(
+      OutsourcedDbOptions options);
+
+  // --- Data management (delegates to the data source client) -----------
+
+  Status CreateTable(TableSchema schema) {
+    return client_->CreateTable(std::move(schema));
+  }
+  Status Insert(const std::string& table,
+                const std::vector<std::vector<Value>>& rows) {
+    return client_->Insert(table, rows);
+  }
+  Result<QueryResult> Execute(const Query& query) {
+    return client_->Execute(query);
+  }
+
+  /// Parses and runs one SQL statement (SELECT / UPDATE / DELETE — see
+  /// client/sql.h for the grammar). UPDATE/DELETE report the affected row
+  /// count through QueryResult::count.
+  Result<QueryResult> ExecuteSql(const std::string& sql);
+
+  /// Renders a query's execution plan without running it.
+  Result<std::string> Explain(const Query& query) {
+    return client_->Explain(query);
+  }
+  Result<JoinResult> ExecuteJoin(const JoinQuery& join) {
+    return client_->ExecuteJoin(join);
+  }
+  Result<uint64_t> Update(const std::string& table,
+                          const std::vector<Predicate>& where,
+                          const std::string& set_column, const Value& value) {
+    return client_->Update(table, where, set_column, value);
+  }
+  Result<uint64_t> Delete(const std::string& table,
+                          const std::vector<Predicate>& where) {
+    return client_->Delete(table, where);
+  }
+  Status Flush() { return client_->Flush(); }
+  Status RefreshTable(const std::string& table) {
+    return client_->RefreshTable(table);
+  }
+
+  Status PublishPublicTable(const std::string& name,
+                            std::vector<ColumnSpec> columns,
+                            const std::vector<std::vector<Value>>& rows) {
+    return client_->PublishPublicTable(name, std::move(columns), rows);
+  }
+  Status SubscribePublicColumn(const std::string& name,
+                               const std::string& column) {
+    return client_->SubscribePublicColumn(name, column);
+  }
+  Result<QueryResult> QueryPublic(const std::string& name,
+                                  const Predicate& predicate) {
+    return client_->QueryPublic(name, predicate);
+  }
+
+  // --- Simulation controls ----------------------------------------------
+
+  /// Injects a failure into provider i's link (E8 fault tolerance).
+  void InjectFailure(size_t provider, FailureMode mode,
+                     double drop_probability = 0.0) {
+    network_->SetFailure(provider, mode, drop_probability);
+  }
+  void HealAll() {
+    for (size_t i = 0; i < options_.n; ++i) {
+      network_->SetFailure(i, FailureMode::kHealthy);
+    }
+  }
+
+  // --- Introspection ------------------------------------------------------
+
+  size_t n() const { return options_.n; }
+  size_t k() const { return options_.client.k; }
+  DataSourceClient& client() { return *client_; }
+  Network& network() { return *network_; }
+  Provider& provider(size_t i) { return *providers_[i]; }
+  const ClientStats& client_stats() const { return client_->stats(); }
+  ChannelStats network_stats() const { return network_->TotalStats(); }
+  /// Simulated wall-clock time spent on the wire so far (microseconds).
+  uint64_t simulated_time_us() { return network_->clock().now_us(); }
+
+ private:
+  OutsourcedDatabase(OutsourcedDbOptions options,
+                     std::unique_ptr<Network> network,
+                     std::vector<std::shared_ptr<Provider>> providers,
+                     std::unique_ptr<DataSourceClient> client)
+      : options_(std::move(options)),
+        network_(std::move(network)),
+        providers_(std::move(providers)),
+        client_(std::move(client)) {}
+
+  OutsourcedDbOptions options_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::shared_ptr<Provider>> providers_;
+  std::unique_ptr<DataSourceClient> client_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CORE_OUTSOURCED_DB_H_

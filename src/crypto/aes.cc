@@ -1,0 +1,209 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+namespace ssdb {
+
+namespace {
+
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+uint8_t inv_sbox[256];
+bool inv_sbox_init = [] {
+  for (int i = 0; i < 256; ++i) inv_sbox[kSbox[i]] = static_cast<uint8_t>(i);
+  return true;
+}();
+
+constexpr uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                               0x20, 0x40, 0x80, 0x1b, 0x36};
+
+inline uint8_t Xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+inline uint8_t Mul(uint8_t a, uint8_t b) {
+  uint8_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    a = Xtime(a);
+    b >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+Aes128::Aes128(const Key& key) {
+  (void)inv_sbox_init;
+  for (int i = 0; i < 4; ++i) {
+    round_keys_[i] = (static_cast<uint32_t>(key[4 * i]) << 24) |
+                     (static_cast<uint32_t>(key[4 * i + 1]) << 16) |
+                     (static_cast<uint32_t>(key[4 * i + 2]) << 8) |
+                     static_cast<uint32_t>(key[4 * i + 3]);
+  }
+  for (int i = 4; i < 44; ++i) {
+    uint32_t t = round_keys_[i - 1];
+    if (i % 4 == 0) {
+      t = (t << 8) | (t >> 24);  // RotWord
+      t = (static_cast<uint32_t>(kSbox[(t >> 24) & 0xFF]) << 24) |
+          (static_cast<uint32_t>(kSbox[(t >> 16) & 0xFF]) << 16) |
+          (static_cast<uint32_t>(kSbox[(t >> 8) & 0xFF]) << 8) |
+          static_cast<uint32_t>(kSbox[t & 0xFF]);
+      t ^= static_cast<uint32_t>(kRcon[i / 4 - 1]) << 24;
+    }
+    round_keys_[i] = round_keys_[i - 4] ^ t;
+  }
+}
+
+namespace {
+
+void AddRoundKey(uint8_t state[16], const uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    state[4 * c] ^= static_cast<uint8_t>(rk[c] >> 24);
+    state[4 * c + 1] ^= static_cast<uint8_t>(rk[c] >> 16);
+    state[4 * c + 2] ^= static_cast<uint8_t>(rk[c] >> 8);
+    state[4 * c + 3] ^= static_cast<uint8_t>(rk[c]);
+  }
+}
+
+void SubBytes(uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) state[i] = kSbox[state[i]];
+}
+
+void InvSubBytes(uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) state[i] = inv_sbox[state[i]];
+}
+
+// State layout: state[4*c + r] = byte at row r, column c (FIPS order).
+void ShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  // Row 1: shift left 1.
+  t = s[1];
+  s[1] = s[5];
+  s[5] = s[9];
+  s[9] = s[13];
+  s[13] = t;
+  // Row 2: shift left 2.
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // Row 3: shift left 3 (== right 1).
+  t = s[15];
+  s[15] = s[11];
+  s[11] = s[7];
+  s[7] = s[3];
+  s[3] = t;
+}
+
+void InvShiftRows(uint8_t s[16]) {
+  uint8_t t;
+  // Row 1: shift right 1.
+  t = s[13];
+  s[13] = s[9];
+  s[9] = s[5];
+  s[5] = s[1];
+  s[1] = t;
+  // Row 2: shift right 2.
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // Row 3: shift right 3 (== left 1).
+  t = s[3];
+  s[3] = s[7];
+  s[7] = s[11];
+  s[11] = s[15];
+  s[15] = t;
+}
+
+void MixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<uint8_t>(Xtime(a0) ^ (Xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<uint8_t>(a0 ^ Xtime(a1) ^ (Xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<uint8_t>(a0 ^ a1 ^ Xtime(a2) ^ (Xtime(a3) ^ a3));
+    col[3] = static_cast<uint8_t>((Xtime(a0) ^ a0) ^ a1 ^ a2 ^ Xtime(a3));
+  }
+}
+
+void InvMixColumns(uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    uint8_t* col = s + 4 * c;
+    const uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = Mul(a0, 0x0e) ^ Mul(a1, 0x0b) ^ Mul(a2, 0x0d) ^ Mul(a3, 0x09);
+    col[1] = Mul(a0, 0x09) ^ Mul(a1, 0x0e) ^ Mul(a2, 0x0b) ^ Mul(a3, 0x0d);
+    col[2] = Mul(a0, 0x0d) ^ Mul(a1, 0x09) ^ Mul(a2, 0x0e) ^ Mul(a3, 0x0b);
+    col[3] = Mul(a0, 0x0b) ^ Mul(a1, 0x0d) ^ Mul(a2, 0x09) ^ Mul(a3, 0x0e);
+  }
+}
+
+}  // namespace
+
+void Aes128::EncryptBlock(uint8_t block[kBlockSize]) const {
+  AddRoundKey(block, round_keys_.data());
+  for (int round = 1; round < 10; ++round) {
+    SubBytes(block);
+    ShiftRows(block);
+    MixColumns(block);
+    AddRoundKey(block, round_keys_.data() + 4 * round);
+  }
+  SubBytes(block);
+  ShiftRows(block);
+  AddRoundKey(block, round_keys_.data() + 40);
+}
+
+void Aes128::DecryptBlock(uint8_t block[kBlockSize]) const {
+  AddRoundKey(block, round_keys_.data() + 40);
+  for (int round = 9; round >= 1; --round) {
+    InvShiftRows(block);
+    InvSubBytes(block);
+    AddRoundKey(block, round_keys_.data() + 4 * round);
+    InvMixColumns(block);
+  }
+  InvShiftRows(block);
+  InvSubBytes(block);
+  AddRoundKey(block, round_keys_.data());
+}
+
+void AesCtr::Transform(uint8_t* data, size_t n, uint64_t counter0) const {
+  uint64_t counter = counter0;
+  size_t off = 0;
+  while (off < n) {
+    uint8_t keystream[Aes128::kBlockSize];
+    memcpy(keystream, &nonce_, 8);
+    memcpy(keystream + 8, &counter, 8);
+    cipher_.EncryptBlock(keystream);
+    const size_t take = std::min(n - off, Aes128::kBlockSize);
+    for (size_t i = 0; i < take; ++i) data[off + i] ^= keystream[i];
+    off += take;
+    ++counter;
+  }
+}
+
+std::vector<uint8_t> AesCtr::TransformCopy(Slice in, uint64_t counter0) const {
+  std::vector<uint8_t> out(in.data(), in.data() + in.size());
+  Transform(out.data(), out.size(), counter0);
+  return out;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,60 @@
+// AES-128 (FIPS 197), implemented from scratch, plus CTR mode.
+//
+// This is the workhorse of the encryption-based data-outsourcing baseline
+// (NetDB2 / Hacigumus et al., Section II.A of the paper): tuples are
+// AES-CTR encrypted before upload and decrypted after retrieval. It is a
+// straightforward table-based implementation — adequate for measuring the
+// computational overhead the paper attributes to encryption (E1/E7), not
+// a constant-time production cipher.
+
+#ifndef SSDB_CRYPTO_AES_H_
+#define SSDB_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace ssdb {
+
+/// \brief AES-128 block cipher with an expanded key schedule.
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+  using Block = std::array<uint8_t, kBlockSize>;
+  using Key = std::array<uint8_t, kKeySize>;
+
+  explicit Aes128(const Key& key);
+
+  /// Encrypts one 16-byte block in place.
+  void EncryptBlock(uint8_t block[kBlockSize]) const;
+  /// Decrypts one 16-byte block in place.
+  void DecryptBlock(uint8_t block[kBlockSize]) const;
+
+ private:
+  std::array<uint32_t, 44> round_keys_;
+};
+
+/// \brief AES-128-CTR stream transform (encrypt == decrypt).
+class AesCtr {
+ public:
+  AesCtr(const Aes128::Key& key, uint64_t nonce)
+      : cipher_(key), nonce_(nonce) {}
+
+  /// XORs the keystream for block offset `counter0` onwards into
+  /// `data[0..n)` in place.
+  void Transform(uint8_t* data, size_t n, uint64_t counter0 = 0) const;
+
+  /// Convenience: returns the transformed copy of `in`.
+  std::vector<uint8_t> TransformCopy(Slice in, uint64_t counter0 = 0) const;
+
+ private:
+  Aes128 cipher_;
+  uint64_t nonce_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CRYPTO_AES_H_

@@ -1,0 +1,44 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace ssdb {
+
+Sha256::Digest HmacSha256(Slice key, Slice message) {
+  uint8_t key_block[64] = {0};
+  if (key.size() > 64) {
+    const Sha256::Digest kd = Sha256::Hash(key);
+    memcpy(key_block, kd.data(), kd.size());
+  } else {
+    memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(Slice(ipad, 64));
+  inner.Update(message);
+  const Sha256::Digest inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(Slice(opad, 64));
+  outer.Update(Slice(inner_digest.data(), inner_digest.size()));
+  return outer.Finalize();
+}
+
+uint64_t DeriveSubkey64(Slice master_key, Slice label) {
+  const Sha256::Digest d = HmacSha256(master_key, label);
+  uint64_t out;
+  memcpy(&out, d.data(), sizeof(out));
+  return out;
+}
+
+Sha256::Digest DeriveSubkey(Slice master_key, Slice label) {
+  return HmacSha256(master_key, label);
+}
+
+}  // namespace ssdb

@@ -1,0 +1,27 @@
+// HMAC-SHA-256 (RFC 2104) and key derivation helpers.
+
+#ifndef SSDB_CRYPTO_HMAC_H_
+#define SSDB_CRYPTO_HMAC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/slice.h"
+#include "crypto/sha256.h"
+
+namespace ssdb {
+
+/// HMAC-SHA-256 of `message` under `key`.
+Sha256::Digest HmacSha256(Slice key, Slice message);
+
+/// Derives a 64-bit subkey from a master key and a label, by truncating
+/// HMAC(master, label). Used to give each (table, column, purpose) its own
+/// independent key material.
+uint64_t DeriveSubkey64(Slice master_key, Slice label);
+
+/// Derives a full 32-byte subkey.
+Sha256::Digest DeriveSubkey(Slice master_key, Slice label);
+
+}  // namespace ssdb
+
+#endif  // SSDB_CRYPTO_HMAC_H_

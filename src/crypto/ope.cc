@@ -1,0 +1,82 @@
+#include "crypto/ope.h"
+
+namespace ssdb {
+
+OrderPreservingEncryption::OrderPreservingEncryption(const Prf& prf,
+                                                     int plain_bits)
+    : prf_(prf), plain_bits_(plain_bits) {}
+
+// Both Encrypt and Decrypt walk the same binary descent: at every node the
+// plaintext interval [pl, ph) is split at its midpoint pm, and a cipher
+// split point cm is drawn pseudo-randomly (keyed on the node, so both
+// directions agree) such that each cipher half can still hold its
+// plaintext half. Two plaintexts diverge at exactly one node, where the
+// smaller goes to the strictly-smaller cipher interval — hence order
+// preservation and injectivity.
+
+Result<u128> OrderPreservingEncryption::Encrypt(uint64_t v) const {
+  if (plain_bits_ < 1 || plain_bits_ > 62) {
+    return Status::InvalidArgument("OPE: plain_bits out of range");
+  }
+  if (v >> plain_bits_ != 0) {
+    return Status::OutOfRange("OPE: plaintext outside domain");
+  }
+  uint64_t pl = 0, ph = 1ULL << plain_bits_;           // [pl, ph)
+  u128 cl = 0, ch = static_cast<u128>(1)
+                        << (plain_bits_ + kExpansionBits);  // [cl, ch)
+  while (ph - pl > 1) {
+    const uint64_t pm = pl + (ph - pl) / 2;
+    const uint64_t left_n = pm - pl;
+    const uint64_t right_n = ph - pm;
+    const u128 lo = cl + left_n;
+    const u128 hi = ch - right_n;  // cm in [lo, hi]
+    const u128 span = hi - lo + 1;
+    const u128 cm = lo + prf_.EvalUniform128(pl ^ (ph << 1), ph, span);
+    if (v < pm) {
+      ph = pm;
+      ch = cm;
+    } else {
+      pl = pm;
+      cl = cm;
+    }
+  }
+  // Single plaintext left; place it deterministically inside its interval.
+  const u128 span = ch - cl;
+  return cl + prf_.EvalUniform128(pl, 0x5EAF00D, span);
+}
+
+Result<uint64_t> OrderPreservingEncryption::Decrypt(u128 c) const {
+  if (plain_bits_ < 1 || plain_bits_ > 62) {
+    return Status::InvalidArgument("OPE: plain_bits out of range");
+  }
+  if (c >> (plain_bits_ + kExpansionBits) != 0) {
+    return Status::OutOfRange("OPE: ciphertext outside domain");
+  }
+  uint64_t pl = 0, ph = 1ULL << plain_bits_;
+  u128 cl = 0, ch = static_cast<u128>(1) << (plain_bits_ + kExpansionBits);
+  while (ph - pl > 1) {
+    const uint64_t pm = pl + (ph - pl) / 2;
+    const uint64_t left_n = pm - pl;
+    const uint64_t right_n = ph - pm;
+    const u128 lo = cl + left_n;
+    const u128 hi = ch - right_n;
+    const u128 span = hi - lo + 1;
+    const u128 cm = lo + prf_.EvalUniform128(pl ^ (ph << 1), ph, span);
+    if (c < cm) {
+      ph = pm;
+      ch = cm;
+    } else {
+      pl = pm;
+      cl = cm;
+    }
+  }
+  // Verify round trip (the ciphertext may be a forgery / not produced by
+  // Encrypt).
+  SSDB_ASSIGN_OR_RETURN(u128 expect, Encrypt(pl));
+  if (expect != c) {
+    return Status::Corruption("OPE: ciphertext was not produced by this key");
+  }
+  return pl;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,49 @@
+// Order-preserving encryption (OPE) baseline.
+//
+// Section II.A of the paper cites order-preserving encryption (Agrawal,
+// Kiernan, Srikant, Xu, SIGMOD'04) as the encryption-world answer to range
+// queries, and notes the counter-argument that order preservation weakens
+// security. This module implements a keyed, stateless OPE in the spirit of
+// Boldyreva et al.: ciphertexts are produced by a recursive binary
+// descent over (plaintext-domain, ciphertext-domain) pairs where each
+// split point is drawn pseudo-randomly from the key. Encryption of v is
+// deterministic and strictly monotone in v.
+
+#ifndef SSDB_CRYPTO_OPE_H_
+#define SSDB_CRYPTO_OPE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/wide_int.h"
+#include "crypto/prf.h"
+
+namespace ssdb {
+
+/// \brief Keyed order-preserving encryption of a 64-bit plaintext domain
+/// into a 96-bit ciphertext domain.
+class OrderPreservingEncryption {
+ public:
+  /// `plain_bits` (<= 62) is the plaintext domain width; ciphertexts use
+  /// plain_bits + kExpansionBits bits.
+  OrderPreservingEncryption(const Prf& prf, int plain_bits);
+
+  static constexpr int kExpansionBits = 32;
+
+  /// Encrypts `v` (must be < 2^plain_bits). Strictly monotone in v.
+  Result<u128> Encrypt(uint64_t v) const;
+
+  /// Decrypts an exact ciphertext produced by Encrypt.
+  Result<uint64_t> Decrypt(u128 c) const;
+
+  int plain_bits() const { return plain_bits_; }
+
+ private:
+  // Recursive descent helpers (iterative implementations).
+  Prf prf_;
+  int plain_bits_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CRYPTO_OPE_H_

@@ -1,0 +1,44 @@
+#include "crypto/prf.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace ssdb {
+
+Prf Prf::Derive(Slice master_key, Slice label) {
+  const Sha256::Digest d = HmacSha256(master_key, label);
+  uint64_t k0, k1;
+  static_assert(Sha256::kDigestSize >= 16);
+  memcpy(&k0, d.data(), sizeof(k0));
+  memcpy(&k1, d.data() + 8, sizeof(k1));
+  return Prf(k0, k1);
+}
+
+uint64_t Prf::EvalUniform(uint64_t message, uint64_t tweak,
+                          uint64_t bound) const {
+  if (bound == 0) return 0;
+  // Deterministic rejection sampling: iterate the tweak until the sample
+  // falls below the largest multiple of bound. Terminates in expected
+  // <= 2 rounds.
+  const uint64_t limit = bound * ((~0ULL) / bound);
+  uint64_t round = 0;
+  for (;;) {
+    const uint64_t r = Eval64(message, tweak ^ (0x9E3779B97F4A7C15ULL * round));
+    if (r < limit) return r % bound;
+    ++round;
+  }
+}
+
+u128 Prf::EvalUniform128(uint64_t message, uint64_t tweak, u128 bound) const {
+  if (bound == 0) return 0;
+  const u128 limit = bound * ((~static_cast<u128>(0)) / bound);
+  uint64_t round = 0;
+  for (;;) {
+    const u128 r = Eval128(message, tweak ^ (0xC2B2AE3D27D4EB4FULL * round));
+    if (r < limit) return r % bound;
+    ++round;
+  }
+}
+
+}  // namespace ssdb

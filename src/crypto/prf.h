@@ -1,0 +1,57 @@
+// Keyed pseudo-random function abstraction.
+//
+// Deterministic secret sharing (exact-match attributes, Section V.A) and
+// the order-preserving slot hashes h_a, h_b, h_c (Section IV) need
+// per-value randomness that the data source can recompute but providers
+// cannot predict. Prf wraps SipHash-2-4 under a derived key; PrfStream
+// expands one (domain, value) pair into as many 64-bit words as needed.
+
+#ifndef SSDB_CRYPTO_PRF_H_
+#define SSDB_CRYPTO_PRF_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/slice.h"
+#include "common/wide_int.h"
+
+namespace ssdb {
+
+/// \brief Keyed PRF with 64- and 128-bit outputs.
+class Prf {
+ public:
+  /// Builds a PRF from a 128-bit key.
+  Prf(uint64_t k0, uint64_t k1) : key_{k0, k1} {}
+  /// Derives a PRF from a master key and a label (HMAC-based).
+  static Prf Derive(Slice master_key, Slice label);
+
+  /// PRF_64(message, tweak).
+  uint64_t Eval64(uint64_t message, uint64_t tweak = 0) const {
+    return SipHash24U64(key_, message, tweak);
+  }
+
+  /// PRF over arbitrary bytes.
+  uint64_t EvalBytes(Slice message) const { return SipHash24(key_, message); }
+
+  /// PRF_128(message, tweak) from two domain-separated 64-bit calls.
+  u128 Eval128(uint64_t message, uint64_t tweak = 0) const {
+    const uint64_t lo = Eval64(message, tweak * 2 + 1);
+    const uint64_t hi = Eval64(message, tweak * 2 + 2);
+    return MakeU128(hi, lo);
+  }
+
+  /// Uniform value in [0, bound) derived from (message, tweak).
+  /// Bias is < 2^-64/bound * bound ~ negligible for bound << 2^64 because
+  /// several rejection rounds are folded in deterministically.
+  uint64_t EvalUniform(uint64_t message, uint64_t tweak, uint64_t bound) const;
+
+  /// Uniform 128-bit value in [0, bound).
+  u128 EvalUniform128(uint64_t message, uint64_t tweak, u128 bound) const;
+
+ private:
+  SipHashKey key_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CRYPTO_PRF_H_

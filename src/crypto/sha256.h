@@ -1,0 +1,54 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used by HMAC-SHA-256 (integrity tags, PRF key derivation) and by the
+// encryption-based baseline the paper argues against (Section II.A).
+
+#ifndef SSDB_CRYPTO_SHA256_H_
+#define SSDB_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace ssdb {
+
+/// \brief Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256() { Reset(); }
+
+  /// Resets to the initial state.
+  void Reset();
+  /// Absorbs more input.
+  void Update(Slice data);
+  /// Finalizes and returns the 32-byte digest. The hasher must be Reset()
+  /// before reuse.
+  Digest Finalize();
+
+  /// One-shot convenience.
+  static Digest Hash(Slice data) {
+    Sha256 h;
+    h.Update(data);
+    return h.Finalize();
+  }
+
+  /// Hex string of a digest (for tests/logs).
+  static std::string ToHex(const Digest& d);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_CRYPTO_SHA256_H_

@@ -1,0 +1,23 @@
+#include "field/fp61.h"
+
+namespace ssdb {
+
+Fp61 Fp61::Pow(uint64_t e) const {
+  Fp61 base = *this;
+  Fp61 acc = Fp61::FromCanonical(1);
+  while (e != 0) {
+    if (e & 1) acc *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+Result<Fp61> Fp61::Inverse() const {
+  if (is_zero()) {
+    return Status::InvalidArgument("Fp61::Inverse: zero has no inverse");
+  }
+  return Pow(kP - 2);
+}
+
+}  // namespace ssdb

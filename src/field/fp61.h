@@ -1,0 +1,98 @@
+// Arithmetic in the prime field F_p with p = 2^61 - 1 (a Mersenne prime).
+//
+// All information-theoretic Shamir shares (Section III of the paper) live
+// in this field. The Mersenne structure gives branch-light reduction:
+// a 122-bit product reduces with two shifts and adds. 2^61-1 comfortably
+// holds 60-bit application values (salaries, encoded names up to 12
+// characters, row ids) while keeping sums of ~2^60 values exact for the
+// SUM/AVERAGE aggregation path as long as the true sum stays below p.
+
+#ifndef SSDB_FIELD_FP61_H_
+#define SSDB_FIELD_FP61_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/wide_int.h"
+
+namespace ssdb {
+
+/// \brief Element of F_{2^61-1} in canonical form (value < p).
+class Fp61 {
+ public:
+  /// The field modulus 2^61 - 1.
+  static constexpr uint64_t kP = (1ULL << 61) - 1;
+
+  constexpr Fp61() : v_(0) {}
+  /// Reduces an arbitrary 64-bit value into the field.
+  static Fp61 FromU64(uint64_t v) { return Fp61(Reduce64(v)); }
+  /// Reduces a 128-bit value into the field.
+  static Fp61 FromU128(u128 v) { return Fp61(Reduce128(v)); }
+  /// Wraps a value already known to satisfy v < p (checked in debug).
+  static constexpr Fp61 FromCanonical(uint64_t v) { return Fp61(v); }
+
+  uint64_t value() const { return v_; }
+  bool is_zero() const { return v_ == 0; }
+
+  Fp61 operator+(Fp61 o) const {
+    uint64_t s = v_ + o.v_;  // < 2^62, no overflow
+    if (s >= kP) s -= kP;
+    return Fp61(s);
+  }
+  Fp61 operator-(Fp61 o) const {
+    uint64_t s = v_ + kP - o.v_;
+    if (s >= kP) s -= kP;
+    return Fp61(s);
+  }
+  Fp61 operator-() const { return Fp61(v_ == 0 ? 0 : kP - v_); }
+  Fp61 operator*(Fp61 o) const {
+    return Fp61(Reduce128(static_cast<u128>(v_) * o.v_));
+  }
+  Fp61& operator+=(Fp61 o) { return *this = *this + o; }
+  Fp61& operator-=(Fp61 o) { return *this = *this - o; }
+  Fp61& operator*=(Fp61 o) { return *this = *this * o; }
+
+  bool operator==(Fp61 o) const { return v_ == o.v_; }
+  bool operator!=(Fp61 o) const { return v_ != o.v_; }
+
+  /// x^e by square-and-multiply.
+  Fp61 Pow(uint64_t e) const;
+
+  /// Multiplicative inverse via Fermat (x^(p-2)); requires non-zero.
+  Result<Fp61> Inverse() const;
+
+ private:
+  explicit constexpr Fp61(uint64_t v) : v_(v) {}
+
+  /// Reduces v (any 64-bit) mod 2^61-1 into canonical form.
+  static uint64_t Reduce64(uint64_t v) {
+    v = (v & kP) + (v >> 61);  // <= kP + 7
+    if (v >= kP) v -= kP;
+    return v;
+  }
+  /// Reduces a full 128-bit value mod 2^61-1.
+  static uint64_t Reduce128(u128 v) {
+    // Split into 61-bit chunks: v = lo + mid*2^61 + hi*2^122
+    // and 2^61 ≡ 1 (mod p).
+    const uint64_t lo = static_cast<uint64_t>(v) & kP;
+    const uint64_t mid = static_cast<uint64_t>(v >> 61) & kP;
+    const uint64_t hi = static_cast<uint64_t>(v >> 122);  // < 2^6
+    uint64_t s = lo + mid + hi;  // < 3 * 2^61, fits
+    s = (s & kP) + (s >> 61);
+    if (s >= kP) s -= kP;
+    return s;
+  }
+
+  uint64_t v_;
+};
+
+/// A point/evaluation pair (x_i, q(x_i)) — one provider's share.
+struct FpPoint {
+  Fp61 x;
+  Fp61 y;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_FIELD_FP61_H_

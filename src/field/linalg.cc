@@ -1,0 +1,46 @@
+#include "field/linalg.h"
+
+namespace ssdb {
+
+Result<std::vector<Fp61>> SolveLinearSystem(FpMatrix a, std::vector<Fp61> b) {
+  const size_t n = a.n();
+  if (b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: dimension mismatch");
+  }
+  // Forward elimination.
+  for (size_t col = 0; col < n; ++col) {
+    // Find a non-zero pivot (any non-zero works in an exact field).
+    size_t pivot = col;
+    while (pivot < n && a.at(pivot, col).is_zero()) ++pivot;
+    if (pivot == n) {
+      return Status::Corruption("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(a.at(pivot, j), a.at(col, j));
+      std::swap(b[pivot], b[col]);
+    }
+    SSDB_ASSIGN_OR_RETURN(Fp61 inv, a.at(col, col).Inverse());
+    for (size_t j = col; j < n; ++j) a.at(col, j) *= inv;
+    b[col] *= inv;
+    for (size_t row = col + 1; row < n; ++row) {
+      const Fp61 factor = a.at(row, col);
+      if (factor.is_zero()) continue;
+      for (size_t j = col; j < n; ++j) {
+        a.at(row, j) -= factor * a.at(col, j);
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<Fp61> x(n);
+  for (size_t row = n; row-- > 0;) {
+    Fp61 acc = b[row];
+    for (size_t j = row + 1; j < n; ++j) {
+      acc -= a.at(row, j) * x[j];
+    }
+    x[row] = acc;  // diagonal normalized to 1
+  }
+  return x;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,41 @@
+// Dense linear algebra over F_{2^61-1}.
+//
+// Used by the Woodruff-Yekhanin PIR client to solve the confluent
+// (Hermite) interpolation system, and available for share-reconstruction
+// variants that prefer a direct solve over Lagrange.
+
+#ifndef SSDB_FIELD_LINALG_H_
+#define SSDB_FIELD_LINALG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "field/fp61.h"
+
+namespace ssdb {
+
+/// \brief Square dense matrix over F_p (row-major).
+class FpMatrix {
+ public:
+  explicit FpMatrix(size_t n) : n_(n), cells_(n * n) {}
+
+  size_t n() const { return n_; }
+  Fp61& at(size_t row, size_t col) { return cells_[row * n_ + col]; }
+  const Fp61& at(size_t row, size_t col) const {
+    return cells_[row * n_ + col];
+  }
+
+ private:
+  size_t n_;
+  std::vector<Fp61> cells_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial (non-zero) pivoting.
+/// Returns InvalidArgument on dimension mismatch and Corruption when A is
+/// singular.
+Result<std::vector<Fp61>> SolveLinearSystem(FpMatrix a,
+                                            std::vector<Fp61> b);
+
+}  // namespace ssdb
+
+#endif  // SSDB_FIELD_LINALG_H_

@@ -1,0 +1,103 @@
+#include "field/poly.h"
+
+namespace ssdb {
+
+Fp61 FpPoly::Eval(Fp61 x) const {
+  Fp61 acc;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = acc * x + coeffs_[i];
+  }
+  return acc;
+}
+
+Result<std::vector<Fp61>> LagrangeBasisAtZero(const std::vector<Fp61>& xs) {
+  if (xs.empty()) {
+    return Status::InvalidArgument("LagrangeBasisAtZero: no points");
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i].is_zero()) {
+      return Status::InvalidArgument(
+          "LagrangeBasisAtZero: x = 0 is reserved for the secret");
+    }
+    for (size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[i] == xs[j]) {
+        return Status::InvalidArgument(
+            "LagrangeBasisAtZero: duplicate x coordinate");
+      }
+    }
+  }
+  // basis_i = prod_{j != i} x_j / (x_j - x_i)
+  std::vector<Fp61> basis(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    Fp61 num = Fp61::FromCanonical(1);
+    Fp61 den = Fp61::FromCanonical(1);
+    for (size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      num *= xs[j];
+      den *= xs[j] - xs[i];
+    }
+    SSDB_ASSIGN_OR_RETURN(Fp61 inv, den.Inverse());
+    basis[i] = num * inv;
+  }
+  return basis;
+}
+
+Result<Fp61> LagrangeAtZero(const std::vector<FpPoint>& points) {
+  std::vector<Fp61> xs(points.size());
+  for (size_t i = 0; i < points.size(); ++i) xs[i] = points[i].x;
+  SSDB_ASSIGN_OR_RETURN(std::vector<Fp61> basis, LagrangeBasisAtZero(xs));
+  Fp61 acc;
+  for (size_t i = 0; i < points.size(); ++i) {
+    acc += basis[i] * points[i].y;
+  }
+  return acc;
+}
+
+Result<FpPoly> Interpolate(const std::vector<FpPoint>& points) {
+  const size_t n = points.size();
+  if (n == 0) return Status::InvalidArgument("Interpolate: no points");
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (points[i].x == points[j].x) {
+        return Status::InvalidArgument("Interpolate: duplicate x coordinate");
+      }
+    }
+  }
+  // Newton divided differences.
+  std::vector<Fp61> dd(n);
+  for (size_t i = 0; i < n; ++i) dd[i] = points[i].y;
+  std::vector<Fp61> newton(n);  // Newton coefficients c_0..c_{n-1}
+  newton[0] = dd[0];
+  for (size_t level = 1; level < n; ++level) {
+    for (size_t i = n - 1; i >= level; --i) {
+      Fp61 denom = points[i].x - points[i - level].x;
+      SSDB_ASSIGN_OR_RETURN(Fp61 inv, denom.Inverse());
+      dd[i] = (dd[i] - dd[i - 1]) * inv;
+      if (i == level) break;  // avoid size_t underflow
+    }
+    newton[level] = dd[level];
+  }
+  // Expand Newton form into monomial coefficients:
+  // p(x) = c_0 + c_1 (x-x_0) + c_2 (x-x_0)(x-x_1) + ...
+  std::vector<Fp61> coeffs(n);
+  std::vector<Fp61> basis(n);  // current product polynomial
+  basis[0] = Fp61::FromCanonical(1);
+  size_t basis_len = 1;
+  for (size_t level = 0; level < n; ++level) {
+    for (size_t i = 0; i < basis_len; ++i) {
+      coeffs[i] += newton[level] * basis[i];
+    }
+    if (level + 1 < n) {
+      // basis *= (x - x_level)
+      Fp61 neg_x = -points[level].x;
+      for (size_t i = basis_len; i-- > 0;) {
+        basis[i + 1] += basis[i];
+        basis[i] *= neg_x;
+      }
+      ++basis_len;
+    }
+  }
+  return FpPoly(std::move(coeffs));
+}
+
+}  // namespace ssdb

@@ -1,0 +1,65 @@
+// Polynomials over F_{2^61-1}: evaluation, interpolation, Vandermonde solve.
+//
+// These are the mathematical primitives behind Shamir sharing (Section III):
+// a secret v becomes the constant term of a degree-(k-1) polynomial q, the
+// i-th provider stores q(x_i), and the data source recovers v = q(0) by
+// Lagrange interpolation from any k shares.
+
+#ifndef SSDB_FIELD_POLY_H_
+#define SSDB_FIELD_POLY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "field/fp61.h"
+
+namespace ssdb {
+
+/// \brief Dense polynomial over F_p, coefficients in ascending-degree order
+/// (`coeffs[0]` is the constant term).
+class FpPoly {
+ public:
+  FpPoly() = default;
+  explicit FpPoly(std::vector<Fp61> coeffs) : coeffs_(std::move(coeffs)) {}
+
+  /// Degree-(k-1) polynomial with constant term `secret` and the remaining
+  /// k-1 coefficients supplied by `coeff_source(j)` for j in [1, k).
+  template <typename CoeffFn>
+  static FpPoly Random(Fp61 secret, size_t k, CoeffFn&& coeff_source) {
+    std::vector<Fp61> c(k);
+    c[0] = secret;
+    for (size_t j = 1; j < k; ++j) c[j] = coeff_source(j);
+    return FpPoly(std::move(c));
+  }
+
+  const std::vector<Fp61>& coeffs() const { return coeffs_; }
+  size_t size() const { return coeffs_.size(); }
+
+  /// Horner evaluation q(x).
+  Fp61 Eval(Fp61 x) const;
+
+  bool operator==(const FpPoly& o) const { return coeffs_ == o.coeffs_; }
+
+ private:
+  std::vector<Fp61> coeffs_;
+};
+
+/// Evaluates Lagrange interpolation at x = 0 through `points`.
+///
+/// This is the share-reconstruction kernel: given k (x_i, q(x_i)) pairs
+/// with distinct non-zero x_i it returns q(0), i.e. the secret. Returns
+/// InvalidArgument on duplicate or zero x coordinates or an empty input.
+Result<Fp61> LagrangeAtZero(const std::vector<FpPoint>& points);
+
+/// Precomputed Lagrange basis coefficients at x = 0 for a fixed point set:
+/// secret = sum_i basis[i] * y_i. Reconstruction of many values from the
+/// same provider subset amortizes the inversions.
+Result<std::vector<Fp61>> LagrangeBasisAtZero(const std::vector<Fp61>& xs);
+
+/// Full interpolation: returns the unique degree < n polynomial through the
+/// n points (Newton's divided differences). Distinct x required.
+Result<FpPoly> Interpolate(const std::vector<FpPoint>& points);
+
+}  // namespace ssdb
+
+#endif  // SSDB_FIELD_POLY_H_

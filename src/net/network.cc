@@ -1,0 +1,107 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace ssdb {
+
+size_t Network::AddProvider(std::shared_ptr<ProviderEndpoint> endpoint) {
+  Link link;
+  link.endpoint = std::move(endpoint);
+  links_.push_back(std::move(link));
+  return links_.size() - 1;
+}
+
+Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
+                                                  Slice request,
+                                                  uint64_t* elapsed_us) {
+  *elapsed_us = 0;
+  if (provider >= links_.size()) {
+    return Status::InvalidArgument("network: unknown provider index");
+  }
+  Link& link = links_[provider];
+  link.stats.calls++;
+
+  // Failure injection happens "on the wire".
+  if (link.mode == FailureMode::kDown) {
+    link.stats.failures++;
+    *elapsed_us = model_.latency_us;  // timeout charged as one latency
+    return Status::Unavailable("provider " + link.endpoint->name() +
+                               " is down");
+  }
+  if (link.mode == FailureMode::kDropSome &&
+      failure_rng_.Bernoulli(link.drop_probability)) {
+    link.stats.failures++;
+    *elapsed_us = model_.latency_us;
+    return Status::Unavailable("provider " + link.endpoint->name() +
+                               " dropped the request");
+  }
+
+  link.stats.bytes_sent += request.size();
+  Result<Buffer> response = link.endpoint->Handle(request);
+  if (!response.ok()) {
+    link.stats.failures++;
+    *elapsed_us = model_.RoundTripUs(request.size(), 0);
+    return response.status();
+  }
+
+  std::vector<uint8_t> bytes = std::move(*response).TakeBytes();
+  if (link.mode == FailureMode::kCorruptResponse && !bytes.empty()) {
+    const size_t pos = failure_rng_.Uniform(bytes.size());
+    bytes[pos] ^= 0x5A;
+  }
+  link.stats.bytes_received += bytes.size();
+  *elapsed_us = model_.RoundTripUs(request.size(), bytes.size());
+  return bytes;
+}
+
+Result<std::vector<uint8_t>> Network::Call(size_t provider, Slice request) {
+  uint64_t elapsed = 0;
+  auto result = CallNoClock(provider, request, &elapsed);
+  clock_.Advance(elapsed);
+  return result;
+}
+
+Network::FanOutResult Network::CallMany(const std::vector<size_t>& providers,
+                                        Slice request) {
+  FanOutResult out;
+  uint64_t slowest = 0;
+  for (size_t p : providers) {
+    uint64_t elapsed = 0;
+    out.responses.push_back(CallNoClock(p, request, &elapsed));
+    slowest = std::max(slowest, elapsed);
+  }
+  clock_.Advance(slowest);
+  return out;
+}
+
+Network::FanOutResult Network::CallManyDistinct(
+    const std::vector<size_t>& providers, const std::vector<Buffer>& requests) {
+  FanOutResult out;
+  uint64_t slowest = 0;
+  for (size_t i = 0; i < providers.size(); ++i) {
+    uint64_t elapsed = 0;
+    const Slice req = i < requests.size() ? requests[i].AsSlice() : Slice();
+    out.responses.push_back(CallNoClock(providers[i], req, &elapsed));
+    slowest = std::max(slowest, elapsed);
+  }
+  clock_.Advance(slowest);
+  return out;
+}
+
+void Network::SetFailure(size_t provider, FailureMode mode,
+                         double drop_probability) {
+  links_[provider].mode = mode;
+  links_[provider].drop_probability = drop_probability;
+}
+
+ChannelStats Network::TotalStats() const {
+  ChannelStats total;
+  for (const Link& link : links_) total += link.stats;
+  return total;
+}
+
+void Network::ResetStats() {
+  for (Link& link : links_) link.stats = ChannelStats();
+}
+
+}  // namespace ssdb

@@ -1,0 +1,151 @@
+// Simulated wide-area network between the data source and the providers.
+//
+// The paper's cost arguments are about communication volume, round trips
+// and availability — not absolute wire speed — so the network is an
+// in-process message layer with:
+//   * exact per-channel byte / message accounting,
+//   * a configurable latency + bandwidth model charged to a VirtualClock
+//     (fan-out calls run "in parallel": the slowest leg dominates),
+//   * failure injection (provider down, responses corrupted, intermittent
+//     drops) for the fault-tolerance experiments (E8) and the §VI(b)
+//     benign/malicious failure-model challenge.
+
+#ifndef SSDB_NET_NETWORK_H_
+#define SSDB_NET_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace ssdb {
+
+/// \brief Endpoint interface implemented by every service provider (and by
+/// baseline servers).
+class ProviderEndpoint {
+ public:
+  virtual ~ProviderEndpoint() = default;
+
+  /// Handles one request message; returns the response bytes.
+  virtual Result<Buffer> Handle(Slice request) = 0;
+
+  /// Diagnostic name.
+  virtual std::string name() const = 0;
+};
+
+/// Latency/bandwidth model of one client<->provider link.
+struct NetworkCostModel {
+  /// One-way propagation latency in microseconds (default: 20 ms WAN).
+  uint64_t latency_us = 20000;
+  /// Link bandwidth in bytes per microsecond (default: 12.5 B/us = 100 Mbit/s).
+  double bandwidth_bytes_per_us = 12.5;
+
+  uint64_t TransferTimeUs(uint64_t bytes) const {
+    if (bandwidth_bytes_per_us <= 0) return 0;
+    return static_cast<uint64_t>(static_cast<double>(bytes) /
+                                 bandwidth_bytes_per_us);
+  }
+  /// Full round trip: request out + response back.
+  uint64_t RoundTripUs(uint64_t bytes_out, uint64_t bytes_in) const {
+    return 2 * latency_us + TransferTimeUs(bytes_out + bytes_in);
+  }
+};
+
+/// Failure injected into one provider's link.
+enum class FailureMode {
+  kHealthy,
+  kDown,             ///< Every call returns Unavailable.
+  kCorruptResponse,  ///< Responses arrive with one byte flipped.
+  kDropSome,         ///< Calls fail with probability drop_probability.
+};
+
+/// Byte/message counters for one channel (or aggregated).
+struct ChannelStats {
+  uint64_t calls = 0;
+  uint64_t failures = 0;
+  uint64_t bytes_sent = 0;      // client -> provider
+  uint64_t bytes_received = 0;  // provider -> client
+
+  uint64_t total_bytes() const { return bytes_sent + bytes_received; }
+  ChannelStats& operator+=(const ChannelStats& o) {
+    calls += o.calls;
+    failures += o.failures;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    return *this;
+  }
+};
+
+/// \brief The network: n provider links plus a virtual clock.
+class Network {
+ public:
+  explicit Network(NetworkCostModel model = NetworkCostModel(),
+                   uint64_t failure_seed = 0xFA11)
+      : model_(model), failure_rng_(failure_seed) {}
+
+  /// Registers a provider; returns its index.
+  size_t AddProvider(std::shared_ptr<ProviderEndpoint> endpoint);
+
+  size_t num_providers() const { return links_.size(); }
+
+  /// One round trip to provider i (advances the virtual clock by the full
+  /// round-trip time of this single call).
+  Result<std::vector<uint8_t>> Call(size_t provider, Slice request);
+
+  /// Parallel fan-out: one request per listed provider; the virtual clock
+  /// advances by the slowest leg only. Failed legs yield error Status in
+  /// the result vector (the call itself succeeds if the fan-out ran).
+  struct FanOutResult {
+    std::vector<Result<std::vector<uint8_t>>> responses;
+  };
+  FanOutResult CallMany(const std::vector<size_t>& providers, Slice request);
+  /// Fan-out with per-provider request payloads (the rewritten queries of
+  /// §V.A differ per provider).
+  FanOutResult CallManyDistinct(const std::vector<size_t>& providers,
+                                const std::vector<Buffer>& requests);
+
+  /// Failure injection.
+  void SetFailure(size_t provider, FailureMode mode,
+                  double drop_probability = 0.0);
+  FailureMode failure_mode(size_t provider) const {
+    return links_[provider].mode;
+  }
+
+  /// Per-provider and aggregate statistics.
+  const ChannelStats& stats(size_t provider) const {
+    return links_[provider].stats;
+  }
+  ChannelStats TotalStats() const;
+  void ResetStats();
+
+  VirtualClock& clock() { return clock_; }
+  const NetworkCostModel& model() const { return model_; }
+
+ private:
+  struct Link {
+    std::shared_ptr<ProviderEndpoint> endpoint;
+    FailureMode mode = FailureMode::kHealthy;
+    double drop_probability = 0.0;
+    ChannelStats stats;
+  };
+
+  /// Executes one call without touching the clock; reports the elapsed
+  /// round-trip time through `elapsed_us`.
+  Result<std::vector<uint8_t>> CallNoClock(size_t provider, Slice request,
+                                           uint64_t* elapsed_us);
+
+  NetworkCostModel model_;
+  VirtualClock clock_;
+  Rng failure_rng_;
+  std::vector<Link> links_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_NET_NETWORK_H_

@@ -1,0 +1,288 @@
+#include "pir/pir.h"
+
+#include <cmath>
+
+#include "field/linalg.h"
+#include "field/poly.h"
+
+namespace ssdb {
+
+// --- Trivial -----------------------------------------------------------------
+
+Result<uint64_t> TrivialPir::Fetch(size_t index, PirStats* stats) const {
+  if (index >= db_.size()) {
+    return Status::InvalidArgument("trivial pir: index out of range");
+  }
+  // The server streams the entire database; model the read pass so the
+  // wall-clock comparison against the multi-server schemes is fair (their
+  // servers also touch every word).
+  uint64_t checksum = 0;
+  for (uint64_t word : db_) checksum ^= word;
+  volatile uint64_t sink = checksum;  // keep the read pass observable
+  (void)sink;
+  if (stats != nullptr) {
+    stats->bytes_up += 1;  // a single "send me everything" byte
+    stats->bytes_down += db_.size() * sizeof(uint64_t);
+    stats->server_word_ops += db_.size();
+  }
+  return db_[index];
+}
+
+// --- Two-server XOR ----------------------------------------------------------
+
+TwoServerXorPir::TwoServerXorPir(std::vector<uint64_t> database)
+    : n_(database.size()) {
+  rows_ = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n_ == 0 ? 1 : n_))));
+  if (rows_ == 0) rows_ = 1;
+  cols_ = (n_ + rows_ - 1) / rows_;
+  if (cols_ == 0) cols_ = 1;
+  db_.assign(rows_ * cols_, 0);
+  for (size_t i = 0; i < database.size(); ++i) db_[i] = database[i];
+}
+
+std::vector<uint64_t> TwoServerXorPir::ServerAnswer(
+    const std::vector<uint8_t>& col_mask, PirStats* stats) const {
+  std::vector<uint64_t> answer(rows_, 0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      if (col_mask[c] != 0) answer[r] ^= db_[r * cols_ + c];
+    }
+  }
+  if (stats != nullptr) stats->server_word_ops += rows_ * cols_;
+  return answer;
+}
+
+Result<uint64_t> TwoServerXorPir::Fetch(size_t index, Rng* rng,
+                                        PirStats* stats) const {
+  if (index >= n_) {
+    return Status::InvalidArgument("xor pir: index out of range");
+  }
+  const size_t target_row = index / cols_;
+  const size_t target_col = index % cols_;
+
+  std::vector<uint8_t> mask1(cols_);
+  for (auto& b : mask1) b = static_cast<uint8_t>(rng->Next() & 1);
+  std::vector<uint8_t> mask2 = mask1;
+  mask2[target_col] ^= 1;
+
+  if (stats != nullptr) {
+    stats->bytes_up += 2 * ((cols_ + 7) / 8);  // one bit per column, twice
+    stats->bytes_down += 2 * rows_ * sizeof(uint64_t);
+  }
+  const std::vector<uint64_t> a1 = ServerAnswer(mask1, stats);
+  const std::vector<uint64_t> a2 = ServerAnswer(mask2, stats);
+  return a1[target_row] ^ a2[target_row];
+}
+
+// --- k-server polynomial -----------------------------------------------------
+
+Result<PolyPir> PolyPir::Create(std::vector<uint64_t> database,
+                                size_t num_servers) {
+  if (num_servers < 2 || num_servers > 8) {
+    return Status::InvalidArgument("poly pir: 2 <= servers <= 8");
+  }
+  if (database.empty()) {
+    return Status::InvalidArgument("poly pir: empty database");
+  }
+  for (uint64_t x : database) {
+    if (x >= Fp61::kP) {
+      return Status::InvalidArgument(
+          "poly pir: records must be field elements (< 2^61-1)");
+    }
+  }
+  const size_t d = num_servers - 1;
+  // Smallest m with m^d >= N.
+  size_t m = 1;
+  auto covers = [&](size_t mm) {
+    u128 cap = 1;
+    for (size_t b = 0; b < d; ++b) {
+      cap *= mm;
+      if (cap >= database.size()) return true;
+    }
+    return cap >= database.size();
+  };
+  while (!covers(m)) ++m;
+  return PolyPir(std::move(database), d, m);
+}
+
+Fp61 PolyPir::EvaluateAt(const std::vector<Fp61>& point,
+                         PirStats* stats) const {
+  // F(z) = sum_i x_i * prod_b z[b * m + digit_b(i)].
+  Fp61 acc;
+  for (size_t i = 0; i < db_.size(); ++i) {
+    Fp61 term = Fp61::FromCanonical(db_[i]);
+    size_t rest = i;
+    for (size_t b = 0; b < degree_; ++b) {
+      const size_t digit = rest % m_;
+      rest /= m_;
+      term *= point[b * m_ + digit];
+    }
+    acc += term;
+  }
+  if (stats != nullptr) stats->server_word_ops += db_.size() * degree_;
+  return acc;
+}
+
+Result<uint64_t> PolyPir::Fetch(size_t index, Rng* rng,
+                                PirStats* stats) const {
+  if (index >= db_.size()) {
+    return Status::InvalidArgument("poly pir: index out of range");
+  }
+  const size_t dims = point_dims();
+
+  // Index embedding e(index): one-hot per digit block.
+  std::vector<Fp61> e(dims);
+  size_t rest = index;
+  for (size_t b = 0; b < degree_; ++b) {
+    e[b * m_ + rest % m_] = Fp61::FromCanonical(1);
+    rest /= m_;
+  }
+  // Random direction r.
+  std::vector<Fp61> r(dims);
+  for (auto& v : r) v = Fp61::FromU64(rng->Uniform(Fp61::kP));
+
+  // Query server j at t_j = j+1; collect evaluations of the univariate
+  // restriction f(t) = F(e + t*r) (degree <= d).
+  const size_t k = degree_ + 1;
+  std::vector<FpPoint> evals;
+  std::vector<Fp61> point(dims);
+  for (size_t j = 0; j < k; ++j) {
+    const Fp61 t = Fp61::FromU64(j + 1);
+    for (size_t dim = 0; dim < dims; ++dim) {
+      point[dim] = e[dim] + t * r[dim];
+    }
+    if (stats != nullptr) {
+      stats->bytes_up += dims * sizeof(uint64_t);
+      stats->bytes_down += sizeof(uint64_t);
+    }
+    evals.push_back(FpPoint{t, EvaluateAt(point, stats)});
+  }
+  SSDB_ASSIGN_OR_RETURN(Fp61 secret, LagrangeAtZero(evals));
+  return secret.value();
+}
+
+// --- Woodruff-Yekhanin -------------------------------------------------------
+
+Result<WoodruffYekhaninPir> WoodruffYekhaninPir::Create(
+    std::vector<uint64_t> database, size_t num_servers) {
+  if (num_servers < 2 || num_servers > 5) {
+    return Status::InvalidArgument("wy pir: 2 <= servers <= 5");
+  }
+  if (database.empty()) {
+    return Status::InvalidArgument("wy pir: empty database");
+  }
+  for (uint64_t x : database) {
+    if (x >= Fp61::kP) {
+      return Status::InvalidArgument(
+          "wy pir: records must be field elements (< 2^61-1)");
+    }
+  }
+  const size_t d = 2 * num_servers - 1;
+  size_t m = 1;
+  auto covers = [&](size_t mm) {
+    u128 cap = 1;
+    for (size_t b = 0; b < d; ++b) {
+      cap *= mm;
+      if (cap >= database.size()) return true;
+    }
+    return cap >= database.size();
+  };
+  while (!covers(m)) ++m;
+  return WoodruffYekhaninPir(std::move(database), num_servers, m);
+}
+
+Fp61 WoodruffYekhaninPir::EvaluateWithGradient(const std::vector<Fp61>& point,
+                                               std::vector<Fp61>* gradient,
+                                               PirStats* stats) const {
+  const size_t d = degree();
+  gradient->assign(point_dims(), Fp61());
+  Fp61 value;
+  // Per record: prefix/suffix products over its d block coordinates give
+  // both the full product (the value contribution) and the
+  // product-excluding-block-b (the gradient contribution), in O(d) each.
+  std::vector<Fp61> coords(d), prefix(d + 1), suffix(d + 1);
+  for (size_t i = 0; i < db_.size(); ++i) {
+    const Fp61 x = Fp61::FromCanonical(db_[i]);
+    size_t rest = i;
+    for (size_t b = 0; b < d; ++b) {
+      coords[b] = point[b * m_ + rest % m_];
+      rest /= m_;
+    }
+    prefix[0] = Fp61::FromCanonical(1);
+    for (size_t b = 0; b < d; ++b) prefix[b + 1] = prefix[b] * coords[b];
+    suffix[d] = Fp61::FromCanonical(1);
+    for (size_t b = d; b-- > 0;) suffix[b] = suffix[b + 1] * coords[b];
+    value += x * prefix[d];
+    rest = i;
+    for (size_t b = 0; b < d; ++b) {
+      const size_t digit = rest % m_;
+      rest /= m_;
+      (*gradient)[b * m_ + digit] += x * prefix[b] * suffix[b + 1];
+    }
+  }
+  if (stats != nullptr) stats->server_word_ops += db_.size() * d;
+  return value;
+}
+
+Result<uint64_t> WoodruffYekhaninPir::Fetch(size_t index, Rng* rng,
+                                            PirStats* stats) const {
+  if (index >= db_.size()) {
+    return Status::InvalidArgument("wy pir: index out of range");
+  }
+  const size_t d = degree();
+  const size_t dims = point_dims();
+
+  std::vector<Fp61> e(dims);
+  size_t rest = index;
+  for (size_t b = 0; b < d; ++b) {
+    e[b * m_ + rest % m_] = Fp61::FromCanonical(1);
+    rest /= m_;
+  }
+  std::vector<Fp61> r(dims);
+  for (auto& v : r) v = Fp61::FromU64(rng->Uniform(Fp61::kP));
+
+  // Query each server; collect f(t_j) and f'(t_j) = <grad, r>.
+  std::vector<Fp61> ts(servers_), fs(servers_), dfs(servers_);
+  std::vector<Fp61> point(dims), grad;
+  for (size_t j = 0; j < servers_; ++j) {
+    const Fp61 t = Fp61::FromU64(j + 1);
+    ts[j] = t;
+    for (size_t dim = 0; dim < dims; ++dim) point[dim] = e[dim] + t * r[dim];
+    if (stats != nullptr) {
+      stats->bytes_up += dims * sizeof(uint64_t);
+      stats->bytes_down += (dims + 1) * sizeof(uint64_t);
+    }
+    fs[j] = EvaluateWithGradient(point, &grad, stats);
+    Fp61 dot;
+    for (size_t dim = 0; dim < dims; ++dim) dot += grad[dim] * r[dim];
+    dfs[j] = dot;
+  }
+
+  // Hermite interpolation: find c_0..c_d of f with f(t_j) and f'(t_j).
+  const size_t unknowns = d + 1;  // == 2k
+  FpMatrix a(unknowns);
+  std::vector<Fp61> rhs(unknowns);
+  for (size_t j = 0; j < servers_; ++j) {
+    // Row 2j: sum_a c_a t^a = f(t_j).
+    Fp61 pow = Fp61::FromCanonical(1);
+    for (size_t col = 0; col < unknowns; ++col) {
+      a.at(2 * j, col) = pow;
+      pow *= ts[j];
+    }
+    rhs[2 * j] = fs[j];
+    // Row 2j+1: sum_a a * c_a t^(a-1) = f'(t_j).
+    pow = Fp61::FromCanonical(1);
+    a.at(2 * j + 1, 0) = Fp61();
+    for (size_t col = 1; col < unknowns; ++col) {
+      a.at(2 * j + 1, col) = Fp61::FromU64(col) * pow;
+      pow *= ts[j];
+    }
+    rhs[2 * j + 1] = dfs[j];
+  }
+  SSDB_ASSIGN_OR_RETURN(std::vector<Fp61> coeffs,
+                        SolveLinearSystem(std::move(a), std::move(rhs)));
+  return coeffs[0].value();  // f(0) = F(e(index)) = x_index
+}
+
+}  // namespace ssdb

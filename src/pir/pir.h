@@ -1,0 +1,161 @@
+// Private information retrieval schemes (Section II.B).
+//
+// The paper frames PIR as the theory answer to private queries: retrieve
+// element i of an N-element database without the server learning i, with
+// k-server replication buying communication sublinear in N, versus Sion &
+// Carbunar's observation that in practice the trivial protocol (download
+// everything) often wins. Three schemes let experiment E6 measure that
+// trade-off directly:
+//
+//   * TrivialPir      — download the whole database. O(N) down, perfect
+//                       privacy, no server computation beyond a memcpy.
+//   * TwoServerXorPir — the classic CGKS square scheme: the database is a
+//                       sqrt(N) x sqrt(N) grid; each of 2 non-colluding
+//                       servers gets a random column subset (one differing
+//                       in the target column) and returns per-row XORs.
+//                       O(sqrt(N)) communication.
+//   * PolyPir         — k-server polynomial scheme: records are encoded as
+//                       a degree-(k-1) multilinear polynomial over
+//                       F_{2^61-1}; the client shares the index point along
+//                       a random line and interpolates. O(k * N^(1/(k-1)))
+//                       communication. (The O(N^(1/(2k-1))) refinement the
+//                       paper cites needs derivative sharing —
+//                       Woodruff-Yekhanin — noted as future work.)
+//
+// All records are single field elements (callers chunk larger records).
+// Servers are modelled in-process with explicit byte accounting.
+
+#ifndef SSDB_PIR_PIR_H_
+#define SSDB_PIR_PIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "field/fp61.h"
+
+namespace ssdb {
+
+/// Per-query communication/computation accounting.
+struct PirStats {
+  uint64_t bytes_up = 0;       ///< Client -> all servers.
+  uint64_t bytes_down = 0;     ///< All servers -> client.
+  uint64_t server_word_ops = 0;  ///< Database words touched server-side.
+
+  uint64_t total_bytes() const { return bytes_up + bytes_down; }
+};
+
+/// \brief Baseline: ship the entire database.
+class TrivialPir {
+ public:
+  explicit TrivialPir(std::vector<uint64_t> database)
+      : db_(std::move(database)) {}
+
+  size_t size() const { return db_.size(); }
+
+  /// Retrieves record i; charges the full database to bytes_down.
+  Result<uint64_t> Fetch(size_t index, PirStats* stats) const;
+
+ private:
+  std::vector<uint64_t> db_;
+};
+
+/// \brief Two-server XOR scheme over a sqrt(N) x sqrt(N) layout.
+///
+/// Privacy holds against each single server (the two queries are
+/// individually uniform random column subsets).
+class TwoServerXorPir {
+ public:
+  explicit TwoServerXorPir(std::vector<uint64_t> database);
+
+  size_t size() const { return n_; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  Result<uint64_t> Fetch(size_t index, Rng* rng, PirStats* stats) const;
+
+ private:
+  /// Server computation: per-row XOR over the selected columns.
+  std::vector<uint64_t> ServerAnswer(const std::vector<uint8_t>& col_mask,
+                                     PirStats* stats) const;
+
+  std::vector<uint64_t> db_;  // row-major rows_ x cols_ (zero padded)
+  size_t n_;
+  size_t rows_;
+  size_t cols_;
+};
+
+/// \brief k-server polynomial-interpolation scheme (k >= 2).
+///
+/// Records live in F_{2^61-1}. Index i is embedded as a 0/1 point e(i) in
+/// F^(d*m) (d = k-1 digit blocks of one-hot width m = ceil(N^(1/d))); the
+/// database polynomial F is multilinear of degree d with F(e(i)) = x_i.
+/// The client samples a random direction r and sends e(i) + t_j * r to
+/// server j; any single server's view is uniform, and k evaluations of
+/// the degree-d univariate restriction recover F(e(i)).
+class PolyPir {
+ public:
+  static Result<PolyPir> Create(std::vector<uint64_t> database,
+                                size_t num_servers);
+
+  size_t size() const { return db_.size(); }
+  size_t num_servers() const { return degree_ + 1; }
+  size_t point_dims() const { return static_cast<size_t>(degree_) * m_; }
+
+  Result<uint64_t> Fetch(size_t index, Rng* rng, PirStats* stats) const;
+
+  /// Server computation, exposed for tests: evaluates the database
+  /// polynomial at an arbitrary point.
+  Fp61 EvaluateAt(const std::vector<Fp61>& point, PirStats* stats) const;
+
+ private:
+  PolyPir(std::vector<uint64_t> database, size_t degree, size_t m)
+      : db_(std::move(database)), degree_(degree), m_(m) {}
+
+  std::vector<uint64_t> db_;
+  size_t degree_;  // d = k-1
+  size_t m_;       // digits per block, N <= m^d
+};
+
+/// \brief Woodruff-Yekhanin PIR: the O(N^{1/(2k-1)}) family the paper
+/// cites in §II.B.
+///
+/// The database polynomial F is multilinear of degree d = 2k-1 in
+/// d * m coordinates (m = ceil(N^{1/d})). Each of the k servers receives
+/// one point of the line e(i) + t*r and returns BOTH F at that point and
+/// the full gradient of F there. The client forms f(t_j) = F(p_j) and
+/// f'(t_j) = <grad F(p_j), r>, giving 2k constraints on the degree-(2k-1)
+/// univariate restriction f — enough for Hermite interpolation of f(0) =
+/// x_i. Communication per server: d*m field elements up, d*m + 1 down,
+/// i.e. O(k^2 * N^{1/(2k-1)}) total.
+class WoodruffYekhaninPir {
+ public:
+  static Result<WoodruffYekhaninPir> Create(std::vector<uint64_t> database,
+                                            size_t num_servers);
+
+  size_t size() const { return db_.size(); }
+  size_t num_servers() const { return servers_; }
+  size_t degree() const { return 2 * servers_ - 1; }
+  size_t point_dims() const { return degree() * m_; }
+
+  Result<uint64_t> Fetch(size_t index, Rng* rng, PirStats* stats) const;
+
+  /// Server computation, exposed for tests: F(point) and its gradient.
+  Fp61 EvaluateWithGradient(const std::vector<Fp61>& point,
+                            std::vector<Fp61>* gradient,
+                            PirStats* stats) const;
+
+ private:
+  WoodruffYekhaninPir(std::vector<uint64_t> database, size_t servers,
+                      size_t m)
+      : db_(std::move(database)), servers_(servers), m_(m) {}
+
+  std::vector<uint64_t> db_;
+  size_t servers_;  // k
+  size_t m_;        // digits per block, N <= m^(2k-1)
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_PIR_PIR_H_

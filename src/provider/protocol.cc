@@ -1,0 +1,399 @@
+#include "provider/protocol.h"
+
+namespace ssdb {
+
+namespace {
+constexpr uint64_t kMaxVectorLength = 1u << 26;  // decode-side sanity bound
+
+Status CheckLength(uint64_t n, const char* what) {
+  if (n > kMaxVectorLength) {
+    return Status::Corruption(std::string("protocol: implausible ") + what +
+                              " length");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+void SharePredicate::EncodeTo(Buffer* buf) const {
+  buf->PutU32(column);
+  buf->PutU8(static_cast<uint8_t>(kind));
+  if (kind == PredicateKind::kExactDet) {
+    buf->PutU64(det_share);
+  } else {
+    buf->PutU128(op_lo);
+    buf->PutU128(op_hi);
+  }
+}
+
+Status SharePredicate::DecodeFrom(Decoder* dec, SharePredicate* out) {
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&out->column));
+  uint8_t kind = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(PredicateKind::kRangeOp)) {
+    return Status::Corruption("protocol: bad predicate kind");
+  }
+  out->kind = static_cast<PredicateKind>(kind);
+  if (out->kind == PredicateKind::kExactDet) {
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&out->det_share));
+  } else {
+    SSDB_RETURN_IF_ERROR(dec->GetU128(&out->op_lo));
+    SSDB_RETURN_IF_ERROR(dec->GetU128(&out->op_hi));
+  }
+  return Status::OK();
+}
+
+void QueryRequest::EncodeTo(Buffer* buf) const {
+  buf->PutU32(table_id);
+  buf->PutVarint(predicates.size());
+  for (const auto& p : predicates) p.EncodeTo(buf);
+  buf->PutU8(static_cast<uint8_t>(action));
+  buf->PutU32(target_column);
+  buf->PutU32(group_column);
+  buf->PutVarint(projection.size());
+  for (uint32_t c : projection) buf->PutU32(c);
+}
+
+Status QueryRequest::DecodeFrom(Decoder* dec, QueryRequest* out) {
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&out->table_id));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "predicate"));
+  out->predicates.resize(n);
+  for (auto& p : out->predicates) {
+    SSDB_RETURN_IF_ERROR(SharePredicate::DecodeFrom(dec, &p));
+  }
+  uint8_t action = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU8(&action));
+  if (action > static_cast<uint8_t>(QueryAction::kGroupedSum)) {
+    return Status::Corruption("protocol: bad query action");
+  }
+  out->action = static_cast<QueryAction>(action);
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&out->target_column));
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&out->group_column));
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "projection"));
+  out->projection.resize(n);
+  for (auto& c : out->projection) SSDB_RETURN_IF_ERROR(dec->GetU32(&c));
+  return Status::OK();
+}
+
+void JoinRequest::EncodeTo(Buffer* buf) const {
+  buf->PutU32(left_table);
+  buf->PutU32(left_column);
+  buf->PutU32(right_table);
+  buf->PutU32(right_column);
+  buf->PutVarint(left_predicates.size());
+  for (const auto& p : left_predicates) p.EncodeTo(buf);
+  buf->PutVarint(right_predicates.size());
+  for (const auto& p : right_predicates) p.EncodeTo(buf);
+}
+
+Status JoinRequest::DecodeFrom(Decoder* dec, JoinRequest* out) {
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&out->left_table));
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&out->left_column));
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&out->right_table));
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&out->right_column));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "left predicate"));
+  out->left_predicates.resize(n);
+  for (auto& p : out->left_predicates) {
+    SSDB_RETURN_IF_ERROR(SharePredicate::DecodeFrom(dec, &p));
+  }
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "right predicate"));
+  out->right_predicates.resize(n);
+  for (auto& p : out->right_predicates) {
+    SSDB_RETURN_IF_ERROR(SharePredicate::DecodeFrom(dec, &p));
+  }
+  return Status::OK();
+}
+
+// --- Requests ---------------------------------------------------------------
+
+void EncodeCreateTable(uint32_t table_id,
+                       const std::vector<ProviderColumnLayout>& layout,
+                       Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kCreateTable));
+  out->PutU32(table_id);
+  out->PutVarint(layout.size());
+  for (const auto& c : layout) c.EncodeTo(out);
+}
+
+void EncodeDropTable(uint32_t table_id, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kDropTable));
+  out->PutU32(table_id);
+}
+
+namespace {
+void EncodeRowsMessage(MsgType type, uint32_t table_id,
+                       const std::vector<ProviderColumnLayout>& layout,
+                       const std::vector<StoredRow>& rows, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(type));
+  out->PutU32(table_id);
+  out->PutVarint(rows.size());
+  for (const StoredRow& r : rows) EncodeStoredRow(r, layout, out);
+}
+}  // namespace
+
+void EncodeInsertRows(uint32_t table_id,
+                      const std::vector<ProviderColumnLayout>& layout,
+                      const std::vector<StoredRow>& rows, Buffer* out) {
+  EncodeRowsMessage(MsgType::kInsertRows, table_id, layout, rows, out);
+}
+
+void EncodeUpdateRows(uint32_t table_id,
+                      const std::vector<ProviderColumnLayout>& layout,
+                      const std::vector<StoredRow>& rows, Buffer* out) {
+  EncodeRowsMessage(MsgType::kUpdateRows, table_id, layout, rows, out);
+}
+
+void EncodeDeleteRows(uint32_t table_id, const std::vector<uint64_t>& row_ids,
+                      Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kDeleteRows));
+  out->PutU32(table_id);
+  out->PutVarint(row_ids.size());
+  for (uint64_t id : row_ids) out->PutU64(id);
+}
+
+void EncodeGetRows(uint32_t table_id, const std::vector<uint64_t>& row_ids,
+                   Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kGetRows));
+  out->PutU32(table_id);
+  out->PutVarint(row_ids.size());
+  for (uint64_t id : row_ids) out->PutU64(id);
+}
+
+void EncodeQuery(const QueryRequest& query, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kQuery));
+  query.EncodeTo(out);
+}
+
+void EncodeJoin(const JoinRequest& join, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kJoin));
+  join.EncodeTo(out);
+}
+
+void EncodeCreatePublicTable(uint32_t table_id, uint32_t num_columns,
+                             Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kCreatePublicTable));
+  out->PutU32(table_id);
+  out->PutU32(num_columns);
+}
+
+void EncodeInsertPublicRows(uint32_t table_id,
+                            const std::vector<std::vector<Value>>& rows,
+                            Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kInsertPublicRows));
+  out->PutU32(table_id);
+  out->PutVarint(rows.size());
+  for (const auto& row : rows) {
+    out->PutVarint(row.size());
+    for (const Value& v : row) v.EncodeTo(out);
+  }
+}
+
+void EncodeFetchPublicColumn(uint32_t table_id, uint32_t column, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kFetchPublicColumn));
+  out->PutU32(table_id);
+  out->PutU32(column);
+}
+
+void EncodeAttachShareIndex(uint32_t table_id, uint32_t column,
+                            const std::vector<ShareIndexEntry>& entries,
+                            Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kAttachShareIndex));
+  out->PutU32(table_id);
+  out->PutU32(column);
+  out->PutVarint(entries.size());
+  for (const auto& e : entries) {
+    out->PutU64(e.row_id);
+    out->PutU64(e.det_share);
+    out->PutU128(e.op_share);
+  }
+}
+
+void EncodePublicFilter(uint32_t table_id, uint32_t column,
+                        const SharePredicate& predicate, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kPublicFilter));
+  out->PutU32(table_id);
+  out->PutU32(column);
+  predicate.EncodeTo(out);
+}
+
+void EncodeTableStats(uint32_t table_id, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kTableStats));
+  out->PutU32(table_id);
+}
+
+// --- Response framing -------------------------------------------------------
+
+void EncodeOkHeader(Buffer* out) { out->PutU8(0); }
+
+void EncodeErrorResponse(const Status& status, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(status.code()));
+  out->PutLengthPrefixed(Slice(status.message()));
+}
+
+Status DecodeResponseHeader(Decoder* dec) {
+  uint8_t code = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU8(&code));
+  if (code == 0) return Status::OK();
+  std::string msg;
+  SSDB_RETURN_IF_ERROR(dec->GetLengthPrefixedString(&msg));
+  if (code > static_cast<uint8_t>(StatusCode::kPermissionDenied)) {
+    return Status::Corruption("protocol: unknown status code in response");
+  }
+  return Status(static_cast<StatusCode>(code), std::move(msg));
+}
+
+// --- Response payloads ------------------------------------------------------
+
+void EncodeRowsResponse(const std::vector<StoredRow>& rows,
+                        const std::vector<ProviderColumnLayout>& layout,
+                        Buffer* out) {
+  out->PutVarint(rows.size());
+  for (const StoredRow& r : rows) EncodeStoredRow(r, layout, out);
+}
+
+Status DecodeRowsResponse(Decoder* dec,
+                          const std::vector<ProviderColumnLayout>& layout,
+                          std::vector<StoredRow>* out) {
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "row"));
+  out->resize(n);
+  for (auto& r : *out) {
+    SSDB_RETURN_IF_ERROR(DecodeStoredRow(dec, layout, &r));
+  }
+  return Status::OK();
+}
+
+void EncodeRowIdsResponse(const std::vector<uint64_t>& ids, Buffer* out) {
+  out->PutVarint(ids.size());
+  for (uint64_t id : ids) out->PutU64(id);
+}
+
+Status DecodeRowIdsResponse(Decoder* dec, std::vector<uint64_t>* out) {
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "row id"));
+  out->resize(n);
+  for (auto& id : *out) SSDB_RETURN_IF_ERROR(dec->GetU64(&id));
+  return Status::OK();
+}
+
+void EncodeAggResponse(const PartialAggregate& agg, Buffer* out) {
+  out->PutU64(agg.sum_share);
+  out->PutU64(agg.count);
+}
+
+Status DecodeAggResponse(Decoder* dec, PartialAggregate* out) {
+  SSDB_RETURN_IF_ERROR(dec->GetU64(&out->sum_share));
+  SSDB_RETURN_IF_ERROR(dec->GetU64(&out->count));
+  return Status::OK();
+}
+
+void EncodeGroupedAggResponse(const std::vector<GroupPartial>& groups,
+                              Buffer* out) {
+  out->PutVarint(groups.size());
+  for (const GroupPartial& g : groups) {
+    out->PutU64(g.rep_row_id);
+    out->PutU64(g.key_share);
+    out->PutU64(g.sum_share);
+    out->PutU64(g.count);
+  }
+}
+
+Status DecodeGroupedAggResponse(Decoder* dec,
+                                std::vector<GroupPartial>* out) {
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "group"));
+  out->resize(n);
+  for (auto& g : *out) {
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&g.rep_row_id));
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&g.key_share));
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&g.sum_share));
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&g.count));
+  }
+  return Status::OK();
+}
+
+void EncodeRefreshRows(uint32_t table_id,
+                       const std::vector<RefreshDelta>& deltas, Buffer* out) {
+  out->PutU8(static_cast<uint8_t>(MsgType::kRefreshRows));
+  out->PutU32(table_id);
+  out->PutVarint(deltas.size());
+  for (const RefreshDelta& d : deltas) {
+    out->PutU64(d.row_id);
+    out->PutVarint(d.column_deltas.size());
+    for (uint64_t delta : d.column_deltas) out->PutU64(delta);
+  }
+}
+
+void EncodeJoinResponse(const std::vector<JoinedRowPair>& pairs,
+                        const std::vector<ProviderColumnLayout>& left_layout,
+                        const std::vector<ProviderColumnLayout>& right_layout,
+                        Buffer* out) {
+  out->PutVarint(pairs.size());
+  for (const auto& p : pairs) {
+    EncodeStoredRow(p.left, left_layout, out);
+    EncodeStoredRow(p.right, right_layout, out);
+  }
+}
+
+Status DecodeJoinResponse(Decoder* dec,
+                          const std::vector<ProviderColumnLayout>& left_layout,
+                          const std::vector<ProviderColumnLayout>& right_layout,
+                          std::vector<JoinedRowPair>* out) {
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "join pair"));
+  out->resize(n);
+  for (auto& p : *out) {
+    SSDB_RETURN_IF_ERROR(DecodeStoredRow(dec, left_layout, &p.left));
+    SSDB_RETURN_IF_ERROR(DecodeStoredRow(dec, right_layout, &p.right));
+  }
+  return Status::OK();
+}
+
+void EncodePublicRowsResponse(const std::vector<std::vector<Value>>& rows,
+                              const std::vector<uint64_t>& row_ids,
+                              Buffer* out) {
+  out->PutVarint(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out->PutU64(row_ids[i]);
+    out->PutVarint(rows[i].size());
+    for (const Value& v : rows[i]) v.EncodeTo(out);
+  }
+}
+
+Status DecodePublicRowsResponse(Decoder* dec,
+                                std::vector<std::vector<Value>>* rows,
+                                std::vector<uint64_t>* row_ids) {
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  SSDB_RETURN_IF_ERROR(CheckLength(n, "public row"));
+  rows->resize(n);
+  row_ids->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&(*row_ids)[i]));
+    uint64_t cols = 0;
+    SSDB_RETURN_IF_ERROR(dec->GetVarint(&cols));
+    SSDB_RETURN_IF_ERROR(CheckLength(cols, "public column"));
+    (*rows)[i].resize(cols);
+    for (auto& v : (*rows)[i]) {
+      SSDB_RETURN_IF_ERROR(Value::DecodeFrom(dec, &v));
+    }
+  }
+  return Status::OK();
+}
+
+void EncodeCountResponse(uint64_t count, Buffer* out) { out->PutU64(count); }
+
+Status DecodeCountResponse(Decoder* dec, uint64_t* out) {
+  return dec->GetU64(out);
+}
+
+}  // namespace ssdb

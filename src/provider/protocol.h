@@ -1,0 +1,225 @@
+// Wire protocol between the data source and the service providers.
+//
+// Every request is one message: a type byte followed by a type-specific
+// payload (common/buffer.h encoding). Every response starts with a status
+// byte (0 = OK, otherwise a StatusCode) and, on error, a message string;
+// on success the payload follows.
+//
+// Providers operate exclusively on shares. A query request carries
+// predicates already rewritten into share space by the client
+// (client/rewriter.h): exact-match predicates carry this provider's
+// deterministic share of the constant, range predicates carry this
+// provider's order-preserving shares of the bounds — precisely the §V.A
+// rewriting ("retrieve ... whose salary is share(20, i)").
+
+#ifndef SSDB_PROVIDER_PROTOCOL_H_
+#define SSDB_PROVIDER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/schema.h"
+#include "codec/value.h"
+#include "common/buffer.h"
+#include "common/status.h"
+#include "storage/share_table.h"
+
+namespace ssdb {
+
+enum class MsgType : uint8_t {
+  kCreateTable = 1,
+  kDropTable = 2,
+  kInsertRows = 3,
+  kDeleteRows = 4,
+  kUpdateRows = 5,
+  kGetRows = 6,
+  kQuery = 7,
+  kJoin = 8,
+  kCreatePublicTable = 9,
+  kInsertPublicRows = 10,
+  kFetchPublicColumn = 11,
+  kAttachShareIndex = 12,
+  kPublicFilter = 13,
+  kTableStats = 14,
+  kRefreshRows = 15,
+};
+
+/// Provider-side evaluation strategy for a query.
+enum class QueryAction : uint8_t {
+  kFetchRows = 0,   ///< Return the matching share rows.
+  kFetchRowIds = 1, ///< Return matching row ids only.
+  kCount = 2,       ///< Return the match count.
+  kPartialSum = 3,  ///< Return (sum of secret shares of target, count).
+  kArgMin = 4,      ///< Return row(s) minimizing target's op share.
+  kArgMax = 5,      ///< Return row(s) maximizing target's op share.
+  kMedian = 6,      ///< Return the (lower) median row by target's op share.
+  kGroupedSum = 7,  ///< Group by group_column's det share; per group return
+                    ///< (representative row, key share, sum share, count).
+};
+
+enum class PredicateKind : uint8_t {
+  kExactDet = 0,  ///< det share of column == det_share.
+  kRangeOp = 1,   ///< op share of column in [op_lo, op_hi].
+};
+
+/// One share-space predicate (conjunctive).
+struct SharePredicate {
+  uint32_t column = 0;
+  PredicateKind kind = PredicateKind::kExactDet;
+  uint64_t det_share = 0;
+  u128 op_lo = 0;
+  u128 op_hi = 0;
+
+  void EncodeTo(Buffer* buf) const;
+  static Status DecodeFrom(Decoder* dec, SharePredicate* out);
+};
+
+/// A query over one table.
+struct QueryRequest {
+  uint32_t table_id = 0;
+  std::vector<SharePredicate> predicates;
+  QueryAction action = QueryAction::kFetchRows;
+  uint32_t target_column = 0;  ///< For aggregate actions.
+  uint32_t group_column = 0;   ///< For kGroupedSum.
+  /// Column indices to return for row-fetching actions (empty = all).
+  /// Projection is pushed down so unrequested share columns never travel.
+  std::vector<uint32_t> projection;
+
+  void EncodeTo(Buffer* buf) const;
+  static Status DecodeFrom(Decoder* dec, QueryRequest* out);
+};
+
+/// A same-domain equi-join executed at the provider (§V.A Join).
+struct JoinRequest {
+  uint32_t left_table = 0;
+  uint32_t left_column = 0;
+  uint32_t right_table = 0;
+  uint32_t right_column = 0;
+  /// Optional pre-filters applied before joining.
+  std::vector<SharePredicate> left_predicates;
+  std::vector<SharePredicate> right_predicates;
+
+  void EncodeTo(Buffer* buf) const;
+  static Status DecodeFrom(Decoder* dec, JoinRequest* out);
+};
+
+/// Entry of a client share index over a public column (§V.D mash-up).
+struct ShareIndexEntry {
+  uint64_t row_id = 0;
+  uint64_t det_share = 0;
+  u128 op_share = 0;
+};
+
+// --- Request encoders (client side) ----------------------------------------
+
+void EncodeCreateTable(uint32_t table_id,
+                       const std::vector<ProviderColumnLayout>& layout,
+                       Buffer* out);
+void EncodeDropTable(uint32_t table_id, Buffer* out);
+void EncodeInsertRows(uint32_t table_id,
+                      const std::vector<ProviderColumnLayout>& layout,
+                      const std::vector<StoredRow>& rows, Buffer* out);
+void EncodeDeleteRows(uint32_t table_id, const std::vector<uint64_t>& row_ids,
+                      Buffer* out);
+void EncodeUpdateRows(uint32_t table_id,
+                      const std::vector<ProviderColumnLayout>& layout,
+                      const std::vector<StoredRow>& rows, Buffer* out);
+void EncodeGetRows(uint32_t table_id, const std::vector<uint64_t>& row_ids,
+                   Buffer* out);
+void EncodeQuery(const QueryRequest& query, Buffer* out);
+void EncodeJoin(const JoinRequest& join, Buffer* out);
+void EncodeCreatePublicTable(uint32_t table_id, uint32_t num_columns,
+                             Buffer* out);
+void EncodeInsertPublicRows(uint32_t table_id,
+                            const std::vector<std::vector<Value>>& rows,
+                            Buffer* out);
+void EncodeFetchPublicColumn(uint32_t table_id, uint32_t column, Buffer* out);
+void EncodeAttachShareIndex(uint32_t table_id, uint32_t column,
+                            const std::vector<ShareIndexEntry>& entries,
+                            Buffer* out);
+/// Filter a public table through an attached share index.
+void EncodePublicFilter(uint32_t table_id, uint32_t column,
+                        const SharePredicate& predicate, Buffer* out);
+void EncodeTableStats(uint32_t table_id, Buffer* out);
+
+// --- Response framing -------------------------------------------------------
+
+/// Writes the OK header.
+void EncodeOkHeader(Buffer* out);
+/// Writes an error response.
+void EncodeErrorResponse(const Status& status, Buffer* out);
+/// Reads the response header; returns the embedded error if any. On OK the
+/// decoder is positioned at the payload.
+Status DecodeResponseHeader(Decoder* dec);
+
+// --- Response payloads ------------------------------------------------------
+
+void EncodeRowsResponse(const std::vector<StoredRow>& rows,
+                        const std::vector<ProviderColumnLayout>& layout,
+                        Buffer* out);
+Status DecodeRowsResponse(Decoder* dec,
+                          const std::vector<ProviderColumnLayout>& layout,
+                          std::vector<StoredRow>* out);
+
+void EncodeRowIdsResponse(const std::vector<uint64_t>& ids, Buffer* out);
+Status DecodeRowIdsResponse(Decoder* dec, std::vector<uint64_t>* out);
+
+struct PartialAggregate {
+  uint64_t sum_share = 0;  ///< Sum of secret shares mod p.
+  uint64_t count = 0;
+};
+void EncodeAggResponse(const PartialAggregate& agg, Buffer* out);
+Status DecodeAggResponse(Decoder* dec, PartialAggregate* out);
+
+/// One group of a kGroupedSum response. Groups are ordered by their
+/// representative (minimal) row id, which is identical at every provider,
+/// so the client can zip k responses together.
+struct GroupPartial {
+  uint64_t rep_row_id = 0;    ///< Smallest row id in the group.
+  uint64_t key_share = 0;     ///< Secret share of the group key (rep row).
+  uint64_t sum_share = 0;     ///< Sum of target secret shares mod p.
+  uint64_t count = 0;
+};
+void EncodeGroupedAggResponse(const std::vector<GroupPartial>& groups,
+                              Buffer* out);
+Status DecodeGroupedAggResponse(Decoder* dec,
+                                std::vector<GroupPartial>* out);
+
+/// One row's refresh deltas: added to the stored secret shares (the
+/// deltas are shares of zero, so the secrets are unchanged while the
+/// shares re-randomize — proactive refresh, §VI(b)).
+struct RefreshDelta {
+  uint64_t row_id = 0;
+  std::vector<uint64_t> column_deltas;  ///< One Fp61 delta per column.
+};
+void EncodeRefreshRows(uint32_t table_id,
+                       const std::vector<RefreshDelta>& deltas, Buffer* out);
+
+/// Join result: pairs of (left row, right row).
+struct JoinedRowPair {
+  StoredRow left;
+  StoredRow right;
+};
+void EncodeJoinResponse(const std::vector<JoinedRowPair>& pairs,
+                        const std::vector<ProviderColumnLayout>& left_layout,
+                        const std::vector<ProviderColumnLayout>& right_layout,
+                        Buffer* out);
+Status DecodeJoinResponse(Decoder* dec,
+                          const std::vector<ProviderColumnLayout>& left_layout,
+                          const std::vector<ProviderColumnLayout>& right_layout,
+                          std::vector<JoinedRowPair>* out);
+
+void EncodePublicRowsResponse(const std::vector<std::vector<Value>>& rows,
+                              const std::vector<uint64_t>& row_ids,
+                              Buffer* out);
+Status DecodePublicRowsResponse(Decoder* dec,
+                                std::vector<std::vector<Value>>* rows,
+                                std::vector<uint64_t>* row_ids);
+
+void EncodeCountResponse(uint64_t count, Buffer* out);
+Status DecodeCountResponse(Decoder* dec, uint64_t* out);
+
+}  // namespace ssdb
+
+#endif  // SSDB_PROVIDER_PROTOCOL_H_

@@ -1,0 +1,765 @@
+#include "provider/provider.h"
+
+#include <algorithm>
+
+#include "field/fp61.h"
+
+namespace ssdb {
+
+Result<Buffer> Provider::Handle(Slice request) {
+  ++stats_.requests;
+  Decoder dec(request);
+  uint8_t type = 0;
+  Buffer out;
+  Status st = dec.GetU8(&type);
+  if (st.ok()) {
+    switch (static_cast<MsgType>(type)) {
+      case MsgType::kCreateTable:
+        st = HandleCreateTable(&dec, &out);
+        break;
+      case MsgType::kDropTable:
+        st = HandleDropTable(&dec, &out);
+        break;
+      case MsgType::kInsertRows:
+        st = HandleInsertRows(&dec, &out);
+        break;
+      case MsgType::kDeleteRows:
+        st = HandleDeleteRows(&dec, &out);
+        break;
+      case MsgType::kUpdateRows:
+        st = HandleUpdateRows(&dec, &out);
+        break;
+      case MsgType::kGetRows:
+        st = HandleGetRows(&dec, &out);
+        break;
+      case MsgType::kQuery:
+        st = HandleQuery(&dec, &out);
+        break;
+      case MsgType::kJoin:
+        st = HandleJoin(&dec, &out);
+        break;
+      case MsgType::kCreatePublicTable:
+        st = HandleCreatePublicTable(&dec, &out);
+        break;
+      case MsgType::kInsertPublicRows:
+        st = HandleInsertPublicRows(&dec, &out);
+        break;
+      case MsgType::kFetchPublicColumn:
+        st = HandleFetchPublicColumn(&dec, &out);
+        break;
+      case MsgType::kAttachShareIndex:
+        st = HandleAttachShareIndex(&dec, &out);
+        break;
+      case MsgType::kPublicFilter:
+        st = HandlePublicFilter(&dec, &out);
+        break;
+      case MsgType::kTableStats:
+        st = HandleTableStats(&dec, &out);
+        break;
+      case MsgType::kRefreshRows:
+        st = HandleRefreshRows(&dec, &out);
+        break;
+      default:
+        st = Status::InvalidArgument("provider: unknown message type");
+    }
+  }
+  if (!st.ok()) {
+    // Errors travel inside a well-formed response, never as a transport
+    // failure (a malformed request must not crash or wedge a provider).
+    Buffer err;
+    EncodeErrorResponse(st, &err);
+    return err;
+  }
+  return out;
+}
+
+Result<ShareTable*> Provider::FindTable(uint32_t table_id) {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    return Status::NotFound("provider: unknown table id");
+  }
+  return &it->second;
+}
+
+Result<Provider::PublicTable*> Provider::FindPublicTable(uint32_t table_id) {
+  auto it = public_tables_.find(table_id);
+  if (it == public_tables_.end()) {
+    return Status::NotFound("provider: unknown public table id");
+  }
+  return &it->second;
+}
+
+Result<const ShareTable*> Provider::GetTableForTest(uint32_t table_id) const {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    return Status::NotFound("provider: unknown table id");
+  }
+  return &it->second;
+}
+
+Status Provider::HandleCreateTable(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  if (n == 0 || n > 4096) {
+    return Status::InvalidArgument("provider: implausible column count");
+  }
+  std::vector<ProviderColumnLayout> layout(n);
+  for (auto& c : layout) {
+    SSDB_RETURN_IF_ERROR(ProviderColumnLayout::DecodeFrom(dec, &c));
+  }
+  if (tables_.count(table_id) != 0) {
+    return Status::AlreadyExists("provider: table id already exists");
+  }
+  tables_.emplace(table_id, ShareTable(std::move(layout)));
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandleDropTable(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  if (tables_.erase(table_id) == 0) {
+    return Status::NotFound("provider: unknown table id");
+  }
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandleInsertRows(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(table_id));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    StoredRow row;
+    SSDB_RETURN_IF_ERROR(DecodeStoredRow(dec, table->layout(), &row));
+    SSDB_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandleDeleteRows(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(table_id));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&id));
+    SSDB_RETURN_IF_ERROR(table->Delete(id));
+  }
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandleUpdateRows(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(table_id));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    StoredRow row;
+    SSDB_RETURN_IF_ERROR(DecodeStoredRow(dec, table->layout(), &row));
+    SSDB_RETURN_IF_ERROR(table->Update(std::move(row)));
+  }
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandleGetRows(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(table_id));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  std::vector<StoredRow> rows;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&id));
+    SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
+    rows.push_back(*row);
+  }
+  stats_.rows_returned += rows.size();
+  EncodeOkHeader(out);
+  EncodeRowsResponse(rows, table->layout(), out);
+  return Status::OK();
+}
+
+Result<bool> Provider::RowMatches(const ShareTable& table,
+                                  const StoredRow& row,
+                                  const SharePredicate& pred) {
+  if (pred.column >= table.num_columns()) {
+    return Status::InvalidArgument("provider: predicate column out of range");
+  }
+  const StoredCell& cell = row.cells[pred.column];
+  if (pred.kind == PredicateKind::kExactDet) {
+    if (!table.layout()[pred.column].has_det) {
+      return Status::NotSupported(
+          "provider: exact predicate on column without deterministic shares");
+    }
+    return cell.det == pred.det_share;
+  }
+  if (!table.layout()[pred.column].has_op) {
+    return Status::NotSupported(
+        "provider: range predicate on column without order-preserving shares");
+  }
+  return cell.op >= pred.op_lo && cell.op <= pred.op_hi;
+}
+
+Result<std::vector<uint64_t>> Provider::EvaluatePredicates(
+    const ShareTable& table, const std::vector<SharePredicate>& preds) {
+  std::vector<uint64_t> candidates;
+  if (preds.empty()) {
+    candidates = table.AllRowIds();
+    stats_.rows_examined += candidates.size();
+    return candidates;
+  }
+  // The first predicate is the index access path; the rest are filtered.
+  const SharePredicate& p = preds[0];
+  ++stats_.index_lookups;
+  if (p.kind == PredicateKind::kExactDet) {
+    SSDB_ASSIGN_OR_RETURN(candidates, table.ExactMatch(p.column, p.det_share));
+  } else {
+    SSDB_ASSIGN_OR_RETURN(candidates,
+                          table.RangeScan(p.column, p.op_lo, p.op_hi));
+    std::sort(candidates.begin(), candidates.end());
+  }
+  stats_.rows_examined += candidates.size();
+  if (preds.size() == 1) return candidates;
+
+  std::vector<uint64_t> out;
+  for (uint64_t id : candidates) {
+    SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table.Get(id));
+    bool all = true;
+    for (size_t i = 1; i < preds.size(); ++i) {
+      SSDB_ASSIGN_OR_RETURN(bool m, RowMatches(table, *row, preds[i]));
+      if (!m) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out.push_back(id);
+  }
+  return out;
+}
+
+namespace {
+
+/// Builds the projected layout and a projector for rows; an empty
+/// projection keeps every column.
+Status MakeProjection(const ShareTable& table,
+                      const std::vector<uint32_t>& projection,
+                      std::vector<ProviderColumnLayout>* layout_out,
+                      std::vector<uint32_t>* columns_out) {
+  if (projection.empty()) {
+    *layout_out = table.layout();
+    columns_out->resize(table.num_columns());
+    for (uint32_t c = 0; c < table.num_columns(); ++c) (*columns_out)[c] = c;
+    return Status::OK();
+  }
+  layout_out->clear();
+  columns_out->clear();
+  for (uint32_t c : projection) {
+    if (c >= table.num_columns()) {
+      return Status::InvalidArgument("provider: projection column out of range");
+    }
+    layout_out->push_back(table.layout()[c]);
+    columns_out->push_back(c);
+  }
+  return Status::OK();
+}
+
+StoredRow ProjectRow(const StoredRow& row,
+                     const std::vector<uint32_t>& columns) {
+  StoredRow out;
+  out.row_id = row.row_id;
+  out.tag = row.tag;
+  out.cells.reserve(columns.size());
+  for (uint32_t c : columns) out.cells.push_back(row.cells[c]);
+  return out;
+}
+
+}  // namespace
+
+Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
+  QueryRequest q;
+  SSDB_RETURN_IF_ERROR(QueryRequest::DecodeFrom(dec, &q));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(q.table_id));
+  SSDB_ASSIGN_OR_RETURN(std::vector<uint64_t> ids,
+                        EvaluatePredicates(*table, q.predicates));
+
+  std::vector<ProviderColumnLayout> proj_layout;
+  std::vector<uint32_t> proj_columns;
+  SSDB_RETURN_IF_ERROR(
+      MakeProjection(*table, q.projection, &proj_layout, &proj_columns));
+
+  switch (q.action) {
+    case QueryAction::kFetchRows: {
+      std::vector<StoredRow> rows;
+      rows.reserve(ids.size());
+      for (uint64_t id : ids) {
+        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
+        rows.push_back(ProjectRow(*row, proj_columns));
+      }
+      stats_.rows_returned += rows.size();
+      EncodeOkHeader(out);
+      EncodeRowsResponse(rows, proj_layout, out);
+      return Status::OK();
+    }
+    case QueryAction::kGroupedSum: {
+      if (q.target_column >= table->num_columns() ||
+          q.group_column >= table->num_columns()) {
+        return Status::InvalidArgument("provider: bad grouped-sum columns");
+      }
+      if (!table->layout()[q.group_column].has_det) {
+        return Status::NotSupported(
+            "provider: GROUP BY needs deterministic shares on the group "
+            "column");
+      }
+      // Group matched rows by the group column's det share; groups are
+      // identified across providers by their minimal row id.
+      std::unordered_map<uint64_t, GroupPartial> groups;
+      for (uint64_t id : ids) {
+        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
+        const uint64_t det = row->cells[q.group_column].det;
+        auto [it, inserted] = groups.try_emplace(det);
+        GroupPartial& g = it->second;
+        if (inserted || id < g.rep_row_id) {
+          g.rep_row_id = id;
+          g.key_share = row->cells[q.group_column].secret;
+        }
+        g.sum_share = (Fp61::FromCanonical(g.sum_share) +
+                       Fp61::FromCanonical(row->cells[q.target_column].secret))
+                          .value();
+        g.count++;
+      }
+      std::vector<GroupPartial> ordered;
+      ordered.reserve(groups.size());
+      for (auto& [det, g] : groups) ordered.push_back(g);
+      std::sort(ordered.begin(), ordered.end(),
+                [](const GroupPartial& a, const GroupPartial& b) {
+                  return a.rep_row_id < b.rep_row_id;
+                });
+      EncodeOkHeader(out);
+      EncodeGroupedAggResponse(ordered, out);
+      return Status::OK();
+    }
+    case QueryAction::kFetchRowIds: {
+      EncodeOkHeader(out);
+      EncodeRowIdsResponse(ids, out);
+      return Status::OK();
+    }
+    case QueryAction::kCount: {
+      EncodeOkHeader(out);
+      EncodeCountResponse(ids.size(), out);
+      return Status::OK();
+    }
+    case QueryAction::kPartialSum: {
+      if (q.target_column >= table->num_columns()) {
+        return Status::InvalidArgument("provider: bad aggregate target");
+      }
+      // Additive homomorphism: the sum of secret shares is a share of the
+      // sum (all polynomials are evaluated at this provider's x_i).
+      Fp61 sum;
+      for (uint64_t id : ids) {
+        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
+        sum += Fp61::FromCanonical(row->cells[q.target_column].secret);
+      }
+      EncodeOkHeader(out);
+      EncodeAggResponse(PartialAggregate{sum.value(), ids.size()}, out);
+      return Status::OK();
+    }
+    case QueryAction::kArgMin:
+    case QueryAction::kArgMax:
+    case QueryAction::kMedian: {
+      if (q.target_column >= table->num_columns()) {
+        return Status::InvalidArgument("provider: bad aggregate target");
+      }
+      if (!table->layout()[q.target_column].has_op) {
+        return Status::NotSupported(
+            "provider: MIN/MAX/MEDIAN need order-preserving shares on the "
+            "target column");
+      }
+      if (ids.empty()) {
+        EncodeOkHeader(out);
+        EncodeRowsResponse({}, proj_layout, out);
+        return Status::OK();
+      }
+      // Order matching rows by (op share, row id): identical at every
+      // provider since op order mirrors value order.
+      std::vector<std::pair<u128, uint64_t>> ordered;
+      ordered.reserve(ids.size());
+      for (uint64_t id : ids) {
+        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
+        ordered.emplace_back(row->cells[q.target_column].op, id);
+      }
+      std::sort(ordered.begin(), ordered.end());
+      std::vector<StoredRow> rows;
+      if (q.action == QueryAction::kMedian) {
+        const auto& pick = ordered[(ordered.size() - 1) / 2];
+        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(pick.second));
+        rows.push_back(ProjectRow(*row, proj_columns));
+      } else {
+        const u128 extreme = q.action == QueryAction::kArgMin
+                                 ? ordered.front().first
+                                 : ordered.back().first;
+        for (const auto& [op, id] : ordered) {
+          if (op != extreme) continue;
+          SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
+          rows.push_back(ProjectRow(*row, proj_columns));
+        }
+      }
+      stats_.rows_returned += rows.size();
+      EncodeOkHeader(out);
+      EncodeRowsResponse(rows, proj_layout, out);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("provider: unhandled query action");
+}
+
+Status Provider::HandleJoin(Decoder* dec, Buffer* out) {
+  JoinRequest j;
+  SSDB_RETURN_IF_ERROR(JoinRequest::DecodeFrom(dec, &j));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * left, FindTable(j.left_table));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * right, FindTable(j.right_table));
+  if (j.left_column >= left->num_columns() ||
+      j.right_column >= right->num_columns()) {
+    return Status::InvalidArgument("provider: join column out of range");
+  }
+  if (!left->layout()[j.left_column].has_det ||
+      !right->layout()[j.right_column].has_det) {
+    return Status::NotSupported(
+        "provider: join requires deterministic shares on both sides");
+  }
+  SSDB_ASSIGN_OR_RETURN(std::vector<uint64_t> left_ids,
+                        EvaluatePredicates(*left, j.left_predicates));
+  SSDB_ASSIGN_OR_RETURN(std::vector<uint64_t> right_ids,
+                        EvaluatePredicates(*right, j.right_predicates));
+
+  // Hash join on deterministic shares (equal shares <=> equal values for
+  // same-domain attributes).
+  std::unordered_multimap<uint64_t, uint64_t> build;
+  build.reserve(right_ids.size());
+  for (uint64_t rid : right_ids) {
+    SSDB_ASSIGN_OR_RETURN(const StoredRow* row, right->Get(rid));
+    build.emplace(row->cells[j.right_column].det, rid);
+  }
+  stats_.rows_examined += left_ids.size() + right_ids.size();
+
+  std::vector<JoinedRowPair> pairs;
+  for (uint64_t lid : left_ids) {
+    SSDB_ASSIGN_OR_RETURN(const StoredRow* lrow, left->Get(lid));
+    auto range = build.equal_range(lrow->cells[j.left_column].det);
+    // Collect matches sorted by right row id for determinism.
+    std::vector<uint64_t> rids;
+    for (auto it = range.first; it != range.second; ++it) {
+      rids.push_back(it->second);
+    }
+    std::sort(rids.begin(), rids.end());
+    for (uint64_t rid : rids) {
+      SSDB_ASSIGN_OR_RETURN(const StoredRow* rrow, right->Get(rid));
+      pairs.push_back(JoinedRowPair{*lrow, *rrow});
+    }
+  }
+  stats_.rows_returned += 2 * pairs.size();
+  EncodeOkHeader(out);
+  EncodeJoinResponse(pairs, left->layout(), right->layout(), out);
+  return Status::OK();
+}
+
+Status Provider::HandleCreatePublicTable(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0, num_columns = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&num_columns));
+  if (num_columns == 0 || num_columns > 4096) {
+    return Status::InvalidArgument("provider: implausible public column count");
+  }
+  if (public_tables_.count(table_id) != 0) {
+    return Status::AlreadyExists("provider: public table id already exists");
+  }
+  PublicTable t;
+  t.num_columns = num_columns;
+  public_tables_.emplace(table_id, std::move(t));
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandleInsertPublicRows(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_ASSIGN_OR_RETURN(PublicTable * table, FindPublicTable(table_id));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t cols = 0;
+    SSDB_RETURN_IF_ERROR(dec->GetVarint(&cols));
+    if (cols != table->num_columns) {
+      return Status::InvalidArgument("provider: public row arity mismatch");
+    }
+    std::vector<Value> row(cols);
+    for (auto& v : row) SSDB_RETURN_IF_ERROR(Value::DecodeFrom(dec, &v));
+    table->rows.push_back(std::move(row));
+  }
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandleFetchPublicColumn(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0, column = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&column));
+  SSDB_ASSIGN_OR_RETURN(PublicTable * table, FindPublicTable(table_id));
+  if (column >= table->num_columns) {
+    return Status::InvalidArgument("provider: public column out of range");
+  }
+  std::vector<std::vector<Value>> rows;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < table->rows.size(); ++i) {
+    rows.push_back({table->rows[i][column]});
+    ids.push_back(i);
+  }
+  stats_.rows_returned += rows.size();
+  EncodeOkHeader(out);
+  EncodePublicRowsResponse(rows, ids, out);
+  return Status::OK();
+}
+
+Status Provider::HandleAttachShareIndex(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0, column = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&column));
+  SSDB_ASSIGN_OR_RETURN(PublicTable * table, FindPublicTable(table_id));
+  if (column >= table->num_columns) {
+    return Status::InvalidArgument("provider: public column out of range");
+  }
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  PublicColumnIndex& idx = table->share_index[column];
+  idx.det.clear();
+  idx.op = BPlusTree();
+  for (uint64_t i = 0; i < n; ++i) {
+    ShareIndexEntry e;
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&e.row_id));
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&e.det_share));
+    SSDB_RETURN_IF_ERROR(dec->GetU128(&e.op_share));
+    if (e.row_id >= table->rows.size()) {
+      return Status::InvalidArgument("provider: share index row out of range");
+    }
+    idx.det.emplace(e.det_share, e.row_id);
+    idx.op.Insert(e.op_share, e.row_id);
+  }
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandlePublicFilter(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0, column = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&column));
+  SharePredicate pred;
+  SSDB_RETURN_IF_ERROR(SharePredicate::DecodeFrom(dec, &pred));
+  SSDB_ASSIGN_OR_RETURN(PublicTable * table, FindPublicTable(table_id));
+  auto idx_it = table->share_index.find(column);
+  if (idx_it == table->share_index.end()) {
+    return Status::NotSupported(
+        "provider: no share index attached to this public column");
+  }
+  ++stats_.index_lookups;
+  std::vector<uint64_t> ids;
+  if (pred.kind == PredicateKind::kExactDet) {
+    auto range = idx_it->second.det.equal_range(pred.det_share);
+    for (auto it = range.first; it != range.second; ++it) {
+      ids.push_back(it->second);
+    }
+    std::sort(ids.begin(), ids.end());
+  } else {
+    ids = idx_it->second.op.Range(pred.op_lo, pred.op_hi);
+    std::sort(ids.begin(), ids.end());
+  }
+  std::vector<std::vector<Value>> rows;
+  for (uint64_t id : ids) rows.push_back(table->rows[id]);
+  stats_.rows_returned += rows.size();
+  EncodeOkHeader(out);
+  EncodePublicRowsResponse(rows, ids, out);
+  return Status::OK();
+}
+
+Status Provider::HandleRefreshRows(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(table_id));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t row_id = 0;
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&row_id));
+    uint64_t cols = 0;
+    SSDB_RETURN_IF_ERROR(dec->GetVarint(&cols));
+    if (cols != table->num_columns()) {
+      return Status::InvalidArgument("provider: refresh delta arity mismatch");
+    }
+    std::vector<uint64_t> deltas(cols);
+    for (auto& d : deltas) SSDB_RETURN_IF_ERROR(dec->GetU64(&d));
+    SSDB_RETURN_IF_ERROR(table->AddSecretDeltas(row_id, deltas));
+  }
+  EncodeOkHeader(out);
+  return Status::OK();
+}
+
+Status Provider::HandleTableStats(Decoder* dec, Buffer* out) {
+  uint32_t table_id = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
+  SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(table_id));
+  EncodeOkHeader(out);
+  EncodeCountResponse(table->size(), out);
+  return Status::OK();
+}
+
+// --- Snapshots ---------------------------------------------------------------
+
+namespace {
+constexpr uint32_t kProviderSnapshotMagic = 0x50534E50;  // "PSNP"
+}  // namespace
+
+void Provider::SaveSnapshot(Buffer* out) const {
+  out->PutU32(kProviderSnapshotMagic);
+  out->PutLengthPrefixed(Slice(name_));
+  out->PutVarint(tables_.size());
+  for (const auto& [id, table] : tables_) {
+    out->PutU32(id);
+    table.SaveSnapshot(out);
+  }
+  out->PutVarint(public_tables_.size());
+  for (const auto& [id, table] : public_tables_) {
+    out->PutU32(id);
+    out->PutU32(table.num_columns);
+    out->PutVarint(table.rows.size());
+    for (const auto& row : table.rows) {
+      for (const Value& v : row) v.EncodeTo(out);
+    }
+    out->PutVarint(table.share_index.size());
+    for (const auto& [col, idx] : table.share_index) {
+      out->PutU32(col);
+      out->PutVarint(idx.det.size());
+      for (const auto& [det, row_id] : idx.det) {
+        out->PutU64(det);
+        out->PutU64(row_id);
+      }
+      out->PutVarint(idx.op.size());
+      idx.op.Scan(0, ~static_cast<u128>(0), [&](u128 key, uint64_t row_id) {
+        out->PutU128(key);
+        out->PutU64(row_id);
+        return true;
+      });
+    }
+  }
+}
+
+Status Provider::LoadSnapshot(Slice snapshot) {
+  Decoder dec(snapshot);
+  uint32_t magic = 0;
+  SSDB_RETURN_IF_ERROR(dec.GetU32(&magic));
+  if (magic != kProviderSnapshotMagic) {
+    return Status::Corruption("provider snapshot: bad magic");
+  }
+  std::string name;
+  SSDB_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&name));
+
+  std::map<uint32_t, ShareTable> tables;
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t id = 0;
+    SSDB_RETURN_IF_ERROR(dec.GetU32(&id));
+    SSDB_ASSIGN_OR_RETURN(ShareTable table, ShareTable::LoadSnapshot(&dec));
+    tables.emplace(id, std::move(table));
+  }
+
+  std::map<uint32_t, PublicTable> public_tables;
+  SSDB_RETURN_IF_ERROR(dec.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t id = 0;
+    PublicTable table;
+    SSDB_RETURN_IF_ERROR(dec.GetU32(&id));
+    SSDB_RETURN_IF_ERROR(dec.GetU32(&table.num_columns));
+    if (table.num_columns == 0 || table.num_columns > 4096) {
+      return Status::Corruption("provider snapshot: bad public column count");
+    }
+    uint64_t rows = 0;
+    SSDB_RETURN_IF_ERROR(dec.GetVarint(&rows));
+    for (uint64_t r = 0; r < rows; ++r) {
+      std::vector<Value> row(table.num_columns);
+      for (auto& v : row) SSDB_RETURN_IF_ERROR(Value::DecodeFrom(&dec, &v));
+      table.rows.push_back(std::move(row));
+    }
+    uint64_t indexes = 0;
+    SSDB_RETURN_IF_ERROR(dec.GetVarint(&indexes));
+    for (uint64_t x = 0; x < indexes; ++x) {
+      uint32_t col = 0;
+      SSDB_RETURN_IF_ERROR(dec.GetU32(&col));
+      PublicColumnIndex& idx = table.share_index[col];
+      uint64_t det_entries = 0;
+      SSDB_RETURN_IF_ERROR(dec.GetVarint(&det_entries));
+      for (uint64_t e = 0; e < det_entries; ++e) {
+        uint64_t det = 0, row_id = 0;
+        SSDB_RETURN_IF_ERROR(dec.GetU64(&det));
+        SSDB_RETURN_IF_ERROR(dec.GetU64(&row_id));
+        idx.det.emplace(det, row_id);
+      }
+      uint64_t op_entries = 0;
+      SSDB_RETURN_IF_ERROR(dec.GetVarint(&op_entries));
+      for (uint64_t e = 0; e < op_entries; ++e) {
+        u128 key = 0;
+        uint64_t row_id = 0;
+        SSDB_RETURN_IF_ERROR(dec.GetU128(&key));
+        SSDB_RETURN_IF_ERROR(dec.GetU64(&row_id));
+        idx.op.Insert(key, row_id);
+      }
+    }
+    public_tables.emplace(id, std::move(table));
+  }
+
+  name_ = std::move(name);
+  tables_ = std::move(tables);
+  public_tables_ = std::move(public_tables);
+  return Status::OK();
+}
+
+Status Provider::SaveSnapshotToFile(const std::string& path) const {
+  Buffer buf;
+  SaveSnapshot(&buf);
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("provider snapshot: cannot open " + path);
+  }
+  const size_t written = fwrite(buf.data(), 1, buf.size(), f);
+  const int close_rc = fclose(f);
+  if (written != buf.size() || close_rc != 0) {
+    return Status::Internal("provider snapshot: short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status Provider::LoadSnapshotFromFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("provider snapshot: cannot open " + path);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[4096];
+  size_t got = 0;
+  while ((got = fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  fclose(f);
+  return LoadSnapshot(Slice(bytes));
+}
+
+}  // namespace ssdb

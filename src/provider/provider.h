@@ -1,0 +1,117 @@
+// The Database Service Provider (DAS_i).
+//
+// A Provider is one of the n independent services the data source
+// outsources to. It stores share rows (storage/share_table.h) and answers
+// the share-space protocol of provider/protocol.h. It never holds
+// plaintext, the sharing polynomials, or the secret evaluation points —
+// everything it can compute is computable from the shares alone, which is
+// the Section III security argument.
+//
+// Providers may additionally host *public* plaintext tables (restaurant
+// directories, watch lists — §V.D). A client can attach a private share
+// index over a public column, after which it can filter public data with
+// share-space predicates without revealing which rows it cares about on a
+// per-query basis.
+
+#ifndef SSDB_PROVIDER_PROVIDER_H_
+#define SSDB_PROVIDER_PROVIDER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "provider/protocol.h"
+#include "storage/btree.h"
+#include "storage/share_table.h"
+
+namespace ssdb {
+
+/// Provider-side work counters (for the benchmarks' cost accounting).
+struct ProviderStats {
+  uint64_t requests = 0;
+  uint64_t rows_examined = 0;   ///< Rows touched by filters/joins.
+  uint64_t rows_returned = 0;   ///< Share rows shipped back.
+  uint64_t index_lookups = 0;
+};
+
+/// \brief One database service provider.
+class Provider : public ProviderEndpoint {
+ public:
+  explicit Provider(std::string name) : name_(std::move(name)) {}
+
+  // ProviderEndpoint:
+  Result<Buffer> Handle(Slice request) override;
+  std::string name() const override { return name_; }
+
+  const ProviderStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ProviderStats(); }
+
+  /// Number of share tables currently hosted.
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Direct (test-only) access to a hosted table.
+  Result<const ShareTable*> GetTableForTest(uint32_t table_id) const;
+
+  /// Serializes the provider's entire state — share tables, public tables
+  /// and attached share indexes — so a provider process can restart from
+  /// durable storage (the paper's "reliable data storage" promise).
+  void SaveSnapshot(Buffer* out) const;
+  /// Replaces the provider's state with a snapshot's.
+  Status LoadSnapshot(Slice snapshot);
+  /// File-based convenience wrappers.
+  Status SaveSnapshotToFile(const std::string& path) const;
+  Status LoadSnapshotFromFile(const std::string& path);
+
+ private:
+  struct PublicColumnIndex {
+    std::unordered_multimap<uint64_t, uint64_t> det;  // det share -> row id
+    BPlusTree op;                                     // op share -> row id
+  };
+  struct PublicTable {
+    uint32_t num_columns = 0;
+    std::vector<std::vector<Value>> rows;  // row id = position
+    std::map<uint32_t, PublicColumnIndex> share_index;
+  };
+
+  // Dispatch helpers; each appends its full response (header + payload).
+  Status HandleCreateTable(Decoder* dec, Buffer* out);
+  Status HandleDropTable(Decoder* dec, Buffer* out);
+  Status HandleInsertRows(Decoder* dec, Buffer* out);
+  Status HandleDeleteRows(Decoder* dec, Buffer* out);
+  Status HandleUpdateRows(Decoder* dec, Buffer* out);
+  Status HandleGetRows(Decoder* dec, Buffer* out);
+  Status HandleQuery(Decoder* dec, Buffer* out);
+  Status HandleJoin(Decoder* dec, Buffer* out);
+  Status HandleCreatePublicTable(Decoder* dec, Buffer* out);
+  Status HandleInsertPublicRows(Decoder* dec, Buffer* out);
+  Status HandleFetchPublicColumn(Decoder* dec, Buffer* out);
+  Status HandleAttachShareIndex(Decoder* dec, Buffer* out);
+  Status HandlePublicFilter(Decoder* dec, Buffer* out);
+  Status HandleTableStats(Decoder* dec, Buffer* out);
+  Status HandleRefreshRows(Decoder* dec, Buffer* out);
+
+  Result<ShareTable*> FindTable(uint32_t table_id);
+  Result<PublicTable*> FindPublicTable(uint32_t table_id);
+
+  /// Row ids satisfying all predicates (ascending); uses the first
+  /// indexable predicate as the access path and filters the rest.
+  Result<std::vector<uint64_t>> EvaluatePredicates(
+      const ShareTable& table, const std::vector<SharePredicate>& preds);
+
+  /// True iff `row` satisfies `pred`.
+  static Result<bool> RowMatches(const ShareTable& table, const StoredRow& row,
+                                 const SharePredicate& pred);
+
+  std::string name_;
+  ProviderStats stats_;
+  std::map<uint32_t, ShareTable> tables_;
+  std::map<uint32_t, PublicTable> public_tables_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_PROVIDER_PROVIDER_H_

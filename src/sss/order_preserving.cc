@@ -1,0 +1,273 @@
+#include "sss/order_preserving.h"
+
+#include <algorithm>
+
+#include "crypto/ope.h"
+
+namespace ssdb {
+
+// --- Overflow analysis -----------------------------------------------------
+// Offset values w < 2^60 (kMaxDomainBits). A slotted coefficient is
+// (w << 16) + h(w) < 2^76. Horner evaluation at x <= 255 = 2^8 - 1 for
+// degree <= 3 peaks below 2^76 * 2^24 + lower terms < 2^101 — comfortably
+// inside u128.
+//
+// Reconstruction (threshold t = degree+1 <= 4) computes
+//     w = ( sum_i  y_i * N_i * (D / D_i) ) / D
+// with N_i = prod_{j != i} x_j  < 2^24,
+//      D_i = prod_{j != i} (x_j - x_i), |D_i| < 2^24,
+//      D   = prod_i D_i, |D| < 2^96  (fits i128),
+// so each summand is bounded by 2^101 * 2^24 * 2^72 = 2^197 and the sum of
+// four by 2^199 — inside Int256. The division by D is exact because w is
+// the true constant term of an integer polynomial through the points.
+// ---------------------------------------------------------------------------
+
+Result<OrderPreservingScheme> OrderPreservingScheme::Create(
+    const Prf& prf, OpDomain domain, int degree, std::vector<uint32_t> xs,
+    OpSlotMode mode) {
+  if (degree < 1 || degree > 3) {
+    return Status::InvalidArgument(
+        "OrderPreservingScheme: degree must be in [1, 3]");
+  }
+  if (domain.hi < domain.lo) {
+    return Status::InvalidArgument("OrderPreservingScheme: hi < lo");
+  }
+  if (domain.size() > (static_cast<u128>(1) << kMaxDomainBits)) {
+    return Status::InvalidArgument(
+        "OrderPreservingScheme: domain wider than 2^60 values");
+  }
+  if (xs.size() < static_cast<size_t>(degree) + 1) {
+    return Status::InvalidArgument(
+        "OrderPreservingScheme: need at least degree+1 providers");
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] < 1 || xs[i] > kMaxX) {
+      return Status::InvalidArgument(
+          "OrderPreservingScheme: x must be in [1, 255]");
+    }
+    for (size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[i] == xs[j]) {
+        return Status::InvalidArgument(
+            "OrderPreservingScheme: evaluation points must be distinct");
+      }
+    }
+  }
+  int domain_bits = 1;
+  while ((domain.size() - 1) >> domain_bits != 0) ++domain_bits;
+  return OrderPreservingScheme(prf, domain, degree, std::move(xs), mode,
+                               domain_bits);
+}
+
+u128 OrderPreservingScheme::Coefficient(uint64_t w, int power) const {
+  if (mode_ == OpSlotMode::kPaperSlots) {
+    // Slot base (w << kSlotBits) keeps slots of different values disjoint;
+    // the keyed hash picks an unpredictable point inside the slot.
+    const uint64_t h = prf_.EvalUniform(
+        w, 0xC0EFF00DULL + static_cast<uint64_t>(power), 1ULL << kSlotBits);
+    return (static_cast<u128>(w) << kSlotBits) + h;
+  }
+  // kRecursive: a keyed binary-descent order-preserving function per
+  // coefficient position. Strictly monotone in w but with locally erratic
+  // slope; ciphertext < 2^(domain_bits + 32) <= 2^92, which keeps the
+  // overflow analysis above valid (shares < 2^117, summands < 2^213).
+  const Prf sub(prf_.Eval64(0xD15C0000ULL + static_cast<uint64_t>(power), 1),
+                prf_.Eval64(0xD15C0000ULL + static_cast<uint64_t>(power), 2));
+  OrderPreservingEncryption opf(sub, domain_bits_);
+  auto c = opf.Encrypt(w);
+  // w < domain size by construction, so Encrypt cannot fail.
+  return c.value_or(0);
+}
+
+u128 OrderPreservingScheme::EvalAt(uint64_t w, uint32_t x) const {
+  u128 acc = 0;
+  for (int power = degree_; power >= 1; --power) {
+    acc = (acc + Coefficient(w, power)) * x;
+  }
+  return acc + w;
+}
+
+Result<u128> OrderPreservingScheme::Share(int64_t v, size_t provider) const {
+  if (provider >= xs_.size()) {
+    return Status::InvalidArgument("OP Share: provider index out of range");
+  }
+  if (!domain_.Contains(v)) {
+    return Status::OutOfRange("OP Share: value outside declared domain");
+  }
+  const uint64_t w = static_cast<uint64_t>(v) - static_cast<uint64_t>(domain_.lo);
+  return EvalAt(w, xs_[provider]);
+}
+
+Result<std::vector<u128>> OrderPreservingScheme::ShareAll(int64_t v) const {
+  std::vector<u128> out(xs_.size());
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    SSDB_ASSIGN_OR_RETURN(out[i], Share(v, i));
+  }
+  return out;
+}
+
+Result<int64_t> OrderPreservingScheme::Reconstruct(
+    const std::vector<IndexedOpShare>& shares) const {
+  const size_t t = threshold();
+  if (shares.size() < t) {
+    return Status::Unavailable("OP Reconstruct: fewer than degree+1 shares");
+  }
+  for (size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i].provider >= xs_.size()) {
+      return Status::InvalidArgument("OP Reconstruct: bad provider index");
+    }
+    for (size_t j = i + 1; j < shares.size(); ++j) {
+      if (shares[i].provider == shares[j].provider) {
+        return Status::InvalidArgument(
+            "OP Reconstruct: duplicate share from one provider");
+      }
+    }
+  }
+
+  // Exact Lagrange at x = 0 over the first t shares.
+  std::vector<i128> x(t);
+  for (size_t i = 0; i < t; ++i) {
+    x[i] = static_cast<i128>(xs_[shares[i].provider]);
+  }
+  i128 d_total = 1;
+  std::vector<i128> d(t), nume(t);
+  for (size_t i = 0; i < t; ++i) {
+    i128 di = 1, ni = 1;
+    for (size_t j = 0; j < t; ++j) {
+      if (j == i) continue;
+      di *= (x[j] - x[i]);
+      ni *= x[j];
+    }
+    d[i] = di;
+    nume[i] = ni;
+    d_total *= di;
+  }
+
+  Int256 sum;
+  for (size_t i = 0; i < t; ++i) {
+    const i128 y = static_cast<i128>(shares[i].y);
+    Int256 term = Int256::Mul128(y, nume[i]);
+    term = term.MulSmall(d_total / d[i]);
+    sum += term;
+  }
+  bool exact = false;
+  const Int256 w256 = sum.DivSmall(d_total, &exact);
+  if (!exact || !w256.FitsInI128()) {
+    return Status::Corruption(
+        "OP Reconstruct: shares do not interpolate to an integer");
+  }
+  const i128 w = w256.ToI128();
+  if (w < 0 || static_cast<u128>(w) >= domain_.size()) {
+    return Status::Corruption(
+        "OP Reconstruct: interpolated value outside the domain");
+  }
+  const int64_t v = domain_.lo + static_cast<int64_t>(w);
+
+  // The scheme is deterministic: validate every supplied share (including
+  // the t used above) against a recomputation. This catches corrupt or
+  // inconsistent shares regardless of which subset was interpolated.
+  for (const IndexedOpShare& s : shares) {
+    SSDB_ASSIGN_OR_RETURN(u128 expect, Share(v, s.provider));
+    if (expect != s.y) {
+      return Status::Corruption("OP Reconstruct: share consistency check failed");
+    }
+  }
+  return v;
+}
+
+Result<int64_t> OrderPreservingScheme::InvertSingle(u128 y,
+                                                    size_t provider) const {
+  if (provider >= xs_.size()) {
+    return Status::InvalidArgument("OP InvertSingle: bad provider index");
+  }
+  int64_t lo = domain_.lo, hi = domain_.hi;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    SSDB_ASSIGN_OR_RETURN(u128 s, Share(mid, provider));
+    if (s < y) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  SSDB_ASSIGN_OR_RETURN(u128 s, Share(lo, provider));
+  if (s != y) {
+    return Status::NotFound("OP InvertSingle: no domain value has this share");
+  }
+  return lo;
+}
+
+// ---------------------------------------------------------------------------
+// Straw-man (insecure) construction and its break.
+// ---------------------------------------------------------------------------
+
+Result<StrawmanOrderPreserving> StrawmanOrderPreserving::Create(
+    OpDomain domain, std::vector<uint32_t> xs, uint64_t alpha_seed) {
+  if (domain.hi < domain.lo) {
+    return Status::InvalidArgument("Strawman: hi < lo");
+  }
+  if (xs.size() < 4) {
+    return Status::InvalidArgument("Strawman: need >= 4 providers (degree 3)");
+  }
+  // Monotone affine coefficient functions in the spirit of the paper's
+  // example f_a(v)=3v+10, f_b(v)=v+27, f_c(v)=5v+1, perturbed by the seed.
+  const uint64_t a1 = 2 + (alpha_seed % 8);
+  const uint64_t b1 = 1 + ((alpha_seed >> 8) % 64);
+  const uint64_t a2 = 1 + ((alpha_seed >> 16) % 8);
+  const uint64_t b2 = 1 + ((alpha_seed >> 24) % 64);
+  const uint64_t a3 = 3 + ((alpha_seed >> 32) % 8);
+  const uint64_t b3 = 1 + ((alpha_seed >> 40) % 64);
+  return StrawmanOrderPreserving(domain, std::move(xs), a1, b1, a2, b2, a3,
+                                 b3);
+}
+
+Result<u128> StrawmanOrderPreserving::Share(int64_t v, size_t provider) const {
+  if (provider >= xs_.size()) {
+    return Status::InvalidArgument("Strawman Share: bad provider index");
+  }
+  if (!domain_.Contains(v)) {
+    return Status::OutOfRange("Strawman Share: value outside domain");
+  }
+  const u128 w = static_cast<u128>(static_cast<uint64_t>(v) -
+                                   static_cast<uint64_t>(domain_.lo));
+  const u128 x = xs_[provider];
+  const u128 fa = fa_.slope * w + fa_.intercept;
+  const u128 fb = fb_.slope * w + fb_.intercept;
+  const u128 fc = fc_.slope * w + fc_.intercept;
+  return fa * x * x * x + fb * x * x + fc * x + w;
+}
+
+Result<std::vector<int64_t>> StrawmanOrderPreserving::Attack(
+    size_t provider, std::pair<int64_t, u128> known1,
+    std::pair<int64_t, u128> known2, const std::vector<u128>& column) const {
+  // Every share at provider i is affine in the offset value:
+  //   share = A*w + B  with
+  //   A = a1*x^3 + a2*x^2 + a3*x + 1,  B = b1*x^3 + b2*x^2 + b3*x.
+  // Two known (value, share) pairs determine A and B by a linear solve —
+  // the attacker needs neither the key nor x_i.
+  if (known1.first == known2.first) {
+    return Status::InvalidArgument("Strawman Attack: need distinct plaintexts");
+  }
+  const i128 w1 = known1.first - domain_.lo;
+  const i128 w2 = known2.first - domain_.lo;
+  const i128 s1 = static_cast<i128>(known1.second);
+  const i128 s2 = static_cast<i128>(known2.second);
+  const i128 num = s1 - s2;
+  const i128 den = w1 - w2;
+  if (num % den != 0) {
+    return Status::InvalidArgument(
+        "Strawman Attack: pairs not from one affine map");
+  }
+  const i128 a = num / den;
+  const i128 b = s1 - a * w1;
+  (void)provider;
+
+  std::vector<int64_t> out;
+  out.reserve(column.size());
+  for (u128 share : column) {
+    const i128 w = (static_cast<i128>(share) - b) / a;
+    out.push_back(domain_.lo + static_cast<int64_t>(w));
+  }
+  return out;
+}
+
+}  // namespace ssdb

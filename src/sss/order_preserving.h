@@ -1,0 +1,175 @@
+// Order-preserving polynomial share construction (Section IV).
+//
+// To let a provider filter range predicates locally, the shares of values
+// from one ordered domain must themselves be ordered:
+//     v1 < v2  ==>  share(v1, i) < share(v2, i)  at every provider i.
+// The paper's construction draws each coefficient of the degree-d sharing
+// polynomial from a *per-value slot* of a coefficient domain:
+//     DOM_a is cut into N = |DOM| equal slots; a_v = slot(v).base + h_a(v)
+// with h_a a keyed hash into the slot. Coefficients of different values
+// never cross slots, so every coefficient — and therefore the polynomial
+// value at any positive x — is strictly increasing in v, while a provider
+// only learns order, not values (the slot hashes destroy the linear
+// structure that breaks the straw-man scheme; see StrawmanOrderPreserving
+// below and bench/bench_op_ablation.cc).
+//
+// The paper presents degree 3 (k = 4) "without loss of generality"; we
+// support degree 1..3 so deployments with n < 4 providers (e.g. the
+// Figure 1 example, n = 3, k = 2) can still use order-preserving shares
+// with degree k-1. Reconstruction of the constant term from degree+1
+// shares is exact rational Lagrange interpolation carried out in 256-bit
+// integers (see the overflow analysis in order_preserving.cc).
+
+#ifndef SSDB_SSS_ORDER_PRESERVING_H_
+#define SSDB_SSS_ORDER_PRESERVING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/wide_int.h"
+#include "crypto/prf.h"
+
+namespace ssdb {
+
+/// Inclusive integer domain of an order-preserving attribute.
+struct OpDomain {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  /// Number of values in the domain (lo..hi inclusive).
+  u128 size() const {
+    return static_cast<u128>(static_cast<uint64_t>(hi - lo)) + 1;
+  }
+  bool Contains(int64_t v) const { return v >= lo && v <= hi; }
+};
+
+/// One provider's order-preserving share contribution.
+struct IndexedOpShare {
+  size_t provider;
+  u128 y;
+};
+
+/// How the per-value polynomial coefficients are drawn.
+enum class OpSlotMode {
+  /// The paper's Section IV construction: coefficient domains are cut into
+  /// |DOM| equal slots and a keyed hash picks a point inside the value's
+  /// slot. Exactly order-preserving, but — as the E11 ablation shows — the
+  /// equal-width slots make every share *approximately* affine in the
+  /// value, so a known-plaintext affine fit recovers values to within ±1.
+  kPaperSlots,
+  /// Hardened extension: coefficients come from a keyed binary-descent
+  /// order-preserving function (crypto/ope.h) whose local slope varies
+  /// wildly, defeating the affine fit while keeping strict monotonicity.
+  kRecursive,
+};
+
+/// \brief The Section IV scheme: slotted-coefficient order-preserving
+/// polynomial sharing over a fixed integer domain.
+class OrderPreservingScheme {
+ public:
+  /// Maximum domain width in bits (values are offset to [0, 2^kMaxDomainBits)).
+  static constexpr int kMaxDomainBits = 60;
+  /// Slot width: each coefficient slot holds 2^kSlotBits hash values.
+  static constexpr int kSlotBits = 16;
+  /// Evaluation points are small positive integers (<= kMaxX) so that
+  /// degree-3 shares and their interpolation fit in 128/256 bits.
+  static constexpr uint32_t kMaxX = 255;
+
+  /// Creates a scheme with `degree` in [1,3] and one evaluation point per
+  /// provider (`xs[i]` distinct, in [1, kMaxX]). The PRF supplies the slot
+  /// hashes h_a, h_b, h_c and is secret to the data source.
+  static Result<OrderPreservingScheme> Create(
+      const Prf& prf, OpDomain domain, int degree, std::vector<uint32_t> xs,
+      OpSlotMode mode = OpSlotMode::kPaperSlots);
+
+  OpSlotMode mode() const { return mode_; }
+
+  int degree() const { return degree_; }
+  size_t n() const { return xs_.size(); }
+  /// Shares needed to reconstruct (= degree + 1).
+  size_t threshold() const { return static_cast<size_t>(degree_) + 1; }
+  const OpDomain& domain() const { return domain_; }
+  const std::vector<uint32_t>& xs() const { return xs_; }
+
+  /// Share of `v` for provider i. Deterministic; strictly monotone in v.
+  Result<u128> Share(int64_t v, size_t provider) const;
+
+  /// Shares of `v` for all n providers.
+  Result<std::vector<u128>> ShareAll(int64_t v) const;
+
+  /// Reconstructs `v` from >= degree+1 shares (distinct providers) by exact
+  /// integer Lagrange interpolation at x = 0. Shares beyond the threshold
+  /// are checked for consistency; non-integral or out-of-domain results
+  /// return Corruption.
+  Result<int64_t> Reconstruct(const std::vector<IndexedOpShare>& shares) const;
+
+  /// Inverts a *single* share by binary search over the domain, using the
+  /// fact that Share(., provider) is strictly monotone and recomputable by
+  /// the key holder. Returns NotFound if no domain value maps to `y`.
+  Result<int64_t> InvertSingle(u128 y, size_t provider) const;
+
+ private:
+  OrderPreservingScheme(const Prf& prf, OpDomain domain, int degree,
+                        std::vector<uint32_t> xs, OpSlotMode mode,
+                        int domain_bits)
+      : prf_(prf), domain_(domain), degree_(degree), xs_(std::move(xs)),
+        mode_(mode), domain_bits_(domain_bits) {}
+
+  /// Slotted coefficient for x^power (power in [1, degree]); strictly
+  /// increasing in w.
+  u128 Coefficient(uint64_t w, int power) const;
+  /// Polynomial value at x for offset value w.
+  u128 EvalAt(uint64_t w, uint32_t x) const;
+
+  Prf prf_;
+  OpDomain domain_;
+  int degree_;
+  std::vector<uint32_t> xs_;
+  OpSlotMode mode_;
+  int domain_bits_;  // bits needed to index the (offset) domain
+};
+
+/// \brief The paper's INSECURE straw-man (Section IV): coefficients are
+/// globally monotone affine functions f_a(v) = alpha_a * v + beta_a, so
+/// every share is an affine function of v and a provider that learns two
+/// (value, share) pairs recovers every value. Implemented for the E11
+/// ablation; never use for real data.
+class StrawmanOrderPreserving {
+ public:
+  static Result<StrawmanOrderPreserving> Create(OpDomain domain,
+                                                std::vector<uint32_t> xs,
+                                                uint64_t alpha_seed);
+
+  Result<u128> Share(int64_t v, size_t provider) const;
+  size_t n() const { return xs_.size(); }
+  const OpDomain& domain() const { return domain_; }
+
+  /// The known-plaintext attack: given two (value, share) pairs observed at
+  /// `provider` plus that provider's full share column, recover every
+  /// value. Returns the recovered values aligned with `column`.
+  Result<std::vector<int64_t>> Attack(
+      size_t provider, std::pair<int64_t, u128> known1,
+      std::pair<int64_t, u128> known2, const std::vector<u128>& column) const;
+
+ private:
+  StrawmanOrderPreserving(OpDomain domain, std::vector<uint32_t> xs,
+                          uint64_t a1, uint64_t b1, uint64_t a2, uint64_t b2,
+                          uint64_t a3, uint64_t b3)
+      : domain_(domain), xs_(std::move(xs)),
+        fa_{a1, b1}, fb_{a2, b2}, fc_{a3, b3} {}
+
+  struct Affine {
+    uint64_t slope;
+    uint64_t intercept;
+  };
+
+  OpDomain domain_;
+  std::vector<uint32_t> xs_;
+  Affine fa_, fb_, fc_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_SSS_ORDER_PRESERVING_H_

@@ -1,0 +1,115 @@
+#include "sss/shamir.h"
+
+#include <algorithm>
+
+namespace ssdb {
+
+Result<SharingContext> SharingContext::Create(size_t n, size_t k,
+                                              std::vector<Fp61> xs) {
+  if (n == 0 || k == 0 || k > n) {
+    return Status::InvalidArgument(
+        "SharingContext: require 1 <= k <= n and n > 0");
+  }
+  if (xs.size() != n) {
+    return Status::InvalidArgument("SharingContext: |X| must equal n");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (xs[i].is_zero()) {
+      return Status::InvalidArgument(
+          "SharingContext: x = 0 would hand a provider the secret");
+    }
+    for (size_t j = i + 1; j < n; ++j) {
+      if (xs[i] == xs[j]) {
+        return Status::InvalidArgument(
+            "SharingContext: evaluation points must be distinct");
+      }
+    }
+  }
+  return SharingContext(k, std::move(xs));
+}
+
+Result<SharingContext> SharingContext::CreateRandom(size_t n, size_t k,
+                                                    Rng* rng) {
+  std::vector<Fp61> xs;
+  xs.reserve(n);
+  while (xs.size() < n) {
+    const Fp61 x = Fp61::FromU64(rng->Uniform(Fp61::kP - 1) + 1);
+    if (std::find(xs.begin(), xs.end(), x) == xs.end()) xs.push_back(x);
+  }
+  return Create(n, k, std::move(xs));
+}
+
+std::vector<Fp61> SharingContext::Split(Fp61 secret, Rng* rng) const {
+  const FpPoly poly = FpPoly::Random(secret, k_, [&](size_t) {
+    return Fp61::FromU64(rng->Uniform(Fp61::kP));
+  });
+  std::vector<Fp61> shares(xs_.size());
+  for (size_t i = 0; i < xs_.size(); ++i) shares[i] = poly.Eval(xs_[i]);
+  return shares;
+}
+
+std::vector<Fp61> SharingContext::SplitDeterministic(const Prf& prf,
+                                                     uint64_t domain_tag,
+                                                     Fp61 secret) const {
+  std::vector<Fp61> shares(xs_.size());
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    shares[i] = DeterministicShareFor(prf, domain_tag, secret, i);
+  }
+  return shares;
+}
+
+Fp61 SharingContext::DeterministicShareFor(const Prf& prf,
+                                           uint64_t domain_tag, Fp61 secret,
+                                           size_t provider) const {
+  // coeff_j = PRF(secret, domain_tag || j), reduced into the field; the
+  // polynomial is identical for equal secrets within a domain, so the
+  // share at a fixed x_i is equality-preserving.
+  Fp61 acc;
+  const Fp61 x = xs_[provider];
+  for (size_t j = k_ - 1; j >= 1; --j) {
+    const uint64_t raw = prf.EvalUniform(
+        secret.value(), domain_tag * 131 + j, Fp61::kP);
+    acc = (acc + Fp61::FromCanonical(raw)) * x;
+  }
+  return acc + secret;
+}
+
+Result<Fp61> SharingContext::Reconstruct(
+    const std::vector<IndexedShare>& shares) const {
+  if (shares.size() < k_) {
+    return Status::Unavailable(
+        "Reconstruct: fewer than k shares available");
+  }
+  std::vector<FpPoint> points;
+  points.reserve(shares.size());
+  for (const IndexedShare& s : shares) {
+    if (s.provider >= xs_.size()) {
+      return Status::InvalidArgument("Reconstruct: provider index out of range");
+    }
+    points.push_back(FpPoint{xs_[s.provider], s.y});
+    for (size_t j = 0; j + 1 < points.size(); ++j) {
+      if (points[j].x == points.back().x) {
+        return Status::InvalidArgument(
+            "Reconstruct: duplicate share from one provider");
+      }
+    }
+  }
+  // Interpolate through the first k points, then check the rest lie on the
+  // same polynomial (cheap consistency / corruption detection).
+  std::vector<FpPoint> head(points.begin(),
+                            points.begin() + static_cast<long>(k_));
+  SSDB_ASSIGN_OR_RETURN(FpPoly poly, Interpolate(head));
+  for (size_t i = k_; i < points.size(); ++i) {
+    if (poly.Eval(points[i].x) != points[i].y) {
+      return Status::Corruption(
+          "Reconstruct: shares are inconsistent (corrupt or mixed secrets)");
+    }
+  }
+  return poly.Eval(Fp61());
+}
+
+std::vector<Fp61> SharingContext::ZeroShares(Rng* rng) const {
+  return Split(Fp61(), rng);
+}
+
+}  // namespace ssdb

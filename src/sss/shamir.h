@@ -1,0 +1,97 @@
+// Shamir secret sharing over F_{2^61-1} (Section III of the paper).
+//
+// A SharingContext is owned by the data source. It fixes:
+//   * n  — the number of database service providers DAS_1..DAS_n,
+//   * k  — the reconstruction threshold (polynomial degree k-1),
+//   * X  — the n secret, distinct, non-zero evaluation points x_i, known
+//          only to the data source ("some secret information X" in §III).
+//
+// Two sharing modes are provided:
+//   * Split        — fresh uniform coefficients per call
+//                    (information-theoretically secure; used for columns
+//                    that only need reconstruction and SUM aggregation).
+//   * SplitDeterministic — coefficients derived from a PRF of the value, so
+//                    equal values yield equal shares at each provider. This
+//                    is what makes the provider-side exact-match rewriting
+//                    of §V.A ("salary = share(20, i)") and the same-domain
+//                    share joins work. It trades information-theoretic
+//                    secrecy for PRF security and leaks the equality
+//                    pattern, exactly like deterministic encryption.
+//
+// Shares are additively homomorphic: all polynomials for provider i are
+// evaluated at the same x_i, so the sum of stored shares is a valid share
+// of the sum of the secrets. Providers exploit this to compute SUM/AVERAGE
+// partial aggregates locally (§V.A Aggregation Queries).
+
+#ifndef SSDB_SSS_SHAMIR_H_
+#define SSDB_SSS_SHAMIR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crypto/prf.h"
+#include "field/fp61.h"
+#include "field/poly.h"
+
+namespace ssdb {
+
+/// One provider's contribution to a reconstruction: (provider index, y).
+struct IndexedShare {
+  size_t provider;
+  Fp61 y;
+};
+
+/// \brief The data source's sharing state for a fixed (n, k, X).
+class SharingContext {
+ public:
+  /// Creates a context with explicit evaluation points (|xs| = n, all
+  /// distinct and non-zero).
+  static Result<SharingContext> Create(size_t n, size_t k,
+                                       std::vector<Fp61> xs);
+
+  /// Creates a context with pseudo-random secret points drawn from `rng`.
+  static Result<SharingContext> CreateRandom(size_t n, size_t k, Rng* rng);
+
+  size_t n() const { return xs_.size(); }
+  size_t k() const { return k_; }
+  const std::vector<Fp61>& xs() const { return xs_; }
+
+  /// Splits `secret` into n shares with fresh random coefficients.
+  std::vector<Fp61> Split(Fp61 secret, Rng* rng) const;
+
+  /// Splits with coefficients PRF-derived from (domain_tag, secret): equal
+  /// secrets give equal shares. `domain_tag` separates attribute domains
+  /// (the paper builds "polynomials ... for each domain, not for each
+  /// attribute", §V.A Join).
+  std::vector<Fp61> SplitDeterministic(const Prf& prf, uint64_t domain_tag,
+                                       Fp61 secret) const;
+
+  /// Computes only provider i's share under deterministic splitting —
+  /// this is the query-rewriting kernel: share(v, i) of §V.A.
+  Fp61 DeterministicShareFor(const Prf& prf, uint64_t domain_tag, Fp61 secret,
+                             size_t provider) const;
+
+  /// Reconstructs the secret from >= k shares (any subset of providers).
+  /// Extra shares beyond k are used for consistency checking: if the
+  /// points do not lie on one degree-(k-1) polynomial, returns Corruption.
+  Result<Fp61> Reconstruct(const std::vector<IndexedShare>& shares) const;
+
+  /// Shares of zero with fresh randomness; adding them to existing shares
+  /// re-randomizes the sharing without changing the secret (proactive
+  /// refresh, a §VI(b) extension).
+  std::vector<Fp61> ZeroShares(Rng* rng) const;
+
+ private:
+  SharingContext(size_t k, std::vector<Fp61> xs)
+      : k_(k), xs_(std::move(xs)) {}
+
+  size_t k_;
+  std::vector<Fp61> xs_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_SSS_SHAMIR_H_

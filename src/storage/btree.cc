@@ -1,0 +1,286 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdb {
+
+struct BPlusTree::Node {
+  bool leaf = false;
+  InternalNode* parent = nullptr;
+};
+
+struct BPlusTree::LeafNode : BPlusTree::Node {
+  std::vector<u128> keys;
+  std::vector<uint64_t> vals;
+  LeafNode* next = nullptr;
+};
+
+struct BPlusTree::InternalNode : BPlusTree::Node {
+  // children.size() == keys.size() + 1. keys[i] is the smallest key in
+  // the subtree children[i+1].
+  std::vector<u128> keys;
+  std::vector<Node*> children;
+};
+
+BPlusTree::BPlusTree() : size_(0) {
+  auto* leaf = new LeafNode();
+  leaf->leaf = true;
+  root_ = leaf;
+}
+
+BPlusTree::~BPlusTree() { FreeSubtree(root_); }
+
+BPlusTree::BPlusTree(BPlusTree&& o) noexcept : root_(o.root_), size_(o.size_) {
+  auto* leaf = new LeafNode();
+  leaf->leaf = true;
+  o.root_ = leaf;
+  o.size_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& o) noexcept {
+  if (this != &o) {
+    FreeSubtree(root_);
+    root_ = o.root_;
+    size_ = o.size_;
+    auto* leaf = new LeafNode();
+    leaf->leaf = true;
+    o.root_ = leaf;
+    o.size_ = 0;
+  }
+  return *this;
+}
+
+void BPlusTree::FreeSubtree(Node* node) {
+  if (node == nullptr) return;
+  if (!node->leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    for (Node* child : internal->children) FreeSubtree(child);
+    delete internal;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+// Descends to the first leaf that can contain an entry >= key.
+BPlusTree::LeafNode* BPlusTree::FindLeaf(u128 key) const {
+  Node* node = root_;
+  while (!node->leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    const size_t idx = static_cast<size_t>(
+        std::lower_bound(internal->keys.begin(), internal->keys.end(), key) -
+        internal->keys.begin());
+    node = internal->children[idx];
+  }
+  return static_cast<LeafNode*>(node);
+}
+
+void BPlusTree::Insert(u128 key, uint64_t value) {
+  // Descend with upper_bound so duplicates append after existing ones.
+  Node* node = root_;
+  while (!node->leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(internal->keys.begin(), internal->keys.end(), key) -
+        internal->keys.begin());
+    node = internal->children[idx];
+  }
+  auto* leaf = static_cast<LeafNode*>(node);
+  const size_t pos = static_cast<size_t>(
+      std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin());
+  leaf->keys.insert(leaf->keys.begin() + static_cast<long>(pos), key);
+  leaf->vals.insert(leaf->vals.begin() + static_cast<long>(pos), value);
+  ++size_;
+
+  if (leaf->keys.size() > kFanout) {
+    // Split: upper half moves into a new right sibling.
+    auto* right = new LeafNode();
+    right->leaf = true;
+    const size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + static_cast<long>(mid),
+                       leaf->keys.end());
+    right->vals.assign(leaf->vals.begin() + static_cast<long>(mid),
+                       leaf->vals.end());
+    leaf->keys.resize(mid);
+    leaf->vals.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right;
+    InsertIntoParent(leaf, right->keys.front(), right);
+  }
+}
+
+void BPlusTree::InsertIntoParent(Node* left, u128 split_key, Node* right) {
+  if (left->parent == nullptr) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(split_key);
+    new_root->children.push_back(left);
+    new_root->children.push_back(right);
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  InternalNode* parent = left->parent;
+  const size_t pos = static_cast<size_t>(
+      std::upper_bound(parent->keys.begin(), parent->keys.end(), split_key) -
+      parent->keys.begin());
+  parent->keys.insert(parent->keys.begin() + static_cast<long>(pos),
+                      split_key);
+  parent->children.insert(parent->children.begin() + static_cast<long>(pos) + 1,
+                          right);
+  right->parent = parent;
+
+  if (parent->keys.size() > kFanout) {
+    // Split the internal node; the middle key moves up.
+    auto* new_right = new InternalNode();
+    const size_t mid = parent->keys.size() / 2;
+    const u128 up_key = parent->keys[mid];
+    new_right->keys.assign(parent->keys.begin() + static_cast<long>(mid) + 1,
+                           parent->keys.end());
+    new_right->children.assign(
+        parent->children.begin() + static_cast<long>(mid) + 1,
+        parent->children.end());
+    parent->keys.resize(mid);
+    parent->children.resize(mid + 1);
+    for (Node* child : new_right->children) child->parent = new_right;
+    InsertIntoParent(parent, up_key, new_right);
+  }
+}
+
+bool BPlusTree::Erase(u128 key, uint64_t value) {
+  // Lazy deletion: remove the entry, keep the structure (no merging).
+  LeafNode* leaf = FindLeaf(key);
+  while (leaf != nullptr) {
+    bool past = false;
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] > key) {
+        past = true;
+        break;
+      }
+      if (leaf->keys[i] == key && leaf->vals[i] == value) {
+        leaf->keys.erase(leaf->keys.begin() + static_cast<long>(i));
+        leaf->vals.erase(leaf->vals.begin() + static_cast<long>(i));
+        --size_;
+        return true;
+      }
+    }
+    if (past) break;
+    leaf = leaf->next;
+  }
+  return false;
+}
+
+void BPlusTree::Scan(u128 lo, u128 hi,
+                     const std::function<bool(u128, uint64_t)>& visit) const {
+  if (lo > hi) return;
+  const LeafNode* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    const size_t start = static_cast<size_t>(
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+        leaf->keys.begin());
+    for (size_t i = start; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] > hi) return;
+      if (!visit(leaf->keys[i], leaf->vals[i])) return;
+    }
+    leaf = leaf->next;
+  }
+}
+
+std::vector<uint64_t> BPlusTree::Range(u128 lo, u128 hi) const {
+  std::vector<uint64_t> out;
+  Scan(lo, hi, [&](u128, uint64_t v) {
+    out.push_back(v);
+    return true;
+  });
+  return out;
+}
+
+bool BPlusTree::MinInRange(u128 lo, u128 hi, u128* key, uint64_t* value) const {
+  bool found = false;
+  Scan(lo, hi, [&](u128 k, uint64_t v) {
+    *key = k;
+    *value = v;
+    found = true;
+    return false;  // first hit is the minimum
+  });
+  return found;
+}
+
+bool BPlusTree::MaxInRange(u128 lo, u128 hi, u128* key, uint64_t* value) const {
+  bool found = false;
+  Scan(lo, hi, [&](u128 k, uint64_t v) {
+    *key = k;
+    *value = v;
+    found = true;
+    return true;  // last hit is the maximum
+  });
+  return found;
+}
+
+size_t BPlusTree::CountInRange(u128 lo, u128 hi) const {
+  size_t n = 0;
+  Scan(lo, hi, [&](u128, uint64_t) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+bool BPlusTree::CheckInvariants() const {
+  // 1. Uniform depth.
+  size_t depth = 0;
+  const Node* node = root_;
+  while (!node->leaf) {
+    node = static_cast<const InternalNode*>(node)->children.front();
+    ++depth;
+  }
+  // Recursive structural check.
+  struct Checker {
+    size_t expected_depth;
+    bool ok = true;
+    void Check(const Node* n, size_t d) {
+      if (!ok) return;
+      if (n->leaf) {
+        if (d != expected_depth) ok = false;
+        const auto* leaf = static_cast<const LeafNode*>(n);
+        if (leaf->keys.size() != leaf->vals.size()) ok = false;
+        if (!std::is_sorted(leaf->keys.begin(), leaf->keys.end())) ok = false;
+        return;
+      }
+      const auto* in = static_cast<const InternalNode*>(n);
+      if (in->children.size() != in->keys.size() + 1) {
+        ok = false;
+        return;
+      }
+      if (!std::is_sorted(in->keys.begin(), in->keys.end())) ok = false;
+      for (const Node* c : in->children) {
+        if (c->parent != in) ok = false;
+        Check(c, d + 1);
+      }
+    }
+  } checker{depth};
+  checker.Check(root_, 0);
+  if (!checker.ok) return false;
+
+  // 2. Leaf chain is globally sorted and covers exactly size_ entries.
+  const Node* first = root_;
+  while (!first->leaf) {
+    first = static_cast<const InternalNode*>(first)->children.front();
+  }
+  size_t count = 0;
+  bool have_prev = false;
+  u128 prev = 0;
+  for (const LeafNode* leaf = static_cast<const LeafNode*>(first);
+       leaf != nullptr; leaf = leaf->next) {
+    for (u128 k : leaf->keys) {
+      if (have_prev && k < prev) return false;
+      prev = k;
+      have_prev = true;
+      ++count;
+    }
+  }
+  return count == size_;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,83 @@
+// In-memory B+-tree keyed by 128-bit order-preserving shares.
+//
+// Each provider indexes every range-capable column with one of these trees
+// (key = order-preserving share, value = row id). Because the Section IV
+// construction preserves order, a client range predicate rewrites to a
+// share-space [lo, hi] scan that this tree answers without the provider
+// ever seeing plaintext values. Duplicate keys are supported (equal values
+// share equal order-preserving shares).
+
+#ifndef SSDB_STORAGE_BTREE_H_
+#define SSDB_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/wide_int.h"
+
+namespace ssdb {
+
+/// \brief B+-tree multimap from u128 keys to uint64 values.
+class BPlusTree {
+ public:
+  /// Maximum entries per node; split at capacity.
+  static constexpr size_t kFanout = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  /// Inserts a (key, value) pair. Duplicates (same key, even same value)
+  /// are kept.
+  void Insert(u128 key, uint64_t value);
+
+  /// Removes one occurrence of (key, value); returns whether found.
+  bool Erase(u128 key, uint64_t value);
+
+  /// Visits all entries with lo <= key <= hi in ascending key order; the
+  /// visitor returns false to stop early.
+  void Scan(u128 lo, u128 hi,
+            const std::function<bool(u128, uint64_t)>& visit) const;
+
+  /// Collects the values for keys in [lo, hi].
+  std::vector<uint64_t> Range(u128 lo, u128 hi) const;
+
+  /// Collects values with key exactly `key`.
+  std::vector<uint64_t> Equal(u128 key) const { return Range(key, key); }
+
+  /// Smallest / largest key with at least one entry in [lo, hi]; false if
+  /// the interval is empty.
+  bool MinInRange(u128 lo, u128 hi, u128* key, uint64_t* value) const;
+  bool MaxInRange(u128 lo, u128 hi, u128* key, uint64_t* value) const;
+
+  /// Number of entries in [lo, hi].
+  size_t CountInRange(u128 lo, u128 hi) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Structural invariant check (tests): sorted keys, balanced depth,
+  /// correct leaf chaining. Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  LeafNode* FindLeaf(u128 key) const;
+  void InsertIntoParent(Node* left, u128 split_key, Node* right);
+  void FreeSubtree(Node* node);
+
+  Node* root_;
+  size_t size_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_STORAGE_BTREE_H_

@@ -1,0 +1,257 @@
+#include "storage/share_table.h"
+
+#include <algorithm>
+
+#include "field/fp61.h"
+
+namespace ssdb {
+
+void EncodeStoredRow(const StoredRow& row,
+                     const std::vector<ProviderColumnLayout>& layout,
+                     Buffer* buf) {
+  buf->PutU64(row.row_id);
+  buf->PutU64(row.tag);
+  for (size_t c = 0; c < layout.size(); ++c) {
+    const StoredCell& cell = row.cells[c];
+    buf->PutU64(cell.secret);
+    if (layout[c].has_det) buf->PutU64(cell.det);
+    if (layout[c].has_op) buf->PutU128(cell.op);
+  }
+}
+
+Status DecodeStoredRow(Decoder* dec,
+                       const std::vector<ProviderColumnLayout>& layout,
+                       StoredRow* out) {
+  SSDB_RETURN_IF_ERROR(dec->GetU64(&out->row_id));
+  SSDB_RETURN_IF_ERROR(dec->GetU64(&out->tag));
+  out->cells.assign(layout.size(), StoredCell());
+  for (size_t c = 0; c < layout.size(); ++c) {
+    StoredCell& cell = out->cells[c];
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&cell.secret));
+    if (layout[c].has_det) SSDB_RETURN_IF_ERROR(dec->GetU64(&cell.det));
+    if (layout[c].has_op) SSDB_RETURN_IF_ERROR(dec->GetU128(&cell.op));
+  }
+  return Status::OK();
+}
+
+ShareTable::ShareTable(std::vector<ProviderColumnLayout> layout)
+    : layout_(std::move(layout)),
+      det_index_(layout_.size()),
+      op_index_(layout_.size()) {}
+
+Status ShareTable::CheckRowShape(const StoredRow& row) const {
+  if (row.cells.size() != layout_.size()) {
+    return Status::InvalidArgument("share row arity mismatch");
+  }
+  return Status::OK();
+}
+
+void ShareTable::IndexRow(const StoredRow& row) {
+  for (size_t c = 0; c < layout_.size(); ++c) {
+    if (layout_[c].has_det) {
+      det_index_[c].emplace(row.cells[c].det, row.row_id);
+    }
+    if (layout_[c].has_op) {
+      op_index_[c].Insert(row.cells[c].op, row.row_id);
+    }
+  }
+}
+
+void ShareTable::UnindexRow(const StoredRow& row) {
+  for (size_t c = 0; c < layout_.size(); ++c) {
+    if (layout_[c].has_det) {
+      auto range = det_index_[c].equal_range(row.cells[c].det);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (it->second == row.row_id) {
+          det_index_[c].erase(it);
+          break;
+        }
+      }
+    }
+    if (layout_[c].has_op) {
+      op_index_[c].Erase(row.cells[c].op, row.row_id);
+    }
+  }
+}
+
+Status ShareTable::Insert(StoredRow row) {
+  SSDB_RETURN_IF_ERROR(CheckRowShape(row));
+  if (rows_.count(row.row_id) != 0) {
+    return Status::AlreadyExists("share row id already stored");
+  }
+  IndexRow(row);
+  rows_.emplace(row.row_id, std::move(row));
+  return Status::OK();
+}
+
+Status ShareTable::Delete(uint64_t row_id) {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("share row id not stored");
+  }
+  UnindexRow(it->second);
+  rows_.erase(it);
+  return Status::OK();
+}
+
+Status ShareTable::Update(StoredRow row) {
+  SSDB_RETURN_IF_ERROR(CheckRowShape(row));
+  auto it = rows_.find(row.row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("share row id not stored");
+  }
+  UnindexRow(it->second);
+  IndexRow(row);
+  it->second = std::move(row);
+  return Status::OK();
+}
+
+Status ShareTable::AddSecretDeltas(uint64_t row_id,
+                                   const std::vector<uint64_t>& deltas) {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("share row id not stored");
+  }
+  if (deltas.size() != layout_.size()) {
+    return Status::InvalidArgument("refresh delta arity mismatch");
+  }
+  for (size_t c = 0; c < deltas.size(); ++c) {
+    if (deltas[c] >= Fp61::kP) {
+      return Status::InvalidArgument("refresh delta not a field element");
+    }
+    it->second.cells[c].secret =
+        (Fp61::FromCanonical(it->second.cells[c].secret) +
+         Fp61::FromCanonical(deltas[c]))
+            .value();
+  }
+  return Status::OK();
+}
+
+Result<const StoredRow*> ShareTable::Get(uint64_t row_id) const {
+  auto it = rows_.find(row_id);
+  if (it == rows_.end()) {
+    return Status::NotFound("share row id not stored");
+  }
+  return &it->second;
+}
+
+Result<std::vector<uint64_t>> ShareTable::ExactMatch(size_t column,
+                                                     uint64_t det_share) const {
+  if (column >= layout_.size()) {
+    return Status::InvalidArgument("exact match: bad column index");
+  }
+  if (!layout_[column].has_det) {
+    return Status::NotSupported(
+        "exact match: column has no deterministic shares");
+  }
+  std::vector<uint64_t> out;
+  auto range = det_index_[column].equal_range(det_share);
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<uint64_t>> ShareTable::RangeScan(size_t column, u128 op_lo,
+                                                    u128 op_hi) const {
+  if (column >= layout_.size()) {
+    return Status::InvalidArgument("range scan: bad column index");
+  }
+  if (!layout_[column].has_op) {
+    return Status::NotSupported(
+        "range scan: column has no order-preserving shares");
+  }
+  return op_index_[column].Range(op_lo, op_hi);
+}
+
+Result<std::vector<uint64_t>> ShareTable::ArgMinInRange(size_t column,
+                                                        u128 op_lo,
+                                                        u128 op_hi) const {
+  if (column >= layout_.size() || !layout_[column].has_op) {
+    return Status::NotSupported("argmin: column has no order-preserving shares");
+  }
+  u128 key = 0;
+  uint64_t value = 0;
+  if (!op_index_[column].MinInRange(op_lo, op_hi, &key, &value)) {
+    return std::vector<uint64_t>();
+  }
+  return op_index_[column].Equal(key);
+}
+
+Result<std::vector<uint64_t>> ShareTable::ArgMaxInRange(size_t column,
+                                                        u128 op_lo,
+                                                        u128 op_hi) const {
+  if (column >= layout_.size() || !layout_[column].has_op) {
+    return Status::NotSupported("argmax: column has no order-preserving shares");
+  }
+  u128 key = 0;
+  uint64_t value = 0;
+  if (!op_index_[column].MaxInRange(op_lo, op_hi, &key, &value)) {
+    return std::vector<uint64_t>();
+  }
+  return op_index_[column].Equal(key);
+}
+
+void ShareTable::ScanAll(
+    const std::function<bool(const StoredRow&)>& visit) const {
+  for (const auto& [id, row] : rows_) {
+    if (!visit(row)) return;
+  }
+}
+
+std::vector<uint64_t> ShareTable::AllRowIds() const {
+  std::vector<uint64_t> out;
+  out.reserve(rows_.size());
+  for (const auto& [id, row] : rows_) out.push_back(id);
+  return out;
+}
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x53534442;  // "SSDB"
+constexpr uint8_t kSnapshotVersion = 1;
+}  // namespace
+
+void ShareTable::SaveSnapshot(Buffer* out) const {
+  out->PutU32(kSnapshotMagic);
+  out->PutU8(kSnapshotVersion);
+  out->PutVarint(layout_.size());
+  for (const ProviderColumnLayout& c : layout_) c.EncodeTo(out);
+  out->PutVarint(rows_.size());
+  for (const auto& [id, row] : rows_) {
+    EncodeStoredRow(row, layout_, out);
+  }
+}
+
+Result<ShareTable> ShareTable::LoadSnapshot(Decoder* dec) {
+  uint32_t magic = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU32(&magic));
+  if (magic != kSnapshotMagic) {
+    return Status::Corruption("share table snapshot: bad magic");
+  }
+  uint8_t version = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetU8(&version));
+  if (version != kSnapshotVersion) {
+    return Status::NotSupported("share table snapshot: unknown version");
+  }
+  uint64_t cols = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&cols));
+  if (cols == 0 || cols > 4096) {
+    return Status::Corruption("share table snapshot: implausible column count");
+  }
+  std::vector<ProviderColumnLayout> layout(cols);
+  for (auto& c : layout) {
+    SSDB_RETURN_IF_ERROR(ProviderColumnLayout::DecodeFrom(dec, &c));
+  }
+  ShareTable table(std::move(layout));
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    StoredRow row;
+    SSDB_RETURN_IF_ERROR(DecodeStoredRow(dec, table.layout(), &row));
+    SSDB_RETURN_IF_ERROR(table.Insert(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace ssdb

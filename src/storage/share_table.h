@@ -1,0 +1,120 @@
+// Provider-side storage of share rows.
+//
+// A provider never sees plaintext. For every client row it stores, per
+// column, up to three share representations (see codec/schema.h):
+//   secret : uint64  — random Shamir share (always present),
+//   det    : uint64  — deterministic Shamir share (exact-match columns),
+//   op     : u128    — order-preserving share (range columns).
+// Rows carry the client-assigned row id (shared across providers so
+// responses can be joined back together) and an optional client-computed
+// integrity tag.
+//
+// Indexes: a hash index per exact-match column (det share -> row ids) and
+// a B+-tree per range column (op share -> row ids).
+
+#ifndef SSDB_STORAGE_SHARE_TABLE_H_
+#define SSDB_STORAGE_SHARE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/schema.h"
+#include "common/buffer.h"
+#include "common/status.h"
+#include "storage/btree.h"
+
+namespace ssdb {
+
+/// One column's stored shares within a row.
+struct StoredCell {
+  uint64_t secret = 0;  ///< Random Shamir share (Fp61 canonical value).
+  uint64_t det = 0;     ///< Deterministic share; valid iff layout.has_det.
+  u128 op = 0;          ///< Order-preserving share; valid iff layout.has_op.
+};
+
+/// One stored row of shares.
+struct StoredRow {
+  uint64_t row_id = 0;
+  std::vector<StoredCell> cells;
+  uint64_t tag = 0;  ///< Client integrity tag (HMAC truncation); 0 if unused.
+};
+
+/// Wire encoding of rows (used in updates and query responses).
+void EncodeStoredRow(const StoredRow& row,
+                     const std::vector<ProviderColumnLayout>& layout,
+                     Buffer* buf);
+Status DecodeStoredRow(Decoder* dec,
+                       const std::vector<ProviderColumnLayout>& layout,
+                       StoredRow* out);
+
+/// \brief One table's share storage plus its indexes at a single provider.
+class ShareTable {
+ public:
+  explicit ShareTable(std::vector<ProviderColumnLayout> layout);
+
+  const std::vector<ProviderColumnLayout>& layout() const { return layout_; }
+  size_t num_columns() const { return layout_.size(); }
+  size_t size() const { return rows_.size(); }
+
+  /// Inserts a row (row_id must be new); maintains all indexes.
+  Status Insert(StoredRow row);
+
+  /// Removes a row by id.
+  Status Delete(uint64_t row_id);
+
+  /// Replaces an existing row (same row_id) with new shares.
+  Status Update(StoredRow row);
+
+  /// Adds `deltas[c]` (mod p) to every column's random secret share of the
+  /// row. Deterministic and order-preserving shares are untouched, so no
+  /// index maintenance is needed — this is the proactive-refresh path.
+  Status AddSecretDeltas(uint64_t row_id, const std::vector<uint64_t>& deltas);
+
+  /// Point read by row id.
+  Result<const StoredRow*> Get(uint64_t row_id) const;
+
+  /// Row ids whose deterministic share in `column` equals `det_share`.
+  Result<std::vector<uint64_t>> ExactMatch(size_t column,
+                                           uint64_t det_share) const;
+
+  /// Row ids whose order-preserving share in `column` is within
+  /// [op_lo, op_hi], in ascending share order.
+  Result<std::vector<uint64_t>> RangeScan(size_t column, u128 op_lo,
+                                          u128 op_hi) const;
+
+  /// Row ids of the minimal / maximal order-preserving share within
+  /// [op_lo, op_hi] (all ties). Empty if no row qualifies.
+  Result<std::vector<uint64_t>> ArgMinInRange(size_t column, u128 op_lo,
+                                              u128 op_hi) const;
+  Result<std::vector<uint64_t>> ArgMaxInRange(size_t column, u128 op_lo,
+                                              u128 op_hi) const;
+
+  /// Visits every live row.
+  void ScanAll(const std::function<bool(const StoredRow&)>& visit) const;
+
+  /// All row ids (ascending).
+  std::vector<uint64_t> AllRowIds() const;
+
+  /// Serializes layout + all rows (snapshot format, versioned).
+  void SaveSnapshot(Buffer* out) const;
+  /// Rebuilds a table (including its indexes) from a snapshot.
+  static Result<ShareTable> LoadSnapshot(Decoder* dec);
+
+ private:
+  Status CheckRowShape(const StoredRow& row) const;
+  void IndexRow(const StoredRow& row);
+  void UnindexRow(const StoredRow& row);
+
+  std::vector<ProviderColumnLayout> layout_;
+  std::map<uint64_t, StoredRow> rows_;  // row_id -> row
+  // Per-column indexes (empty containers for columns without the share).
+  std::vector<std::unordered_multimap<uint64_t, uint64_t>> det_index_;
+  std::vector<BPlusTree> op_index_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_STORAGE_SHARE_TABLE_H_

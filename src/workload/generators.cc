@@ -1,0 +1,118 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+namespace ssdb {
+
+std::string NameGenerator::Next(uint32_t max_len) {
+  static const char* kConsonants = "BCDFGHJKLMNPRSTVWZ";
+  static const char* kVowels = "AEIOU";
+  const uint32_t len = 3 + static_cast<uint32_t>(
+                               rng_.Uniform(max_len >= 3 ? max_len - 2 : 1));
+  std::string name;
+  name.reserve(len);
+  for (uint32_t i = 0; name.size() < len; ++i) {
+    if (i % 2 == 0) {
+      name.push_back(kConsonants[rng_.Uniform(18)]);
+    } else {
+      name.push_back(kVowels[rng_.Uniform(5)]);
+    }
+  }
+  return name;
+}
+
+EmployeeRow EmployeeGenerator::Next() {
+  EmployeeRow row;
+  row.name = names_.Next(8);
+  switch (dist_) {
+    case Distribution::kUniform:
+      row.salary = rng_.UniformInt(kSalaryLo, kSalaryHi);
+      break;
+    case Distribution::kZipf:
+      row.salary = static_cast<int64_t>(zipf_.Sample(&rng_));
+      break;
+    case Distribution::kSequential:
+      row.salary = static_cast<int64_t>(seq_++ % (kSalaryHi + 1));
+      break;
+  }
+  row.dept = rng_.UniformInt(0, kMaxDept);
+  return row;
+}
+
+std::vector<std::vector<Value>> EmployeeGenerator::Rows(size_t count) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    EmployeeRow row = Next();
+    out.push_back({Value::Str(std::move(row.name)), Value::Int(row.salary),
+                   Value::Int(row.dept)});
+  }
+  return out;
+}
+
+TableSchema EmployeeGenerator::EmployeesSchema(const std::string& table_name) {
+  TableSchema schema;
+  schema.table_name = table_name;
+  schema.columns = {
+      StringColumn("name", 8),
+      IntColumn("salary", kSalaryLo, kSalaryHi),
+      IntColumn("dept", 0, kMaxDept),
+  };
+  return schema;
+}
+
+MedicalRecord MedicalGenerator::Next() {
+  MedicalRecord r;
+  r.patient_id = static_cast<int64_t>(next_patient_++);
+  r.age = rng_.UniformInt(0, 99);
+  r.diagnosis = rng_.UniformInt(0, 9999);
+  r.cost = rng_.UniformInt(1000, 10'000'000);
+  return r;
+}
+
+std::vector<std::vector<Value>> MedicalGenerator::Rows(size_t count) {
+  std::vector<std::vector<Value>> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const MedicalRecord r = Next();
+    out.push_back({Value::Int(r.patient_id), Value::Int(r.age),
+                   Value::Int(r.diagnosis), Value::Int(r.cost)});
+  }
+  return out;
+}
+
+TableSchema MedicalGenerator::MedicalSchema(const std::string& table_name) {
+  TableSchema schema;
+  schema.table_name = table_name;
+  schema.columns = {
+      IntColumn("patient_id", 0, 100'000'000),
+      IntColumn("age", 0, 99),
+      IntColumn("diagnosis", 0, 9999),
+      IntColumn("cost", 0, 10'000'000),
+  };
+  return schema;
+}
+
+std::vector<uint64_t> DocumentGenerator::Document(size_t words) {
+  std::vector<uint64_t> doc;
+  doc.reserve(words);
+  while (doc.size() < words) {
+    const uint64_t w = zipf_.Sample(&rng_);
+    if (std::find(doc.begin(), doc.end(), w) == doc.end()) doc.push_back(w);
+    if (doc.size() >= vocab_) break;
+  }
+  return doc;
+}
+
+std::vector<uint64_t> DocumentGenerator::Corpus(size_t docs,
+                                                size_t words_per_doc) {
+  std::vector<uint64_t> corpus;
+  corpus.reserve(docs * words_per_doc);
+  for (size_t d = 0; d < docs; ++d) {
+    const std::vector<uint64_t> doc = Document(words_per_doc);
+    corpus.insert(corpus.end(), doc.begin(), doc.end());
+  }
+  return corpus;
+}
+
+}  // namespace ssdb

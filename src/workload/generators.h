@@ -1,0 +1,118 @@
+// Synthetic workload generators.
+//
+// The paper's scenarios — the Employees table of §III, the "1 million
+// medical records" cost anecdote of §II.A, and the document sets of the
+// private-intersection experiment — are regenerated synthetically here.
+// Generators are deterministic from a seed so every benchmark run is
+// reproducible.
+
+#ifndef SSDB_WORKLOAD_GENERATORS_H_
+#define SSDB_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/schema.h"
+#include "codec/value.h"
+#include "common/rng.h"
+
+namespace ssdb {
+
+/// Value distribution for numeric columns.
+enum class Distribution {
+  kUniform,
+  kZipf,        ///< Skewed (theta = 0.9).
+  kSequential,  ///< 0, 1, 2, ... (worst case for bucketization).
+};
+
+/// \brief Random fixed-width upper-case names (pronounceable syllables).
+class NameGenerator {
+ public:
+  explicit NameGenerator(uint64_t seed) : rng_(seed) {}
+  /// A name of length in [3, max_len].
+  std::string Next(uint32_t max_len = 8);
+
+ private:
+  Rng rng_;
+};
+
+/// The §III Employees table: name / salary / dept.
+struct EmployeeRow {
+  std::string name;
+  int64_t salary = 0;
+  int64_t dept = 0;
+};
+
+/// \brief Generator for Employees workloads.
+class EmployeeGenerator {
+ public:
+  static constexpr int64_t kSalaryLo = 0;
+  static constexpr int64_t kSalaryHi = 200000;
+  static constexpr int64_t kMaxDept = 99;
+
+  EmployeeGenerator(uint64_t seed, Distribution salary_dist)
+      : rng_(seed), names_(seed ^ 0x9E3779B9), dist_(salary_dist),
+        zipf_(kSalaryHi + 1, 0.9) {}
+
+  EmployeeRow Next();
+  /// `count` rows as Value rows matching EmployeesSchema().
+  std::vector<std::vector<Value>> Rows(size_t count);
+
+  /// The matching table schema (name exact+range; salary/dept both).
+  static TableSchema EmployeesSchema(const std::string& table_name = "Employees");
+
+ private:
+  Rng rng_;
+  NameGenerator names_;
+  Distribution dist_;
+  Zipf zipf_;
+  uint64_t seq_ = 0;
+};
+
+/// The §II.A medical-records anecdote: patient / age / diagnosis / cost.
+struct MedicalRecord {
+  int64_t patient_id = 0;
+  int64_t age = 0;
+  int64_t diagnosis = 0;  ///< ICD-like code in [0, 9999].
+  int64_t cost = 0;       ///< Treatment cost in cents.
+};
+
+/// \brief Generator for medical-record workloads.
+class MedicalGenerator {
+ public:
+  explicit MedicalGenerator(uint64_t seed) : rng_(seed) {}
+
+  MedicalRecord Next();
+  std::vector<std::vector<Value>> Rows(size_t count);
+
+  static TableSchema MedicalSchema(const std::string& table_name = "Medical");
+
+ private:
+  Rng rng_;
+  uint64_t next_patient_ = 1;
+};
+
+/// \brief Document sets for the private-intersection experiment (§II.A):
+/// each document is a set of word ids drawn Zipf-style from a vocabulary.
+class DocumentGenerator {
+ public:
+  DocumentGenerator(uint64_t seed, uint64_t vocabulary_size)
+      : rng_(seed), vocab_(vocabulary_size), zipf_(vocabulary_size, 0.8) {}
+
+  /// One document of `words` distinct word ids.
+  std::vector<uint64_t> Document(size_t words);
+  /// A corpus of `docs` documents with `words` words each, flattened into
+  /// one multiset of word ids (the paper's experiment intersects the
+  /// word sets of two corpora).
+  std::vector<uint64_t> Corpus(size_t docs, size_t words_per_doc);
+
+ private:
+  Rng rng_;
+  uint64_t vocab_;
+  Zipf zipf_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,114 @@
+#include "workload/query_mix.h"
+
+namespace ssdb {
+
+QueryMixDriver::QueryMixDriver(OutsourcedDatabase* db, std::string table,
+                               uint64_t seed, MixRatios ratios)
+    : db_(db),
+      table_(std::move(table)),
+      rng_(seed),
+      gen_(seed ^ 0xABCD, Distribution::kUniform),
+      ratios_(ratios) {
+  total_ratio_ = ratios_.point_lookup + ratios_.range_scan +
+                 ratios_.aggregate + ratios_.update + ratios_.insert +
+                 ratios_.erase;
+  if (total_ratio_ <= 0) total_ratio_ = 1.0;
+}
+
+Status QueryMixDriver::RunOps(size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    SSDB_RETURN_IF_ERROR(RunOne());
+  }
+  return Status::OK();
+}
+
+Status QueryMixDriver::RunOne() {
+  double dice = rng_.NextDouble() * total_ratio_;
+
+  if ((dice -= ratios_.point_lookup) < 0) {
+    ++stats_.point_lookups;
+    const std::string name = gen_.Next().name;
+    SSDB_ASSIGN_OR_RETURN(
+        QueryResult r,
+        db_->Execute(Query::Select(table_).Where(Eq("name", Value::Str(name)))));
+    stats_.rows_touched += r.rows.size();
+    return Status::OK();
+  }
+  if ((dice -= ratios_.range_scan) < 0) {
+    ++stats_.range_scans;
+    const int64_t lo = rng_.UniformInt(EmployeeGenerator::kSalaryLo,
+                                       EmployeeGenerator::kSalaryHi - 2000);
+    SSDB_ASSIGN_OR_RETURN(
+        QueryResult r,
+        db_->Execute(Query::Select(table_).Where(
+            Between("salary", Value::Int(lo), Value::Int(lo + 2000)))));
+    stats_.rows_touched += r.rows.size();
+    return Status::OK();
+  }
+  if ((dice -= ratios_.aggregate) < 0) {
+    ++stats_.aggregates;
+    const int64_t dept = rng_.UniformInt(0, EmployeeGenerator::kMaxDept);
+    switch (rng_.Uniform(4)) {
+      case 0: {
+        SSDB_ASSIGN_OR_RETURN(QueryResult r,
+                              db_->Execute(Query::Select(table_)
+                                               .Where(Eq("dept", Value::Int(dept)))
+                                               .Aggregate(AggregateOp::kSum,
+                                                          "salary")));
+        stats_.rows_touched += r.count;
+        break;
+      }
+      case 1: {
+        SSDB_ASSIGN_OR_RETURN(QueryResult r,
+                              db_->Execute(Query::Select(table_)
+                                               .Where(Eq("dept", Value::Int(dept)))
+                                               .Aggregate(AggregateOp::kCount)));
+        stats_.rows_touched += r.count;
+        break;
+      }
+      case 2: {
+        SSDB_ASSIGN_OR_RETURN(
+            QueryResult r,
+            db_->Execute(
+                Query::Select(table_).Aggregate(AggregateOp::kMedian, "salary")));
+        stats_.rows_touched += r.count;
+        break;
+      }
+      default: {
+        SSDB_ASSIGN_OR_RETURN(QueryResult r,
+                              db_->Execute(Query::Select(table_)
+                                               .Aggregate(AggregateOp::kSum,
+                                                          "salary")
+                                               .GroupBy("dept")));
+        stats_.rows_touched += r.count;
+        break;
+      }
+    }
+    return Status::OK();
+  }
+  if ((dice -= ratios_.update) < 0) {
+    ++stats_.updates;
+    const std::string name = gen_.Next().name;
+    SSDB_ASSIGN_OR_RETURN(
+        uint64_t updated,
+        db_->Update(table_, {Eq("name", Value::Str(name))}, "salary",
+                    Value::Int(rng_.UniformInt(EmployeeGenerator::kSalaryLo,
+                                               EmployeeGenerator::kSalaryHi))));
+    stats_.rows_touched += updated;
+    return Status::OK();
+  }
+  if ((dice -= ratios_.insert) < 0) {
+    ++stats_.inserts;
+    SSDB_RETURN_IF_ERROR(db_->Insert(table_, gen_.Rows(1)));
+    ++stats_.rows_touched;
+    return Status::OK();
+  }
+  ++stats_.erases;
+  const std::string name = gen_.Next().name;
+  SSDB_ASSIGN_OR_RETURN(uint64_t erased,
+                        db_->Delete(table_, {Eq("name", Value::Str(name))}));
+  stats_.rows_touched += erased;
+  return Status::OK();
+}
+
+}  // namespace ssdb

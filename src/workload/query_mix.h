@@ -1,0 +1,74 @@
+// A YCSB-style mixed-operation driver over an outsourced Employees table.
+//
+// Generates a reproducible stream of point lookups, ranges, aggregates,
+// updates, deletes and inserts in configurable ratios and drives them
+// through the public API — used by bench_mixed_workload to measure the
+// system under a realistic operation blend rather than one query class
+// at a time.
+
+#ifndef SSDB_WORKLOAD_QUERY_MIX_H_
+#define SSDB_WORKLOAD_QUERY_MIX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/outsourced_db.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+
+/// Operation ratios (normalized internally; they need not sum to 1).
+struct MixRatios {
+  double point_lookup = 0.35;
+  double range_scan = 0.25;
+  double aggregate = 0.15;
+  double update = 0.15;
+  double insert = 0.07;
+  double erase = 0.03;
+};
+
+/// Per-operation-class counters.
+struct MixStats {
+  uint64_t point_lookups = 0;
+  uint64_t range_scans = 0;
+  uint64_t aggregates = 0;
+  uint64_t updates = 0;
+  uint64_t inserts = 0;
+  uint64_t erases = 0;
+  uint64_t rows_touched = 0;
+
+  uint64_t total_ops() const {
+    return point_lookups + range_scans + aggregates + updates + inserts +
+           erases;
+  }
+};
+
+/// \brief Drives a reproducible mixed workload against one table created
+/// with EmployeeGenerator::EmployeesSchema().
+class QueryMixDriver {
+ public:
+  QueryMixDriver(OutsourcedDatabase* db, std::string table, uint64_t seed,
+                 MixRatios ratios = MixRatios());
+
+  /// Runs `count` operations; stops at the first hard error.
+  Status RunOps(size_t count);
+
+  const MixStats& stats() const { return stats_; }
+
+ private:
+  Status RunOne();
+
+  OutsourcedDatabase* db_;
+  std::string table_;
+  Rng rng_;
+  EmployeeGenerator gen_;
+  MixRatios ratios_;
+  double total_ratio_;
+  MixStats stats_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_WORKLOAD_QUERY_MIX_H_

@@ -1,0 +1,130 @@
+// Tests for the encryption-based DAS baseline (Section II.A model).
+
+#include <gtest/gtest.h>
+
+#include "baseline/encrypted_das.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+TableSchema SmallSchema() {
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {
+      StringColumn("name", 8),
+      IntColumn("salary", 0, 100000),
+  };
+  return schema;
+}
+
+std::vector<std::vector<Value>> SmallRows() {
+  return {
+      {Value::Str("JOHN"), Value::Int(20000)},
+      {Value::Str("ALICE"), Value::Int(35000)},
+      {Value::Str("BOB"), Value::Int(50000)},
+      {Value::Str("JOHN"), Value::Int(42000)},
+  };
+}
+
+TEST(EncryptedDas, ExactMatchDecryptsAndFilters) {
+  EncryptedDasOptions options;
+  options.buckets = 4;  // small -> collisions -> false positives
+  auto das = EncryptedDas::Create(SmallSchema(), options);
+  ASSERT_TRUE(das.ok());
+  ASSERT_TRUE((*das)->Insert(SmallRows()).ok());
+  auto r = (*das)->ExecuteExact("name", Value::Str("JOHN"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  for (const auto& row : r->rows) EXPECT_EQ(row[0].AsString(), "JOHN");
+  // Everything decrypted was counted, including false positives.
+  EXPECT_GE((*das)->stats().tuples_decrypted, 2u);
+}
+
+TEST(EncryptedDas, RangeViaBucketizationIsSupersetThenExact) {
+  EncryptedDasOptions options;
+  options.buckets = 4;
+  options.range_index = EncIndexKind::kBucketRange;
+  auto das = EncryptedDas::Create(SmallSchema(), options);
+  ASSERT_TRUE(das.ok());
+  ASSERT_TRUE((*das)->Insert(SmallRows()).ok());
+  auto r = (*das)->ExecuteRange("salary", Value::Int(30000), Value::Int(45000));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);  // 35000, 42000 after post-filtering
+  // With 4 buckets over [0, 100000], the superset almost surely included
+  // extra tuples.
+  EXPECT_GE((*das)->stats().tuples_decrypted, 2u);
+}
+
+TEST(EncryptedDas, RangeViaOpeIsExact) {
+  EncryptedDasOptions options;
+  options.range_index = EncIndexKind::kOpe;
+  auto das = EncryptedDas::Create(SmallSchema(), options);
+  ASSERT_TRUE(das.ok());
+  ASSERT_TRUE((*das)->Insert(SmallRows()).ok());
+  (*das)->ResetStats();
+  auto r = (*das)->ExecuteRange("salary", Value::Int(30000), Value::Int(45000));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  // OPE filters exactly: zero false positives.
+  EXPECT_EQ((*das)->stats().false_positives, 0u);
+  EXPECT_EQ((*das)->stats().tuples_decrypted, 2u);
+}
+
+TEST(EncryptedDas, SumIsClientSide) {
+  auto das = EncryptedDas::Create(SmallSchema(), EncryptedDasOptions());
+  ASSERT_TRUE(das.ok());
+  ASSERT_TRUE((*das)->Insert(SmallRows()).ok());
+  auto sum =
+      (*das)->Sum("salary", "salary", Value::Int(0), Value::Int(100000));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum.value(), 20000 + 35000 + 50000 + 42000);
+  // The client had to decrypt every matching tuple to add them up.
+  EXPECT_GE((*das)->stats().tuples_decrypted, 4u);
+}
+
+TEST(EncryptedDas, TrivialFetchAllMovesWholeTable) {
+  auto das = EncryptedDas::Create(SmallSchema(), EncryptedDasOptions());
+  ASSERT_TRUE(das.ok());
+  ASSERT_TRUE((*das)->Insert(SmallRows()).ok());
+  (*das)->ResetStats();
+  auto r = (*das)->FetchAllAndFilter("salary", Value::Int(40000),
+                                     Value::Int(60000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ((*das)->stats().tuples_decrypted, 4u);
+}
+
+TEST(EncryptedDas, RoundTripThroughManyRows) {
+  EmployeeGenerator gen(77, Distribution::kUniform);
+  auto das = EncryptedDas::Create(EmployeeGenerator::EmployeesSchema(),
+                                  EncryptedDasOptions());
+  ASSERT_TRUE(das.ok());
+  const auto rows = gen.Rows(500);
+  ASSERT_TRUE((*das)->Insert(rows).ok());
+  // Count matches of a reference filter.
+  size_t expect = 0;
+  for (const auto& row : rows) {
+    const int64_t s = row[1].AsInt();
+    if (s >= 50000 && s <= 60000) ++expect;
+  }
+  auto r = (*das)->ExecuteRange("salary", Value::Int(50000), Value::Int(60000));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), expect);
+}
+
+TEST(EncryptedDas, ValidationErrors) {
+  EncryptedDasOptions bad;
+  bad.buckets = 0;
+  EXPECT_FALSE(EncryptedDas::Create(SmallSchema(), bad).ok());
+  auto das = EncryptedDas::Create(SmallSchema(), EncryptedDasOptions());
+  ASSERT_TRUE(das.ok());
+  EXPECT_TRUE((*das)
+                  ->Insert({{Value::Int(5), Value::Int(5)}})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      (*das)->ExecuteExact("nope", Value::Int(1)).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -1,0 +1,185 @@
+// Tests for the value codec, base-27 strings (§V.B), and schemas.
+
+#include <gtest/gtest.h>
+
+#include "codec/schema.h"
+#include "codec/string27.h"
+#include "codec/value.h"
+
+namespace ssdb {
+namespace {
+
+TEST(Value, RoundTripSerde) {
+  Buffer buf;
+  Value::Int(-123456).EncodeTo(&buf);
+  Value::Str("HELLO").EncodeTo(&buf);
+  Decoder dec(buf.AsSlice());
+  Value a, b;
+  ASSERT_TRUE(Value::DecodeFrom(&dec, &a).ok());
+  ASSERT_TRUE(Value::DecodeFrom(&dec, &b).ok());
+  EXPECT_EQ(a, Value::Int(-123456));
+  EXPECT_EQ(b, Value::Str("HELLO"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.ToString(), "-123456");
+  EXPECT_EQ(b.ToString(), "'HELLO'");
+}
+
+TEST(Value, BadTagRejected) {
+  Buffer buf;
+  buf.PutU8(99);
+  Decoder dec(buf.AsSlice());
+  Value v;
+  EXPECT_TRUE(Value::DecodeFrom(&dec, &v).IsCorruption());
+}
+
+TEST(String27, PaperSchemeExample) {
+  // §V.B: "ABC" at width 5 -> (1 2 3 0 0) base 27.
+  auto codec = String27::Create(5);
+  ASSERT_TRUE(codec.ok());
+  auto code = codec->Encode("ABC");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code.value(), 1 * 27LL * 27 * 27 * 27 + 2 * 27LL * 27 * 27 +
+                              3 * 27LL * 27);
+  EXPECT_EQ(code.value(), 572994);
+  // "FATIH" keeps all 5 characters (the paper's example name).
+  auto fatih = codec->Encode("FATIH");
+  ASSERT_TRUE(fatih.ok());
+  EXPECT_EQ(codec->Decode(fatih.value()).value(), "FATIH");
+}
+
+TEST(String27, RoundTripAndCaseFolding) {
+  auto codec = String27::Create(8);
+  ASSERT_TRUE(codec.ok());
+  for (const std::string& s : {"A", "Z", "JOHN", "ALBERT", "ZZZZZZZZ", ""}) {
+    auto code = codec->Encode(s);
+    ASSERT_TRUE(code.ok()) << s;
+    EXPECT_EQ(codec->Decode(code.value()).value(), s);
+  }
+  EXPECT_EQ(codec->Encode("john").value(), codec->Encode("JOHN").value());
+}
+
+TEST(String27, OrderIsLexicographic) {
+  auto codec = String27::Create(6);
+  ASSERT_TRUE(codec.ok());
+  const std::vector<std::string> sorted = {"",       "A",     "AA",
+                                           "AB",     "ABC",   "B",
+                                           "JACK",   "JACKS", "ZZZZZZ"};
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    EXPECT_LT(codec->Encode(sorted[i]).value(),
+              codec->Encode(sorted[i + 1]).value())
+        << sorted[i] << " vs " << sorted[i + 1];
+  }
+}
+
+TEST(String27, Validation) {
+  EXPECT_FALSE(String27::Create(0).ok());
+  EXPECT_FALSE(String27::Create(13).ok());
+  auto codec = String27::Create(3);
+  ASSERT_TRUE(codec.ok());
+  EXPECT_TRUE(codec->Encode("TOOLONG").status().IsOutOfRange());
+  EXPECT_TRUE(codec->Encode("A1").status().IsInvalidArgument());
+  EXPECT_TRUE(codec->Decode(-1).status().IsOutOfRange());
+  EXPECT_TRUE(codec->Decode(27 * 27 * 27).status().IsOutOfRange());
+}
+
+TEST(String27, PrefixRangeCoversExactlyPrefixedStrings) {
+  auto codec = String27::Create(5);
+  ASSERT_TRUE(codec.ok());
+  auto range = codec->PrefixRange("AB");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(codec->Encode("AB").value(), range->lo);
+  for (const std::string& in : {"AB", "ABA", "ABZZZ", "ABC"}) {
+    const int64_t c = codec->Encode(in).value();
+    EXPECT_GE(c, range->lo) << in;
+    EXPECT_LE(c, range->hi) << in;
+  }
+  for (const std::string& out : {"AA", "AC", "B", "A"}) {
+    const int64_t c = codec->Encode(out).value();
+    EXPECT_TRUE(c < range->lo || c > range->hi) << out;
+  }
+}
+
+TEST(String27, LexRange) {
+  auto codec = String27::Create(8);
+  ASSERT_TRUE(codec.ok());
+  auto range = codec->LexRange("ALBERT", "JACK");
+  ASSERT_TRUE(range.ok());
+  EXPECT_GE(codec->Encode("BOB").value(), range->lo);
+  EXPECT_LE(codec->Encode("BOB").value(), range->hi);
+  EXPECT_LE(codec->Encode("JACKSON").value(), range->hi);
+  EXPECT_GT(codec->Encode("JAD").value(), range->hi);
+  EXPECT_LT(codec->Encode("ALBERS").value(), range->lo);
+  EXPECT_TRUE(codec->LexRange("Z", "A").status().IsInvalidArgument());
+}
+
+TEST(Schema, ValidationRules) {
+  TableSchema schema;
+  EXPECT_FALSE(schema.Validate().ok());  // no name, no columns
+  schema.table_name = "T";
+  EXPECT_FALSE(schema.Validate().ok());  // no columns
+  schema.columns = {IntColumn("a", 0, 10), IntColumn("a", 0, 10)};
+  EXPECT_TRUE(schema.Validate().IsAlreadyExists());  // duplicate name
+  schema.columns = {IntColumn("a", 10, 0)};
+  EXPECT_FALSE(schema.Validate().ok());  // hi < lo
+  schema.columns = {IntColumn("a", 0, 10), StringColumn("b", 6)};
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(Schema, SharedDomainMustMatch) {
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {IntColumn("a", 0, 10, kCapExactMatch, "dom"),
+                    IntColumn("b", 0, 99, kCapExactMatch, "dom")};
+  EXPECT_FALSE(schema.Validate().ok());
+  schema.columns[1].int_domain = OpDomain{0, 10};
+  EXPECT_TRUE(schema.Validate().ok());
+  EXPECT_EQ(schema.columns[0].DomainTag(), schema.columns[1].DomainTag());
+}
+
+TEST(Schema, DomainWiderThan60BitsRejected) {
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {IntColumn("a", INT64_MIN, INT64_MAX)};
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(Schema, EncodeDecodeCodes) {
+  const ColumnSpec salary = IntColumn("salary", 1000, 9000);
+  EXPECT_EQ(salary.EncodeToCode(Value::Int(5000)).value(), 5000);
+  EXPECT_TRUE(salary.EncodeToCode(Value::Int(999)).status().IsOutOfRange());
+  EXPECT_TRUE(
+      salary.EncodeToCode(Value::Str("X")).status().IsInvalidArgument());
+  EXPECT_EQ(salary.DecodeFromCode(5000).value(), Value::Int(5000));
+  EXPECT_TRUE(salary.DecodeFromCode(99999).status().IsCorruption());
+
+  const ColumnSpec name = StringColumn("name", 4);
+  const int64_t code = name.EncodeToCode(Value::Str("ANNA")).value();
+  EXPECT_EQ(name.DecodeFromCode(code).value(), Value::Str("ANNA"));
+}
+
+TEST(Schema, ProviderLayoutHidesDomains) {
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {IntColumn("a", 0, 10, kCapExactMatch),
+                    IntColumn("b", 0, 10, kCapRange),
+                    IntColumn("c", 0, 10, kCapNone)};
+  const auto layout = ProviderLayout(schema);
+  ASSERT_EQ(layout.size(), 3u);
+  EXPECT_TRUE(layout[0].has_det);
+  EXPECT_FALSE(layout[0].has_op);
+  EXPECT_FALSE(layout[1].has_det);
+  EXPECT_TRUE(layout[1].has_op);
+  EXPECT_FALSE(layout[2].has_det);
+  EXPECT_FALSE(layout[2].has_op);
+}
+
+TEST(Schema, ColumnIndexLookup) {
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {IntColumn("x", 0, 1), IntColumn("y", 0, 1)};
+  EXPECT_EQ(schema.ColumnIndex("y").value(), 1u);
+  EXPECT_TRUE(schema.ColumnIndex("z").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ssdb

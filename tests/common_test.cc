@@ -1,0 +1,290 @@
+// Unit tests for the common runtime: Status/Result, Slice, Buffer/Decoder,
+// Rng, hashing, wide integers.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/buffer.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/wide_int.h"
+
+namespace ssdb {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err(Status::Corruption("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsCorruption());
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+Status UsesAssignOrReturn(bool fail, int* out) {
+  auto provider = [&]() -> Result<int> {
+    if (fail) return Status::Unavailable("down");
+    return 7;
+  };
+  SSDB_ASSIGN_OR_RETURN(*out, provider());
+  return Status::OK();
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int v = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(false, &v).ok());
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(UsesAssignOrReturn(true, &v).IsUnavailable());
+}
+
+TEST(Slice, BasicsAndCompare) {
+  Slice a("abc");
+  Slice b("abd");
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_LT(a.compare(b), 0);
+  EXPECT_TRUE(Slice("abcdef").starts_with(a));
+  EXPECT_FALSE(a.starts_with(Slice("abcd")));
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.compare(Slice("")), 0);
+}
+
+TEST(Buffer, RoundTripAllTypes) {
+  Buffer buf;
+  buf.PutU8(0xAB);
+  buf.PutU16(0xBEEF);
+  buf.PutU32(0xDEADBEEF);
+  buf.PutU64(0x0123456789ABCDEFULL);
+  buf.PutU128(MakeU128(0x1111222233334444ULL, 0x5555666677778888ULL));
+  buf.PutI64(-42);
+  buf.PutDouble(3.25);
+  buf.PutVarint(0);
+  buf.PutVarint(127);
+  buf.PutVarint(128);
+  buf.PutVarint(~0ULL);
+  buf.PutLengthPrefixed(Slice("hello"));
+  buf.PutBool(true);
+
+  Decoder dec(buf.AsSlice());
+  uint8_t u8;
+  ASSERT_TRUE(dec.GetU8(&u8).ok());
+  EXPECT_EQ(u8, 0xAB);
+  uint16_t u16;
+  ASSERT_TRUE(dec.GetU16(&u16).ok());
+  EXPECT_EQ(u16, 0xBEEF);
+  uint32_t u32;
+  ASSERT_TRUE(dec.GetU32(&u32).ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  uint64_t u64;
+  ASSERT_TRUE(dec.GetU64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  u128 u;
+  ASSERT_TRUE(dec.GetU128(&u).ok());
+  EXPECT_EQ(U128Hi(u), 0x1111222233334444ULL);
+  EXPECT_EQ(U128Lo(u), 0x5555666677778888ULL);
+  int64_t i64;
+  ASSERT_TRUE(dec.GetI64(&i64).ok());
+  EXPECT_EQ(i64, -42);
+  double d;
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_EQ(d, 3.25);
+  for (uint64_t expect : {0ULL, 127ULL, 128ULL, ~0ULL}) {
+    uint64_t v;
+    ASSERT_TRUE(dec.GetVarint(&v).ok());
+    EXPECT_EQ(v, expect);
+  }
+  std::string s;
+  ASSERT_TRUE(dec.GetLengthPrefixedString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  bool flag;
+  ASSERT_TRUE(dec.GetBool(&flag).ok());
+  EXPECT_TRUE(flag);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Buffer, DecoderDetectsTruncation) {
+  Buffer buf;
+  buf.PutU64(5);
+  Decoder dec(Slice(buf.data(), 4));  // cut in half
+  uint64_t v;
+  EXPECT_TRUE(dec.GetU64(&v).IsCorruption());
+
+  Buffer lp;
+  lp.PutVarint(100);  // claims 100 bytes follow; none do
+  Decoder dec2(lp.AsSlice());
+  Slice out;
+  EXPECT_TRUE(dec2.GetLengthPrefixed(&out).IsCorruption());
+}
+
+TEST(Buffer, VarintOverflowRejected) {
+  // 11 bytes of continuation = too long for 64 bits.
+  Buffer buf;
+  for (int i = 0; i < 11; ++i) buf.PutU8(0xFF);
+  Decoder dec(buf.AsSlice());
+  uint64_t v;
+  EXPECT_TRUE(dec.GetVarint(&v).IsCorruption());
+}
+
+TEST(Rng, DeterministicAndDistinctSeeds) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, Uniform128Bounds) {
+  Rng rng(8);
+  const u128 bound = MakeU128(3, 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform128(bound), bound);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Zipf, SamplesSkewTowardsHead) {
+  Rng rng(10);
+  Zipf zipf(1000, 0.9);
+  int head = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const uint64_t s = zipf.Sample(&rng);
+    ASSERT_LT(s, 1000u);
+    if (s < 10) ++head;
+  }
+  // With theta=0.9 the top-10 of 1000 should collect far more than the
+  // uniform 1%.
+  EXPECT_GT(head, kTrials / 20);
+}
+
+TEST(SipHash, ReferenceVector) {
+  // Reference test vector from the SipHash paper (Appendix A):
+  // key = 000102...0f, input = 00 01 02 ... 0e (15 bytes).
+  SipHashKey key;
+  key.k0 = 0x0706050403020100ULL;
+  key.k1 = 0x0F0E0D0C0B0A0908ULL;
+  uint8_t msg[15];
+  for (int i = 0; i < 15; ++i) msg[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(SipHash24(key, Slice(msg, sizeof(msg))), 0xA129CA6149BE45E5ULL);
+}
+
+TEST(SipHash, KeySeparation) {
+  SipHashKey k1{1, 2}, k2{1, 3};
+  EXPECT_NE(SipHash24(k1, Slice("x")), SipHash24(k2, Slice("x")));
+}
+
+TEST(Fnv1a, KnownValues) {
+  EXPECT_EQ(Fnv1a64(Slice("")), 0xCBF29CE484222325ULL);
+  EXPECT_NE(Fnv1a64(Slice("a")), Fnv1a64(Slice("b")));
+}
+
+TEST(WideInt, U128Formatting) {
+  EXPECT_EQ(U128ToString(0), "0");
+  EXPECT_EQ(U128ToString(12345), "12345");
+  // 2^64 = 18446744073709551616
+  EXPECT_EQ(U128ToString(static_cast<u128>(1) << 64), "18446744073709551616");
+  EXPECT_EQ(I128ToString(static_cast<i128>(-5)), "-5");
+}
+
+TEST(Int256, AddSubNegate) {
+  Int256 a(static_cast<int64_t>(100));
+  Int256 b(static_cast<int64_t>(-30));
+  EXPECT_EQ((a + b).ToString(), "70");
+  EXPECT_EQ((a - b).ToString(), "130");
+  EXPECT_EQ((-a).ToString(), "-100");
+  EXPECT_TRUE((a + (-a)).is_zero());
+}
+
+TEST(Int256, Mul128FullProduct) {
+  const i128 a = static_cast<i128>(1) << 100;
+  const i128 b = 3;
+  EXPECT_EQ(Int256::Mul128(a, b).ToString(),
+            (Int256::FromU128(static_cast<u128>(1) << 100).MulSmall(3))
+                .ToString());
+  // (2^100)*(2^20) = 2^120 — still fits i128 for verification.
+  Int256 p = Int256::Mul128(static_cast<i128>(1) << 100,
+                            static_cast<i128>(1) << 20);
+  EXPECT_TRUE(p.FitsInI128());
+  EXPECT_EQ(p.ToI128(), static_cast<i128>(1) << 120);
+  // Negative signs.
+  EXPECT_EQ(Int256::Mul128(-5, 7).ToString(), "-35");
+  EXPECT_EQ(Int256::Mul128(-5, -7).ToString(), "35");
+}
+
+TEST(Int256, Mul128Beyond128Bits) {
+  // (2^100) * (2^100) = 2^200; verify via string of known value.
+  Int256 p = Int256::Mul128(static_cast<i128>(1) << 100,
+                            static_cast<i128>(1) << 100);
+  EXPECT_FALSE(p.FitsInI128());
+  // 2^200 = 1606938044258990275541962092341162602522202993782792835301376
+  EXPECT_EQ(p.ToString(),
+            "1606938044258990275541962092341162602522202993782792835301376");
+}
+
+TEST(Int256, DivSmallExactAndInexact) {
+  Int256 p = Int256::Mul128(static_cast<i128>(1) << 100, 9);
+  bool exact = false;
+  Int256 q = p.DivSmall(3, &exact);
+  EXPECT_TRUE(exact);
+  EXPECT_EQ(q.ToString(), Int256::Mul128(static_cast<i128>(1) << 100, 3).ToString());
+
+  Int256 r = Int256(static_cast<int64_t>(10)).DivSmall(3, &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_EQ(r.ToString(), "3");
+
+  // Negative division truncates toward zero.
+  Int256 neg = Int256(static_cast<int64_t>(-10)).DivSmall(3, &exact);
+  EXPECT_FALSE(exact);
+  EXPECT_EQ(neg.ToString(), "-3");
+}
+
+TEST(Int256, DivByWideDivisor) {
+  // Divisor wider than 64 bits exercises the bitwise long-division path.
+  const i128 wide = (static_cast<i128>(1) << 90) + 12345;
+  Int256 p = Int256::Mul128(wide, (static_cast<i128>(1) << 80) + 7);
+  bool exact = false;
+  Int256 q = p.DivSmall(wide, &exact);
+  EXPECT_TRUE(exact);
+  EXPECT_TRUE(q.FitsInI128());
+  EXPECT_EQ(q.ToI128(), (static_cast<i128>(1) << 80) + 7);
+}
+
+TEST(Int256, CompareOrdering) {
+  Int256 a(static_cast<int64_t>(-1));
+  Int256 b(static_cast<int64_t>(0));
+  Int256 c = Int256::Mul128(static_cast<i128>(1) << 100, 5);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_GT(c, a);
+  EXPECT_EQ(a, Int256(static_cast<int64_t>(-1)));
+}
+
+}  // namespace
+}  // namespace ssdb

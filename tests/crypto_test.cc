@@ -1,0 +1,205 @@
+// Unit tests for the crypto substrate: SHA-256 / AES-128 against published
+// test vectors, HMAC, PRF uniformity, OPE monotonicity.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/ope.h"
+#include "crypto/prf.h"
+#include "crypto/sha256.h"
+
+namespace ssdb {
+namespace {
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash(Slice(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash(Slice("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      Sha256::ToHex(Sha256::Hash(
+          Slice("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'x');
+  Sha256 h;
+  for (size_t off = 0; off < msg.size(); off += 37) {
+    const size_t take = std::min<size_t>(37, msg.size() - off);
+    h.Update(Slice(msg.data() + off, take));
+  }
+  EXPECT_EQ(Sha256::ToHex(h.Finalize()),
+            Sha256::ToHex(Sha256::Hash(Slice(msg))));
+}
+
+TEST(Aes128, Fips197Vector) {
+  // FIPS-197 Appendix C.1 style vector (128-bit key).
+  Aes128::Key key = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                     0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  uint8_t block[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                       0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const uint8_t expect[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                              0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes(key);
+  aes.EncryptBlock(block);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(block[i], expect[i]) << i;
+  aes.DecryptBlock(block);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(block[i], 0x11 * i) << i;
+}
+
+TEST(Aes128, EncryptDecryptRandomBlocks) {
+  Rng rng(11);
+  Aes128::Key key;
+  rng.FillBytes(key.data(), key.size());
+  Aes128 aes(key);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint8_t block[16], orig[16];
+    rng.FillBytes(block, sizeof(block));
+    memcpy(orig, block, sizeof(block));
+    aes.EncryptBlock(block);
+    EXPECT_NE(memcmp(block, orig, 16), 0);
+    aes.DecryptBlock(block);
+    EXPECT_EQ(memcmp(block, orig, 16), 0);
+  }
+}
+
+TEST(AesCtr, TransformIsInvolution) {
+  Rng rng(12);
+  Aes128::Key key;
+  rng.FillBytes(key.data(), key.size());
+  AesCtr ctr(key, /*nonce=*/0x1234);
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  auto enc = ctr.TransformCopy(Slice(msg));
+  EXPECT_NE(Slice(enc).ToString(), msg);
+  auto dec = ctr.TransformCopy(Slice(enc));
+  EXPECT_EQ(Slice(dec).ToString(), msg);
+}
+
+TEST(AesCtr, CounterOffsetsProduceDistinctStreams) {
+  Aes128::Key key = {};
+  AesCtr ctr(key, 7);
+  std::vector<uint8_t> zeros(32, 0);
+  auto a = ctr.TransformCopy(Slice(zeros), 0);
+  auto b = ctr.TransformCopy(Slice(zeros), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  // RFC 4231 test case 1.
+  std::string key(20, '\x0b');
+  const Sha256::Digest d = HmacSha256(Slice(key), Slice("Hi There"));
+  EXPECT_EQ(Sha256::ToHex(d),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Sha256::Digest d =
+      HmacSha256(Slice("Jefe"), Slice("what do ya want for nothing?"));
+  EXPECT_EQ(Sha256::ToHex(d),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  std::string long_key(131, '\xaa');
+  const Sha256::Digest d =
+      HmacSha256(Slice(long_key),
+                 Slice("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(Sha256::ToHex(d),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Prf, DeterministicAndKeySeparated) {
+  const Prf p1 = Prf::Derive(Slice("master"), Slice("col:a"));
+  const Prf p1b = Prf::Derive(Slice("master"), Slice("col:a"));
+  const Prf p2 = Prf::Derive(Slice("master"), Slice("col:b"));
+  EXPECT_EQ(p1.Eval64(42), p1b.Eval64(42));
+  EXPECT_NE(p1.Eval64(42), p2.Eval64(42));
+  EXPECT_NE(p1.Eval64(42, 0), p1.Eval64(42, 1));
+}
+
+TEST(Prf, UniformBounds) {
+  const Prf p(123, 456);
+  for (uint64_t m = 0; m < 2000; ++m) {
+    EXPECT_LT(p.EvalUniform(m, 0, 17), 17u);
+    EXPECT_LT(p.EvalUniform128(m, 0, 1000), static_cast<u128>(1000));
+  }
+}
+
+TEST(Prf, UniformLooksUniform) {
+  // chi-square style sanity check over 16 buckets.
+  const Prf p(99, 100);
+  int counts[16] = {0};
+  const int kSamples = 16000;
+  for (int m = 0; m < kSamples; ++m) {
+    counts[p.EvalUniform(static_cast<uint64_t>(m), 7, 16)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / 16 / 2);
+    EXPECT_LT(c, kSamples / 16 * 2);
+  }
+}
+
+TEST(Ope, MonotoneOverSequentialValues) {
+  const Prf prf(1, 2);
+  OrderPreservingEncryption ope(prf, /*plain_bits=*/16);
+  u128 prev = 0;
+  bool first = true;
+  for (uint64_t v = 0; v < 2000; ++v) {
+    auto c = ope.Encrypt(v);
+    ASSERT_TRUE(c.ok());
+    if (!first) {
+      EXPECT_GT(c.value(), prev) << "v=" << v;
+    }
+    prev = c.value();
+    first = false;
+  }
+}
+
+TEST(Ope, RoundTripRandomValues) {
+  const Prf prf(3, 4);
+  OrderPreservingEncryption ope(prf, /*plain_bits=*/40);
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t v = rng.Uniform(1ULL << 40);
+    auto c = ope.Encrypt(v);
+    ASSERT_TRUE(c.ok());
+    auto back = ope.Decrypt(c.value());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(Ope, RejectsOutOfDomain) {
+  const Prf prf(5, 6);
+  OrderPreservingEncryption ope(prf, 8);
+  EXPECT_TRUE(ope.Encrypt(256).status().IsOutOfRange());
+  EXPECT_TRUE(ope.Encrypt(255).ok());
+}
+
+TEST(Ope, ForgedCiphertextDetected) {
+  const Prf prf(7, 8);
+  OrderPreservingEncryption ope(prf, 16);
+  auto c = ope.Encrypt(1000);
+  ASSERT_TRUE(c.ok());
+  auto forged = ope.Decrypt(c.value() + 1);
+  // Either it maps to no plaintext (Corruption) or to a different one whose
+  // re-encryption differs — both must not silently return 1000.
+  if (forged.ok()) {
+    EXPECT_NE(forged.value(), 1000u);
+  }
+}
+
+TEST(Ope, KeysProduceDifferentCiphertexts) {
+  OrderPreservingEncryption a(Prf(1, 1), 24);
+  OrderPreservingEncryption b(Prf(2, 2), 24);
+  auto ca = a.Encrypt(12345);
+  auto cb = b.Encrypt(12345);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  EXPECT_NE(ca.value(), cb.value());
+}
+
+}  // namespace
+}  // namespace ssdb

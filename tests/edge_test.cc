@@ -1,0 +1,233 @@
+// Boundary and stress tests across modules: extreme thresholds, domain
+// edges, heavy index churn, aggregate corner cases, and Explain output.
+
+#include <gtest/gtest.h>
+
+#include "core/outsourced_db.h"
+#include "storage/btree.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+TEST(BTreeStress, HeavyChurnKeepsInvariants) {
+  BPlusTree tree;
+  Rng rng(101);
+  std::vector<std::pair<u128, uint64_t>> live;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      const u128 key = rng.Uniform(100000);
+      const uint64_t value = rng.Next();
+      tree.Insert(key, value);
+      live.emplace_back(key, value);
+    }
+    // Erase half the live set, randomly.
+    rng.Shuffle(&live);
+    const size_t keep = live.size() / 2;
+    for (size_t i = keep; i < live.size(); ++i) {
+      ASSERT_TRUE(tree.Erase(live[i].first, live[i].second));
+    }
+    live.resize(keep);
+    ASSERT_TRUE(tree.CheckInvariants()) << "round " << round;
+    ASSERT_EQ(tree.size(), live.size());
+  }
+}
+
+TEST(Shamir, MaximumFieldValues) {
+  Rng rng(102);
+  auto ctx = SharingContext::CreateRandom(3, 2, &rng);
+  ASSERT_TRUE(ctx.ok());
+  // Secrets at the field boundary round-trip.
+  for (uint64_t secret :
+       {uint64_t{0}, uint64_t{1}, uint64_t{Fp61::kP - 1}}) {
+    const auto shares = ctx->Split(Fp61::FromCanonical(secret), &rng);
+    auto r = ctx->Reconstruct({{0, shares[0]}, {2, shares[2]}});
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->value(), secret);
+  }
+}
+
+TEST(Shamir, KEqualsOneIsDegenerate) {
+  // k = 1 means the "polynomial" is the constant: every provider holds
+  // the secret. Mathematically valid, cryptographically useless — the
+  // library permits it (callers own the policy) and round-trips.
+  Rng rng(103);
+  auto ctx = SharingContext::CreateRandom(2, 1, &rng);
+  ASSERT_TRUE(ctx.ok());
+  const auto shares = ctx->Split(Fp61::FromU64(7), &rng);
+  EXPECT_EQ(shares[0].value(), 7u);
+  auto r = ctx->Reconstruct({{1, shares[1]}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value(), 7u);
+}
+
+TEST(OrderPreserving, SingleValueDomain) {
+  const Prf prf(1, 2);
+  auto scheme = OrderPreservingScheme::Create(prf, {5, 5}, 1, {1, 2});
+  ASSERT_TRUE(scheme.ok());
+  auto shares = scheme->ShareAll(5);
+  ASSERT_TRUE(shares.ok());
+  auto r = scheme->Reconstruct({{0, shares.value()[0]}, {1, shares.value()[1]}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_TRUE(scheme->Share(6, 0).status().IsOutOfRange());
+}
+
+TEST(OrderPreserving, RecursiveInvertSingle) {
+  const Prf prf(3, 4);
+  auto scheme = OrderPreservingScheme::Create(
+      prf, {-100, 100}, 2, {5, 9, 13}, OpSlotMode::kRecursive);
+  ASSERT_TRUE(scheme.ok());
+  for (int64_t v = -100; v <= 100; v += 17) {
+    auto s = scheme->Share(v, 1);
+    ASSERT_TRUE(s.ok());
+    auto back = scheme->InvertSingle(s.value(), 1);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(String27, MaxWidthBoundary) {
+  auto codec = String27::Create(12);
+  ASSERT_TRUE(codec.ok());
+  const std::string max(12, 'Z');
+  auto code = codec->Encode(max);
+  ASSERT_TRUE(code.ok());
+  // 27^12 - 1 must fit in the 60-bit sharing domain.
+  EXPECT_LT(static_cast<u128>(code.value()), static_cast<u128>(1) << 60);
+  EXPECT_EQ(codec->Decode(code.value()).value(), max);
+}
+
+TEST(Aggregates, MedianEvenAndOddCounts) {
+  OutsourcedDbOptions options;
+  options.n = 3;
+  options.client.k = 2;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {IntColumn("v", 0, 1000)};
+  ASSERT_TRUE(db->CreateTable(schema).ok());
+  ASSERT_TRUE(db->Insert("T", {{Value::Int(10)},
+                               {Value::Int(20)},
+                               {Value::Int(30)},
+                               {Value::Int(40)}})
+                  .ok());
+  // Even count: lower median.
+  auto even = db->Execute(Query::Select("T").Aggregate(AggregateOp::kMedian, "v"));
+  ASSERT_TRUE(even.ok());
+  EXPECT_EQ(even->aggregate_int, 20);
+  ASSERT_TRUE(db->Insert("T", {{Value::Int(50)}}).ok());
+  auto odd = db->Execute(Query::Select("T").Aggregate(AggregateOp::kMedian, "v"));
+  ASSERT_TRUE(odd.ok());
+  EXPECT_EQ(odd->aggregate_int, 30);
+}
+
+TEST(Aggregates, MinWithTiesReturnsAllTiedRows) {
+  OutsourcedDbOptions options;
+  options.n = 3;
+  options.client.k = 2;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {StringColumn("who", 4), IntColumn("v", 0, 1000)};
+  ASSERT_TRUE(db->CreateTable(schema).ok());
+  ASSERT_TRUE(db->Insert("T", {{Value::Str("A"), Value::Int(5)},
+                               {Value::Str("B"), Value::Int(5)},
+                               {Value::Str("C"), Value::Int(9)}})
+                  .ok());
+  auto r = db->Execute(Query::Select("T").Aggregate(AggregateOp::kMin, "v"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->aggregate_int, 5);
+  EXPECT_EQ(r->rows.size(), 2u);  // both tied rows returned
+}
+
+TEST(Aggregates, EmptyMatchSets) {
+  OutsourcedDbOptions options;
+  options.n = 3;
+  options.client.k = 2;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  auto sum = db->Execute(Query::Select("Employees")
+                             .Where(Eq("dept", Value::Int(3)))
+                             .Aggregate(AggregateOp::kSum, "salary"));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->aggregate_int, 0);
+  EXPECT_EQ(sum->count, 0u);
+  auto mn = db->Execute(Query::Select("Employees")
+                            .Aggregate(AggregateOp::kMin, "salary"));
+  ASSERT_TRUE(mn.ok());
+  EXPECT_TRUE(mn->rows.empty());
+  auto grouped = db->Execute(Query::Select("Employees")
+                                 .Aggregate(AggregateOp::kSum, "salary")
+                                 .GroupBy("dept"));
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_TRUE(grouped->groups.empty());
+}
+
+TEST(Aggregates, SumAtDomainScaleStaysExact) {
+  // SUM is exact while the sum of offsets stays below 2^61-1; verify a
+  // case safely under the bound with large values.
+  OutsourcedDbOptions options;
+  options.n = 3;
+  options.client.k = 2;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  TableSchema schema;
+  schema.table_name = "Big";
+  const int64_t big = (1LL << 55);
+  schema.columns = {IntColumn("v", 0, big)};
+  ASSERT_TRUE(db->CreateTable(schema).ok());
+  std::vector<std::vector<Value>> rows;
+  for (int i = 0; i < 30; ++i) rows.push_back({Value::Int(big - i)});
+  ASSERT_TRUE(db->Insert("Big", rows).ok());
+  auto sum = db->Execute(Query::Select("Big").Aggregate(AggregateOp::kSum, "v"));
+  ASSERT_TRUE(sum.ok());
+  int64_t expect = 0;
+  for (int i = 0; i < 30; ++i) expect += big - i;
+  EXPECT_EQ(sum->aggregate_int, expect);
+}
+
+TEST(Explain, RendersPlan) {
+  OutsourcedDbOptions options;
+  options.n = 4;
+  options.client.k = 2;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  auto plan = db->Explain(Query::Select("Employees")
+                              .Where(Eq("name", Value::Str("JOHN")))
+                              .Where(Between("salary", Value::Int(1),
+                                             Value::Int(2)))
+                              .Where(Prefix("name", "JO"))
+                              .Aggregate(AggregateOp::kSum, "salary"));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("deterministic shares"), std::string::npos);
+  EXPECT_NE(plan->find("order-preserving shares"), std::string::npos);
+  EXPECT_NE(plan->find("base-27"), std::string::npos);
+  EXPECT_NE(plan->find("PartialSum(provider-side)"), std::string::npos);
+  EXPECT_NE(plan->find("read quorum: 2 of 4"), std::string::npos);
+
+  auto bad = db->Explain(Query::Select("Nope"));
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST(Network, ManyProvidersMaxConfig) {
+  // n = 64, k = 32: still correct, just heavier.
+  OutsourcedDbOptions options;
+  options.n = 64;
+  options.client.k = 32;
+  auto db_r = OutsourcedDatabase::Create(options);
+  ASSERT_TRUE(db_r.ok());
+  auto& db = *db_r.value();
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {IntColumn("v", 0, 100)};
+  ASSERT_TRUE(db.CreateTable(schema).ok());
+  ASSERT_TRUE(db.Insert("T", {{Value::Int(50)}}).ok());
+  auto r = db.Execute(
+      Query::Select("T").Where(Between("v", Value::Int(0), Value::Int(100))));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 50);
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -1,0 +1,224 @@
+// Unit tests for F_{2^61-1} arithmetic and polynomial machinery.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "field/fp61.h"
+#include "field/linalg.h"
+#include "field/poly.h"
+
+namespace ssdb {
+namespace {
+
+TEST(Fp61, CanonicalReduction) {
+  EXPECT_EQ(Fp61::FromU64(0).value(), 0u);
+  EXPECT_EQ(Fp61::FromU64(Fp61::kP).value(), 0u);
+  EXPECT_EQ(Fp61::FromU64(Fp61::kP + 5).value(), 5u);
+  EXPECT_EQ(Fp61::FromU64(~0ULL).value(), (~0ULL % Fp61::kP));
+}
+
+TEST(Fp61, AddSubRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const Fp61 a = Fp61::FromU64(rng.Next());
+    const Fp61 b = Fp61::FromU64(rng.Next());
+    EXPECT_EQ((a + b - b).value(), a.value());
+    EXPECT_EQ((a - a).value(), 0u);
+    EXPECT_EQ((a + (-a)).value(), 0u);
+  }
+}
+
+TEST(Fp61, MulMatchesWideReference) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t a = rng.Uniform(Fp61::kP);
+    const uint64_t b = rng.Uniform(Fp61::kP);
+    const u128 ref = static_cast<u128>(a) * b % Fp61::kP;
+    EXPECT_EQ((Fp61::FromCanonical(a) * Fp61::FromCanonical(b)).value(),
+              static_cast<uint64_t>(ref));
+  }
+}
+
+TEST(Fp61, InverseIsMultiplicativeInverse) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Fp61 a = Fp61::FromU64(rng.Uniform(Fp61::kP - 1) + 1);
+    auto inv = a.Inverse();
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ((a * inv.value()).value(), 1u);
+  }
+}
+
+TEST(Fp61, InverseOfZeroFails) {
+  EXPECT_FALSE(Fp61().Inverse().ok());
+}
+
+TEST(Fp61, PowMatchesRepeatedMultiply) {
+  const Fp61 base = Fp61::FromU64(123456789);
+  Fp61 acc = Fp61::FromCanonical(1);
+  for (uint64_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(base.Pow(e).value(), acc.value()) << "e=" << e;
+    acc *= base;
+  }
+}
+
+TEST(FpPoly, EvalHorner) {
+  // q(x) = 7 + 3x + 2x^2
+  FpPoly q({Fp61::FromU64(7), Fp61::FromU64(3), Fp61::FromU64(2)});
+  EXPECT_EQ(q.Eval(Fp61()).value(), 7u);
+  EXPECT_EQ(q.Eval(Fp61::FromU64(1)).value(), 12u);
+  EXPECT_EQ(q.Eval(Fp61::FromU64(10)).value(), 7u + 30u + 200u);
+}
+
+TEST(FpPoly, PaperExamplePolynomials) {
+  // Figure 1: q10(x)=100x+10 at X={2,4,1} -> {210, 410, 110}.
+  FpPoly q10({Fp61::FromU64(10), Fp61::FromU64(100)});
+  EXPECT_EQ(q10.Eval(Fp61::FromU64(2)).value(), 210u);
+  EXPECT_EQ(q10.Eval(Fp61::FromU64(4)).value(), 410u);
+  EXPECT_EQ(q10.Eval(Fp61::FromU64(1)).value(), 110u);
+}
+
+TEST(Lagrange, RecoversConstantTerm) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t k = 1 + rng.Uniform(6);
+    std::vector<Fp61> coeffs(k);
+    for (auto& c : coeffs) c = Fp61::FromU64(rng.Next());
+    FpPoly q(coeffs);
+    std::vector<FpPoint> pts;
+    for (size_t i = 0; i < k; ++i) {
+      const Fp61 x = Fp61::FromU64(i + 1 + rng.Uniform(100) * 7919);
+      // ensure distinct
+      bool dup = false;
+      for (const auto& p : pts) dup |= (p.x == x);
+      if (dup) {
+        pts.push_back(FpPoint{Fp61::FromU64(1000000 + i), Fp61()});
+        pts.back().y = q.Eval(pts.back().x);
+        continue;
+      }
+      pts.push_back(FpPoint{x, q.Eval(x)});
+    }
+    auto r = LagrangeAtZero(pts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().value(), coeffs[0].value());
+  }
+}
+
+TEST(Lagrange, RejectsZeroAndDuplicateX) {
+  std::vector<FpPoint> with_zero = {{Fp61(), Fp61::FromU64(5)}};
+  EXPECT_FALSE(LagrangeAtZero(with_zero).ok());
+
+  std::vector<FpPoint> dup = {{Fp61::FromU64(3), Fp61::FromU64(5)},
+                              {Fp61::FromU64(3), Fp61::FromU64(6)}};
+  EXPECT_FALSE(LagrangeAtZero(dup).ok());
+
+  EXPECT_FALSE(LagrangeAtZero({}).ok());
+}
+
+TEST(Lagrange, BasisMatchesDirect) {
+  Rng rng(5);
+  std::vector<Fp61> xs = {Fp61::FromU64(2), Fp61::FromU64(4),
+                          Fp61::FromU64(9)};
+  auto basis = LagrangeBasisAtZero(xs);
+  ASSERT_TRUE(basis.ok());
+  FpPoly q({Fp61::FromU64(42), Fp61::FromU64(17), Fp61::FromU64(99)});
+  Fp61 acc;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    acc += basis.value()[i] * q.Eval(xs[i]);
+  }
+  EXPECT_EQ(acc.value(), 42u);
+}
+
+TEST(Interpolate, RecoversFullPolynomial) {
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t k = 1 + rng.Uniform(5);
+    std::vector<Fp61> coeffs(k);
+    for (auto& c : coeffs) c = Fp61::FromU64(rng.Next());
+    FpPoly q(coeffs);
+    std::vector<FpPoint> pts;
+    for (size_t i = 0; i < k; ++i) {
+      const Fp61 x = Fp61::FromU64(1 + i * 37 + trial);
+      pts.push_back(FpPoint{x, q.Eval(x)});
+    }
+    auto r = Interpolate(pts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r.value().coeffs().size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(r.value().coeffs()[i].value(), coeffs[i].value());
+    }
+  }
+}
+
+TEST(Interpolate, DetectsInconsistencyViaEval) {
+  // Interpolate 3 points of a line; a 4th off-line point must not fit.
+  FpPoly line({Fp61::FromU64(5), Fp61::FromU64(3)});
+  std::vector<FpPoint> pts;
+  for (uint64_t x = 1; x <= 3; ++x) {
+    pts.push_back({Fp61::FromU64(x), line.Eval(Fp61::FromU64(x))});
+  }
+  auto r = Interpolate(pts);
+  ASSERT_TRUE(r.ok());
+  // Degree should collapse: coefficients beyond degree 1 are zero.
+  EXPECT_EQ(r.value().coeffs()[2].value(), 0u);
+  const Fp61 x4 = Fp61::FromU64(10);
+  EXPECT_EQ(r.value().Eval(x4).value(), line.Eval(x4).value());
+}
+
+TEST(Linalg, SolvesRandomSystems) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 1 + rng.Uniform(8);
+    // Build A and a known solution x; compute b = A x; solve; compare.
+    FpMatrix a(n);
+    std::vector<Fp61> x(n);
+    for (auto& v : x) v = Fp61::FromU64(rng.Next());
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a.at(i, j) = Fp61::FromU64(rng.Next());
+    }
+    std::vector<Fp61> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x[j];
+    }
+    auto solved = SolveLinearSystem(a, b);
+    // A random matrix over a 2^61 field is singular with negligible
+    // probability.
+    ASSERT_TRUE(solved.ok()) << solved.status().ToString();
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(solved.value()[j].value(), x[j].value());
+    }
+  }
+}
+
+TEST(Linalg, DetectsSingularMatrix) {
+  FpMatrix a(2);
+  a.at(0, 0) = Fp61::FromU64(1);
+  a.at(0, 1) = Fp61::FromU64(2);
+  a.at(1, 0) = Fp61::FromU64(2);
+  a.at(1, 1) = Fp61::FromU64(4);  // row 1 = 2 * row 0
+  auto r = SolveLinearSystem(a, {Fp61::FromU64(1), Fp61::FromU64(1)});
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(Linalg, PivotingHandlesZeroDiagonal) {
+  FpMatrix a(2);
+  a.at(0, 0) = Fp61();  // zero pivot forces a row swap
+  a.at(0, 1) = Fp61::FromU64(3);
+  a.at(1, 0) = Fp61::FromU64(5);
+  a.at(1, 1) = Fp61::FromU64(1);
+  // x = (2, 7): b0 = 21, b1 = 17.
+  auto r = SolveLinearSystem(a, {Fp61::FromU64(21), Fp61::FromU64(17)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].value(), 2u);
+  EXPECT_EQ(r.value()[1].value(), 7u);
+}
+
+TEST(Linalg, DimensionMismatchRejected) {
+  FpMatrix a(2);
+  EXPECT_TRUE(SolveLinearSystem(a, {Fp61::FromU64(1)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -1,0 +1,271 @@
+// Randomized end-to-end property tests: the outsourced database must
+// answer exactly like a plaintext reference model under random workloads
+// of inserts, updates, deletes, and every query class — across n/k
+// configurations, update modes, and both order-preserving constructions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/outsourced_db.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+struct PlainRow {
+  std::string name;
+  int64_t salary;
+  int64_t dept;
+};
+
+/// A naive, obviously-correct reference database.
+class ReferenceDb {
+ public:
+  void Insert(const PlainRow& row) { rows_.push_back(row); }
+
+  size_t UpdateSalary(int64_t dept, int64_t new_salary) {
+    size_t n = 0;
+    for (auto& r : rows_) {
+      if (r.dept == dept) {
+        r.salary = new_salary;
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  size_t DeleteDept(int64_t dept) {
+    const size_t before = rows_.size();
+    rows_.erase(std::remove_if(rows_.begin(), rows_.end(),
+                               [&](const PlainRow& r) { return r.dept == dept; }),
+                rows_.end());
+    return before - rows_.size();
+  }
+
+  std::multiset<int64_t> SalariesInRange(int64_t lo, int64_t hi) const {
+    std::multiset<int64_t> out;
+    for (const auto& r : rows_) {
+      if (r.salary >= lo && r.salary <= hi) out.insert(r.salary);
+    }
+    return out;
+  }
+
+  std::multiset<std::string> NamesEq(const std::string& name) const {
+    std::multiset<std::string> out;
+    for (const auto& r : rows_) {
+      if (r.name == name) out.insert(r.name);
+    }
+    return out;
+  }
+
+  int64_t SumInRange(int64_t lo, int64_t hi, uint64_t* count) const {
+    int64_t sum = 0;
+    *count = 0;
+    for (const auto& r : rows_) {
+      if (r.salary >= lo && r.salary <= hi) {
+        sum += r.salary;
+        ++*count;
+      }
+    }
+    return sum;
+  }
+
+  bool MinMaxMedian(int64_t* mn, int64_t* mx, int64_t* med) const {
+    if (rows_.empty()) return false;
+    std::vector<int64_t> s;
+    for (const auto& r : rows_) s.push_back(r.salary);
+    std::sort(s.begin(), s.end());
+    *mn = s.front();
+    *mx = s.back();
+    *med = s[(s.size() - 1) / 2];
+    return true;
+  }
+
+  std::multiset<std::string> NamesWithPrefix(const std::string& prefix) const {
+    std::multiset<std::string> out;
+    for (const auto& r : rows_) {
+      if (r.name.size() >= prefix.size() &&
+          r.name.compare(0, prefix.size(), prefix) == 0) {
+        out.insert(r.name);
+      }
+    }
+    return out;
+  }
+
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<PlainRow> rows_;
+};
+
+struct Config {
+  size_t n;
+  size_t k;
+  bool lazy;
+  OpSlotMode mode;
+};
+
+class RandomWorkload : public ::testing::TestWithParam<Config> {};
+
+TEST_P(RandomWorkload, MatchesReferenceModel) {
+  const Config config = GetParam();
+  OutsourcedDbOptions options;
+  options.n = config.n;
+  options.client.k = config.k;
+  options.client.lazy_updates = config.lazy;
+  options.client.op_mode = config.mode;
+  auto db_r = OutsourcedDatabase::Create(options);
+  ASSERT_TRUE(db_r.ok());
+  auto& db = *db_r.value();
+
+  TableSchema schema;
+  schema.table_name = "T";
+  schema.columns = {StringColumn("name", 6),
+                    IntColumn("salary", 0, 100000),
+                    IntColumn("dept", 0, 20)};
+  ASSERT_TRUE(db.CreateTable(schema).ok());
+
+  ReferenceDb ref;
+  Rng rng(config.n * 1000 + config.k * 10 + (config.lazy ? 1 : 0));
+  NameGenerator names(42);
+
+  for (int step = 0; step < 120; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.45 || ref.size() == 0) {
+      // Insert a small batch.
+      const size_t batch = 1 + rng.Uniform(4);
+      std::vector<std::vector<Value>> rows;
+      for (size_t i = 0; i < batch; ++i) {
+        PlainRow row{names.Next(6), rng.UniformInt(0, 100000),
+                     rng.UniformInt(0, 20)};
+        ref.Insert(row);
+        rows.push_back({Value::Str(row.name), Value::Int(row.salary),
+                        Value::Int(row.dept)});
+      }
+      ASSERT_TRUE(db.Insert("T", rows).ok());
+    } else if (dice < 0.55) {
+      const int64_t dept = rng.UniformInt(0, 20);
+      const int64_t new_salary = rng.UniformInt(0, 100000);
+      auto updated = db.Update("T", {Eq("dept", Value::Int(dept))}, "salary",
+                               Value::Int(new_salary));
+      ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+      EXPECT_EQ(*updated, ref.UpdateSalary(dept, new_salary)) << "step " << step;
+    } else if (dice < 0.62) {
+      const int64_t dept = rng.UniformInt(0, 20);
+      auto deleted = db.Delete("T", {Eq("dept", Value::Int(dept))});
+      ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+      EXPECT_EQ(*deleted, ref.DeleteDept(dept)) << "step " << step;
+    } else if (dice < 0.75) {
+      // Range query.
+      int64_t lo = rng.UniformInt(0, 100000), hi = rng.UniformInt(0, 100000);
+      if (lo > hi) std::swap(lo, hi);
+      auto r = db.Execute(Query::Select("T").Where(
+          Between("salary", Value::Int(lo), Value::Int(hi))));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      std::multiset<int64_t> got;
+      for (const auto& row : r->rows) got.insert(row[1].AsInt());
+      EXPECT_EQ(got, ref.SalariesInRange(lo, hi)) << "step " << step;
+    } else if (dice < 0.85) {
+      // Sum aggregate.
+      int64_t lo = rng.UniformInt(0, 100000), hi = rng.UniformInt(0, 100000);
+      if (lo > hi) std::swap(lo, hi);
+      auto r = db.Execute(Query::Select("T")
+                              .Where(Between("salary", Value::Int(lo),
+                                             Value::Int(hi)))
+                              .Aggregate(AggregateOp::kSum, "salary"));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      uint64_t ref_count = 0;
+      const int64_t ref_sum = ref.SumInRange(lo, hi, &ref_count);
+      EXPECT_EQ(r->aggregate_int, ref_sum) << "step " << step;
+      EXPECT_EQ(r->count, ref_count) << "step " << step;
+    } else if (dice < 0.93) {
+      // Min/Max/Median.
+      int64_t mn, mx, med;
+      if (!ref.MinMaxMedian(&mn, &mx, &med)) continue;
+      auto rmin =
+          db.Execute(Query::Select("T").Aggregate(AggregateOp::kMin, "salary"));
+      auto rmax =
+          db.Execute(Query::Select("T").Aggregate(AggregateOp::kMax, "salary"));
+      auto rmed = db.Execute(
+          Query::Select("T").Aggregate(AggregateOp::kMedian, "salary"));
+      ASSERT_TRUE(rmin.ok() && rmax.ok() && rmed.ok());
+      EXPECT_EQ(rmin->aggregate_int, mn) << "step " << step;
+      EXPECT_EQ(rmax->aggregate_int, mx) << "step " << step;
+      EXPECT_EQ(rmed->aggregate_int, med) << "step " << step;
+    } else {
+      // Prefix query.
+      const std::string probe = names.Next(6).substr(0, 2);
+      auto r = db.Execute(Query::Select("T").Where(Prefix("name", probe)));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      std::multiset<std::string> got;
+      for (const auto& row : r->rows) got.insert(row[0].AsString());
+      EXPECT_EQ(got, ref.NamesWithPrefix(probe)) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(db.Flush().ok());
+  // Final full-state check.
+  auto all = db.Execute(Query::Select("T"));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RandomWorkload,
+    ::testing::Values(Config{3, 2, false, OpSlotMode::kPaperSlots},
+                      Config{4, 2, true, OpSlotMode::kPaperSlots},
+                      Config{5, 4, false, OpSlotMode::kPaperSlots},
+                      Config{5, 5, false, OpSlotMode::kPaperSlots},
+                      Config{4, 3, true, OpSlotMode::kRecursive},
+                      Config{7, 2, false, OpSlotMode::kRecursive}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      const Config& c = info.param;
+      return "n" + std::to_string(c.n) + "k" + std::to_string(c.k) +
+             (c.lazy ? "lazy" : "eager") +
+             (c.mode == OpSlotMode::kRecursive ? "Rec" : "Slots");
+    });
+
+TEST(RandomFailures, QueriesSurviveRandomFailureChurn) {
+  // Queries keep answering correctly while failure modes churn randomly,
+  // as long as k healthy providers remain reachable.
+  OutsourcedDbOptions options;
+  options.n = 6;
+  options.client.k = 2;
+  auto db_r = OutsourcedDatabase::Create(options);
+  ASSERT_TRUE(db_r.ok());
+  auto& db = *db_r.value();
+  ASSERT_TRUE(db.CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  EmployeeGenerator gen(5, Distribution::kUniform);
+  const auto rows = gen.Rows(500);
+  ASSERT_TRUE(db.Insert("Employees", rows).ok());
+
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    // Randomly fail up to n-k providers (down or corrupting).
+    db.HealAll();
+    std::vector<size_t> order = {0, 1, 2, 3, 4, 5};
+    rng.Shuffle(&order);
+    const size_t failures = rng.Uniform(5);  // 0..4 <= n-k
+    for (size_t i = 0; i < failures; ++i) {
+      db.InjectFailure(order[i], rng.Bernoulli(0.5)
+                                     ? FailureMode::kDown
+                                     : FailureMode::kCorruptResponse);
+    }
+    const int64_t lo = rng.UniformInt(0, 150000);
+    auto r = db.Execute(Query::Select("Employees")
+                            .Where(Between("salary", Value::Int(lo),
+                                           Value::Int(lo + 20000))));
+    ASSERT_TRUE(r.ok()) << "round " << round << ": " << r.status().ToString();
+    size_t expect = 0;
+    for (const auto& row : rows) {
+      const int64_t s = row[1].AsInt();
+      if (s >= lo && s <= lo + 20000) ++expect;
+    }
+    EXPECT_EQ(r->rows.size(), expect) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -1,0 +1,208 @@
+// Tests for the SQL front-end: parsing and end-to-end execution.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "client/sql.h"
+#include "core/outsourced_db.h"
+
+namespace ssdb {
+namespace {
+
+// --- Pure parsing -----------------------------------------------------------
+
+TEST(SqlParse, SelectStarWithConjuncts) {
+  auto cmd = ParseSql(
+      "SELECT * FROM Employees WHERE salary BETWEEN 10000 AND 40000 "
+      "AND dept = 2;");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  EXPECT_EQ(cmd->kind, SqlCommand::Kind::kSelect);
+  EXPECT_EQ(cmd->query.table(), "Employees");
+  ASSERT_EQ(cmd->query.predicates().size(), 2u);
+  EXPECT_EQ(cmd->query.predicates()[0].kind, Predicate::Kind::kBetween);
+  EXPECT_EQ(cmd->query.predicates()[0].lo, Value::Int(10000));
+  EXPECT_EQ(cmd->query.predicates()[1].kind, Predicate::Kind::kEq);
+  EXPECT_EQ(cmd->query.predicates()[1].eq, Value::Int(2));
+  EXPECT_TRUE(cmd->query.projection().empty());
+}
+
+TEST(SqlParse, ProjectionAndStrings) {
+  auto cmd = ParseSql("SELECT name, salary FROM Employees WHERE name = 'JOHN'");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->query.projection(),
+            (std::vector<std::string>{"name", "salary"}));
+  EXPECT_EQ(cmd->query.predicates()[0].eq, Value::Str("JOHN"));
+}
+
+TEST(SqlParse, Aggregates) {
+  auto sum = ParseSql("SELECT SUM(salary) FROM Employees GROUP BY dept");
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(sum->query.aggregate(), AggregateOp::kSum);
+  EXPECT_EQ(sum->query.aggregate_column(), "salary");
+  EXPECT_EQ(sum->query.group_by(), "dept");
+
+  auto count = ParseSql("SELECT COUNT(*) FROM Employees");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->query.aggregate(), AggregateOp::kCount);
+
+  auto med = ParseSql("select median(salary) from Employees");
+  ASSERT_TRUE(med.ok());  // keywords are case-insensitive
+  EXPECT_EQ(med->query.aggregate(), AggregateOp::kMedian);
+}
+
+TEST(SqlParse, LikePrefixAndOrGroup) {
+  auto cmd = ParseSql(
+      "SELECT * FROM Employees WHERE dept = 1 AND "
+      "(name LIKE 'AB%' OR name = 'ZOE')");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  ASSERT_EQ(cmd->query.predicates().size(), 1u);
+  ASSERT_EQ(cmd->query.disjuncts().size(), 2u);
+  EXPECT_EQ(cmd->query.disjuncts()[0].kind, Predicate::Kind::kPrefix);
+  EXPECT_EQ(cmd->query.disjuncts()[0].prefix, "AB");
+}
+
+TEST(SqlParse, UpdateAndDelete) {
+  auto upd = ParseSql("UPDATE Employees SET salary = 99000 WHERE name = 'JOHN'");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd->kind, SqlCommand::Kind::kUpdate);
+  EXPECT_EQ(upd->table, "Employees");
+  EXPECT_EQ(upd->set_column, "salary");
+  EXPECT_EQ(upd->set_value, Value::Int(99000));
+  ASSERT_EQ(upd->where.size(), 1u);
+
+  auto del = ParseSql("DELETE FROM Employees WHERE dept = 2");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->kind, SqlCommand::Kind::kDelete);
+}
+
+TEST(SqlParse, QuotedQuoteAndNegativeNumber) {
+  auto cmd = ParseSql("SELECT * FROM T WHERE name = 'O''HARA' AND x = -5");
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd->query.predicates()[0].eq, Value::Str("O'HARA"));
+  EXPECT_EQ(cmd->query.predicates()[1].eq, Value::Int(-5));
+}
+
+TEST(SqlParse, Errors) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("DROP TABLE x").ok());
+  EXPECT_FALSE(ParseSql("SELECT FROM T").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM T WHERE").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM T WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM T extra junk").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM T WHERE a LIKE '%suffix'").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM T WHERE a BETWEEN 1").ok());
+  EXPECT_FALSE(
+      ParseSql("SELECT * FROM T WHERE (a = 1 OR b = 2) AND (c = 3 OR d = 4)")
+          .ok());
+  EXPECT_FALSE(ParseSql("SELECT SUM(a), b FROM T").ok());
+  EXPECT_FALSE(ParseSql("SELECT * FROM T WHERE a ! 3").ok());
+}
+
+// --- End-to-end through the engine --------------------------------------------
+
+class SqlEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    OutsourcedDbOptions options;
+    options.n = 4;
+    options.client.k = 2;
+    db_ = std::move(OutsourcedDatabase::Create(options)).value();
+    TableSchema schema;
+    schema.table_name = "Employees";
+    schema.columns = {
+        StringColumn("name", 8),
+        IntColumn("salary", 0, 1'000'000),
+        IntColumn("dept", 0, 100),
+    };
+    ASSERT_TRUE(db_->CreateTable(schema).ok());
+    ASSERT_TRUE(
+        db_->Insert("Employees",
+                    {
+                        {Value::Str("JOHN"), Value::Int(20000), Value::Int(1)},
+                        {Value::Str("ALICE"), Value::Int(35000), Value::Int(1)},
+                        {Value::Str("BOB"), Value::Int(50000), Value::Int(2)},
+                        {Value::Str("ABEL"), Value::Int(10000), Value::Int(2)},
+                    })
+            .ok());
+  }
+
+  std::unique_ptr<OutsourcedDatabase> db_;
+};
+
+TEST_F(SqlEndToEnd, PaperQueriesVerbatim) {
+  // §III query classes, phrased as SQL.
+  auto exact =
+      db_->ExecuteSql("SELECT * FROM Employees WHERE name = 'JOHN'");
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  ASSERT_EQ(exact->rows.size(), 1u);
+  EXPECT_EQ(exact->rows[0][1].AsInt(), 20000);
+
+  auto range = db_->ExecuteSql(
+      "SELECT * FROM Employees WHERE salary BETWEEN 10000 AND 40000");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->rows.size(), 3u);
+
+  auto avg = db_->ExecuteSql(
+      "SELECT AVG(salary) FROM Employees WHERE salary BETWEEN 10000 AND "
+      "40000");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->aggregate_double, (20000 + 35000 + 10000) / 3.0);
+}
+
+TEST_F(SqlEndToEnd, ProjectionPrefixGroupBy) {
+  auto prefix =
+      db_->ExecuteSql("SELECT name FROM Employees WHERE name LIKE 'A%'");
+  ASSERT_TRUE(prefix.ok()) << prefix.status().ToString();
+  std::multiset<std::string> names;
+  for (const auto& row : prefix->rows) {
+    ASSERT_EQ(row.size(), 1u);
+    names.insert(row[0].AsString());
+  }
+  EXPECT_EQ(names, (std::multiset<std::string>{"ALICE", "ABEL"}));
+
+  auto grouped =
+      db_->ExecuteSql("SELECT SUM(salary) FROM Employees GROUP BY dept");
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->groups.size(), 2u);
+  int64_t total = 0;
+  for (const auto& g : grouped->groups) total += g.sum;
+  EXPECT_EQ(total, 115000);
+}
+
+TEST_F(SqlEndToEnd, OrGroupExecutes) {
+  auto r = db_->ExecuteSql(
+      "SELECT * FROM Employees WHERE (name = 'JOHN' OR salary BETWEEN "
+      "45000 AND 60000)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);  // JOHN + BOB
+}
+
+TEST_F(SqlEndToEnd, UpdateAndDeleteStatements) {
+  auto upd = db_->ExecuteSql(
+      "UPDATE Employees SET salary = 77000 WHERE dept = 1");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(upd->count, 2u);
+  auto check = db_->ExecuteSql(
+      "SELECT COUNT(*) FROM Employees WHERE salary = 77000");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ(check->count, 2u);
+
+  auto del = db_->ExecuteSql("DELETE FROM Employees WHERE salary = 77000");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->count, 2u);
+  auto remaining = db_->ExecuteSql("SELECT * FROM Employees");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(remaining->rows.size(), 2u);
+}
+
+TEST_F(SqlEndToEnd, SemanticErrorsSurface) {
+  EXPECT_FALSE(db_->ExecuteSql("SELECT * FROM Nope").ok());
+  EXPECT_FALSE(db_->ExecuteSql("SELECT * FROM Employees WHERE nope = 1").ok());
+  // Type mismatch: string column compared to int.
+  EXPECT_FALSE(
+      db_->ExecuteSql("SELECT * FROM Employees WHERE name = 5").ok());
+}
+
+}  // namespace
+}  // namespace ssdb

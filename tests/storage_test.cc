@@ -1,0 +1,240 @@
+// Unit and property tests for the provider storage: B+-tree and share
+// tables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "storage/btree.h"
+#include "storage/share_table.h"
+
+namespace ssdb {
+namespace {
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Range(0, ~static_cast<u128>(0)).empty());
+  u128 k;
+  uint64_t v;
+  EXPECT_FALSE(tree.MinInRange(0, 100, &k, &v));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, InsertAndPointLookup) {
+  BPlusTree tree;
+  for (uint64_t i = 0; i < 500; ++i) tree.Insert(i * 3, i);
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.Equal(300), std::vector<uint64_t>{100});
+  EXPECT_TRUE(tree.Equal(301).empty());
+}
+
+TEST(BPlusTree, RangeMatchesReferenceModel) {
+  // Property test: random inserts/erases mirrored into a std::multimap,
+  // then random range scans compared.
+  Rng rng(21);
+  BPlusTree tree;
+  std::multimap<u128, uint64_t> model;
+  for (int op = 0; op < 5000; ++op) {
+    const u128 key = rng.Uniform(1000);
+    const uint64_t value = rng.Uniform(50);
+    if (rng.Bernoulli(0.7) || model.empty()) {
+      tree.Insert(key, value);
+      model.emplace(key, value);
+    } else {
+      // Erase a random existing entry.
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.Uniform(model.size())));
+      EXPECT_TRUE(tree.Erase(it->first, it->second));
+      model.erase(it);
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  for (int q = 0; q < 200; ++q) {
+    u128 lo = rng.Uniform(1000);
+    u128 hi = rng.Uniform(1000);
+    if (lo > hi) std::swap(lo, hi);
+    std::multiset<uint64_t> expect;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi; ++it) {
+      expect.insert(it->second);
+    }
+    const std::vector<uint64_t> got_v = tree.Range(lo, hi);
+    const std::multiset<uint64_t> got(got_v.begin(), got_v.end());
+    EXPECT_EQ(got, expect) << "range [" << U128ToString(lo) << ", "
+                           << U128ToString(hi) << "]";
+  }
+}
+
+TEST(BPlusTree, ScanIsKeyOrdered) {
+  Rng rng(22);
+  BPlusTree tree;
+  for (int i = 0; i < 3000; ++i) tree.Insert(rng.Next(), i);
+  u128 prev = 0;
+  bool first = true;
+  tree.Scan(0, ~static_cast<u128>(0), [&](u128 k, uint64_t) {
+    if (!first) EXPECT_GE(k, prev);
+    prev = k;
+    first = false;
+    return true;
+  });
+}
+
+TEST(BPlusTree, DuplicateKeysAllKept) {
+  BPlusTree tree;
+  for (uint64_t v = 0; v < 200; ++v) tree.Insert(42, v);
+  EXPECT_EQ(tree.Equal(42).size(), 200u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // Erase specific (key, value) pairs.
+  EXPECT_TRUE(tree.Erase(42, 100));
+  EXPECT_FALSE(tree.Erase(42, 100));
+  EXPECT_EQ(tree.Equal(42).size(), 199u);
+}
+
+TEST(BPlusTree, MinMaxCountInRange) {
+  BPlusTree tree;
+  for (uint64_t i = 10; i <= 100; i += 10) tree.Insert(i, i * 2);
+  u128 key;
+  uint64_t value;
+  ASSERT_TRUE(tree.MinInRange(25, 95, &key, &value));
+  EXPECT_EQ(key, static_cast<u128>(30));
+  EXPECT_EQ(value, 60u);
+  ASSERT_TRUE(tree.MaxInRange(25, 95, &key, &value));
+  EXPECT_EQ(key, static_cast<u128>(90));
+  EXPECT_EQ(tree.CountInRange(25, 95), 7u);
+  EXPECT_FALSE(tree.MinInRange(41, 49, &key, &value));
+}
+
+TEST(BPlusTree, U128KeysBeyond64Bits) {
+  BPlusTree tree;
+  const u128 base = MakeU128(5, 0);
+  for (uint64_t i = 0; i < 100; ++i) tree.Insert(base + i, i);
+  EXPECT_EQ(tree.Range(base + 10, base + 19).size(), 10u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTree, MoveSemantics) {
+  BPlusTree a;
+  a.Insert(1, 1);
+  a.Insert(2, 2);
+  BPlusTree b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): reset state
+  a.Insert(9, 9);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+// --- ShareTable ---------------------------------------------------------
+
+std::vector<ProviderColumnLayout> TestLayout() {
+  // col0: det only; col1: op only; col2: both.
+  return {{true, false}, {false, true}, {true, true}};
+}
+
+StoredRow MakeRow(uint64_t id, uint64_t det0, u128 op1, uint64_t det2,
+                  u128 op2) {
+  StoredRow row;
+  row.row_id = id;
+  row.cells.resize(3);
+  row.cells[0].secret = id * 11;
+  row.cells[0].det = det0;
+  row.cells[1].secret = id * 13;
+  row.cells[1].op = op1;
+  row.cells[2].secret = id * 17;
+  row.cells[2].det = det2;
+  row.cells[2].op = op2;
+  return row;
+}
+
+TEST(ShareTable, InsertGetDelete) {
+  ShareTable table(TestLayout());
+  ASSERT_TRUE(table.Insert(MakeRow(1, 100, 200, 300, 400)).ok());
+  EXPECT_TRUE(table.Insert(MakeRow(1, 0, 0, 0, 0)).IsAlreadyExists());
+  auto row = table.Get(1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)->cells[0].det, 100u);
+  ASSERT_TRUE(table.Delete(1).ok());
+  EXPECT_TRUE(table.Delete(1).IsNotFound());
+  EXPECT_TRUE(table.Get(1).status().IsNotFound());
+}
+
+TEST(ShareTable, ExactMatchIndex) {
+  ShareTable table(TestLayout());
+  ASSERT_TRUE(table.Insert(MakeRow(1, 50, 0, 7, 0)).ok());
+  ASSERT_TRUE(table.Insert(MakeRow(2, 50, 0, 8, 0)).ok());
+  ASSERT_TRUE(table.Insert(MakeRow(3, 60, 0, 7, 0)).ok());
+  auto hits = table.ExactMatch(0, 50);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, (std::vector<uint64_t>{1, 2}));
+  // Column without det shares.
+  EXPECT_TRUE(table.ExactMatch(1, 50).status().IsNotSupported());
+  EXPECT_TRUE(table.ExactMatch(9, 50).status().IsInvalidArgument());
+}
+
+TEST(ShareTable, RangeScanAndArgExtremes) {
+  ShareTable table(TestLayout());
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(table.Insert(MakeRow(i, i, i * 100, i, i * 1000)).ok());
+  }
+  auto hits = table.RangeScan(1, 250, 750);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 5u);  // 300..700
+  auto mn = table.ArgMinInRange(1, 250, 750);
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(*mn, std::vector<uint64_t>{3});
+  auto mx = table.ArgMaxInRange(1, 250, 750);
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(*mx, std::vector<uint64_t>{7});
+  auto none = table.ArgMinInRange(1, 101, 199);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(ShareTable, UpdateReindexes) {
+  ShareTable table(TestLayout());
+  ASSERT_TRUE(table.Insert(MakeRow(1, 5, 500, 5, 500)).ok());
+  StoredRow updated = MakeRow(1, 6, 600, 6, 600);
+  ASSERT_TRUE(table.Update(updated).ok());
+  EXPECT_TRUE(table.ExactMatch(0, 5)->empty());
+  EXPECT_EQ(table.ExactMatch(0, 6)->size(), 1u);
+  EXPECT_TRUE(table.RangeScan(1, 500, 500)->empty());
+  EXPECT_EQ(table.RangeScan(1, 600, 600)->size(), 1u);
+  EXPECT_TRUE(table.Update(MakeRow(99, 0, 0, 0, 0)).IsNotFound());
+}
+
+TEST(ShareTable, RowSerdeRoundTrip) {
+  const auto layout = TestLayout();
+  StoredRow row = MakeRow(42, 1, MakeU128(2, 3), 4, MakeU128(5, 6));
+  row.tag = 0xDEADBEEF;
+  Buffer buf;
+  EncodeStoredRow(row, layout, &buf);
+  Decoder dec(buf.AsSlice());
+  StoredRow back;
+  ASSERT_TRUE(DecodeStoredRow(&dec, layout, &back).ok());
+  EXPECT_EQ(back.row_id, 42u);
+  EXPECT_EQ(back.tag, 0xDEADBEEFu);
+  EXPECT_EQ(back.cells[1].op, MakeU128(2, 3));
+  EXPECT_EQ(back.cells[2].det, 4u);
+  EXPECT_TRUE(dec.done());
+  // Truncated input fails cleanly.
+  Decoder short_dec(Slice(buf.data(), buf.size() - 3));
+  StoredRow bad;
+  EXPECT_TRUE(DecodeStoredRow(&short_dec, layout, &bad).IsCorruption());
+}
+
+TEST(ShareTable, ArityMismatchRejected) {
+  ShareTable table(TestLayout());
+  StoredRow row;
+  row.row_id = 1;
+  row.cells.resize(2);  // wrong arity
+  EXPECT_TRUE(table.Insert(row).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ssdb

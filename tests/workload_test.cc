@@ -1,0 +1,196 @@
+// Tests for workload generators and the intersection protocols (E7).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "workload/generators.h"
+#include "workload/intersection.h"
+#include "workload/query_mix.h"
+
+namespace ssdb {
+namespace {
+
+TEST(NameGenerator, RespectsWidthAndAlphabet) {
+  NameGenerator gen(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::string name = gen.Next(8);
+    EXPECT_GE(name.size(), 3u);
+    EXPECT_LE(name.size(), 8u);
+    for (char c : name) {
+      EXPECT_GE(c, 'A');
+      EXPECT_LE(c, 'Z');
+    }
+  }
+}
+
+TEST(EmployeeGenerator, RowsMatchSchema) {
+  EmployeeGenerator gen(2, Distribution::kUniform);
+  const TableSchema schema = EmployeeGenerator::EmployeesSchema();
+  ASSERT_TRUE(schema.Validate().ok());
+  for (const auto& row : gen.Rows(200)) {
+    EXPECT_TRUE(schema.ValidateRow(row).ok());
+  }
+}
+
+TEST(EmployeeGenerator, DistributionsDiffer) {
+  EmployeeGenerator uniform(3, Distribution::kUniform);
+  EmployeeGenerator zipf(3, Distribution::kZipf);
+  EmployeeGenerator seq(3, Distribution::kSequential);
+  int64_t zipf_small = 0, uniform_small = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (uniform.Next().salary < 20000) ++uniform_small;
+    if (zipf.Next().salary < 20000) ++zipf_small;
+  }
+  // Zipf concentrates near 0.
+  EXPECT_GT(zipf_small, uniform_small * 2);
+  EXPECT_EQ(seq.Next().salary, 0);
+  EXPECT_EQ(seq.Next().salary, 1);
+}
+
+TEST(MedicalGenerator, RowsMatchSchemaAndIdsIncrease) {
+  MedicalGenerator gen(4);
+  const TableSchema schema = MedicalGenerator::MedicalSchema();
+  ASSERT_TRUE(schema.Validate().ok());
+  const auto rows = gen.Rows(100);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(schema.ValidateRow(rows[i]).ok());
+    EXPECT_EQ(rows[i][0].AsInt(), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(DocumentGenerator, DocumentsHaveDistinctWords) {
+  DocumentGenerator gen(5, 10000);
+  const auto doc = gen.Document(1000);
+  EXPECT_EQ(doc.size(), 1000u);
+  std::set<uint64_t> unique(doc.begin(), doc.end());
+  EXPECT_EQ(unique.size(), doc.size());
+  const auto corpus = gen.Corpus(10, 100);
+  EXPECT_EQ(corpus.size(), 1000u);
+}
+
+size_t ReferenceIntersection(const std::vector<uint64_t>& a,
+                             const std::vector<uint64_t>& b) {
+  std::unordered_set<uint64_t> sa(a.begin(), a.end());
+  std::unordered_set<uint64_t> sb(b.begin(), b.end());
+  size_t hits = 0;
+  for (uint64_t x : sa) {
+    if (sb.count(x) != 0) ++hits;
+  }
+  return hits;
+}
+
+TEST(Intersection, BothProtocolsAgreeWithReference) {
+  DocumentGenerator gen(6, 5000);
+  std::vector<uint64_t> a = gen.Document(800);
+  std::vector<uint64_t> b = gen.Document(800);
+  // Deduplicate (the protocols operate on sets).
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  const size_t expect = ReferenceIntersection(a, b);
+  ASSERT_GT(expect, 0u);
+
+  Rng rng(7);
+  auto enc = EncryptedIntersection(a, b, &rng);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->matches, expect);
+
+  auto shared = SharedIntersection(a, b, 4, 2, 123);
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(shared->matches, expect);
+}
+
+TEST(Intersection, CostShapesMatchThePaperArgument) {
+  DocumentGenerator gen(8, 20000);
+  const auto a = gen.Corpus(5, 200);
+  const auto b = gen.Corpus(5, 200);
+  Rng rng(9);
+  auto enc = EncryptedIntersection(a, b, &rng);
+  auto shared = SharedIntersection(a, b, 4, 2, 10);
+  ASSERT_TRUE(enc.ok() && shared.ok());
+  // Encryption pays ~3 modexps (60+ multiplies each) per element; the
+  // sharing protocol pays n PRF calls per element — hundreds of times
+  // cheaper per op. The op counters capture that asymmetry.
+  EXPECT_GT(enc->modexp_ops, (a.size() + b.size()));
+  EXPECT_EQ(enc->prf_ops, 0u);
+  EXPECT_EQ(shared->modexp_ops, 0u);
+  EXPECT_GT(shared->prf_ops, 0u);
+}
+
+TEST(Intersection, SharedValidation) {
+  EXPECT_FALSE(SharedIntersection({1}, {1}, 0, 0, 1).ok());
+  EXPECT_FALSE(SharedIntersection({1}, {1}, 2, 3, 1).ok());
+  auto ok = SharedIntersection({1, 2, 3}, {3, 4}, 3, 3, 1);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->matches, 1u);
+}
+
+TEST(QueryMix, RunsAllOperationClassesAndStaysConsistent) {
+  OutsourcedDbOptions options;
+  options.n = 3;
+  options.client.k = 2;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  EmployeeGenerator gen(11, Distribution::kUniform);
+  ASSERT_TRUE(db->Insert("Employees", gen.Rows(300)).ok());
+
+  QueryMixDriver driver(db.get(), "Employees", /*seed=*/5);
+  ASSERT_TRUE(driver.RunOps(200).ok());
+  const MixStats& stats = driver.stats();
+  EXPECT_EQ(stats.total_ops(), 200u);
+  // With the default ratios every class should have fired at least once
+  // in 200 ops (probability of a miss is negligible).
+  EXPECT_GT(stats.point_lookups, 0u);
+  EXPECT_GT(stats.range_scans, 0u);
+  EXPECT_GT(stats.aggregates, 0u);
+  EXPECT_GT(stats.updates, 0u);
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_GT(stats.erases, 0u);
+
+  // The table still answers consistently afterwards: COUNT(*) equals the
+  // number of rows a full scan returns.
+  auto count = db->Execute(
+      Query::Select("Employees").Aggregate(AggregateOp::kCount));
+  auto all = db->Execute(Query::Select("Employees"));
+  ASSERT_TRUE(count.ok() && all.ok());
+  EXPECT_EQ(count->count, all->rows.size());
+}
+
+TEST(QueryMix, ZeroRatiosSkipClasses) {
+  OutsourcedDbOptions options;
+  options.n = 2;
+  options.client.k = 2;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  EmployeeGenerator gen(12, Distribution::kUniform);
+  ASSERT_TRUE(db->Insert("Employees", gen.Rows(50)).ok());
+  MixRatios reads_only;
+  reads_only.point_lookup = 1.0;
+  reads_only.range_scan = 0;
+  reads_only.aggregate = 0;
+  reads_only.update = 0;
+  reads_only.insert = 0;
+  reads_only.erase = 0;
+  QueryMixDriver driver(db.get(), "Employees", 6, reads_only);
+  ASSERT_TRUE(driver.RunOps(50).ok());
+  EXPECT_EQ(driver.stats().point_lookups, 50u);
+  EXPECT_EQ(driver.stats().updates, 0u);
+  EXPECT_EQ(driver.stats().inserts, 0u);
+}
+
+TEST(Intersection, EmptySets) {
+  Rng rng(10);
+  auto enc = EncryptedIntersection({}, {}, &rng);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->matches, 0u);
+  auto shared = SharedIntersection({}, {1, 2}, 2, 2, 3);
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(shared->matches, 0u);
+}
+
+}  // namespace
+}  // namespace ssdb
