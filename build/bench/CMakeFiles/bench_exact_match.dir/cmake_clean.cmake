@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_match.dir/bench_exact_match.cc.o"
+  "CMakeFiles/bench_exact_match.dir/bench_exact_match.cc.o.d"
+  "bench_exact_match"
+  "bench_exact_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

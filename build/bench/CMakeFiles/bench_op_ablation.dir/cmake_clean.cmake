@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_op_ablation.dir/bench_op_ablation.cc.o"
+  "CMakeFiles/bench_op_ablation.dir/bench_op_ablation.cc.o.d"
+  "bench_op_ablation"
+  "bench_op_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_op_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharing_vs_encryption.dir/bench_sharing_vs_encryption.cc.o"
+  "CMakeFiles/bench_sharing_vs_encryption.dir/bench_sharing_vs_encryption.cc.o.d"
+  "bench_sharing_vs_encryption"
+  "bench_sharing_vs_encryption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharing_vs_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sharing_vs_encryption.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_document_intersection.dir/document_intersection.cc.o"
+  "CMakeFiles/example_document_intersection.dir/document_intersection.cc.o.d"
+  "example_document_intersection"
+  "example_document_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_document_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

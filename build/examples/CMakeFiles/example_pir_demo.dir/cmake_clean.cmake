@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pir_demo.dir/pir_demo.cc.o"
+  "CMakeFiles/example_pir_demo.dir/pir_demo.cc.o.d"
+  "example_pir_demo"
+  "example_pir_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pir_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

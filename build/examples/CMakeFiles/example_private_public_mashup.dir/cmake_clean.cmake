@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_private_public_mashup.dir/private_public_mashup.cc.o"
+  "CMakeFiles/example_private_public_mashup.dir/private_public_mashup.cc.o.d"
+  "example_private_public_mashup"
+  "example_private_public_mashup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_private_public_mashup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_private_public_mashup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_private_public_mashup.
+# This may be replaced when dependencies are built.

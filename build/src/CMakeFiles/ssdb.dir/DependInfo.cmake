@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/encrypted_das.cc" "src/CMakeFiles/ssdb.dir/baseline/encrypted_das.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/baseline/encrypted_das.cc.o.d"
+  "/root/repo/src/client/client.cc" "src/CMakeFiles/ssdb.dir/client/client.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/client/client.cc.o.d"
+  "/root/repo/src/client/sql.cc" "src/CMakeFiles/ssdb.dir/client/sql.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/client/sql.cc.o.d"
+  "/root/repo/src/codec/schema.cc" "src/CMakeFiles/ssdb.dir/codec/schema.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/codec/schema.cc.o.d"
+  "/root/repo/src/codec/string27.cc" "src/CMakeFiles/ssdb.dir/codec/string27.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/codec/string27.cc.o.d"
+  "/root/repo/src/codec/value.cc" "src/CMakeFiles/ssdb.dir/codec/value.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/codec/value.cc.o.d"
+  "/root/repo/src/common/buffer.cc" "src/CMakeFiles/ssdb.dir/common/buffer.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/common/buffer.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/ssdb.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ssdb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ssdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/wide_int.cc" "src/CMakeFiles/ssdb.dir/common/wide_int.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/common/wide_int.cc.o.d"
+  "/root/repo/src/core/outsourced_db.cc" "src/CMakeFiles/ssdb.dir/core/outsourced_db.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/core/outsourced_db.cc.o.d"
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/ssdb.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/ssdb.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/ope.cc" "src/CMakeFiles/ssdb.dir/crypto/ope.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/crypto/ope.cc.o.d"
+  "/root/repo/src/crypto/prf.cc" "src/CMakeFiles/ssdb.dir/crypto/prf.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/crypto/prf.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/ssdb.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/field/fp61.cc" "src/CMakeFiles/ssdb.dir/field/fp61.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/field/fp61.cc.o.d"
+  "/root/repo/src/field/linalg.cc" "src/CMakeFiles/ssdb.dir/field/linalg.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/field/linalg.cc.o.d"
+  "/root/repo/src/field/poly.cc" "src/CMakeFiles/ssdb.dir/field/poly.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/field/poly.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/ssdb.dir/net/network.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/net/network.cc.o.d"
+  "/root/repo/src/pir/pir.cc" "src/CMakeFiles/ssdb.dir/pir/pir.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/pir/pir.cc.o.d"
+  "/root/repo/src/provider/protocol.cc" "src/CMakeFiles/ssdb.dir/provider/protocol.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/provider/protocol.cc.o.d"
+  "/root/repo/src/provider/provider.cc" "src/CMakeFiles/ssdb.dir/provider/provider.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/provider/provider.cc.o.d"
+  "/root/repo/src/sss/order_preserving.cc" "src/CMakeFiles/ssdb.dir/sss/order_preserving.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/sss/order_preserving.cc.o.d"
+  "/root/repo/src/sss/shamir.cc" "src/CMakeFiles/ssdb.dir/sss/shamir.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/sss/shamir.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/ssdb.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/share_table.cc" "src/CMakeFiles/ssdb.dir/storage/share_table.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/storage/share_table.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/ssdb.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/intersection.cc" "src/CMakeFiles/ssdb.dir/workload/intersection.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/workload/intersection.cc.o.d"
+  "/root/repo/src/workload/query_mix.cc" "src/CMakeFiles/ssdb.dir/workload/query_mix.cc.o" "gcc" "src/CMakeFiles/ssdb.dir/workload/query_mix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/ssdb_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/client_test.cc" "tests/CMakeFiles/ssdb_tests.dir/client_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/client_test.cc.o.d"
+  "/root/repo/tests/codec_test.cc" "tests/CMakeFiles/ssdb_tests.dir/codec_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/codec_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/ssdb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/ssdb_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/ssdb_tests.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/edge_test.cc.o.d"
+  "/root/repo/tests/features_test.cc" "tests/CMakeFiles/ssdb_tests.dir/features_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/features_test.cc.o.d"
+  "/root/repo/tests/field_test.cc" "tests/CMakeFiles/ssdb_tests.dir/field_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/field_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ssdb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/ssdb_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/pir_test.cc" "tests/CMakeFiles/ssdb_tests.dir/pir_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/pir_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ssdb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/provider_test.cc" "tests/CMakeFiles/ssdb_tests.dir/provider_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/provider_test.cc.o.d"
+  "/root/repo/tests/scenario_test.cc" "tests/CMakeFiles/ssdb_tests.dir/scenario_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/scenario_test.cc.o.d"
+  "/root/repo/tests/security_test.cc" "tests/CMakeFiles/ssdb_tests.dir/security_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/security_test.cc.o.d"
+  "/root/repo/tests/snapshot_test.cc" "tests/CMakeFiles/ssdb_tests.dir/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/snapshot_test.cc.o.d"
+  "/root/repo/tests/sql_test.cc" "tests/CMakeFiles/ssdb_tests.dir/sql_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/sql_test.cc.o.d"
+  "/root/repo/tests/sss_test.cc" "tests/CMakeFiles/ssdb_tests.dir/sss_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/sss_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/ssdb_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/ssdb_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/ssdb_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ssdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
