@@ -45,6 +45,46 @@ void BM_ExactMatch_SecretSharing(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactMatch_SecretSharing)->Arg(1000)->Arg(10000)->Arg(100000);
 
+void BM_ExactMatch_FanOutThreads(benchmark::State& state) {
+  // Thread sweep for the concurrent fan-out runtime: n=8 providers, the
+  // same query stream, varying worker counts. wall_us/query should drop
+  // as threads grow (the legs really run in parallel) while sim_us/query
+  // — the virtual-clock network cost — must stay identical.
+  const size_t threads = static_cast<size_t>(state.range(0));
+  OutsourcedDatabase* db = SharedEmployeeDb(8, 2, 20000, threads);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  EmployeeGenerator probe(1234, Distribution::kUniform);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < 64; ++i) names.push_back(probe.Next().name);
+  db->network().ResetStats();
+  size_t q = 0;
+  bench::WallSimTimer timer(db);
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Eq("name", Value::Str(names[q++ % 64]))));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["wall_us/query"] = benchmark::Counter(
+      timer.WallMicros() / static_cast<double>(state.iterations()));
+  state.counters["sim_us/query"] = benchmark::Counter(
+      timer.SimMicros() / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExactMatch_FanOutThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime();
+
 void BM_ExactMatch_EncryptedBuckets(benchmark::State& state) {
   const size_t rows = static_cast<size_t>(state.range(0));
   EncryptedDas* das =

@@ -26,9 +26,9 @@ void BM_Fault_QueryWithDownProviders(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->HealAll();
+  db->faults().HealAll();
   for (size_t i = 0; i < down; ++i) {
-    db->InjectFailure(i, FailureMode::kDown);
+    db->faults().Down(i);
   }
   db->network().ResetStats();
   const uint64_t sim_start = db->simulated_time_us();
@@ -40,7 +40,7 @@ void BM_Fault_QueryWithDownProviders(benchmark::State& state) {
     if (!r.ok()) ++failures;
     benchmark::DoNotOptimize(r);
   }
-  db->HealAll();
+  db->faults().HealAll();
   state.counters["bytes/query"] = benchmark::Counter(
       static_cast<double>(db->network_stats().total_bytes()) /
       state.iterations());
@@ -60,8 +60,8 @@ void BM_Fault_CorruptProviderRecovery(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->HealAll();
-  db->InjectFailure(1, FailureMode::kCorruptResponse);
+  db->faults().HealAll();
+  db->faults().Corrupt(1);
   db->network().ResetStats();
   uint64_t failures = 0;
   for (auto _ : state) {
@@ -71,7 +71,7 @@ void BM_Fault_CorruptProviderRecovery(benchmark::State& state) {
     if (!r.ok()) ++failures;
     benchmark::DoNotOptimize(r);
   }
-  db->HealAll();
+  db->faults().HealAll();
   state.counters["bytes/query"] = benchmark::Counter(
       static_cast<double>(db->network_stats().total_bytes()) /
       state.iterations());
@@ -108,7 +108,7 @@ void BM_Fault_AvailabilityUnderLoss(benchmark::State& state) {
     cache.emplace(k, std::move(created).value());
   }
   for (size_t p = 0; p < 5; ++p) {
-    db->InjectFailure(p, FailureMode::kDropSome, 0.2);
+    db->faults().Drop(p, 0.2);
   }
   uint64_t ok = 0, total = 0;
   for (auto _ : state) {
@@ -119,7 +119,7 @@ void BM_Fault_AvailabilityUnderLoss(benchmark::State& state) {
     if (r.ok()) ++ok;
     benchmark::DoNotOptimize(r);
   }
-  db->HealAll();
+  db->faults().HealAll();
   state.counters["availability"] = benchmark::Counter(
       total == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(total));
   state.SetItemsProcessed(state.iterations());

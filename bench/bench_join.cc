@@ -86,12 +86,12 @@ void BM_Join_ProviderSide(benchmark::State& state) {
   jq.right_column = "eid";
   uint64_t pairs = 0;
   for (auto _ : state) {
-    auto r = setup->db->ExecuteJoin(jq);
+    auto r = setup->db->Execute(jq);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
     }
-    pairs = r->pairs.size();
+    pairs = r->rows.size();
     benchmark::DoNotOptimize(r);
   }
   state.counters["bytes/query"] = benchmark::Counter(
@@ -160,7 +160,7 @@ void BM_Join_WithSelection(benchmark::State& state) {
   jq.left_predicates = {
       Between("salary", Value::Int(150000), Value::Int(200000))};
   for (auto _ : state) {
-    auto r = setup->db->ExecuteJoin(jq);
+    auto r = setup->db->Execute(jq);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;

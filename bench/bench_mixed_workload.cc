@@ -102,7 +102,7 @@ void BM_Mix_UnderFailures(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->InjectFailure(0, FailureMode::kDown);
+  db->faults().Down(0);
   MixRatios read_only;
   read_only.point_lookup = 0.4;
   read_only.range_scan = 0.3;
@@ -118,7 +118,7 @@ void BM_Mix_UnderFailures(benchmark::State& state) {
       return;
     }
   }
-  db->HealAll();
+  db->faults().HealAll();
   state.counters["bytes/op"] = benchmark::Counter(
       static_cast<double>(db->network_stats().total_bytes()) /
       static_cast<double>(driver.stats().total_ops()));

@@ -62,6 +62,43 @@ BENCHMARK(BM_Range_OrderPreservingShares)
     ->Arg(100)
     ->ArgName("permille");
 
+void BM_Range_FanOutThreads(benchmark::State& state) {
+  // Fan-out thread sweep on a 10-permille range query at n=8: wall-clock
+  // per query should shrink with more workers; the simulated network
+  // cost per query is thread-count-invariant by construction.
+  const size_t threads = static_cast<size_t>(state.range(0));
+  OutsourcedDatabase* db = SharedEmployeeDb(8, 2, kRows, threads);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  const auto [lo, hi] = RangeFor(10);
+  db->network().ResetStats();
+  bench::WallSimTimer timer(db);
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(lo),
+                                            Value::Int(hi))));
+    if (!r.ok()) {
+      state.SkipWithError("query failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["wall_us/query"] = benchmark::Counter(
+      timer.WallMicros() / static_cast<double>(state.iterations()));
+  state.counters["sim_us/query"] = benchmark::Counter(
+      timer.SimMicros() / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Range_FanOutThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime();
+
 void BM_Range_BasicSharesFetchAll(benchmark::State& state) {
   // §III idealized scheme: providers are pure storage; every query ships
   // the entire share table to the client.

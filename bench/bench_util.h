@@ -16,19 +16,39 @@
 namespace ssdb {
 namespace bench {
 
+/// Wall-clock + virtual-clock timing for one benchmark section, so
+/// fan-out sweeps can report real parallel speedup (wall_us) next to the
+/// simulated network cost (sim_us), which must stay thread-independent.
+class WallSimTimer {
+ public:
+  explicit WallSimTimer(OutsourcedDatabase* db)
+      : db_(db), sim_start_(db->simulated_time_us()) {}
+  double WallMicros() const { return wall_.ElapsedMicros(); }
+  double SimMicros() const {
+    return static_cast<double>(db_->simulated_time_us() - sim_start_);
+  }
+
+ private:
+  OutsourcedDatabase* db_;
+  StopWatch wall_;
+  uint64_t sim_start_;
+};
+
 /// An OutsourcedDatabase pre-loaded with `rows` uniform employees,
-/// cached per (n, k, rows).
-inline OutsourcedDatabase* SharedEmployeeDb(size_t n, size_t k, size_t rows) {
-  static std::map<std::tuple<size_t, size_t, size_t>,
+/// cached per (n, k, rows, fanout_threads).
+inline OutsourcedDatabase* SharedEmployeeDb(size_t n, size_t k, size_t rows,
+                                            size_t fanout_threads = 0) {
+  static std::map<std::tuple<size_t, size_t, size_t, size_t>,
                   std::unique_ptr<OutsourcedDatabase>>
       cache;
-  auto key = std::make_tuple(n, k, rows);
+  auto key = std::make_tuple(n, k, rows, fanout_threads);
   auto it = cache.find(key);
   if (it != cache.end()) return it->second.get();
 
   OutsourcedDbOptions options;
   options.n = n;
   options.client.k = k;
+  options.fanout_threads = fanout_threads;
   auto db = OutsourcedDatabase::Create(options);
   if (!db.ok()) return nullptr;
   if (!db.value()->CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) {

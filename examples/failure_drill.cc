@@ -19,7 +19,7 @@ using namespace ssdb;  // NOLINT: example brevity
 namespace {
 
 void Check(OutsourcedDatabase* db, const char* phase) {
-  auto r = db->ExecuteSql(
+  auto r = db->Execute(
       "SELECT AVG(salary) FROM Employees WHERE salary BETWEEN 50000 AND "
       "150000");
   if (r.ok()) {
@@ -51,20 +51,21 @@ int main() {
 
   std::printf("\n-- outage drill: taking providers down one by one --\n");
   for (size_t p = 0; p < 4; ++p) {
-    db.InjectFailure(p, FailureMode::kDown);
+    db.faults().Down(p);
     char phase[64];
     std::snprintf(phase, sizeof(phase), "%zu of 5 providers down", p + 1);
     Check(&db, phase);
   }
-  db.HealAll();
+  db.faults().HealAll();
 
   std::printf("\n-- corruption drill: DAS2 flips bytes in every response --\n");
-  db.InjectFailure(1, FailureMode::kCorruptResponse);
-  Check(&db, "1 corrupting provider");
-  std::printf("  corruption retries so far: %llu\n",
-              static_cast<unsigned long long>(
-                  db.client_stats().corruption_retries));
-  db.HealAll();
+  {
+    ScopedFault corrupting(db.faults(), 1, FailureMode::kCorruptResponse);
+    Check(&db, "1 corrupting provider");
+    std::printf("  corruption retries so far: %llu\n",
+                static_cast<unsigned long long>(
+                    db.client_stats().corruption_retries));
+  }  // DAS2 heals when the fault leaves scope
 
   std::printf("\n-- crash drill: snapshot DAS3, wipe, restore --\n");
   const std::string snap = "/tmp/ssdb_drill_das3.snapshot";

@@ -74,8 +74,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(updated.value_or(0)));
 
   // Fault tolerance: lose n-k providers and keep querying.
-  db.InjectFailure(0, FailureMode::kDown);
-  db.InjectFailure(4, FailureMode::kDown);
+  db.faults().Down(0);
+  db.faults().Down(4);
   auto degraded = db.Execute(Query::Select("Medical")
                                  .Where(Between("age", Value::Int(0),
                                                 Value::Int(1)))
@@ -87,8 +87,8 @@ int main(int argc, char** argv) {
                   degraded.ok() ? degraded->count : 0));
 
   // One corrupt provider: reads self-heal via share consistency checks.
-  db.HealAll();
-  db.InjectFailure(2, FailureMode::kCorruptResponse);
+  db.faults().HealAll();
+  db.faults().Corrupt(2);
   auto healed = db.Execute(Query::Select("Medical")
                                .Where(Eq("diagnosis", Value::Int(4242))));
   std::printf("with 1 provider corrupting responses, reads %s "

@@ -5,9 +5,9 @@
 // plaintext never leaves this process. With no arguments a scripted demo
 // session runs; pass statements as arguments to run your own, e.g.
 //
-//   ./build/examples/example_sql_shell \
-//       "SELECT name, salary FROM Employees WHERE salary BETWEEN 20000 AND 60000" \
-//       "SELECT SUM(salary) FROM Employees GROUP BY dept"
+//   ./build/examples/example_sql_shell "SELECT name, salary FROM
+//   Employees WHERE salary BETWEEN 20000 AND 60000" "SELECT SUM(salary)
+//   FROM Employees GROUP BY dept"
 
 #include <cstdio>
 #include <string>
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
 
   for (const std::string& sql : statements) {
     std::printf("ssdb> %s\n", sql.c_str());
-    auto result = db.ExecuteSql(sql);
+    auto result = db.Execute(sql);
     if (!result.ok()) {
       std::printf("  error: %s\n\n", result.status().ToString().c_str());
       continue;

@@ -1,8 +1,10 @@
 #include "client/client.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 
+#include "client/sql.h"
 #include "field/poly.h"
 
 namespace ssdb {
@@ -103,6 +105,7 @@ Result<std::unique_ptr<DataSourceClient>> DataSourceClient::Create(
 Result<OrderPreservingScheme*> DataSourceClient::GetOpScheme(
     const ColumnSpec& column) {
   const uint64_t tag = column.DomainTag();
+  std::lock_guard<std::mutex> lock(op_mu_);
   auto it = op_schemes_.find(tag);
   if (it != op_schemes_.end()) return it->second.get();
 
@@ -983,7 +986,7 @@ Result<QueryResult> DataSourceClient::ExecuteFetch(
 
 // --- Join -----------------------------------------------------------------------
 
-Result<JoinResult> DataSourceClient::ExecuteJoin(const JoinQuery& join) {
+Result<JoinResult> DataSourceClient::RunJoin(const JoinQuery& join) {
   ++stats_.queries;
   if (!lazy_log_.empty()) SSDB_RETURN_IF_ERROR(Flush());
 
@@ -1100,6 +1103,78 @@ Result<JoinResult> DataSourceClient::ExecuteJoin(const JoinQuery& join) {
     stats_.rows_reconstructed += 2;
     out.pairs.emplace_back(std::move(lvals.front()), std::move(rvals.front()));
   }
+  return out;
+}
+
+Result<QueryResult> DataSourceClient::Execute(const JoinQuery& join) {
+  auto lit = tables_.find(join.left_table);
+  if (lit == tables_.end()) {
+    return Status::NotFound("client: unknown table in join");
+  }
+  const size_t left_columns = lit->second.schema.columns.size();
+  SSDB_ASSIGN_OR_RETURN(JoinResult joined, RunJoin(join));
+
+  QueryResult out;
+  out.join_left_columns = static_cast<uint32_t>(left_columns);
+  out.rows.reserve(joined.pairs.size());
+  for (auto& [left, right] : joined.pairs) {
+    std::vector<Value> row = std::move(left);
+    row.insert(row.end(), std::make_move_iterator(right.begin()),
+               std::make_move_iterator(right.end()));
+    out.rows.push_back(std::move(row));
+  }
+  out.count = out.rows.size();
+  return out;
+}
+
+Result<QueryResult> DataSourceClient::Execute(const std::string& sql) {
+  SSDB_ASSIGN_OR_RETURN(SqlCommand cmd, ParseSql(sql));
+  switch (cmd.kind) {
+    case SqlCommand::Kind::kSelect:
+      return Execute(cmd.query);
+    case SqlCommand::Kind::kUpdate: {
+      SSDB_ASSIGN_OR_RETURN(
+          uint64_t updated,
+          Update(cmd.table, cmd.where, cmd.set_column, cmd.set_value));
+      QueryResult out;
+      out.count = updated;
+      out.aggregate_int = static_cast<int64_t>(updated);
+      return out;
+    }
+    case SqlCommand::Kind::kDelete: {
+      SSDB_ASSIGN_OR_RETURN(uint64_t deleted, Delete(cmd.table, cmd.where));
+      QueryResult out;
+      out.count = deleted;
+      out.aggregate_int = static_cast<int64_t>(deleted);
+      return out;
+    }
+  }
+  return Status::Internal("unhandled SQL command kind");
+}
+
+std::vector<Result<QueryResult>> DataSourceClient::ExecuteBatch(
+    const std::vector<Query>& queries) {
+  std::vector<Result<QueryResult>> out(
+      queries.size(),
+      Result<QueryResult>(Status::Internal("batch query not run")));
+  if (queries.empty()) return out;
+
+  // Flush the lazy write log up front: per-query flushes would otherwise
+  // race each other, and a batch of reads over a settled log is exactly
+  // the §V.C "batch then read" pattern anyway.
+  if (!lazy_log_.empty()) {
+    const Status st = Flush();
+    if (!st.ok()) {
+      for (auto& slot : out) slot = st;
+      return out;
+    }
+  }
+
+  // Each query runs its own quorum fan-out; the pool's caller-participating
+  // ParallelFor makes the nesting (batch -> per-query legs) deadlock-free.
+  network_->pool().ParallelFor(queries.size(), [&](size_t i) {
+    out[i] = Execute(queries[i]);
+  });
   return out;
 }
 

@@ -17,9 +17,11 @@
 #ifndef SSDB_CLIENT_CLIENT_H_
 #define SSDB_CLIENT_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,12 +57,13 @@ struct ClientOptions {
   bool verify_tags = true;
 };
 
-/// Client-side operation counters.
+/// Client-side operation counters. Atomic so concurrent batch queries
+/// (ExecuteBatch) can bump them racelessly; fields read as plain uint64_t.
 struct ClientStats {
-  uint64_t queries = 0;
-  uint64_t rows_reconstructed = 0;
-  uint64_t corruption_retries = 0;
-  uint64_t lazy_flushes = 0;
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> rows_reconstructed{0};
+  std::atomic<uint64_t> corruption_retries{0};
+  std::atomic<uint64_t> lazy_flushes{0};
 };
 
 /// \brief The data source / query front-end.
@@ -82,18 +85,42 @@ class DataSourceClient {
                 const std::vector<std::vector<Value>>& rows);
 
   // --- Queries ----------------------------------------------------------
+  //
+  // The unified Execute family: every way of asking a question goes
+  // through one overloaded entry point returning QueryResult.
 
   /// Executes a single-table query (exact match / range / aggregates).
   Result<QueryResult> Execute(const Query& query);
+
+  /// Executes a same-domain equi-join (§V.A Join). Each result row is the
+  /// left row's values followed by the right row's;
+  /// QueryResult::join_left_columns gives the split point. Cross-domain
+  /// joins return NotSupported, as in the paper.
+  Result<QueryResult> Execute(const JoinQuery& join);
+
+  /// Parses and runs one SQL statement (SELECT / UPDATE / DELETE — see
+  /// client/sql.h for the grammar). UPDATE/DELETE report the affected row
+  /// count through QueryResult::count.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Runs independent queries concurrently on the network's worker pool;
+  /// slot i of the result corresponds to queries[i]. The virtual clock
+  /// still advances by every query's slowest leg (batching buys wall-clock
+  /// time, not modelled time). Flushes the lazy write log up front.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<Query>& queries);
 
   /// Renders the execution plan of a query — which share representation
   /// answers each predicate, the provider-side action, and the quorum —
   /// without contacting any provider.
   Result<std::string> Explain(const Query& query);
 
-  /// Executes a same-domain equi-join at the providers (§V.A Join).
-  /// Cross-domain joins return NotSupported, as in the paper.
-  Result<JoinResult> ExecuteJoin(const JoinQuery& join);
+  /// \deprecated Use Execute(const JoinQuery&), which returns the unified
+  /// QueryResult form.
+  [[deprecated("use Execute(const JoinQuery&)")]] Result<JoinResult>
+  ExecuteJoin(const JoinQuery& join) {
+    return RunJoin(join);
+  }
 
   // --- Updates (§V.C) ----------------------------------------------------
 
@@ -210,6 +237,7 @@ class DataSourceClient {
       uint64_t row_id) const;
 
   // Full query paths.
+  Result<JoinResult> RunJoin(const JoinQuery& join);
   Result<QueryResult> ExecuteEager(const Query& query, size_t quorum);
   Result<QueryResult> ExecuteFetch(
       const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
@@ -240,6 +268,9 @@ class DataSourceClient {
   uint32_t next_table_id_ = 1;
   std::map<std::string, TableInfo> tables_;
   std::map<std::string, PublicInfo> public_tables_;
+  /// Guards lazy creation of op_schemes_ entries: concurrent batch queries
+  /// rewriting range predicates may race to instantiate a domain's scheme.
+  mutable std::mutex op_mu_;
   std::map<uint64_t, std::unique_ptr<OrderPreservingScheme>> op_schemes_;
   std::vector<LazyOp> lazy_log_;
   ClientStats stats_;

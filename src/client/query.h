@@ -158,6 +158,11 @@ struct QueryResult {
   uint64_t count = 0;  ///< Matching-row count (all aggregate paths).
   /// For GROUP BY aggregates, ordered by first appearance (row id).
   std::vector<GroupResult> groups;
+  /// For joins executed through the unified Execute(JoinQuery) API: each
+  /// row is the left row's values followed by the right row's, and this is
+  /// the number of left columns (0 for non-join results), so the pair can
+  /// be split losslessly.
+  uint32_t join_left_columns = 0;
 };
 
 /// \brief Result of a join: pairs of reconstructed rows.

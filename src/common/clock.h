@@ -8,6 +8,7 @@
 #ifndef SSDB_COMMON_CLOCK_H_
 #define SSDB_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -37,17 +38,26 @@ class StopWatch {
 /// latency + bytes/bandwidth for every message; parallel round trips are
 /// modelled by `AdvanceToAtLeast` (the slowest provider in a fan-out
 /// dominates).
+///
+/// Thread-safe: concurrent queries (ExecuteBatch) advance the clock from
+/// several pool workers at once. Advance is a commutative addition, so
+/// the total is deterministic regardless of thread interleaving.
 class VirtualClock {
  public:
-  uint64_t now_us() const { return now_us_; }
-  void Advance(uint64_t delta_us) { now_us_ += delta_us; }
-  void AdvanceToAtLeast(uint64_t t_us) {
-    if (t_us > now_us_) now_us_ = t_us;
+  uint64_t now_us() const { return now_us_.load(std::memory_order_relaxed); }
+  void Advance(uint64_t delta_us) {
+    now_us_.fetch_add(delta_us, std::memory_order_relaxed);
   }
-  void Reset() { now_us_ = 0; }
+  void AdvanceToAtLeast(uint64_t t_us) {
+    uint64_t cur = now_us_.load(std::memory_order_relaxed);
+    while (cur < t_us && !now_us_.compare_exchange_weak(
+                             cur, t_us, std::memory_order_relaxed)) {
+    }
+  }
+  void Reset() { now_us_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t now_us_ = 0;
+  std::atomic<uint64_t> now_us_{0};
 };
 
 }  // namespace ssdb

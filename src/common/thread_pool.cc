@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace ssdb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+
+  // Control block shared with the enqueued helpers. It owns no task data:
+  // `fn` lives on the caller's stack, which is safe because the caller
+  // only returns once `completed == n`, i.e. after the last fn() call has
+  // finished; helpers that wake later claim no index and never touch fn.
+  struct Ctl {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto ctl = std::make_shared<Ctl>();
+  ctl->fn = &fn;
+  ctl->n = n;
+
+  auto work = [ctl] {
+    size_t i;
+    while ((i = ctl->next.fetch_add(1, std::memory_order_relaxed)) < ctl->n) {
+      (*ctl->fn)(i);
+      if (ctl->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          ctl->n) {
+        std::lock_guard<std::mutex> lock(ctl->mu);
+        ctl->done.notify_all();
+      }
+    }
+  };
+
+  // The caller is one executor, so at most n-1 helpers are useful.
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) Submit(work);
+  work();
+
+  std::unique_lock<std::mutex> lock(ctl->mu);
+  ctl->done.wait(lock, [&] {
+    return ctl->completed.load(std::memory_order_acquire) >= ctl->n;
+  });
+}
+
+}  // namespace ssdb

@@ -1,0 +1,64 @@
+// Fixed-size worker pool used by the network fan-out layer and the batch
+// execution API.
+//
+// The pool is deliberately small and deadlock-proof: ParallelFor never
+// parks the calling thread behind the queue. The caller claims indices
+// from the same atomic counter the enqueued helpers use, so forward
+// progress is guaranteed even when every worker is busy — which makes
+// nested ParallelFor (a batched query whose fan-out legs themselves run
+// on the pool) safe by construction.
+
+#ifndef SSDB_COMMON_THREAD_POOL_H_
+#define SSDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssdb {
+
+/// \brief A fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 = std::thread::hardware_concurrency,
+  /// at least 1). A pool of size 1 still owns a real worker thread, so
+  /// Submit never runs inline.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains the queue and joins all workers. Pending tasks DO run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0) .. fn(n-1), potentially concurrently, and returns once
+  /// every call has finished. The calling thread participates in the
+  /// work, so this is safe to call from inside a pool task (nested
+  /// parallelism) and never deadlocks when all workers are busy.
+  ///
+  /// Calls to fn with distinct indices may run on distinct threads; fn
+  /// must only touch index-local state or synchronize internally.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_COMMON_THREAD_POOL_H_

@@ -7,7 +7,8 @@ Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
   if (options.n == 0) {
     return Status::InvalidArgument("OutsourcedDatabase: n must be positive");
   }
-  auto network = std::make_unique<Network>(options.network);
+  auto network = std::make_unique<Network>(
+      options.network, /*failure_seed=*/0xFA11, options.fanout_threads);
   std::vector<std::shared_ptr<Provider>> providers;
   std::vector<size_t> indices;
   for (size_t i = 0; i < options.n; ++i) {
@@ -23,31 +24,21 @@ Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
                              std::move(providers), std::move(client)));
 }
 
-Result<QueryResult> OutsourcedDatabase::ExecuteSql(const std::string& sql) {
-  SSDB_ASSIGN_OR_RETURN(SqlCommand cmd, ParseSql(sql));
-  switch (cmd.kind) {
-    case SqlCommand::Kind::kSelect:
-      return client_->Execute(cmd.query);
-    case SqlCommand::Kind::kUpdate: {
-      SSDB_ASSIGN_OR_RETURN(
-          uint64_t updated,
-          client_->Update(cmd.table, cmd.where, cmd.set_column,
-                          cmd.set_value));
-      QueryResult out;
-      out.count = updated;
-      out.aggregate_int = static_cast<int64_t>(updated);
-      return out;
-    }
-    case SqlCommand::Kind::kDelete: {
-      SSDB_ASSIGN_OR_RETURN(uint64_t deleted,
-                            client_->Delete(cmd.table, cmd.where));
-      QueryResult out;
-      out.count = deleted;
-      out.aggregate_int = static_cast<int64_t>(deleted);
-      return out;
-    }
+// Deprecated shim: reconstructs the legacy pair form from the unified
+// left ++ right row encoding.
+Result<JoinResult> OutsourcedDatabase::ExecuteJoin(const JoinQuery& join) {
+  SSDB_ASSIGN_OR_RETURN(QueryResult unified, client_->Execute(join));
+  JoinResult out;
+  out.pairs.reserve(unified.rows.size());
+  for (auto& row : unified.rows) {
+    const auto split = row.begin() + unified.join_left_columns;
+    std::vector<Value> left(std::make_move_iterator(row.begin()),
+                            std::make_move_iterator(split));
+    std::vector<Value> right(std::make_move_iterator(split),
+                             std::make_move_iterator(row.end()));
+    out.pairs.emplace_back(std::move(left), std::move(right));
   }
-  return Status::Internal("unhandled SQL command kind");
+  return out;
 }
 
 }  // namespace ssdb

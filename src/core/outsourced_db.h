@@ -11,9 +11,20 @@
 //   auto db = OutsourcedDatabase::Create(options).value();
 //   db->CreateTable(...);
 //   db->Insert("Employees", rows);
+//
+//   // One Execute family covers built queries, joins and SQL text:
 //   auto result = db->Execute(
 //       Query::Select("Employees")
 //           .Where(Between("salary", Value::Int(10000), Value::Int(40000))));
+//   auto by_sql = db->Execute("SELECT name FROM Employees WHERE salary = 20");
+//   auto joined = db->Execute(JoinQuery{...});  // rows = left ++ right
+//
+//   // Independent queries can share the fan-out worker pool:
+//   auto batch = db->ExecuteBatch({q1, q2, q3});
+//
+//   // Fault injection for the availability experiments:
+//   db->faults().Down(1);
+//   db->faults().HealAll();
 //
 // See examples/quickstart.cc for the full Figure 1 walk-through.
 
@@ -27,6 +38,7 @@
 #include "client/client.h"
 #include "client/query.h"
 #include "client/sql.h"
+#include "net/fault_controller.h"
 #include "net/network.h"
 #include "provider/provider.h"
 
@@ -40,6 +52,9 @@ struct OutsourcedDbOptions {
   NetworkCostModel network;
   /// Data source configuration (threshold k, keys, update mode, ...).
   ClientOptions client;
+  /// Worker threads for the provider fan-out pool (0 = one per hardware
+  /// thread). 1 reproduces the serial execution order exactly.
+  size_t fanout_threads = 0;
 };
 
 /// \brief A complete simulated deployment: n providers + network + client.
@@ -57,21 +72,42 @@ class OutsourcedDatabase {
                 const std::vector<std::vector<Value>>& rows) {
     return client_->Insert(table, rows);
   }
+  // --- Queries: the unified Execute family ------------------------------
+
+  /// Executes a built single-table query.
   Result<QueryResult> Execute(const Query& query) {
     return client_->Execute(query);
   }
-
+  /// Executes a same-domain equi-join; each result row is left ++ right
+  /// values, split at QueryResult::join_left_columns.
+  Result<QueryResult> Execute(const JoinQuery& join) {
+    return client_->Execute(join);
+  }
   /// Parses and runs one SQL statement (SELECT / UPDATE / DELETE — see
   /// client/sql.h for the grammar). UPDATE/DELETE report the affected row
   /// count through QueryResult::count.
-  Result<QueryResult> ExecuteSql(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql) {
+    return client_->Execute(sql);
+  }
+  /// Runs independent queries concurrently on the fan-out worker pool;
+  /// slot i corresponds to queries[i].
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<Query>& queries) {
+    return client_->ExecuteBatch(queries);
+  }
+
+  /// \deprecated Use Execute(const std::string&).
+  [[deprecated("use Execute(const std::string&)")]] Result<QueryResult>
+  ExecuteSql(const std::string& sql) {
+    return client_->Execute(sql);
+  }
+  /// \deprecated Use Execute(const JoinQuery&), which returns QueryResult.
+  [[deprecated("use Execute(const JoinQuery&)")]] Result<JoinResult>
+  ExecuteJoin(const JoinQuery& join);
 
   /// Renders a query's execution plan without running it.
   Result<std::string> Explain(const Query& query) {
     return client_->Explain(query);
-  }
-  Result<JoinResult> ExecuteJoin(const JoinQuery& join) {
-    return client_->ExecuteJoin(join);
   }
   Result<uint64_t> Update(const std::string& table,
                           const std::vector<Predicate>& where,
@@ -103,15 +139,18 @@ class OutsourcedDatabase {
 
   // --- Simulation controls ----------------------------------------------
 
-  /// Injects a failure into provider i's link (E8 fault tolerance).
-  void InjectFailure(size_t provider, FailureMode mode,
-                     double drop_probability = 0.0) {
-    network_->SetFailure(provider, mode, drop_probability);
+  /// Structured fault injection (E8 fault tolerance): db.faults().Down(i),
+  /// .Drop(i, p), .Corrupt(i), .Heal(i), .HealAll(), or RAII ScopedFault.
+  FaultController& faults() { return faults_; }
+
+  /// \deprecated Use faults().Set(provider, mode, drop_probability).
+  [[deprecated("use faults()")]] void InjectFailure(
+      size_t provider, FailureMode mode, double drop_probability = 0.0) {
+    faults_.Set(provider, mode, drop_probability);
   }
-  void HealAll() {
-    for (size_t i = 0; i < options_.n; ++i) {
-      network_->SetFailure(i, FailureMode::kHealthy);
-    }
+  /// \deprecated Use faults().HealAll().
+  [[deprecated("use faults().HealAll()")]] void HealAll() {
+    faults_.HealAll();
   }
 
   // --- Introspection ------------------------------------------------------
@@ -134,12 +173,14 @@ class OutsourcedDatabase {
       : options_(std::move(options)),
         network_(std::move(network)),
         providers_(std::move(providers)),
-        client_(std::move(client)) {}
+        client_(std::move(client)),
+        faults_(network_.get()) {}
 
   OutsourcedDbOptions options_;
   std::unique_ptr<Network> network_;
   std::vector<std::shared_ptr<Provider>> providers_;
   std::unique_ptr<DataSourceClient> client_;
+  FaultController faults_;
 };
 
 }  // namespace ssdb

@@ -1,0 +1,87 @@
+// Structured failure injection over a Network.
+//
+// Replaces the raw InjectFailure/HealAll surface with a small controller
+// the fault-tolerance experiments (E8) read naturally:
+//
+//   db.faults().Down(2);                 // provider 2 stops answering
+//   db.faults().Drop(0, 0.3);            // link 0 drops 30% of calls
+//   db.faults().Heal(2);
+//   db.faults().HealAll();
+//
+//   {
+//     ScopedFault outage(db.faults(), 1, FailureMode::kDown);
+//     ...                                // provider 1 down in this scope
+//   }                                    // healed on exit
+//
+// All methods are thread-safe (they delegate to Network::SetFailure, which
+// takes the per-link lock), so faults can be injected while a fan-out is
+// in flight.
+
+#ifndef SSDB_NET_FAULT_CONTROLLER_H_
+#define SSDB_NET_FAULT_CONTROLLER_H_
+
+#include <cstddef>
+
+#include "net/network.h"
+
+namespace ssdb {
+
+/// \brief Thin, typed facade over per-link failure injection.
+class FaultController {
+ public:
+  explicit FaultController(Network* network) : network_(network) {}
+
+  /// Provider `i` answers nothing until healed.
+  void Down(size_t i) { network_->SetFailure(i, FailureMode::kDown); }
+
+  /// Provider `i`'s responses arrive with one byte flipped.
+  void Corrupt(size_t i) {
+    network_->SetFailure(i, FailureMode::kCorruptResponse);
+  }
+
+  /// Provider `i` drops each call with probability `p`.
+  void Drop(size_t i, double p) {
+    network_->SetFailure(i, FailureMode::kDropSome, p);
+  }
+
+  /// Arbitrary mode (escape hatch for tests).
+  void Set(size_t i, FailureMode mode, double drop_probability = 0.0) {
+    network_->SetFailure(i, mode, drop_probability);
+  }
+
+  /// Restores provider `i` to healthy.
+  void Heal(size_t i) { network_->SetFailure(i, FailureMode::kHealthy); }
+
+  /// Restores every provider to healthy.
+  void HealAll() {
+    for (size_t i = 0; i < network_->num_providers(); ++i) Heal(i);
+  }
+
+  /// Current mode of provider `i`.
+  FailureMode mode(size_t i) const { return network_->failure_mode(i); }
+
+ private:
+  Network* network_;
+};
+
+/// \brief RAII fault: applies a failure on construction, heals on exit.
+class ScopedFault {
+ public:
+  ScopedFault(FaultController& faults, size_t provider, FailureMode mode,
+              double drop_probability = 0.0)
+      : faults_(faults), provider_(provider) {
+    faults_.Set(provider_, mode, drop_probability);
+  }
+  ~ScopedFault() { faults_.Heal(provider_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultController& faults_;
+  size_t provider_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_NET_FAULT_CONTROLLER_H_

@@ -5,10 +5,20 @@
 namespace ssdb {
 
 size_t Network::AddProvider(std::shared_ptr<ProviderEndpoint> endpoint) {
-  Link link;
+  links_.emplace_back();
+  Link& link = links_.back();
   link.endpoint = std::move(endpoint);
-  links_.push_back(std::move(link));
+  // Derive a per-link failure stream so injected drops/corruption depend
+  // only on this link's own call sequence, never on fan-out interleaving.
+  link.rng = Rng(failure_seed_ ^ (0x9E3779B97F4A7C15ULL * links_.size()));
   return links_.size() - 1;
+}
+
+ThreadPool& Network::pool() {
+  std::call_once(pool_once_,
+                 [this] { pool_ = std::make_unique<ThreadPool>(
+                              fanout_threads_); });
+  return *pool_;
 }
 
 Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
@@ -19,6 +29,7 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
     return Status::InvalidArgument("network: unknown provider index");
   }
   Link& link = links_[provider];
+  std::unique_lock<std::mutex> lock(link.mu);
   link.stats.calls++;
 
   // Failure injection happens "on the wire".
@@ -29,15 +40,21 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
                                " is down");
   }
   if (link.mode == FailureMode::kDropSome &&
-      failure_rng_.Bernoulli(link.drop_probability)) {
+      link.rng.Bernoulli(link.drop_probability)) {
     link.stats.failures++;
     *elapsed_us = model_.latency_us;
     return Status::Unavailable("provider " + link.endpoint->name() +
                                " dropped the request");
   }
-
+  const FailureMode mode = link.mode;
   link.stats.bytes_sent += request.size();
+
+  // The provider computes outside the link lock: that is where the
+  // parallelism is, and Provider/ShareTable carry their own locks.
+  lock.unlock();
   Result<Buffer> response = link.endpoint->Handle(request);
+  lock.lock();
+
   if (!response.ok()) {
     link.stats.failures++;
     *elapsed_us = model_.RoundTripUs(request.size(), 0);
@@ -45,8 +62,8 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
   }
 
   std::vector<uint8_t> bytes = std::move(*response).TakeBytes();
-  if (link.mode == FailureMode::kCorruptResponse && !bytes.empty()) {
-    const size_t pos = failure_rng_.Uniform(bytes.size());
+  if (mode == FailureMode::kCorruptResponse && !bytes.empty()) {
+    const size_t pos = link.rng.Uniform(bytes.size());
     bytes[pos] ^= 0x5A;
   }
   link.stats.bytes_received += bytes.size();
@@ -63,45 +80,59 @@ Result<std::vector<uint8_t>> Network::Call(size_t provider, Slice request) {
 
 Network::FanOutResult Network::CallMany(const std::vector<size_t>& providers,
                                         Slice request) {
+  const size_t n = providers.size();
   FanOutResult out;
+  out.responses.assign(
+      n, Result<std::vector<uint8_t>>(Status::Internal("fan-out leg not run")));
+  std::vector<uint64_t> elapsed(n, 0);
+  pool().ParallelFor(n, [&](size_t i) {
+    out.responses[i] = CallNoClock(providers[i], request, &elapsed[i]);
+  });
+  // The legs ran in parallel: the slowest one dominates the round trip.
   uint64_t slowest = 0;
-  for (size_t p : providers) {
-    uint64_t elapsed = 0;
-    out.responses.push_back(CallNoClock(p, request, &elapsed));
-    slowest = std::max(slowest, elapsed);
-  }
+  for (uint64_t e : elapsed) slowest = std::max(slowest, e);
   clock_.Advance(slowest);
   return out;
 }
 
 Network::FanOutResult Network::CallManyDistinct(
     const std::vector<size_t>& providers, const std::vector<Buffer>& requests) {
+  const size_t n = providers.size();
   FanOutResult out;
-  uint64_t slowest = 0;
-  for (size_t i = 0; i < providers.size(); ++i) {
-    uint64_t elapsed = 0;
+  out.responses.assign(
+      n, Result<std::vector<uint8_t>>(Status::Internal("fan-out leg not run")));
+  std::vector<uint64_t> elapsed(n, 0);
+  pool().ParallelFor(n, [&](size_t i) {
     const Slice req = i < requests.size() ? requests[i].AsSlice() : Slice();
-    out.responses.push_back(CallNoClock(providers[i], req, &elapsed));
-    slowest = std::max(slowest, elapsed);
-  }
+    out.responses[i] = CallNoClock(providers[i], req, &elapsed[i]);
+  });
+  uint64_t slowest = 0;
+  for (uint64_t e : elapsed) slowest = std::max(slowest, e);
   clock_.Advance(slowest);
   return out;
 }
 
 void Network::SetFailure(size_t provider, FailureMode mode,
                          double drop_probability) {
+  std::lock_guard<std::mutex> lock(links_[provider].mu);
   links_[provider].mode = mode;
   links_[provider].drop_probability = drop_probability;
 }
 
 ChannelStats Network::TotalStats() const {
   ChannelStats total;
-  for (const Link& link : links_) total += link.stats;
+  for (const Link& link : links_) {
+    std::lock_guard<std::mutex> lock(link.mu);
+    total += link.stats;
+  }
   return total;
 }
 
 void Network::ResetStats() {
-  for (Link& link : links_) link.stats = ChannelStats();
+  for (Link& link : links_) {
+    std::lock_guard<std::mutex> lock(link.mu);
+    link.stats = ChannelStats();
+  }
 }
 
 }  // namespace ssdb

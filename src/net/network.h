@@ -14,7 +14,9 @@
 #define SSDB_NET_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "common/rng.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace ssdb {
 
@@ -83,11 +86,23 @@ struct ChannelStats {
 };
 
 /// \brief The network: n provider links plus a virtual clock.
+///
+/// Fan-out calls (CallMany / CallManyDistinct) dispatch each leg to a
+/// worker of an internal ThreadPool, so wall-clock tracks the slowest leg
+/// instead of the sum — matching the virtual-clock model the paper's §V.A
+/// cost argument assumes. Per-link failure state, statistics and the
+/// failure RNG live behind a per-link mutex; the RNG stream is per link,
+/// so injected drops/corruption depend only on that link's call sequence
+/// and results are identical for any fan-out thread count.
 class Network {
  public:
+  /// `fanout_threads`: workers for the fan-out pool (0 = one per hardware
+  /// thread). The pool is created lazily on the first fan-out call.
   explicit Network(NetworkCostModel model = NetworkCostModel(),
-                   uint64_t failure_seed = 0xFA11)
-      : model_(model), failure_rng_(failure_seed) {}
+                   uint64_t failure_seed = 0xFA11, size_t fanout_threads = 0)
+      : model_(model),
+        failure_seed_(failure_seed),
+        fanout_threads_(fanout_threads) {}
 
   /// Registers a provider; returns its index.
   size_t AddProvider(std::shared_ptr<ProviderEndpoint> endpoint);
@@ -114,10 +129,13 @@ class Network {
   void SetFailure(size_t provider, FailureMode mode,
                   double drop_probability = 0.0);
   FailureMode failure_mode(size_t provider) const {
+    std::lock_guard<std::mutex> lock(links_[provider].mu);
     return links_[provider].mode;
   }
 
-  /// Per-provider and aggregate statistics.
+  /// Per-provider statistics. The reference is only safe to read while no
+  /// fan-out involving this link is in flight (benchmarks and tests read
+  /// between queries).
   const ChannelStats& stats(size_t provider) const {
     return links_[provider].stats;
   }
@@ -127,11 +145,18 @@ class Network {
   VirtualClock& clock() { return clock_; }
   const NetworkCostModel& model() const { return model_; }
 
+  /// The fan-out worker pool (created on first use). Shared with the
+  /// client's ExecuteBatch so batched queries and their per-query fan-out
+  /// legs draw from the same fixed set of workers.
+  ThreadPool& pool();
+
  private:
   struct Link {
     std::shared_ptr<ProviderEndpoint> endpoint;
+    mutable std::mutex mu;  ///< Guards mode/drop_probability/rng/stats.
     FailureMode mode = FailureMode::kHealthy;
     double drop_probability = 0.0;
+    Rng rng;  ///< Per-link failure stream (deterministic per call sequence).
     ChannelStats stats;
   };
 
@@ -142,8 +167,11 @@ class Network {
 
   NetworkCostModel model_;
   VirtualClock clock_;
-  Rng failure_rng_;
-  std::vector<Link> links_;
+  uint64_t failure_seed_;
+  size_t fanout_threads_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::deque<Link> links_;  // deque: stable addresses for mutex members
 };
 
 }  // namespace ssdb

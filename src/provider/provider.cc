@@ -1,10 +1,36 @@
 #include "provider/provider.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "field/fp61.h"
 
 namespace ssdb {
+
+namespace {
+
+// Messages that create/drop tables or rewrite row state. Handle serializes
+// these exclusively against every other message, so read-only messages can
+// hold pointers into table internals for the duration of their handler.
+bool IsMutatingMsg(MsgType type) {
+  switch (type) {
+    case MsgType::kCreateTable:
+    case MsgType::kDropTable:
+    case MsgType::kInsertRows:
+    case MsgType::kDeleteRows:
+    case MsgType::kUpdateRows:
+    case MsgType::kCreatePublicTable:
+    case MsgType::kInsertPublicRows:
+    case MsgType::kAttachShareIndex:
+    case MsgType::kRefreshRows:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 Result<Buffer> Provider::Handle(Slice request) {
   ++stats_.requests;
@@ -13,6 +39,13 @@ Result<Buffer> Provider::Handle(Slice request) {
   Buffer out;
   Status st = dec.GetU8(&type);
   if (st.ok()) {
+    std::shared_lock<std::shared_mutex> read_lock(state_mu_, std::defer_lock);
+    std::unique_lock<std::shared_mutex> write_lock(state_mu_, std::defer_lock);
+    if (IsMutatingMsg(static_cast<MsgType>(type))) {
+      write_lock.lock();
+    } else {
+      read_lock.lock();
+    }
     switch (static_cast<MsgType>(type)) {
       case MsgType::kCreateTable:
         st = HandleCreateTable(&dec, &out);
@@ -90,6 +123,7 @@ Result<Provider::PublicTable*> Provider::FindPublicTable(uint32_t table_id) {
 }
 
 Result<const ShareTable*> Provider::GetTableForTest(uint32_t table_id) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   auto it = tables_.find(table_id);
   if (it == tables_.end()) {
     return Status::NotFound("provider: unknown table id");
@@ -629,6 +663,7 @@ constexpr uint32_t kProviderSnapshotMagic = 0x50534E50;  // "PSNP"
 }  // namespace
 
 void Provider::SaveSnapshot(Buffer* out) const {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
   out->PutU32(kProviderSnapshotMagic);
   out->PutLengthPrefixed(Slice(name_));
   out->PutVarint(tables_.size());
@@ -663,6 +698,7 @@ void Provider::SaveSnapshot(Buffer* out) const {
 }
 
 Status Provider::LoadSnapshot(Slice snapshot) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
   Decoder dec(snapshot);
   uint32_t magic = 0;
   SSDB_RETURN_IF_ERROR(dec.GetU32(&magic));

@@ -16,9 +16,11 @@
 #ifndef SSDB_PROVIDER_PROVIDER_H_
 #define SSDB_PROVIDER_PROVIDER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,11 +33,13 @@
 namespace ssdb {
 
 /// Provider-side work counters (for the benchmarks' cost accounting).
+/// Fields are atomic so concurrent fan-out legs can bump them racelessly;
+/// they read as plain uint64_t.
 struct ProviderStats {
-  uint64_t requests = 0;
-  uint64_t rows_examined = 0;   ///< Rows touched by filters/joins.
-  uint64_t rows_returned = 0;   ///< Share rows shipped back.
-  uint64_t index_lookups = 0;
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> rows_examined{0};  ///< Rows touched by filters/joins.
+  std::atomic<uint64_t> rows_returned{0};  ///< Share rows shipped back.
+  std::atomic<uint64_t> index_lookups{0};
 };
 
 /// \brief One database service provider.
@@ -48,10 +52,18 @@ class Provider : public ProviderEndpoint {
   std::string name() const override { return name_; }
 
   const ProviderStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ProviderStats(); }
+  void ResetStats() {
+    stats_.requests = 0;
+    stats_.rows_examined = 0;
+    stats_.rows_returned = 0;
+    stats_.index_lookups = 0;
+  }
 
   /// Number of share tables currently hosted.
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    return tables_.size();
+  }
 
   /// Direct (test-only) access to a hosted table.
   Result<const ShareTable*> GetTableForTest(uint32_t table_id) const;
@@ -108,6 +120,11 @@ class Provider : public ProviderEndpoint {
 
   std::string name_;
   ProviderStats stats_;
+  /// Guards the table maps (not the tables' contents — each ShareTable has
+  /// its own lock). Handle takes it exclusively for messages that create,
+  /// drop or rewrite tables, shared otherwise, so read-only fan-out legs
+  /// proceed in parallel while DDL/DML serializes against them.
+  mutable std::shared_mutex state_mu_;
   std::map<uint32_t, ShareTable> tables_;
   std::map<uint32_t, PublicTable> public_tables_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <shared_mutex>
 
 namespace ssdb {
 
@@ -31,22 +33,24 @@ BPlusTree::BPlusTree() : size_(0) {
 
 BPlusTree::~BPlusTree() { FreeSubtree(root_); }
 
-BPlusTree::BPlusTree(BPlusTree&& o) noexcept : root_(o.root_), size_(o.size_) {
+BPlusTree::BPlusTree(BPlusTree&& o) noexcept
+    : root_(o.root_), size_(o.size_.load(std::memory_order_relaxed)) {
   auto* leaf = new LeafNode();
   leaf->leaf = true;
   o.root_ = leaf;
-  o.size_ = 0;
+  o.size_.store(0, std::memory_order_relaxed);
 }
 
 BPlusTree& BPlusTree::operator=(BPlusTree&& o) noexcept {
   if (this != &o) {
     FreeSubtree(root_);
     root_ = o.root_;
-    size_ = o.size_;
+    size_.store(o.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     auto* leaf = new LeafNode();
     leaf->leaf = true;
     o.root_ = leaf;
-    o.size_ = 0;
+    o.size_.store(0, std::memory_order_relaxed);
   }
   return *this;
 }
@@ -76,6 +80,7 @@ BPlusTree::LeafNode* BPlusTree::FindLeaf(u128 key) const {
 }
 
 void BPlusTree::Insert(u128 key, uint64_t value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Descend with upper_bound so duplicates append after existing ones.
   Node* node = root_;
   while (!node->leaf) {
@@ -149,6 +154,7 @@ void BPlusTree::InsertIntoParent(Node* left, u128 split_key, Node* right) {
 }
 
 bool BPlusTree::Erase(u128 key, uint64_t value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Lazy deletion: remove the entry, keep the structure (no merging).
   LeafNode* leaf = FindLeaf(key);
   while (leaf != nullptr) {
@@ -173,6 +179,12 @@ bool BPlusTree::Erase(u128 key, uint64_t value) {
 
 void BPlusTree::Scan(u128 lo, u128 hi,
                      const std::function<bool(u128, uint64_t)>& visit) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ScanUnlocked(lo, hi, visit);
+}
+
+void BPlusTree::ScanUnlocked(
+    u128 lo, u128 hi, const std::function<bool(u128, uint64_t)>& visit) const {
   if (lo > hi) return;
   const LeafNode* leaf = FindLeaf(lo);
   while (leaf != nullptr) {
@@ -188,8 +200,9 @@ void BPlusTree::Scan(u128 lo, u128 hi,
 }
 
 std::vector<uint64_t> BPlusTree::Range(u128 lo, u128 hi) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<uint64_t> out;
-  Scan(lo, hi, [&](u128, uint64_t v) {
+  ScanUnlocked(lo, hi, [&](u128, uint64_t v) {
     out.push_back(v);
     return true;
   });
@@ -197,8 +210,9 @@ std::vector<uint64_t> BPlusTree::Range(u128 lo, u128 hi) const {
 }
 
 bool BPlusTree::MinInRange(u128 lo, u128 hi, u128* key, uint64_t* value) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   bool found = false;
-  Scan(lo, hi, [&](u128 k, uint64_t v) {
+  ScanUnlocked(lo, hi, [&](u128 k, uint64_t v) {
     *key = k;
     *value = v;
     found = true;
@@ -208,8 +222,9 @@ bool BPlusTree::MinInRange(u128 lo, u128 hi, u128* key, uint64_t* value) const {
 }
 
 bool BPlusTree::MaxInRange(u128 lo, u128 hi, u128* key, uint64_t* value) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   bool found = false;
-  Scan(lo, hi, [&](u128 k, uint64_t v) {
+  ScanUnlocked(lo, hi, [&](u128 k, uint64_t v) {
     *key = k;
     *value = v;
     found = true;
@@ -219,8 +234,9 @@ bool BPlusTree::MaxInRange(u128 lo, u128 hi, u128* key, uint64_t* value) const {
 }
 
 size_t BPlusTree::CountInRange(u128 lo, u128 hi) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t n = 0;
-  Scan(lo, hi, [&](u128, uint64_t) {
+  ScanUnlocked(lo, hi, [&](u128, uint64_t) {
     ++n;
     return true;
   });
@@ -228,6 +244,7 @@ size_t BPlusTree::CountInRange(u128 lo, u128 hi) const {
 }
 
 bool BPlusTree::CheckInvariants() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   // 1. Uniform depth.
   size_t depth = 0;
   const Node* node = root_;

@@ -6,13 +6,22 @@
 // share-space [lo, hi] scan that this tree answers without the provider
 // ever seeing plaintext values. Duplicate keys are supported (equal values
 // share equal order-preserving shares).
+//
+// Thread-safety: every public method takes an internal reader/writer lock
+// (shared for lookups/scans, exclusive for Insert/Erase), so one tree can
+// serve concurrent fan-out legs. Scan visitors run under the shared lock
+// and must not call back into mutating methods of the same tree. Move
+// construction/assignment are NOT synchronized against concurrent use of
+// the source.
 
 #ifndef SSDB_STORAGE_BTREE_H_
 #define SSDB_STORAGE_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/wide_int.h"
@@ -58,8 +67,8 @@ class BPlusTree {
   /// Number of entries in [lo, hi].
   size_t CountInRange(u128 lo, u128 hi) const;
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
 
   /// Structural invariant check (tests): sorted keys, balanced depth,
   /// correct leaf chaining. Returns false on violation.
@@ -73,9 +82,13 @@ class BPlusTree {
   LeafNode* FindLeaf(u128 key) const;
   void InsertIntoParent(Node* left, u128 split_key, Node* right);
   void FreeSubtree(Node* node);
+  /// Scan body; caller must hold mu_ (shared or exclusive).
+  void ScanUnlocked(u128 lo, u128 hi,
+                    const std::function<bool(u128, uint64_t)>& visit) const;
 
+  mutable std::shared_mutex mu_;
   Node* root_;
-  size_t size_;
+  std::atomic<size_t> size_;
 };
 
 }  // namespace ssdb

@@ -1,6 +1,8 @@
 #include "storage/share_table.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 #include "field/fp61.h"
 
@@ -39,6 +41,25 @@ ShareTable::ShareTable(std::vector<ProviderColumnLayout> layout)
       det_index_(layout_.size()),
       op_index_(layout_.size()) {}
 
+// Moves transfer the data but not the lock; callers must ensure no thread
+// touches either side during the move (providers only move tables while
+// holding their own exclusive state lock).
+ShareTable::ShareTable(ShareTable&& o) noexcept
+    : layout_(std::move(o.layout_)),
+      rows_(std::move(o.rows_)),
+      det_index_(std::move(o.det_index_)),
+      op_index_(std::move(o.op_index_)) {}
+
+ShareTable& ShareTable::operator=(ShareTable&& o) noexcept {
+  if (this != &o) {
+    layout_ = std::move(o.layout_);
+    rows_ = std::move(o.rows_);
+    det_index_ = std::move(o.det_index_);
+    op_index_ = std::move(o.op_index_);
+  }
+  return *this;
+}
+
 Status ShareTable::CheckRowShape(const StoredRow& row) const {
   if (row.cells.size() != layout_.size()) {
     return Status::InvalidArgument("share row arity mismatch");
@@ -75,6 +96,7 @@ void ShareTable::UnindexRow(const StoredRow& row) {
 }
 
 Status ShareTable::Insert(StoredRow row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   SSDB_RETURN_IF_ERROR(CheckRowShape(row));
   if (rows_.count(row.row_id) != 0) {
     return Status::AlreadyExists("share row id already stored");
@@ -85,6 +107,7 @@ Status ShareTable::Insert(StoredRow row) {
 }
 
 Status ShareTable::Delete(uint64_t row_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = rows_.find(row_id);
   if (it == rows_.end()) {
     return Status::NotFound("share row id not stored");
@@ -95,6 +118,7 @@ Status ShareTable::Delete(uint64_t row_id) {
 }
 
 Status ShareTable::Update(StoredRow row) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   SSDB_RETURN_IF_ERROR(CheckRowShape(row));
   auto it = rows_.find(row.row_id);
   if (it == rows_.end()) {
@@ -108,6 +132,7 @@ Status ShareTable::Update(StoredRow row) {
 
 Status ShareTable::AddSecretDeltas(uint64_t row_id,
                                    const std::vector<uint64_t>& deltas) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = rows_.find(row_id);
   if (it == rows_.end()) {
     return Status::NotFound("share row id not stored");
@@ -128,6 +153,7 @@ Status ShareTable::AddSecretDeltas(uint64_t row_id,
 }
 
 Result<const StoredRow*> ShareTable::Get(uint64_t row_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = rows_.find(row_id);
   if (it == rows_.end()) {
     return Status::NotFound("share row id not stored");
@@ -137,6 +163,7 @@ Result<const StoredRow*> ShareTable::Get(uint64_t row_id) const {
 
 Result<std::vector<uint64_t>> ShareTable::ExactMatch(size_t column,
                                                      uint64_t det_share) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (column >= layout_.size()) {
     return Status::InvalidArgument("exact match: bad column index");
   }
@@ -155,6 +182,7 @@ Result<std::vector<uint64_t>> ShareTable::ExactMatch(size_t column,
 
 Result<std::vector<uint64_t>> ShareTable::RangeScan(size_t column, u128 op_lo,
                                                     u128 op_hi) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (column >= layout_.size()) {
     return Status::InvalidArgument("range scan: bad column index");
   }
@@ -168,6 +196,7 @@ Result<std::vector<uint64_t>> ShareTable::RangeScan(size_t column, u128 op_lo,
 Result<std::vector<uint64_t>> ShareTable::ArgMinInRange(size_t column,
                                                         u128 op_lo,
                                                         u128 op_hi) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (column >= layout_.size() || !layout_[column].has_op) {
     return Status::NotSupported("argmin: column has no order-preserving shares");
   }
@@ -182,6 +211,7 @@ Result<std::vector<uint64_t>> ShareTable::ArgMinInRange(size_t column,
 Result<std::vector<uint64_t>> ShareTable::ArgMaxInRange(size_t column,
                                                         u128 op_lo,
                                                         u128 op_hi) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (column >= layout_.size() || !layout_[column].has_op) {
     return Status::NotSupported("argmax: column has no order-preserving shares");
   }
@@ -195,12 +225,14 @@ Result<std::vector<uint64_t>> ShareTable::ArgMaxInRange(size_t column,
 
 void ShareTable::ScanAll(
     const std::function<bool(const StoredRow&)>& visit) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   for (const auto& [id, row] : rows_) {
     if (!visit(row)) return;
   }
 }
 
 std::vector<uint64_t> ShareTable::AllRowIds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<uint64_t> out;
   out.reserve(rows_.size());
   for (const auto& [id, row] : rows_) out.push_back(id);
@@ -213,6 +245,7 @@ constexpr uint8_t kSnapshotVersion = 1;
 }  // namespace
 
 void ShareTable::SaveSnapshot(Buffer* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   out->PutU32(kSnapshotMagic);
   out->PutU8(kSnapshotVersion);
   out->PutVarint(layout_.size());

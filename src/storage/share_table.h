@@ -11,12 +11,21 @@
 //
 // Indexes: a hash index per exact-match column (det share -> row ids) and
 // a B+-tree per range column (op share -> row ids).
+//
+// Thread-safety: each table owns a reader/writer lock — mutators take it
+// exclusively, read paths take it shared — so concurrent fan-out legs can
+// read one table while another is being written. Pointers returned by Get
+// stay valid under concurrent reads (node-based map) but not across a
+// concurrent Delete/Update of the same row; the provider serializes
+// mutating messages against reads, which upholds that. Move
+// construction/assignment are NOT synchronized against concurrent use.
 
 #ifndef SSDB_STORAGE_SHARE_TABLE_H_
 #define SSDB_STORAGE_SHARE_TABLE_H_
 
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -55,9 +64,17 @@ class ShareTable {
  public:
   explicit ShareTable(std::vector<ProviderColumnLayout> layout);
 
+  ShareTable(const ShareTable&) = delete;
+  ShareTable& operator=(const ShareTable&) = delete;
+  ShareTable(ShareTable&&) noexcept;
+  ShareTable& operator=(ShareTable&&) noexcept;
+
   const std::vector<ProviderColumnLayout>& layout() const { return layout_; }
   size_t num_columns() const { return layout_.size(); }
-  size_t size() const { return rows_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return rows_.size();
+  }
 
   /// Inserts a row (row_id must be new); maintains all indexes.
   Status Insert(StoredRow row);
@@ -108,6 +125,7 @@ class ShareTable {
   void IndexRow(const StoredRow& row);
   void UnindexRow(const StoredRow& row);
 
+  mutable std::shared_mutex mu_;
   std::vector<ProviderColumnLayout> layout_;
   std::map<uint64_t, StoredRow> rows_;  // row_id -> row
   // Per-column indexes (empty containers for columns without the share).

@@ -72,8 +72,8 @@ TEST(ClientQuorum, FirstProvidersDownFallsBackToOthers) {
   EmployeeGenerator gen(1, Distribution::kUniform);
   ASSERT_TRUE(db->Insert("Employees", gen.Rows(50)).ok());
   // Kill exactly the primary quorum (providers 0 and 1).
-  db->InjectFailure(0, FailureMode::kDown);
-  db->InjectFailure(1, FailureMode::kDown);
+  db->faults().Down(0);
+  db->faults().Down(1);
   auto r = db->Execute(Query::Select("Employees").Aggregate(AggregateOp::kCount));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->count, 50u);
@@ -217,7 +217,7 @@ TEST(ClientDomains, SameColumnNameDifferentDomainsDoNotCollide) {
   jq.left_column = "dept";
   jq.right_table = "B";
   jq.right_column = "dept";
-  EXPECT_TRUE(db->ExecuteJoin(jq).status().IsNotSupported());
+  EXPECT_TRUE(db->Execute(jq).status().IsNotSupported());
 }
 
 TEST(ClientDomains, ExplicitSharedDomainMustAgreeAcrossTables) {

@@ -1,0 +1,366 @@
+// Concurrent runtime tests: the thread pool, the fan-out network layer
+// under per-leg failure injection, and the determinism contract — a
+// serial query stream must produce byte-identical results and identical
+// virtual-clock totals for any fan-out thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/outsourced_db.h"
+#include "net/network.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(0, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0u);
+  pool.ParallelFor(1, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // More outer iterations than workers, each spawning an inner
+  // ParallelFor on the same pool: the caller-participation design must
+  // make progress even with every worker busy.
+  ThreadPool pool(2);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletesNestedWork) {
+  ThreadPool pool(1);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 16u);
+}
+
+TEST(ThreadPool, DestructorDrainsSubmittedTasks) {
+  std::atomic<size_t> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // dtor joins after draining the queue
+  EXPECT_EQ(count.load(), 64u);
+}
+
+// ------------------------------------------------- Network fan-out failures
+
+/// Endpoint that echoes the request back (response size == request size).
+class EchoEndpoint : public ProviderEndpoint {
+ public:
+  explicit EchoEndpoint(std::string name) : name_(std::move(name)) {}
+  Result<Buffer> Handle(Slice request) override {
+    Buffer out;
+    out.Append(request);
+    return out;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+Buffer MakePayload(size_t size, uint8_t fill) {
+  Buffer b;
+  for (size_t i = 0; i < size; ++i) b.PutU8(fill);
+  return b;
+}
+
+TEST(NetworkFanOut, PerLegFailureModesUnderConcurrentFanOut) {
+  Network net(NetworkCostModel(), /*failure_seed=*/7, /*fanout_threads=*/4);
+  for (int i = 0; i < 4; ++i) {
+    net.AddProvider(std::make_shared<EchoEndpoint>("p" + std::to_string(i)));
+  }
+  net.SetFailure(1, FailureMode::kDown);
+  net.SetFailure(2, FailureMode::kDropSome, /*drop_probability=*/1.0);
+  net.SetFailure(3, FailureMode::kCorruptResponse);
+
+  const std::vector<Buffer> requests = {
+      MakePayload(100, 0xAA),  // healthy
+      MakePayload(400, 0xBB),  // down
+      MakePayload(40, 0xCC),   // always dropped
+      MakePayload(64, 0xDD),   // corrupted
+  };
+  const uint64_t before = net.clock().now_us();
+  auto out = net.CallManyDistinct({0, 1, 2, 3}, requests);
+  ASSERT_EQ(out.responses.size(), 4u);
+
+  // Leg 0: healthy echo.
+  ASSERT_TRUE(out.responses[0].ok());
+  EXPECT_EQ(Slice(*out.responses[0]), requests[0].AsSlice());
+
+  // Legs 1 and 2: the link reports Unavailable and counts a failure.
+  EXPECT_TRUE(out.responses[1].status().IsUnavailable());
+  EXPECT_TRUE(out.responses[2].status().IsUnavailable());
+  EXPECT_EQ(net.stats(1).failures, 1u);
+  EXPECT_EQ(net.stats(2).failures, 1u);
+  EXPECT_EQ(net.stats(1).bytes_sent, 0u);  // dropped before the wire
+
+  // Leg 3: delivered, but with exactly one byte XOR-flipped.
+  ASSERT_TRUE(out.responses[3].ok());
+  const auto& corrupted = *out.responses[3];
+  ASSERT_EQ(corrupted.size(), requests[3].size());
+  size_t diffs = 0;
+  for (size_t i = 0; i < corrupted.size(); ++i) {
+    if (corrupted[i] != requests[3].AsSlice()[i]) {
+      ++diffs;
+      EXPECT_EQ(corrupted[i], requests[3].AsSlice()[i] ^ 0x5A);
+    }
+  }
+  EXPECT_EQ(diffs, 1u);
+
+  // Virtual clock: advanced once, by the slowest leg only. Echo responses
+  // match request sizes, so each live leg costs RoundTripUs(size, size);
+  // down/dropped legs cost one latency (a timeout).
+  const NetworkCostModel& m = net.model();
+  uint64_t slowest = m.latency_us;
+  slowest = std::max(slowest, m.RoundTripUs(100, 100));
+  slowest = std::max(slowest, m.RoundTripUs(64, 64));
+  EXPECT_EQ(net.clock().now_us() - before, slowest);
+
+  // Per-link accounting is exact despite the concurrent legs.
+  EXPECT_EQ(net.stats(0).calls, 1u);
+  EXPECT_EQ(net.stats(0).bytes_sent, 100u);
+  EXPECT_EQ(net.stats(0).bytes_received, 100u);
+}
+
+TEST(NetworkFanOut, RepeatedFanOutKeepsClockAndStatsExact) {
+  // Stress the per-link mutexes: many concurrent fan-out rounds with a
+  // mixed failure population. Leg 0 stays healthy with the largest
+  // payload, so every round's slowest leg — and therefore the total
+  // virtual time — is exactly predictable.
+  Network net(NetworkCostModel(), /*failure_seed=*/99, /*fanout_threads=*/8);
+  constexpr size_t kProviders = 8;
+  for (size_t i = 0; i < kProviders; ++i) {
+    net.AddProvider(std::make_shared<EchoEndpoint>("p" + std::to_string(i)));
+  }
+  net.SetFailure(3, FailureMode::kDown);
+  net.SetFailure(5, FailureMode::kDropSome, 0.5);
+  net.SetFailure(6, FailureMode::kCorruptResponse);
+
+  std::vector<size_t> all;
+  std::vector<Buffer> requests;
+  for (size_t i = 0; i < kProviders; ++i) {
+    all.push_back(i);
+    // Leg 0 is the largest; every other payload is strictly smaller.
+    requests.push_back(MakePayload(512 - 16 * i, static_cast<uint8_t>(i)));
+  }
+
+  constexpr int kRounds = 100;
+  for (int round = 0; round < kRounds; ++round) {
+    auto out = net.CallManyDistinct(all, requests);
+    ASSERT_TRUE(out.responses[0].ok()) << "round " << round;
+    EXPECT_TRUE(out.responses[3].status().IsUnavailable());
+    // Leg 5 drops ~half its calls; either way it must answer something.
+    EXPECT_TRUE(out.responses[5].ok() ||
+                out.responses[5].status().IsUnavailable());
+    ASSERT_TRUE(out.responses[6].ok());
+  }
+
+  const uint64_t per_round = net.model().RoundTripUs(512, 512);
+  EXPECT_EQ(net.clock().now_us(), per_round * kRounds);
+  EXPECT_EQ(net.stats(0).calls, static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(net.stats(3).failures, static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(net.TotalStats().calls, kProviders * kRounds);
+}
+
+// ----------------------------------------------------------- Determinism
+
+std::string Fingerprint(const Result<QueryResult>& r) {
+  if (!r.ok()) return "ERR:" + r.status().ToString();
+  std::string out;
+  for (const auto& row : r->rows) {
+    for (const Value& v : row) {
+      out += v.ToString();
+      out += ',';
+    }
+    out += ';';
+  }
+  out += "#" + std::to_string(r->count);
+  out += "/" + std::to_string(r->aggregate_int);
+  for (const auto& g : r->groups) {
+    out += "|" + g.key.ToString() + ":" + std::to_string(g.sum) + "." +
+           std::to_string(g.count);
+  }
+  return out;
+}
+
+struct WorkloadTrace {
+  std::string fingerprint;
+  uint64_t sim_us = 0;
+  uint64_t calls = 0;
+  uint64_t bytes = 0;
+};
+
+/// Runs a fixed serial workload — inserts, then queries under drop and
+/// corruption faults — and records everything observable.
+WorkloadTrace RunWorkload(size_t fanout_threads) {
+  OutsourcedDbOptions options;
+  options.n = 5;
+  options.client.k = 2;
+  options.fanout_threads = fanout_threads;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+
+  EXPECT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  EmployeeGenerator gen(11, Distribution::kUniform);
+  EXPECT_TRUE(db->Insert("Employees", gen.Rows(300)).ok());
+
+  // Faults that consume per-link randomness (kDropSome) and trigger the
+  // client's corruption-retry path: both must replay identically.
+  db->faults().Drop(1, 0.4);
+  db->faults().Corrupt(3);
+
+  Rng rng(2024);
+  WorkloadTrace trace;
+  for (int i = 0; i < 25; ++i) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.4) {
+      const int64_t lo = rng.UniformInt(0, 150000);
+      trace.fingerprint += Fingerprint(db->Execute(
+          Query::Select("Employees")
+              .Where(Between("salary", Value::Int(lo), Value::Int(lo + 25000)))));
+    } else if (dice < 0.7) {
+      trace.fingerprint += Fingerprint(db->Execute(
+          Query::Select("Employees")
+              .Where(Eq("dept", Value::Int(rng.UniformInt(0, 9))))));
+    } else {
+      const int64_t lo = rng.UniformInt(0, 100000);
+      trace.fingerprint += Fingerprint(db->Execute(
+          Query::Select("Employees")
+              .Where(Between("salary", Value::Int(lo), Value::Int(lo + 50000)))
+              .Aggregate(AggregateOp::kSum, "salary")));
+    }
+    trace.fingerprint += '\n';
+  }
+
+  trace.sim_us = db->simulated_time_us();
+  const ChannelStats totals = db->network_stats();
+  trace.calls = totals.calls;
+  trace.bytes = totals.total_bytes();
+  return trace;
+}
+
+TEST(Determinism, SerialStreamIdenticalAcrossFanOutThreadCounts) {
+  // The contract from the redesign: for a serial query stream, results,
+  // virtual-clock total, and byte/call accounting are all independent of
+  // how many worker threads execute the fan-out legs.
+  const WorkloadTrace base = RunWorkload(1);
+  ASSERT_FALSE(base.fingerprint.empty());
+  for (size_t threads : {4u, 8u}) {
+    const WorkloadTrace t = RunWorkload(threads);
+    EXPECT_EQ(t.fingerprint, base.fingerprint) << "threads=" << threads;
+    EXPECT_EQ(t.sim_us, base.sim_us) << "threads=" << threads;
+    EXPECT_EQ(t.calls, base.calls) << "threads=" << threads;
+    EXPECT_EQ(t.bytes, base.bytes) << "threads=" << threads;
+  }
+}
+
+// ----------------------------------------------------------- ExecuteBatch
+
+TEST(ExecuteBatch, SlotsMatchSerialExecution) {
+  OutsourcedDbOptions options;
+  options.n = 4;
+  options.client.k = 2;
+  options.fanout_threads = 4;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  EmployeeGenerator gen(3, Distribution::kUniform);
+  ASSERT_TRUE(db->Insert("Employees", gen.Rows(250)).ok());
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 12; ++i) {
+    queries.push_back(Query::Select("Employees")
+                          .Where(Between("salary", Value::Int(i * 10000),
+                                         Value::Int(i * 10000 + 30000))));
+  }
+  std::vector<std::string> serial;
+  for (const Query& q : queries) serial.push_back(Fingerprint(db->Execute(q)));
+
+  auto batch = db->ExecuteBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(Fingerprint(batch[i]), serial[i]) << "slot " << i;
+  }
+}
+
+TEST(ExecuteBatch, NestedFanOutCompletesOnSingleWorkerPool) {
+  // A batch whose per-query fan-out legs run on the same one-worker pool:
+  // only caller participation keeps this from deadlocking.
+  OutsourcedDbOptions options;
+  options.n = 3;
+  options.client.k = 2;
+  options.fanout_threads = 1;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  EmployeeGenerator gen(5, Distribution::kUniform);
+  ASSERT_TRUE(db->Insert("Employees", gen.Rows(100)).ok());
+
+  std::vector<Query> queries(
+      8, Query::Select("Employees").Aggregate(AggregateOp::kCount));
+  auto batch = db->ExecuteBatch(queries);
+  ASSERT_EQ(batch.size(), 8u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << "slot " << i;
+    EXPECT_EQ(batch[i].value().count, 100u) << "slot " << i;
+  }
+}
+
+TEST(ExecuteBatch, SurvivesFaultsInjectedMidBatch) {
+  // Faults can be toggled while a batch is in flight (the controller is
+  // thread-safe); every slot must still come back ok or Unavailable —
+  // never torn state.
+  OutsourcedDbOptions options;
+  options.n = 5;
+  options.client.k = 2;
+  options.fanout_threads = 4;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  EmployeeGenerator gen(9, Distribution::kUniform);
+  ASSERT_TRUE(db->Insert("Employees", gen.Rows(200)).ok());
+
+  db->faults().Down(0);
+  db->faults().Corrupt(2);
+  std::vector<Query> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(Query::Select("Employees")
+                          .Where(Eq("dept", Value::Int(i % 10))));
+  }
+  auto batch = db->ExecuteBatch(queries);
+  db->faults().HealAll();
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << "slot " << i << ": "
+                               << batch[i].status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -321,9 +321,9 @@ TEST(Refresh, RepeatedRefreshesStayConsistent) {
 TEST(Refresh, RequiresAllProviders) {
   auto db = MakeDb(4, 2);
   LoadEmployees(db.get());
-  db->InjectFailure(3, FailureMode::kDown);
+  db->faults().Down(3);
   EXPECT_TRUE(db->RefreshTable("Employees").IsUnavailable());
-  db->HealAll();
+  db->faults().HealAll();
   // The failed refresh must not have desynchronized anything the read
   // path notices (deltas were rejected atomically per provider call).
   auto r = db->Execute(Query::Select("Employees"));

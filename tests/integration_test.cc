@@ -271,13 +271,16 @@ TEST(Integration, JoinOnSharedDomain) {
   jq.left_column = "eid";
   jq.right_table = "Managers";
   jq.right_column = "eid";
-  auto r = db->ExecuteJoin(jq);
+  auto r = db->Execute(jq);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(r->pairs.size(), 2u);
+  ASSERT_EQ(r->rows.size(), 2u);
+  // Unified join results: each row is left ++ right, split at
+  // join_left_columns.
+  ASSERT_EQ(r->join_left_columns, 3u);
   std::multiset<std::string> joined_names;
-  for (const auto& [l, rr] : r->pairs) {
-    EXPECT_EQ(l[0].AsInt(), rr[0].AsInt());
-    joined_names.insert(l[1].AsString());
+  for (const auto& row : r->rows) {
+    EXPECT_EQ(row[0].AsInt(), row[r->join_left_columns].AsInt());
+    joined_names.insert(row[1].AsString());
   }
   EXPECT_EQ(joined_names, (std::multiset<std::string>{"JOHN", "BOB"}));
 }
@@ -299,7 +302,7 @@ TEST(Integration, CrossDomainJoinRejected) {
   jq.left_column = "x";
   jq.right_table = "B";
   jq.right_column = "y";
-  auto r = db->ExecuteJoin(jq);
+  auto r = db->Execute(jq);
   EXPECT_TRUE(r.status().IsNotSupported()) << r.status().ToString();
 }
 
@@ -388,15 +391,15 @@ TEST(Integration, SurvivesProviderFailuresUpToNMinusK) {
   auto db = MakeDb(5, 2);
   InsertEmployees(db.get());
   // Take down 3 of 5 providers: k=2 still reachable.
-  db->InjectFailure(0, FailureMode::kDown);
-  db->InjectFailure(2, FailureMode::kDown);
-  db->InjectFailure(4, FailureMode::kDown);
+  db->faults().Down(0);
+  db->faults().Down(2);
+  db->faults().Down(4);
   auto r = db->Execute(
       Query::Select("Employees").Where(Eq("name", Value::Str("JOHN"))));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows.size(), 2u);
   // A 4th failure leaves only 1 < k providers.
-  db->InjectFailure(1, FailureMode::kDown);
+  db->faults().Down(1);
   auto r2 = db->Execute(
       Query::Select("Employees").Where(Eq("name", Value::Str("JOHN"))));
   EXPECT_TRUE(r2.status().IsUnavailable());
@@ -405,7 +408,7 @@ TEST(Integration, SurvivesProviderFailuresUpToNMinusK) {
 TEST(Integration, RecoversFromOneCorruptProvider) {
   auto db = MakeDb(5, 2);
   InsertEmployees(db.get());
-  db->InjectFailure(1, FailureMode::kCorruptResponse);
+  db->faults().Corrupt(1);
   auto r = db->Execute(
       Query::Select("Employees").Where(Eq("name", Value::Str("ALICE"))));
   ASSERT_TRUE(r.ok()) << r.status().ToString();

@@ -244,14 +244,14 @@ TEST(RandomFailures, QueriesSurviveRandomFailureChurn) {
   Rng rng(99);
   for (int round = 0; round < 40; ++round) {
     // Randomly fail up to n-k providers (down or corrupting).
-    db.HealAll();
+    db.faults().HealAll();
     std::vector<size_t> order = {0, 1, 2, 3, 4, 5};
     rng.Shuffle(&order);
     const size_t failures = rng.Uniform(5);  // 0..4 <= n-k
     for (size_t i = 0; i < failures; ++i) {
-      db.InjectFailure(order[i], rng.Bernoulli(0.5)
-                                     ? FailureMode::kDown
-                                     : FailureMode::kCorruptResponse);
+      db.faults().Set(order[i], rng.Bernoulli(0.5)
+                                    ? FailureMode::kDown
+                                    : FailureMode::kCorruptResponse);
     }
     const int64_t lo = rng.UniformInt(0, 150000);
     auto r = db.Execute(Query::Select("Employees")

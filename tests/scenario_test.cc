@@ -68,11 +68,11 @@ TEST(Scenario, FullLifecycle) {
   jq.left_column = "eid";
   jq.right_table = "Managers";
   jq.right_column = "eid";
-  auto joined = db->ExecuteJoin(jq);
+  auto joined = db->Execute(jq);
   ASSERT_TRUE(joined.ok());
-  EXPECT_EQ(joined->pairs.size(), 40u);
+  EXPECT_EQ(joined->rows.size(), 40u);
 
-  auto grouped = db->ExecuteSql(
+  auto grouped = db->Execute(
       "SELECT SUM(salary) FROM Employees WHERE dept BETWEEN 0 AND 9 GROUP "
       "BY dept");
   ASSERT_TRUE(grouped.ok());
@@ -103,13 +103,13 @@ TEST(Scenario, FullLifecycle) {
   // correct. (Writes are conservatively failed through a corrupting link
   // — the ACK cannot be trusted — so the read-only blend is the
   // operable mode during such an incident.)
-  db->InjectFailure(3, FailureMode::kCorruptResponse);
+  db->faults().Corrupt(3);
   MixRatios reads;
   reads.update = reads.insert = reads.erase = 0;
   QueryMixDriver read_driver(db.get(), "MixEmployees", 4, reads);
   Status read_status = read_driver.RunOps(20);
   EXPECT_TRUE(read_status.ok()) << read_status.ToString();
-  db->HealAll();
+  db->faults().HealAll();
 
   // 4. Snapshot every provider, restore, refresh, and verify a stable
   // global invariant: COUNT(*) equals a full reconstruction count.
@@ -128,12 +128,12 @@ TEST(Scenario, FullLifecycle) {
   EXPECT_EQ(count->count, all->rows.size());
 
   // Joins still work after refresh (det/op shares untouched).
-  auto joined2 = db->ExecuteJoin(jq);
+  auto joined2 = db->Execute(jq);
   ASSERT_TRUE(joined2.ok()) << joined2.status().ToString();
   // The mixed workload may have updated/deleted employee rows that
   // managers reference, so just require internal consistency.
-  for (const auto& [l, r] : joined2->pairs) {
-    EXPECT_EQ(l[0].AsInt(), r[0].AsInt());
+  for (const auto& row : joined2->rows) {
+    EXPECT_EQ(row[0].AsInt(), row[joined2->join_left_columns].AsInt());
   }
 }
 

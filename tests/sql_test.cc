@@ -133,17 +133,17 @@ class SqlEndToEnd : public ::testing::Test {
 TEST_F(SqlEndToEnd, PaperQueriesVerbatim) {
   // §III query classes, phrased as SQL.
   auto exact =
-      db_->ExecuteSql("SELECT * FROM Employees WHERE name = 'JOHN'");
+      db_->Execute("SELECT * FROM Employees WHERE name = 'JOHN'");
   ASSERT_TRUE(exact.ok()) << exact.status().ToString();
   ASSERT_EQ(exact->rows.size(), 1u);
   EXPECT_EQ(exact->rows[0][1].AsInt(), 20000);
 
-  auto range = db_->ExecuteSql(
+  auto range = db_->Execute(
       "SELECT * FROM Employees WHERE salary BETWEEN 10000 AND 40000");
   ASSERT_TRUE(range.ok());
   EXPECT_EQ(range->rows.size(), 3u);
 
-  auto avg = db_->ExecuteSql(
+  auto avg = db_->Execute(
       "SELECT AVG(salary) FROM Employees WHERE salary BETWEEN 10000 AND "
       "40000");
   ASSERT_TRUE(avg.ok());
@@ -152,7 +152,7 @@ TEST_F(SqlEndToEnd, PaperQueriesVerbatim) {
 
 TEST_F(SqlEndToEnd, ProjectionPrefixGroupBy) {
   auto prefix =
-      db_->ExecuteSql("SELECT name FROM Employees WHERE name LIKE 'A%'");
+      db_->Execute("SELECT name FROM Employees WHERE name LIKE 'A%'");
   ASSERT_TRUE(prefix.ok()) << prefix.status().ToString();
   std::multiset<std::string> names;
   for (const auto& row : prefix->rows) {
@@ -162,7 +162,7 @@ TEST_F(SqlEndToEnd, ProjectionPrefixGroupBy) {
   EXPECT_EQ(names, (std::multiset<std::string>{"ALICE", "ABEL"}));
 
   auto grouped =
-      db_->ExecuteSql("SELECT SUM(salary) FROM Employees GROUP BY dept");
+      db_->Execute("SELECT SUM(salary) FROM Employees GROUP BY dept");
   ASSERT_TRUE(grouped.ok());
   ASSERT_EQ(grouped->groups.size(), 2u);
   int64_t total = 0;
@@ -171,7 +171,7 @@ TEST_F(SqlEndToEnd, ProjectionPrefixGroupBy) {
 }
 
 TEST_F(SqlEndToEnd, OrGroupExecutes) {
-  auto r = db_->ExecuteSql(
+  auto r = db_->Execute(
       "SELECT * FROM Employees WHERE (name = 'JOHN' OR salary BETWEEN "
       "45000 AND 60000)");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -179,29 +179,29 @@ TEST_F(SqlEndToEnd, OrGroupExecutes) {
 }
 
 TEST_F(SqlEndToEnd, UpdateAndDeleteStatements) {
-  auto upd = db_->ExecuteSql(
+  auto upd = db_->Execute(
       "UPDATE Employees SET salary = 77000 WHERE dept = 1");
   ASSERT_TRUE(upd.ok()) << upd.status().ToString();
   EXPECT_EQ(upd->count, 2u);
-  auto check = db_->ExecuteSql(
+  auto check = db_->Execute(
       "SELECT COUNT(*) FROM Employees WHERE salary = 77000");
   ASSERT_TRUE(check.ok());
   EXPECT_EQ(check->count, 2u);
 
-  auto del = db_->ExecuteSql("DELETE FROM Employees WHERE salary = 77000");
+  auto del = db_->Execute("DELETE FROM Employees WHERE salary = 77000");
   ASSERT_TRUE(del.ok());
   EXPECT_EQ(del->count, 2u);
-  auto remaining = db_->ExecuteSql("SELECT * FROM Employees");
+  auto remaining = db_->Execute("SELECT * FROM Employees");
   ASSERT_TRUE(remaining.ok());
   EXPECT_EQ(remaining->rows.size(), 2u);
 }
 
 TEST_F(SqlEndToEnd, SemanticErrorsSurface) {
-  EXPECT_FALSE(db_->ExecuteSql("SELECT * FROM Nope").ok());
-  EXPECT_FALSE(db_->ExecuteSql("SELECT * FROM Employees WHERE nope = 1").ok());
+  EXPECT_FALSE(db_->Execute("SELECT * FROM Nope").ok());
+  EXPECT_FALSE(db_->Execute("SELECT * FROM Employees WHERE nope = 1").ok());
   // Type mismatch: string column compared to int.
   EXPECT_FALSE(
-      db_->ExecuteSql("SELECT * FROM Employees WHERE name = 5").ok());
+      db_->Execute("SELECT * FROM Employees WHERE name = 5").ok());
 }
 
 }  // namespace
