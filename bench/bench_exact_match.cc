@@ -29,6 +29,7 @@ void BM_ExactMatch_SecretSharing(benchmark::State& state) {
   for (size_t i = 0; i < 64; ++i) names.push_back(probe.Next().name);
   db->network().ResetStats();
   size_t q = 0;
+  QueryTrace last_trace;
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Where(Eq("name", Value::Str(names[q++ % 64]))));
@@ -36,11 +37,13 @@ void BM_ExactMatch_SecretSharing(benchmark::State& state) {
       state.SkipWithError("query failed");
       return;
     }
+    last_trace = std::move(r->trace);
     benchmark::DoNotOptimize(r);
   }
   const ChannelStats net = db->network_stats();
   state.counters["bytes/query"] = benchmark::Counter(
       static_cast<double>(net.total_bytes()) / state.iterations());
+  bench::AddTraceCounters(state, last_trace);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ExactMatch_SecretSharing)->Arg(1000)->Arg(10000)->Arg(100000);

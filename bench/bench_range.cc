@@ -39,6 +39,7 @@ void BM_Range_OrderPreservingShares(benchmark::State& state) {
   const auto [lo, hi] = RangeFor(state.range(0));
   db->network().ResetStats();
   uint64_t matched = 0;
+  QueryTrace last_trace;
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Where(Between("salary", Value::Int(lo),
@@ -48,12 +49,14 @@ void BM_Range_OrderPreservingShares(benchmark::State& state) {
       return;
     }
     matched = r->count;
+    last_trace = std::move(r->trace);
     benchmark::DoNotOptimize(r);
   }
   state.counters["bytes/query"] = benchmark::Counter(
       static_cast<double>(db->network_stats().total_bytes()) /
       state.iterations());
   state.counters["matched"] = benchmark::Counter(static_cast<double>(matched));
+  bench::AddTraceCounters(state, last_trace);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Range_OrderPreservingShares)

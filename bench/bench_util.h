@@ -5,6 +5,8 @@
 #ifndef SSDB_BENCH_BENCH_UTIL_H_
 #define SSDB_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <map>
 #include <memory>
 #include <string>
@@ -33,6 +35,24 @@ class WallSimTimer {
   StopWatch wall_;
   uint64_t sim_start_;
 };
+
+/// Publishes one query's QueryTrace as per-query counters: exact request/
+/// response bytes, virtual-clock charge, provider legs and plan nodes run.
+/// Traces are deterministic per query shape, so the last iteration's trace
+/// stands for all of them.
+inline void AddTraceCounters(benchmark::State& state,
+                             const QueryTrace& trace) {
+  state.counters["trace_up_B"] =
+      benchmark::Counter(static_cast<double>(trace.total_bytes_sent()));
+  state.counters["trace_down_B"] =
+      benchmark::Counter(static_cast<double>(trace.total_bytes_received()));
+  state.counters["trace_clock_us"] =
+      benchmark::Counter(static_cast<double>(trace.total_clock_us()));
+  state.counters["trace_legs"] =
+      benchmark::Counter(static_cast<double>(trace.total_provider_legs()));
+  state.counters["trace_nodes"] =
+      benchmark::Counter(static_cast<double>(trace.nodes.size()));
+}
 
 /// An OutsourcedDatabase pre-loaded with `rows` uniform employees,
 /// cached per (n, k, rows, fanout_threads).

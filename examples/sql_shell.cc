@@ -2,12 +2,16 @@
 //
 // Demonstrates the SQL front-end: statements are parsed, rewritten into
 // share space, executed at the providers, and reconstructed — the
-// plaintext never leaves this process. With no arguments a scripted demo
-// session runs; pass statements as arguments to run your own, e.g.
+// plaintext never leaves this process. Prefix a SELECT with EXPLAIN to
+// render its plan without running it, or with TRACE to run it and dump
+// the per-node execution trace (provider legs, exact bytes, virtual-clock
+// charges). With no arguments a scripted demo session runs; pass
+// statements as arguments to run your own, e.g.
 //
 //   ./build/examples/example_sql_shell "SELECT name, salary FROM
-//   Employees WHERE salary BETWEEN 20000 AND 60000" "SELECT SUM(salary)
-//   FROM Employees GROUP BY dept"
+//   Employees WHERE salary BETWEEN 20000 AND 60000" "EXPLAIN SELECT
+//   SUM(salary) FROM Employees GROUP BY dept" "TRACE SELECT name FROM
+//   Employees WHERE name LIKE 'BA%'"
 
 #include <cstdio>
 #include <string>
@@ -45,6 +49,61 @@ void PrintResult(const QueryResult& result) {
               result.aggregate_double);
 }
 
+/// Strips a leading shell keyword ("EXPLAIN" / "TRACE"); returns true and
+/// the remainder when present.
+bool ConsumeKeyword(const std::string& sql, const char* keyword,
+                    std::string* rest) {
+  size_t start = sql.find_first_not_of(" \t");
+  if (start == std::string::npos) return false;
+  const std::string word = keyword;
+  if (sql.compare(start, word.size(), word) != 0) return false;
+  const size_t after = start + word.size();
+  if (after >= sql.size() || (sql[after] != ' ' && sql[after] != '\t')) {
+    return false;
+  }
+  *rest = sql.substr(after + 1);
+  return true;
+}
+
+bool RunStatement(OutsourcedDatabase& db, const std::string& sql) {
+  std::string rest;
+  if (ConsumeKeyword(sql, "EXPLAIN", &rest)) {
+    auto cmd = ParseSql(rest);
+    if (!cmd.ok()) {
+      std::printf("  error: %s\n", cmd.status().ToString().c_str());
+      return false;
+    }
+    if (cmd->kind != SqlCommand::Kind::kSelect) {
+      std::printf("  error: EXPLAIN supports SELECT statements\n");
+      return false;
+    }
+    auto plan = db.Explain(cmd->query);
+    if (!plan.ok()) {
+      std::printf("  error: %s\n", plan.status().ToString().c_str());
+      return false;
+    }
+    std::printf("%s", plan->c_str());
+    return true;
+  }
+  if (ConsumeKeyword(sql, "TRACE", &rest)) {
+    auto result = db.Execute(rest);
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      return false;
+    }
+    PrintResult(*result);
+    std::printf("%s", result->trace.ToString().c_str());
+    return true;
+  }
+  auto result = db.Execute(sql);
+  if (!result.ok()) {
+    std::printf("  error: %s\n", result.status().ToString().c_str());
+    return false;
+  }
+  PrintResult(*result);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,7 +131,9 @@ int main(int argc, char** argv) {
         "SELECT AVG(salary) FROM Employees WHERE dept = 7",
         "SELECT SUM(salary) FROM Employees WHERE dept BETWEEN 0 AND 3 GROUP "
         "BY dept",
+        "EXPLAIN SELECT SUM(salary) FROM Employees WHERE dept = 7",
         "SELECT name FROM Employees WHERE name LIKE 'BA%'",
+        "TRACE SELECT name FROM Employees WHERE name LIKE 'BA%'",
         "UPDATE Employees SET salary = 123456 WHERE dept = 99",
         "SELECT MAX(salary) FROM Employees WHERE dept = 99",
         "DELETE FROM Employees WHERE dept = 99",
@@ -82,12 +143,7 @@ int main(int argc, char** argv) {
 
   for (const std::string& sql : statements) {
     std::printf("ssdb> %s\n", sql.c_str());
-    auto result = db.Execute(sql);
-    if (!result.ok()) {
-      std::printf("  error: %s\n\n", result.status().ToString().c_str());
-      continue;
-    }
-    PrintResult(*result);
+    RunStatement(db, sql);
     std::printf("\n");
   }
 

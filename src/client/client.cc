@@ -2,20 +2,15 @@
 
 #include <algorithm>
 #include <mutex>
-#include <unordered_map>
 
 #include "client/sql.h"
 #include "field/poly.h"
+#include "plan/executor.h"
+#include "plan/planner.h"
 
 namespace ssdb {
 
 namespace {
-
-/// Signature of a response payload, used to majority-group providers that
-/// agree on a result set.
-uint64_t PayloadSignature(const std::vector<uint8_t>& bytes) {
-  return Fnv1a64(Slice(bytes));
-}
 
 /// Tries to reconstruct from all shares; on inconsistency, retries with
 /// each single provider excluded (recovers from one corrupt provider when
@@ -185,43 +180,6 @@ Result<std::vector<StoredRow>> DataSourceClient::BuildShareRows(
 
 // --- Transport ----------------------------------------------------------------
 
-Result<std::vector<DataSourceClient::ProviderResponse>>
-DataSourceClient::CallQuorum(const std::vector<Buffer>& requests,
-                             size_t desired, size_t minimum) {
-  if (minimum == 0) minimum = desired;
-  std::vector<ProviderResponse> ok;
-  // Phase 1: parallel fan-out to the first `desired` providers.
-  std::vector<size_t> first(providers_.begin(),
-                            providers_.begin() + static_cast<long>(desired));
-  std::vector<Buffer> first_reqs;
-  for (size_t i = 0; i < desired; ++i) {
-    Buffer b;
-    b.Append(requests[i].AsSlice());
-    first_reqs.push_back(std::move(b));
-  }
-  Network::FanOutResult fan = network_->CallManyDistinct(first, first_reqs);
-  for (size_t i = 0; i < desired; ++i) {
-    if (fan.responses[i].ok()) {
-      ok.push_back(ProviderResponse{i, std::move(*fan.responses[i])});
-    }
-  }
-  // Phase 2: sequential replacements for failed legs.
-  size_t next = desired;
-  while (ok.size() < desired && next < providers_.size()) {
-    auto r = network_->Call(providers_[next], requests[next].AsSlice());
-    if (r.ok()) {
-      ok.push_back(ProviderResponse{next, std::move(*r)});
-    }
-    ++next;
-  }
-  if (ok.size() < minimum) {
-    return Status::Unavailable(
-        "client: fewer than the required providers responded (" +
-        std::to_string(ok.size()) + "/" + std::to_string(minimum) + ")");
-  }
-  return ok;
-}
-
 Status DataSourceClient::CallAll(const std::vector<Buffer>& requests) {
   Network::FanOutResult fan =
       network_->CallManyDistinct(providers_, requests);
@@ -339,12 +297,11 @@ Status DataSourceClient::Insert(const std::string& table,
 
 // --- Query rewriting (§V.A) -----------------------------------------------------
 
-Result<SharePredicate> DataSourceClient::RewritePredicate(
-    const TableInfo& info, const Predicate& pred, size_t provider,
+Result<SharePredicate> DataSourceClient::RewriteForProvider(
+    const TableSchema& schema, const Predicate& pred, size_t provider,
     bool* always_empty) {
-  SSDB_ASSIGN_OR_RETURN(size_t col_idx,
-                        info.schema.ColumnIndex(pred.column));
-  const ColumnSpec& col = info.schema.columns[col_idx];
+  SSDB_ASSIGN_OR_RETURN(size_t col_idx, schema.ColumnIndex(pred.column));
+  const ColumnSpec& col = schema.columns[col_idx];
   SharePredicate out;
   out.column = static_cast<uint32_t>(col_idx);
 
@@ -442,12 +399,10 @@ Result<Value> DataSourceClient::ReconstructColumn(
   return column.DecodeFromCode(code);
 }
 
-Result<std::vector<std::vector<Value>>> DataSourceClient::ReconstructRows(
-    const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
+Result<std::vector<Value>> DataSourceClient::ReconstructStoredRow(
+    const PlanTable& table, const std::vector<const ColumnSpec*>& columns,
     bool full_row,
-    const std::vector<std::pair<size_t, StoredRow>>& provider_rows,
-    uint64_t row_id) const {
-  (void)row_id;
+    const std::vector<std::pair<size_t, StoredRow>>& provider_rows) {
   std::vector<Value> row(columns.size());
   std::vector<int64_t> codes(columns.size());
   for (size_t c = 0; c < columns.size(); ++c) {
@@ -463,7 +418,7 @@ Result<std::vector<std::vector<Value>>> DataSourceClient::ReconstructRows(
   // Tags cover every column, so they can only be checked on full rows.
   if (options_.verify_tags && full_row) {
     const uint64_t expect =
-        RowTag(info.id, provider_rows.front().second.row_id, codes);
+        RowTag(table.id, provider_rows.front().second.row_id, codes);
     size_t matches = 0;
     for (const auto& [p, srow] : provider_rows) {
       if (srow.tag == expect) ++matches;
@@ -472,78 +427,54 @@ Result<std::vector<std::vector<Value>>> DataSourceClient::ReconstructRows(
       return Status::Corruption("client: row integrity tag mismatch");
     }
   }
-  return std::vector<std::vector<Value>>{std::move(row)};
+  return row;
+}
+
+// --- PlanHost hooks ------------------------------------------------------------
+
+Result<PlanTable> DataSourceClient::ResolveTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("client: unknown table '" + name + "'");
+  }
+  PlanTable out;
+  out.name = name;
+  out.id = it->second.id;
+  out.schema = &it->second.schema;
+  out.layout = &it->second.layout;
+  return out;
+}
+
+Result<Fp61> DataSourceClient::ReconstructField(
+    const std::vector<IndexedShare>& shares) {
+  return RobustFieldReconstruct(ctx_, shares);
+}
+
+Result<Value> DataSourceClient::ReconstructColumnValue(
+    const ColumnSpec& column, const std::vector<IndexedShare>& shares,
+    int64_t* code_out) {
+  return ReconstructColumn(column, shares, code_out);
+}
+
+void DataSourceClient::OnRowsReconstructed(uint64_t rows) {
+  stats_.rows_reconstructed += rows;
+}
+
+void DataSourceClient::OnCorruptionRetry() { ++stats_.corruption_retries; }
+
+void DataSourceClient::OnTraceFinalized(const QueryTrace& trace) {
+  stats_.traced_bytes_sent += trace.total_bytes_sent();
+  stats_.traced_bytes_received += trace.total_bytes_received();
+  stats_.traced_clock_us += trace.total_clock_us();
+  stats_.provider_legs += trace.total_provider_legs();
+  uint64_t executed = 0;
+  for (const PlanNodeTrace& node : trace.nodes) {
+    if (node.executed) ++executed;
+  }
+  stats_.plan_nodes_executed += executed;
 }
 
 // --- Query execution -------------------------------------------------------------
-
-Status DataSourceClient::ResolveTableAndPreds(const Query& query,
-                                              TableInfo** info,
-                                              QueryAction* action,
-                                              uint32_t* target_column) {
-  auto it = tables_.find(query.table());
-  if (it == tables_.end()) {
-    return Status::NotFound("client: unknown table '" + query.table() + "'");
-  }
-  *info = &it->second;
-
-  *target_column = 0;
-  const bool grouped = !query.group_by().empty();
-  if (grouped) {
-    if (query.aggregate() != AggregateOp::kSum &&
-        query.aggregate() != AggregateOp::kAvg &&
-        query.aggregate() != AggregateOp::kCount) {
-      return Status::NotSupported(
-          "client: GROUP BY supports SUM/AVG/COUNT only");
-    }
-    SSDB_ASSIGN_OR_RETURN(size_t gidx,
-                          (*info)->schema.ColumnIndex(query.group_by()));
-    if (!(*info)->schema.columns[gidx].exact_match()) {
-      return Status::NotSupported(
-          "client: GROUP BY column must be declared kCapExactMatch");
-    }
-    *action = QueryAction::kGroupedSum;
-    // For COUNT the summed column is irrelevant; reuse the group column.
-    const std::string& target = query.aggregate() == AggregateOp::kCount
-                                    ? query.group_by()
-                                    : query.aggregate_column();
-    SSDB_ASSIGN_OR_RETURN(size_t tidx, (*info)->schema.ColumnIndex(target));
-    *target_column = static_cast<uint32_t>(tidx);
-    return Status::OK();
-  }
-  switch (query.aggregate()) {
-    case AggregateOp::kNone:
-      *action = QueryAction::kFetchRows;
-      return Status::OK();
-    case AggregateOp::kCount:
-      *action = QueryAction::kCount;
-      return Status::OK();
-    case AggregateOp::kSum:
-    case AggregateOp::kAvg:
-      *action = QueryAction::kPartialSum;
-      break;
-    case AggregateOp::kMin:
-      *action = QueryAction::kArgMin;
-      break;
-    case AggregateOp::kMax:
-      *action = QueryAction::kArgMax;
-      break;
-    case AggregateOp::kMedian:
-      *action = QueryAction::kMedian;
-      break;
-  }
-  SSDB_ASSIGN_OR_RETURN(
-      size_t idx, (*info)->schema.ColumnIndex(query.aggregate_column()));
-  const ColumnSpec& col = (*info)->schema.columns[idx];
-  if ((*action == QueryAction::kArgMin || *action == QueryAction::kArgMax ||
-       *action == QueryAction::kMedian) &&
-      !col.range()) {
-    return Status::NotSupported(
-        "client: MIN/MAX/MEDIAN need kCapRange on the aggregate column");
-  }
-  *target_column = static_cast<uint32_t>(idx);
-  return Status::OK();
-}
 
 Result<QueryResult> DataSourceClient::Execute(const Query& query) {
   ++stats_.queries;
@@ -551,580 +482,33 @@ Result<QueryResult> DataSourceClient::Execute(const Query& query) {
   if (!lazy_log_.empty() && query.aggregate() != AggregateOp::kNone) {
     SSDB_RETURN_IF_ERROR(Flush());
   }
-  if (!query.disjuncts().empty()) {
-    return ExecuteDisjuncts(query);
-  }
-
-  // Row responses are protected by integrity tags; scalar aggregate
-  // responses (PartialSum / GroupedSum / Count) are not, and a bare
-  // k-share reconstruction has zero redundancy — a single corrupted share
-  // would be silently accepted as a different polynomial. Querying one
-  // extra provider (when available) lets the consistency check catch it.
-  size_t quorum = options_.k;
-  if (query.aggregate() == AggregateOp::kSum ||
-      query.aggregate() == AggregateOp::kAvg ||
-      query.aggregate() == AggregateOp::kCount) {
-    quorum = std::min(providers_.size(), options_.k + 1);
-  }
-
-  Result<QueryResult> first = ExecuteEager(query, quorum);
-  if (first.ok() || !first.status().IsCorruption() ||
-      options_.k == providers_.size()) {
-    if (first.ok()) {
-      TableInfo* info = nullptr;
-      QueryAction action;
-      uint32_t target;
-      SSDB_RETURN_IF_ERROR(ResolveTableAndPreds(query, &info, &action, &target));
-      SSDB_RETURN_IF_ERROR(ApplyLazyToResult(*info, query, &first.value()));
-    }
-    return first;
-  }
-  // A corrupt or inconsistent quorum: retry once against every provider,
-  // letting the consistency checks localize the bad one.
-  ++stats_.corruption_retries;
-  Result<QueryResult> retry = ExecuteEager(query, providers_.size());
-  if (retry.ok()) {
-    TableInfo* info = nullptr;
-    QueryAction action;
-    uint32_t target;
-    SSDB_RETURN_IF_ERROR(ResolveTableAndPreds(query, &info, &action, &target));
-    SSDB_RETURN_IF_ERROR(ApplyLazyToResult(*info, query, &retry.value()));
-  }
-  return retry;
+  Planner planner(this);
+  SSDB_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query));
+  Executor executor(this);
+  return executor.Execute(plan);
 }
 
 Result<std::string> DataSourceClient::Explain(const Query& query) {
-  TableInfo* info = nullptr;
-  QueryAction action;
-  uint32_t target_column = 0;
-  SSDB_RETURN_IF_ERROR(
-      ResolveTableAndPreds(query, &info, &action, &target_column));
-
-  std::string out = "Query on '" + query.table() + "' (table id " +
-                    std::to_string(info->id) + ")\n";
-  auto describe = [&](const Predicate& pred) -> Result<std::string> {
-    SSDB_ASSIGN_OR_RETURN(size_t idx, info->schema.ColumnIndex(pred.column));
-    const ColumnSpec& col = info->schema.columns[idx];
-    switch (pred.kind) {
-      case Predicate::Kind::kEq:
-        return "  " + pred.column + " = " + pred.eq.ToString() +
-               "  -> provider equality on deterministic shares (column " +
-               std::to_string(idx) + ")\n";
-      case Predicate::Kind::kBetween: {
-        const int degree =
-            static_cast<int>(std::min<size_t>(options_.k - 1, 3));
-        return "  " + pred.column + " BETWEEN " + pred.lo.ToString() +
-               " AND " + pred.hi.ToString() +
-               "  -> provider range scan on order-preserving shares "
-               "(column " +
-               std::to_string(idx) + ", degree-" + std::to_string(degree) +
-               " polynomials, " +
-               (options_.op_mode == OpSlotMode::kPaperSlots
-                    ? "paper slots"
-                    : "recursive coefficients") +
-               ")\n";
-      }
-      case Predicate::Kind::kPrefix: {
-        SSDB_ASSIGN_OR_RETURN(String27 codec,
-                              String27::Create(col.string_width));
-        SSDB_ASSIGN_OR_RETURN(OpDomain range, codec.PrefixRange(pred.prefix));
-        return "  " + pred.column + " LIKE '" + pred.prefix +
-               "%'  -> base-27 codes [" + std::to_string(range.lo) + ", " +
-               std::to_string(range.hi) +
-               "], provider range scan on order-preserving shares\n";
-      }
-    }
-    return Status::Internal("explain: unhandled predicate kind");
-  };
-  for (const Predicate& pred : query.predicates()) {
-    SSDB_ASSIGN_OR_RETURN(std::string line, describe(pred));
-    out += line;
-  }
-  for (const Predicate& pred : query.disjuncts()) {
-    SSDB_ASSIGN_OR_RETURN(std::string line, describe(pred));
-    out += "  [OR]" + line.substr(1);
-  }
-
-  static const char* kActionNames[] = {
-      "FetchRows",  "FetchRowIds", "Count",  "PartialSum(provider-side)",
-      "ArgMin",     "ArgMax",      "Median", "GroupedSum(provider-side)"};
-  out += "  action: ";
-  out += kActionNames[static_cast<int>(action)];
-  if (action != QueryAction::kFetchRows &&
-      action != QueryAction::kFetchRowIds && action != QueryAction::kCount) {
-    out += " on column " + std::to_string(target_column);
-  }
-  out += "\n";
-  if (!query.projection().empty()) {
-    out += "  projection:";
-    for (const std::string& c : query.projection()) out += " " + c;
-    out += " (pushed to providers; integrity tags unverifiable)\n";
-  }
-  out += "  read quorum: " + std::to_string(options_.k) + " of " +
-         std::to_string(providers_.size()) + " providers; writes fan out to " +
-         std::to_string(providers_.size()) + "\n";
-  return out;
+  Planner planner(this);
+  SSDB_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query));
+  return plan.Render();
 }
 
-Result<QueryResult> DataSourceClient::ExecuteDisjuncts(const Query& query) {
-  if (query.aggregate() != AggregateOp::kNone) {
-    return Status::NotSupported(
-        "client: disjunctive predicates only support row-fetching queries");
-  }
-  // One sub-query per disjunct (conjuncts are applied to each); results
-  // are unioned by row id.
-  std::map<uint64_t, std::vector<Value>> merged;
-  for (const Predicate& disjunct : query.disjuncts()) {
-    Query sub = Query::Select(query.table());
-    for (const Predicate& p : query.predicates()) sub.Where(p);
-    sub.Where(disjunct);
-    if (!query.projection().empty()) sub.Project(query.projection());
-    // Recurse through Execute so lazy merging applies per sub-query.
-    --stats_.queries;  // don't double-count the umbrella query
-    SSDB_ASSIGN_OR_RETURN(QueryResult part, Execute(sub));
-    for (size_t i = 0; i < part.rows.size(); ++i) {
-      merged.emplace(part.row_ids[i], std::move(part.rows[i]));
-    }
-  }
-  QueryResult out;
-  for (auto& [id, row] : merged) {
-    out.row_ids.push_back(id);
-    out.rows.push_back(std::move(row));
-  }
-  out.count = out.rows.size();
-  return out;
-}
-
-Result<QueryResult> DataSourceClient::ExecuteEager(const Query& query,
-                                                   size_t quorum) {
-  TableInfo* info = nullptr;
-  QueryAction action;
-  uint32_t target_column = 0;
-  SSDB_RETURN_IF_ERROR(
-      ResolveTableAndPreds(query, &info, &action, &target_column));
-
-  // Resolve GROUP BY and projection to column indices.
-  uint32_t group_column = 0;
-  if (action == QueryAction::kGroupedSum) {
-    SSDB_ASSIGN_OR_RETURN(size_t gidx,
-                          info->schema.ColumnIndex(query.group_by()));
-    group_column = static_cast<uint32_t>(gidx);
-  }
-  std::vector<uint32_t> projection;
-  std::vector<const ColumnSpec*> result_columns;
-  const bool full_row = query.projection().empty();
-  if (full_row) {
-    for (const ColumnSpec& col : info->schema.columns) {
-      result_columns.push_back(&col);
-    }
-  } else {
-    for (const std::string& name : query.projection()) {
-      SSDB_ASSIGN_OR_RETURN(size_t idx, info->schema.ColumnIndex(name));
-      projection.push_back(static_cast<uint32_t>(idx));
-      result_columns.push_back(&info->schema.columns[idx]);
-    }
-  }
-  std::vector<ProviderColumnLayout> response_layout;
-  if (full_row) {
-    response_layout = info->layout;
-  } else {
-    for (uint32_t idx : projection) {
-      response_layout.push_back(info->layout[idx]);
-    }
-  }
-
-  // Rewrite per provider.
-  std::vector<Buffer> requests(providers_.size());
-  bool always_empty = false;
-  for (size_t p = 0; p < providers_.size(); ++p) {
-    QueryRequest q;
-    q.table_id = info->id;
-    q.action = action;
-    q.target_column = target_column;
-    q.group_column = group_column;
-    q.projection = projection;
-    for (const Predicate& pred : query.predicates()) {
-      SSDB_ASSIGN_OR_RETURN(SharePredicate sp,
-                            RewritePredicate(*info, pred, p, &always_empty));
-      if (always_empty) break;
-      q.predicates.push_back(sp);
-    }
-    if (always_empty) break;
-    EncodeQuery(q, &requests[p]);
-  }
-  if (always_empty) {
-    return QueryResult();  // provably no matches; zero communication
-  }
-
-  SSDB_ASSIGN_OR_RETURN(std::vector<ProviderResponse> responses,
-                        CallQuorum(requests, quorum, options_.k));
-
-  // Majority-group identical payloads to tolerate corrupt responses.
-  std::unordered_map<uint64_t, std::vector<size_t>> groups;
-  for (size_t i = 0; i < responses.size(); ++i) {
-    groups[PayloadSignature(responses[i].bytes)].push_back(i);
-  }
-  // Validate response headers first; providers that returned an in-band
-  // error are excluded from grouping by virtue of their distinct payload.
-
-  switch (action) {
-    case QueryAction::kCount: {
-      std::vector<size_t> best;
-      for (auto& [sig, members] : groups) {
-        if (members.size() > best.size()) best = members;
-      }
-      // Require a strict majority (or unanimity) of the responses; a
-      // split vote means someone is corrupt and triggers the wider retry.
-      if (best.size() != responses.size() &&
-          best.size() * 2 <= responses.size()) {
-        return Status::Corruption(
-            "client: providers disagree on the count");
-      }
-      const auto& r = responses[best.front()];
-      Decoder dec(Slice(r.bytes));
-      SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&dec));
-      QueryResult out;
-      SSDB_RETURN_IF_ERROR(DecodeCountResponse(&dec, &out.count));
-      out.aggregate_int = static_cast<int64_t>(out.count);
-      return out;
-    }
-    case QueryAction::kPartialSum: {
-      // Sum shares legitimately differ per provider; only counts must
-      // agree.
-      std::vector<IndexedShare> sum_shares;
-      std::vector<uint64_t> counts;
-      for (const auto& r : responses) {
-        Decoder dec(Slice(r.bytes));
-        Status st = DecodeResponseHeader(&dec);
-        if (!st.ok()) continue;
-        PartialAggregate agg;
-        if (!DecodeAggResponse(&dec, &agg).ok()) continue;
-        sum_shares.push_back(
-            IndexedShare{r.provider, Fp61::FromCanonical(agg.sum_share)});
-        counts.push_back(agg.count);
-      }
-      if (sum_shares.size() < options_.k) {
-        return Status::Unavailable("client: too few aggregate responses");
-      }
-      // Majority count.
-      std::sort(counts.begin(), counts.end());
-      const uint64_t count = counts[counts.size() / 2];
-      SSDB_ASSIGN_OR_RETURN(Fp61 sum_w,
-                            RobustFieldReconstruct(ctx_, sum_shares));
-      const TableInfo& ti = *info;
-      const ColumnSpec& col = ti.schema.columns[target_column];
-      SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
-      QueryResult out;
-      out.count = count;
-      out.aggregate_int =
-          static_cast<int64_t>(sum_w.value()) +
-          static_cast<int64_t>(count) * dom.lo;
-      out.aggregate_double =
-          count == 0 ? 0.0
-                     : static_cast<double>(out.aggregate_int) /
-                           static_cast<double>(count);
-      return out;
-    }
-    case QueryAction::kGroupedSum: {
-      // Zip the per-provider group lists (ordered by representative row
-      // id at every provider) and reconstruct key + sum per group.
-      struct ParsedGroups {
-        size_t provider;
-        std::vector<GroupPartial> groups;
-      };
-      std::vector<ParsedGroups> parsed;
-      for (const auto& r : responses) {
-        Decoder dec(Slice(r.bytes));
-        Status st = DecodeResponseHeader(&dec);
-        if (!st.ok()) {
-          if (st.IsNotSupported() || st.IsInvalidArgument()) return st;
-          continue;
-        }
-        ParsedGroups p;
-        p.provider = r.provider;
-        if (!DecodeGroupedAggResponse(&dec, &p.groups).ok()) continue;
-        parsed.push_back(std::move(p));
-      }
-      if (parsed.size() < options_.k) {
-        return Status::Unavailable("client: too few grouped responses");
-      }
-      const size_t num_groups = parsed.front().groups.size();
-      for (const auto& p : parsed) {
-        if (p.groups.size() != num_groups) {
-          return Status::Corruption(
-              "client: providers disagree on the group count");
-        }
-      }
-      const ColumnSpec& key_col = info->schema.columns[group_column];
-      const ColumnSpec& sum_col = info->schema.columns[target_column];
-      SSDB_ASSIGN_OR_RETURN(OpDomain sum_dom, sum_col.CodeDomain());
-      QueryResult out;
-      for (size_t g = 0; g < num_groups; ++g) {
-        std::vector<IndexedShare> key_shares, sum_shares;
-        uint64_t count = parsed.front().groups[g].count;
-        for (const auto& p : parsed) {
-          const GroupPartial& gp = p.groups[g];
-          if (gp.rep_row_id != parsed.front().groups[g].rep_row_id ||
-              gp.count != count) {
-            return Status::Corruption(
-                "client: providers disagree on a group's membership");
-          }
-          key_shares.push_back(
-              IndexedShare{p.provider, Fp61::FromCanonical(gp.key_share)});
-          sum_shares.push_back(
-              IndexedShare{p.provider, Fp61::FromCanonical(gp.sum_share)});
-        }
-        GroupResult group;
-        SSDB_ASSIGN_OR_RETURN(group.key,
-                              ReconstructColumn(key_col, key_shares, nullptr));
-        SSDB_ASSIGN_OR_RETURN(Fp61 sum_w,
-                              RobustFieldReconstruct(ctx_, sum_shares));
-        group.count = count;
-        group.sum = static_cast<int64_t>(sum_w.value()) +
-                    static_cast<int64_t>(count) * sum_dom.lo;
-        group.average = count == 0 ? 0.0
-                                   : static_cast<double>(group.sum) /
-                                         static_cast<double>(count);
-        out.count += count;
-        out.groups.push_back(std::move(group));
-      }
-      return out;
-    }
-    case QueryAction::kFetchRows:
-    case QueryAction::kArgMin:
-    case QueryAction::kArgMax:
-    case QueryAction::kMedian: {
-      SSDB_ASSIGN_OR_RETURN(
-          QueryResult out,
-          ExecuteFetch(*info, result_columns, full_row, response_layout,
-                       responses));
-      if (action != QueryAction::kFetchRows && !out.rows.empty()) {
-        // With projection the aggregate column may sit at a new position;
-        // find it in the result columns.
-        size_t pos = result_columns.size();
-        for (size_t c = 0; c < result_columns.size(); ++c) {
-          if (result_columns[c] == &info->schema.columns[target_column]) {
-            pos = c;
-          }
-        }
-        if (pos < result_columns.size()) {
-          SSDB_ASSIGN_OR_RETURN(
-              int64_t code,
-              result_columns[pos]->EncodeToCode(out.rows.front()[pos]));
-          out.aggregate_int = code;
-          out.aggregate_double = static_cast<double>(code);
-        }
-      }
-      out.count = out.rows.size();
-      return out;
-    }
-    case QueryAction::kFetchRowIds:
-      break;
-  }
-  return Status::Internal("client: unhandled action");
-}
-
-Result<QueryResult> DataSourceClient::ExecuteFetch(
-    const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
-    bool full_row, const std::vector<ProviderColumnLayout>& layout,
-    const std::vector<ProviderResponse>& responses) {
-  // Decode rows per provider; majority-group by the row id sequence.
-  struct Parsed {
-    size_t provider;
-    std::vector<StoredRow> rows;
-  };
-  std::vector<Parsed> parsed;
-  for (const auto& r : responses) {
-    Decoder dec(Slice(r.bytes));
-    Status st = DecodeResponseHeader(&dec);
-    if (!st.ok()) {
-      if (st.IsNotSupported() || st.IsInvalidArgument() || st.IsNotFound()) {
-        return st;  // a semantic error is the query's fault, not noise
-      }
-      continue;
-    }
-    Parsed p;
-    p.provider = r.provider;
-    if (!DecodeRowsResponse(&dec, layout, &p.rows).ok()) continue;
-    parsed.push_back(std::move(p));
-  }
-
-  std::unordered_map<uint64_t, std::vector<size_t>> groups;
-  for (size_t i = 0; i < parsed.size(); ++i) {
-    Buffer sig;
-    for (const StoredRow& row : parsed[i].rows) sig.PutU64(row.row_id);
-    groups[Fnv1a64(sig.AsSlice())].push_back(i);
-  }
-  std::vector<size_t> best;
-  for (auto& [sig, members] : groups) {
-    if (members.size() > best.size()) best = members;
-  }
-  if (best.size() < options_.k) {
-    return Status::Corruption(
-        "client: providers disagree on the matching row set");
-  }
-
-  const std::vector<StoredRow>& reference = parsed[best.front()].rows;
-  QueryResult out;
-  for (size_t row_idx = 0; row_idx < reference.size(); ++row_idx) {
-    std::vector<std::pair<size_t, StoredRow>> per_provider;
-    for (size_t member : best) {
-      per_provider.emplace_back(parsed[member].provider,
-                                parsed[member].rows[row_idx]);
-    }
-    SSDB_ASSIGN_OR_RETURN(
-        std::vector<std::vector<Value>> rows,
-        ReconstructRows(info, columns, full_row, per_provider,
-                        reference[row_idx].row_id));
-    ++stats_.rows_reconstructed;
-    out.row_ids.push_back(reference[row_idx].row_id);
-    out.rows.push_back(std::move(rows.front()));
-  }
-  out.count = out.rows.size();
-  return out;
+Result<std::string> DataSourceClient::Explain(const JoinQuery& join) {
+  Planner planner(this);
+  SSDB_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(join));
+  return plan.Render();
 }
 
 // --- Join -----------------------------------------------------------------------
 
-Result<JoinResult> DataSourceClient::RunJoin(const JoinQuery& join) {
+Result<QueryResult> DataSourceClient::Execute(const JoinQuery& join) {
   ++stats_.queries;
   if (!lazy_log_.empty()) SSDB_RETURN_IF_ERROR(Flush());
-
-  auto lit = tables_.find(join.left_table);
-  auto rit = tables_.find(join.right_table);
-  if (lit == tables_.end() || rit == tables_.end()) {
-    return Status::NotFound("client: unknown table in join");
-  }
-  TableInfo& left = lit->second;
-  TableInfo& right = rit->second;
-  SSDB_ASSIGN_OR_RETURN(size_t lcol, left.schema.ColumnIndex(join.left_column));
-  SSDB_ASSIGN_OR_RETURN(size_t rcol,
-                        right.schema.ColumnIndex(join.right_column));
-  const ColumnSpec& lspec = left.schema.columns[lcol];
-  const ColumnSpec& rspec = right.schema.columns[rcol];
-  if (!lspec.exact_match() || !rspec.exact_match()) {
-    return Status::NotSupported(
-        "client: join columns must be declared kCapExactMatch");
-  }
-  // The paper's limitation: joins work only within one domain (§V.A).
-  if (lspec.DomainTag() != rspec.DomainTag()) {
-    return Status::NotSupported(
-        "client: cross-domain joins are not supported by the secret-sharing "
-        "scheme (columns '" + lspec.name + "' and '" + rspec.name +
-        "' are in different domains)");
-  }
-  SSDB_ASSIGN_OR_RETURN(OpDomain ldom, lspec.CodeDomain());
-  SSDB_ASSIGN_OR_RETURN(OpDomain rdom, rspec.CodeDomain());
-  if (ldom.lo != rdom.lo || ldom.hi != rdom.hi) {
-    return Status::NotSupported(
-        "client: join columns declare different code domains");
-  }
-
-  std::vector<Buffer> requests(providers_.size());
-  bool always_empty = false;
-  for (size_t p = 0; p < providers_.size(); ++p) {
-    JoinRequest jr;
-    jr.left_table = left.id;
-    jr.left_column = static_cast<uint32_t>(lcol);
-    jr.right_table = right.id;
-    jr.right_column = static_cast<uint32_t>(rcol);
-    for (const Predicate& pred : join.left_predicates) {
-      SSDB_ASSIGN_OR_RETURN(SharePredicate sp,
-                            RewritePredicate(left, pred, p, &always_empty));
-      if (always_empty) return JoinResult();
-      jr.left_predicates.push_back(sp);
-    }
-    for (const Predicate& pred : join.right_predicates) {
-      SSDB_ASSIGN_OR_RETURN(SharePredicate sp,
-                            RewritePredicate(right, pred, p, &always_empty));
-      if (always_empty) return JoinResult();
-      jr.right_predicates.push_back(sp);
-    }
-    EncodeJoin(jr, &requests[p]);
-  }
-
-  SSDB_ASSIGN_OR_RETURN(std::vector<ProviderResponse> responses,
-                        CallQuorum(requests, options_.k));
-
-  struct Parsed {
-    size_t provider;
-    std::vector<JoinedRowPair> pairs;
-  };
-  std::vector<Parsed> parsed;
-  for (const auto& r : responses) {
-    Decoder dec(Slice(r.bytes));
-    Status st = DecodeResponseHeader(&dec);
-    if (!st.ok()) {
-      if (st.IsNotSupported() || st.IsInvalidArgument()) return st;
-      continue;
-    }
-    Parsed p;
-    p.provider = r.provider;
-    if (!DecodeJoinResponse(&dec, left.layout, right.layout, &p.pairs).ok()) {
-      continue;
-    }
-    parsed.push_back(std::move(p));
-  }
-  std::unordered_map<uint64_t, std::vector<size_t>> groups;
-  for (size_t i = 0; i < parsed.size(); ++i) {
-    Buffer sig;
-    for (const auto& pr : parsed[i].pairs) {
-      sig.PutU64(pr.left.row_id);
-      sig.PutU64(pr.right.row_id);
-    }
-    groups[Fnv1a64(sig.AsSlice())].push_back(i);
-  }
-  std::vector<size_t> best;
-  for (auto& [sig, members] : groups) {
-    if (members.size() > best.size()) best = members;
-  }
-  if (best.size() < options_.k) {
-    return Status::Corruption("client: providers disagree on the join result");
-  }
-
-  const auto& reference = parsed[best.front()].pairs;
-  JoinResult out;
-  for (size_t i = 0; i < reference.size(); ++i) {
-    std::vector<std::pair<size_t, StoredRow>> lrows, rrows;
-    for (size_t member : best) {
-      lrows.emplace_back(parsed[member].provider, parsed[member].pairs[i].left);
-      rrows.emplace_back(parsed[member].provider,
-                         parsed[member].pairs[i].right);
-    }
-    std::vector<const ColumnSpec*> lcols, rcols;
-    for (const ColumnSpec& c : left.schema.columns) lcols.push_back(&c);
-    for (const ColumnSpec& c : right.schema.columns) rcols.push_back(&c);
-    SSDB_ASSIGN_OR_RETURN(
-        auto lvals, ReconstructRows(left, lcols, /*full_row=*/true, lrows,
-                                    reference[i].left.row_id));
-    SSDB_ASSIGN_OR_RETURN(
-        auto rvals, ReconstructRows(right, rcols, /*full_row=*/true, rrows,
-                                    reference[i].right.row_id));
-    stats_.rows_reconstructed += 2;
-    out.pairs.emplace_back(std::move(lvals.front()), std::move(rvals.front()));
-  }
-  return out;
-}
-
-Result<QueryResult> DataSourceClient::Execute(const JoinQuery& join) {
-  auto lit = tables_.find(join.left_table);
-  if (lit == tables_.end()) {
-    return Status::NotFound("client: unknown table in join");
-  }
-  const size_t left_columns = lit->second.schema.columns.size();
-  SSDB_ASSIGN_OR_RETURN(JoinResult joined, RunJoin(join));
-
-  QueryResult out;
-  out.join_left_columns = static_cast<uint32_t>(left_columns);
-  out.rows.reserve(joined.pairs.size());
-  for (auto& [left, right] : joined.pairs) {
-    std::vector<Value> row = std::move(left);
-    row.insert(row.end(), std::make_move_iterator(right.begin()),
-               std::make_move_iterator(right.end()));
-    out.rows.push_back(std::move(row));
-  }
-  out.count = out.rows.size();
-  return out;
+  Planner planner(this);
+  SSDB_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(join));
+  Executor executor(this);
+  return executor.Execute(plan);
 }
 
 Result<QueryResult> DataSourceClient::Execute(const std::string& sql) {
@@ -1411,8 +795,10 @@ Status DataSourceClient::RefreshTable(const std::string& table) {
   EncodeQuery(idq, &id_request);
   std::vector<Buffer> requests(providers_.size());
   for (auto& b : requests) b.Append(id_request.AsSlice());
-  SSDB_ASSIGN_OR_RETURN(std::vector<ProviderResponse> responses,
-                        CallQuorum(requests, options_.k));
+  SSDB_ASSIGN_OR_RETURN(
+      std::vector<Executor::ProviderResponse> responses,
+      Executor::CallQuorum(network_, providers_, requests, options_.k,
+                           /*minimum=*/0, /*trace=*/nullptr));
   std::vector<uint64_t> row_ids;
   Status last = Status::Unavailable("client: no usable id response");
   for (const auto& r : responses) {
@@ -1490,16 +876,16 @@ Result<bool> DataSourceClient::MatchesPlain(
   return true;
 }
 
-Status DataSourceClient::ApplyLazyToResult(const TableInfo& info,
-                                           const Query& query,
-                                           QueryResult* result) {
+Status DataSourceClient::ApplyLazyOverlay(const PlanTable& table,
+                                          const Query& query,
+                                          QueryResult* result) {
   if (lazy_log_.empty() || query.aggregate() != AggregateOp::kNone) {
     return Status::OK();
   }
   // Last pending op per row id for this table.
   std::map<uint64_t, const LazyOp*> pending;
   for (const LazyOp& op : lazy_log_) {
-    if (op.table == info.schema.table_name) pending[op.row_id] = &op;
+    if (op.table == table.schema->table_name) pending[op.row_id] = &op;
   }
   if (pending.empty()) return Status::OK();
 
@@ -1516,7 +902,8 @@ Status DataSourceClient::ApplyLazyToResult(const TableInfo& info,
   for (auto& [row_id, op] : pending) {
     if (op->kind == LazyOp::Kind::kDelete) continue;
     SSDB_ASSIGN_OR_RETURN(
-        bool matches, MatchesPlain(info.schema, op->row, query.predicates()));
+        bool matches,
+        MatchesPlain(*table.schema, op->row, query.predicates()));
     if (matches) {
       merged.row_ids.push_back(row_id);
       merged.rows.push_back(op->row);
@@ -1652,18 +1039,17 @@ Result<QueryResult> DataSourceClient::QueryPublic(const std::string& name,
         "client: subscribe to the public column before querying it");
   }
 
-  // Reuse the private rewriting machinery via a synthetic table view.
-  TableInfo view;
-  view.id = info.id;
-  view.schema.table_name = name;
-  view.schema.columns = info.columns;
+  // Reuse the private rewriting machinery via a synthetic schema view.
+  TableSchema view;
+  view.table_name = name;
+  view.columns = info.columns;
   bool always_empty = false;
 
   Status last = Status::Unavailable("client: no provider reachable");
   for (size_t p = 0; p < providers_.size(); ++p) {
     SSDB_ASSIGN_OR_RETURN(
         SharePredicate sp,
-        RewritePredicate(view, predicate, p, &always_empty));
+        RewriteForProvider(view, predicate, p, &always_empty));
     if (always_empty) return QueryResult();
     Buffer req;
     EncodePublicFilter(info.id, static_cast<uint32_t>(col_idx), sp, &req);

@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "crypto/prf.h"
 #include "net/network.h"
+#include "plan/host.h"
 #include "provider/protocol.h"
 #include "sss/order_preserving.h"
 #include "sss/shamir.h"
@@ -64,10 +65,22 @@ struct ClientStats {
   std::atomic<uint64_t> rows_reconstructed{0};
   std::atomic<uint64_t> corruption_retries{0};
   std::atomic<uint64_t> lazy_flushes{0};
+  // Aggregated from the per-query QueryTrace of every executed plan.
+  std::atomic<uint64_t> traced_bytes_sent{0};
+  std::atomic<uint64_t> traced_bytes_received{0};
+  std::atomic<uint64_t> traced_clock_us{0};
+  std::atomic<uint64_t> provider_legs{0};
+  std::atomic<uint64_t> plan_nodes_executed{0};
 };
 
 /// \brief The data source / query front-end.
-class DataSourceClient {
+///
+/// Query execution is delegated to the plan layer: every Execute overload
+/// builds a QueryPlan through Planner and walks it with Executor; the
+/// client implements PlanHost, keeping keys, PRFs and the sharing context
+/// private while the plan layer sees only shares and reconstructed
+/// plaintext.
+class DataSourceClient : private PlanHost {
  public:
   /// Creates a client over `providers` (indexes into `network`). The
   /// sharing context (n = |providers|, k, secret X) is derived from the
@@ -112,15 +125,12 @@ class DataSourceClient {
 
   /// Renders the execution plan of a query — which share representation
   /// answers each predicate, the provider-side action, and the quorum —
-  /// without contacting any provider.
+  /// without contacting any provider. The text is generated from the same
+  /// QueryPlan the executor runs, so EXPLAIN and execution cannot drift.
   Result<std::string> Explain(const Query& query);
 
-  /// \deprecated Use Execute(const JoinQuery&), which returns the unified
-  /// QueryResult form.
-  [[deprecated("use Execute(const JoinQuery&)")]] Result<JoinResult>
-  ExecuteJoin(const JoinQuery& join) {
-    return RunJoin(join);
-  }
+  /// Renders the execution plan of an equi-join.
+  Result<std::string> Explain(const JoinQuery& join);
 
   // --- Updates (§V.C) ----------------------------------------------------
 
@@ -136,7 +146,7 @@ class DataSourceClient {
 
   /// Flushes the lazy write log (no-op when empty / eager mode).
   Status Flush();
-  size_t pending_lazy_ops() const { return lazy_log_.size(); }
+  size_t pending_lazy_ops() const override { return lazy_log_.size(); }
 
   /// Proactively re-randomizes every stored random share of `table` by
   /// adding fresh shares of zero (§VI(b)): secrets are unchanged, but
@@ -168,7 +178,7 @@ class DataSourceClient {
   size_t n() const { return providers_.size(); }
   size_t k() const { return options_.k; }
   const ClientStats& stats() const { return stats_; }
-  Network* network() { return network_; }
+  Network* network() override { return network_; }
   /// Schema of a registered table.
   Result<const TableSchema*> GetSchema(const std::string& table) const;
 
@@ -191,10 +201,6 @@ class DataSourceClient {
     uint64_t row_id = 0;
     std::vector<Value> row;  // kInsert / kUpdate
   };
-  struct ProviderResponse {
-    size_t provider;
-    std::vector<uint8_t> bytes;
-  };
 
   DataSourceClient(Network* network, std::vector<size_t> providers,
                    ClientOptions options, SharingContext ctx,
@@ -208,18 +214,7 @@ class DataSourceClient {
   uint64_t RowTag(uint32_t table_id, uint64_t row_id,
                   const std::vector<int64_t>& codes) const;
 
-  // Query rewriting (§V.A): plaintext predicate -> provider i's share space.
-  Result<SharePredicate> RewritePredicate(const TableInfo& info,
-                                          const Predicate& pred,
-                                          size_t provider,
-                                          bool* always_empty);
-
-  // Transport. Fans out to `desired` providers (with sequential
-  // replacement of failed legs); succeeds as long as at least `minimum`
-  // responses arrive (`minimum` = 0 means `desired`).
-  Result<std::vector<ProviderResponse>> CallQuorum(
-      const std::vector<Buffer>& requests, size_t desired,
-      size_t minimum = 0);
+  // Transport (writes / management; reads go through Executor::CallQuorum).
   Status CallAll(const std::vector<Buffer>& requests);
   Status CallAllSame(const Buffer& request);
 
@@ -227,30 +222,41 @@ class DataSourceClient {
   Result<Value> ReconstructColumn(const ColumnSpec& column,
                                   const std::vector<IndexedShare>& shares,
                                   int64_t* code_out) const;
+
+  // --- PlanHost (the plan layer's view of this client) -------------------
+  Result<PlanTable> ResolveTable(const std::string& name) override;
+  size_t num_providers() const override { return providers_.size(); }
+  size_t threshold_k() const override { return options_.k; }
+  OpSlotMode op_mode() const override { return options_.op_mode; }
+  const std::vector<size_t>& provider_indices() const override {
+    return providers_;
+  }
+  /// Query rewriting (§V.A): plaintext predicate -> provider i's share
+  /// space.
+  Result<SharePredicate> RewriteForProvider(const TableSchema& schema,
+                                            const Predicate& pred,
+                                            size_t provider,
+                                            bool* always_empty) override;
+  Result<Fp61> ReconstructField(
+      const std::vector<IndexedShare>& shares) override;
+  Result<Value> ReconstructColumnValue(const ColumnSpec& column,
+                                       const std::vector<IndexedShare>& shares,
+                                       int64_t* code_out) override;
   /// Reconstructs one row. `columns` names the (possibly projected)
   /// schema columns the stored cells correspond to; tags are verified only
   /// for unprojected reads (`full_row`).
-  Result<std::vector<std::vector<Value>>> ReconstructRows(
-      const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
+  Result<std::vector<Value>> ReconstructStoredRow(
+      const PlanTable& table, const std::vector<const ColumnSpec*>& columns,
       bool full_row,
-      const std::vector<std::pair<size_t, StoredRow>>& provider_rows,
-      uint64_t row_id) const;
-
-  // Full query paths.
-  Result<JoinResult> RunJoin(const JoinQuery& join);
-  Result<QueryResult> ExecuteEager(const Query& query, size_t quorum);
-  Result<QueryResult> ExecuteFetch(
-      const TableInfo& info, const std::vector<const ColumnSpec*>& columns,
-      bool full_row, const std::vector<ProviderColumnLayout>& layout,
-      const std::vector<ProviderResponse>& rs);
-  Result<QueryResult> ExecuteDisjuncts(const Query& query);
-  Status ResolveTableAndPreds(const Query& query, TableInfo** info,
-                              QueryAction* action, uint32_t* target_column);
+      const std::vector<std::pair<size_t, StoredRow>>& provider_rows) override;
+  Status ApplyLazyOverlay(const PlanTable& table, const Query& query,
+                          QueryResult* result) override;
+  void OnRowsReconstructed(uint64_t rows) override;
+  void OnCorruptionRetry() override;
+  void OnTraceFinalized(const QueryTrace& trace) override;
 
   // Lazy log.
   Status AppendLazy(LazyOp op);
-  Status ApplyLazyToResult(const TableInfo& info, const Query& query,
-                           QueryResult* result);
   Result<bool> MatchesPlain(const TableSchema& schema,
                             const std::vector<Value>& row,
                             const std::vector<Predicate>& preds) const;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "codec/value.h"
+#include "plan/trace.h"
 
 namespace ssdb {
 
@@ -163,11 +164,9 @@ struct QueryResult {
   /// the number of left columns (0 for non-join results), so the pair can
   /// be split losslessly.
   uint32_t join_left_columns = 0;
-};
-
-/// \brief Result of a join: pairs of reconstructed rows.
-struct JoinResult {
-  std::vector<std::pair<std::vector<Value>, std::vector<Value>>> pairs;
+  /// Per-node execution trace: provider legs, exact bytes up/down, and
+  /// virtual-clock charges for every plan node the executor ran.
+  QueryTrace trace;
 };
 
 }  // namespace ssdb

@@ -24,21 +24,4 @@ Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
                              std::move(providers), std::move(client)));
 }
 
-// Deprecated shim: reconstructs the legacy pair form from the unified
-// left ++ right row encoding.
-Result<JoinResult> OutsourcedDatabase::ExecuteJoin(const JoinQuery& join) {
-  SSDB_ASSIGN_OR_RETURN(QueryResult unified, client_->Execute(join));
-  JoinResult out;
-  out.pairs.reserve(unified.rows.size());
-  for (auto& row : unified.rows) {
-    const auto split = row.begin() + unified.join_left_columns;
-    std::vector<Value> left(std::make_move_iterator(row.begin()),
-                            std::make_move_iterator(split));
-    std::vector<Value> right(std::make_move_iterator(split),
-                             std::make_move_iterator(row.end()));
-    out.pairs.emplace_back(std::move(left), std::move(right));
-  }
-  return out;
-}
-
 }  // namespace ssdb

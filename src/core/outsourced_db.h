@@ -96,18 +96,14 @@ class OutsourcedDatabase {
     return client_->ExecuteBatch(queries);
   }
 
-  /// \deprecated Use Execute(const std::string&).
-  [[deprecated("use Execute(const std::string&)")]] Result<QueryResult>
-  ExecuteSql(const std::string& sql) {
-    return client_->Execute(sql);
-  }
-  /// \deprecated Use Execute(const JoinQuery&), which returns QueryResult.
-  [[deprecated("use Execute(const JoinQuery&)")]] Result<JoinResult>
-  ExecuteJoin(const JoinQuery& join);
-
-  /// Renders a query's execution plan without running it.
+  /// Renders a query's execution plan without running it. The text is
+  /// generated from the same QueryPlan the executor walks; the per-query
+  /// QueryTrace on QueryResult::trace records what actually ran.
   Result<std::string> Explain(const Query& query) {
     return client_->Explain(query);
+  }
+  Result<std::string> Explain(const JoinQuery& join) {
+    return client_->Explain(join);
   }
   Result<uint64_t> Update(const std::string& table,
                           const std::vector<Predicate>& where,
@@ -142,16 +138,6 @@ class OutsourcedDatabase {
   /// Structured fault injection (E8 fault tolerance): db.faults().Down(i),
   /// .Drop(i, p), .Corrupt(i), .Heal(i), .HealAll(), or RAII ScopedFault.
   FaultController& faults() { return faults_; }
-
-  /// \deprecated Use faults().Set(provider, mode, drop_probability).
-  [[deprecated("use faults()")]] void InjectFailure(
-      size_t provider, FailureMode mode, double drop_probability = 0.0) {
-    faults_.Set(provider, mode, drop_probability);
-  }
-  /// \deprecated Use faults().HealAll().
-  [[deprecated("use faults().HealAll()")]] void HealAll() {
-    faults_.HealAll();
-  }
 
   // --- Introspection ------------------------------------------------------
 

@@ -23,8 +23,8 @@ ThreadPool& Network::pool() {
 
 Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
                                                   Slice request,
-                                                  uint64_t* elapsed_us) {
-  *elapsed_us = 0;
+                                                  CallTrace* trace) {
+  *trace = CallTrace();
   if (provider >= links_.size()) {
     return Status::InvalidArgument("network: unknown provider index");
   }
@@ -35,19 +35,20 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
   // Failure injection happens "on the wire".
   if (link.mode == FailureMode::kDown) {
     link.stats.failures++;
-    *elapsed_us = model_.latency_us;  // timeout charged as one latency
+    trace->elapsed_us = model_.latency_us;  // timeout charged as one latency
     return Status::Unavailable("provider " + link.endpoint->name() +
                                " is down");
   }
   if (link.mode == FailureMode::kDropSome &&
       link.rng.Bernoulli(link.drop_probability)) {
     link.stats.failures++;
-    *elapsed_us = model_.latency_us;
+    trace->elapsed_us = model_.latency_us;
     return Status::Unavailable("provider " + link.endpoint->name() +
                                " dropped the request");
   }
   const FailureMode mode = link.mode;
   link.stats.bytes_sent += request.size();
+  trace->bytes_sent = request.size();
 
   // The provider computes outside the link lock: that is where the
   // parallelism is, and Provider/ShareTable carry their own locks.
@@ -57,7 +58,7 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
 
   if (!response.ok()) {
     link.stats.failures++;
-    *elapsed_us = model_.RoundTripUs(request.size(), 0);
+    trace->elapsed_us = model_.RoundTripUs(request.size(), 0);
     return response.status();
   }
 
@@ -67,14 +68,17 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
     bytes[pos] ^= 0x5A;
   }
   link.stats.bytes_received += bytes.size();
-  *elapsed_us = model_.RoundTripUs(request.size(), bytes.size());
+  trace->bytes_received = bytes.size();
+  trace->elapsed_us = model_.RoundTripUs(request.size(), bytes.size());
   return bytes;
 }
 
-Result<std::vector<uint8_t>> Network::Call(size_t provider, Slice request) {
-  uint64_t elapsed = 0;
-  auto result = CallNoClock(provider, request, &elapsed);
-  clock_.Advance(elapsed);
+Result<std::vector<uint8_t>> Network::Call(size_t provider, Slice request,
+                                           CallTrace* trace) {
+  CallTrace local;
+  auto result = CallNoClock(provider, request, &local);
+  clock_.Advance(local.elapsed_us);
+  if (trace != nullptr) *trace = local;
   return result;
 }
 
@@ -84,13 +88,16 @@ Network::FanOutResult Network::CallMany(const std::vector<size_t>& providers,
   FanOutResult out;
   out.responses.assign(
       n, Result<std::vector<uint8_t>>(Status::Internal("fan-out leg not run")));
-  std::vector<uint64_t> elapsed(n, 0);
+  out.legs.assign(n, CallTrace());
   pool().ParallelFor(n, [&](size_t i) {
-    out.responses[i] = CallNoClock(providers[i], request, &elapsed[i]);
+    out.responses[i] = CallNoClock(providers[i], request, &out.legs[i]);
   });
   // The legs ran in parallel: the slowest one dominates the round trip.
   uint64_t slowest = 0;
-  for (uint64_t e : elapsed) slowest = std::max(slowest, e);
+  for (const CallTrace& leg : out.legs) {
+    slowest = std::max(slowest, leg.elapsed_us);
+  }
+  out.clock_advance_us = slowest;
   clock_.Advance(slowest);
   return out;
 }
@@ -101,13 +108,16 @@ Network::FanOutResult Network::CallManyDistinct(
   FanOutResult out;
   out.responses.assign(
       n, Result<std::vector<uint8_t>>(Status::Internal("fan-out leg not run")));
-  std::vector<uint64_t> elapsed(n, 0);
+  out.legs.assign(n, CallTrace());
   pool().ParallelFor(n, [&](size_t i) {
     const Slice req = i < requests.size() ? requests[i].AsSlice() : Slice();
-    out.responses[i] = CallNoClock(providers[i], req, &elapsed[i]);
+    out.responses[i] = CallNoClock(providers[i], req, &out.legs[i]);
   });
   uint64_t slowest = 0;
-  for (uint64_t e : elapsed) slowest = std::max(slowest, e);
+  for (const CallTrace& leg : out.legs) {
+    slowest = std::max(slowest, leg.elapsed_us);
+  }
+  out.clock_advance_us = slowest;
   clock_.Advance(slowest);
   return out;
 }

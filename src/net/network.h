@@ -68,6 +68,15 @@ enum class FailureMode {
   kDropSome,         ///< Calls fail with probability drop_probability.
 };
 
+/// Exact accounting for one call leg, as charged to the channel stats and
+/// the virtual clock. Lets callers attribute communication to individual
+/// plan nodes without re-deriving the cost model.
+struct CallTrace {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t elapsed_us = 0;  ///< Round-trip time of this leg.
+};
+
 /// Byte/message counters for one channel (or aggregated).
 struct ChannelStats {
   uint64_t calls = 0;
@@ -110,14 +119,21 @@ class Network {
   size_t num_providers() const { return links_.size(); }
 
   /// One round trip to provider i (advances the virtual clock by the full
-  /// round-trip time of this single call).
-  Result<std::vector<uint8_t>> Call(size_t provider, Slice request);
+  /// round-trip time of this single call). When `trace` is non-null it is
+  /// filled with this leg's exact byte/clock charges.
+  Result<std::vector<uint8_t>> Call(size_t provider, Slice request,
+                                    CallTrace* trace = nullptr);
 
   /// Parallel fan-out: one request per listed provider; the virtual clock
   /// advances by the slowest leg only. Failed legs yield error Status in
   /// the result vector (the call itself succeeds if the fan-out ran).
+  /// `legs` holds one CallTrace per leg (parallel to `responses`);
+  /// `clock_advance_us` is the slowest leg, i.e. what the virtual clock
+  /// was advanced by.
   struct FanOutResult {
     std::vector<Result<std::vector<uint8_t>>> responses;
+    std::vector<CallTrace> legs;
+    uint64_t clock_advance_us = 0;
   };
   FanOutResult CallMany(const std::vector<size_t>& providers, Slice request);
   /// Fan-out with per-provider request payloads (the rewritten queries of
@@ -160,10 +176,10 @@ class Network {
     ChannelStats stats;
   };
 
-  /// Executes one call without touching the clock; reports the elapsed
-  /// round-trip time through `elapsed_us`.
+  /// Executes one call without touching the clock; reports the exact
+  /// byte/clock charges through `trace`.
   Result<std::vector<uint8_t>> CallNoClock(size_t provider, Slice request,
-                                           uint64_t* elapsed_us);
+                                           CallTrace* trace);
 
   NetworkCostModel model_;
   VirtualClock clock_;

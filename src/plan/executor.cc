@@ -1,0 +1,598 @@
+#include "plan/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace ssdb {
+
+namespace {
+
+/// Signature of a response payload, used to majority-group providers that
+/// agree on a result set.
+uint64_t PayloadSignature(const std::vector<uint8_t>& bytes) {
+  return Fnv1a64(Slice(bytes));
+}
+
+void RecordLeg(PlanNodeTrace* trace, size_t provider, uint64_t bytes_sent,
+               uint64_t bytes_received, uint64_t round_trip_us, bool ok) {
+  if (trace == nullptr) return;
+  PlanLegTrace leg;
+  leg.provider = static_cast<uint32_t>(provider);
+  leg.bytes_sent = bytes_sent;
+  leg.bytes_received = bytes_received;
+  leg.round_trip_us = round_trip_us;
+  leg.ok = ok;
+  trace->legs.push_back(leg);
+  trace->bytes_sent += bytes_sent;
+  trace->bytes_received += bytes_received;
+}
+
+void BuildSkeleton(const PlanNode* node, int depth, QueryTrace* trace,
+                   std::map<const PlanNode*, size_t>* index) {
+  if (node == nullptr) return;
+  PlanNodeTrace rec;
+  rec.name = PlanNodeKindName(node->kind);
+  rec.label = node->label;
+  rec.depth = depth;
+  (*index)[node] = trace->nodes.size();
+  trace->nodes.push_back(std::move(rec));
+  for (const auto& child : node->children) {
+    BuildSkeleton(child.get(), depth + 1, trace, index);
+  }
+}
+
+}  // namespace
+
+PlanNodeTrace* Executor::Rec(const PlanNode* node, QueryTrace* trace) {
+  if (node == nullptr) return nullptr;
+  auto it = record_index_.find(node);
+  if (it == record_index_.end()) return nullptr;
+  return &trace->nodes[it->second];
+}
+
+Result<std::vector<Executor::ProviderResponse>> Executor::CallQuorum(
+    Network* network, const std::vector<size_t>& providers,
+    const std::vector<Buffer>& requests, size_t desired, size_t minimum,
+    PlanNodeTrace* trace) {
+  if (minimum == 0) minimum = desired;
+  std::vector<ProviderResponse> ok;
+  // Phase 1: parallel fan-out to the first `desired` providers.
+  std::vector<size_t> first(providers.begin(),
+                            providers.begin() + static_cast<long>(desired));
+  std::vector<Buffer> first_reqs;
+  for (size_t i = 0; i < desired; ++i) {
+    Buffer b;
+    b.Append(requests[i].AsSlice());
+    first_reqs.push_back(std::move(b));
+  }
+  Network::FanOutResult fan = network->CallManyDistinct(first, first_reqs);
+  if (trace != nullptr) {
+    trace->round_trips += 1;
+    trace->clock_us += fan.clock_advance_us;
+    for (size_t i = 0; i < desired; ++i) {
+      RecordLeg(trace, first[i], fan.legs[i].bytes_sent,
+                fan.legs[i].bytes_received, fan.legs[i].elapsed_us,
+                fan.responses[i].ok());
+    }
+  }
+  for (size_t i = 0; i < desired; ++i) {
+    if (fan.responses[i].ok()) {
+      ok.push_back(ProviderResponse{i, std::move(*fan.responses[i])});
+    }
+  }
+  // Phase 2: sequential replacements for failed legs.
+  size_t next = desired;
+  while (ok.size() < desired && next < providers.size()) {
+    CallTrace leg;
+    auto r = network->Call(providers[next], requests[next].AsSlice(), &leg);
+    if (trace != nullptr) {
+      trace->round_trips += 1;
+      trace->clock_us += leg.elapsed_us;
+      RecordLeg(trace, providers[next], leg.bytes_sent, leg.bytes_received,
+                leg.elapsed_us, r.ok());
+    }
+    if (r.ok()) {
+      ok.push_back(ProviderResponse{next, std::move(*r)});
+    }
+    ++next;
+  }
+  if (ok.size() < minimum) {
+    return Status::Unavailable(
+        "client: fewer than the required providers responded (" +
+        std::to_string(ok.size()) + "/" + std::to_string(minimum) + ")");
+  }
+  return ok;
+}
+
+Result<QueryResult> Executor::Execute(const QueryPlan& plan) {
+  QueryTrace trace;
+  record_index_.clear();
+  BuildSkeleton(plan.root.get(), 0, &trace, &record_index_);
+
+  Result<QueryResult> result =
+      plan.is_join    ? RunJoin(plan, &trace)
+      : plan.is_union ? RunUnion(plan, &trace)
+                      : RunPipelineWithRetry(plan.pipelines.front(), &trace);
+  if (result.ok()) {
+    host_->OnTraceFinalized(trace);
+    result->trace = std::move(trace);
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::RunUnion(const QueryPlan& plan,
+                                       QueryTrace* trace) {
+  // One sub-query per disjunct (conjuncts are applied to each); results
+  // are unioned by row id, first branch winning on duplicates.
+  std::map<uint64_t, std::vector<Value>> merged;
+  for (const PipelinePlan& pipe : plan.pipelines) {
+    SSDB_ASSIGN_OR_RETURN(QueryResult part, RunPipelineWithRetry(pipe, trace));
+    for (size_t i = 0; i < part.rows.size(); ++i) {
+      merged.emplace(part.row_ids[i], std::move(part.rows[i]));
+    }
+  }
+  QueryResult out;
+  for (auto& [id, row] : merged) {
+    out.row_ids.push_back(id);
+    out.rows.push_back(std::move(row));
+  }
+  out.count = out.rows.size();
+  if (PlanNodeTrace* rec = Rec(plan.root.get(), trace)) {
+    rec->executed = true;
+    rec->rows_reconstructed = out.rows.size();
+  }
+  return out;
+}
+
+Status Executor::ApplyOverlay(const PipelinePlan& pipe, QueryResult* result,
+                              QueryTrace* trace) {
+  // The host no-ops when the log is empty or the query aggregates, so
+  // this mirrors the former unconditional ApplyLazyToResult call even
+  // when the planner emitted no overlay node.
+  SSDB_RETURN_IF_ERROR(
+      host_->ApplyLazyOverlay(pipe.table, pipe.query, result));
+  if (PlanNodeTrace* rec = Rec(pipe.overlay, trace)) {
+    rec->executed = true;
+    rec->rows_reconstructed = result->rows.size();
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Executor::RunPipelineWithRetry(const PipelinePlan& pipe,
+                                                   QueryTrace* trace) {
+  Result<QueryResult> first = RunPipeline(pipe, pipe.quorum_desired, trace);
+  if (first.ok() || !first.status().IsCorruption() ||
+      host_->threshold_k() == host_->num_providers()) {
+    if (first.ok()) {
+      SSDB_RETURN_IF_ERROR(ApplyOverlay(pipe, &first.value(), trace));
+    }
+    return first;
+  }
+  // A corrupt or inconsistent quorum: retry once against every provider,
+  // letting the consistency checks localize the bad one.
+  host_->OnCorruptionRetry();
+  Result<QueryResult> retry =
+      RunPipeline(pipe, host_->num_providers(), trace);
+  if (retry.ok()) {
+    SSDB_RETURN_IF_ERROR(ApplyOverlay(pipe, &retry.value(), trace));
+  }
+  return retry;
+}
+
+Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
+                                          size_t quorum, QueryTrace* trace) {
+  const std::vector<size_t>& providers = host_->provider_indices();
+  const size_t num_providers = providers.size();
+  const TableSchema& schema = *pipe.table.schema;
+  PlanNodeTrace* scan_rec = Rec(pipe.scan, trace);
+  PlanNodeTrace* agg_rec = Rec(pipe.aggregate, trace);
+
+  // Rewrite per provider (§V.A).
+  std::vector<Buffer> requests(num_providers);
+  bool always_empty = false;
+  for (size_t p = 0; p < num_providers; ++p) {
+    QueryRequest q;
+    q.table_id = pipe.table.id;
+    q.action = pipe.action;
+    q.target_column = pipe.target_column;
+    q.group_column = pipe.group_column;
+    q.projection = pipe.projection;
+    for (const Predicate& pred : pipe.query.predicates()) {
+      SSDB_ASSIGN_OR_RETURN(
+          SharePredicate sp,
+          host_->RewriteForProvider(schema, pred, p, &always_empty));
+      if (always_empty) break;
+      q.predicates.push_back(sp);
+    }
+    if (always_empty) break;
+    EncodeQuery(q, &requests[p]);
+  }
+  if (always_empty) {
+    // Provably no matches; zero communication. The whole pipeline still
+    // "ran" (trivially) for trace purposes.
+    if (scan_rec != nullptr) scan_rec->executed = true;
+    if (agg_rec != nullptr) agg_rec->executed = true;
+    if (PlanNodeTrace* rec = Rec(pipe.reconstruct, trace)) {
+      rec->executed = true;
+    }
+    return QueryResult();
+  }
+
+  SSDB_ASSIGN_OR_RETURN(
+      std::vector<ProviderResponse> responses,
+      CallQuorum(host_->network(), providers, requests, quorum,
+                 pipe.quorum_min, scan_rec));
+  if (scan_rec != nullptr) scan_rec->executed = true;
+
+  // Majority-group identical payloads to tolerate corrupt responses.
+  std::unordered_map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    groups[PayloadSignature(responses[i].bytes)].push_back(i);
+  }
+
+  switch (pipe.action) {
+    case QueryAction::kCount: {
+      std::vector<size_t> best;
+      for (auto& [sig, members] : groups) {
+        if (members.size() > best.size()) best = members;
+      }
+      // Require a strict majority (or unanimity) of the responses; a
+      // split vote means someone is corrupt and triggers the wider retry.
+      if (best.size() != responses.size() &&
+          best.size() * 2 <= responses.size()) {
+        return Status::Corruption("client: providers disagree on the count");
+      }
+      const auto& r = responses[best.front()];
+      Decoder dec(Slice(r.bytes));
+      SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&dec));
+      QueryResult out;
+      SSDB_RETURN_IF_ERROR(DecodeCountResponse(&dec, &out.count));
+      out.aggregate_int = static_cast<int64_t>(out.count);
+      if (agg_rec != nullptr) {
+        agg_rec->executed = true;
+        agg_rec->shares_used = best.size();
+      }
+      return out;
+    }
+    case QueryAction::kPartialSum: {
+      // Sum shares legitimately differ per provider; only counts must
+      // agree.
+      std::vector<IndexedShare> sum_shares;
+      std::vector<uint64_t> counts;
+      for (const auto& r : responses) {
+        Decoder dec(Slice(r.bytes));
+        Status st = DecodeResponseHeader(&dec);
+        if (!st.ok()) continue;
+        PartialAggregate agg;
+        if (!DecodeAggResponse(&dec, &agg).ok()) continue;
+        sum_shares.push_back(
+            IndexedShare{r.provider, Fp61::FromCanonical(agg.sum_share)});
+        counts.push_back(agg.count);
+      }
+      if (sum_shares.size() < host_->threshold_k()) {
+        return Status::Unavailable("client: too few aggregate responses");
+      }
+      // Majority count.
+      std::sort(counts.begin(), counts.end());
+      const uint64_t count = counts[counts.size() / 2];
+      SSDB_ASSIGN_OR_RETURN(Fp61 sum_w, host_->ReconstructField(sum_shares));
+      const ColumnSpec& col = schema.columns[pipe.target_column];
+      SSDB_ASSIGN_OR_RETURN(OpDomain dom, col.CodeDomain());
+      QueryResult out;
+      out.count = count;
+      out.aggregate_int = static_cast<int64_t>(sum_w.value()) +
+                          static_cast<int64_t>(count) * dom.lo;
+      out.aggregate_double = count == 0
+                                 ? 0.0
+                                 : static_cast<double>(out.aggregate_int) /
+                                       static_cast<double>(count);
+      if (agg_rec != nullptr) {
+        agg_rec->executed = true;
+        agg_rec->shares_used = sum_shares.size();
+        agg_rec->rows_reconstructed = 1;
+      }
+      return out;
+    }
+    case QueryAction::kGroupedSum: {
+      // Zip the per-provider group lists (ordered by representative row
+      // id at every provider) and reconstruct key + sum per group.
+      struct ParsedGroups {
+        size_t provider;
+        std::vector<GroupPartial> groups;
+      };
+      std::vector<ParsedGroups> parsed;
+      for (const auto& r : responses) {
+        Decoder dec(Slice(r.bytes));
+        Status st = DecodeResponseHeader(&dec);
+        if (!st.ok()) {
+          if (st.IsNotSupported() || st.IsInvalidArgument()) return st;
+          continue;
+        }
+        ParsedGroups p;
+        p.provider = r.provider;
+        if (!DecodeGroupedAggResponse(&dec, &p.groups).ok()) continue;
+        parsed.push_back(std::move(p));
+      }
+      if (parsed.size() < host_->threshold_k()) {
+        return Status::Unavailable("client: too few grouped responses");
+      }
+      const size_t num_groups = parsed.front().groups.size();
+      for (const auto& p : parsed) {
+        if (p.groups.size() != num_groups) {
+          return Status::Corruption(
+              "client: providers disagree on the group count");
+        }
+      }
+      const ColumnSpec& key_col = schema.columns[pipe.group_column];
+      const ColumnSpec& sum_col = schema.columns[pipe.target_column];
+      SSDB_ASSIGN_OR_RETURN(OpDomain sum_dom, sum_col.CodeDomain());
+      QueryResult out;
+      for (size_t g = 0; g < num_groups; ++g) {
+        std::vector<IndexedShare> key_shares, sum_shares;
+        uint64_t count = parsed.front().groups[g].count;
+        for (const auto& p : parsed) {
+          const GroupPartial& gp = p.groups[g];
+          if (gp.rep_row_id != parsed.front().groups[g].rep_row_id ||
+              gp.count != count) {
+            return Status::Corruption(
+                "client: providers disagree on a group's membership");
+          }
+          key_shares.push_back(
+              IndexedShare{p.provider, Fp61::FromCanonical(gp.key_share)});
+          sum_shares.push_back(
+              IndexedShare{p.provider, Fp61::FromCanonical(gp.sum_share)});
+        }
+        GroupResult group;
+        SSDB_ASSIGN_OR_RETURN(
+            group.key,
+            host_->ReconstructColumnValue(key_col, key_shares, nullptr));
+        SSDB_ASSIGN_OR_RETURN(Fp61 sum_w, host_->ReconstructField(sum_shares));
+        group.count = count;
+        group.sum = static_cast<int64_t>(sum_w.value()) +
+                    static_cast<int64_t>(count) * sum_dom.lo;
+        group.average = count == 0 ? 0.0
+                                   : static_cast<double>(group.sum) /
+                                         static_cast<double>(count);
+        out.count += count;
+        out.groups.push_back(std::move(group));
+      }
+      if (agg_rec != nullptr) {
+        agg_rec->executed = true;
+        agg_rec->shares_used = parsed.size();
+        agg_rec->rows_reconstructed = num_groups;
+      }
+      return out;
+    }
+    case QueryAction::kFetchRows:
+    case QueryAction::kArgMin:
+    case QueryAction::kArgMax:
+    case QueryAction::kMedian: {
+      SSDB_ASSIGN_OR_RETURN(QueryResult out,
+                            RunFetch(pipe, responses, trace));
+      if (pipe.action != QueryAction::kFetchRows && !out.rows.empty()) {
+        // With projection the aggregate column may sit at a new position;
+        // find it in the result columns.
+        size_t pos = pipe.result_columns.size();
+        for (size_t c = 0; c < pipe.result_columns.size(); ++c) {
+          if (pipe.result_columns[c] ==
+              &schema.columns[pipe.target_column]) {
+            pos = c;
+          }
+        }
+        if (pos < pipe.result_columns.size()) {
+          SSDB_ASSIGN_OR_RETURN(
+              int64_t code,
+              pipe.result_columns[pos]->EncodeToCode(out.rows.front()[pos]));
+          out.aggregate_int = code;
+          out.aggregate_double = static_cast<double>(code);
+        }
+      }
+      out.count = out.rows.size();
+      if (agg_rec != nullptr) agg_rec->executed = true;
+      return out;
+    }
+    case QueryAction::kFetchRowIds:
+      break;
+  }
+  return Status::Internal("client: unhandled action");
+}
+
+Result<QueryResult> Executor::RunFetch(
+    const PipelinePlan& pipe, const std::vector<ProviderResponse>& responses,
+    QueryTrace* trace) {
+  PlanNodeTrace* scan_rec = Rec(pipe.scan, trace);
+  PlanNodeTrace* rec_rec = Rec(pipe.reconstruct, trace);
+  // Decode rows per provider; majority-group by the row id sequence.
+  struct Parsed {
+    size_t provider;
+    std::vector<StoredRow> rows;
+  };
+  std::vector<Parsed> parsed;
+  for (const auto& r : responses) {
+    Decoder dec(Slice(r.bytes));
+    Status st = DecodeResponseHeader(&dec);
+    if (!st.ok()) {
+      if (st.IsNotSupported() || st.IsInvalidArgument() || st.IsNotFound()) {
+        return st;  // a semantic error is the query's fault, not noise
+      }
+      continue;
+    }
+    Parsed p;
+    p.provider = r.provider;
+    if (!DecodeRowsResponse(&dec, pipe.response_layout, &p.rows).ok()) {
+      continue;
+    }
+    if (scan_rec != nullptr) scan_rec->rows_scanned += p.rows.size();
+    parsed.push_back(std::move(p));
+  }
+
+  std::unordered_map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    Buffer sig;
+    for (const StoredRow& row : parsed[i].rows) sig.PutU64(row.row_id);
+    groups[Fnv1a64(sig.AsSlice())].push_back(i);
+  }
+  std::vector<size_t> best;
+  for (auto& [sig, members] : groups) {
+    if (members.size() > best.size()) best = members;
+  }
+  if (best.size() < host_->threshold_k()) {
+    return Status::Corruption(
+        "client: providers disagree on the matching row set");
+  }
+
+  const std::vector<StoredRow>& reference = parsed[best.front()].rows;
+  QueryResult out;
+  for (size_t row_idx = 0; row_idx < reference.size(); ++row_idx) {
+    std::vector<std::pair<size_t, StoredRow>> per_provider;
+    for (size_t member : best) {
+      per_provider.emplace_back(parsed[member].provider,
+                                parsed[member].rows[row_idx]);
+    }
+    SSDB_ASSIGN_OR_RETURN(
+        std::vector<Value> row,
+        host_->ReconstructStoredRow(pipe.table, pipe.result_columns,
+                                    pipe.full_row, per_provider));
+    host_->OnRowsReconstructed(1);
+    out.row_ids.push_back(reference[row_idx].row_id);
+    out.rows.push_back(std::move(row));
+  }
+  out.count = out.rows.size();
+  if (rec_rec != nullptr) {
+    rec_rec->executed = true;
+    rec_rec->shares_used = best.size();
+    rec_rec->rows_reconstructed += out.rows.size();
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
+                                      QueryTrace* trace) {
+  const JoinPlanSpec& spec = plan.join;
+  const std::vector<size_t>& providers = host_->provider_indices();
+  const size_t num_providers = providers.size();
+  PlanNodeTrace* join_rec = Rec(spec.join, trace);
+  PlanNodeTrace* rec_rec = Rec(spec.reconstruct, trace);
+
+  QueryResult empty;
+  empty.join_left_columns =
+      static_cast<uint32_t>(spec.left.schema->columns.size());
+
+  std::vector<Buffer> requests(num_providers);
+  bool always_empty = false;
+  for (size_t p = 0; p < num_providers; ++p) {
+    JoinRequest jr;
+    jr.left_table = spec.left.id;
+    jr.left_column = spec.left_column;
+    jr.right_table = spec.right.id;
+    jr.right_column = spec.right_column;
+    for (const Predicate& pred : spec.query.left_predicates) {
+      SSDB_ASSIGN_OR_RETURN(
+          SharePredicate sp,
+          host_->RewriteForProvider(*spec.left.schema, pred, p,
+                                    &always_empty));
+      if (always_empty) break;
+      jr.left_predicates.push_back(sp);
+    }
+    for (const Predicate& pred : spec.query.right_predicates) {
+      if (always_empty) break;
+      SSDB_ASSIGN_OR_RETURN(
+          SharePredicate sp,
+          host_->RewriteForProvider(*spec.right.schema, pred, p,
+                                    &always_empty));
+      if (always_empty) break;
+      jr.right_predicates.push_back(sp);
+    }
+    if (always_empty) break;
+    EncodeJoin(jr, &requests[p]);
+  }
+  if (always_empty) {
+    if (join_rec != nullptr) join_rec->executed = true;
+    if (rec_rec != nullptr) rec_rec->executed = true;
+    return empty;
+  }
+
+  SSDB_ASSIGN_OR_RETURN(
+      std::vector<ProviderResponse> responses,
+      CallQuorum(host_->network(), providers, requests, spec.quorum_desired,
+                 spec.quorum_min, join_rec));
+  if (join_rec != nullptr) join_rec->executed = true;
+
+  struct Parsed {
+    size_t provider;
+    std::vector<JoinedRowPair> pairs;
+  };
+  std::vector<Parsed> parsed;
+  for (const auto& r : responses) {
+    Decoder dec(Slice(r.bytes));
+    Status st = DecodeResponseHeader(&dec);
+    if (!st.ok()) {
+      if (st.IsNotSupported() || st.IsInvalidArgument()) return st;
+      continue;
+    }
+    Parsed p;
+    p.provider = r.provider;
+    if (!DecodeJoinResponse(&dec, *spec.left.layout, *spec.right.layout,
+                            &p.pairs)
+             .ok()) {
+      continue;
+    }
+    if (join_rec != nullptr) join_rec->rows_scanned += p.pairs.size();
+    parsed.push_back(std::move(p));
+  }
+  std::unordered_map<uint64_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    Buffer sig;
+    for (const auto& pr : parsed[i].pairs) {
+      sig.PutU64(pr.left.row_id);
+      sig.PutU64(pr.right.row_id);
+    }
+    groups[Fnv1a64(sig.AsSlice())].push_back(i);
+  }
+  std::vector<size_t> best;
+  for (auto& [sig, members] : groups) {
+    if (members.size() > best.size()) best = members;
+  }
+  if (best.size() < host_->threshold_k()) {
+    return Status::Corruption("client: providers disagree on the join result");
+  }
+
+  std::vector<const ColumnSpec*> lcols, rcols;
+  for (const ColumnSpec& c : spec.left.schema->columns) lcols.push_back(&c);
+  for (const ColumnSpec& c : spec.right.schema->columns) rcols.push_back(&c);
+
+  const auto& reference = parsed[best.front()].pairs;
+  QueryResult out = std::move(empty);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    std::vector<std::pair<size_t, StoredRow>> lrows, rrows;
+    for (size_t member : best) {
+      lrows.emplace_back(parsed[member].provider,
+                         parsed[member].pairs[i].left);
+      rrows.emplace_back(parsed[member].provider,
+                         parsed[member].pairs[i].right);
+    }
+    SSDB_ASSIGN_OR_RETURN(
+        std::vector<Value> row,
+        host_->ReconstructStoredRow(spec.left, lcols, /*full_row=*/true,
+                                    lrows));
+    SSDB_ASSIGN_OR_RETURN(
+        std::vector<Value> rvals,
+        host_->ReconstructStoredRow(spec.right, rcols, /*full_row=*/true,
+                                    rrows));
+    host_->OnRowsReconstructed(2);
+    row.insert(row.end(), std::make_move_iterator(rvals.begin()),
+               std::make_move_iterator(rvals.end()));
+    out.rows.push_back(std::move(row));
+  }
+  out.count = out.rows.size();
+  if (rec_rec != nullptr) {
+    rec_rec->executed = true;
+    rec_rec->shares_used = best.size();
+    rec_rec->rows_reconstructed = 2 * out.rows.size();
+  }
+  return out;
+}
+
+}  // namespace ssdb

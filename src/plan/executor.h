@@ -1,0 +1,71 @@
+// The Executor: walks a QueryPlan, issuing Network::CallMany fan-outs
+// and Lagrange reconstruction through the PlanHost hooks.
+//
+// Execution is a faithful re-organization of the client's former
+// monolithic query paths: the same per-provider rewrites, the same
+// quorum fan-out with sequential replacement of failed legs, the same
+// majority grouping and corruption-retry policy — so results, provider
+// byte streams and virtual-clock totals are identical to the
+// pre-plan-layer code. What is new is the QueryTrace: every plan node
+// records the provider legs it issued, exact bytes up/down, the
+// virtual-clock time charged, and row/share counters.
+
+#ifndef SSDB_PLAN_EXECUTOR_H_
+#define SSDB_PLAN_EXECUTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "plan/host.h"
+#include "plan/plan.h"
+#include "plan/trace.h"
+
+namespace ssdb {
+
+class Executor {
+ public:
+  explicit Executor(PlanHost* host) : host_(host) {}
+
+  /// Executes the plan; on success the QueryResult carries the trace.
+  Result<QueryResult> Execute(const QueryPlan& plan);
+
+  /// One provider's successful response; `provider` is the client-local
+  /// leg index (the share evaluation point index).
+  struct ProviderResponse {
+    size_t provider;
+    std::vector<uint8_t> bytes;
+  };
+
+  /// Quorum fan-out shared with the client's management paths
+  /// (RefreshTable): parallel fan-out to the first `desired` providers,
+  /// then sequential replacement of failed legs; succeeds once at least
+  /// `minimum` responses arrived (`minimum` = 0 means `desired`). When
+  /// `trace` is non-null every leg and the clock advance are recorded.
+  static Result<std::vector<ProviderResponse>> CallQuorum(
+      Network* network, const std::vector<size_t>& providers,
+      const std::vector<Buffer>& requests, size_t desired, size_t minimum,
+      PlanNodeTrace* trace);
+
+ private:
+  Result<QueryResult> RunUnion(const QueryPlan& plan, QueryTrace* trace);
+  Result<QueryResult> RunPipelineWithRetry(const PipelinePlan& pipe,
+                                           QueryTrace* trace);
+  Result<QueryResult> RunPipeline(const PipelinePlan& pipe, size_t quorum,
+                                  QueryTrace* trace);
+  Result<QueryResult> RunFetch(const PipelinePlan& pipe,
+                               const std::vector<ProviderResponse>& responses,
+                               QueryTrace* trace);
+  Result<QueryResult> RunJoin(const QueryPlan& plan, QueryTrace* trace);
+  Status ApplyOverlay(const PipelinePlan& pipe, QueryResult* result,
+                      QueryTrace* trace);
+
+  /// The trace record of `node` (skeleton built in Execute).
+  PlanNodeTrace* Rec(const PlanNode* node, QueryTrace* trace);
+
+  PlanHost* host_;
+  std::map<const PlanNode*, size_t> record_index_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_PLAN_EXECUTOR_H_

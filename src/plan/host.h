@@ -1,0 +1,83 @@
+// The narrow interface the plan layer needs from the data source.
+//
+// The Planner consults only the catalog half (table metadata, n, k,
+// sharing mode); the Executor additionally uses the share-space half:
+// predicate rewriting into a provider's share space and k-of-n
+// reconstruction. Keys, PRFs and the sharing context never leave the
+// client — the plan layer sees shares and reconstructed plaintext only
+// through these hooks.
+
+#ifndef SSDB_PLAN_HOST_H_
+#define SSDB_PLAN_HOST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/query.h"
+#include "field/fp61.h"
+#include "net/network.h"
+#include "plan/plan.h"
+#include "provider/protocol.h"
+#include "sss/order_preserving.h"
+#include "sss/shamir.h"
+#include "storage/share_table.h"
+
+namespace ssdb {
+
+/// \brief Catalog + share-space services the plan layer runs against.
+/// Implemented by DataSourceClient.
+class PlanHost {
+ public:
+  virtual ~PlanHost() = default;
+
+  // --- Catalog (Planner) ------------------------------------------------
+  virtual Result<PlanTable> ResolveTable(const std::string& name) = 0;
+  virtual size_t num_providers() const = 0;
+  virtual size_t threshold_k() const = 0;
+  virtual OpSlotMode op_mode() const = 0;
+  virtual size_t pending_lazy_ops() const = 0;
+
+  // --- Transport (Executor) ---------------------------------------------
+  virtual Network* network() = 0;
+  /// Network indices of the client's providers, in fan-out order.
+  virtual const std::vector<size_t>& provider_indices() const = 0;
+
+  // --- Share space (Executor) -------------------------------------------
+  /// Rewrites one plaintext predicate into provider `provider`'s share
+  /// space (§V.A). Sets *always_empty when the predicate provably
+  /// matches nothing (value outside the domain).
+  virtual Result<SharePredicate> RewriteForProvider(const TableSchema& schema,
+                                                    const Predicate& pred,
+                                                    size_t provider,
+                                                    bool* always_empty) = 0;
+  /// Robust Lagrange reconstruction of one field element (tolerates one
+  /// corrupt provider when >= k+2 shares are supplied).
+  virtual Result<Fp61> ReconstructField(
+      const std::vector<IndexedShare>& shares) = 0;
+  /// Reconstructs one column value (decoded through the column codec).
+  virtual Result<Value> ReconstructColumnValue(
+      const ColumnSpec& column, const std::vector<IndexedShare>& shares,
+      int64_t* code_out) = 0;
+  /// Reconstructs one stored row from >= k provider copies, verifying the
+  /// integrity tag on unprojected reads.
+  virtual Result<std::vector<Value>> ReconstructStoredRow(
+      const PlanTable& table, const std::vector<const ColumnSpec*>& columns,
+      bool full_row,
+      const std::vector<std::pair<size_t, StoredRow>>& provider_rows) = 0;
+
+  // --- Result post-processing / stats (Executor) ------------------------
+  /// Merges the client-side pending write log over a row result (§V.C).
+  virtual Status ApplyLazyOverlay(const PlanTable& table, const Query& query,
+                                  QueryResult* result) = 0;
+  virtual void OnRowsReconstructed(uint64_t rows) = 0;
+  virtual void OnCorruptionRetry() = 0;
+  /// Called once per executed plan with the finished trace, for
+  /// aggregation into ClientStats.
+  virtual void OnTraceFinalized(const QueryTrace& trace) = 0;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_PLAN_HOST_H_

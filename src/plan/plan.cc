@@ -1,0 +1,53 @@
+#include "plan/plan.h"
+
+namespace ssdb {
+
+const char* PlanNodeKindName(PlanNodeKind kind) {
+  switch (kind) {
+    case PlanNodeKind::kExactMatchScan:
+      return "ExactMatchScan";
+    case PlanNodeKind::kRangeScan:
+      return "RangeScan";
+    case PlanNodeKind::kFetchAllScan:
+      return "FetchAllScan";
+    case PlanNodeKind::kDisjunctUnion:
+      return "DisjunctUnion";
+    case PlanNodeKind::kAggregate:
+      return "Aggregate";
+    case PlanNodeKind::kEquiJoin:
+      return "EquiJoin";
+    case PlanNodeKind::kReconstruct:
+      return "Reconstruct";
+    case PlanNodeKind::kLazyOverlay:
+      return "LazyOverlay";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+void RenderNode(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.label;
+  *out += "\n";
+  for (const std::string& detail : node.details) {
+    out->append(static_cast<size_t>(depth) * 2 + 2, ' ');
+    *out += detail;
+    *out += "\n";
+  }
+  for (const auto& child : node.children) {
+    RenderNode(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryPlan::Render() const {
+  std::string out;
+  if (root != nullptr) RenderNode(*root, 0, &out);
+  out += "read quorum: " + std::to_string(k) + " of " + std::to_string(n) +
+         " providers; writes fan out to " + std::to_string(n) + "\n";
+  return out;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,114 @@
+// The query plan IR.
+//
+// The §V.A provider-side strategies — exact match on deterministic
+// shares, range filtering on order-preserving shares, provider-side
+// aggregation, same-domain equi-joins — are represented as an explicit
+// tree of plan nodes built by the Planner (plan/planner.h) and walked
+// by the Executor (plan/executor.h). EXPLAIN output is rendered from
+// this tree, and the per-query QueryTrace records one entry per node,
+// so what is explained, what is executed, and what is traced can never
+// drift apart.
+
+#ifndef SSDB_PLAN_PLAN_H_
+#define SSDB_PLAN_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/query.h"
+#include "codec/schema.h"
+#include "provider/protocol.h"
+
+namespace ssdb {
+
+enum class PlanNodeKind : uint8_t {
+  kExactMatchScan,  ///< Provider equality filter on deterministic shares.
+  kRangeScan,       ///< Provider range filter on order-preserving shares.
+  kFetchAllScan,    ///< Unfiltered provider scan (no predicates).
+  kDisjunctUnion,   ///< Union of per-disjunct sub-plans by row id.
+  kAggregate,       ///< Provider-side partials or client-side pick.
+  kEquiJoin,        ///< Provider-side same-domain equi-join.
+  kReconstruct,     ///< k-of-n Lagrange reconstruction of share rows.
+  kLazyOverlay,     ///< Merge of the client-side pending write log.
+};
+
+const char* PlanNodeKindName(PlanNodeKind kind);
+
+/// One node of a query plan. Labels and details are what EXPLAIN prints
+/// and what the node's QueryTrace record carries.
+struct PlanNode {
+  PlanNodeKind kind = PlanNodeKind::kFetchAllScan;
+  /// Display label, e.g. "RangeScan('Employees')".
+  std::string label;
+  /// Indented annotation lines (predicate rewrites, quorum, codec notes).
+  std::vector<std::string> details;
+  std::vector<std::unique_ptr<PlanNode>> children;
+};
+
+/// Resolved catalog metadata of one table; the pointers reference the
+/// client's registration and stay valid for the plan's lifetime.
+struct PlanTable {
+  std::string name;
+  uint32_t id = 0;
+  const TableSchema* schema = nullptr;
+  const std::vector<ProviderColumnLayout>* layout = nullptr;
+};
+
+/// One scan pipeline: Scan -> [Reconstruct] -> [Aggregate] ->
+/// [LazyOverlay]. A plain query has one pipeline; a disjunctive query
+/// has one per disjunct under a DisjunctUnion root.
+struct PipelinePlan {
+  /// The (sub)query this pipeline answers. For disjunct children this is
+  /// the synthesized conjuncts+disjunct query.
+  Query query = Query::Select("");
+  PlanTable table;
+  QueryAction action = QueryAction::kFetchRows;
+  uint32_t target_column = 0;
+  uint32_t group_column = 0;
+  std::vector<uint32_t> projection;  ///< Provider column indices.
+  bool full_row = true;
+  std::vector<const ColumnSpec*> result_columns;
+  std::vector<ProviderColumnLayout> response_layout;
+  size_t quorum_desired = 0;  ///< Providers contacted in the first round.
+  size_t quorum_min = 0;      ///< Responses required (the threshold k).
+
+  // Non-owning pointers into the plan tree (null when the node is absent).
+  PlanNode* scan = nullptr;
+  PlanNode* reconstruct = nullptr;
+  PlanNode* aggregate = nullptr;
+  PlanNode* overlay = nullptr;
+};
+
+/// Resolved equi-join plan: Reconstruct -> EquiJoin.
+struct JoinPlanSpec {
+  JoinQuery query;
+  PlanTable left, right;
+  uint32_t left_column = 0;
+  uint32_t right_column = 0;
+  size_t quorum_desired = 0;
+  size_t quorum_min = 0;
+
+  PlanNode* join = nullptr;
+  PlanNode* reconstruct = nullptr;
+};
+
+/// \brief A complete, executable query plan.
+struct QueryPlan {
+  std::unique_ptr<PlanNode> root;
+  bool is_join = false;
+  /// Root is a DisjunctUnion over pipelines (is_join == false).
+  bool is_union = false;
+  std::vector<PipelinePlan> pipelines;
+  JoinPlanSpec join;
+  size_t n = 0;  ///< Providers.
+  size_t k = 0;  ///< Reconstruction threshold.
+
+  /// Renders the EXPLAIN text from the node tree.
+  std::string Render() const;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_PLAN_PLAN_H_

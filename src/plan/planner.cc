@@ -1,0 +1,378 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+
+#include "codec/string27.h"
+
+namespace ssdb {
+
+namespace {
+
+/// Provider-side action names (indexed by QueryAction).
+const char* const kActionNames[] = {
+    "FetchRows",  "FetchRowIds", "Count",  "PartialSum(provider-side)",
+    "ArgMin",     "ArgMax",      "Median", "GroupedSum(provider-side)"};
+
+std::unique_ptr<PlanNode> MakeNode(PlanNodeKind kind, std::string label) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->label = std::move(label);
+  return node;
+}
+
+}  // namespace
+
+Status Planner::ResolveAction(const Query& query, PlanTable* table,
+                              QueryAction* action, uint32_t* target_column) {
+  SSDB_ASSIGN_OR_RETURN(*table, host_->ResolveTable(query.table()));
+  const TableSchema& schema = *table->schema;
+
+  *target_column = 0;
+  const bool grouped = !query.group_by().empty();
+  if (grouped) {
+    if (query.aggregate() != AggregateOp::kSum &&
+        query.aggregate() != AggregateOp::kAvg &&
+        query.aggregate() != AggregateOp::kCount) {
+      return Status::NotSupported(
+          "client: GROUP BY supports SUM/AVG/COUNT only");
+    }
+    SSDB_ASSIGN_OR_RETURN(size_t gidx, schema.ColumnIndex(query.group_by()));
+    if (!schema.columns[gidx].exact_match()) {
+      return Status::NotSupported(
+          "client: GROUP BY column must be declared kCapExactMatch");
+    }
+    *action = QueryAction::kGroupedSum;
+    // For COUNT the summed column is irrelevant; reuse the group column.
+    const std::string& target = query.aggregate() == AggregateOp::kCount
+                                    ? query.group_by()
+                                    : query.aggregate_column();
+    SSDB_ASSIGN_OR_RETURN(size_t tidx, schema.ColumnIndex(target));
+    *target_column = static_cast<uint32_t>(tidx);
+    return Status::OK();
+  }
+  switch (query.aggregate()) {
+    case AggregateOp::kNone:
+      *action = QueryAction::kFetchRows;
+      return Status::OK();
+    case AggregateOp::kCount:
+      *action = QueryAction::kCount;
+      return Status::OK();
+    case AggregateOp::kSum:
+    case AggregateOp::kAvg:
+      *action = QueryAction::kPartialSum;
+      break;
+    case AggregateOp::kMin:
+      *action = QueryAction::kArgMin;
+      break;
+    case AggregateOp::kMax:
+      *action = QueryAction::kArgMax;
+      break;
+    case AggregateOp::kMedian:
+      *action = QueryAction::kMedian;
+      break;
+  }
+  SSDB_ASSIGN_OR_RETURN(size_t idx,
+                        schema.ColumnIndex(query.aggregate_column()));
+  const ColumnSpec& col = schema.columns[idx];
+  if ((*action == QueryAction::kArgMin || *action == QueryAction::kArgMax ||
+       *action == QueryAction::kMedian) &&
+      !col.range()) {
+    return Status::NotSupported(
+        "client: MIN/MAX/MEDIAN need kCapRange on the aggregate column");
+  }
+  *target_column = static_cast<uint32_t>(idx);
+  return Status::OK();
+}
+
+Result<std::string> Planner::DescribePredicate(const TableSchema& schema,
+                                               const Predicate& pred) {
+  SSDB_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(pred.column));
+  const ColumnSpec& col = schema.columns[idx];
+  switch (pred.kind) {
+    case Predicate::Kind::kEq:
+      return pred.column + " = " + pred.eq.ToString() +
+             "  -> provider equality on deterministic shares (column " +
+             std::to_string(idx) + ")";
+    case Predicate::Kind::kBetween: {
+      const int degree =
+          static_cast<int>(std::min<size_t>(host_->threshold_k() - 1, 3));
+      return pred.column + " BETWEEN " + pred.lo.ToString() + " AND " +
+             pred.hi.ToString() +
+             "  -> provider range scan on order-preserving shares (column " +
+             std::to_string(idx) + ", degree-" + std::to_string(degree) +
+             " polynomials, " +
+             (host_->op_mode() == OpSlotMode::kPaperSlots
+                  ? "paper slots"
+                  : "recursive coefficients") +
+             ")";
+    }
+    case Predicate::Kind::kPrefix: {
+      if (col.type != ValueType::kString) {
+        return Status::InvalidArgument(
+            "client: prefix predicate needs a string column");
+      }
+      SSDB_ASSIGN_OR_RETURN(String27 codec, String27::Create(col.string_width));
+      SSDB_ASSIGN_OR_RETURN(OpDomain range, codec.PrefixRange(pred.prefix));
+      return pred.column + " LIKE '" + pred.prefix + "%'  -> base-27 codes [" +
+             std::to_string(range.lo) + ", " + std::to_string(range.hi) +
+             "], provider range scan on order-preserving shares";
+    }
+  }
+  return Status::Internal("planner: unhandled predicate kind");
+}
+
+Result<std::unique_ptr<PlanNode>> Planner::PlanPipeline(const Query& query,
+                                                        PipelinePlan* out) {
+  SSDB_RETURN_IF_ERROR(
+      ResolveAction(query, &out->table, &out->action, &out->target_column));
+  const TableSchema& schema = *out->table.schema;
+  out->query = query;
+
+  // Resolve GROUP BY and projection to provider column indices.
+  if (out->action == QueryAction::kGroupedSum) {
+    SSDB_ASSIGN_OR_RETURN(size_t gidx, schema.ColumnIndex(query.group_by()));
+    out->group_column = static_cast<uint32_t>(gidx);
+  }
+  out->full_row = query.projection().empty();
+  if (out->full_row) {
+    for (const ColumnSpec& col : schema.columns) {
+      out->result_columns.push_back(&col);
+    }
+    out->response_layout = *out->table.layout;
+  } else {
+    for (const std::string& name : query.projection()) {
+      SSDB_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+      out->projection.push_back(static_cast<uint32_t>(idx));
+      out->result_columns.push_back(&schema.columns[idx]);
+      out->response_layout.push_back((*out->table.layout)[idx]);
+    }
+  }
+
+  // Read quorum (§III): k shares reconstruct. Scalar aggregate responses
+  // (PartialSum / GroupedSum / Count) carry no integrity tags and a bare
+  // k-share reconstruction has zero redundancy, so one extra provider is
+  // consulted when available.
+  const size_t n = host_->num_providers();
+  const size_t k = host_->threshold_k();
+  out->quorum_desired = k;
+  if (query.aggregate() == AggregateOp::kSum ||
+      query.aggregate() == AggregateOp::kAvg ||
+      query.aggregate() == AggregateOp::kCount) {
+    out->quorum_desired = std::min(n, k + 1);
+  }
+  out->quorum_min = k;
+
+  // Access-path selection: an equality predicate answers on deterministic
+  // shares; otherwise a range/prefix predicate answers on
+  // order-preserving shares; with no predicate the providers scan.
+  bool has_eq = false, has_range = false;
+  for (const Predicate& pred : query.predicates()) {
+    if (pred.kind == Predicate::Kind::kEq) has_eq = true;
+    if (pred.kind == Predicate::Kind::kBetween ||
+        pred.kind == Predicate::Kind::kPrefix) {
+      has_range = true;
+    }
+  }
+  const PlanNodeKind scan_kind = has_eq      ? PlanNodeKind::kExactMatchScan
+                                 : has_range ? PlanNodeKind::kRangeScan
+                                             : PlanNodeKind::kFetchAllScan;
+
+  auto scan = MakeNode(
+      scan_kind, std::string(PlanNodeKindName(scan_kind)) + "('" +
+                     out->table.name + "' table id " +
+                     std::to_string(out->table.id) + ", quorum " +
+                     std::to_string(out->quorum_desired) + " of " +
+                     std::to_string(n) + ")");
+  for (const Predicate& pred : query.predicates()) {
+    SSDB_ASSIGN_OR_RETURN(std::string line, DescribePredicate(schema, pred));
+    scan->details.push_back(std::move(line));
+  }
+  if (!out->full_row) {
+    std::string proj = "projection:";
+    for (const std::string& c : query.projection()) proj += " " + c;
+    proj += " (pushed to providers; integrity tags unverifiable)";
+    scan->details.push_back(std::move(proj));
+  }
+  out->scan = scan.get();
+  std::unique_ptr<PlanNode> top = std::move(scan);
+
+  const std::string kofn =
+      std::to_string(k) + "-of-" + std::to_string(n);
+  const bool fetches_rows = out->action == QueryAction::kFetchRows ||
+                            out->action == QueryAction::kArgMin ||
+                            out->action == QueryAction::kArgMax ||
+                            out->action == QueryAction::kMedian;
+  if (fetches_rows) {
+    auto rec = MakeNode(PlanNodeKind::kReconstruct,
+                        "Reconstruct[" + kofn + " Lagrange]");
+    rec->details.push_back(
+        out->full_row ? "row integrity tags checked on full-row reads"
+                      : "projected read; integrity tags unverifiable");
+    out->reconstruct = rec.get();
+    rec->children.push_back(std::move(top));
+    top = std::move(rec);
+  }
+
+  if (out->action != QueryAction::kFetchRows) {
+    std::string label =
+        "Aggregate[" +
+        std::string(kActionNames[static_cast<int>(out->action)]) + "]";
+    if (out->action != QueryAction::kCount) {
+      label += " on column " + std::to_string(out->target_column);
+    }
+    auto agg = MakeNode(PlanNodeKind::kAggregate, std::move(label));
+    switch (out->action) {
+      case QueryAction::kCount:
+        agg->details.push_back("majority vote over provider match counts");
+        break;
+      case QueryAction::kPartialSum:
+        agg->details.push_back(
+            "provider-side partial sums; client reconstructs the total (" +
+            kofn + ")");
+        break;
+      case QueryAction::kGroupedSum:
+        agg->details.push_back(
+            "GROUP BY column " + std::to_string(out->group_column) +
+            " on deterministic shares; per-group partials zipped by "
+            "representative row id");
+        break;
+      default:
+        agg->details.push_back(
+            "client-side pick from reconstructed candidate rows");
+        break;
+    }
+    out->aggregate = agg.get();
+    agg->children.push_back(std::move(top));
+    top = std::move(agg);
+  }
+
+  // The client-side pending write log overlays row results only; when the
+  // log is non-empty at plan time (aggregates flush it beforehand), the
+  // merge is an explicit plan step.
+  if (query.aggregate() == AggregateOp::kNone &&
+      host_->pending_lazy_ops() > 0) {
+    auto overlay =
+        MakeNode(PlanNodeKind::kLazyOverlay,
+                 "LazyOverlay[" + std::to_string(host_->pending_lazy_ops()) +
+                     " pending client-side ops]");
+    out->overlay = overlay.get();
+    overlay->children.push_back(std::move(top));
+    top = std::move(overlay);
+  }
+  return top;
+}
+
+Result<QueryPlan> Planner::Plan(const Query& query) {
+  QueryPlan plan;
+  plan.n = host_->num_providers();
+  plan.k = host_->threshold_k();
+
+  if (!query.disjuncts().empty()) {
+    if (query.aggregate() != AggregateOp::kNone) {
+      return Status::NotSupported(
+          "client: disjunctive predicates only support row-fetching queries");
+    }
+    plan.is_union = true;
+    auto root = MakeNode(
+        PlanNodeKind::kDisjunctUnion,
+        "DisjunctUnion[" + std::to_string(query.disjuncts().size()) +
+            " branches, merged by row id]");
+    for (const Predicate& disjunct : query.disjuncts()) {
+      // One sub-query per disjunct; the conjuncts apply to each branch.
+      Query sub = Query::Select(query.table());
+      for (const Predicate& p : query.predicates()) sub.Where(p);
+      sub.Where(disjunct);
+      if (!query.projection().empty()) sub.Project(query.projection());
+      PipelinePlan pipeline;
+      SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> child,
+                            PlanPipeline(sub, &pipeline));
+      root->children.push_back(std::move(child));
+      plan.pipelines.push_back(std::move(pipeline));
+    }
+    plan.root = std::move(root);
+    return plan;
+  }
+
+  PipelinePlan pipeline;
+  SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> root,
+                        PlanPipeline(query, &pipeline));
+  plan.pipelines.push_back(std::move(pipeline));
+  plan.root = std::move(root);
+  return plan;
+}
+
+Result<QueryPlan> Planner::Plan(const JoinQuery& join) {
+  QueryPlan plan;
+  plan.is_join = true;
+  plan.n = host_->num_providers();
+  plan.k = host_->threshold_k();
+  JoinPlanSpec& spec = plan.join;
+  spec.query = join;
+
+  Result<PlanTable> left = host_->ResolveTable(join.left_table);
+  Result<PlanTable> right = host_->ResolveTable(join.right_table);
+  if (!left.ok() || !right.ok()) {
+    return Status::NotFound("client: unknown table in join");
+  }
+  spec.left = *left;
+  spec.right = *right;
+  SSDB_ASSIGN_OR_RETURN(size_t lcol,
+                        spec.left.schema->ColumnIndex(join.left_column));
+  SSDB_ASSIGN_OR_RETURN(size_t rcol,
+                        spec.right.schema->ColumnIndex(join.right_column));
+  spec.left_column = static_cast<uint32_t>(lcol);
+  spec.right_column = static_cast<uint32_t>(rcol);
+  const ColumnSpec& lspec = spec.left.schema->columns[lcol];
+  const ColumnSpec& rspec = spec.right.schema->columns[rcol];
+  if (!lspec.exact_match() || !rspec.exact_match()) {
+    return Status::NotSupported(
+        "client: join columns must be declared kCapExactMatch");
+  }
+  // The paper's limitation: joins work only within one domain (§V.A).
+  if (lspec.DomainTag() != rspec.DomainTag()) {
+    return Status::NotSupported(
+        "client: cross-domain joins are not supported by the secret-sharing "
+        "scheme (columns '" + lspec.name + "' and '" + rspec.name +
+        "' are in different domains)");
+  }
+  SSDB_ASSIGN_OR_RETURN(OpDomain ldom, lspec.CodeDomain());
+  SSDB_ASSIGN_OR_RETURN(OpDomain rdom, rspec.CodeDomain());
+  if (ldom.lo != rdom.lo || ldom.hi != rdom.hi) {
+    return Status::NotSupported(
+        "client: join columns declare different code domains");
+  }
+  spec.quorum_desired = plan.k;
+  spec.quorum_min = plan.k;
+
+  auto join_node = MakeNode(
+      PlanNodeKind::kEquiJoin,
+      "EquiJoin('" + join.left_table + "'." + join.left_column + " = '" +
+          join.right_table + "'." + join.right_column + ", quorum " +
+          std::to_string(spec.quorum_desired) + " of " +
+          std::to_string(plan.n) + ")");
+  join_node->details.push_back(
+      "provider-side same-domain join on deterministic shares (domain '" +
+      lspec.domain_name + "')");
+  for (const Predicate& pred : join.left_predicates) {
+    SSDB_ASSIGN_OR_RETURN(std::string line,
+                          DescribePredicate(*spec.left.schema, pred));
+    join_node->details.push_back("left: " + line);
+  }
+  for (const Predicate& pred : join.right_predicates) {
+    SSDB_ASSIGN_OR_RETURN(std::string line,
+                          DescribePredicate(*spec.right.schema, pred));
+    join_node->details.push_back("right: " + line);
+  }
+  spec.join = join_node.get();
+
+  auto rec = MakeNode(PlanNodeKind::kReconstruct,
+                      "Reconstruct[" + std::to_string(plan.k) + "-of-" +
+                          std::to_string(plan.n) + " Lagrange]");
+  rec->details.push_back("row integrity tags checked on full-row reads");
+  spec.reconstruct = rec.get();
+  rec->children.push_back(std::move(join_node));
+  plan.root = std::move(rec);
+  return plan;
+}
+
+}  // namespace ssdb

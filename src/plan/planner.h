@@ -1,0 +1,48 @@
+// The Planner: turns a Query / JoinQuery into an executable QueryPlan.
+//
+// Owns the strategy selection that used to live inside the client's
+// execution methods: which share representation answers each predicate
+// (deterministic equality vs order-preserving range), the provider-side
+// action (fetch / count / partial sums / grouped sums / arg-extrema /
+// join), the read quorum (k, widened to k+1 for unauthenticated scalar
+// aggregates), and whether a client-side lazy overlay applies. Planning
+// never contacts a provider and performs no share arithmetic — EXPLAIN
+// is exactly a rendered plan.
+
+#ifndef SSDB_PLAN_PLANNER_H_
+#define SSDB_PLAN_PLANNER_H_
+
+#include "plan/host.h"
+#include "plan/plan.h"
+
+namespace ssdb {
+
+class Planner {
+ public:
+  explicit Planner(PlanHost* host) : host_(host) {}
+
+  /// Plans a single-table query (exact match / range / aggregates /
+  /// disjunct unions).
+  Result<QueryPlan> Plan(const Query& query);
+
+  /// Plans a same-domain equi-join (§V.A Join).
+  Result<QueryPlan> Plan(const JoinQuery& join);
+
+ private:
+  /// Builds one scan pipeline (Scan -> [Reconstruct] -> [Aggregate] ->
+  /// [LazyOverlay]) and returns its root node.
+  Result<std::unique_ptr<PlanNode>> PlanPipeline(const Query& query,
+                                                 PipelinePlan* out);
+  /// Resolves table, validates the aggregate clause and selects the
+  /// provider-side action (the former ResolveTableAndPreds).
+  Status ResolveAction(const Query& query, PlanTable* table,
+                       QueryAction* action, uint32_t* target_column);
+  Result<std::string> DescribePredicate(const TableSchema& schema,
+                                        const Predicate& pred);
+
+  PlanHost* host_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_PLAN_PLANNER_H_

@@ -1,0 +1,88 @@
+#include "plan/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ssdb {
+
+uint64_t QueryTrace::total_bytes_sent() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.bytes_sent;
+  return total;
+}
+
+uint64_t QueryTrace::total_bytes_received() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.bytes_received;
+  return total;
+}
+
+uint64_t QueryTrace::total_clock_us() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.clock_us;
+  return total;
+}
+
+uint64_t QueryTrace::total_provider_legs() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.legs.size();
+  return total;
+}
+
+std::map<uint32_t, std::pair<uint64_t, uint64_t>> QueryTrace::PerProviderBytes()
+    const {
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> per;
+  for (const PlanNodeTrace& n : nodes) {
+    for (const PlanLegTrace& leg : n.legs) {
+      auto& slot = per[leg.provider];
+      slot.first += leg.bytes_sent;
+      slot.second += leg.bytes_received;
+    }
+  }
+  return per;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  char line[256];
+  for (const PlanNodeTrace& n : nodes) {
+    out.append(static_cast<size_t>(n.depth) * 2, ' ');
+    out += n.label;
+    if (!n.executed) {
+      out += "  [not executed]\n";
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "  legs=%zu up=%" PRIu64 "B down=%" PRIu64 "B clock=%" PRIu64
+                  "us rounds=%" PRIu64,
+                  n.legs.size(), n.bytes_sent, n.bytes_received, n.clock_us,
+                  n.round_trips);
+    out += line;
+    if (n.rows_scanned != 0) {
+      std::snprintf(line, sizeof(line), " scanned=%" PRIu64, n.rows_scanned);
+      out += line;
+    }
+    if (n.rows_reconstructed != 0) {
+      std::snprintf(line, sizeof(line), " reconstructed=%" PRIu64,
+                    n.rows_reconstructed);
+      out += line;
+    }
+    if (n.shares_used != 0) {
+      std::snprintf(line, sizeof(line), " shares=%" PRIu64, n.shares_used);
+      out += line;
+    }
+    out += "\n";
+    for (const PlanLegTrace& leg : n.legs) {
+      out.append(static_cast<size_t>(n.depth) * 2 + 2, ' ');
+      std::snprintf(line, sizeof(line),
+                    "leg provider=%u up=%" PRIu64 "B down=%" PRIu64
+                    "B rtt=%" PRIu64 "us%s\n",
+                    leg.provider, leg.bytes_sent, leg.bytes_received,
+                    leg.round_trip_us, leg.ok ? "" : " FAILED");
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,88 @@
+// Per-query execution traces.
+//
+// Every query executed through the Planner/Executor pair carries a
+// QueryTrace on its QueryResult: one record per plan node (pre-order),
+// with the provider legs the node contacted, exact bytes up/down, the
+// virtual-clock time charged, and row/share counters. The byte and
+// clock figures are taken from the same accounting the Network charges
+// to its ChannelStats and VirtualClock, so a trace's totals always
+// reconcile exactly with the channel statistics for the query — and,
+// like the channel statistics, they are identical for any
+// fanout_threads setting.
+//
+// This header is standalone (no project includes) so QueryResult can
+// embed a QueryTrace without pulling the plan layer into every client.
+
+#ifndef SSDB_PLAN_TRACE_H_
+#define SSDB_PLAN_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ssdb {
+
+/// One provider leg issued by a plan node.
+struct PlanLegTrace {
+  /// Network provider index of the leg.
+  uint32_t provider = 0;
+  uint64_t bytes_sent = 0;      ///< client -> provider
+  uint64_t bytes_received = 0;  ///< provider -> client
+  /// Modelled round-trip time of this leg (the slowest leg of a fan-out
+  /// round is what the virtual clock advances by).
+  uint64_t round_trip_us = 0;
+  /// False when the leg failed (down / dropped / handler error).
+  bool ok = true;
+};
+
+/// Execution record of one plan node.
+struct PlanNodeTrace {
+  /// Node kind name, e.g. "RangeScan" (PlanNodeKindName).
+  std::string name;
+  /// Full display label, e.g. "RangeScan('Employees')".
+  std::string label;
+  /// Depth in the plan tree (root = 0), for indentation.
+  int depth = 0;
+  /// True once the executor ran this node.
+  bool executed = false;
+
+  /// Provider legs issued by this node, in provider order per round.
+  std::vector<PlanLegTrace> legs;
+  uint64_t bytes_sent = 0;      ///< Sum over legs.
+  uint64_t bytes_received = 0;  ///< Sum over legs.
+  /// Virtual-clock advance attributed to this node: slowest leg per
+  /// fan-out round plus any sequential replacement legs.
+  uint64_t clock_us = 0;
+  /// Fan-out rounds issued (a corruption retry adds a second round).
+  uint64_t round_trips = 0;
+  /// Share rows (or join pairs / group partials) decoded from providers.
+  uint64_t rows_scanned = 0;
+  /// Plaintext rows (or aggregate values) reconstructed client-side.
+  uint64_t rows_reconstructed = 0;
+  /// Shares fed to Lagrange per reconstructed value (the k of k-of-n).
+  uint64_t shares_used = 0;
+};
+
+/// \brief Trace of one executed query plan (pre-order node records).
+struct QueryTrace {
+  std::vector<PlanNodeTrace> nodes;
+
+  uint64_t total_bytes_sent() const;
+  uint64_t total_bytes_received() const;
+  /// Total virtual-clock advance across all nodes (equals the
+  /// VirtualClock delta the query caused).
+  uint64_t total_clock_us() const;
+  uint64_t total_provider_legs() const;
+
+  /// Per-provider (bytes_sent, bytes_received) totals, keyed by network
+  /// provider index; reconciles exactly with Network::stats(i) deltas.
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> PerProviderBytes() const;
+
+  /// Human-readable rendering (the sql_shell TRACE command output).
+  std::string ToString() const;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_PLAN_TRACE_H_

@@ -1,0 +1,326 @@
+// Plan-layer tests: planner strategy selection, EXPLAIN <-> trace
+// agreement, and exact reconciliation of per-query traces against the
+// network's channel statistics and virtual clock — for any fan-out
+// thread count.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/outsourced_db.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+std::unique_ptr<OutsourcedDatabase> MakeEmployeeDb(size_t n, size_t k,
+                                                   size_t rows,
+                                                   size_t fanout_threads = 0,
+                                                   bool lazy = false) {
+  OutsourcedDbOptions options;
+  options.n = n;
+  options.client.k = k;
+  options.fanout_threads = fanout_threads;
+  options.client.lazy_updates = lazy;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  EXPECT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  EmployeeGenerator gen(77, Distribution::kUniform);
+  EXPECT_TRUE(db->Insert("Employees", gen.Rows(rows)).ok());
+  return db;
+}
+
+std::vector<std::string> ExecutedNodeNames(const QueryTrace& trace) {
+  std::vector<std::string> names;
+  for (const PlanNodeTrace& n : trace.nodes) {
+    if (n.executed) names.push_back(n.name);
+  }
+  return names;
+}
+
+bool Contains(const std::vector<std::string>& names, const std::string& want) {
+  for (const std::string& n : names) {
+    if (n == want) return true;
+  }
+  return false;
+}
+
+TEST(PlanNodes, ScanKindSelection) {
+  auto db = MakeEmployeeDb(4, 2, 200);
+
+  // Equality predicate -> deterministic-share filter.
+  auto eq = db->Execute(Query::Select("Employees")
+                            .Where(Eq("dept", Value::Int(3))));
+  ASSERT_TRUE(eq.ok()) << eq.status().ToString();
+  auto names = ExecutedNodeNames(eq->trace);
+  EXPECT_TRUE(Contains(names, "ExactMatchScan")) << eq->trace.ToString();
+  EXPECT_FALSE(Contains(names, "RangeScan"));
+  EXPECT_TRUE(Contains(names, "Reconstruct"));
+
+  // Range predicate -> order-preserving-share filter.
+  auto range = db->Execute(
+      Query::Select("Employees")
+          .Where(Between("salary", Value::Int(40000), Value::Int(90000))));
+  ASSERT_TRUE(range.ok());
+  names = ExecutedNodeNames(range->trace);
+  EXPECT_TRUE(Contains(names, "RangeScan")) << range->trace.ToString();
+  EXPECT_FALSE(Contains(names, "ExactMatchScan"));
+
+  // No predicate -> full scan.
+  auto all = db->Execute(Query::Select("Employees"));
+  ASSERT_TRUE(all.ok());
+  names = ExecutedNodeNames(all->trace);
+  EXPECT_TRUE(Contains(names, "FetchAllScan")) << all->trace.ToString();
+
+  // Aggregates get an Aggregate node above the scan.
+  auto sum = db->Execute(Query::Select("Employees")
+                             .Aggregate(AggregateOp::kSum, "salary")
+                             .Where(Eq("dept", Value::Int(3))));
+  ASSERT_TRUE(sum.ok());
+  names = ExecutedNodeNames(sum->trace);
+  EXPECT_TRUE(Contains(names, "Aggregate")) << sum->trace.ToString();
+  EXPECT_TRUE(Contains(names, "ExactMatchScan"));
+
+  // Disjunctions run one pipeline per disjunct under a union root.
+  auto disj = db->Execute(Query::Select("Employees")
+                              .WhereAny({Eq("dept", Value::Int(1)),
+                                         Eq("dept", Value::Int(2))}));
+  ASSERT_TRUE(disj.ok());
+  ASSERT_FALSE(disj->trace.nodes.empty());
+  EXPECT_EQ(disj->trace.nodes[0].name, "DisjunctUnion");
+  names = ExecutedNodeNames(disj->trace);
+  int exact_scans = 0;
+  for (const std::string& n : names) exact_scans += (n == "ExactMatchScan");
+  EXPECT_EQ(exact_scans, 2) << disj->trace.ToString();
+}
+
+TEST(PlanNodes, LazyOverlayAppears) {
+  auto db = MakeEmployeeDb(4, 2, 50, /*fanout_threads=*/0, /*lazy=*/true);
+  // Buffer a write client-side; a row query must merge the pending log
+  // through a LazyOverlay node.
+  ASSERT_TRUE(db->Insert("Employees", {{Value::Str("ZZTOP"),
+                                        Value::Int(123456), Value::Int(3)}})
+                  .ok());
+  auto r = db->Execute(Query::Select("Employees")
+                           .Where(Eq("dept", Value::Int(3))));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(Contains(ExecutedNodeNames(r->trace), "LazyOverlay"))
+      << r->trace.ToString();
+}
+
+TEST(PlanNodes, ExplainNamesTheNodesTheExecutorRan) {
+  auto db = MakeEmployeeDb(4, 2, 200);
+  const std::vector<Query> queries = {
+      Query::Select("Employees").Where(Eq("dept", Value::Int(3))),
+      Query::Select("Employees")
+          .Where(Between("salary", Value::Int(40000), Value::Int(90000))),
+      Query::Select("Employees"),
+      Query::Select("Employees")
+          .Aggregate(AggregateOp::kSum, "salary")
+          .Where(Eq("dept", Value::Int(3))),
+      Query::Select("Employees")
+          .Aggregate(AggregateOp::kAvg, "salary")
+          .GroupBy("dept"),
+      Query::Select("Employees").WhereAny(
+          {Eq("dept", Value::Int(1)), Eq("dept", Value::Int(2))}),
+      Query::Select("Employees").Aggregate(AggregateOp::kMedian, "salary"),
+  };
+  for (const Query& q : queries) {
+    auto explain = db->Explain(q);
+    ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+    auto r = db->Execute(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_FALSE(r->trace.nodes.empty());
+    // Every node the executor recorded — executed or short-circuited —
+    // appears verbatim (full label) in the EXPLAIN rendering: both are
+    // generated from the same QueryPlan, so they cannot drift.
+    for (const PlanNodeTrace& node : r->trace.nodes) {
+      EXPECT_NE(explain->find(node.label), std::string::npos)
+          << "label '" << node.label << "' missing from:\n"
+          << *explain;
+    }
+  }
+}
+
+// --- Trace <-> channel-stat reconciliation ------------------------------
+//
+// The acceptance bar for traces: per-provider bytes and the virtual-clock
+// total must equal the Network's own accounting exactly, for every query
+// shape, at any fanout_threads setting.
+
+struct QueryCost {
+  uint64_t sent = 0;
+  uint64_t received = 0;
+  uint64_t clock_us = 0;
+  uint64_t legs = 0;
+};
+
+class PlanTraceReconciliation : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PlanTraceReconciliation, TraceMatchesChannelStatsExactly) {
+  const size_t threads = GetParam();
+  auto db = MakeEmployeeDb(4, 2, 300, threads);
+
+  const std::vector<Query> queries = {
+      Query::Select("Employees").Where(Eq("dept", Value::Int(3))),
+      Query::Select("Employees")
+          .Where(Between("salary", Value::Int(40000), Value::Int(90000))),
+      Query::Select("Employees").Aggregate(AggregateOp::kCount),
+      Query::Select("Employees")
+          .Aggregate(AggregateOp::kSum, "salary")
+          .Where(Eq("dept", Value::Int(3))),
+      Query::Select("Employees")
+          .Aggregate(AggregateOp::kAvg, "salary")
+          .GroupBy("dept"),
+      Query::Select("Employees").WhereAny(
+          {Eq("dept", Value::Int(1)), Eq("dept", Value::Int(2))}),
+  };
+
+  for (const Query& q : queries) {
+    std::vector<ChannelStats> before;
+    for (size_t i = 0; i < db->n(); ++i) before.push_back(db->network().stats(i));
+    const uint64_t clock_before = db->simulated_time_us();
+
+    auto r = db->Execute(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+    const uint64_t clock_delta = db->simulated_time_us() - clock_before;
+    EXPECT_EQ(r->trace.total_clock_us(), clock_delta);
+
+    const auto per_provider = r->trace.PerProviderBytes();
+    for (size_t i = 0; i < db->n(); ++i) {
+      const ChannelStats& after = db->network().stats(i);
+      const uint64_t sent = after.bytes_sent - before[i].bytes_sent;
+      const uint64_t received = after.bytes_received - before[i].bytes_received;
+      auto it = per_provider.find(static_cast<uint32_t>(i));
+      const uint64_t traced_sent = it == per_provider.end() ? 0 : it->second.first;
+      const uint64_t traced_received =
+          it == per_provider.end() ? 0 : it->second.second;
+      EXPECT_EQ(traced_sent, sent) << "provider " << i << "\n"
+                                   << r->trace.ToString();
+      EXPECT_EQ(traced_received, received) << "provider " << i << "\n"
+                                           << r->trace.ToString();
+    }
+  }
+}
+
+TEST_P(PlanTraceReconciliation, JoinTraceMatchesChannelStatsExactly) {
+  const size_t threads = GetParam();
+  OutsourcedDbOptions options;
+  options.n = 4;
+  options.client.k = 2;
+  options.fanout_threads = threads;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  TableSchema employees;
+  employees.table_name = "Employees";
+  employees.columns = {
+      IntColumn("eid", 0, 100000, kCapExactMatch | kCapRange, "eid_domain"),
+      StringColumn("name", 8),
+  };
+  TableSchema managers;
+  managers.table_name = "Managers";
+  managers.columns = {
+      IntColumn("eid", 0, 100000, kCapExactMatch | kCapRange, "eid_domain"),
+      IntColumn("boss", 0, 100000, kCapExactMatch | kCapRange, "eid_domain"),
+  };
+  ASSERT_TRUE(db->CreateTable(employees).ok());
+  ASSERT_TRUE(db->CreateTable(managers).ok());
+  ASSERT_TRUE(db->Insert("Employees", {{Value::Int(1), Value::Str("JOHN")},
+                                       {Value::Int(2), Value::Str("ALICE")},
+                                       {Value::Int(3), Value::Str("BOB")}})
+                  .ok());
+  ASSERT_TRUE(
+      db->Insert("Managers", {{Value::Int(1), Value::Int(3)},
+                              {Value::Int(3), Value::Int(3)}})
+          .ok());
+
+  JoinQuery jq;
+  jq.left_table = "Employees";
+  jq.left_column = "eid";
+  jq.right_table = "Managers";
+  jq.right_column = "eid";
+
+  std::vector<ChannelStats> before;
+  for (size_t i = 0; i < db->n(); ++i) before.push_back(db->network().stats(i));
+  const uint64_t clock_before = db->simulated_time_us();
+
+  auto r = db->Execute(jq);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);
+  EXPECT_TRUE(Contains(ExecutedNodeNames(r->trace), "EquiJoin"))
+      << r->trace.ToString();
+
+  EXPECT_EQ(r->trace.total_clock_us(),
+            db->simulated_time_us() - clock_before);
+  const auto per_provider = r->trace.PerProviderBytes();
+  for (size_t i = 0; i < db->n(); ++i) {
+    const ChannelStats& after = db->network().stats(i);
+    auto it = per_provider.find(static_cast<uint32_t>(i));
+    const uint64_t traced_sent = it == per_provider.end() ? 0 : it->second.first;
+    const uint64_t traced_received =
+        it == per_provider.end() ? 0 : it->second.second;
+    EXPECT_EQ(traced_sent, after.bytes_sent - before[i].bytes_sent);
+    EXPECT_EQ(traced_received,
+              after.bytes_received - before[i].bytes_received);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FanoutThreads, PlanTraceReconciliation,
+                         ::testing::Values(1, 4, 8));
+
+TEST(PlanTrace, DeterministicAcrossFanoutThreadCounts) {
+  // The whole cost model is thread-count-invariant; the traces must be
+  // too. Run the same query sequence on fresh deployments at 1, 4 and 8
+  // fan-out workers and demand identical per-query cost vectors.
+  std::vector<std::vector<QueryCost>> runs;
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    auto db = MakeEmployeeDb(4, 2, 300, threads);
+    std::vector<QueryCost> costs;
+    const std::vector<Query> queries = {
+        Query::Select("Employees").Where(Eq("dept", Value::Int(3))),
+        Query::Select("Employees")
+            .Where(Between("salary", Value::Int(40000), Value::Int(90000))),
+        Query::Select("Employees")
+            .Aggregate(AggregateOp::kSum, "salary")
+            .GroupBy("dept"),
+        Query::Select("Employees").Aggregate(AggregateOp::kMedian, "salary"),
+    };
+    for (const Query& q : queries) {
+      auto r = db->Execute(q);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      costs.push_back({r->trace.total_bytes_sent(),
+                       r->trace.total_bytes_received(),
+                       r->trace.total_clock_us(),
+                       r->trace.total_provider_legs()});
+    }
+    runs.push_back(std::move(costs));
+  }
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t q = 0; q < runs[0].size(); ++q) {
+      EXPECT_EQ(runs[run][q].sent, runs[0][q].sent) << "query " << q;
+      EXPECT_EQ(runs[run][q].received, runs[0][q].received) << "query " << q;
+      EXPECT_EQ(runs[run][q].clock_us, runs[0][q].clock_us) << "query " << q;
+      EXPECT_EQ(runs[run][q].legs, runs[0][q].legs) << "query " << q;
+    }
+  }
+}
+
+TEST(PlanTrace, StatsAggregateTraceTotals) {
+  auto db = MakeEmployeeDb(4, 2, 100);
+  auto r = db->Execute(Query::Select("Employees")
+                           .Where(Eq("dept", Value::Int(3))));
+  ASSERT_TRUE(r.ok());
+  const ClientStats& stats = db->client_stats();
+  EXPECT_EQ(stats.traced_bytes_sent.load(), r->trace.total_bytes_sent());
+  EXPECT_EQ(stats.traced_bytes_received.load(),
+            r->trace.total_bytes_received());
+  EXPECT_EQ(stats.traced_clock_us.load(), r->trace.total_clock_us());
+  EXPECT_EQ(stats.provider_legs.load(), r->trace.total_provider_legs());
+  EXPECT_GT(stats.plan_nodes_executed.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ssdb
