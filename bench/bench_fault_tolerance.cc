@@ -126,6 +126,54 @@ void BM_Fault_AvailabilityUnderLoss(benchmark::State& state) {
 }
 BENCHMARK(BM_Fault_AvailabilityUnderLoss)->Arg(2)->Arg(3)->Arg(5);
 
+void BM_Fault_StragglerHedging(benchmark::State& state) {
+  // One straggler provider answers 10x slower than modelled. Unhedged
+  // (arg 0), every query inherits the straggler's tail; hedged (arg 1), a
+  // duplicate leg to a spare provider wins the race and the simulated
+  // latency collapses to threshold + one healthy round trip.
+  const bool hedged = state.range(0) != 0;
+  static std::map<bool, std::unique_ptr<OutsourcedDatabase>> cache;
+  OutsourcedDatabase* db = nullptr;
+  auto it = cache.find(hedged);
+  if (it != cache.end()) {
+    db = it->second.get();
+  } else {
+    OutsourcedDbOptions options;
+    options.n = 5;
+    options.client.k = 2;
+    options.client.resilience.hedge.enabled = hedged;
+    options.client.resilience.hedge.threshold_us = 100000;
+    auto created = OutsourcedDatabase::Create(options);
+    if (!created.ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    (void)created.value()->CreateTable(EmployeeGenerator::EmployeesSchema());
+    EmployeeGenerator gen(7, Distribution::kUniform);
+    (void)created.value()->Insert("Employees", gen.Rows(1000));
+    db = created.value().get();
+    cache.emplace(hedged, std::move(created).value());
+  }
+  db->faults().HealAll();
+  db->faults().Slow(0, 10.0);
+  const uint64_t sim_start = db->simulated_time_us();
+  QueryTrace last_trace;
+  for (auto _ : state) {
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(50000),
+                                            Value::Int(52000))));
+    if (r.ok()) last_trace = std::move(r->trace);
+    benchmark::DoNotOptimize(r);
+  }
+  db->faults().HealAll();
+  state.counters["sim_us/query"] = benchmark::Counter(
+      static_cast<double>(db->simulated_time_us() - sim_start) /
+      state.iterations());
+  bench::AddTraceCounters(state, last_trace);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Fault_StragglerHedging)->Arg(0)->Arg(1);
+
 void BM_Fault_WriteAmplification(benchmark::State& state) {
   // Writes must reach all n providers; reads only k. The counter shows
   // bytes per inserted row at n=5 (the §V.A "overhead ... does result in

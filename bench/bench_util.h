@@ -52,6 +52,20 @@ inline void AddTraceCounters(benchmark::State& state,
       benchmark::Counter(static_cast<double>(trace.total_provider_legs()));
   state.counters["trace_nodes"] =
       benchmark::Counter(static_cast<double>(trace.nodes.size()));
+  // Resilience counters; published only when the trace saw resilience
+  // activity so classic benchmark output stays unchanged.
+  if (trace.total_attempts() != 0 || trace.total_hedged() != 0 ||
+      trace.total_deadline_exceeded() != 0 ||
+      trace.total_breaker_skips() != 0) {
+    state.counters["trace_retries"] =
+        benchmark::Counter(static_cast<double>(trace.total_attempts()));
+    state.counters["trace_hedged"] =
+        benchmark::Counter(static_cast<double>(trace.total_hedged()));
+    state.counters["trace_deadline_exceeded"] = benchmark::Counter(
+        static_cast<double>(trace.total_deadline_exceeded()));
+    state.counters["trace_breaker_skips"] =
+        benchmark::Counter(static_cast<double>(trace.total_breaker_skips()));
+  }
 }
 
 /// An OutsourcedDatabase pre-loaded with `rows` uniform employees,

@@ -93,6 +93,22 @@ bool RunStatement(OutsourcedDatabase& db, const std::string& sql) {
     }
     PrintResult(*result);
     std::printf("%s", result->trace.ToString().c_str());
+    const QueryTrace& t = result->trace;
+    std::printf("  totals: up=%lluB down=%lluB clock=%lluus legs=%llu",
+                static_cast<unsigned long long>(t.total_bytes_sent()),
+                static_cast<unsigned long long>(t.total_bytes_received()),
+                static_cast<unsigned long long>(t.total_clock_us()),
+                static_cast<unsigned long long>(t.total_provider_legs()));
+    if (t.total_attempts() != 0 || t.total_hedged() != 0 ||
+        t.total_deadline_exceeded() != 0 || t.total_breaker_skips() != 0) {
+      std::printf(" retries=%llu hedged=%llu deadline_exceeded=%llu "
+                  "breaker_skips=%llu",
+                  static_cast<unsigned long long>(t.total_attempts()),
+                  static_cast<unsigned long long>(t.total_hedged()),
+                  static_cast<unsigned long long>(t.total_deadline_exceeded()),
+                  static_cast<unsigned long long>(t.total_breaker_skips()));
+    }
+    std::printf("\n");
     return true;
   }
   auto result = db.Execute(sql);

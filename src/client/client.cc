@@ -472,6 +472,10 @@ void DataSourceClient::OnTraceFinalized(const QueryTrace& trace) {
     if (node.executed) ++executed;
   }
   stats_.plan_nodes_executed += executed;
+  stats_.attempts += trace.total_attempts();
+  stats_.hedged_legs += trace.total_hedged();
+  stats_.deadline_exceeded += trace.total_deadline_exceeded();
+  stats_.breaker_skips += trace.total_breaker_skips();
 }
 
 // --- Query execution -------------------------------------------------------------
@@ -798,7 +802,8 @@ Status DataSourceClient::RefreshTable(const std::string& table) {
   SSDB_ASSIGN_OR_RETURN(
       std::vector<Executor::ProviderResponse> responses,
       Executor::CallQuorum(network_, providers_, requests, options_.k,
-                           /*minimum=*/0, /*trace=*/nullptr));
+                           /*minimum=*/0, /*trace=*/nullptr,
+                           options_.resilience, &scoreboard_));
   std::vector<uint64_t> row_ids;
   Status last = Status::Unavailable("client: no usable id response");
   for (const auto& r : responses) {

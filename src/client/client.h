@@ -56,6 +56,11 @@ struct ClientOptions {
   size_t lazy_flush_threshold = 64;
   /// Verify per-row integrity tags on reads.
   bool verify_tags = true;
+  /// Resilient RPC configuration (deadlines, backoff retries, hedged
+  /// reads, circuit breaker — see net/resilience.h). The default is fully
+  /// disabled: results, provider byte streams and virtual-clock totals
+  /// are then identical to a client without the resilience layer.
+  ResiliencePolicy resilience;
 };
 
 /// Client-side operation counters. Atomic so concurrent batch queries
@@ -71,6 +76,12 @@ struct ClientStats {
   std::atomic<uint64_t> traced_clock_us{0};
   std::atomic<uint64_t> provider_legs{0};
   std::atomic<uint64_t> plan_nodes_executed{0};
+  // Resilience counters (zero while ClientOptions::resilience is
+  // disabled), aggregated from the same traces.
+  std::atomic<uint64_t> attempts{0};           ///< Backoff-retry legs.
+  std::atomic<uint64_t> hedged_legs{0};        ///< Hedge legs launched.
+  std::atomic<uint64_t> deadline_exceeded{0};  ///< Legs past their deadline.
+  std::atomic<uint64_t> breaker_skips{0};      ///< Breaker admission denials.
 };
 
 /// \brief The data source / query front-end.
@@ -179,6 +190,11 @@ class DataSourceClient : private PlanHost {
   size_t k() const { return options_.k; }
   const ClientStats& stats() const { return stats_; }
   Network* network() override { return network_; }
+  const ResiliencePolicy& resilience() const override {
+    return options_.resilience;
+  }
+  /// The provider health scoreboard (EWMA latency, breaker state).
+  ProviderScoreboard* scoreboard() override { return &scoreboard_; }
   /// Schema of a registered table.
   Result<const TableSchema*> GetSchema(const std::string& table) const;
 
@@ -280,6 +296,7 @@ class DataSourceClient : private PlanHost {
   std::map<uint64_t, std::unique_ptr<OrderPreservingScheme>> op_schemes_;
   std::vector<LazyOp> lazy_log_;
   ClientStats stats_;
+  ProviderScoreboard scoreboard_;
 };
 
 }  // namespace ssdb

@@ -25,6 +25,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kPermissionDenied:
       return "PermissionDenied";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kOutOfRange = 7,        ///< Value outside its declared domain.
   kInternal = 8,          ///< Invariant violation inside the library.
   kPermissionDenied = 9,  ///< Provider rejected an unauthorized request.
+  kDeadlineExceeded = 10,  ///< Call overran its virtual-clock deadline.
 };
 
 /// \brief Result of an operation that can fail without a payload.
@@ -72,6 +73,9 @@ class Status {
   static Status PermissionDenied(std::string m) {
     return Status(StatusCode::kPermissionDenied, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -86,6 +90,9 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsPermissionDenied() const {
     return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   StatusCode code() const { return code_; }

@@ -136,8 +136,13 @@ class OutsourcedDatabase {
   // --- Simulation controls ----------------------------------------------
 
   /// Structured fault injection (E8 fault tolerance): db.faults().Down(i),
-  /// .Drop(i, p), .Corrupt(i), .Heal(i), .HealAll(), or RAII ScopedFault.
+  /// .Drop(i, p), .Corrupt(i), .Slow(i, f), .Flaky(i, p), .Heal(i),
+  /// .HealAll(), or RAII ScopedFault. HealAll also resets the resilience
+  /// scoreboard, so healed faults do not echo as open breakers.
   FaultController& faults() { return faults_; }
+
+  /// The client's provider health scoreboard (resilience layer).
+  ProviderScoreboard& scoreboard() { return *client_->scoreboard(); }
 
   // --- Introspection ------------------------------------------------------
 
@@ -160,7 +165,9 @@ class OutsourcedDatabase {
         network_(std::move(network)),
         providers_(std::move(providers)),
         client_(std::move(client)),
-        faults_(network_.get()) {}
+        faults_(network_.get()) {
+    faults_.AttachScoreboard(client_->scoreboard());
+  }
 
   OutsourcedDbOptions options_;
   std::unique_ptr<Network> network_;

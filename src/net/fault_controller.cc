@@ -1,0 +1,12 @@
+#include "net/fault_controller.h"
+
+#include "net/resilience.h"
+
+namespace ssdb {
+
+void FaultController::HealAll() {
+  for (size_t i = 0; i < network_->num_providers(); ++i) Heal(i);
+  if (scoreboard_ != nullptr) scoreboard_->Reset();
+}
+
+}  // namespace ssdb

@@ -26,6 +26,8 @@
 
 namespace ssdb {
 
+class ProviderScoreboard;
+
 /// \brief Thin, typed facade over per-link failure injection.
 class FaultController {
  public:
@@ -44,35 +46,59 @@ class FaultController {
     network_->SetFailure(i, FailureMode::kDropSome, p);
   }
 
-  /// Arbitrary mode (escape hatch for tests).
-  void Set(size_t i, FailureMode mode, double drop_probability = 0.0) {
-    network_->SetFailure(i, mode, drop_probability);
+  /// Provider `i`'s round trips take `factor` times the modelled time.
+  void Slow(size_t i, double factor) {
+    network_->SetFailure(i, FailureMode::kSlow, factor);
+  }
+
+  /// Provider `i` flaps: bursty outages with phase-flip probability `p`.
+  void Flaky(size_t i, double p) {
+    network_->SetFailure(i, FailureMode::kFlaky, p);
+  }
+
+  /// Arbitrary mode (escape hatch for tests). `param` is mode-specific
+  /// (see Network::SetFailure).
+  void Set(size_t i, FailureMode mode, double param = 0.0) {
+    network_->SetFailure(i, mode, param);
   }
 
   /// Restores provider `i` to healthy.
   void Heal(size_t i) { network_->SetFailure(i, FailureMode::kHealthy); }
 
-  /// Restores every provider to healthy.
-  void HealAll() {
-    for (size_t i = 0; i < network_->num_providers(); ++i) Heal(i);
-  }
+  /// Restores every provider to healthy and — when a scoreboard is
+  /// attached — forgets the resilience layer's health history, so healed
+  /// faults do not echo as open breakers or stale latency estimates.
+  void HealAll();
+
+  /// Registers the client's health scoreboard for HealAll resets.
+  void AttachScoreboard(ProviderScoreboard* board) { scoreboard_ = board; }
 
   /// Current mode of provider `i`.
   FailureMode mode(size_t i) const { return network_->failure_mode(i); }
 
+  /// Mode-specific parameter of provider `i`.
+  double param(size_t i) const { return network_->failure_param(i); }
+
  private:
   Network* network_;
+  ProviderScoreboard* scoreboard_ = nullptr;
 };
 
-/// \brief RAII fault: applies a failure on construction, heals on exit.
+/// \brief RAII fault: applies a failure on construction and restores the
+/// provider's previous failure state on exit — including exception
+/// unwind, so a throwing test body never leaks an injected fault into the
+/// next test.
 class ScopedFault {
  public:
   ScopedFault(FaultController& faults, size_t provider, FailureMode mode,
-              double drop_probability = 0.0)
-      : faults_(faults), provider_(provider) {
-    faults_.Set(provider_, mode, drop_probability);
+              double param = 0.0)
+      : faults_(faults),
+        provider_(provider),
+        prev_mode_(faults.mode(provider)),
+        prev_param_(faults.param(provider)) {
+    faults_.Set(provider_, mode, param);
   }
-  ~ScopedFault() { faults_.Heal(provider_); }
+  ~ScopedFault() { faults_.Set(provider_, prev_mode_, prev_param_); }
 
   ScopedFault(const ScopedFault&) = delete;
   ScopedFault& operator=(const ScopedFault&) = delete;
@@ -80,6 +106,8 @@ class ScopedFault {
  private:
   FaultController& faults_;
   size_t provider_;
+  FailureMode prev_mode_;
+  double prev_param_;
 };
 
 }  // namespace ssdb

@@ -21,9 +21,29 @@ ThreadPool& Network::pool() {
   return *pool_;
 }
 
+namespace {
+
+/// Caps a failed leg's charge at the deadline: a call that would have
+/// reported its failure after the deadline is seen by the client as a
+/// timeout instead.
+Status CapFailureAtDeadline(uint64_t deadline_us, CallTrace* trace,
+                            Status original) {
+  if (deadline_us > 0 && trace->elapsed_us > deadline_us) {
+    trace->elapsed_us = deadline_us;
+    trace->deadline_exceeded = true;
+    return Status::DeadlineExceeded("network: deadline of " +
+                                    std::to_string(deadline_us) +
+                                    "us exceeded (" + original.message() + ")");
+  }
+  return original;
+}
+
+}  // namespace
+
 Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
                                                   Slice request,
-                                                  CallTrace* trace) {
+                                                  CallTrace* trace,
+                                                  uint64_t deadline_us) {
   *trace = CallTrace();
   if (provider >= links_.size()) {
     return Status::InvalidArgument("network: unknown provider index");
@@ -36,17 +56,38 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
   if (link.mode == FailureMode::kDown) {
     link.stats.failures++;
     trace->elapsed_us = model_.latency_us;  // timeout charged as one latency
-    return Status::Unavailable("provider " + link.endpoint->name() +
-                               " is down");
+    return CapFailureAtDeadline(
+        deadline_us, trace,
+        Status::Unavailable("provider " + link.endpoint->name() +
+                            " is down"));
   }
   if (link.mode == FailureMode::kDropSome &&
-      link.rng.Bernoulli(link.drop_probability)) {
+      link.rng.Bernoulli(link.param)) {
     link.stats.failures++;
     trace->elapsed_us = model_.latency_us;
-    return Status::Unavailable("provider " + link.endpoint->name() +
-                               " dropped the request");
+    return CapFailureAtDeadline(
+        deadline_us, trace,
+        Status::Unavailable("provider " + link.endpoint->name() +
+                            " dropped the request"));
+  }
+  if (link.mode == FailureMode::kFlaky) {
+    // Bursty outages: the link toggles between good and bad phases; while
+    // bad, every call is lost. The per-link RNG keeps the phase sequence a
+    // function of this link's call sequence only.
+    if (link.rng.Bernoulli(link.param)) link.flaky_bad = !link.flaky_bad;
+    if (link.flaky_bad) {
+      link.stats.failures++;
+      trace->elapsed_us = model_.latency_us;
+      return CapFailureAtDeadline(
+          deadline_us, trace,
+          Status::Unavailable("provider " + link.endpoint->name() +
+                              " is flapping"));
+    }
   }
   const FailureMode mode = link.mode;
+  // kSlow stretches the whole round trip by the configured multiplier.
+  const double time_factor =
+      mode == FailureMode::kSlow && link.param > 1.0 ? link.param : 1.0;
   link.stats.bytes_sent += request.size();
   trace->bytes_sent = request.size();
 
@@ -58,39 +99,67 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
 
   if (!response.ok()) {
     link.stats.failures++;
-    trace->elapsed_us = model_.RoundTripUs(request.size(), 0);
-    return response.status();
+    trace->elapsed_us = static_cast<uint64_t>(
+        static_cast<double>(model_.RoundTripUs(request.size(), 0)) *
+        time_factor);
+    return CapFailureAtDeadline(deadline_us, trace, response.status());
   }
 
   std::vector<uint8_t> bytes = std::move(*response).TakeBytes();
+  const uint64_t round_trip_us = static_cast<uint64_t>(
+      static_cast<double>(model_.RoundTripUs(request.size(), bytes.size())) *
+      time_factor);
+  if (deadline_us > 0 && round_trip_us > deadline_us) {
+    // The client stopped waiting at the deadline: the response never
+    // reaches it, so no received bytes are charged anywhere and the clock
+    // charge is exactly the deadline.
+    link.stats.failures++;
+    trace->elapsed_us = deadline_us;
+    trace->deadline_exceeded = true;
+    return Status::DeadlineExceeded(
+        "network: provider " + link.endpoint->name() + " overran the " +
+        std::to_string(deadline_us) + "us deadline");
+  }
   if (mode == FailureMode::kCorruptResponse && !bytes.empty()) {
     const size_t pos = link.rng.Uniform(bytes.size());
     bytes[pos] ^= 0x5A;
   }
   link.stats.bytes_received += bytes.size();
   trace->bytes_received = bytes.size();
-  trace->elapsed_us = model_.RoundTripUs(request.size(), bytes.size());
+  trace->elapsed_us = round_trip_us;
   return bytes;
 }
 
 Result<std::vector<uint8_t>> Network::Call(size_t provider, Slice request,
-                                           CallTrace* trace) {
+                                           CallTrace* trace,
+                                           uint64_t deadline_us) {
   CallTrace local;
-  auto result = CallNoClock(provider, request, &local);
+  auto result = CallNoClock(provider, request, &local, deadline_us);
   clock_.Advance(local.elapsed_us);
   if (trace != nullptr) *trace = local;
   return result;
 }
 
+Result<std::vector<uint8_t>> Network::CallUnclocked(size_t provider,
+                                                    Slice request,
+                                                    CallTrace* trace,
+                                                    uint64_t deadline_us) {
+  CallTrace local;
+  auto result = CallNoClock(provider, request, &local, deadline_us);
+  if (trace != nullptr) *trace = local;
+  return result;
+}
+
 Network::FanOutResult Network::CallMany(const std::vector<size_t>& providers,
-                                        Slice request) {
+                                        Slice request, uint64_t deadline_us) {
   const size_t n = providers.size();
   FanOutResult out;
   out.responses.assign(
       n, Result<std::vector<uint8_t>>(Status::Internal("fan-out leg not run")));
   out.legs.assign(n, CallTrace());
   pool().ParallelFor(n, [&](size_t i) {
-    out.responses[i] = CallNoClock(providers[i], request, &out.legs[i]);
+    out.responses[i] =
+        CallNoClock(providers[i], request, &out.legs[i], deadline_us);
   });
   // The legs ran in parallel: the slowest one dominates the round trip.
   uint64_t slowest = 0;
@@ -103,7 +172,8 @@ Network::FanOutResult Network::CallMany(const std::vector<size_t>& providers,
 }
 
 Network::FanOutResult Network::CallManyDistinct(
-    const std::vector<size_t>& providers, const std::vector<Buffer>& requests) {
+    const std::vector<size_t>& providers, const std::vector<Buffer>& requests,
+    uint64_t deadline_us) {
   const size_t n = providers.size();
   FanOutResult out;
   out.responses.assign(
@@ -111,7 +181,8 @@ Network::FanOutResult Network::CallManyDistinct(
   out.legs.assign(n, CallTrace());
   pool().ParallelFor(n, [&](size_t i) {
     const Slice req = i < requests.size() ? requests[i].AsSlice() : Slice();
-    out.responses[i] = CallNoClock(providers[i], req, &out.legs[i]);
+    out.responses[i] =
+        CallNoClock(providers[i], req, &out.legs[i], deadline_us);
   });
   uint64_t slowest = 0;
   for (const CallTrace& leg : out.legs) {
@@ -122,11 +193,11 @@ Network::FanOutResult Network::CallManyDistinct(
   return out;
 }
 
-void Network::SetFailure(size_t provider, FailureMode mode,
-                         double drop_probability) {
+void Network::SetFailure(size_t provider, FailureMode mode, double param) {
   std::lock_guard<std::mutex> lock(links_[provider].mu);
   links_[provider].mode = mode;
-  links_[provider].drop_probability = drop_probability;
+  links_[provider].param = param;
+  links_[provider].flaky_bad = false;  // a new fault starts in a good phase
 }
 
 ChannelStats Network::TotalStats() const {

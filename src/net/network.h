@@ -65,7 +65,13 @@ enum class FailureMode {
   kHealthy,
   kDown,             ///< Every call returns Unavailable.
   kCorruptResponse,  ///< Responses arrive with one byte flipped.
-  kDropSome,         ///< Calls fail with probability drop_probability.
+  kDropSome,         ///< Calls fail independently with probability `param`.
+  kSlow,             ///< Round trips take `param` times the modelled time.
+  kFlaky,            ///< Bursty outages: each call first toggles the link
+                     ///< between good and bad phases with probability
+                     ///< `param` (per-link seeded stream); while bad, every
+                     ///< call is dropped. Unlike kDropSome the failures are
+                     ///< correlated, modelling a flapping provider.
 };
 
 /// Exact accounting for one call leg, as charged to the channel stats and
@@ -75,6 +81,10 @@ struct CallTrace {
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
   uint64_t elapsed_us = 0;  ///< Round-trip time of this leg.
+  /// True when the leg overran its deadline; `elapsed_us` is then exactly
+  /// the deadline (the client stops waiting) and no response bytes are
+  /// charged.
+  bool deadline_exceeded = false;
 };
 
 /// Byte/message counters for one channel (or aggregated).
@@ -120,9 +130,22 @@ class Network {
 
   /// One round trip to provider i (advances the virtual clock by the full
   /// round-trip time of this single call). When `trace` is non-null it is
-  /// filled with this leg's exact byte/clock charges.
+  /// filled with this leg's exact byte/clock charges. `deadline_us` (0 =
+  /// none) bounds the call in virtual-clock microseconds: a leg whose
+  /// modelled round trip overruns it returns Status::DeadlineExceeded and
+  /// charges exactly the deadline — the response bytes never reach the
+  /// client, so neither the channel stats nor the trace count them.
   Result<std::vector<uint8_t>> Call(size_t provider, Slice request,
-                                    CallTrace* trace = nullptr);
+                                    CallTrace* trace = nullptr,
+                                    uint64_t deadline_us = 0);
+
+  /// Like Call but does NOT advance the virtual clock: the caller owns the
+  /// cross-leg clock arithmetic. Used by the resilience layer
+  /// (net/resilience.h), whose retries, backoffs and hedges need to charge
+  /// the clock once per orchestrated round rather than per leg.
+  Result<std::vector<uint8_t>> CallUnclocked(size_t provider, Slice request,
+                                             CallTrace* trace,
+                                             uint64_t deadline_us = 0);
 
   /// Parallel fan-out: one request per listed provider; the virtual clock
   /// advances by the slowest leg only. Failed legs yield error Status in
@@ -135,18 +158,26 @@ class Network {
     std::vector<CallTrace> legs;
     uint64_t clock_advance_us = 0;
   };
-  FanOutResult CallMany(const std::vector<size_t>& providers, Slice request);
+  FanOutResult CallMany(const std::vector<size_t>& providers, Slice request,
+                        uint64_t deadline_us = 0);
   /// Fan-out with per-provider request payloads (the rewritten queries of
   /// §V.A differ per provider).
   FanOutResult CallManyDistinct(const std::vector<size_t>& providers,
-                                const std::vector<Buffer>& requests);
+                                const std::vector<Buffer>& requests,
+                                uint64_t deadline_us = 0);
 
-  /// Failure injection.
-  void SetFailure(size_t provider, FailureMode mode,
-                  double drop_probability = 0.0);
+  /// Failure injection. `param` is mode-specific: the drop probability for
+  /// kDropSome, the phase-flip probability for kFlaky, and the latency
+  /// multiplier for kSlow.
+  void SetFailure(size_t provider, FailureMode mode, double param = 0.0);
   FailureMode failure_mode(size_t provider) const {
     std::lock_guard<std::mutex> lock(links_[provider].mu);
     return links_[provider].mode;
+  }
+  /// The mode-specific parameter set with the current failure mode.
+  double failure_param(size_t provider) const {
+    std::lock_guard<std::mutex> lock(links_[provider].mu);
+    return links_[provider].param;
   }
 
   /// Per-provider statistics. The reference is only safe to read while no
@@ -169,9 +200,10 @@ class Network {
  private:
   struct Link {
     std::shared_ptr<ProviderEndpoint> endpoint;
-    mutable std::mutex mu;  ///< Guards mode/drop_probability/rng/stats.
+    mutable std::mutex mu;  ///< Guards mode/param/flaky_bad/rng/stats.
     FailureMode mode = FailureMode::kHealthy;
-    double drop_probability = 0.0;
+    double param = 0.0;      ///< Mode-specific (see SetFailure).
+    bool flaky_bad = false;  ///< kFlaky: currently in a bad phase.
     Rng rng;  ///< Per-link failure stream (deterministic per call sequence).
     ChannelStats stats;
   };
@@ -179,7 +211,8 @@ class Network {
   /// Executes one call without touching the clock; reports the exact
   /// byte/clock charges through `trace`.
   Result<std::vector<uint8_t>> CallNoClock(size_t provider, Slice request,
-                                           CallTrace* trace);
+                                           CallTrace* trace,
+                                           uint64_t deadline_us);
 
   NetworkCostModel model_;
   VirtualClock clock_;

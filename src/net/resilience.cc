@@ -1,0 +1,375 @@
+#include "net/resilience.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace ssdb {
+
+namespace {
+constexpr uint64_t kProviderMix = 0x9E3779B97F4A7C15ULL;
+constexpr uint64_t kRetryMix = 0xC2B2AE3D27D4EB4FULL;
+
+bool IsTransient(const Status& s) {
+  return s.IsUnavailable() || s.IsDeadlineExceeded();
+}
+}  // namespace
+
+uint64_t RetryPolicy::BackoffUs(size_t retry_number, size_t provider) const {
+  if (retry_number == 0) return 0;
+  double base = static_cast<double>(initial_backoff_us);
+  for (size_t i = 1; i < retry_number; ++i) base *= multiplier;
+  base = std::min(base, static_cast<double>(max_backoff_us));
+  if (jitter > 0.0) {
+    // Seeded per (provider, retry number): the jitter stream never depends
+    // on how legs interleave across threads.
+    Rng rng(jitter_seed ^ ((provider + 1) * kProviderMix) ^
+            (retry_number * kRetryMix));
+    base *= 1.0 - jitter * rng.NextDouble();
+  }
+  return static_cast<uint64_t>(base);
+}
+
+ProviderScoreboard::Entry& ProviderScoreboard::SlotLocked(size_t provider) {
+  if (provider >= entries_.size()) entries_.resize(provider + 1);
+  return entries_[provider];
+}
+
+void ProviderScoreboard::RecordOutcome(size_t provider, bool ok,
+                                       uint64_t round_trip_us,
+                                       const BreakerPolicy& policy,
+                                       uint64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = SlotLocked(provider);
+  if (ok) {
+    e.successes++;
+    e.consecutive_failures = 0;
+    e.ewma_us = e.samples == 0
+                    ? static_cast<double>(round_trip_us)
+                    : kEwmaAlpha * static_cast<double>(round_trip_us) +
+                          (1.0 - kEwmaAlpha) * e.ewma_us;
+    e.samples++;
+    if (e.state != BreakerState::kClosed) {
+      e.state = BreakerState::kClosed;
+      e.probes_left = 0;
+    }
+    return;
+  }
+  e.failures++;
+  e.consecutive_failures++;
+  if (!policy.enabled) return;
+  if (e.state == BreakerState::kHalfOpen ||
+      (e.state == BreakerState::kClosed &&
+       e.consecutive_failures >= policy.failures_to_open)) {
+    e.state = BreakerState::kOpen;
+    e.open_until_us = now_us + policy.open_cooldown_us;
+    e.probes_left = 0;
+  }
+}
+
+bool ProviderScoreboard::AllowRequest(size_t provider,
+                                      const BreakerPolicy& policy,
+                                      uint64_t now_us) {
+  if (!policy.enabled) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = SlotLocked(provider);
+  if (e.state == BreakerState::kOpen) {
+    if (now_us < e.open_until_us) return false;
+    e.state = BreakerState::kHalfOpen;
+    e.probes_left = policy.half_open_probes;
+  }
+  if (e.state == BreakerState::kHalfOpen) {
+    if (e.probes_left == 0) return false;
+    e.probes_left--;
+  }
+  return true;
+}
+
+std::vector<size_t> ProviderScoreboard::RankedPositions(size_t n,
+                                                        uint64_t now_us) const {
+  struct Key {
+    bool open;
+    double ewma;
+    size_t pos;
+  };
+  std::vector<Key> keys;
+  keys.reserve(n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      Key k{false, 0.0, i};
+      if (i < entries_.size()) {
+        const Entry& e = entries_[i];
+        k.open = e.state == BreakerState::kOpen && now_us < e.open_until_us;
+        k.ewma = e.ewma_us;
+      }
+      keys.push_back(k);
+    }
+  }
+  std::stable_sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.open != b.open) return !a.open;
+    return a.ewma < b.ewma;
+  });
+  std::vector<size_t> out;
+  out.reserve(n);
+  for (const Key& k : keys) out.push_back(k.pos);
+  return out;
+}
+
+uint64_t ProviderScoreboard::HedgeThresholdUs(const HedgePolicy& policy) const {
+  if (policy.threshold_us > 0) return policy.threshold_us;
+  std::vector<double> ewmas;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.samples > 0) ewmas.push_back(e.ewma_us);
+    }
+  }
+  if (ewmas.size() < policy.min_samples) return 0;
+  std::sort(ewmas.begin(), ewmas.end());
+  const size_t idx = static_cast<size_t>(
+      policy.quantile * static_cast<double>(ewmas.size() - 1));
+  return static_cast<uint64_t>(ewmas[idx] * policy.multiplier);
+}
+
+ProviderScoreboard::Entry ProviderScoreboard::Snapshot(size_t provider) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (provider >= entries_.size()) return Entry();
+  return entries_[provider];
+}
+
+void ProviderScoreboard::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+QuorumResult RunResilientQuorum(Network* network,
+                                const std::vector<size_t>& providers,
+                                const std::vector<Buffer>& requests,
+                                size_t desired, size_t minimum,
+                                const std::vector<size_t>& order,
+                                const ResiliencePolicy& policy,
+                                ProviderScoreboard* board) {
+  QuorumResult out;
+  const size_t n = providers.size();
+  desired = std::min(desired, n);
+  if (minimum == 0) minimum = desired;
+  const bool breaker_on = policy.breaker.enabled && board != nullptr;
+
+  // Candidate order: the caller's preference (planner ranking) or the
+  // classic identity order.
+  std::vector<size_t> positions;
+  if (order.size() == n) {
+    positions = order;
+  } else {
+    positions.resize(n);
+    for (size_t i = 0; i < n; ++i) positions[i] = i;
+  }
+
+  auto request_slice = [&requests](size_t pos) {
+    return pos < requests.size() ? requests[pos].AsSlice() : Slice();
+  };
+
+  // Admit the first `desired` positions past the breaker; everything else
+  // (including skipped positions, last) forms the spare queue.
+  uint64_t now_us = network->clock().now_us();
+  std::vector<size_t> chosen, spares, skipped;
+  for (size_t pos : positions) {
+    if (chosen.size() < desired) {
+      if (breaker_on &&
+          !board->AllowRequest(providers[pos], policy.breaker, now_us)) {
+        out.breaker_skips++;
+        skipped.push_back(pos);
+        continue;
+      }
+      chosen.push_back(pos);
+    } else {
+      spares.push_back(pos);
+    }
+  }
+  spares.insert(spares.end(), skipped.begin(), skipped.end());
+
+  // Phase 1: parallel fan-out. Legs run unclocked; this layer owns the
+  // cross-leg clock arithmetic (retries, backoffs, hedges).
+  const size_t m = chosen.size();
+  std::vector<Result<std::vector<uint8_t>>> first(
+      m, Result<std::vector<uint8_t>>(Status::Internal("fan-out leg not run")));
+  std::vector<CallTrace> first_legs(m);
+  network->pool().ParallelFor(m, [&](size_t i) {
+    first[i] = network->CallUnclocked(providers[chosen[i]],
+                                      request_slice(chosen[i]), &first_legs[i],
+                                      policy.deadline_us);
+  });
+  out.fanout_rounds += 1;
+
+  auto record = [&out](size_t provider, const CallTrace& t, bool ok,
+                       uint32_t attempt, bool hedge) {
+    ResilientLeg leg;
+    leg.provider = provider;
+    leg.bytes_sent = t.bytes_sent;
+    leg.bytes_received = t.bytes_received;
+    leg.round_trip_us = t.elapsed_us;
+    leg.ok = ok;
+    leg.attempt = attempt;
+    leg.hedge = hedge;
+    leg.deadline_exceeded = t.deadline_exceeded;
+    out.legs.push_back(leg);
+  };
+
+  // Resolve each phase-1 slot: record the first attempt, then drain its
+  // retry budget sequentially (per-link RNG streams make this equivalent
+  // to retrying in parallel). A slot's modelled completion time is the
+  // sum of its attempts' round trips plus the backoffs between them.
+  struct Slot {
+    size_t pos = 0;              ///< Winning position (hedge may swap it).
+    bool ok = false;
+    std::vector<uint8_t> bytes;
+    uint64_t completion_us = 0;
+  };
+  std::vector<Slot> slots(m);
+  for (size_t i = 0; i < m; ++i) {
+    Slot& slot = slots[i];
+    slot.pos = chosen[i];
+    const size_t provider = providers[chosen[i]];
+    record(provider, first_legs[i], first[i].ok(), 1, false);
+    slot.completion_us = first_legs[i].elapsed_us;
+    Status st = first[i].ok() ? Status::OK() : first[i].status();
+    if (st.ok()) slot.bytes = std::move(*first[i]);
+    uint32_t attempt = 1;
+    while (!st.ok() && IsTransient(st) &&
+           attempt < policy.retry.max_attempts) {
+      const uint64_t backoff = policy.retry.BackoffUs(attempt, provider);
+      attempt++;
+      CallTrace t;
+      auto r = network->CallUnclocked(provider, request_slice(chosen[i]), &t,
+                                      policy.deadline_us);
+      record(provider, t, r.ok(), attempt, false);
+      slot.completion_us += backoff + t.elapsed_us;
+      st = r.ok() ? Status::OK() : r.status();
+      if (st.ok()) slot.bytes = std::move(*r);
+    }
+    slot.ok = st.ok();
+  }
+
+  // Hedging: a successful slot whose modelled completion exceeds the
+  // latency threshold launches a duplicate to the next spare; the faster
+  // of the two wins and the loser's clock charge is capped at the
+  // winner's completion (both legs' bytes stay charged — the requests
+  // really went out).
+  uint64_t hedge_threshold_us = 0;
+  if (policy.hedge.enabled) {
+    hedge_threshold_us = policy.hedge.threshold_us > 0
+                             ? policy.hedge.threshold_us
+                             : (board != nullptr
+                                    ? board->HedgeThresholdUs(policy.hedge)
+                                    : 0);
+  }
+  if (hedge_threshold_us > 0) {
+    size_t spare_at = 0;
+    for (Slot& slot : slots) {
+      if (!slot.ok || slot.completion_us <= hedge_threshold_us) continue;
+      // Find an admitted spare for the hedge leg.
+      size_t hedge_pos = n;
+      while (spare_at < spares.size()) {
+        const size_t cand = spares[spare_at];
+        if (breaker_on &&
+            !board->AllowRequest(providers[cand], policy.breaker, now_us)) {
+          out.breaker_skips++;
+          spare_at++;
+          continue;
+        }
+        hedge_pos = cand;
+        spares.erase(spares.begin() + static_cast<long>(spare_at));
+        break;
+      }
+      if (hedge_pos == n) break;  // no spares left to hedge with
+      CallTrace t;
+      auto r = network->CallUnclocked(providers[hedge_pos],
+                                      request_slice(hedge_pos), &t,
+                                      policy.deadline_us);
+      record(providers[hedge_pos], t, r.ok(), 1, true);
+      out.hedges++;
+      const uint64_t hedge_completion_us = hedge_threshold_us + t.elapsed_us;
+      if (r.ok() && hedge_completion_us < slot.completion_us) {
+        slot.pos = hedge_pos;
+        slot.bytes = std::move(*r);
+        slot.completion_us = hedge_completion_us;
+      }
+    }
+    if (out.hedges > 0) out.fanout_rounds += 1;
+  }
+
+  // The phase-1 legs ran in parallel: the slowest effective completion
+  // dominates the clock.
+  uint64_t slowest = 0;
+  for (const Slot& slot : slots) {
+    slowest = std::max(slowest, slot.completion_us);
+  }
+  network->clock().Advance(slowest);
+  out.clock_advance_us += slowest;
+
+  for (Slot& slot : slots) {
+    if (slot.ok) {
+      out.responses.push_back(
+          QuorumResult::Response{slot.pos, std::move(slot.bytes)});
+    }
+  }
+
+  // Phase 2: sequential replacements for failed legs, each a full round
+  // trip (plus its own retries) charged to the clock one by one.
+  now_us = network->clock().now_us();
+  size_t spare_at = 0;
+  while (out.responses.size() < desired && spare_at < spares.size()) {
+    const size_t pos = spares[spare_at++];
+    const size_t provider = providers[pos];
+    if (breaker_on &&
+        !board->AllowRequest(provider, policy.breaker, now_us)) {
+      out.breaker_skips++;
+      continue;
+    }
+    uint64_t leg_advance_us = 0;
+    uint32_t attempt = 0;
+    Status st = Status::Unavailable("leg not run");
+    std::vector<uint8_t> bytes;
+    do {
+      const uint64_t backoff = policy.retry.BackoffUs(attempt, provider);
+      attempt++;
+      CallTrace t;
+      auto r = network->CallUnclocked(provider, request_slice(pos), &t,
+                                      policy.deadline_us);
+      record(provider, t, r.ok(), attempt, false);
+      out.fanout_rounds += 1;
+      leg_advance_us += backoff + t.elapsed_us;
+      st = r.ok() ? Status::OK() : r.status();
+      if (st.ok()) bytes = std::move(*r);
+    } while (!st.ok() && IsTransient(st) &&
+             attempt < policy.retry.max_attempts);
+    network->clock().Advance(leg_advance_us);
+    out.clock_advance_us += leg_advance_us;
+    now_us = network->clock().now_us();
+    if (st.ok()) {
+      out.responses.push_back(QuorumResult::Response{pos, std::move(bytes)});
+    }
+  }
+
+  // Fold every leg outcome into the scoreboard, sequentially in leg
+  // order, at the post-fan-out clock: deterministic for any thread count.
+  if (board != nullptr) {
+    const uint64_t record_now_us = network->clock().now_us();
+    for (const ResilientLeg& leg : out.legs) {
+      board->RecordOutcome(leg.provider, leg.ok, leg.round_trip_us,
+                           policy.breaker, record_now_us);
+    }
+  }
+
+  out.status =
+      out.responses.size() >= minimum
+          ? Status::OK()
+          : Status::Unavailable(
+                "client: fewer than the required providers responded (" +
+                std::to_string(out.responses.size()) + "/" +
+                std::to_string(minimum) + ")");
+  return out;
+}
+
+}  // namespace ssdb

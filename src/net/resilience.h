@@ -1,0 +1,211 @@
+// Resilient provider RPC: deadlines, backoff retries, hedged reads and a
+// per-provider health scoreboard with a circuit breaker.
+//
+// The paper's availability argument (§V.A, §VI(b)) is that k-of-n secret
+// sharing tolerates provider failures *structurally*; this layer adds the
+// *temporal* half: a slow or flapping provider must not drag the whole
+// query down when a spare share exists. Everything is charged to the
+// simulated network's VirtualClock, and every knob is deterministic:
+//  * backoff jitter is a pure function of (seed, provider, retry number),
+//  * hedge decisions are made from modelled leg latencies after the
+//    fan-out barrier, never from wall-clock races,
+//  * scoreboard updates happen sequentially in leg order,
+// so query results, byte counts and clock totals are bit-identical for
+// any fan-out thread count and across same-seed runs.
+//
+// With the default (fully disabled) ResiliencePolicy, RunResilientQuorum
+// reproduces the classic two-phase quorum fan-out byte-for-byte: parallel
+// fan-out to the first `desired` providers (clock advanced by the slowest
+// leg), then sequential replacement of failed legs.
+
+#ifndef SSDB_NET_RESILIENCE_H_
+#define SSDB_NET_RESILIENCE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace ssdb {
+
+/// Backoff-retry schedule for one logical call leg. A leg is retried only
+/// on transient failures (Unavailable, DeadlineExceeded); semantic errors
+/// surface immediately.
+struct RetryPolicy {
+  /// Total attempts per leg (1 = no retries).
+  size_t max_attempts = 1;
+  /// Backoff before the first retry, in virtual-clock microseconds.
+  uint64_t initial_backoff_us = 10000;
+  /// Exponential growth factor between consecutive backoffs.
+  double multiplier = 2.0;
+  /// Upper bound on any single backoff.
+  uint64_t max_backoff_us = 1000000;
+  /// Jitter fraction in [0,1]: each backoff is scaled by
+  /// (1 - jitter * u) with u drawn from a stream seeded by
+  /// (jitter_seed, provider, retry number) — deterministic and
+  /// independent of call interleaving.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0x5EEDBACC0FFULL;
+
+  /// The backoff charged before retry `retry_number` (1-based) to
+  /// `provider`. Returns 0 for retry_number == 0.
+  uint64_t BackoffUs(size_t retry_number, size_t provider) const;
+};
+
+/// Hedged reads: when a quorum leg's modelled completion time exceeds a
+/// latency threshold, a duplicate request is sent to a spare provider and
+/// the first response wins; the loser is cancelled, so its clock charge
+/// is capped at the winner's completion (its bytes are still charged to
+/// the channel stats — the request really went out).
+struct HedgePolicy {
+  bool enabled = false;
+  /// Fixed threshold in virtual-clock microseconds; 0 means derive it
+  /// from the scoreboard as `multiplier` times the `quantile`-quantile of
+  /// the per-provider latency EWMAs (needs >= min_samples providers with
+  /// history, else no hedging).
+  uint64_t threshold_us = 0;
+  double quantile = 0.5;
+  double multiplier = 2.0;
+  size_t min_samples = 3;
+};
+
+/// Half-open circuit breaker per provider: `failures_to_open` consecutive
+/// failures open the circuit for `open_cooldown_us` of virtual time;
+/// afterwards up to `half_open_probes` probe requests are let through —
+/// one success closes the circuit, one failure re-opens it.
+struct BreakerPolicy {
+  bool enabled = false;
+  uint32_t failures_to_open = 3;
+  uint64_t open_cooldown_us = 1000000;
+  uint32_t half_open_probes = 1;
+};
+
+/// The full resilience configuration of a client. The default is fully
+/// disabled: query results, provider byte streams and virtual-clock
+/// totals are then byte-identical to a build without this layer.
+struct ResiliencePolicy {
+  RetryPolicy retry;
+  HedgePolicy hedge;
+  BreakerPolicy breaker;
+  /// Per-call deadline in virtual-clock microseconds (0 = none).
+  uint64_t deadline_us = 0;
+  /// Let the planner order quorum candidates by scoreboard health.
+  bool prefer_healthy = false;
+
+  bool enabled() const {
+    return retry.max_attempts > 1 || hedge.enabled || breaker.enabled ||
+           deadline_us > 0 || prefer_healthy;
+  }
+};
+
+/// \brief Per-provider health ledger consulted by the planner (quorum
+/// selection) and the resilient quorum runner (breaker, hedge threshold).
+///
+/// Thread-safe; all time arguments are virtual-clock microseconds.
+/// Outcomes are recorded sequentially in leg order after each quorum
+/// fan-out, so the ledger's evolution is deterministic for any fan-out
+/// thread count.
+class ProviderScoreboard {
+ public:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  struct Entry {
+    double ewma_us = 0.0;  ///< EWMA of successful round trips (alpha .25).
+    uint64_t samples = 0;  ///< Successful round trips folded into the EWMA.
+    uint32_t consecutive_failures = 0;
+    uint64_t successes = 0;
+    uint64_t failures = 0;
+    BreakerState state = BreakerState::kClosed;
+    uint64_t open_until_us = 0;  ///< When kOpen: cooldown end.
+    uint32_t probes_left = 0;    ///< When kHalfOpen: probe budget left.
+  };
+
+  /// Folds one leg outcome into the ledger and drives the breaker state
+  /// machine (open on failures_to_open consecutive failures; a half-open
+  /// probe success closes, a probe failure re-opens).
+  void RecordOutcome(size_t provider, bool ok, uint64_t round_trip_us,
+                     const BreakerPolicy& policy, uint64_t now_us);
+
+  /// Breaker admission check. Consumes a probe when half-open; flips an
+  /// expired open circuit to half-open. Always true when the policy is
+  /// disabled.
+  bool AllowRequest(size_t provider, const BreakerPolicy& policy,
+                    uint64_t now_us);
+
+  /// Positions [0, n) ordered healthiest-first: breaker-open providers
+  /// last, others by ascending latency EWMA (no history = optimistic),
+  /// ties by position. Deterministic.
+  std::vector<size_t> RankedPositions(size_t n, uint64_t now_us) const;
+
+  /// The hedge latency threshold per `policy` (see HedgePolicy); 0 means
+  /// "do not hedge".
+  uint64_t HedgeThresholdUs(const HedgePolicy& policy) const;
+
+  Entry Snapshot(size_t provider) const;
+
+  /// Forgets all history and closes every breaker (used by
+  /// FaultController::HealAll so healed faults do not echo).
+  void Reset();
+
+ private:
+  Entry& SlotLocked(size_t provider);
+
+  static constexpr double kEwmaAlpha = 0.25;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+/// One physical call leg issued by RunResilientQuorum, with the exact
+/// byte/clock charges as seen by the channel stats.
+struct ResilientLeg {
+  size_t provider = 0;  ///< Network provider index.
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t round_trip_us = 0;
+  bool ok = false;
+  uint32_t attempt = 1;  ///< 1-based attempt number of its logical leg.
+  bool hedge = false;
+  bool deadline_exceeded = false;
+};
+
+/// Outcome of one resilient quorum fan-out.
+struct QuorumResult {
+  struct Response {
+    size_t slot;  ///< Position in `providers` (the share evaluation point).
+    std::vector<uint8_t> bytes;
+  };
+  std::vector<Response> responses;  ///< Successful logical legs.
+  std::vector<ResilientLeg> legs;   ///< Every physical leg, in issue order.
+  uint64_t clock_advance_us = 0;    ///< Total charged to the virtual clock.
+  uint32_t fanout_rounds = 0;       ///< Sequential round trips performed.
+  uint32_t hedges = 0;              ///< Hedge legs launched.
+  uint32_t breaker_skips = 0;       ///< Admissions denied by the breaker.
+  Status status;                    ///< OK once >= minimum legs succeeded.
+};
+
+/// \brief Quorum fan-out with retries, deadline, hedging and breaker.
+///
+/// `providers[pos]` is the network index of position `pos`; `requests`
+/// holds the per-position rewritten payloads. The fan-out contacts the
+/// first `desired` admitted positions of `order` (a permutation of
+/// positions; empty = identity) in parallel, retries transient failures
+/// per RetryPolicy (backoffs charged to the clock), hedges slow legs to
+/// spare positions, then sequentially replaces still-failed legs from the
+/// remaining order. Succeeds once at least `minimum` (0 = `desired`)
+/// responses arrived. When `board` is non-null every leg outcome is
+/// recorded after the fan-out, in leg order.
+QuorumResult RunResilientQuorum(Network* network,
+                                const std::vector<size_t>& providers,
+                                const std::vector<Buffer>& requests,
+                                size_t desired, size_t minimum,
+                                const std::vector<size_t>& order,
+                                const ResiliencePolicy& policy,
+                                ProviderScoreboard* board);
+
+}  // namespace ssdb
+
+#endif  // SSDB_NET_RESILIENCE_H_

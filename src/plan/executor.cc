@@ -55,53 +55,31 @@ PlanNodeTrace* Executor::Rec(const PlanNode* node, QueryTrace* trace) {
 Result<std::vector<Executor::ProviderResponse>> Executor::CallQuorum(
     Network* network, const std::vector<size_t>& providers,
     const std::vector<Buffer>& requests, size_t desired, size_t minimum,
-    PlanNodeTrace* trace) {
-  if (minimum == 0) minimum = desired;
-  std::vector<ProviderResponse> ok;
-  // Phase 1: parallel fan-out to the first `desired` providers.
-  std::vector<size_t> first(providers.begin(),
-                            providers.begin() + static_cast<long>(desired));
-  std::vector<Buffer> first_reqs;
-  for (size_t i = 0; i < desired; ++i) {
-    Buffer b;
-    b.Append(requests[i].AsSlice());
-    first_reqs.push_back(std::move(b));
-  }
-  Network::FanOutResult fan = network->CallManyDistinct(first, first_reqs);
+    PlanNodeTrace* trace, const ResiliencePolicy& policy,
+    ProviderScoreboard* board, const std::vector<size_t>& order) {
+  QuorumResult q = RunResilientQuorum(network, providers, requests, desired,
+                                      minimum, order, policy, board);
   if (trace != nullptr) {
-    trace->round_trips += 1;
-    trace->clock_us += fan.clock_advance_us;
-    for (size_t i = 0; i < desired; ++i) {
-      RecordLeg(trace, first[i], fan.legs[i].bytes_sent,
-                fan.legs[i].bytes_received, fan.legs[i].elapsed_us,
-                fan.responses[i].ok());
+    trace->round_trips += q.fanout_rounds;
+    trace->clock_us += q.clock_advance_us;
+    trace->hedged += q.hedges;
+    trace->breaker_skips += q.breaker_skips;
+    for (const ResilientLeg& leg : q.legs) {
+      RecordLeg(trace, leg.provider, leg.bytes_sent, leg.bytes_received,
+                leg.round_trip_us, leg.ok);
+      PlanLegTrace& rec = trace->legs.back();
+      rec.attempt = leg.attempt;
+      rec.hedge = leg.hedge;
+      rec.deadline_exceeded = leg.deadline_exceeded;
+      if (leg.attempt > 1) trace->attempts++;
+      if (leg.deadline_exceeded) trace->deadline_exceeded++;
     }
   }
-  for (size_t i = 0; i < desired; ++i) {
-    if (fan.responses[i].ok()) {
-      ok.push_back(ProviderResponse{i, std::move(*fan.responses[i])});
-    }
-  }
-  // Phase 2: sequential replacements for failed legs.
-  size_t next = desired;
-  while (ok.size() < desired && next < providers.size()) {
-    CallTrace leg;
-    auto r = network->Call(providers[next], requests[next].AsSlice(), &leg);
-    if (trace != nullptr) {
-      trace->round_trips += 1;
-      trace->clock_us += leg.elapsed_us;
-      RecordLeg(trace, providers[next], leg.bytes_sent, leg.bytes_received,
-                leg.elapsed_us, r.ok());
-    }
-    if (r.ok()) {
-      ok.push_back(ProviderResponse{next, std::move(*r)});
-    }
-    ++next;
-  }
-  if (ok.size() < minimum) {
-    return Status::Unavailable(
-        "client: fewer than the required providers responded (" +
-        std::to_string(ok.size()) + "/" + std::to_string(minimum) + ")");
+  if (!q.status.ok()) return q.status;
+  std::vector<ProviderResponse> ok;
+  ok.reserve(q.responses.size());
+  for (QuorumResult::Response& r : q.responses) {
+    ok.push_back(ProviderResponse{r.slot, std::move(r.bytes)});
   }
   return ok;
 }
@@ -163,6 +141,14 @@ Status Executor::ApplyOverlay(const PipelinePlan& pipe, QueryResult* result,
 Result<QueryResult> Executor::RunPipelineWithRetry(const PipelinePlan& pipe,
                                                    QueryTrace* trace) {
   Result<QueryResult> first = RunPipeline(pipe, pipe.quorum_desired, trace);
+  if (!first.ok() && first.status().IsUnavailable() &&
+      host_->resilience().enabled() &&
+      pipe.quorum_desired < host_->num_providers()) {
+    // Graceful degradation: too few providers answered the preferred
+    // quorum (breaker skips, flapping links). Re-plan once with the
+    // widest quorum — the breaker still gates every contact.
+    first = RunPipeline(pipe, host_->num_providers(), trace);
+  }
   if (first.ok() || !first.status().IsCorruption() ||
       host_->threshold_k() == host_->num_providers()) {
     if (first.ok()) {
@@ -223,7 +209,8 @@ Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
   SSDB_ASSIGN_OR_RETURN(
       std::vector<ProviderResponse> responses,
       CallQuorum(host_->network(), providers, requests, quorum,
-                 pipe.quorum_min, scan_rec));
+                 pipe.quorum_min, scan_rec, host_->resilience(),
+                 host_->scoreboard(), pipe.quorum_order));
   if (scan_rec != nullptr) scan_rec->executed = true;
 
   // Majority-group identical payloads to tolerate corrupt responses.
@@ -514,10 +501,21 @@ Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
     return empty;
   }
 
-  SSDB_ASSIGN_OR_RETURN(
-      std::vector<ProviderResponse> responses,
+  Result<std::vector<ProviderResponse>> responses_r =
       CallQuorum(host_->network(), providers, requests, spec.quorum_desired,
-                 spec.quorum_min, join_rec));
+                 spec.quorum_min, join_rec, host_->resilience(),
+                 host_->scoreboard(), spec.quorum_order);
+  if (!responses_r.ok() && responses_r.status().IsUnavailable() &&
+      host_->resilience().enabled() &&
+      spec.quorum_desired < num_providers) {
+    // Graceful degradation, as in RunPipelineWithRetry: one wider round.
+    responses_r =
+        CallQuorum(host_->network(), providers, requests, num_providers,
+                   spec.quorum_min, join_rec, host_->resilience(),
+                   host_->scoreboard(), spec.quorum_order);
+  }
+  if (!responses_r.ok()) return responses_r.status();
+  std::vector<ProviderResponse> responses = std::move(*responses_r);
   if (join_rec != nullptr) join_rec->executed = true;
 
   struct Parsed {

@@ -41,10 +41,17 @@ class Executor {
   /// then sequential replacement of failed legs; succeeds once at least
   /// `minimum` responses arrived (`minimum` = 0 means `desired`). When
   /// `trace` is non-null every leg and the clock advance are recorded.
+  /// Every leg runs through the resilience layer (net/resilience.h):
+  /// `policy` adds deadlines, backoff retries, hedged reads and breaker
+  /// admission; the default policy reproduces the classic two-phase
+  /// fan-out byte-for-byte. `order` overrides the contact order
+  /// (planner's scoreboard ranking; empty = identity).
   static Result<std::vector<ProviderResponse>> CallQuorum(
       Network* network, const std::vector<size_t>& providers,
       const std::vector<Buffer>& requests, size_t desired, size_t minimum,
-      PlanNodeTrace* trace);
+      PlanNodeTrace* trace, const ResiliencePolicy& policy = ResiliencePolicy(),
+      ProviderScoreboard* board = nullptr,
+      const std::vector<size_t>& order = {});
 
  private:
   Result<QueryResult> RunUnion(const QueryPlan& plan, QueryTrace* trace);

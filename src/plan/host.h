@@ -18,6 +18,7 @@
 #include "client/query.h"
 #include "field/fp61.h"
 #include "net/network.h"
+#include "net/resilience.h"
 #include "plan/plan.h"
 #include "provider/protocol.h"
 #include "sss/order_preserving.h"
@@ -43,6 +44,11 @@ class PlanHost {
   virtual Network* network() = 0;
   /// Network indices of the client's providers, in fan-out order.
   virtual const std::vector<size_t>& provider_indices() const = 0;
+  /// The client's resilience configuration (default: fully disabled).
+  virtual const ResiliencePolicy& resilience() const = 0;
+  /// The client's provider health scoreboard (never null; idle when the
+  /// policy is disabled).
+  virtual ProviderScoreboard* scoreboard() = 0;
 
   // --- Share space (Executor) -------------------------------------------
   /// Rewrites one plaintext predicate into provider `provider`'s share

@@ -73,6 +73,9 @@ struct PipelinePlan {
   std::vector<ProviderColumnLayout> response_layout;
   size_t quorum_desired = 0;  ///< Providers contacted in the first round.
   size_t quorum_min = 0;      ///< Responses required (the threshold k).
+  /// Provider positions in contact order, healthiest first (scoreboard
+  /// ranking); empty = the classic identity order.
+  std::vector<size_t> quorum_order;
 
   // Non-owning pointers into the plan tree (null when the node is absent).
   PlanNode* scan = nullptr;
@@ -89,6 +92,8 @@ struct JoinPlanSpec {
   uint32_t right_column = 0;
   size_t quorum_desired = 0;
   size_t quorum_min = 0;
+  /// Provider positions in contact order (see PipelinePlan::quorum_order).
+  std::vector<size_t> quorum_order;
 
   PlanNode* join = nullptr;
   PlanNode* reconstruct = nullptr;

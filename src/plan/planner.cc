@@ -161,6 +161,13 @@ Result<std::unique_ptr<PlanNode>> Planner::PlanPipeline(const Query& query,
     out->quorum_desired = std::min(n, k + 1);
   }
   out->quorum_min = k;
+  // Scoreboard-aware quorum selection: contact the healthiest providers
+  // first (breaker-open ones last). The ranking changes only which
+  // positions serve the quorum, never the plan shape or labels.
+  if (host_->resilience().prefer_healthy) {
+    out->quorum_order = host_->scoreboard()->RankedPositions(
+        n, host_->network()->clock().now_us());
+  }
 
   // Access-path selection: an equality predicate answers on deterministic
   // shares; otherwise a range/prefix predicate answers on
@@ -343,6 +350,10 @@ Result<QueryPlan> Planner::Plan(const JoinQuery& join) {
   }
   spec.quorum_desired = plan.k;
   spec.quorum_min = plan.k;
+  if (host_->resilience().prefer_healthy) {
+    spec.quorum_order = host_->scoreboard()->RankedPositions(
+        plan.n, host_->network()->clock().now_us());
+  }
 
   auto join_node = MakeNode(
       PlanNodeKind::kEquiJoin,

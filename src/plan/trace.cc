@@ -29,6 +29,30 @@ uint64_t QueryTrace::total_provider_legs() const {
   return total;
 }
 
+uint64_t QueryTrace::total_attempts() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.attempts;
+  return total;
+}
+
+uint64_t QueryTrace::total_hedged() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.hedged;
+  return total;
+}
+
+uint64_t QueryTrace::total_deadline_exceeded() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.deadline_exceeded;
+  return total;
+}
+
+uint64_t QueryTrace::total_breaker_skips() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.breaker_skips;
+  return total;
+}
+
 std::map<uint32_t, std::pair<uint64_t, uint64_t>> QueryTrace::PerProviderBytes()
     const {
   std::map<uint32_t, std::pair<uint64_t, uint64_t>> per;
@@ -71,14 +95,35 @@ std::string QueryTrace::ToString() const {
       std::snprintf(line, sizeof(line), " shares=%" PRIu64, n.shares_used);
       out += line;
     }
+    if (n.attempts != 0) {
+      std::snprintf(line, sizeof(line), " retries=%" PRIu64, n.attempts);
+      out += line;
+    }
+    if (n.hedged != 0) {
+      std::snprintf(line, sizeof(line), " hedged=%" PRIu64, n.hedged);
+      out += line;
+    }
+    if (n.deadline_exceeded != 0) {
+      std::snprintf(line, sizeof(line), " deadline_exceeded=%" PRIu64,
+                    n.deadline_exceeded);
+      out += line;
+    }
+    if (n.breaker_skips != 0) {
+      std::snprintf(line, sizeof(line), " breaker_skips=%" PRIu64,
+                    n.breaker_skips);
+      out += line;
+    }
     out += "\n";
     for (const PlanLegTrace& leg : n.legs) {
       out.append(static_cast<size_t>(n.depth) * 2 + 2, ' ');
       std::snprintf(line, sizeof(line),
                     "leg provider=%u up=%" PRIu64 "B down=%" PRIu64
-                    "B rtt=%" PRIu64 "us%s\n",
+                    "B rtt=%" PRIu64 "us%s%s%s%s\n",
                     leg.provider, leg.bytes_sent, leg.bytes_received,
-                    leg.round_trip_us, leg.ok ? "" : " FAILED");
+                    leg.round_trip_us, leg.attempt > 1 ? " RETRY" : "",
+                    leg.hedge ? " HEDGE" : "",
+                    leg.deadline_exceeded ? " DEADLINE" : "",
+                    leg.ok ? "" : " FAILED");
       out += line;
     }
   }

@@ -34,6 +34,13 @@ struct PlanLegTrace {
   uint64_t round_trip_us = 0;
   /// False when the leg failed (down / dropped / handler error).
   bool ok = true;
+  /// 1-based attempt number of the logical leg this call served (> 1 for
+  /// backoff retries).
+  uint32_t attempt = 1;
+  /// True for a hedge duplicate sent to a spare provider.
+  bool hedge = false;
+  /// True when the leg overran its deadline (no response bytes counted).
+  bool deadline_exceeded = false;
 };
 
 /// Execution record of one plan node.
@@ -62,6 +69,15 @@ struct PlanNodeTrace {
   uint64_t rows_reconstructed = 0;
   /// Shares fed to Lagrange per reconstructed value (the k of k-of-n).
   uint64_t shares_used = 0;
+
+  // Resilience counters (all zero when the resilience policy is
+  // disabled). Each reconciles with the node's legs: `attempts` counts
+  // legs with attempt > 1, `hedged` counts hedge legs,
+  // `deadline_exceeded` counts legs that overran their deadline.
+  uint64_t attempts = 0;           ///< Backoff-retry legs issued.
+  uint64_t hedged = 0;             ///< Hedge legs launched.
+  uint64_t deadline_exceeded = 0;  ///< Legs that overran their deadline.
+  uint64_t breaker_skips = 0;      ///< Providers skipped breaker-open.
 };
 
 /// \brief Trace of one executed query plan (pre-order node records).
@@ -74,6 +90,11 @@ struct QueryTrace {
   /// VirtualClock delta the query caused).
   uint64_t total_clock_us() const;
   uint64_t total_provider_legs() const;
+  /// Resilience totals across all nodes (zero with resilience disabled).
+  uint64_t total_attempts() const;
+  uint64_t total_hedged() const;
+  uint64_t total_deadline_exceeded() const;
+  uint64_t total_breaker_skips() const;
 
   /// Per-provider (bytes_sent, bytes_received) totals, keyed by network
   /// provider index; reconciles exactly with Network::stats(i) deltas.

@@ -267,5 +267,73 @@ TEST(RandomFailures, QueriesSurviveRandomFailureChurn) {
   }
 }
 
+TEST(QuorumDegradation, AllSurvivableFailureCountsSucceedWithoutBreakerLeaks) {
+  // Property: for every f < n - k + 1 downed providers, every query still
+  // succeeds (the quorum degrades onto the spares), and once a downed
+  // provider's breaker opens it is never contacted again beyond the
+  // half-open probe budget — with the cooldown longer than the run, that
+  // budget is zero, so its call count must freeze after the opening query.
+  constexpr size_t n = 5, k = 2;
+  EmployeeGenerator gen(17, Distribution::kUniform);
+  const auto rows = gen.Rows(300);
+
+  for (size_t f = 0; f < n - k + 1; ++f) {
+    OutsourcedDbOptions options;
+    options.n = n;
+    options.client.k = k;
+    options.client.resilience.breaker.enabled = true;
+    options.client.resilience.breaker.failures_to_open = 1;
+    options.client.resilience.breaker.open_cooldown_us = 1ull << 60;
+    auto db_r = OutsourcedDatabase::Create(options);
+    ASSERT_TRUE(db_r.ok());
+    auto& db = *db_r.value();
+    ASSERT_TRUE(db.CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+    ASSERT_TRUE(db.Insert("Employees", rows).ok());
+
+    for (size_t i = 0; i < f; ++i) db.faults().Down(i);
+
+    // Query 1 may contact each downed provider once; that failure opens
+    // its breaker.
+    auto first = db.Execute(Query::Select("Employees").Aggregate(AggregateOp::kCount));
+    ASSERT_TRUE(first.ok()) << "f=" << f << ": " << first.status().ToString();
+    EXPECT_EQ(first->count, rows.size()) << "f=" << f;
+    std::vector<uint64_t> calls_after_first(n);
+    for (size_t i = 0; i < n; ++i) {
+      calls_after_first[i] = db.network().stats(i).calls;
+    }
+
+    Rng rng(1000 + f);
+    for (int round = 0; round < 8; ++round) {
+      const int64_t lo = rng.UniformInt(0, 150000);
+      auto r = db.Execute(Query::Select("Employees")
+                              .Where(Between("salary", Value::Int(lo),
+                                             Value::Int(lo + 30000))));
+      ASSERT_TRUE(r.ok()) << "f=" << f << " round " << round << ": "
+                          << r.status().ToString();
+      size_t expect = 0;
+      for (const auto& row : rows) {
+        const int64_t s = row[1].AsInt();
+        if (s >= lo && s <= lo + 30000) ++expect;
+      }
+      EXPECT_EQ(r->rows.size(), expect) << "f=" << f << " round " << round;
+    }
+    for (size_t i = 0; i < f; ++i) {
+      EXPECT_EQ(db.network().stats(i).calls, calls_after_first[i])
+          << "breaker-open provider " << i << " was contacted again (f=" << f
+          << ")";
+    }
+
+    // Healing (which resets the scoreboard) readmits the providers.
+    db.faults().HealAll();
+    auto after = db.Execute(Query::Select("Employees").Aggregate(AggregateOp::kCount));
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->count, rows.size());
+    if (f > 0) {
+      EXPECT_GT(db.network().stats(0).calls, calls_after_first[0])
+          << "healed provider 0 never readmitted (f=" << f << ")";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ssdb

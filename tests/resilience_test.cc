@@ -1,0 +1,442 @@
+// Tests for the resilient provider RPC layer (net/resilience.h):
+// backoff schedule arithmetic, deadline capping, hedged-read races,
+// scoreboard EWMA / circuit-breaker transitions, and the fault
+// controller's interactions with the scoreboard.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/fault_controller.h"
+#include "net/network.h"
+#include "net/resilience.h"
+
+namespace ssdb {
+namespace {
+
+/// Endpoint that echoes the request with a fixed-size padding.
+class EchoEndpoint : public ProviderEndpoint {
+ public:
+  explicit EchoEndpoint(size_t pad, std::string name = "echo")
+      : pad_(pad), name_(std::move(name)) {}
+  Result<Buffer> Handle(Slice request) override {
+    Buffer out;
+    out.Append(request);
+    for (size_t i = 0; i < pad_; ++i) out.PutU8(0);
+    return out;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  size_t pad_;
+  std::string name_;
+};
+
+/// latency 1000us, 10 B/us; a 10-byte request to EchoEndpoint(90) costs
+/// 2*1000 + (10+100)/10 = 2011us per round trip.
+NetworkCostModel TestModel() {
+  NetworkCostModel model;
+  model.latency_us = 1000;
+  model.bandwidth_bytes_per_us = 10.0;
+  return model;
+}
+constexpr uint64_t kRtt = 2011;
+
+Buffer TenByteRequest() {
+  Buffer req;
+  for (int i = 0; i < 10; ++i) req.PutU8(1);
+  return req;
+}
+
+std::vector<Buffer> Requests(size_t n) {
+  std::vector<Buffer> reqs;
+  for (size_t i = 0; i < n; ++i) reqs.push_back(TenByteRequest());
+  return reqs;
+}
+
+// --- RetryPolicy arithmetic ----------------------------------------------
+
+TEST(RetryPolicy, ExponentialScheduleWithoutJitter) {
+  RetryPolicy retry;
+  retry.initial_backoff_us = 100;
+  retry.multiplier = 2.0;
+  retry.max_backoff_us = 350;
+  EXPECT_EQ(retry.BackoffUs(0, 0), 0u);
+  EXPECT_EQ(retry.BackoffUs(1, 0), 100u);
+  EXPECT_EQ(retry.BackoffUs(2, 0), 200u);
+  EXPECT_EQ(retry.BackoffUs(3, 0), 350u);  // 400 capped at max_backoff_us
+  EXPECT_EQ(retry.BackoffUs(4, 0), 350u);
+  // The un-jittered schedule is provider-independent.
+  EXPECT_EQ(retry.BackoffUs(2, 0), retry.BackoffUs(2, 7));
+}
+
+TEST(RetryPolicy, JitterIsBoundedAndDeterministic) {
+  RetryPolicy retry;
+  retry.initial_backoff_us = 1000;
+  retry.multiplier = 1.0;
+  retry.jitter = 0.5;
+  for (size_t provider = 0; provider < 4; ++provider) {
+    const uint64_t b = retry.BackoffUs(1, provider);
+    EXPECT_GE(b, 500u);
+    EXPECT_LE(b, 1000u);
+    // Pure function of (seed, provider, retry number).
+    EXPECT_EQ(b, retry.BackoffUs(1, provider));
+  }
+  // Distinct providers draw from distinct jitter streams.
+  EXPECT_NE(retry.BackoffUs(1, 0), retry.BackoffUs(1, 1));
+}
+
+TEST(ResilientQuorum, RetriesChargeBackoffsAndRoundTripsToClock) {
+  Network net(TestModel());
+  net.AddProvider(std::make_shared<EchoEndpoint>(90, "p0"));
+  net.AddProvider(std::make_shared<EchoEndpoint>(90, "p1"));
+  net.SetFailure(0, FailureMode::kDown);
+
+  ResiliencePolicy policy;
+  policy.retry.max_attempts = 3;
+  policy.retry.initial_backoff_us = 100;
+  policy.retry.multiplier = 2.0;
+  policy.retry.jitter = 0.0;
+
+  QuorumResult q = RunResilientQuorum(&net, {0, 1}, Requests(2),
+                                      /*desired=*/2, /*minimum=*/1,
+                                      /*order=*/{}, policy, nullptr);
+  ASSERT_TRUE(q.status.ok());
+  ASSERT_EQ(q.responses.size(), 1u);
+  EXPECT_EQ(q.responses[0].slot, 1u);
+  // Leg 0 (down, latency charged per attempt): 1000 + 100 + 1000 + 200 +
+  // 1000 = 3300us; leg 1: one healthy 2011us round trip. The legs ran in
+  // parallel, so the clock advances by the slower chain.
+  EXPECT_EQ(q.clock_advance_us, 3300u);
+  EXPECT_EQ(net.clock().now_us(), 3300u);
+  ASSERT_EQ(q.legs.size(), 4u);  // 3 attempts at p0 + 1 at p1
+  EXPECT_EQ(net.stats(0).calls, 3u);
+  EXPECT_EQ(net.stats(0).failures, 3u);
+  uint64_t retries = 0;
+  for (const ResilientLeg& leg : q.legs) {
+    if (leg.attempt > 1) ++retries;
+  }
+  EXPECT_EQ(retries, 2u);
+  EXPECT_EQ(q.fanout_rounds, 1u);
+}
+
+// --- Deadlines ------------------------------------------------------------
+
+TEST(Deadline, OverrunningLegChargesExactlyTheDeadline) {
+  Network net(TestModel());
+  const size_t p = net.AddProvider(std::make_shared<EchoEndpoint>(90));
+  CallTrace trace;
+  auto r = net.Call(p, TenByteRequest().AsSlice(), &trace,
+                    /*deadline_us=*/1500);
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
+  EXPECT_TRUE(trace.deadline_exceeded);
+  EXPECT_EQ(trace.elapsed_us, 1500u);
+  EXPECT_EQ(net.clock().now_us(), 1500u);
+  // The request went out; the response never reached the client.
+  EXPECT_EQ(net.stats(p).bytes_sent, 10u);
+  EXPECT_EQ(net.stats(p).bytes_received, 0u);
+  EXPECT_EQ(net.stats(p).failures, 1u);
+
+  // A deadline with headroom changes nothing.
+  auto ok = net.Call(p, TenByteRequest().AsSlice(), &trace,
+                     /*deadline_us=*/kRtt + 1);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_FALSE(trace.deadline_exceeded);
+  EXPECT_EQ(trace.elapsed_us, kRtt);
+}
+
+TEST(Deadline, CapsFailurePathCharges) {
+  Network net(TestModel());
+  const size_t p = net.AddProvider(std::make_shared<EchoEndpoint>(0));
+  net.SetFailure(p, FailureMode::kDown);
+  CallTrace trace;
+  // Down-provider timeout (one latency = 1000us) overruns a 500us
+  // deadline: the client sees a timeout at the deadline.
+  auto r = net.Call(p, Slice("x"), &trace, /*deadline_us=*/500);
+  EXPECT_TRUE(r.status().IsDeadlineExceeded());
+  EXPECT_EQ(trace.elapsed_us, 500u);
+  // With headroom the original Unavailable surfaces at full charge.
+  auto r2 = net.Call(p, Slice("x"), &trace, /*deadline_us=*/2000);
+  EXPECT_TRUE(r2.status().IsUnavailable());
+  EXPECT_EQ(trace.elapsed_us, 1000u);
+}
+
+// --- New failure modes ----------------------------------------------------
+
+TEST(FailureModes, SlowMultipliesTheRoundTrip) {
+  Network net(TestModel());
+  const size_t p = net.AddProvider(std::make_shared<EchoEndpoint>(90));
+  net.SetFailure(p, FailureMode::kSlow, 3.0);
+  auto r = net.Call(p, TenByteRequest().AsSlice());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(net.clock().now_us(), 3 * kRtt);
+  // Bytes are unaffected; only time stretches.
+  EXPECT_EQ(net.stats(p).bytes_received, 100u);
+}
+
+TEST(FailureModes, FlakyTogglesBetweenGoodAndBadPhases) {
+  Network net(TestModel());
+  const size_t p = net.AddProvider(std::make_shared<EchoEndpoint>(0));
+  // Phase-flip probability 1: every call flips the link, so calls
+  // alternate bad, good, bad, ... starting from the healthy state.
+  net.SetFailure(p, FailureMode::kFlaky, 1.0);
+  EXPECT_TRUE(net.Call(p, Slice("x")).status().IsUnavailable());
+  EXPECT_TRUE(net.Call(p, Slice("x")).ok());
+  EXPECT_TRUE(net.Call(p, Slice("x")).status().IsUnavailable());
+  EXPECT_EQ(net.stats(p).failures, 2u);
+  // Re-arming the fault resets the phase.
+  net.SetFailure(p, FailureMode::kFlaky, 0.0);
+  EXPECT_TRUE(net.Call(p, Slice("x")).ok());
+}
+
+// --- Hedged reads ---------------------------------------------------------
+
+TEST(Hedging, HedgeWinsAgainstAStraggler) {
+  Network net(TestModel());
+  for (int i = 0; i < 3; ++i) {
+    net.AddProvider(std::make_shared<EchoEndpoint>(90));
+  }
+  net.SetFailure(0, FailureMode::kSlow, 10.0);  // 20110us round trips
+
+  ResiliencePolicy policy;
+  policy.hedge.enabled = true;
+  policy.hedge.threshold_us = 5000;
+
+  QuorumResult q = RunResilientQuorum(&net, {0, 1, 2}, Requests(3),
+                                      /*desired=*/2, /*minimum=*/2,
+                                      /*order=*/{}, policy, nullptr);
+  ASSERT_TRUE(q.status.ok());
+  EXPECT_EQ(q.hedges, 1u);
+  ASSERT_EQ(q.responses.size(), 2u);
+  // The straggler's slot was won by the hedge to spare position 2.
+  EXPECT_EQ(q.responses[0].slot, 2u);
+  EXPECT_EQ(q.responses[1].slot, 1u);
+  // Effective completion: hedge launched at the 5000us threshold plus one
+  // healthy round trip; the cancelled straggler leg's charge is capped.
+  EXPECT_EQ(q.clock_advance_us, 5000u + kRtt);
+  // Both legs' bytes remain charged (the requests really went out).
+  EXPECT_EQ(net.stats(0).bytes_received, 100u);
+  EXPECT_EQ(net.stats(2).bytes_received, 100u);
+  uint64_t hedge_legs = 0;
+  for (const ResilientLeg& leg : q.legs) {
+    if (leg.hedge) ++hedge_legs;
+  }
+  EXPECT_EQ(hedge_legs, 1u);
+  EXPECT_EQ(q.fanout_rounds, 2u);
+}
+
+TEST(Hedging, OriginalWinsWhenHedgeIsSlower) {
+  Network net(TestModel());
+  for (int i = 0; i < 3; ++i) {
+    net.AddProvider(std::make_shared<EchoEndpoint>(90));
+  }
+  net.SetFailure(0, FailureMode::kSlow, 3.0);  // 6033us: past threshold
+  net.SetFailure(2, FailureMode::kSlow, 2.0);  // hedge costs 4022us
+
+  ResiliencePolicy policy;
+  policy.hedge.enabled = true;
+  policy.hedge.threshold_us = 5000;
+
+  QuorumResult q = RunResilientQuorum(&net, {0, 1, 2}, Requests(3),
+                                      /*desired=*/2, /*minimum=*/2,
+                                      /*order=*/{}, policy, nullptr);
+  ASSERT_TRUE(q.status.ok());
+  EXPECT_EQ(q.hedges, 1u);
+  ASSERT_EQ(q.responses.size(), 2u);
+  // Hedge completes at 5000 + 4022 = 9022us; the original straggler at
+  // 3 * 2011 = 6033us keeps its slot and the hedge is cancelled.
+  EXPECT_EQ(q.responses[0].slot, 0u);
+  EXPECT_EQ(q.responses[1].slot, 1u);
+  EXPECT_EQ(q.clock_advance_us, 3 * kRtt);
+}
+
+// --- Scoreboard / breaker -------------------------------------------------
+
+TEST(Scoreboard, EwmaTracksSuccessfulRoundTrips) {
+  ProviderScoreboard board;
+  BreakerPolicy breaker;
+  board.RecordOutcome(0, true, 1000, breaker, 0);
+  EXPECT_DOUBLE_EQ(board.Snapshot(0).ewma_us, 1000.0);
+  board.RecordOutcome(0, true, 2000, breaker, 0);
+  // alpha = 0.25: 0.25 * 2000 + 0.75 * 1000.
+  EXPECT_DOUBLE_EQ(board.Snapshot(0).ewma_us, 1250.0);
+  EXPECT_EQ(board.Snapshot(0).samples, 2u);
+  // Failures never pollute the latency estimate.
+  board.RecordOutcome(0, false, 999999, breaker, 0);
+  EXPECT_DOUBLE_EQ(board.Snapshot(0).ewma_us, 1250.0);
+  EXPECT_EQ(board.Snapshot(0).consecutive_failures, 1u);
+}
+
+TEST(Scoreboard, BreakerOpensHalfOpensAndCloses) {
+  ProviderScoreboard board;
+  BreakerPolicy breaker;
+  breaker.enabled = true;
+  breaker.failures_to_open = 2;
+  breaker.open_cooldown_us = 1000;
+  breaker.half_open_probes = 1;
+
+  EXPECT_TRUE(board.AllowRequest(0, breaker, 0));
+  board.RecordOutcome(0, false, 100, breaker, 0);
+  EXPECT_TRUE(board.AllowRequest(0, breaker, 0));
+  board.RecordOutcome(0, false, 100, breaker, 0);
+  // Two consecutive failures: open until t=1000.
+  EXPECT_EQ(board.Snapshot(0).state, ProviderScoreboard::BreakerState::kOpen);
+  EXPECT_FALSE(board.AllowRequest(0, breaker, 500));
+  // Cooldown over: half-open with a one-probe budget.
+  EXPECT_TRUE(board.AllowRequest(0, breaker, 1001));
+  EXPECT_EQ(board.Snapshot(0).state,
+            ProviderScoreboard::BreakerState::kHalfOpen);
+  EXPECT_FALSE(board.AllowRequest(0, breaker, 1001));  // budget spent
+  // The probe succeeds: closed again.
+  board.RecordOutcome(0, true, 100, breaker, 1001);
+  EXPECT_EQ(board.Snapshot(0).state, ProviderScoreboard::BreakerState::kClosed);
+  EXPECT_TRUE(board.AllowRequest(0, breaker, 1001));
+}
+
+TEST(Scoreboard, FailedProbeReopensTheBreaker) {
+  ProviderScoreboard board;
+  BreakerPolicy breaker;
+  breaker.enabled = true;
+  breaker.failures_to_open = 1;
+  breaker.open_cooldown_us = 1000;
+  board.RecordOutcome(0, false, 100, breaker, 0);
+  EXPECT_TRUE(board.AllowRequest(0, breaker, 1500));  // half-open probe
+  board.RecordOutcome(0, false, 100, breaker, 1500);
+  EXPECT_EQ(board.Snapshot(0).state, ProviderScoreboard::BreakerState::kOpen);
+  EXPECT_EQ(board.Snapshot(0).open_until_us, 2500u);
+  EXPECT_FALSE(board.AllowRequest(0, breaker, 2000));
+}
+
+TEST(Scoreboard, RankedPositionsOrdersByHealth) {
+  ProviderScoreboard board;
+  BreakerPolicy breaker;
+  breaker.enabled = true;
+  breaker.failures_to_open = 1;
+  breaker.open_cooldown_us = 1000000;
+  board.RecordOutcome(0, true, 500, breaker, 0);
+  board.RecordOutcome(1, true, 100, breaker, 0);
+  board.RecordOutcome(2, false, 100, breaker, 0);  // breaker opens
+  // Position 3 has no history (optimistic); then by ascending EWMA; the
+  // breaker-open provider goes last.
+  EXPECT_EQ(board.RankedPositions(4, 1),
+            (std::vector<size_t>{3, 1, 0, 2}));
+}
+
+TEST(Scoreboard, HedgeThresholdFromEwmaQuantile) {
+  ProviderScoreboard board;
+  BreakerPolicy breaker;
+  HedgePolicy hedge;
+  hedge.enabled = true;
+  hedge.quantile = 0.5;
+  hedge.multiplier = 2.0;
+  hedge.min_samples = 3;
+  // Too little history: no hedging.
+  board.RecordOutcome(0, true, 1000, breaker, 0);
+  board.RecordOutcome(1, true, 2000, breaker, 0);
+  EXPECT_EQ(board.HedgeThresholdUs(hedge), 0u);
+  board.RecordOutcome(2, true, 3000, breaker, 0);
+  // Median EWMA = 2000, times the safety multiplier.
+  EXPECT_EQ(board.HedgeThresholdUs(hedge), 4000u);
+  // A fixed threshold short-circuits the estimate.
+  hedge.threshold_us = 123;
+  EXPECT_EQ(board.HedgeThresholdUs(hedge), 123u);
+}
+
+// --- Breaker inside the quorum path --------------------------------------
+
+TEST(ResilientQuorum, BreakerSkipsOpenProvidersAndRecoversAfterReset) {
+  Network net(TestModel());
+  for (int i = 0; i < 3; ++i) {
+    net.AddProvider(std::make_shared<EchoEndpoint>(90));
+  }
+  net.SetFailure(0, FailureMode::kDown);
+
+  ProviderScoreboard board;
+  ResiliencePolicy policy;
+  policy.breaker.enabled = true;
+  policy.breaker.failures_to_open = 1;
+  policy.breaker.open_cooldown_us = 1000000000;  // effectively forever
+
+  // First quorum: position 0 fails, spare position 2 replaces it, and the
+  // recorded failure opens provider 0's breaker.
+  QuorumResult q1 = RunResilientQuorum(&net, {0, 1, 2}, Requests(3), 2, 2,
+                                       {}, policy, &board);
+  ASSERT_TRUE(q1.status.ok());
+  EXPECT_EQ(net.stats(0).calls, 1u);
+  EXPECT_EQ(board.Snapshot(0).state, ProviderScoreboard::BreakerState::kOpen);
+
+  // Second quorum: provider 0 is never contacted (breaker skip).
+  QuorumResult q2 = RunResilientQuorum(&net, {0, 1, 2}, Requests(3), 2, 2,
+                                       {}, policy, &board);
+  ASSERT_TRUE(q2.status.ok());
+  EXPECT_EQ(net.stats(0).calls, 1u);
+  EXPECT_GE(q2.breaker_skips, 1u);
+
+  // Heal + scoreboard reset: provider 0 reappears in the quorum.
+  net.SetFailure(0, FailureMode::kHealthy);
+  board.Reset();
+  QuorumResult q3 = RunResilientQuorum(&net, {0, 1, 2}, Requests(3), 2, 2,
+                                       {}, policy, &board);
+  ASSERT_TRUE(q3.status.ok());
+  EXPECT_EQ(net.stats(0).calls, 2u);
+  EXPECT_EQ(q3.breaker_skips, 0u);
+}
+
+// --- Fault controller -----------------------------------------------------
+
+TEST(FaultController, SlowAndFlakySettersExposeModeAndParam) {
+  Network net(TestModel());
+  net.AddProvider(std::make_shared<EchoEndpoint>(0));
+  FaultController faults(&net);
+  faults.Slow(0, 4.0);
+  EXPECT_EQ(faults.mode(0), FailureMode::kSlow);
+  EXPECT_DOUBLE_EQ(faults.param(0), 4.0);
+  faults.Flaky(0, 0.25);
+  EXPECT_EQ(faults.mode(0), FailureMode::kFlaky);
+  EXPECT_DOUBLE_EQ(faults.param(0), 0.25);
+}
+
+TEST(FaultController, HealAllResetsTheScoreboard) {
+  Network net(TestModel());
+  net.AddProvider(std::make_shared<EchoEndpoint>(0));
+  FaultController faults(&net);
+  ProviderScoreboard board;
+  faults.AttachScoreboard(&board);
+  BreakerPolicy breaker;
+  breaker.enabled = true;
+  breaker.failures_to_open = 1;
+  board.RecordOutcome(0, false, 100, breaker, 0);
+  ASSERT_EQ(board.Snapshot(0).state, ProviderScoreboard::BreakerState::kOpen);
+  faults.HealAll();
+  EXPECT_EQ(board.Snapshot(0).state, ProviderScoreboard::BreakerState::kClosed);
+  EXPECT_EQ(board.Snapshot(0).samples, 0u);
+}
+
+TEST(ScopedFault, HealsOnExceptionUnwind) {
+  Network net(TestModel());
+  net.AddProvider(std::make_shared<EchoEndpoint>(0));
+  FaultController faults(&net);
+  try {
+    ScopedFault outage(faults, 0, FailureMode::kDown);
+    EXPECT_EQ(faults.mode(0), FailureMode::kDown);
+    throw std::runtime_error("test body exploded");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(faults.mode(0), FailureMode::kHealthy);
+}
+
+TEST(ScopedFault, RestoresThePreviousFaultOnExit) {
+  Network net(TestModel());
+  net.AddProvider(std::make_shared<EchoEndpoint>(0));
+  FaultController faults(&net);
+  faults.Drop(0, 0.25);
+  {
+    ScopedFault outage(faults, 0, FailureMode::kDown);
+    EXPECT_EQ(faults.mode(0), FailureMode::kDown);
+  }
+  EXPECT_EQ(faults.mode(0), FailureMode::kDropSome);
+  EXPECT_DOUBLE_EQ(faults.param(0), 0.25);
+}
+
+}  // namespace
+}  // namespace ssdb
