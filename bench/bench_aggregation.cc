@@ -28,7 +28,7 @@ void BM_Agg_SharedSum(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Where(Between("salary", Value::Int(kLo),
@@ -55,7 +55,7 @@ void BM_Agg_SharedSum_ClientSide(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Where(Between("salary", Value::Int(kLo),
@@ -105,7 +105,7 @@ void RunOrderAggregate(benchmark::State& state, AggregateOp op) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Where(Between("salary", Value::Int(kLo),
@@ -150,7 +150,7 @@ void BM_Agg_GroupedSum(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   uint64_t groups = 0;
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
@@ -180,7 +180,7 @@ void BM_Agg_GroupedSum_ClientSide(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Where(Between("salary", Value::Int(kLo),
@@ -203,4 +203,4 @@ BENCHMARK(BM_Agg_GroupedSum_ClientSide);
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

@@ -27,7 +27,7 @@ void BM_ExactMatch_SecretSharing(benchmark::State& state) {
   EmployeeGenerator probe(1234, Distribution::kUniform);
   std::vector<std::string> names;
   for (size_t i = 0; i < 64; ++i) names.push_back(probe.Next().name);
-  db->network().ResetStats();
+  db->ResetAllStats();
   size_t q = 0;
   QueryTrace last_trace;
   for (auto _ : state) {
@@ -62,7 +62,7 @@ void BM_ExactMatch_FanOutThreads(benchmark::State& state) {
   EmployeeGenerator probe(1234, Distribution::kUniform);
   std::vector<std::string> names;
   for (size_t i = 0; i < 64; ++i) names.push_back(probe.Next().name);
-  db->network().ResetStats();
+  db->ResetAllStats();
   size_t q = 0;
   bench::WallSimTimer timer(db);
   for (auto _ : state) {
@@ -146,4 +146,4 @@ BENCHMARK(BM_ExactMatch_TrivialTransfer)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

@@ -30,7 +30,7 @@ void BM_Fault_QueryWithDownProviders(benchmark::State& state) {
   for (size_t i = 0; i < down; ++i) {
     db->faults().Down(i);
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   const uint64_t sim_start = db->simulated_time_us();
   uint64_t failures = 0;
   for (auto _ : state) {
@@ -62,7 +62,7 @@ void BM_Fault_CorruptProviderRecovery(benchmark::State& state) {
   }
   db->faults().HealAll();
   db->faults().Corrupt(1);
-  db->network().ResetStats();
+  db->ResetAllStats();
   uint64_t failures = 0;
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
@@ -188,7 +188,7 @@ void BM_Fault_WriteAmplification(benchmark::State& state) {
   }
   (void)db.value()->CreateTable(EmployeeGenerator::EmployeesSchema());
   EmployeeGenerator gen(6, Distribution::kUniform);
-  db.value()->network().ResetStats();
+  db.value()->ResetAllStats();
   uint64_t rows = 0;
   for (auto _ : state) {
     if (!db.value()->Insert("Employees", gen.Rows(100)).ok()) {
@@ -207,4 +207,4 @@ BENCHMARK(BM_Fault_WriteAmplification);
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "field/poly.h"
 #include "sss/shamir.h"
@@ -69,9 +70,15 @@ BENCHMARK(BM_Fig1Reconstruct);
 }  // namespace ssdb
 
 int main(int argc, char** argv) {
+  const std::string metrics_path =
+      ssdb::bench::ConsumeMetricsJsonFlag(&argc, argv);
   ssdb::PrintFigure1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_path.empty() &&
+      !ssdb::bench::WriteMetricsSnapshot(metrics_path)) {
+    return 1;
+  }
   return 0;
 }

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "common/rng.h"
 #include "workload/generators.h"
 #include "workload/intersection.h"
@@ -133,4 +135,4 @@ BENCHMARK(BM_Intersection_MedicalScale)
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include <unordered_map>
 
 #include "core/outsourced_db.h"
@@ -78,7 +80,7 @@ void BM_Join_ProviderSide(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  setup->db->network().ResetStats();
+  setup->db->ResetAllStats();
   JoinQuery jq;
   jq.left_table = "Employees";
   jq.left_column = "eid";
@@ -112,7 +114,7 @@ void BM_Join_ShipAndJoin(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  setup->db->network().ResetStats();
+  setup->db->ResetAllStats();
   uint64_t pairs = 0;
   for (auto _ : state) {
     auto left = setup->db->Execute(Query::Select("Employees"));
@@ -151,7 +153,7 @@ void BM_Join_WithSelection(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  setup->db->network().ResetStats();
+  setup->db->ResetAllStats();
   JoinQuery jq;
   jq.left_table = "Employees";
   jq.left_column = "eid";
@@ -177,4 +179,4 @@ BENCHMARK(BM_Join_WithSelection);
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

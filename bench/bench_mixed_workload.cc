@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "workload/query_mix.h"
 
 namespace ssdb {
@@ -36,7 +38,7 @@ void BM_Mix_Standard(benchmark::State& state) {
     return;
   }
   QueryMixDriver driver(db.get(), "Employees", /*seed=*/99);
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     if (!driver.RunOps(10).ok()) {
       state.SkipWithError("op failed");
@@ -50,6 +52,9 @@ void BM_Mix_Standard(benchmark::State& state) {
   state.counters["rows_touched"] =
       benchmark::Counter(static_cast<double>(mix.rows_touched));
   state.SetItemsProcessed(static_cast<int64_t>(mix.total_ops()));
+  bench::SnapshotDeployment("mix_standard_rows" + std::to_string(rows) +
+                                "_k" + std::to_string(k),
+                            db.get());
 }
 BENCHMARK(BM_Mix_Standard)
     ->Args({2000, 2})
@@ -72,7 +77,7 @@ void BM_Mix_LazyVsEager(benchmark::State& state) {
   write_heavy.insert = 0.2;
   write_heavy.erase = 0.05;
   QueryMixDriver driver(db.get(), "Employees", 7, write_heavy);
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     if (!driver.RunOps(10).ok()) {
       state.SkipWithError("op failed");
@@ -91,6 +96,9 @@ void BM_Mix_LazyVsEager(benchmark::State& state) {
       static_cast<double>(driver.stats().total_ops()));
   state.SetLabel(lazy ? "lazy" : "eager");
   state.SetItemsProcessed(static_cast<int64_t>(driver.stats().total_ops()));
+  bench::SnapshotDeployment(lazy ? "mix_write_heavy_lazy"
+                                 : "mix_write_heavy_eager",
+                            db.get());
 }
 BENCHMARK(BM_Mix_LazyVsEager)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
@@ -111,7 +119,7 @@ void BM_Mix_UnderFailures(benchmark::State& state) {
   read_only.insert = 0;
   read_only.erase = 0;
   QueryMixDriver driver(db.get(), "Employees", 8, read_only);
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     if (!driver.RunOps(10).ok()) {
       state.SkipWithError("op failed");
@@ -123,10 +131,11 @@ void BM_Mix_UnderFailures(benchmark::State& state) {
       static_cast<double>(db->network_stats().total_bytes()) /
       static_cast<double>(driver.stats().total_ops()));
   state.SetItemsProcessed(static_cast<int64_t>(driver.stats().total_ops()));
+  bench::SnapshotDeployment("mix_read_only_one_down", db.get());
 }
 BENCHMARK(BM_Mix_UnderFailures)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "sss/order_preserving.h"
 
@@ -132,9 +133,15 @@ BENCHMARK(BM_OpShare_Recursive);
 }  // namespace ssdb
 
 int main(int argc, char** argv) {
+  const std::string metrics_path =
+      ssdb::bench::ConsumeMetricsJsonFlag(&argc, argv);
   ssdb::PrintAttackTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_path.empty() &&
+      !ssdb::bench::WriteMetricsSnapshot(metrics_path)) {
+    return 1;
+  }
   return 0;
 }

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "common/rng.h"
 #include "pir/pir.h"
 
@@ -117,4 +119,4 @@ BENCHMARK(BM_Pir_WoodruffYekhanin)
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

@@ -37,7 +37,7 @@ void BM_Range_OrderPreservingShares(benchmark::State& state) {
     return;
   }
   const auto [lo, hi] = RangeFor(state.range(0));
-  db->network().ResetStats();
+  db->ResetAllStats();
   uint64_t matched = 0;
   QueryTrace last_trace;
   for (auto _ : state) {
@@ -76,7 +76,7 @@ void BM_Range_FanOutThreads(benchmark::State& state) {
     return;
   }
   const auto [lo, hi] = RangeFor(10);
-  db->network().ResetStats();
+  db->ResetAllStats();
   bench::WallSimTimer timer(db);
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
@@ -111,7 +111,7 @@ void BM_Range_BasicSharesFetchAll(benchmark::State& state) {
     return;
   }
   const auto [lo, hi] = RangeFor(state.range(0));
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     auto all = db->Execute(Query::Select("Employees"));
     if (!all.ok()) {
@@ -189,4 +189,4 @@ BENCHMARK(BM_Range_EncryptedOpe)->Arg(1)->Arg(10)->Arg(100)->ArgName("permille")
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

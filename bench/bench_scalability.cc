@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/outsourced_db.h"
 #include "workload/generators.h"
 
@@ -50,7 +52,7 @@ void BM_Scal_Outsource(benchmark::State& state) {
     return;
   }
   EmployeeGenerator gen(10, Distribution::kUniform);
-  db.value()->network().ResetStats();
+  db.value()->ResetAllStats();
   uint64_t rows = 0;
   for (auto _ : state) {
     if (!db.value()->Insert("Employees", gen.Rows(200)).ok()) {
@@ -79,7 +81,7 @@ void BM_Scal_RangeQuery(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Where(Between("salary", Value::Int(80000),
@@ -111,7 +113,7 @@ void BM_Scal_SumQuery(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Aggregate(AggregateOp::kSum, "salary"));
@@ -131,4 +133,4 @@ BENCHMARK(BM_Scal_SumQuery)->Args({4, 2})->Args({16, 8})->Args({32, 16});
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

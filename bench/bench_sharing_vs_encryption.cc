@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "common/rng.h"
 #include "crypto/aes.h"
 #include "crypto/ope.h"
@@ -175,4 +177,4 @@ BENCHMARK(BM_ModExp);
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

@@ -56,7 +56,7 @@ void BM_String_ExactMatchQuery(benchmark::State& state) {
   EmployeeGenerator probe(1234, Distribution::kUniform);
   std::vector<std::string> names;
   for (int i = 0; i < 64; ++i) names.push_back(probe.Next().name);
-  db->network().ResetStats();
+  db->ResetAllStats();
   size_t q = 0;
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
@@ -81,7 +81,7 @@ void BM_String_PrefixQuery(benchmark::State& state) {
     return;
   }
   static const char* kPrefixes[] = {"BA", "KO", "SU", "TE", "MI"};
-  db->network().ResetStats();
+  db->ResetAllStats();
   size_t q = 0;
   uint64_t matched = 0;
   for (auto _ : state) {
@@ -109,7 +109,7 @@ void BM_String_LexRangeQuery(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   uint64_t matched = 0;
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
@@ -138,7 +138,7 @@ void BM_Numeric_RangeQueryReference(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   for (auto _ : state) {
     auto r = db->Execute(Query::Select("Employees")
                              .Where(Between("salary", Value::Int(50000),
@@ -159,4 +159,4 @@ BENCHMARK(BM_Numeric_RangeQueryReference);
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

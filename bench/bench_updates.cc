@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/outsourced_db.h"
 #include "workload/generators.h"
 
@@ -38,7 +40,7 @@ void RunUpdateBatch(benchmark::State& state, bool lazy) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   uint64_t updated_total = 0;
   int64_t target = 0;
   for (auto _ : state) {
@@ -94,7 +96,7 @@ void BM_Update_DeleteEager(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   int64_t lo = 0;
   uint64_t deleted = 0;
   for (auto _ : state) {
@@ -126,7 +128,7 @@ void BM_Update_ProactiveRefresh(benchmark::State& state) {
     state.SkipWithError("setup failed");
     return;
   }
-  db->network().ResetStats();
+  db->ResetAllStats();
   uint64_t refreshes = 0;
   for (auto _ : state) {
     if (!db->RefreshTable("Employees").ok()) {
@@ -145,4 +147,4 @@ BENCHMARK(BM_Update_ProactiveRefresh)->Arg(1000)->Iterations(20);
 }  // namespace
 }  // namespace ssdb
 
-BENCHMARK_MAIN();
+SSDB_BENCH_MAIN();

@@ -7,9 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/encrypted_das.h"
 #include "core/outsourced_db.h"
@@ -68,6 +73,14 @@ inline void AddTraceCounters(benchmark::State& state,
   }
 }
 
+/// Deployments built by SharedEmployeeDb this run, in creation order, so
+/// --metrics_json can snapshot every registry after the benchmarks ran.
+inline std::vector<std::pair<std::string, OutsourcedDatabase*>>&
+TrackedDeployments() {
+  static std::vector<std::pair<std::string, OutsourcedDatabase*>> list;
+  return list;
+}
+
 /// An OutsourcedDatabase pre-loaded with `rows` uniform employees,
 /// cached per (n, k, rows, fanout_threads).
 inline OutsourcedDatabase* SharedEmployeeDb(size_t n, size_t k, size_t rows,
@@ -92,6 +105,10 @@ inline OutsourcedDatabase* SharedEmployeeDb(size_t n, size_t k, size_t rows,
   if (!db.value()->Insert("Employees", gen.Rows(rows)).ok()) return nullptr;
   auto* raw = db.value().get();
   cache.emplace(key, std::move(db).value());
+  TrackedDeployments().emplace_back(
+      "n" + std::to_string(n) + "_k" + std::to_string(k) + "_rows" +
+          std::to_string(rows) + "_threads" + std::to_string(fanout_threads),
+      raw);
   return raw;
 }
 
@@ -119,7 +136,99 @@ inline EncryptedDas* SharedEncryptedDb(size_t rows, size_t buckets,
   return raw;
 }
 
+/// Removes --metrics_json=<path> from argv (benchmark's own flag parser
+/// rejects flags it does not know) and returns the path, or "" when the
+/// flag was not given.
+inline std::string ConsumeMetricsJsonFlag(int* argc, char** argv) {
+  static constexpr char kPrefix[] = "--metrics_json=";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      path = argv[i] + sizeof(kPrefix) - 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Registry snapshots captured eagerly (benches that build a deployment
+/// per benchmark and tear it down before main() returns).
+inline std::vector<std::pair<std::string, std::string>>&
+SnapshottedDeployments() {
+  static std::vector<std::pair<std::string, std::string>> list;
+  return list;
+}
+
+/// Captures `db`'s registry as JSON right now, under `label`. Use from
+/// benchmarks whose deployment does not outlive the benchmark function.
+/// Re-snapshotting a label replaces the earlier capture (benchmark
+/// reruns each function while calibrating iteration counts; the last
+/// run is the measured one).
+inline void SnapshotDeployment(const std::string& label,
+                               OutsourcedDatabase* db) {
+  if (db == nullptr) return;
+  auto& list = SnapshottedDeployments();
+  for (auto& entry : list) {
+    if (entry.first == label) {
+      entry.second = db->metrics().ExportJson();
+      return;
+    }
+  }
+  list.emplace_back(label, db->metrics().ExportJson());
+}
+
+/// Writes one JSON document holding the registry snapshot of every
+/// deployment the binary built, keyed by its cache label. Series names,
+/// labels and ordering are deterministic; counter magnitudes scale with
+/// the iteration counts benchmark chose for this run.
+inline bool WriteMetricsSnapshot(const std::string& path) {
+  std::ofstream outf(path, std::ios::binary);
+  if (!outf) {
+    std::fprintf(stderr, "cannot write metrics snapshot to '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  outf << "{\"deployments\": [";
+  bool first = true;
+  for (const auto& entry : SnapshottedDeployments()) {
+    if (!first) outf << ", ";
+    first = false;
+    outf << "{\"label\": \"" << entry.first
+         << "\", \"metrics\": " << entry.second << "}";
+  }
+  for (const auto& entry : TrackedDeployments()) {
+    if (!first) outf << ", ";
+    first = false;
+    outf << "{\"label\": \"" << entry.first
+         << "\", \"metrics\": " << entry.second->metrics().ExportJson() << "}";
+  }
+  outf << "]}\n";
+  return true;
+}
+
 }  // namespace bench
 }  // namespace ssdb
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also understands
+/// --metrics_json=<path>: after the benchmarks run, the metrics registry
+/// of every SharedEmployeeDb deployment is dumped as one JSON document.
+#define SSDB_BENCH_MAIN()                                                    \
+  int main(int argc, char** argv) {                                          \
+    const std::string ssdb_metrics_path =                                    \
+        ::ssdb::bench::ConsumeMetricsJsonFlag(&argc, argv);                  \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    ::benchmark::Shutdown();                                                 \
+    if (!ssdb_metrics_path.empty() &&                                        \
+        !::ssdb::bench::WriteMetricsSnapshot(ssdb_metrics_path)) {           \
+      return 1;                                                              \
+    }                                                                        \
+    return 0;                                                                \
+  }                                                                          \
+  int main(int, char**)
 
 #endif  // SSDB_BENCH_BENCH_UTIL_H_

@@ -14,6 +14,7 @@
 //   Employees WHERE name LIKE 'BA%'"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -65,8 +66,59 @@ bool ConsumeKeyword(const std::string& sql, const char* keyword,
   return true;
 }
 
+/// Trims surrounding whitespace (file names for the EXPORT commands).
+std::string Trim(const std::string& s) {
+  const size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  const size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::printf("  error: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
 bool RunStatement(OutsourcedDatabase& db, const std::string& sql) {
   std::string rest;
+  // METRICS prints the Prometheus exposition of every ssdb_* series;
+  // METRICS EXPORT <file> writes the JSON snapshot instead.
+  if (Trim(sql) == "METRICS") {
+    std::printf("%s", db.metrics().ExportPrometheus().c_str());
+    return true;
+  }
+  if (ConsumeKeyword(sql, "METRICS", &rest)) {
+    std::string path;
+    if (!ConsumeKeyword(rest, "EXPORT", &path) || Trim(path).empty()) {
+      std::printf("  error: usage: METRICS [EXPORT <file>]\n");
+      return false;
+    }
+    if (!WriteFile(Trim(path), db.metrics().ExportJson())) return false;
+    std::printf("  metrics JSON written to %s\n", Trim(path).c_str());
+    return true;
+  }
+  // TRACE EXPORT <file> dumps every span recorded so far as Chrome
+  // trace-event JSON (load in chrome://tracing or Perfetto).
+  if (ConsumeKeyword(sql, "TRACE", &rest)) {
+    std::string path;
+    if (ConsumeKeyword(rest, "EXPORT", &path)) {
+      if (Trim(path).empty()) {
+        std::printf("  error: usage: TRACE EXPORT <file>\n");
+        return false;
+      }
+      if (!WriteFile(Trim(path), db.tracer().ExportChromeTrace())) {
+        return false;
+      }
+      std::printf("  %zu spans written to %s\n", db.tracer().span_count(),
+                  Trim(path).c_str());
+      return true;
+    }
+  }
   if (ConsumeKeyword(sql, "EXPLAIN", &rest)) {
     auto cmd = ParseSql(rest);
     if (!cmd.ok()) {
@@ -130,6 +182,10 @@ int main(int argc, char** argv) {
   if (!db_r.ok()) return 1;
   auto& db = *db_r.value();
 
+  // Record spans for every statement so TRACE EXPORT has a full session
+  // timeline; the tracer is off by default elsewhere.
+  db.tracer().Enable(true);
+
   if (!db.CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) return 1;
   EmployeeGenerator gen(2026, Distribution::kUniform);
   if (!db.Insert("Employees", gen.Rows(1000)).ok()) return 1;
@@ -154,6 +210,8 @@ int main(int argc, char** argv) {
         "SELECT MAX(salary) FROM Employees WHERE dept = 99",
         "DELETE FROM Employees WHERE dept = 99",
         "SELECT COUNT(*) FROM Employees",
+        "METRICS",
+        "TRACE EXPORT sql_shell_trace.json",
     };
   }
 

@@ -46,7 +46,49 @@ DataSourceClient::DataSourceClient(Network* network,
       rng_(options_.rng_seed),
       prf_det_(Prf::Derive(Slice(options_.master_key), Slice("det"))),
       prf_tag_(Prf::Derive(Slice(options_.master_key), Slice("tag"))),
-      prf_op_master_(Prf::Derive(Slice(options_.master_key), Slice("op"))) {}
+      prf_op_master_(Prf::Derive(Slice(options_.master_key), Slice("op"))) {
+  // Register the ssdb_client_* series once and cache the handles: these
+  // replaced the ClientStats atomics, so hot-path bumps stay lock-free.
+  cm_.queries = metrics_.GetCounter("ssdb_client_queries_total");
+  cm_.rows_reconstructed =
+      metrics_.GetCounter("ssdb_client_rows_reconstructed_total");
+  cm_.corruption_retries =
+      metrics_.GetCounter("ssdb_client_corruption_retries_total");
+  cm_.lazy_flushes = metrics_.GetCounter("ssdb_client_lazy_flushes_total");
+  cm_.traced_bytes_sent =
+      metrics_.GetCounter("ssdb_client_traced_bytes_sent_total");
+  cm_.traced_bytes_received =
+      metrics_.GetCounter("ssdb_client_traced_bytes_received_total");
+  cm_.traced_clock_us =
+      metrics_.GetCounter("ssdb_client_traced_clock_us_total");
+  cm_.provider_legs = metrics_.GetCounter("ssdb_client_provider_legs_total");
+  cm_.plan_nodes_executed =
+      metrics_.GetCounter("ssdb_client_plan_nodes_executed_total");
+  cm_.retry_legs = metrics_.GetCounter("ssdb_client_retry_legs_total");
+  cm_.hedged_legs = metrics_.GetCounter("ssdb_client_hedged_legs_total");
+  cm_.deadline_exceeded =
+      metrics_.GetCounter("ssdb_client_deadline_exceeded_total");
+  cm_.breaker_skips = metrics_.GetCounter("ssdb_client_breaker_skips_total");
+  scoreboard_.AttachTelemetry(&metrics_, &tracer_);
+}
+
+ClientStats DataSourceClient::stats() const {
+  ClientStats s;
+  s.queries = cm_.queries->value();
+  s.rows_reconstructed = cm_.rows_reconstructed->value();
+  s.corruption_retries = cm_.corruption_retries->value();
+  s.lazy_flushes = cm_.lazy_flushes->value();
+  s.traced_bytes_sent = cm_.traced_bytes_sent->value();
+  s.traced_bytes_received = cm_.traced_bytes_received->value();
+  s.traced_clock_us = cm_.traced_clock_us->value();
+  s.provider_legs = cm_.provider_legs->value();
+  s.plan_nodes_executed = cm_.plan_nodes_executed->value();
+  s.attempts = cm_.retry_legs->value();
+  s.hedged_legs = cm_.hedged_legs->value();
+  s.deadline_exceeded = cm_.deadline_exceeded->value();
+  s.breaker_skips = cm_.breaker_skips->value();
+  return s;
+}
 
 Result<std::unique_ptr<DataSourceClient>> DataSourceClient::Create(
     Network* network, std::vector<size_t> providers, ClientOptions options) {
@@ -457,31 +499,31 @@ Result<Value> DataSourceClient::ReconstructColumnValue(
 }
 
 void DataSourceClient::OnRowsReconstructed(uint64_t rows) {
-  stats_.rows_reconstructed += rows;
+  cm_.rows_reconstructed->Inc(rows);
 }
 
-void DataSourceClient::OnCorruptionRetry() { ++stats_.corruption_retries; }
+void DataSourceClient::OnCorruptionRetry() { cm_.corruption_retries->Inc(); }
 
 void DataSourceClient::OnTraceFinalized(const QueryTrace& trace) {
-  stats_.traced_bytes_sent += trace.total_bytes_sent();
-  stats_.traced_bytes_received += trace.total_bytes_received();
-  stats_.traced_clock_us += trace.total_clock_us();
-  stats_.provider_legs += trace.total_provider_legs();
+  cm_.traced_bytes_sent->Inc(trace.total_bytes_sent());
+  cm_.traced_bytes_received->Inc(trace.total_bytes_received());
+  cm_.traced_clock_us->Inc(trace.total_clock_us());
+  cm_.provider_legs->Inc(trace.total_provider_legs());
   uint64_t executed = 0;
   for (const PlanNodeTrace& node : trace.nodes) {
     if (node.executed) ++executed;
   }
-  stats_.plan_nodes_executed += executed;
-  stats_.attempts += trace.total_attempts();
-  stats_.hedged_legs += trace.total_hedged();
-  stats_.deadline_exceeded += trace.total_deadline_exceeded();
-  stats_.breaker_skips += trace.total_breaker_skips();
+  cm_.plan_nodes_executed->Inc(executed);
+  cm_.retry_legs->Inc(trace.total_attempts());
+  cm_.hedged_legs->Inc(trace.total_hedged());
+  cm_.deadline_exceeded->Inc(trace.total_deadline_exceeded());
+  cm_.breaker_skips->Inc(trace.total_breaker_skips());
 }
 
 // --- Query execution -------------------------------------------------------------
 
 Result<QueryResult> DataSourceClient::Execute(const Query& query) {
-  ++stats_.queries;
+  cm_.queries->Inc();
   // Aggregates cannot be merged with a pending client-side log; flush first.
   if (!lazy_log_.empty() && query.aggregate() != AggregateOp::kNone) {
     SSDB_RETURN_IF_ERROR(Flush());
@@ -507,7 +549,7 @@ Result<std::string> DataSourceClient::Explain(const JoinQuery& join) {
 // --- Join -----------------------------------------------------------------------
 
 Result<QueryResult> DataSourceClient::Execute(const JoinQuery& join) {
-  ++stats_.queries;
+  cm_.queries->Inc();
   if (!lazy_log_.empty()) SSDB_RETURN_IF_ERROR(Flush());
   Planner planner(this);
   SSDB_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(join));
@@ -689,7 +731,7 @@ Status DataSourceClient::AppendLazy(LazyOp op) {
 
 Status DataSourceClient::Flush() {
   if (lazy_log_.empty()) return Status::OK();
-  ++stats_.lazy_flushes;
+  cm_.lazy_flushes->Inc();
 
   // Coalesce per (table, row_id), preserving op order.
   struct Final {
@@ -803,7 +845,8 @@ Status DataSourceClient::RefreshTable(const std::string& table) {
       std::vector<Executor::ProviderResponse> responses,
       Executor::CallQuorum(network_, providers_, requests, options_.k,
                            /*minimum=*/0, /*trace=*/nullptr,
-                           options_.resilience, &scoreboard_));
+                           options_.resilience, &scoreboard_,
+                           /*order=*/{}, &metrics_));
   std::vector<uint64_t> row_ids;
   Status last = Status::Unavailable("client: no usable id response");
   for (const auto& r : responses) {
@@ -1025,7 +1068,7 @@ Status DataSourceClient::SubscribePublicColumn(const std::string& name,
 
 Result<QueryResult> DataSourceClient::QueryPublic(const std::string& name,
                                                   const Predicate& predicate) {
-  ++stats_.queries;
+  cm_.queries->Inc();
   auto it = public_tables_.find(name);
   if (it == public_tables_.end()) {
     return Status::NotFound("client: unknown public table '" + name + "'");

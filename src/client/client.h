@@ -63,25 +63,27 @@ struct ClientOptions {
   ResiliencePolicy resilience;
 };
 
-/// Client-side operation counters. Atomic so concurrent batch queries
-/// (ExecuteBatch) can bump them racelessly; fields read as plain uint64_t.
+/// Client-side operation counters: a point-in-time snapshot read back
+/// from the metrics registry's `ssdb_client_*` series (the registry is
+/// the single source of truth; concurrent batch queries bump its atomic
+/// counters racelessly and this struct is just the materialized view).
 struct ClientStats {
-  std::atomic<uint64_t> queries{0};
-  std::atomic<uint64_t> rows_reconstructed{0};
-  std::atomic<uint64_t> corruption_retries{0};
-  std::atomic<uint64_t> lazy_flushes{0};
+  uint64_t queries = 0;
+  uint64_t rows_reconstructed = 0;
+  uint64_t corruption_retries = 0;
+  uint64_t lazy_flushes = 0;
   // Aggregated from the per-query QueryTrace of every executed plan.
-  std::atomic<uint64_t> traced_bytes_sent{0};
-  std::atomic<uint64_t> traced_bytes_received{0};
-  std::atomic<uint64_t> traced_clock_us{0};
-  std::atomic<uint64_t> provider_legs{0};
-  std::atomic<uint64_t> plan_nodes_executed{0};
+  uint64_t traced_bytes_sent = 0;
+  uint64_t traced_bytes_received = 0;
+  uint64_t traced_clock_us = 0;
+  uint64_t provider_legs = 0;
+  uint64_t plan_nodes_executed = 0;
   // Resilience counters (zero while ClientOptions::resilience is
   // disabled), aggregated from the same traces.
-  std::atomic<uint64_t> attempts{0};           ///< Backoff-retry legs.
-  std::atomic<uint64_t> hedged_legs{0};        ///< Hedge legs launched.
-  std::atomic<uint64_t> deadline_exceeded{0};  ///< Legs past their deadline.
-  std::atomic<uint64_t> breaker_skips{0};      ///< Breaker admission denials.
+  uint64_t attempts = 0;           ///< Backoff-retry legs.
+  uint64_t hedged_legs = 0;        ///< Hedge legs launched.
+  uint64_t deadline_exceeded = 0;  ///< Legs past their deadline.
+  uint64_t breaker_skips = 0;      ///< Breaker admission denials.
 };
 
 /// \brief The data source / query front-end.
@@ -188,7 +190,15 @@ class DataSourceClient : private PlanHost {
 
   size_t n() const { return providers_.size(); }
   size_t k() const { return options_.k; }
-  const ClientStats& stats() const { return stats_; }
+  /// Snapshot of the client-side counters, read from the registry.
+  ClientStats stats() const;
+  /// The deployment's metrics registry, owned by this client; the
+  /// network, providers and scoreboard are attached to it at Create time
+  /// (OutsourcedDatabase::Create) so all layers share one namespace.
+  MetricsRegistry* metrics() override { return &metrics_; }
+  const MetricsRegistry* metrics() const { return &metrics_; }
+  /// The span tracer (disabled by default; Tracer::Enable opts in).
+  Tracer* tracer() override { return &tracer_; }
   Network* network() override { return network_; }
   const ResiliencePolicy& resilience() const override {
     return options_.resilience;
@@ -295,8 +305,29 @@ class DataSourceClient : private PlanHost {
   mutable std::mutex op_mu_;
   std::map<uint64_t, std::unique_ptr<OrderPreservingScheme>> op_schemes_;
   std::vector<LazyOp> lazy_log_;
-  ClientStats stats_;
   ProviderScoreboard scoreboard_;
+
+  // Telemetry. The registry/tracer live here (one per deployment); the
+  // `ssdb_client_*` handles are cached at construction — the former
+  // ClientStats atomics, now registry series.
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  struct ClientMetrics {
+    MetricCounter* queries;
+    MetricCounter* rows_reconstructed;
+    MetricCounter* corruption_retries;
+    MetricCounter* lazy_flushes;
+    MetricCounter* traced_bytes_sent;
+    MetricCounter* traced_bytes_received;
+    MetricCounter* traced_clock_us;
+    MetricCounter* provider_legs;
+    MetricCounter* plan_nodes_executed;
+    MetricCounter* retry_legs;
+    MetricCounter* hedged_legs;
+    MetricCounter* deadline_exceeded;
+    MetricCounter* breaker_skips;
+  };
+  ClientMetrics cm_;
 };
 
 }  // namespace ssdb

@@ -19,9 +19,28 @@ Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
   SSDB_ASSIGN_OR_RETURN(
       std::unique_ptr<DataSourceClient> client,
       DataSourceClient::Create(network.get(), indices, options.client));
+  // One registry per deployment: network links and providers mirror
+  // their counters into the client's registry so every layer shares a
+  // single exportable namespace.
+  network->AttachMetrics(client->metrics());
+  for (size_t i = 0; i < providers.size(); ++i) {
+    providers[i]->AttachMetrics(client->metrics(), std::to_string(indices[i]));
+  }
   return std::unique_ptr<OutsourcedDatabase>(
       new OutsourcedDatabase(std::move(options), std::move(network),
                              std::move(providers), std::move(client)));
+}
+
+void OutsourcedDatabase::ResetAllStats() {
+  // One call, every layer: client counters, per-link channel stats,
+  // provider work counters, every registry series, and recorded spans.
+  // The virtual clock is NOT reset — reconciliation guarantees hold for
+  // deltas from any common reset point, and tests diff the clock
+  // separately. (EncryptedDas::ResetStats set the one-call shape.)
+  metrics().Reset();
+  tracer().Clear();
+  network_->ResetStats();
+  for (auto& p : providers_) p->ResetStats();
 }
 
 }  // namespace ssdb

@@ -151,10 +151,27 @@ class OutsourcedDatabase {
   DataSourceClient& client() { return *client_; }
   Network& network() { return *network_; }
   Provider& provider(size_t i) { return *providers_[i]; }
-  const ClientStats& client_stats() const { return client_->stats(); }
+  ClientStats client_stats() const { return client_->stats(); }
   ChannelStats network_stats() const { return network_->TotalStats(); }
   /// Simulated wall-clock time spent on the wire so far (microseconds).
   uint64_t simulated_time_us() { return network_->clock().now_us(); }
+
+  // --- Telemetry ----------------------------------------------------------
+
+  /// The deployment's metrics registry: every layer (network links,
+  /// providers, resilience, plan executor, client) charges its ssdb_*
+  /// series here. Export with ExportPrometheus() / ExportJson().
+  MetricsRegistry& metrics() { return *client_->metrics(); }
+  const MetricsRegistry& metrics() const { return *client_->metrics(); }
+  /// The span tracer (disabled by default): db.tracer().Enable(true),
+  /// run queries, then ExportChromeTrace() for chrome://tracing/Perfetto.
+  Tracer& tracer() { return *client_->tracer(); }
+
+  /// Resets client, network and provider statistics, the metrics
+  /// registry and recorded spans in one call. The virtual clock keeps
+  /// running: registry/stats reconciliation holds for deltas from any
+  /// common reset point.
+  void ResetAllStats();
 
  private:
   OutsourcedDatabase(OutsourcedDbOptions options,

@@ -11,7 +11,26 @@ size_t Network::AddProvider(std::shared_ptr<ProviderEndpoint> endpoint) {
   // Derive a per-link failure stream so injected drops/corruption depend
   // only on this link's own call sequence, never on fan-out interleaving.
   link.rng = Rng(failure_seed_ ^ (0x9E3779B97F4A7C15ULL * links_.size()));
+  if (registry_ != nullptr) RegisterLinkMetrics(links_.size() - 1);
   return links_.size() - 1;
+}
+
+void Network::AttachMetrics(MetricsRegistry* registry) {
+  registry_ = registry;
+  for (size_t i = 0; i < links_.size(); ++i) RegisterLinkMetrics(i);
+}
+
+void Network::RegisterLinkMetrics(size_t provider) {
+  const MetricLabels labels = {{"provider", std::to_string(provider)}};
+  LinkMetrics& m = links_[provider].metrics;
+  m.calls = registry_->GetCounter("ssdb_net_calls_total", labels);
+  m.failures = registry_->GetCounter("ssdb_net_failures_total", labels);
+  m.bytes_sent = registry_->GetCounter("ssdb_net_bytes_sent_total", labels);
+  m.bytes_received =
+      registry_->GetCounter("ssdb_net_bytes_received_total", labels);
+  m.deadline_exceeded =
+      registry_->GetCounter("ssdb_net_deadline_exceeded_total", labels);
+  m.round_trip_us = registry_->GetHistogram("ssdb_net_round_trip_us", labels);
 }
 
 ThreadPool& Network::pool() {
@@ -44,6 +63,30 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
                                                   Slice request,
                                                   CallTrace* trace,
                                                   uint64_t deadline_us) {
+  auto result = CallNoClockImpl(provider, request, trace, deadline_us);
+  // Mirror the finished leg into the registry from the same figures the
+  // ChannelStats saw: trace fields are final here (deadline capping
+  // included), so registry totals and stats(i) cannot diverge. Counter
+  // bumps are commutative relaxed atomics — fan-out interleaving does
+  // not affect the totals.
+  if (provider < links_.size()) {
+    const LinkMetrics& m = links_[provider].metrics;
+    if (m.calls != nullptr) {
+      m.calls->Inc();
+      if (!result.ok()) m.failures->Inc();
+      if (trace->bytes_sent) m.bytes_sent->Inc(trace->bytes_sent);
+      if (trace->bytes_received) m.bytes_received->Inc(trace->bytes_received);
+      if (trace->deadline_exceeded) m.deadline_exceeded->Inc();
+      m.round_trip_us->Observe(trace->elapsed_us);
+    }
+  }
+  return result;
+}
+
+Result<std::vector<uint8_t>> Network::CallNoClockImpl(size_t provider,
+                                                      Slice request,
+                                                      CallTrace* trace,
+                                                      uint64_t deadline_us) {
   *trace = CallTrace();
   if (provider >= links_.size()) {
     return Status::InvalidArgument("network: unknown provider index");

@@ -26,6 +26,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace ssdb {
 
@@ -189,6 +190,14 @@ class Network {
   ChannelStats TotalStats() const;
   void ResetStats();
 
+  /// Mirrors every ChannelStats bump into `registry` under the
+  /// `ssdb_net_*` series, labelled {provider: "<index>"}, plus a
+  /// round-trip latency histogram per link. Handles are cached per link
+  /// at attach time, so the per-call overhead is a handful of relaxed
+  /// atomic adds. Registry totals reconcile with stats(i) exactly
+  /// (same call sites, same values) from any common reset point.
+  void AttachMetrics(MetricsRegistry* registry);
+
   VirtualClock& clock() { return clock_; }
   const NetworkCostModel& model() const { return model_; }
 
@@ -198,6 +207,16 @@ class Network {
   ThreadPool& pool();
 
  private:
+  /// Cached registry handles for one link (null until AttachMetrics).
+  struct LinkMetrics {
+    MetricCounter* calls = nullptr;
+    MetricCounter* failures = nullptr;
+    MetricCounter* bytes_sent = nullptr;
+    MetricCounter* bytes_received = nullptr;
+    MetricCounter* deadline_exceeded = nullptr;
+    MetricHistogram* round_trip_us = nullptr;
+  };
+
   struct Link {
     std::shared_ptr<ProviderEndpoint> endpoint;
     mutable std::mutex mu;  ///< Guards mode/param/flaky_bad/rng/stats.
@@ -206,13 +225,20 @@ class Network {
     bool flaky_bad = false;  ///< kFlaky: currently in a bad phase.
     Rng rng;  ///< Per-link failure stream (deterministic per call sequence).
     ChannelStats stats;
+    LinkMetrics metrics;  ///< Set once by AttachMetrics, then read-only.
   };
 
   /// Executes one call without touching the clock; reports the exact
-  /// byte/clock charges through `trace`.
+  /// byte/clock charges through `trace`. CallNoClock wraps the impl to
+  /// mirror the final per-leg accounting into the metrics registry.
+  Result<std::vector<uint8_t>> CallNoClockImpl(size_t provider, Slice request,
+                                               CallTrace* trace,
+                                               uint64_t deadline_us);
   Result<std::vector<uint8_t>> CallNoClock(size_t provider, Slice request,
                                            CallTrace* trace,
                                            uint64_t deadline_us);
+
+  void RegisterLinkMetrics(size_t provider);
 
   NetworkCostModel model_;
   VirtualClock clock_;
@@ -220,6 +246,7 @@ class Network {
   size_t fanout_threads_;
   std::once_flag pool_once_;
   std::unique_ptr<ThreadPool> pool_;
+  MetricsRegistry* registry_ = nullptr;
   std::deque<Link> links_;  // deque: stable addresses for mutex members
 };
 

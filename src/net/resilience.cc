@@ -35,6 +35,31 @@ ProviderScoreboard::Entry& ProviderScoreboard::SlotLocked(size_t provider) {
   return entries_[provider];
 }
 
+void ProviderScoreboard::AttachTelemetry(MetricsRegistry* registry,
+                                         Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  tracer_ = tracer;
+}
+
+void ProviderScoreboard::PublishTransition(size_t provider, BreakerState state,
+                                           uint64_t now_us) {
+  const char* to = state == BreakerState::kOpen
+                       ? "open"
+                       : state == BreakerState::kHalfOpen ? "half_open"
+                                                          : "closed";
+  if (registry_ != nullptr) {
+    registry_
+        ->GetCounter("ssdb_resilience_breaker_transitions_total",
+                     {{"provider", std::to_string(provider)}, {"to", to}})
+        ->Inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Event("breaker", "resilience", now_us, tracer_->CurrentSpan(),
+                   {{"provider", std::to_string(provider)}, {"to", to}});
+  }
+}
+
 void ProviderScoreboard::RecordOutcome(size_t provider, bool ok,
                                        uint64_t round_trip_us,
                                        const BreakerPolicy& policy,
@@ -52,6 +77,7 @@ void ProviderScoreboard::RecordOutcome(size_t provider, bool ok,
     if (e.state != BreakerState::kClosed) {
       e.state = BreakerState::kClosed;
       e.probes_left = 0;
+      PublishTransition(provider, BreakerState::kClosed, now_us);
     }
     return;
   }
@@ -64,6 +90,7 @@ void ProviderScoreboard::RecordOutcome(size_t provider, bool ok,
     e.state = BreakerState::kOpen;
     e.open_until_us = now_us + policy.open_cooldown_us;
     e.probes_left = 0;
+    PublishTransition(provider, BreakerState::kOpen, now_us);
   }
 }
 
@@ -77,6 +104,7 @@ bool ProviderScoreboard::AllowRequest(size_t provider,
     if (now_us < e.open_until_us) return false;
     e.state = BreakerState::kHalfOpen;
     e.probes_left = policy.half_open_probes;
+    PublishTransition(provider, BreakerState::kHalfOpen, now_us);
   }
   if (e.state == BreakerState::kHalfOpen) {
     if (e.probes_left == 0) return false;

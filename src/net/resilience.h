@@ -29,6 +29,8 @@
 #include "common/buffer.h"
 #include "common/status.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace ssdb {
 
@@ -151,12 +153,27 @@ class ProviderScoreboard {
   /// FaultController::HealAll so healed faults do not echo).
   void Reset();
 
+  /// Publishes breaker state changes: each transition bumps
+  /// `ssdb_resilience_breaker_transitions_total{provider, to}` and emits
+  /// an instant "breaker" span event under the caller's current span.
+  /// Transitions fire from RecordOutcome (sequential, in leg order) and
+  /// AllowRequest (called from the quorum orchestration thread), so the
+  /// event stream is deterministic. Either argument may be null.
+  void AttachTelemetry(MetricsRegistry* registry, Tracer* tracer);
+
  private:
   Entry& SlotLocked(size_t provider);
+
+  /// Records a transition of `provider` to `state` at virtual time
+  /// `now_us`. Called with mu_ held (registry/tracer have their own
+  /// locks; nothing takes mu_ after them, so order is safe).
+  void PublishTransition(size_t provider, BreakerState state, uint64_t now_us);
 
   static constexpr double kEwmaAlpha = 0.25;
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
+  MetricsRegistry* registry_ = nullptr;
+  Tracer* tracer_ = nullptr;
 };
 
 /// One physical call leg issued by RunResilientQuorum, with the exact

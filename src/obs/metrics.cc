@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ssdb {
+namespace {
+
+/// Escapes a label value for the Prometheus text format (backslash,
+/// double quote, newline). Our label values are short identifiers, so
+/// this rarely does anything, but the exposition format requires it.
+std::string EscapeLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Escapes a string for JSON output (quotes, backslash, control chars).
+std::string EscapeJson(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders {k="v",...} for the Prometheus exposition (empty string when
+/// there are no labels).
+std::string PrometheusLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+MetricLabels SortedLabels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+size_t MetricHistogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  // bucket i >= 1 holds [2^(i-1), 2^i): i = floor(log2(v)) + 1.
+  size_t i = 0;
+  while (value) {
+    value >>= 1;
+    ++i;
+  }
+  return i;  // in [1, 64]
+}
+
+uint64_t MetricHistogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << i) - 1;
+}
+
+void MetricHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::string MetricsRegistry::SeriesKey(const std::string& name,
+                                       const MetricLabels& labels) {
+  std::string key = name;
+  key += '{';
+  for (const auto& [k, v] : SortedLabels(labels)) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ',';
+  }
+  key += '}';
+  return key;
+}
+
+// Callers hold mu_. std::map nodes are stable, so returned pointers
+// survive later insertions.
+MetricsRegistry::Series* MetricsRegistry::GetOrCreate(
+    const std::string& name, const MetricLabels& labels) {
+  std::string key = SeriesKey(name, labels);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Series s;
+    s.name = name;
+    s.labels = SortedLabels(labels);
+    it = series_.emplace(std::move(key), std::move(s)).first;
+  }
+  return &it->second;
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
+                                           const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* s = GetOrCreate(name, labels);
+  if (!s->counter) s->counter = std::make_unique<MetricCounter>();
+  return s->counter.get();
+}
+
+MetricGauge* MetricsRegistry::GetGauge(const std::string& name,
+                                       const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* s = GetOrCreate(name, labels);
+  if (!s->gauge) s->gauge = std::make_unique<MetricGauge>();
+  return s->gauge.get();
+}
+
+MetricHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* s = GetOrCreate(name, labels);
+  if (!s->histogram) s->histogram = std::make_unique<MetricHistogram>();
+  return s->histogram.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name,
+                                       const MetricLabels& labels) const {
+  std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  if (it == series_.end() || !it->second.counter) return 0;
+  return it->second.counter->value();
+}
+
+uint64_t MetricsRegistry::CounterTotal(const std::string& name) const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, s] : series_) {
+    if (s.name == name && s.counter) total += s.counter->value();
+  }
+  return total;
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  // std::map keys are "name{sorted labels}", so series are already
+  // grouped by name and label-sorted within a name.
+  std::string last_name;
+  for (const auto& [key, s] : series_) {
+    if (s.counter) {
+      if (s.name != last_name) {
+        out << "# TYPE " << s.name << " counter\n";
+        last_name = s.name;
+      }
+      out << s.name << PrometheusLabels(s.labels) << " " << s.counter->value()
+          << "\n";
+    } else if (s.gauge) {
+      if (s.name != last_name) {
+        out << "# TYPE " << s.name << " gauge\n";
+        last_name = s.name;
+      }
+      out << s.name << PrometheusLabels(s.labels) << " " << s.gauge->value()
+          << "\n";
+    } else if (s.histogram) {
+      if (s.name != last_name) {
+        out << "# TYPE " << s.name << " histogram\n";
+        last_name = s.name;
+      }
+      const MetricHistogram& h = *s.histogram;
+      uint64_t cumulative = 0;
+      size_t last_nonzero = 0;
+      for (size_t i = 0; i < MetricHistogram::kBuckets; ++i) {
+        if (h.bucket(i)) last_nonzero = i;
+      }
+      for (size_t i = 0; i <= last_nonzero; ++i) {
+        cumulative += h.bucket(i);
+        MetricLabels with_le = s.labels;
+        with_le.emplace_back("le",
+                             std::to_string(MetricHistogram::BucketUpperBound(i)));
+        out << s.name << "_bucket" << PrometheusLabels(with_le) << " "
+            << cumulative << "\n";
+      }
+      MetricLabels with_inf = s.labels;
+      with_inf.emplace_back("le", "+Inf");
+      out << s.name << "_bucket" << PrometheusLabels(with_inf) << " "
+          << h.count() << "\n";
+      out << s.name << "_sum" << PrometheusLabels(s.labels) << " " << h.sum()
+          << "\n";
+      out << s.name << "_count" << PrometheusLabels(s.labels) << " "
+          << h.count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\n  \"series\": [\n";
+  bool first = true;
+  for (const auto& [key, s] : series_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"name\": \"" << EscapeJson(s.name) << "\", \"labels\": {";
+    for (size_t i = 0; i < s.labels.size(); ++i) {
+      if (i) out << ", ";
+      out << "\"" << EscapeJson(s.labels[i].first) << "\": \""
+          << EscapeJson(s.labels[i].second) << "\"";
+    }
+    out << "}, ";
+    if (s.counter) {
+      out << "\"type\": \"counter\", \"value\": " << s.counter->value();
+    } else if (s.gauge) {
+      out << "\"type\": \"gauge\", \"value\": " << s.gauge->value();
+    } else if (s.histogram) {
+      const MetricHistogram& h = *s.histogram;
+      out << "\"type\": \"histogram\", \"count\": " << h.count()
+          << ", \"sum\": " << h.sum() << ", \"buckets\": [";
+      size_t last_nonzero = 0;
+      bool any = false;
+      for (size_t i = 0; i < MetricHistogram::kBuckets; ++i) {
+        if (h.bucket(i)) {
+          last_nonzero = i;
+          any = true;
+        }
+      }
+      if (any) {
+        for (size_t i = 0; i <= last_nonzero; ++i) {
+          if (i) out << ", ";
+          out << h.bucket(i);
+        }
+      }
+      out << "]";
+    } else {
+      out << "\"type\": \"unset\"";
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, s] : series_) {
+    if (s.counter) s.counter->Reset();
+    if (s.gauge) s.gauge->Reset();
+    if (s.histogram) s.histogram->Reset();
+  }
+}
+
+}  // namespace ssdb

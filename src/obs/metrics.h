@@ -1,0 +1,157 @@
+// Unified metrics registry: named counters, gauges and deterministic
+// log-bucketed histograms, labelled by small {key: value} sets (provider
+// index, table, query kind, ...).
+//
+// The paper's §V cost argument is about communication volume and rounds;
+// this registry is the single place those figures accumulate, replacing
+// the hand-rolled counter structs that used to live in four disconnected
+// layers. Design constraints:
+//   * Hot paths are lock-free: Get{Counter,Gauge,Histogram} registers a
+//     series once (under the registration mutex) and returns a stable
+//     handle whose updates are relaxed atomics. Instrumented layers cache
+//     handles (the Network caches per-link handles at AttachMetrics).
+//   * Everything is integer-valued and order-independent (sums and
+//     bucket counts), so registry totals are bit-identical for any
+//     fan-out thread count and reconcile exactly with the ChannelStats /
+//     QueryTrace figures bumped at the same call sites.
+//   * Export is deterministic: series sort by (name, labels) and the
+//     formats (Prometheus text exposition, JSON snapshot) contain no
+//     floats, timestamps or addresses.
+//
+// Histogram buckets are base-2 log buckets: bucket 0 counts value 0,
+// bucket i >= 1 counts values v with 2^(i-1) <= v < 2^i. Bucket
+// boundaries are fixed (no adaptation), so counts depend only on the
+// observed multiset of values.
+
+#ifndef SSDB_OBS_METRICS_H_
+#define SSDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssdb {
+
+/// Sorted {key: value} label set attached to one metric series.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Updates are relaxed atomic adds, so concurrent
+/// fan-out legs can bump one series racelessly and the total is
+/// order-independent.
+class MetricCounter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time gauge (set/add; signed).
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Deterministic base-2 log-bucketed histogram of uint64 samples.
+class MetricHistogram {
+ public:
+  /// Bucket 0 holds value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  static constexpr size_t kBuckets = 65;
+
+  /// The bucket index a value falls into (pure function of the value).
+  static size_t BucketIndex(uint64_t value);
+  /// Inclusive upper bound of bucket `i` ("le" in the exports);
+  /// bucket 0 -> 0, bucket i -> 2^i - 1.
+  static uint64_t BucketUpperBound(size_t i);
+
+  void Observe(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief The registry: one instance per deployment, shared by every
+/// instrumented layer (network links, providers, resilience, plan
+/// executor, client).
+///
+/// Series handles returned by the getters stay valid for the registry's
+/// lifetime; Reset() zeroes values but keeps every registration (and its
+/// handles) intact, so cached handles never dangle.
+class MetricsRegistry {
+ public:
+  MetricCounter* GetCounter(const std::string& name,
+                            const MetricLabels& labels = {});
+  MetricGauge* GetGauge(const std::string& name,
+                        const MetricLabels& labels = {});
+  MetricHistogram* GetHistogram(const std::string& name,
+                                const MetricLabels& labels = {});
+
+  /// Current value of a counter series (0 when never registered) —
+  /// reconciliation tests read totals through this.
+  uint64_t CounterValue(const std::string& name,
+                        const MetricLabels& labels = {}) const;
+  /// Sum of a counter over every label combination it was registered
+  /// with.
+  uint64_t CounterTotal(const std::string& name) const;
+
+  /// Prometheus text exposition (sorted, integer-only, deterministic).
+  std::string ExportPrometheus() const;
+  /// JSON snapshot (sorted, integer-only, deterministic). Histograms
+  /// list only buckets up to the last non-empty one.
+  std::string ExportJson() const;
+
+  /// Zeroes every series value; registrations and handles stay valid.
+  void Reset();
+
+ private:
+  /// One registered series; exactly one of the pointers is set.
+  struct Series {
+    std::string name;
+    MetricLabels labels;
+    std::unique_ptr<MetricCounter> counter;
+    std::unique_ptr<MetricGauge> gauge;
+    std::unique_ptr<MetricHistogram> histogram;
+  };
+
+  /// Canonical "name{k=v,...}" key; label keys are sorted.
+  static std::string SeriesKey(const std::string& name,
+                               const MetricLabels& labels);
+
+  Series* GetOrCreate(const std::string& name, const MetricLabels& labels);
+
+  mutable std::mutex mu_;  ///< Guards the map; values are atomic.
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_OBS_METRICS_H_

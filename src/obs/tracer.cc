@@ -1,0 +1,162 @@
+#include "obs/tracer.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ssdb {
+namespace {
+
+std::string EscapeJson(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t Tracer::StartSpan(const std::string& name,
+                           const std::string& category, uint64_t ts_us) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  auto& stack = stacks_[std::this_thread::get_id()];
+  rec.parent = stack.empty() ? 0 : stack.back();
+  rec.name = name;
+  rec.category = category;
+  rec.ts_us = ts_us;
+  open_index_[rec.id] = spans_.size();
+  spans_.push_back(std::move(rec));
+  stack.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id, uint64_t end_ts_us) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_index_.find(id);
+  if (it == open_index_.end()) return;
+  SpanRecord& rec = spans_[it->second];
+  rec.dur_us = end_ts_us >= rec.ts_us ? end_ts_us - rec.ts_us : 0;
+  open_index_.erase(it);
+  auto& stack = stacks_[std::this_thread::get_id()];
+  if (!stack.empty() && stack.back() == id) stack.pop_back();
+}
+
+uint64_t Tracer::AddSpan(
+    const std::string& name, const std::string& category, uint64_t ts_us,
+    uint64_t dur_us, uint64_t parent,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.name = name;
+  rec.category = category;
+  rec.ts_us = ts_us;
+  rec.dur_us = dur_us;
+  rec.args = std::move(args);
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void Tracer::Event(const std::string& name, const std::string& category,
+                   uint64_t ts_us, uint64_t parent,
+                   std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.name = name;
+  rec.category = category;
+  rec.ts_us = ts_us;
+  rec.instant = true;
+  rec.args = std::move(args);
+  spans_.push_back(std::move(rec));
+}
+
+uint64_t Tracer::CurrentSpan() const {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stacks_.find(std::this_thread::get_id());
+  if (it == stacks_.end() || it->second.empty()) return 0;
+  return it->second.back();
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::ostringstream out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const SpanRecord& s : spans_) {
+    if (!first) out << ",\n";
+    first = false;
+    // pid/tid are fixed: the simulation is one logical process, and
+    // encoding real worker-thread ids would break run-to-run identity.
+    out << "  {\"name\": \"" << EscapeJson(s.name) << "\", \"cat\": \""
+        << EscapeJson(s.category) << "\", \"ph\": \""
+        << (s.instant ? "i" : "X") << "\", \"ts\": " << s.ts_us;
+    if (!s.instant) out << ", \"dur\": " << s.dur_us;
+    out << ", \"pid\": 1, \"tid\": 1";
+    if (s.instant) out << ", \"s\": \"t\"";
+    out << ", \"args\": {\"id\": " << s.id << ", \"parent\": " << s.parent;
+    for (const auto& [k, v] : s.args) {
+      out << ", \"" << EscapeJson(k) << "\": \"" << EscapeJson(v) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  open_index_.clear();
+  stacks_.clear();
+  next_id_ = 1;
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ssdb

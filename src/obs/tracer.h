@@ -1,0 +1,113 @@
+// Hierarchical span tracer with VirtualClock timestamps.
+//
+// Spans follow the query path: query -> plan node -> quorum round ->
+// provider leg -> retry/hedge attempt. Determinism is the design driver:
+//   * Timestamps come from the deployment's VirtualClock, never from
+//     wall time, so a trace of a seeded run is bit-identical across
+//     fanout_threads counts and across repeat runs.
+//   * Spans are emitted only from the thread that executes the query
+//     (the plan executor / client thread), never from network worker
+//     threads — worker interleaving therefore cannot reorder the trace.
+//     ExecuteBatch runs each query wholly on one pool thread, so a
+//     per-thread span stack keeps parentage correct there too.
+//   * Span ids are allocated from a registry-order counter, and export
+//     walks spans in creation order.
+//
+// The tracer is disabled by default (zero allocation, a single relaxed
+// atomic load per call site); benches pay nothing unless they opt in.
+// Export is Chrome trace-event JSON ("X" complete events for spans, "i"
+// instant events), loadable in chrome://tracing or Perfetto.
+
+#ifndef SSDB_OBS_TRACER_H_
+#define SSDB_OBS_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ssdb {
+
+/// One finished span (or instant event when `instant` is true), as
+/// snapshotted for tests and export.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = root.
+  std::string name;
+  std::string category;  ///< "query", "node", "leg", "resilience", ...
+  uint64_t ts_us = 0;    ///< VirtualClock start.
+  uint64_t dur_us = 0;   ///< VirtualClock duration (0 allowed).
+  bool instant = false;  ///< True for point events (breaker flips, ...).
+  /// Small sorted key/value payload ("provider": "2", "rows": "17", ...).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// \brief Collects spans when enabled; no-ops (cheaply) when disabled.
+///
+/// Two emission styles coexist:
+///   * Scoped: StartSpan/EndSpan maintain a per-thread parent stack for
+///     code that brackets live execution (the query span).
+///   * Post-hoc: AddSpan records a complete span with an explicit
+///     parent, used by the executor to lay out node/leg spans from the
+///     finished QueryTrace (whose clock figures are already exact).
+class Tracer {
+ public:
+  /// Spans retained per run; beyond this, spans are counted as dropped
+  /// instead of recorded (keeps chaos workloads bounded).
+  static constexpr size_t kMaxSpans = 1 << 18;
+
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Opens a span at `ts_us` under the calling thread's current span;
+  /// returns its id (0 when disabled or over budget).
+  uint64_t StartSpan(const std::string& name, const std::string& category,
+                     uint64_t ts_us);
+  /// Closes the span — must be the top of the calling thread's stack.
+  void EndSpan(uint64_t id, uint64_t end_ts_us);
+
+  /// Records a complete span with an explicit parent (0 = root, or pass
+  /// CurrentSpan()). Returns its id (0 when disabled or over budget).
+  uint64_t AddSpan(const std::string& name, const std::string& category,
+                   uint64_t ts_us, uint64_t dur_us, uint64_t parent,
+                   std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Records an instant event under `parent` (0 = root).
+  void Event(const std::string& name, const std::string& category,
+             uint64_t ts_us, uint64_t parent,
+             std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Id of the calling thread's innermost open span (0 when none).
+  uint64_t CurrentSpan() const;
+
+  /// Spans in creation order (copy; safe to inspect after more traffic).
+  std::vector<SpanRecord> Snapshot() const;
+  size_t span_count() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with "X" events
+  /// for spans and "i" events for instants. Deterministic: creation
+  /// order, integer microseconds, ids as "parent"/"id" args.
+  std::string ExportChromeTrace() const;
+
+  /// Drops all recorded spans and open stacks; keeps enabled state.
+  void Clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;          ///< Finished + open, creation order.
+  std::map<uint64_t, size_t> open_index_;  ///< Open span id -> spans_ index.
+  std::map<std::thread::id, std::vector<uint64_t>> stacks_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_OBS_TRACER_H_

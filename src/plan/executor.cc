@@ -56,10 +56,13 @@ Result<std::vector<Executor::ProviderResponse>> Executor::CallQuorum(
     Network* network, const std::vector<size_t>& providers,
     const std::vector<Buffer>& requests, size_t desired, size_t minimum,
     PlanNodeTrace* trace, const ResiliencePolicy& policy,
-    ProviderScoreboard* board, const std::vector<size_t>& order) {
+    ProviderScoreboard* board, const std::vector<size_t>& order,
+    MetricsRegistry* registry) {
+  const uint64_t start_us = network->clock().now_us();
   QuorumResult q = RunResilientQuorum(network, providers, requests, desired,
                                       minimum, order, policy, board);
   if (trace != nullptr) {
+    if (trace->round_trips == 0) trace->clock_start_us = start_us;
     trace->round_trips += q.fanout_rounds;
     trace->clock_us += q.clock_advance_us;
     trace->hedged += q.hedges;
@@ -75,6 +78,26 @@ Result<std::vector<Executor::ProviderResponse>> Executor::CallQuorum(
       if (leg.deadline_exceeded) trace->deadline_exceeded++;
     }
   }
+  if (registry != nullptr) {
+    for (const ResilientLeg& leg : q.legs) {
+      const MetricLabels by_provider = {
+          {"provider", std::to_string(leg.provider)}};
+      if (leg.attempt > 1) {
+        registry->GetCounter("ssdb_resilience_retry_legs_total", by_provider)
+            ->Inc();
+      }
+      if (leg.hedge) {
+        registry->GetCounter("ssdb_resilience_hedge_legs_total", by_provider)
+            ->Inc();
+      }
+    }
+    if (q.breaker_skips) {
+      // Skipped providers never became legs, so the trace cannot name
+      // them; the counter is therefore unlabelled.
+      registry->GetCounter("ssdb_resilience_breaker_skips_total")
+          ->Inc(q.breaker_skips);
+    }
+  }
   if (!q.status.ok()) return q.status;
   std::vector<ProviderResponse> ok;
   ok.reserve(q.responses.size());
@@ -84,20 +107,123 @@ Result<std::vector<Executor::ProviderResponse>> Executor::CallQuorum(
   return ok;
 }
 
+namespace {
+
+/// Query taxonomy for the `{kind}` metric label and the query span name.
+const char* QueryKindName(const QueryPlan& plan) {
+  if (plan.is_join) return "join";
+  if (plan.is_union) return "union";
+  switch (plan.pipelines.front().action) {
+    case QueryAction::kFetchRows: return "fetch";
+    case QueryAction::kFetchRowIds: return "fetch_ids";
+    case QueryAction::kCount: return "count";
+    case QueryAction::kPartialSum: return "sum";
+    case QueryAction::kArgMin: return "argmin";
+    case QueryAction::kArgMax: return "argmax";
+    case QueryAction::kMedian: return "median";
+    case QueryAction::kGroupedSum: return "grouped_sum";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 Result<QueryResult> Executor::Execute(const QueryPlan& plan) {
   QueryTrace trace;
   record_index_.clear();
   BuildSkeleton(plan.root.get(), 0, &trace, &record_index_);
 
+  // The query span brackets live execution on this thread (breaker
+  // events fired mid-query attach to it); node/leg spans are laid out
+  // post-hoc from the finished trace, whose clock figures are exact.
+  const char* kind = QueryKindName(plan);
+  Tracer* tracer = host_->tracer();
+  uint64_t query_span = 0;
+  uint64_t query_start_us = 0;
+  if (tracer != nullptr && tracer->enabled()) {
+    query_start_us = host_->network()->clock().now_us();
+    query_span = tracer->StartSpan(std::string("query:") + kind, "query",
+                                   query_start_us);
+  }
+
   Result<QueryResult> result =
       plan.is_join    ? RunJoin(plan, &trace)
       : plan.is_union ? RunUnion(plan, &trace)
                       : RunPipelineWithRetry(plan.pipelines.front(), &trace);
+
+  if (query_span != 0) {
+    EmitNodeSpans(trace, query_span, query_start_us, tracer);
+    tracer->EndSpan(query_span, host_->network()->clock().now_us());
+  }
   if (result.ok()) {
     host_->OnTraceFinalized(trace);
+    EmitQueryMetrics(kind, trace);
     result->trace = std::move(trace);
   }
   return result;
+}
+
+void Executor::EmitQueryMetrics(const char* kind, const QueryTrace& trace) {
+  MetricsRegistry* registry = host_->metrics();
+  if (registry == nullptr) return;
+  const MetricLabels by_kind = {{"kind", kind}};
+  registry->GetCounter("ssdb_query_total", by_kind)->Inc();
+  registry->GetHistogram("ssdb_query_clock_us", by_kind)
+      ->Observe(trace.total_clock_us());
+  for (const PlanNodeTrace& node : trace.nodes) {
+    if (!node.executed) continue;
+    const MetricLabels by_node = {{"node", node.name}};
+    registry->GetCounter("ssdb_plan_node_clock_us_total", by_node)
+        ->Inc(node.clock_us);
+    registry->GetCounter("ssdb_plan_node_rows_scanned_total", by_node)
+        ->Inc(node.rows_scanned);
+  }
+}
+
+void Executor::EmitNodeSpans(const QueryTrace& trace, uint64_t query_span,
+                             uint64_t query_start_us, Tracer* tracer) {
+  // Pre-order + depth reproduces the plan tree: the innermost ancestor
+  // on the depth stack is the parent. A node that never contacted a
+  // provider inherits its parent's start time (it did no clocked work).
+  struct Frame {
+    int depth;
+    uint64_t span;
+    uint64_t ts;
+  };
+  std::vector<Frame> stack;
+  for (const PlanNodeTrace& node : trace.nodes) {
+    while (!stack.empty() && stack.back().depth >= node.depth) {
+      stack.pop_back();
+    }
+    const uint64_t parent = stack.empty() ? query_span : stack.back().span;
+    const uint64_t parent_ts =
+        stack.empty() ? query_start_us : stack.back().ts;
+    const uint64_t ts =
+        node.clock_start_us != 0 ? node.clock_start_us : parent_ts;
+    const uint64_t span = tracer->AddSpan(
+        "node:" + node.name, "node", ts, node.clock_us, parent,
+        {{"label", node.label},
+         {"executed", node.executed ? "1" : "0"},
+         {"rows_scanned", std::to_string(node.rows_scanned)},
+         {"rows_reconstructed", std::to_string(node.rows_reconstructed)},
+         {"shares_used", std::to_string(node.shares_used)}});
+    for (const PlanLegTrace& leg : node.legs) {
+      // Legs are placed at the node's start with their modelled round
+      // trip as duration: in the cost model every leg of a fan-out round
+      // departs when the round does.
+      tracer->AddSpan(
+          "leg:p" + std::to_string(leg.provider), "leg", ts,
+          leg.round_trip_us, span,
+          {{"provider", std::to_string(leg.provider)},
+           {"ok", leg.ok ? "1" : "0"},
+           {"attempt", std::to_string(leg.attempt)},
+           {"hedge", leg.hedge ? "1" : "0"},
+           {"deadline_exceeded", leg.deadline_exceeded ? "1" : "0"},
+           {"bytes_sent", std::to_string(leg.bytes_sent)},
+           {"bytes_received", std::to_string(leg.bytes_received)}});
+    }
+    stack.push_back(Frame{node.depth, span, ts});
+  }
 }
 
 Result<QueryResult> Executor::RunUnion(const QueryPlan& plan,
@@ -147,6 +273,7 @@ Result<QueryResult> Executor::RunPipelineWithRetry(const PipelinePlan& pipe,
     // Graceful degradation: too few providers answered the preferred
     // quorum (breaker skips, flapping links). Re-plan once with the
     // widest quorum — the breaker still gates every contact.
+    host_->metrics()->GetCounter("ssdb_plan_replans_total")->Inc();
     first = RunPipeline(pipe, host_->num_providers(), trace);
   }
   if (first.ok() || !first.status().IsCorruption() ||
@@ -210,7 +337,7 @@ Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
       std::vector<ProviderResponse> responses,
       CallQuorum(host_->network(), providers, requests, quorum,
                  pipe.quorum_min, scan_rec, host_->resilience(),
-                 host_->scoreboard(), pipe.quorum_order));
+                 host_->scoreboard(), pipe.quorum_order, host_->metrics()));
   if (scan_rec != nullptr) scan_rec->executed = true;
 
   // Majority-group identical payloads to tolerate corrupt responses.
@@ -504,15 +631,16 @@ Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
   Result<std::vector<ProviderResponse>> responses_r =
       CallQuorum(host_->network(), providers, requests, spec.quorum_desired,
                  spec.quorum_min, join_rec, host_->resilience(),
-                 host_->scoreboard(), spec.quorum_order);
+                 host_->scoreboard(), spec.quorum_order, host_->metrics());
   if (!responses_r.ok() && responses_r.status().IsUnavailable() &&
       host_->resilience().enabled() &&
       spec.quorum_desired < num_providers) {
     // Graceful degradation, as in RunPipelineWithRetry: one wider round.
+    host_->metrics()->GetCounter("ssdb_plan_replans_total")->Inc();
     responses_r =
         CallQuorum(host_->network(), providers, requests, num_providers,
                    spec.quorum_min, join_rec, host_->resilience(),
-                   host_->scoreboard(), spec.quorum_order);
+                   host_->scoreboard(), spec.quorum_order, host_->metrics());
   }
   if (!responses_r.ok()) return responses_r.status();
   std::vector<ProviderResponse> responses = std::move(*responses_r);

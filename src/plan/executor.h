@@ -45,13 +45,16 @@ class Executor {
   /// `policy` adds deadlines, backoff retries, hedged reads and breaker
   /// admission; the default policy reproduces the classic two-phase
   /// fan-out byte-for-byte. `order` overrides the contact order
-  /// (planner's scoreboard ranking; empty = identity).
+  /// (planner's scoreboard ranking; empty = identity). When `registry`
+  /// is non-null, retry/hedge legs and breaker skips are charged to the
+  /// `ssdb_resilience_*` series, mirroring the trace's leg flags.
   static Result<std::vector<ProviderResponse>> CallQuorum(
       Network* network, const std::vector<size_t>& providers,
       const std::vector<Buffer>& requests, size_t desired, size_t minimum,
       PlanNodeTrace* trace, const ResiliencePolicy& policy = ResiliencePolicy(),
       ProviderScoreboard* board = nullptr,
-      const std::vector<size_t>& order = {});
+      const std::vector<size_t>& order = {},
+      MetricsRegistry* registry = nullptr);
 
  private:
   Result<QueryResult> RunUnion(const QueryPlan& plan, QueryTrace* trace);
@@ -68,6 +71,14 @@ class Executor {
 
   /// The trace record of `node` (skeleton built in Execute).
   PlanNodeTrace* Rec(const PlanNode* node, QueryTrace* trace);
+
+  /// Charges the finished trace to the registry: per-kind query counter
+  /// and clock histogram, per-node clock/row counters.
+  void EmitQueryMetrics(const char* kind, const QueryTrace& trace);
+  /// Lays out node/leg spans under `query_span` from the finished trace
+  /// (pre-order depth-stack reproduces the plan tree's parentage).
+  void EmitNodeSpans(const QueryTrace& trace, uint64_t query_span,
+                     uint64_t query_start_us, Tracer* tracer);
 
   PlanHost* host_;
   std::map<const PlanNode*, size_t> record_index_;

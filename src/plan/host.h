@@ -19,6 +19,8 @@
 #include "field/fp61.h"
 #include "net/network.h"
 #include "net/resilience.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "plan/plan.h"
 #include "provider/protocol.h"
 #include "sss/order_preserving.h"
@@ -49,6 +51,13 @@ class PlanHost {
   /// The client's provider health scoreboard (never null; idle when the
   /// policy is disabled).
   virtual ProviderScoreboard* scoreboard() = 0;
+
+  // --- Telemetry (Executor) ---------------------------------------------
+  /// The deployment's metrics registry (never null). The executor charges
+  /// per-query-kind, per-node and resilience series to it.
+  virtual MetricsRegistry* metrics() = 0;
+  /// The deployment's span tracer (never null; disabled by default).
+  virtual Tracer* tracer() = 0;
 
   // --- Share space (Executor) -------------------------------------------
   /// Rewrites one plaintext predicate into provider `provider`'s share

@@ -61,6 +61,10 @@ struct PlanNodeTrace {
   /// Virtual-clock advance attributed to this node: slowest leg per
   /// fan-out round plus any sequential replacement legs.
   uint64_t clock_us = 0;
+  /// Virtual-clock reading when the node issued its first fan-out round
+  /// (0 when the node never contacted a provider). Spans exported by the
+  /// Tracer place the node at [clock_start_us, clock_start_us + clock_us].
+  uint64_t clock_start_us = 0;
   /// Fan-out rounds issued (a corruption retry adds a second round).
   uint64_t round_trips = 0;
   /// Share rows (or join pairs / group partials) decoded from providers.

@@ -32,8 +32,20 @@ bool IsMutatingMsg(MsgType type) {
 
 }  // namespace
 
+void Provider::AttachMetrics(MetricsRegistry* registry,
+                             const std::string& label) {
+  const MetricLabels labels = {{"provider", label}};
+  metric_requests_ = registry->GetCounter("ssdb_provider_requests_total", labels);
+  metric_rows_examined_ =
+      registry->GetCounter("ssdb_provider_rows_examined_total", labels);
+  metric_rows_returned_ =
+      registry->GetCounter("ssdb_provider_rows_returned_total", labels);
+  metric_index_lookups_ =
+      registry->GetCounter("ssdb_provider_index_lookups_total", labels);
+}
+
 Result<Buffer> Provider::Handle(Slice request) {
-  ++stats_.requests;
+  BumpRequests();
   Decoder dec(request);
   uint8_t type = 0;
   Buffer out;
@@ -219,7 +231,7 @@ Status Provider::HandleGetRows(Decoder* dec, Buffer* out) {
     SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
     rows.push_back(*row);
   }
-  stats_.rows_returned += rows.size();
+  BumpRowsReturned(rows.size());
   EncodeOkHeader(out);
   EncodeRowsResponse(rows, table->layout(), out);
   return Status::OK();
@@ -251,12 +263,12 @@ Result<std::vector<uint64_t>> Provider::EvaluatePredicates(
   std::vector<uint64_t> candidates;
   if (preds.empty()) {
     candidates = table.AllRowIds();
-    stats_.rows_examined += candidates.size();
+    BumpRowsExamined(candidates.size());
     return candidates;
   }
   // The first predicate is the index access path; the rest are filtered.
   const SharePredicate& p = preds[0];
-  ++stats_.index_lookups;
+  BumpIndexLookups();
   if (p.kind == PredicateKind::kExactDet) {
     SSDB_ASSIGN_OR_RETURN(candidates, table.ExactMatch(p.column, p.det_share));
   } else {
@@ -264,7 +276,7 @@ Result<std::vector<uint64_t>> Provider::EvaluatePredicates(
                           table.RangeScan(p.column, p.op_lo, p.op_hi));
     std::sort(candidates.begin(), candidates.end());
   }
-  stats_.rows_examined += candidates.size();
+  BumpRowsExamined(candidates.size());
   if (preds.size() == 1) return candidates;
 
   std::vector<uint64_t> out;
@@ -341,7 +353,7 @@ Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
         SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
         rows.push_back(ProjectRow(*row, proj_columns));
       }
-      stats_.rows_returned += rows.size();
+      BumpRowsReturned(rows.size());
       EncodeOkHeader(out);
       EncodeRowsResponse(rows, proj_layout, out);
       return Status::OK();
@@ -449,7 +461,7 @@ Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
           rows.push_back(ProjectRow(*row, proj_columns));
         }
       }
-      stats_.rows_returned += rows.size();
+      BumpRowsReturned(rows.size());
       EncodeOkHeader(out);
       EncodeRowsResponse(rows, proj_layout, out);
       return Status::OK();
@@ -485,7 +497,7 @@ Status Provider::HandleJoin(Decoder* dec, Buffer* out) {
     SSDB_ASSIGN_OR_RETURN(const StoredRow* row, right->Get(rid));
     build.emplace(row->cells[j.right_column].det, rid);
   }
-  stats_.rows_examined += left_ids.size() + right_ids.size();
+  BumpRowsExamined(left_ids.size() + right_ids.size());
 
   std::vector<JoinedRowPair> pairs;
   for (uint64_t lid : left_ids) {
@@ -502,7 +514,7 @@ Status Provider::HandleJoin(Decoder* dec, Buffer* out) {
       pairs.push_back(JoinedRowPair{*lrow, *rrow});
     }
   }
-  stats_.rows_returned += 2 * pairs.size();
+  BumpRowsReturned(2 * pairs.size());
   EncodeOkHeader(out);
   EncodeJoinResponse(pairs, left->layout(), right->layout(), out);
   return Status::OK();
@@ -559,7 +571,7 @@ Status Provider::HandleFetchPublicColumn(Decoder* dec, Buffer* out) {
     rows.push_back({table->rows[i][column]});
     ids.push_back(i);
   }
-  stats_.rows_returned += rows.size();
+  BumpRowsReturned(rows.size());
   EncodeOkHeader(out);
   EncodePublicRowsResponse(rows, ids, out);
   return Status::OK();
@@ -605,7 +617,7 @@ Status Provider::HandlePublicFilter(Decoder* dec, Buffer* out) {
     return Status::NotSupported(
         "provider: no share index attached to this public column");
   }
-  ++stats_.index_lookups;
+  BumpIndexLookups();
   std::vector<uint64_t> ids;
   if (pred.kind == PredicateKind::kExactDet) {
     auto range = idx_it->second.det.equal_range(pred.det_share);
@@ -619,7 +631,7 @@ Status Provider::HandlePublicFilter(Decoder* dec, Buffer* out) {
   }
   std::vector<std::vector<Value>> rows;
   for (uint64_t id : ids) rows.push_back(table->rows[id]);
-  stats_.rows_returned += rows.size();
+  BumpRowsReturned(rows.size());
   EncodeOkHeader(out);
   EncodePublicRowsResponse(rows, ids, out);
   return Status::OK();

@@ -59,6 +59,12 @@ class Provider : public ProviderEndpoint {
     stats_.index_lookups = 0;
   }
 
+  /// Mirrors every ProviderStats bump into `registry` under the
+  /// `ssdb_provider_*` series, labelled {provider: `label`}. Handles are
+  /// cached, so each bump is one extra relaxed atomic add; registry
+  /// totals track stats() exactly from any common reset point.
+  void AttachMetrics(MetricsRegistry* registry, const std::string& label);
+
   /// Number of share tables currently hosted.
   size_t num_tables() const {
     std::shared_lock<std::shared_mutex> lock(state_mu_);
@@ -118,8 +124,30 @@ class Provider : public ProviderEndpoint {
   static Result<bool> RowMatches(const ShareTable& table, const StoredRow& row,
                                  const SharePredicate& pred);
 
+  // Stats bumps route through these so the registry mirror stays exact.
+  void BumpRequests() {
+    ++stats_.requests;
+    if (metric_requests_ != nullptr) metric_requests_->Inc();
+  }
+  void BumpRowsExamined(uint64_t n) {
+    stats_.rows_examined += n;
+    if (metric_rows_examined_ != nullptr && n) metric_rows_examined_->Inc(n);
+  }
+  void BumpRowsReturned(uint64_t n) {
+    stats_.rows_returned += n;
+    if (metric_rows_returned_ != nullptr && n) metric_rows_returned_->Inc(n);
+  }
+  void BumpIndexLookups() {
+    ++stats_.index_lookups;
+    if (metric_index_lookups_ != nullptr) metric_index_lookups_->Inc();
+  }
+
   std::string name_;
   ProviderStats stats_;
+  MetricCounter* metric_requests_ = nullptr;
+  MetricCounter* metric_rows_examined_ = nullptr;
+  MetricCounter* metric_rows_returned_ = nullptr;
+  MetricCounter* metric_index_lookups_ = nullptr;
   /// Guards the table maps (not the tables' contents — each ShareTable has
   /// its own lock). Handle takes it exclusively for messages that create,
   /// drop or rewrite tables, shared otherwise, so read-only fan-out legs

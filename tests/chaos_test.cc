@@ -152,6 +152,8 @@ struct ScenarioRun {
   std::string fingerprint;  ///< Results + clock/byte/counter totals.
   uint64_t failures = 0;    ///< Failed legs seen on the wire.
   uint64_t resilience_events = 0;  ///< Retries + hedges + deadlines + skips.
+  std::string metrics_json;  ///< Full registry export after the run.
+  std::string trace_json;    ///< Full span export after the run.
 };
 
 ScenarioRun RunScenario(uint64_t seed, Scenario scenario, bool chaos,
@@ -179,6 +181,9 @@ ScenarioRun RunScenario(uint64_t seed, Scenario scenario, bool chaos,
     return run;
   }
   auto& db = *db_r.value();
+  // Record spans for the whole run: the telemetry reconciliation below
+  // counts retry/hedge legs and breaker flips out of the span stream.
+  db.tracer().Enable(true);
 
   // Load fault-free: writes are n-of-n and out of scope for the chaos
   // schedule; the workload below is query-only.
@@ -217,7 +222,7 @@ ScenarioRun RunScenario(uint64_t seed, Scenario scenario, bool chaos,
 
   const std::vector<WorkloadQuery> workload = MakeWorkload(seed, scenario);
   Rng fault_rng(seed ^ 0xFA017E57ULL);
-  db.network().ResetStats();
+  db.ResetAllStats();
   const uint64_t clock_start = db.simulated_time_us();
 
   // Trace accumulators for the stats reconciliation.
@@ -279,6 +284,45 @@ ScenarioRun RunScenario(uint64_t seed, Scenario scenario, bool chaos,
     EXPECT_EQ(up, db.network().stats(p).bytes_sent) << "provider " << p;
     EXPECT_EQ(down, db.network().stats(p).bytes_received) << "provider " << p;
   }
+
+  // Registry totals must agree with the same accumulators: the metrics
+  // subsystem is charged at the same sites as ChannelStats/QueryTrace,
+  // so any drift here is an instrumentation bug.
+  const MetricsRegistry& metrics = db.metrics();
+  EXPECT_EQ(metrics.CounterTotal("ssdb_net_bytes_sent_total"), trace_up);
+  EXPECT_EQ(metrics.CounterTotal("ssdb_net_bytes_received_total"), trace_down);
+  EXPECT_EQ(metrics.CounterTotal("ssdb_net_calls_total"), trace_legs);
+  EXPECT_EQ(metrics.CounterTotal("ssdb_net_failures_total"), trace_failed);
+  EXPECT_EQ(metrics.CounterTotal("ssdb_resilience_retry_legs_total"), retries);
+  EXPECT_EQ(metrics.CounterTotal("ssdb_resilience_hedge_legs_total"), hedges);
+  EXPECT_EQ(metrics.CounterTotal("ssdb_resilience_breaker_skips_total"),
+            skips);
+  EXPECT_EQ(metrics.CounterValue("ssdb_client_deadline_exceeded_total"),
+            deadlines);
+  EXPECT_EQ(metrics.CounterValue("ssdb_client_queries_total"),
+            static_cast<uint64_t>(kRounds * kQueriesPerRound));
+
+  // And the span stream tells the same story: every retry leg, hedge leg
+  // and breaker flip shows up as exactly one span / instant event.
+  uint64_t span_retry_legs = 0, span_hedge_legs = 0, span_breaker_flips = 0;
+  for (const SpanRecord& s : db.tracer().Snapshot()) {
+    if (s.category == "leg") {
+      for (const auto& kv : s.args) {
+        if (kv.first == "attempt" && kv.second != "1") ++span_retry_legs;
+        if (kv.first == "hedge" && kv.second == "1") ++span_hedge_legs;
+      }
+    } else if (s.instant && s.name == "breaker") {
+      ++span_breaker_flips;
+    }
+  }
+  EXPECT_EQ(span_retry_legs, retries);
+  EXPECT_EQ(span_hedge_legs, hedges);
+  EXPECT_EQ(span_breaker_flips,
+            metrics.CounterTotal("ssdb_resilience_breaker_transitions_total"));
+  EXPECT_EQ(db.tracer().dropped(), 0u);
+
+  run.metrics_json = metrics.ExportJson();
+  run.trace_json = db.tracer().ExportChromeTrace();
 
   std::snprintf(
       buf, sizeof(buf),
@@ -343,6 +387,13 @@ TEST(Chaos, BitIdenticalAcrossFanoutThreadCounts) {
       RunScenario(0x5EED, Scenario::kMixedFaults, /*chaos=*/true, 8);
   EXPECT_EQ(one.fingerprint, four.fingerprint);
   EXPECT_EQ(one.fingerprint, eight.fingerprint);
+  // The exported telemetry is part of the determinism contract too: the
+  // metrics snapshot and the Chrome trace must be byte-identical for
+  // every fan-out thread count.
+  EXPECT_EQ(one.metrics_json, four.metrics_json);
+  EXPECT_EQ(one.metrics_json, eight.metrics_json);
+  EXPECT_EQ(one.trace_json, four.trace_json);
+  EXPECT_EQ(one.trace_json, eight.trace_json);
 }
 
 TEST(Chaos, BitIdenticalAcrossSameSeedRuns) {
@@ -351,6 +402,8 @@ TEST(Chaos, BitIdenticalAcrossSameSeedRuns) {
   const ScenarioRun second =
       RunScenario(0xD0D0, Scenario::kMixedFaults, /*chaos=*/true, 4);
   EXPECT_EQ(first.fingerprint, second.fingerprint);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+  EXPECT_EQ(first.trace_json, second.trace_json);
 }
 
 }  // namespace

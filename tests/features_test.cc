@@ -79,10 +79,10 @@ TEST(Projection, ReordersColumns) {
 TEST(Projection, ReducesBytesOnTheWire) {
   auto db = MakeDb();
   LoadEmployees(db.get());
-  db->network().ResetStats();
+  db->ResetAllStats();
   ASSERT_TRUE(db->Execute(Query::Select("Employees")).ok());
   const uint64_t full_bytes = db->network_stats().bytes_received;
-  db->network().ResetStats();
+  db->ResetAllStats();
   ASSERT_TRUE(
       db->Execute(Query::Select("Employees").Project({"dept"})).ok());
   const uint64_t projected_bytes = db->network_stats().bytes_received;

@@ -1,0 +1,382 @@
+// Telemetry subsystem tests: registry/histogram unit behaviour, exact
+// reconciliation of registry series against ChannelStats and QueryTrace
+// on every query shape, span-tree agreement with the per-query trace,
+// and bit-identical exports across fanout_threads counts and same-seed
+// runs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/outsourced_db.h"
+#include "workload/generators.h"
+
+namespace ssdb {
+namespace {
+
+// --- MetricHistogram / MetricsRegistry unit behaviour ------------------
+
+TEST(MetricHistogram, BucketIndexIsBase2Log) {
+  // Bucket 0 holds value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(MetricHistogram::BucketIndex(0), 0u);
+  EXPECT_EQ(MetricHistogram::BucketIndex(1), 1u);
+  EXPECT_EQ(MetricHistogram::BucketIndex(2), 2u);
+  EXPECT_EQ(MetricHistogram::BucketIndex(3), 2u);
+  EXPECT_EQ(MetricHistogram::BucketIndex(4), 3u);
+  EXPECT_EQ(MetricHistogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(MetricHistogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(MetricHistogram::BucketIndex(~0ULL), 64u);
+  EXPECT_EQ(MetricHistogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(MetricHistogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(MetricHistogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(MetricHistogram::BucketUpperBound(64), ~0ULL);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndResetKeepsRegistrations) {
+  MetricsRegistry registry;
+  MetricCounter* a = registry.GetCounter("ssdb_test_total",
+                                         {{"provider", "0"}});
+  MetricCounter* b = registry.GetCounter("ssdb_test_total",
+                                         {{"provider", "1"}});
+  EXPECT_NE(a, b);
+  a->Inc(3);
+  b->Inc(4);
+  EXPECT_EQ(registry.CounterValue("ssdb_test_total", {{"provider", "0"}}),
+            3u);
+  EXPECT_EQ(registry.CounterTotal("ssdb_test_total"), 7u);
+  // Same (name, labels) -> same handle, regardless of label order.
+  EXPECT_EQ(registry.GetCounter("ssdb_test_total", {{"provider", "0"}}), a);
+
+  MetricHistogram* h = registry.GetHistogram("ssdb_test_us");
+  h->Observe(0);
+  h->Observe(5);
+  h->Observe(5);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 10u);
+  EXPECT_EQ(h->bucket(MetricHistogram::BucketIndex(5)), 2u);
+
+  registry.Reset();
+  // Values zeroed, handles still live and still registered.
+  EXPECT_EQ(a->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  a->Inc();
+  EXPECT_EQ(registry.CounterTotal("ssdb_test_total"), 1u);
+}
+
+TEST(MetricsRegistry, ExportsAreSortedAndWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("ssdb_z_total")->Inc(9);
+  registry.GetCounter("ssdb_a_total", {{"kind", "range"}})->Inc(2);
+  registry.GetHistogram("ssdb_lat_us")->Observe(3);
+
+  const std::string prom = registry.ExportPrometheus();
+  EXPECT_NE(prom.find("# TYPE ssdb_a_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("ssdb_a_total{kind=\"range\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("ssdb_z_total 9"), std::string::npos);
+  EXPECT_NE(prom.find("ssdb_lat_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  // Series are emitted in sorted order: ssdb_a_total before ssdb_z_total.
+  EXPECT_LT(prom.find("ssdb_a_total"), prom.find("ssdb_z_total"));
+
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"name\": \"ssdb_a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"range\""), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 3"), std::string::npos);
+}
+
+// --- Full-deployment reconciliation ------------------------------------
+
+/// A two-table deployment (Employees + Managers on a shared eid domain)
+/// so the workload below can cover exact / range / aggregate / join.
+std::unique_ptr<OutsourcedDatabase> MakeTwoTableDb(size_t fanout_threads) {
+  OutsourcedDbOptions options;
+  options.n = 4;
+  options.client.k = 2;
+  options.fanout_threads = fanout_threads;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  TableSchema employees;
+  employees.table_name = "Employees";
+  employees.columns = {
+      IntColumn("eid", 0, 100000, kCapExactMatch | kCapRange, "eid"),
+      IntColumn("salary", 0, 200000),
+      IntColumn("dept", 0, 50),
+  };
+  TableSchema managers;
+  managers.table_name = "Managers";
+  managers.columns = {
+      IntColumn("eid", 0, 100000, kCapExactMatch | kCapRange, "eid"),
+      IntColumn("level", 0, 5),
+  };
+  EXPECT_TRUE(db->CreateTable(employees).ok());
+  EXPECT_TRUE(db->CreateTable(managers).ok());
+  Rng rng(41);
+  std::vector<std::vector<Value>> emp_rows;
+  for (int64_t i = 0; i < 200; ++i) {
+    emp_rows.push_back({Value::Int(i), Value::Int(rng.UniformInt(0, 200000)),
+                        Value::Int(rng.UniformInt(0, 50))});
+  }
+  EXPECT_TRUE(db->Insert("Employees", emp_rows).ok());
+  std::vector<std::vector<Value>> mgr_rows;
+  for (int64_t i = 0; i < 20; ++i) {
+    mgr_rows.push_back({Value::Int(i * 10), Value::Int(rng.UniformInt(0, 5))});
+  }
+  EXPECT_TRUE(db->Insert("Managers", mgr_rows).ok());
+  return db;
+}
+
+/// Runs the fixed exact / range / aggregate / join workload and returns
+/// every trace. Fails the test on any query error.
+std::vector<QueryTrace> RunMixedWorkload(OutsourcedDatabase& db) {
+  std::vector<QueryTrace> traces;
+  auto take = [&traces](Result<QueryResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    traces.push_back(std::move(r->trace));
+  };
+  take(db.Execute(Query::Select("Employees").Where(Eq("eid", Value::Int(7)))));
+  take(db.Execute(Query::Select("Employees").Where(
+      Between("salary", Value::Int(40000), Value::Int(90000)))));
+  take(db.Execute(Query::Select("Employees")
+                      .Where(Between("salary", Value::Int(0),
+                                     Value::Int(100000)))
+                      .Aggregate(AggregateOp::kSum, "salary")));
+  JoinQuery jq;
+  jq.left_table = "Employees";
+  jq.left_column = "eid";
+  jq.right_table = "Managers";
+  jq.right_column = "eid";
+  take(db.Execute(jq));
+  return traces;
+}
+
+TEST(ObsReconcile, NetSeriesMatchChannelStatsPerProvider) {
+  auto db = MakeTwoTableDb(/*fanout_threads=*/1);
+  db->ResetAllStats();
+  std::vector<QueryTrace> traces = RunMixedWorkload(*db);
+  ASSERT_EQ(traces.size(), 4u);
+
+  // Per-provider trace totals, for the three-way reconciliation
+  // trace == ChannelStats == registry.
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> per_provider;
+  uint64_t legs = 0;
+  for (const QueryTrace& t : traces) {
+    legs += t.total_provider_legs();
+    for (const auto& entry : t.PerProviderBytes()) {
+      per_provider[entry.first].first += entry.second.first;
+      per_provider[entry.first].second += entry.second.second;
+    }
+  }
+
+  MetricsRegistry& m = db->metrics();
+  uint64_t calls = 0;
+  for (uint32_t p = 0; p < 4; ++p) {
+    const MetricLabels labels = {{"provider", std::to_string(p)}};
+    const ChannelStats& ch = db->network().stats(p);
+    EXPECT_EQ(m.CounterValue("ssdb_net_bytes_sent_total", labels),
+              ch.bytes_sent)
+        << "provider " << p;
+    EXPECT_EQ(m.CounterValue("ssdb_net_bytes_received_total", labels),
+              ch.bytes_received)
+        << "provider " << p;
+    EXPECT_EQ(m.CounterValue("ssdb_net_calls_total", labels), ch.calls);
+    EXPECT_EQ(m.CounterValue("ssdb_net_failures_total", labels), ch.failures);
+    EXPECT_EQ(ch.bytes_sent, per_provider[p].first) << "provider " << p;
+    EXPECT_EQ(ch.bytes_received, per_provider[p].second) << "provider " << p;
+    calls += ch.calls;
+    // The per-link latency histogram saw exactly the link's calls.
+    EXPECT_EQ(m.GetHistogram("ssdb_net_round_trip_us", labels)->count(),
+              ch.calls);
+  }
+  EXPECT_EQ(calls, legs);
+  EXPECT_EQ(m.CounterValue("ssdb_client_queries_total"), 4u);
+}
+
+TEST(ObsReconcile, QueryHistogramBucketsAreExact) {
+  auto db = MakeTwoTableDb(/*fanout_threads=*/1);
+  db->ResetAllStats();
+
+  // Five range scans of different widths; the expected histogram is
+  // computed from the traces with the same pure bucket function.
+  uint64_t expected_buckets[MetricHistogram::kBuckets] = {};
+  uint64_t expected_sum = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto r = db->Execute(Query::Select("Employees").Where(
+        Between("salary", Value::Int(10000 * i), Value::Int(150000))));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const uint64_t clock = r->trace.total_clock_us();
+    ++expected_buckets[MetricHistogram::BucketIndex(clock)];
+    expected_sum += clock;
+  }
+
+  MetricHistogram* h = db->metrics().GetHistogram("ssdb_query_clock_us",
+                                                  {{"kind", "fetch"}});
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), expected_sum);
+  for (size_t b = 0; b < MetricHistogram::kBuckets; ++b) {
+    EXPECT_EQ(h->bucket(b), expected_buckets[b]) << "bucket " << b;
+  }
+  EXPECT_EQ(db->metrics().CounterValue("ssdb_query_total",
+                                       {{"kind", "fetch"}}),
+            5u);
+}
+
+TEST(ObsReconcile, ProviderSeriesMatchProviderStats) {
+  auto db = MakeTwoTableDb(/*fanout_threads=*/1);
+  db->ResetAllStats();
+  RunMixedWorkload(*db);
+  const MetricsRegistry& m = db->metrics();
+  for (uint32_t p = 0; p < 4; ++p) {
+    const MetricLabels labels = {{"provider", std::to_string(p)}};
+    const ProviderStats& stats = db->provider(p).stats();
+    EXPECT_EQ(m.CounterValue("ssdb_provider_requests_total", labels),
+              stats.requests.load());
+    EXPECT_EQ(m.CounterValue("ssdb_provider_rows_examined_total", labels),
+              stats.rows_examined.load());
+    EXPECT_EQ(m.CounterValue("ssdb_provider_rows_returned_total", labels),
+              stats.rows_returned.load());
+    EXPECT_EQ(m.CounterValue("ssdb_provider_index_lookups_total", labels),
+              stats.index_lookups.load());
+  }
+}
+
+// --- Span tree <-> QueryTrace agreement --------------------------------
+
+TEST(ObsSpans, SpanTreeMatchesQueryTrace) {
+  auto db = MakeTwoTableDb(/*fanout_threads=*/1);
+  db->tracer().Enable(true);
+  db->ResetAllStats();
+
+  auto r = db->Execute(Query::Select("Employees").Where(
+      Between("salary", Value::Int(40000), Value::Int(90000))));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const QueryTrace& trace = r->trace;
+
+  const std::vector<SpanRecord> spans = db->tracer().Snapshot();
+  ASSERT_FALSE(spans.empty());
+
+  // Exactly one root query span, named for the query kind.
+  const SpanRecord* query_span = nullptr;
+  std::vector<const SpanRecord*> node_spans;
+  std::vector<const SpanRecord*> leg_spans;
+  for (const SpanRecord& s : spans) {
+    if (s.category == "query") {
+      ASSERT_EQ(query_span, nullptr) << "more than one query span";
+      query_span = &s;
+    } else if (s.category == "node") {
+      node_spans.push_back(&s);
+    } else if (s.category == "leg") {
+      leg_spans.push_back(&s);
+    }
+  }
+  ASSERT_NE(query_span, nullptr);
+  EXPECT_EQ(query_span->name, "query:fetch");
+  EXPECT_EQ(query_span->parent, 0u);
+
+  // One node span per trace node, in pre-order, names matching.
+  ASSERT_EQ(node_spans.size(), trace.nodes.size());
+  std::map<uint64_t, size_t> span_to_node;
+  for (size_t i = 0; i < trace.nodes.size(); ++i) {
+    EXPECT_EQ(node_spans[i]->name, "node:" + trace.nodes[i].name);
+    EXPECT_EQ(node_spans[i]->dur_us, trace.nodes[i].clock_us);
+    span_to_node[node_spans[i]->id] = i;
+  }
+
+  // Parentage mirrors the plan tree: a node span's parent is the query
+  // span for depth-0 nodes, else the nearest shallower preceding node.
+  for (size_t i = 0; i < trace.nodes.size(); ++i) {
+    if (trace.nodes[i].depth == 0) {
+      EXPECT_EQ(node_spans[i]->parent, query_span->id) << "node " << i;
+    } else {
+      auto it = span_to_node.find(node_spans[i]->parent);
+      ASSERT_NE(it, span_to_node.end()) << "node " << i;
+      const size_t parent_index = it->second;
+      EXPECT_LT(parent_index, i);
+      EXPECT_EQ(trace.nodes[parent_index].depth, trace.nodes[i].depth - 1);
+    }
+  }
+
+  // Every trace leg appears as exactly one leg span under its node.
+  uint64_t trace_leg_count = 0;
+  for (const PlanNodeTrace& node : trace.nodes) {
+    trace_leg_count += node.legs.size();
+  }
+  EXPECT_EQ(leg_spans.size(), trace_leg_count);
+  for (const SpanRecord* leg : leg_spans) {
+    EXPECT_NE(span_to_node.find(leg->parent), span_to_node.end());
+  }
+}
+
+// --- Export determinism -------------------------------------------------
+
+struct TelemetrySnapshot {
+  std::string prometheus;
+  std::string json;
+  std::string chrome_trace;
+};
+
+TelemetrySnapshot RunDeterministicSession(size_t fanout_threads) {
+  auto db = MakeTwoTableDb(fanout_threads);
+  db->tracer().Enable(true);
+  db->ResetAllStats();
+  RunMixedWorkload(*db);
+  TelemetrySnapshot snap;
+  snap.prometheus = db->metrics().ExportPrometheus();
+  snap.json = db->metrics().ExportJson();
+  snap.chrome_trace = db->tracer().ExportChromeTrace();
+  return snap;
+}
+
+TEST(ObsDeterminism, ExportsBitIdenticalAcrossFanoutThreadCounts) {
+  const TelemetrySnapshot one = RunDeterministicSession(1);
+  const TelemetrySnapshot four = RunDeterministicSession(4);
+  const TelemetrySnapshot eight = RunDeterministicSession(8);
+  EXPECT_EQ(one.prometheus, four.prometheus);
+  EXPECT_EQ(one.prometheus, eight.prometheus);
+  EXPECT_EQ(one.json, four.json);
+  EXPECT_EQ(one.json, eight.json);
+  EXPECT_EQ(one.chrome_trace, four.chrome_trace);
+  EXPECT_EQ(one.chrome_trace, eight.chrome_trace);
+}
+
+TEST(ObsDeterminism, ExportsBitIdenticalAcrossSameSeedRuns) {
+  const TelemetrySnapshot first = RunDeterministicSession(4);
+  const TelemetrySnapshot second = RunDeterministicSession(4);
+  EXPECT_EQ(first.prometheus, second.prometheus);
+  EXPECT_EQ(first.json, second.json);
+  EXPECT_EQ(first.chrome_trace, second.chrome_trace);
+}
+
+// --- ResetAllStats ------------------------------------------------------
+
+TEST(ObsReset, ResetAllStatsClearsEveryLayerAtomically) {
+  auto db = MakeTwoTableDb(/*fanout_threads=*/1);
+  db->tracer().Enable(true);
+  RunMixedWorkload(*db);
+  EXPECT_GT(db->network_stats().calls, 0u);
+  EXPECT_GT(db->metrics().CounterTotal("ssdb_net_calls_total"), 0u);
+  EXPECT_GT(db->tracer().span_count(), 0u);
+
+  db->ResetAllStats();
+  EXPECT_EQ(db->network_stats().calls, 0u);
+  EXPECT_EQ(db->network_stats().total_bytes(), 0u);
+  EXPECT_EQ(db->metrics().CounterTotal("ssdb_net_calls_total"), 0u);
+  EXPECT_EQ(db->metrics().CounterValue("ssdb_client_queries_total"), 0u);
+  EXPECT_EQ(db->tracer().span_count(), 0u);
+  for (uint32_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(db->provider(p).stats().requests.load(), 0u);
+  }
+  const ClientStats stats = db->client_stats();
+  EXPECT_EQ(stats.queries, 0u);
+  EXPECT_EQ(stats.traced_bytes_sent, 0u);
+
+  // Reconciliation still holds for deltas from the reset point.
+  RunMixedWorkload(*db);
+  EXPECT_EQ(db->metrics().CounterTotal("ssdb_net_calls_total"),
+            db->network_stats().calls);
+}
+
+}  // namespace
+}  // namespace ssdb

@@ -313,13 +313,12 @@ TEST(PlanTrace, StatsAggregateTraceTotals) {
   auto r = db->Execute(Query::Select("Employees")
                            .Where(Eq("dept", Value::Int(3))));
   ASSERT_TRUE(r.ok());
-  const ClientStats& stats = db->client_stats();
-  EXPECT_EQ(stats.traced_bytes_sent.load(), r->trace.total_bytes_sent());
-  EXPECT_EQ(stats.traced_bytes_received.load(),
-            r->trace.total_bytes_received());
-  EXPECT_EQ(stats.traced_clock_us.load(), r->trace.total_clock_us());
-  EXPECT_EQ(stats.provider_legs.load(), r->trace.total_provider_legs());
-  EXPECT_GT(stats.plan_nodes_executed.load(), 0u);
+  const ClientStats stats = db->client_stats();
+  EXPECT_EQ(stats.traced_bytes_sent, r->trace.total_bytes_sent());
+  EXPECT_EQ(stats.traced_bytes_received, r->trace.total_bytes_received());
+  EXPECT_EQ(stats.traced_clock_us, r->trace.total_clock_us());
+  EXPECT_EQ(stats.provider_legs, r->trace.total_provider_legs());
+  EXPECT_GT(stats.plan_nodes_executed, 0u);
 }
 
 }  // namespace

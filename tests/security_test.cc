@@ -123,7 +123,7 @@ TEST(Security, RewrittenQueriesDifferPerProvider) {
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   EmployeeGenerator gen(1, Distribution::kUniform);
   ASSERT_TRUE(db->Insert("Employees", gen.Rows(20)).ok());
-  db->network().ResetStats();
+  db->ResetAllStats();
   ASSERT_TRUE(db->Execute(Query::Select("Employees")
                               .Where(Between("salary", Value::Int(1000),
                                              Value::Int(2000))))

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Fails when a metric series name used in src/ is missing from the
+# Telemetry catalogue in docs/PROTOCOL.md. Keeps the docs honest: every
+# ssdb_* series an instrumented layer charges must be documented.
+#
+# Usage: tools/check_metric_catalogue.sh  (from anywhere; repo-relative)
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+src_dir="$repo_root/src"
+catalogue="$repo_root/docs/PROTOCOL.md"
+
+if [ ! -f "$catalogue" ]; then
+  echo "check_metric_catalogue: $catalogue not found" >&2
+  exit 1
+fi
+
+# Metric names are always string literals at the registration site.
+names=$(grep -rhoE '"ssdb_[a-z0-9_]+"' "$src_dir" | tr -d '"' | sort -u)
+
+missing=0
+for name in $names; do
+  if ! grep -q "$name" "$catalogue"; then
+    echo "check_metric_catalogue: '$name' used in src/ but missing from docs/PROTOCOL.md" >&2
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "check_metric_catalogue: FAILED — document the series above in the Telemetry catalogue" >&2
+  exit 1
+fi
+echo "check_metric_catalogue: OK ($(echo "$names" | wc -l) series documented)"
