@@ -13,11 +13,13 @@ namespace ssdb {
 namespace {
 
 std::unique_ptr<OutsourcedDatabase> FreshDb(size_t n, size_t k, bool lazy,
-                                            size_t rows) {
+                                            size_t rows,
+                                            size_t batch_max_ops = 128) {
   OutsourcedDbOptions options;
   options.n = n;
   options.client.k = k;
   options.client.lazy_updates = lazy;
+  options.client.batch_max_ops = batch_max_ops;
   auto db = OutsourcedDatabase::Create(options);
   if (!db.ok()) return nullptr;
   if (!db.value()->CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) {
@@ -101,6 +103,53 @@ void BM_Mix_LazyVsEager(benchmark::State& state) {
                             db.get());
 }
 BENCHMARK(BM_Mix_LazyVsEager)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Mix_BatchedPointReads(benchmark::State& state) {
+  // ExecuteBatch over 16 independent point lookups: with
+  // batch_max_ops=1 every query pays its own quorum round trips; with
+  // the default 128 all compatible fan-outs fuse into one envelope per
+  // contacted provider.
+  const size_t batch_max = static_cast<size_t>(state.range(0));
+  auto db = FreshDb(4, 2, /*lazy=*/false, 5000, batch_max);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  std::vector<Query> queries;
+  for (int dept = 0; dept < 16; ++dept) {
+    queries.push_back(
+        Query::Select("Employees").Where(Eq("dept", Value::Int(dept))));
+  }
+  db->ResetAllStats();
+  bench::WallSimTimer timer(db.get());
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    auto results = db->ExecuteBatch(queries);
+    for (const auto& r : results) {
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+    ops += results.size();
+  }
+  state.counters["sim_us/op"] =
+      benchmark::Counter(timer.SimMicros() / static_cast<double>(ops));
+  state.counters["calls/op"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().calls) /
+      static_cast<double>(ops));
+  state.counters["bytes/op"] = benchmark::Counter(
+      static_cast<double>(db->network_stats().total_bytes()) /
+      static_cast<double>(ops));
+  state.SetLabel("batch_max_ops=" + std::to_string(batch_max));
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  bench::SnapshotDeployment(
+      "mix_batched_point_reads_batch" + std::to_string(batch_max), db.get());
+}
+BENCHMARK(BM_Mix_BatchedPointReads)
+    ->Arg(1)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Mix_UnderFailures(benchmark::State& state) {
   // The blend keeps running while one provider is down — but note that

@@ -15,12 +15,14 @@
 namespace ssdb {
 namespace {
 
-std::unique_ptr<OutsourcedDatabase> FreshDb(bool lazy, size_t rows) {
+std::unique_ptr<OutsourcedDatabase> FreshDb(bool lazy, size_t rows,
+                                            size_t batch_max_ops = 128) {
   OutsourcedDbOptions options;
   options.n = 4;
   options.client.k = 2;
   options.client.lazy_updates = lazy;
   options.client.lazy_flush_threshold = 1'000'000;  // manual flush
+  options.client.batch_max_ops = batch_max_ops;
   auto db = OutsourcedDatabase::Create(options);
   if (!db.ok()) return nullptr;
   if (!db.value()->CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) {
@@ -119,6 +121,103 @@ void BM_Update_DeleteEager(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(deleted));
 }
 BENCHMARK(BM_Update_DeleteEager)->Iterations(100);
+
+void BM_Update_BulkLoad(benchmark::State& state) {
+  // Initial outsourcing through the batch envelope: arg is
+  // batch_max_ops, where 1 reproduces the per-op wire traffic (one
+  // round trip per row per provider) and 128 coalesces a whole chunk
+  // into one envelope per provider.
+  const size_t batch_max = static_cast<size_t>(state.range(0));
+  auto db = FreshDb(false, 0, batch_max);
+  if (db == nullptr) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  db->ResetAllStats();
+  EmployeeGenerator gen(77, Distribution::kSequential);
+  bench::WallSimTimer timer(db.get());
+  uint64_t rows_loaded = 0;
+  for (auto _ : state) {
+    if (!db->BulkLoad("Employees", gen.Rows(100)).ok()) {
+      state.SkipWithError("bulk load failed");
+      return;
+    }
+    rows_loaded += 100;
+  }
+  const ChannelStats net = db->network_stats();
+  state.counters["sim_us/row"] = benchmark::Counter(
+      timer.SimMicros() / static_cast<double>(rows_loaded));
+  state.counters["calls/row"] = benchmark::Counter(
+      static_cast<double>(net.calls) / static_cast<double>(rows_loaded));
+  state.counters["bytes/row"] = benchmark::Counter(
+      static_cast<double>(net.total_bytes()) /
+      static_cast<double>(rows_loaded));
+  state.SetLabel("batch_max_ops=" + std::to_string(batch_max));
+  state.SetItemsProcessed(static_cast<int64_t>(rows_loaded));
+  bench::SnapshotDeployment(
+      "updates_bulkload_batch" + std::to_string(batch_max), db.get());
+}
+BENCHMARK(BM_Update_BulkLoad)->Arg(1)->Arg(128)->Iterations(20);
+
+void BM_Update_FlushCoalescing(benchmark::State& state) {
+  // The lazy write log's flush round over a multi-table log. The classic
+  // flush already groups same-kind ops per table into one message, so
+  // its cost is one round trip per (table, op kind); the envelope fuses
+  // the whole log into ONE round trip per provider.
+  const size_t batch_max = static_cast<size_t>(state.range(0));
+  const size_t tables = 8;
+  OutsourcedDbOptions options;
+  options.n = 4;
+  options.client.k = 2;
+  options.client.lazy_updates = true;
+  options.client.lazy_flush_threshold = 1'000'000;  // manual flush
+  options.client.batch_max_ops = batch_max;
+  auto created = OutsourcedDatabase::Create(options);
+  if (!created.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  auto db = std::move(created).value();
+  for (size_t t = 0; t < tables; ++t) {
+    TableSchema schema;
+    schema.table_name = "T" + std::to_string(t);
+    schema.columns = {IntColumn("v", 0, 1'000'000)};
+    if (!db->CreateTable(schema).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  db->ResetAllStats();
+  bench::WallSimTimer timer(db.get());
+  uint64_t inserted_total = 0;
+  int64_t v = 0;
+  for (auto _ : state) {
+    for (size_t t = 0; t < tables; ++t) {
+      if (!db->Insert("T" + std::to_string(t),
+                      {{Value::Int(v)}, {Value::Int(v + 1)}})
+               .ok()) {
+        state.SkipWithError("insert failed");
+        return;
+      }
+      v = (v + 2) % 1'000'000;
+      inserted_total += 2;
+    }
+    if (!db->Flush().ok()) {
+      state.SkipWithError("flush failed");
+      return;
+    }
+  }
+  const ChannelStats net = db->network_stats();
+  state.counters["sim_us/inserted_row"] = benchmark::Counter(
+      timer.SimMicros() / static_cast<double>(inserted_total));
+  state.counters["calls/inserted_row"] = benchmark::Counter(
+      static_cast<double>(net.calls) / static_cast<double>(inserted_total));
+  state.SetLabel("batch_max_ops=" + std::to_string(batch_max));
+  state.SetItemsProcessed(static_cast<int64_t>(inserted_total));
+  bench::SnapshotDeployment(
+      "updates_flush_batch" + std::to_string(batch_max), db.get());
+}
+BENCHMARK(BM_Update_FlushCoalescing)->Arg(1)->Arg(128)->Iterations(20);
 
 void BM_Update_ProactiveRefresh(benchmark::State& state) {
   // §VI(b) extension: re-randomize every stored share of a table.

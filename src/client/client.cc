@@ -108,6 +108,11 @@ Result<std::unique_ptr<DataSourceClient>> DataSourceClient::Create(
       return Status::InvalidArgument("client: provider index out of range");
     }
   }
+  if (options.lazy_updates && options.lazy_flush_threshold == 0) {
+    return Status::InvalidArgument(
+        "client: lazy_flush_threshold must be >= 1 with lazy updates "
+        "(a zero threshold would never auto-flush the write log)");
+  }
 
   // Secret evaluation points X for the field sharing, derived from the
   // master key (the "secret information X, known only to the data
@@ -239,6 +244,59 @@ Status DataSourceClient::CallAllSame(const Buffer& request) {
   return CallAll(requests);
 }
 
+Status DataSourceClient::CallAllBatched(
+    const std::vector<std::vector<Buffer>>& per_provider_ops) {
+  if (per_provider_ops.size() != providers_.size()) {
+    return Status::Internal("client: batched fan-out arity mismatch");
+  }
+  const size_t total = per_provider_ops[0].size();
+  for (const auto& ops : per_provider_ops) {
+    if (ops.size() != total) {
+      return Status::Internal("client: uneven batched op counts");
+    }
+  }
+  if (total == 0) return Status::OK();
+
+  const size_t max_ops = std::max<size_t>(options_.batch_max_ops, 1);
+  for (size_t begin = 0; begin < total; begin += max_ops) {
+    const size_t end = std::min(total, begin + max_ops);
+    const size_t span = end - begin;
+    std::vector<Buffer> requests(providers_.size());
+    for (size_t p = 0; p < providers_.size(); ++p) {
+      if (span == 1) {
+        // A lone op travels unwrapped: identical bytes to a plain call.
+        requests[p].Append(per_provider_ops[p][begin].AsSlice());
+      } else {
+        std::vector<Slice> ops;
+        ops.reserve(span);
+        for (size_t i = begin; i < end; ++i) {
+          ops.push_back(per_provider_ops[p][i].AsSlice());
+        }
+        EncodeBatchRequest(ops, &requests[p]);
+        ChargeBatchEnvelope(&metrics_, span);
+      }
+    }
+    Network::FanOutResult fan =
+        network_->CallManyDistinct(providers_, requests);
+    for (size_t i = 0; i < fan.responses.size(); ++i) {
+      if (!fan.responses[i].ok()) return fan.responses[i].status();
+      Decoder dec(Slice(*fan.responses[i]));
+      SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&dec));
+      if (span == 1) continue;
+      std::vector<Slice> subs;
+      SSDB_RETURN_IF_ERROR(DecodeBatchResponsePayload(&dec, &subs));
+      if (subs.size() != span) {
+        return Status::Corruption("client: batch response arity mismatch");
+      }
+      for (const Slice& sub : subs) {
+        Decoder sub_dec(sub);
+        SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&sub_dec));
+      }
+    }
+  }
+  return Status::OK();
+}
+
 // --- Schema & data -------------------------------------------------------------
 
 Status DataSourceClient::CreateTable(TableSchema schema) {
@@ -337,6 +395,41 @@ Status DataSourceClient::Insert(const std::string& table,
   return CallAll(requests);
 }
 
+Status DataSourceClient::BulkLoad(
+    const std::string& table, const std::vector<std::vector<Value>>& rows) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("client: unknown table '" + table + "'");
+  }
+  TableInfo& info = it->second;
+  if (rows.empty()) return Status::OK();
+
+  // Share every row up front (the initial-outsourcing cost is CPU-bound
+  // client side), then ship kInsertRows chunks of at most batch_max_ops
+  // rows each; CallAllBatched coalesces the chunks into envelope rounds.
+  const size_t chunk_rows = std::max<size_t>(options_.batch_max_ops, 1);
+  std::vector<std::vector<Buffer>> per_provider_ops(providers_.size());
+  for (size_t begin = 0; begin < rows.size(); begin += chunk_rows) {
+    const size_t end = std::min(rows.size(), begin + chunk_rows);
+    std::vector<std::vector<StoredRow>> per_provider(providers_.size());
+    for (size_t r = begin; r < end; ++r) {
+      SSDB_RETURN_IF_ERROR(info.schema.ValidateRow(rows[r]));
+      const uint64_t row_id = info.next_row_id++;
+      SSDB_ASSIGN_OR_RETURN(std::vector<StoredRow> shares,
+                            BuildShareRows(&info, row_id, rows[r]));
+      for (size_t p = 0; p < providers_.size(); ++p) {
+        per_provider[p].push_back(std::move(shares[p]));
+      }
+    }
+    for (size_t p = 0; p < providers_.size(); ++p) {
+      Buffer msg;
+      EncodeInsertRows(info.id, info.layout, per_provider[p], &msg);
+      per_provider_ops[p].push_back(std::move(msg));
+    }
+  }
+  return CallAllBatched(per_provider_ops);
+}
+
 // --- Query rewriting (§V.A) -----------------------------------------------------
 
 Result<SharePredicate> DataSourceClient::RewriteForProvider(
@@ -389,9 +482,14 @@ Result<SharePredicate> DataSourceClient::RewriteForProvider(
         }
         SSDB_ASSIGN_OR_RETURN(String27 codec,
                               String27::Create(col.string_width));
+        bool lex_empty = false;
         SSDB_ASSIGN_OR_RETURN(
             OpDomain lex, codec.LexRange(pred.lo.AsString(),
-                                         pred.hi.AsString()));
+                                         pred.hi.AsString(), &lex_empty));
+        if (lex_empty) {  // reversed range matches nothing, not an error
+          *always_empty = true;
+          return out;
+        }
         lo_code = lex.lo;
         hi_code = lex.hi;
       }
@@ -600,11 +698,89 @@ std::vector<Result<QueryResult>> DataSourceClient::ExecuteBatch(
     }
   }
 
-  // Each query runs its own quorum fan-out; the pool's caller-participating
-  // ParallelFor makes the nesting (batch -> per-query legs) deadlock-free.
-  network_->pool().ParallelFor(queries.size(), [&](size_t i) {
-    out[i] = Execute(queries[i]);
-  });
+  if (options_.batch_max_ops < 2) {
+    // Each query runs its own quorum fan-out; the pool's caller-
+    // participating ParallelFor makes the nesting (batch -> per-query
+    // legs) deadlock-free.
+    network_->pool().ParallelFor(queries.size(), [&](size_t i) {
+      out[i] = Execute(queries[i]);
+    });
+    return out;
+  }
+
+  // Coalescing path: plan every query up front, then let the executor
+  // fuse compatible point fan-outs into batch envelopes (one round trip
+  // per chunk of batch_max_ops queries per provider).
+  Planner planner(this);
+  std::vector<QueryPlan> plans;
+  plans.reserve(queries.size());
+  std::vector<size_t> plan_slots;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    cm_.queries->Inc();
+    Result<QueryPlan> plan = planner.Plan(queries[i]);
+    if (!plan.ok()) {
+      out[i] = plan.status();
+      continue;
+    }
+    plans.push_back(std::move(*plan));
+    plan_slots.push_back(i);
+  }
+  std::vector<const QueryPlan*> plan_ptrs;
+  plan_ptrs.reserve(plans.size());
+  for (const QueryPlan& p : plans) plan_ptrs.push_back(&p);
+  Executor executor(this);
+  std::vector<Result<QueryResult>> results = executor.ExecuteBatch(plan_ptrs);
+  for (size_t j = 0; j < results.size(); ++j) {
+    out[plan_slots[j]] = std::move(results[j]);
+  }
+  return out;
+}
+
+std::vector<Result<QueryResult>> DataSourceClient::ExecuteBatch(
+    const std::vector<JoinQuery>& joins) {
+  std::vector<Result<QueryResult>> out(
+      joins.size(),
+      Result<QueryResult>(Status::Internal("batch join not run")));
+  if (joins.empty()) return out;
+
+  if (!lazy_log_.empty()) {
+    const Status st = Flush();
+    if (!st.ok()) {
+      for (auto& slot : out) slot = st;
+      return out;
+    }
+  }
+
+  if (options_.batch_max_ops < 2) {
+    network_->pool().ParallelFor(joins.size(), [&](size_t i) {
+      out[i] = Execute(joins[i]);
+    });
+    return out;
+  }
+
+  // Coalescing path: the joins' share fetches batch per provider.
+  Planner planner(this);
+  std::vector<QueryPlan> plans;
+  plans.reserve(joins.size());
+  std::vector<size_t> plan_slots;
+  for (size_t i = 0; i < joins.size(); ++i) {
+    cm_.queries->Inc();
+    Result<QueryPlan> plan = planner.Plan(joins[i]);
+    if (!plan.ok()) {
+      out[i] = plan.status();
+      continue;
+    }
+    plans.push_back(std::move(*plan));
+    plan_slots.push_back(i);
+  }
+  std::vector<const QueryPlan*> plan_ptrs;
+  plan_ptrs.reserve(plans.size());
+  for (const QueryPlan& p : plans) plan_ptrs.push_back(&p);
+  Executor executor(this);
+  std::vector<Result<QueryResult>> results = executor.ExecuteBatch(plan_ptrs);
+  for (size_t j = 0; j < results.size(); ++j) {
+    out[plan_slots[j]] = std::move(results[j]);
+  }
   return out;
 }
 
@@ -760,7 +936,12 @@ Status DataSourceClient::Flush() {
     }
   }
 
-  // Build batched per-table, per-provider messages.
+  // Build batched per-table, per-provider messages. With coalescing
+  // enabled every table's insert/update/delete messages are collected and
+  // shipped as ONE envelope round per provider instead of up to three
+  // sequential rounds per table.
+  const bool coalesce = options_.batch_max_ops >= 2;
+  std::vector<std::vector<Buffer>> flush_ops(providers_.size());
   for (auto& [table_name, info] : tables_) {
     std::vector<std::vector<StoredRow>> inserts(providers_.size());
     std::vector<std::vector<StoredRow>> updates(providers_.size());
@@ -792,25 +973,50 @@ Status DataSourceClient::Flush() {
       }
     }
     if (!inserts[0].empty()) {
-      std::vector<Buffer> reqs(providers_.size());
-      for (size_t p = 0; p < providers_.size(); ++p) {
-        EncodeInsertRows(info.id, info.layout, inserts[p], &reqs[p]);
+      if (coalesce) {
+        for (size_t p = 0; p < providers_.size(); ++p) {
+          Buffer msg;
+          EncodeInsertRows(info.id, info.layout, inserts[p], &msg);
+          flush_ops[p].push_back(std::move(msg));
+        }
+      } else {
+        std::vector<Buffer> reqs(providers_.size());
+        for (size_t p = 0; p < providers_.size(); ++p) {
+          EncodeInsertRows(info.id, info.layout, inserts[p], &reqs[p]);
+        }
+        SSDB_RETURN_IF_ERROR(CallAll(reqs));
       }
-      SSDB_RETURN_IF_ERROR(CallAll(reqs));
     }
     if (!updates[0].empty()) {
-      std::vector<Buffer> reqs(providers_.size());
-      for (size_t p = 0; p < providers_.size(); ++p) {
-        EncodeUpdateRows(info.id, info.layout, updates[p], &reqs[p]);
+      if (coalesce) {
+        for (size_t p = 0; p < providers_.size(); ++p) {
+          Buffer msg;
+          EncodeUpdateRows(info.id, info.layout, updates[p], &msg);
+          flush_ops[p].push_back(std::move(msg));
+        }
+      } else {
+        std::vector<Buffer> reqs(providers_.size());
+        for (size_t p = 0; p < providers_.size(); ++p) {
+          EncodeUpdateRows(info.id, info.layout, updates[p], &reqs[p]);
+        }
+        SSDB_RETURN_IF_ERROR(CallAll(reqs));
       }
-      SSDB_RETURN_IF_ERROR(CallAll(reqs));
     }
     if (!deletes.empty()) {
       Buffer req;
       EncodeDeleteRows(info.id, deletes, &req);
-      SSDB_RETURN_IF_ERROR(CallAllSame(req));
+      if (coalesce) {
+        for (size_t p = 0; p < providers_.size(); ++p) {
+          Buffer msg;
+          msg.Append(req.AsSlice());
+          flush_ops[p].push_back(std::move(msg));
+        }
+      } else {
+        SSDB_RETURN_IF_ERROR(CallAllSame(req));
+      }
     }
   }
+  if (coalesce) SSDB_RETURN_IF_ERROR(CallAllBatched(flush_ops));
   lazy_log_.clear();
   return Status::OK();
 }
@@ -903,9 +1109,12 @@ Result<bool> DataSourceClient::MatchesPlain(
         } else {
           SSDB_ASSIGN_OR_RETURN(String27 codec,
                                 String27::Create(col.string_width));
+          bool lex_empty = false;
           SSDB_ASSIGN_OR_RETURN(
               OpDomain lex,
-              codec.LexRange(pred.lo.AsString(), pred.hi.AsString()));
+              codec.LexRange(pred.lo.AsString(), pred.hi.AsString(),
+                             &lex_empty));
+          if (lex_empty) return false;  // reversed range matches nothing
           lo = lex.lo;
           hi = lex.hi;
         }

@@ -52,8 +52,16 @@ struct ClientOptions {
   OpSlotMode op_mode = OpSlotMode::kPaperSlots;
   /// Buffer writes client-side and flush in batches (§V.C lazy updates).
   bool lazy_updates = false;
-  /// Auto-flush the lazy log at this many buffered operations.
+  /// Auto-flush the lazy log at this many buffered operations. Zero is
+  /// rejected at Create with lazy_updates on: it would disable the
+  /// auto-flush guard entirely and let the log grow without bound.
   size_t lazy_flush_threshold = 64;
+  /// Max sub-operations coalesced into one batch envelope per provider
+  /// (net/batch.h): lazy-log flushes, BulkLoad chunks, DisjunctUnion
+  /// branches, ExecuteBatch point fetches and join share fetches. Values
+  /// below 2 disable request coalescing and reproduce the per-op wire
+  /// traffic byte-for-byte.
+  size_t batch_max_ops = 128;
   /// Verify per-row integrity tags on reads.
   bool verify_tags = true;
   /// Resilient RPC configuration (deadlines, backoff retries, hedged
@@ -110,6 +118,13 @@ class DataSourceClient : private PlanHost {
   Status Insert(const std::string& table,
                 const std::vector<std::vector<Value>>& rows);
 
+  /// Initial outsourcing path: shares and ships `rows` in one batched
+  /// envelope round per `batch_max_ops`-row chunk, bypassing the lazy
+  /// write log even in lazy mode. Equivalent to Insert row-for-row but
+  /// pays one network round trip per envelope instead of one per call.
+  Status BulkLoad(const std::string& table,
+                  const std::vector<std::vector<Value>>& rows);
+
   // --- Queries ----------------------------------------------------------
   //
   // The unified Execute family: every way of asking a question goes
@@ -135,6 +150,12 @@ class DataSourceClient : private PlanHost {
   /// time, not modelled time). Flushes the lazy write log up front.
   std::vector<Result<QueryResult>> ExecuteBatch(
       const std::vector<Query>& queries);
+
+  /// Runs independent equi-joins; compatible join share fetches are
+  /// coalesced into one batch envelope per provider (batch_max_ops < 2
+  /// falls back to per-join execution).
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<JoinQuery>& joins);
 
   /// Renders the execution plan of a query — which share representation
   /// answers each predicate, the provider-side action, and the quorum —
@@ -243,6 +264,14 @@ class DataSourceClient : private PlanHost {
   // Transport (writes / management; reads go through Executor::CallQuorum).
   Status CallAll(const std::vector<Buffer>& requests);
   Status CallAllSame(const Buffer& request);
+  /// Sends `per_provider_ops[p]` to provider p, coalescing multiple
+  /// messages into batch envelopes of at most batch_max_ops sub-ops (one
+  /// round trip per envelope). Every provider must carry the same op
+  /// count; a single op per provider is sent unwrapped (identical bytes
+  /// to CallAll). Fails on the first transport, envelope or sub-response
+  /// error.
+  Status CallAllBatched(
+      const std::vector<std::vector<Buffer>>& per_provider_ops);
 
   // Reconstruction.
   Result<Value> ReconstructColumn(const ColumnSpec& column,
@@ -254,6 +283,7 @@ class DataSourceClient : private PlanHost {
   size_t num_providers() const override { return providers_.size(); }
   size_t threshold_k() const override { return options_.k; }
   OpSlotMode op_mode() const override { return options_.op_mode; }
+  size_t batch_max_ops() const override { return options_.batch_max_ops; }
   const std::vector<size_t>& provider_indices() const override {
     return providers_;
   }

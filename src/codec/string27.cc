@@ -76,12 +76,18 @@ Result<OpDomain> String27::PrefixRange(const std::string& prefix) const {
 }
 
 Result<OpDomain> String27::LexRange(const std::string& lo,
-                                    const std::string& hi) const {
+                                    const std::string& hi,
+                                    bool* empty_out) const {
+  if (empty_out != nullptr) *empty_out = false;
   SSDB_ASSIGN_OR_RETURN(int64_t lo_code, Encode(lo));
   // The upper end is inclusive of every padded string that starts with
   // `hi`: encode hi then fill the tail with 'Z'.
   SSDB_ASSIGN_OR_RETURN(OpDomain hi_range, PrefixRange(hi));
   if (lo_code > hi_range.hi) {
+    if (empty_out != nullptr) {
+      *empty_out = true;
+      return OpDomain{lo_code, hi_range.hi};
+    }
     return Status::InvalidArgument("String27: empty lexicographic range");
   }
   return OpDomain{lo_code, hi_range.hi};

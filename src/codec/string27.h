@@ -52,8 +52,13 @@ class String27 {
   Result<OpDomain> PrefixRange(const std::string& prefix) const;
 
   /// Numeric interval covering the lexicographic closed range [lo, hi]
-  /// ("name BETWEEN 'ALBERT' AND 'JACK'").
-  Result<OpDomain> LexRange(const std::string& lo, const std::string& hi) const;
+  /// ("name BETWEEN 'ALBERT' AND 'JACK'"). A reversed range (lo > hi)
+  /// matches nothing: with `empty_out` null that is an InvalidArgument
+  /// error; with `empty_out` non-null it sets *empty_out and returns the
+  /// (unusable) reversed interval so callers can treat the predicate as
+  /// provably empty instead of failing the whole query.
+  Result<OpDomain> LexRange(const std::string& lo, const std::string& hi,
+                            bool* empty_out = nullptr) const;
 
  private:
   explicit String27(uint32_t width);

@@ -72,6 +72,13 @@ class OutsourcedDatabase {
                 const std::vector<std::vector<Value>>& rows) {
     return client_->Insert(table, rows);
   }
+  /// Initial outsourcing: ships the rows in batched envelope rounds (one
+  /// round trip per ClientOptions::batch_max_ops-row chunk) instead of
+  /// per-call inserts; bypasses the lazy write log.
+  Status BulkLoad(const std::string& table,
+                  const std::vector<std::vector<Value>>& rows) {
+    return client_->BulkLoad(table, rows);
+  }
   // --- Queries: the unified Execute family ------------------------------
 
   /// Executes a built single-table query.
@@ -94,6 +101,12 @@ class OutsourcedDatabase {
   std::vector<Result<QueryResult>> ExecuteBatch(
       const std::vector<Query>& queries) {
     return client_->ExecuteBatch(queries);
+  }
+  /// Runs independent equi-joins; compatible share fetches coalesce into
+  /// one batch envelope per provider.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<JoinQuery>& joins) {
+    return client_->ExecuteBatch(joins);
   }
 
   /// Renders a query's execution plan without running it. The text is

@@ -1,0 +1,67 @@
+#include "net/batch.h"
+
+namespace ssdb {
+
+void EncodeBatchRequest(const std::vector<Slice>& ops, Buffer* out) {
+  out->PutU8(kBatchMsgTag);
+  out->PutVarint(ops.size());
+  for (const Slice& op : ops) out->PutLengthPrefixed(op);
+}
+
+void EncodeBatchRequest(const std::vector<Buffer>& ops, Buffer* out) {
+  std::vector<Slice> slices;
+  slices.reserve(ops.size());
+  for (const Buffer& op : ops) slices.push_back(op.AsSlice());
+  EncodeBatchRequest(slices, out);
+}
+
+Status DecodeBatchRequestPayload(Decoder* dec, std::vector<Slice>* ops) {
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&count));
+  if (count == 0) {
+    return Status::InvalidArgument("batch: empty envelope");
+  }
+  if (count > kMaxBatchOps) {
+    return Status::Corruption("batch: op count exceeds decode bound");
+  }
+  ops->clear();
+  ops->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice op;
+    SSDB_RETURN_IF_ERROR(dec->GetLengthPrefixed(&op));
+    ops->push_back(op);
+  }
+  return Status::OK();
+}
+
+void EncodeBatchResponsePayload(const std::vector<Buffer>& responses,
+                                Buffer* out) {
+  out->PutVarint(responses.size());
+  for (const Buffer& r : responses) out->PutLengthPrefixed(r.AsSlice());
+}
+
+Status DecodeBatchResponsePayload(Decoder* dec,
+                                  std::vector<Slice>* responses) {
+  uint64_t count = 0;
+  SSDB_RETURN_IF_ERROR(dec->GetVarint(&count));
+  if (count > kMaxBatchOps) {
+    return Status::Corruption("batch: response count exceeds decode bound");
+  }
+  responses->clear();
+  responses->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Slice r;
+    SSDB_RETURN_IF_ERROR(dec->GetLengthPrefixed(&r));
+    responses->push_back(r);
+  }
+  return Status::OK();
+}
+
+void ChargeBatchEnvelope(MetricsRegistry* registry, uint64_t ops) {
+  if (registry == nullptr) return;
+  registry->GetCounter("ssdb_net_batch_envelopes_total")->Inc();
+  registry->GetCounter("ssdb_net_batch_ops_total")->Inc(ops);
+  registry->GetHistogram("ssdb_net_batch_ops_per_envelope")->Observe(ops);
+}
+
+}  // namespace ssdb

@@ -1,0 +1,73 @@
+// Batched request/response envelope (request coalescing).
+//
+// The chatty client paths — lazy-log flushes, DisjunctUnion branches,
+// batched point queries, join share fetches — pay one modelled round trip
+// per operation per provider when sent as individual messages. The
+// envelope packs a vector of complete protocol messages into ONE wire
+// message:
+//
+//   request  := tag(16) varint(count) { varint(len) op-message }*
+//   response := status(0) varint(count) { varint(len) op-response }*
+//
+// so the network charges a single round trip (2 x latency + transfer of
+// the summed payload) per batch while every byte still flows through the
+// ordinary Network accounting — ChannelStats, QueryTrace legs, the
+// registry's ssdb_net_* series and the virtual clock all reconcile
+// exactly, just over fewer, larger calls.
+//
+// The envelope is pure framing: it knows nothing about the op payloads.
+// Sub-messages are complete requests (type byte first), sub-responses are
+// complete responses (status byte first), so per-op errors travel inside
+// an OK outer envelope and the resilience layer (deadlines, retries,
+// hedging, breaker) naturally treats a batch as one call.
+
+#ifndef SSDB_NET_BATCH_H_
+#define SSDB_NET_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace ssdb {
+
+/// Message-type byte of a batch envelope. Mirrored as MsgType::kBatch in
+/// provider/protocol.h (static_asserted there) but defined here so the
+/// framing layer has no provider dependency.
+inline constexpr uint8_t kBatchMsgTag = 16;
+
+/// Decode-time bound on the op count of one envelope (far above any
+/// client-side batch_max_ops; guards against a corrupt count allocating
+/// unbounded memory).
+inline constexpr uint64_t kMaxBatchOps = 1u << 20;
+
+/// Encodes a batch request: tag byte, op count, length-prefixed complete
+/// request messages.
+void EncodeBatchRequest(const std::vector<Slice>& ops, Buffer* out);
+void EncodeBatchRequest(const std::vector<Buffer>& ops, Buffer* out);
+
+/// Decodes the payload of a batch request (the tag byte must already be
+/// consumed). The returned slices view the decoder's underlying bytes.
+Status DecodeBatchRequestPayload(Decoder* dec, std::vector<Slice>* ops);
+
+/// Appends the batch response payload (op count + length-prefixed complete
+/// responses) after the caller wrote the OK status header.
+void EncodeBatchResponsePayload(const std::vector<Buffer>& responses,
+                                Buffer* out);
+
+/// Decodes the payload of a batch response (the status header must already
+/// be consumed, e.g. via DecodeResponseHeader).
+Status DecodeBatchResponsePayload(Decoder* dec,
+                                  std::vector<Slice>* responses);
+
+/// Charges one sent envelope carrying `ops` sub-operations to the
+/// `ssdb_net_batch_*` series (no-op when `registry` is null). Called at
+/// the encode site on the client thread, so exports stay byte-identical
+/// across fanout_threads settings.
+void ChargeBatchEnvelope(MetricsRegistry* registry, uint64_t ops);
+
+}  // namespace ssdb
+
+#endif  // SSDB_NET_BATCH_H_

@@ -1,9 +1,12 @@
 #include "plan/executor.h"
 
 #include <algorithm>
+#include <optional>
+#include <tuple>
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "net/batch.h"
 
 namespace ssdb {
 
@@ -226,10 +229,193 @@ void Executor::EmitNodeSpans(const QueryTrace& trace, uint64_t query_span,
   }
 }
 
+std::vector<Result<QueryResult>> Executor::ExecuteBatch(
+    const std::vector<const QueryPlan*>& plans) {
+  std::vector<std::optional<Result<QueryResult>>> slots(plans.size());
+  const size_t batch_max = host_->batch_max_ops();
+  const std::vector<size_t>& providers = host_->provider_indices();
+  Tracer* tracer = host_->tracer();
+
+  // Plans the envelope cannot carry — unions (they batch internally),
+  // provably-empty fan-outs, lone chunk remainders — and every fused leg
+  // that fails run individually at the end, where Execute may freely
+  // rebuild the node->trace index.
+  std::vector<size_t> individual;
+  std::vector<QueryTrace> traces(plans.size());
+  record_index_.clear();
+
+  struct Item {
+    size_t slot;
+    std::vector<Buffer> requests;  // per provider
+  };
+  // Only identical fan-outs can share an envelope: group by (join?,
+  // desired, minimum, contact order).
+  std::map<std::tuple<bool, size_t, size_t, std::vector<size_t>>,
+           std::vector<Item>>
+      groups;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const QueryPlan& plan = *plans[i];
+    if (batch_max < 2 || plan.is_union) {
+      individual.push_back(i);
+      continue;
+    }
+    BuildSkeleton(plan.root.get(), 0, &traces[i], &record_index_);
+    std::vector<Buffer> requests;
+    Result<bool> always_empty =
+        plan.is_join
+            ? BuildJoinRequests(plan, &requests)
+            : BuildPipelineRequests(plan.pipelines.front(), &requests);
+    if (!always_empty.ok() || *always_empty) {
+      individual.push_back(i);  // zero communication or an error: run plain
+      continue;
+    }
+    const size_t desired = plan.is_join
+                               ? plan.join.quorum_desired
+                               : plan.pipelines.front().quorum_desired;
+    const size_t minimum = plan.is_join ? plan.join.quorum_min
+                                        : plan.pipelines.front().quorum_min;
+    const std::vector<size_t>& order =
+        plan.is_join ? plan.join.quorum_order
+                     : plan.pipelines.front().quorum_order;
+    groups[{plan.is_join, desired, minimum, order}].push_back(
+        Item{i, std::move(requests)});
+  }
+
+  const auto fanout_node = [](const QueryPlan& p) -> const PlanNode* {
+    return p.is_join ? p.join.join : p.pipelines.front().scan;
+  };
+  for (auto& [key, items] : groups) {
+    const size_t desired = std::get<1>(key);
+    const size_t minimum = std::get<2>(key);
+    const std::vector<size_t>& order = std::get<3>(key);
+    for (size_t begin = 0; begin < items.size(); begin += batch_max) {
+      const size_t end = std::min(items.size(), begin + batch_max);
+      const size_t span = end - begin;
+      if (span == 1) {
+        individual.push_back(items[begin].slot);
+        continue;
+      }
+
+      // One envelope per provider carrying this chunk's requests; the
+      // resilience layer treats it as a single call.
+      std::vector<Buffer> envelopes(providers.size());
+      for (size_t p = 0; p < providers.size(); ++p) {
+        std::vector<Slice> ops;
+        ops.reserve(span);
+        for (size_t j = begin; j < end; ++j) {
+          ops.push_back(items[j].requests[p].AsSlice());
+        }
+        EncodeBatchRequest(ops, &envelopes[p]);
+        ChargeBatchEnvelope(host_->metrics(), span);
+      }
+      // Legs and clock are recorded once, on the first plan's fan-out
+      // node: the envelope's bytes belong to exactly one trace so the
+      // per-provider totals still reconcile with ChannelStats.
+      const size_t lead_slot = items[begin].slot;
+      PlanNodeTrace* lead_rec =
+          Rec(fanout_node(*plans[lead_slot]), &traces[lead_slot]);
+      const uint64_t start_us = host_->network()->clock().now_us();
+      Result<std::vector<ProviderResponse>> resp_r = CallQuorum(
+          host_->network(), providers, envelopes, desired, minimum, lead_rec,
+          host_->resilience(), host_->scoreboard(), order, host_->metrics());
+      if (!resp_r.ok()) {
+        for (size_t j = begin; j < end; ++j) {
+          individual.push_back(items[j].slot);
+        }
+        continue;
+      }
+
+      // Split each provider's envelope into per-plan sub-responses; a
+      // provider whose envelope does not parse is dropped for the whole
+      // chunk.
+      std::vector<std::vector<ProviderResponse>> per_item(span);
+      for (const ProviderResponse& r : *resp_r) {
+        Decoder dec(Slice(r.bytes));
+        if (!DecodeResponseHeader(&dec).ok()) continue;
+        std::vector<Slice> subs;
+        if (!DecodeBatchResponsePayload(&dec, &subs).ok()) continue;
+        if (subs.size() != span) continue;
+        for (size_t j = 0; j < span; ++j) {
+          per_item[j].push_back(ProviderResponse{
+              r.provider,
+              std::vector<uint8_t>(subs[j].data(),
+                                   subs[j].data() + subs[j].size())});
+        }
+      }
+
+      for (size_t j = 0; j < span; ++j) {
+        const size_t slot = items[begin + j].slot;
+        const QueryPlan& plan = *plans[slot];
+        QueryTrace* trace = &traces[slot];
+        if (PlanNodeTrace* rec = Rec(fanout_node(plan), trace)) {
+          rec->executed = true;
+        }
+        Result<QueryResult> part =
+            plan.is_join
+                ? DecodeJoin(plan, per_item[j], trace)
+                : DecodePipeline(plan.pipelines.front(), per_item[j], trace);
+        if (part.ok() && !plan.is_join) {
+          const Status st =
+              ApplyOverlay(plan.pipelines.front(), &part.value(), trace);
+          if (!st.ok()) part = st;
+        }
+        if (!part.ok()) {
+          const Status& st = part.status();
+          if (st.IsNotFound() || st.IsNotSupported() ||
+              st.IsInvalidArgument()) {
+            // The query's own fault; re-running cannot change the answer.
+            slots[slot] = std::move(part);
+          } else {
+            // Partial-batch failure (corruption, quorum loss): this plan
+            // alone re-runs through Execute's full retry ladder.
+            individual.push_back(slot);
+          }
+          continue;
+        }
+        const char* kind = QueryKindName(plan);
+        if (tracer != nullptr && tracer->enabled()) {
+          const uint64_t span_id =
+              tracer->StartSpan(std::string("query:") + kind, "query",
+                                start_us);
+          EmitNodeSpans(*trace, span_id, start_us, tracer);
+          tracer->EndSpan(span_id, host_->network()->clock().now_us());
+        }
+        host_->OnTraceFinalized(*trace);
+        EmitQueryMetrics(kind, *trace);
+        part->trace = std::move(*trace);
+        slots[slot] = std::move(part);
+      }
+    }
+  }
+
+  std::sort(individual.begin(), individual.end());
+  for (size_t slot : individual) {
+    slots[slot] = Execute(*plans[slot]);
+  }
+  std::vector<Result<QueryResult>> out;
+  out.reserve(plans.size());
+  for (auto& s : slots) {
+    if (s.has_value()) {
+      out.push_back(std::move(*s));
+    } else {
+      out.push_back(Status::Internal("client: batch plan not executed"));
+    }
+  }
+  return out;
+}
+
 Result<QueryResult> Executor::RunUnion(const QueryPlan& plan,
                                        QueryTrace* trace) {
   // One sub-query per disjunct (conjuncts are applied to each); results
-  // are unioned by row id, first branch winning on duplicates.
+  // are unioned by row id, first branch winning on duplicates. With
+  // coalescing enabled the branches share one envelope round trip per
+  // provider instead of one fan-out each.
+  if (host_->batch_max_ops() >= 2 && plan.pipelines.size() >= 2) {
+    Result<QueryResult> fused = RunUnionBatched(plan, trace);
+    if (fused.ok() || !fused.status().IsNotSupported()) return fused;
+    // NotSupported = the plan cannot travel as one envelope (or the
+    // envelope round failed outright): classic per-branch path below.
+  }
   std::map<uint64_t, std::vector<Value>> merged;
   for (const PipelinePlan& pipe : plan.pipelines) {
     SSDB_ASSIGN_OR_RETURN(QueryResult part, RunPipelineWithRetry(pipe, trace));
@@ -246,6 +432,134 @@ Result<QueryResult> Executor::RunUnion(const QueryPlan& plan,
   if (PlanNodeTrace* rec = Rec(plan.root.get(), trace)) {
     rec->executed = true;
     rec->rows_reconstructed = out.rows.size();
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::RunUnionBatched(const QueryPlan& plan,
+                                              QueryTrace* trace) {
+  const std::vector<size_t>& providers = host_->provider_indices();
+  const size_t num_providers = providers.size();
+  const size_t batch_max = host_->batch_max_ops();
+
+  // Build every branch's per-provider requests up front; provably-empty
+  // branches complete with zero communication and contribute no rows.
+  std::vector<const PipelinePlan*> active;
+  std::vector<std::vector<Buffer>> branch_requests;
+  for (const PipelinePlan& pipe : plan.pipelines) {
+    std::vector<Buffer> reqs;
+    SSDB_ASSIGN_OR_RETURN(bool branch_empty,
+                          BuildPipelineRequests(pipe, &reqs));
+    if (branch_empty) {
+      SSDB_RETURN_IF_ERROR(EmptyPipeline(pipe, trace).status());
+      continue;
+    }
+    active.push_back(&pipe);
+    branch_requests.push_back(std::move(reqs));
+  }
+  if (active.size() < 2) {
+    return Status::NotSupported("batch: too few active union branches");
+  }
+  const PipelinePlan* lead = active.front();
+  for (const PipelinePlan* pipe : active) {
+    if (pipe->quorum_desired != lead->quorum_desired ||
+        pipe->quorum_min != lead->quorum_min ||
+        pipe->quorum_order != lead->quorum_order) {
+      return Status::NotSupported("batch: union branch quorums differ");
+    }
+  }
+
+  PlanNodeTrace* root_rec = Rec(plan.root.get(), trace);
+  std::map<uint64_t, std::vector<Value>> merged;
+  for (size_t begin = 0; begin < active.size(); begin += batch_max) {
+    const size_t end = std::min(active.size(), begin + batch_max);
+    const size_t span = end - begin;
+    if (span == 1) {
+      // A lone trailing branch gains nothing from an envelope.
+      SSDB_ASSIGN_OR_RETURN(QueryResult part,
+                            RunPipelineWithRetry(*active[begin], trace));
+      for (size_t i = 0; i < part.rows.size(); ++i) {
+        merged.emplace(part.row_ids[i], std::move(part.rows[i]));
+      }
+      continue;
+    }
+
+    // One envelope per provider carrying this chunk's branch requests;
+    // the resilience layer sees it as a single call (deadline, retries,
+    // hedging and the scoreboard all charge one request).
+    std::vector<Buffer> requests(num_providers);
+    for (size_t p = 0; p < num_providers; ++p) {
+      std::vector<Slice> ops;
+      ops.reserve(span);
+      for (size_t b = begin; b < end; ++b) {
+        ops.push_back(branch_requests[b][p].AsSlice());
+      }
+      EncodeBatchRequest(ops, &requests[p]);
+      ChargeBatchEnvelope(host_->metrics(), span);
+    }
+    Result<std::vector<ProviderResponse>> resp_r = CallQuorum(
+        host_->network(), providers, requests, lead->quorum_desired,
+        lead->quorum_min, root_rec, host_->resilience(), host_->scoreboard(),
+        lead->quorum_order, host_->metrics());
+    if (!resp_r.ok()) {
+      // Envelope round lost: let the caller fall back to the classic
+      // per-branch path with its own retry ladder.
+      return Status::NotSupported("batch: union envelope round failed");
+    }
+
+    // Split each provider's envelope into per-branch sub-responses; a
+    // provider whose envelope does not parse is dropped for the whole
+    // chunk (its sub-responses are untrustworthy).
+    std::vector<std::vector<ProviderResponse>> per_branch(span);
+    for (const ProviderResponse& r : *resp_r) {
+      Decoder dec(Slice(r.bytes));
+      if (!DecodeResponseHeader(&dec).ok()) continue;
+      std::vector<Slice> subs;
+      if (!DecodeBatchResponsePayload(&dec, &subs).ok()) continue;
+      if (subs.size() != span) continue;
+      for (size_t b = 0; b < span; ++b) {
+        per_branch[b].push_back(ProviderResponse{
+            r.provider,
+            std::vector<uint8_t>(subs[b].data(),
+                                 subs[b].data() + subs[b].size())});
+      }
+    }
+
+    for (size_t b = 0; b < span; ++b) {
+      const PipelinePlan& pipe = *active[begin + b];
+      if (PlanNodeTrace* rec = Rec(pipe.scan, trace)) rec->executed = true;
+      Result<QueryResult> part = DecodePipeline(pipe, per_branch[b], trace);
+      // Partial-batch failures retry at sub-batch granularity: only the
+      // affected branch re-runs, individually, at the widest quorum —
+      // mirroring RunPipelineWithRetry's ladder.
+      if (!part.ok() && part.status().IsUnavailable() &&
+          host_->resilience().enabled() &&
+          pipe.quorum_desired < host_->num_providers()) {
+        host_->metrics()->GetCounter("ssdb_plan_replans_total")->Inc();
+        part = RunPipeline(pipe, host_->num_providers(), trace);
+      }
+      if (!part.ok() && part.status().IsCorruption() &&
+          host_->threshold_k() < host_->num_providers()) {
+        host_->OnCorruptionRetry();
+        part = RunPipeline(pipe, host_->num_providers(), trace);
+      }
+      if (!part.ok()) return part.status();
+      SSDB_RETURN_IF_ERROR(ApplyOverlay(pipe, &part.value(), trace));
+      for (size_t i = 0; i < part->rows.size(); ++i) {
+        merged.emplace(part->row_ids[i], std::move(part->rows[i]));
+      }
+    }
+  }
+
+  QueryResult out;
+  for (auto& [id, row] : merged) {
+    out.row_ids.push_back(id);
+    out.rows.push_back(std::move(row));
+  }
+  out.count = out.rows.size();
+  if (root_rec != nullptr) {
+    root_rec->executed = true;
+    root_rec->rows_reconstructed = out.rows.size();
   }
   return out;
 }
@@ -294,16 +608,14 @@ Result<QueryResult> Executor::RunPipelineWithRetry(const PipelinePlan& pipe,
   return retry;
 }
 
-Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
-                                          size_t quorum, QueryTrace* trace) {
-  const std::vector<size_t>& providers = host_->provider_indices();
-  const size_t num_providers = providers.size();
+Result<bool> Executor::BuildPipelineRequests(const PipelinePlan& pipe,
+                                             std::vector<Buffer>* requests) {
+  const size_t num_providers = host_->provider_indices().size();
   const TableSchema& schema = *pipe.table.schema;
-  PlanNodeTrace* scan_rec = Rec(pipe.scan, trace);
-  PlanNodeTrace* agg_rec = Rec(pipe.aggregate, trace);
 
   // Rewrite per provider (§V.A).
-  std::vector<Buffer> requests(num_providers);
+  requests->clear();
+  requests->resize(num_providers);
   bool always_empty = false;
   for (size_t p = 0; p < num_providers; ++p) {
     QueryRequest q;
@@ -320,18 +632,34 @@ Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
       q.predicates.push_back(sp);
     }
     if (always_empty) break;
-    EncodeQuery(q, &requests[p]);
+    EncodeQuery(q, &(*requests)[p]);
   }
-  if (always_empty) {
-    // Provably no matches; zero communication. The whole pipeline still
-    // "ran" (trivially) for trace purposes.
-    if (scan_rec != nullptr) scan_rec->executed = true;
-    if (agg_rec != nullptr) agg_rec->executed = true;
-    if (PlanNodeTrace* rec = Rec(pipe.reconstruct, trace)) {
-      rec->executed = true;
-    }
-    return QueryResult();
+  return always_empty;
+}
+
+Result<QueryResult> Executor::EmptyPipeline(const PipelinePlan& pipe,
+                                            QueryTrace* trace) {
+  // Provably no matches; zero communication. A median over nothing has no
+  // defined value, so it reports the empty set instead of a silent zero.
+  if (pipe.action == QueryAction::kMedian) {
+    return Status::NotFound("client: MEDIAN over an empty result set");
   }
+  // The whole pipeline still "ran" (trivially) for trace purposes.
+  if (PlanNodeTrace* rec = Rec(pipe.scan, trace)) rec->executed = true;
+  if (PlanNodeTrace* rec = Rec(pipe.aggregate, trace)) rec->executed = true;
+  if (PlanNodeTrace* rec = Rec(pipe.reconstruct, trace)) rec->executed = true;
+  return QueryResult();
+}
+
+Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
+                                          size_t quorum, QueryTrace* trace) {
+  const std::vector<size_t>& providers = host_->provider_indices();
+  PlanNodeTrace* scan_rec = Rec(pipe.scan, trace);
+
+  std::vector<Buffer> requests;
+  SSDB_ASSIGN_OR_RETURN(bool always_empty,
+                        BuildPipelineRequests(pipe, &requests));
+  if (always_empty) return EmptyPipeline(pipe, trace);
 
   SSDB_ASSIGN_OR_RETURN(
       std::vector<ProviderResponse> responses,
@@ -339,6 +667,14 @@ Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
                  pipe.quorum_min, scan_rec, host_->resilience(),
                  host_->scoreboard(), pipe.quorum_order, host_->metrics()));
   if (scan_rec != nullptr) scan_rec->executed = true;
+  return DecodePipeline(pipe, responses, trace);
+}
+
+Result<QueryResult> Executor::DecodePipeline(
+    const PipelinePlan& pipe, const std::vector<ProviderResponse>& responses,
+    QueryTrace* trace) {
+  const TableSchema& schema = *pipe.table.schema;
+  PlanNodeTrace* agg_rec = Rec(pipe.aggregate, trace);
 
   // Majority-group identical payloads to tolerate corrupt responses.
   std::unordered_map<uint64_t, std::vector<size_t>> groups;
@@ -485,6 +821,12 @@ Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
     case QueryAction::kMedian: {
       SSDB_ASSIGN_OR_RETURN(QueryResult out,
                             RunFetch(pipe, responses, trace));
+      if (pipe.action == QueryAction::kMedian && out.rows.empty()) {
+        // No matching rows: the median is undefined, and silently
+        // returning aggregate 0 would be indistinguishable from a real
+        // median of zero.
+        return Status::NotFound("client: MEDIAN over an empty result set");
+      }
       if (pipe.action != QueryAction::kFetchRows && !out.rows.empty()) {
         // With projection the aggregate column may sit at a new position;
         // find it in the result columns.
@@ -582,19 +924,12 @@ Result<QueryResult> Executor::RunFetch(
   return out;
 }
 
-Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
-                                      QueryTrace* trace) {
+Result<bool> Executor::BuildJoinRequests(const QueryPlan& plan,
+                                         std::vector<Buffer>* requests) {
   const JoinPlanSpec& spec = plan.join;
-  const std::vector<size_t>& providers = host_->provider_indices();
-  const size_t num_providers = providers.size();
-  PlanNodeTrace* join_rec = Rec(spec.join, trace);
-  PlanNodeTrace* rec_rec = Rec(spec.reconstruct, trace);
-
-  QueryResult empty;
-  empty.join_left_columns =
-      static_cast<uint32_t>(spec.left.schema->columns.size());
-
-  std::vector<Buffer> requests(num_providers);
+  const size_t num_providers = host_->provider_indices().size();
+  requests->clear();
+  requests->resize(num_providers);
   bool always_empty = false;
   for (size_t p = 0; p < num_providers; ++p) {
     JoinRequest jr;
@@ -620,11 +955,29 @@ Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
       jr.right_predicates.push_back(sp);
     }
     if (always_empty) break;
-    EncodeJoin(jr, &requests[p]);
+    EncodeJoin(jr, &(*requests)[p]);
   }
+  return always_empty;
+}
+
+Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
+                                      QueryTrace* trace) {
+  const JoinPlanSpec& spec = plan.join;
+  const std::vector<size_t>& providers = host_->provider_indices();
+  const size_t num_providers = providers.size();
+  PlanNodeTrace* join_rec = Rec(spec.join, trace);
+
+  std::vector<Buffer> requests;
+  SSDB_ASSIGN_OR_RETURN(bool always_empty,
+                        BuildJoinRequests(plan, &requests));
   if (always_empty) {
+    QueryResult empty;
+    empty.join_left_columns =
+        static_cast<uint32_t>(spec.left.schema->columns.size());
     if (join_rec != nullptr) join_rec->executed = true;
-    if (rec_rec != nullptr) rec_rec->executed = true;
+    if (PlanNodeTrace* rec = Rec(spec.reconstruct, trace)) {
+      rec->executed = true;
+    }
     return empty;
   }
 
@@ -643,8 +996,20 @@ Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
                    host_->scoreboard(), spec.quorum_order, host_->metrics());
   }
   if (!responses_r.ok()) return responses_r.status();
-  std::vector<ProviderResponse> responses = std::move(*responses_r);
   if (join_rec != nullptr) join_rec->executed = true;
+  return DecodeJoin(plan, *responses_r, trace);
+}
+
+Result<QueryResult> Executor::DecodeJoin(
+    const QueryPlan& plan, const std::vector<ProviderResponse>& responses,
+    QueryTrace* trace) {
+  const JoinPlanSpec& spec = plan.join;
+  PlanNodeTrace* join_rec = Rec(spec.join, trace);
+  PlanNodeTrace* rec_rec = Rec(spec.reconstruct, trace);
+
+  QueryResult empty;
+  empty.join_left_columns =
+      static_cast<uint32_t>(spec.left.schema->columns.size());
 
   struct Parsed {
     size_t provider;

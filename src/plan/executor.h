@@ -29,6 +29,16 @@ class Executor {
   /// Executes the plan; on success the QueryResult carries the trace.
   Result<QueryResult> Execute(const QueryPlan& plan);
 
+  /// Executes many independent plans, coalescing compatible fan-outs into
+  /// batch envelopes (net/batch.h): single-pipeline plans and join plans
+  /// with matching quorum settings share one round trip per chunk of
+  /// `PlanHost::batch_max_ops()` plans. Plans the fused path cannot carry
+  /// (unions, lone chunks) and plans whose fused leg fails (partial-batch
+  /// corruption, quorum loss) re-run individually through Execute's full
+  /// retry ladder. Slot i holds plan i's result.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<const QueryPlan*>& plans);
+
   /// One provider's successful response; `provider` is the client-local
   /// leg index (the share evaluation point index).
   struct ProviderResponse {
@@ -58,14 +68,39 @@ class Executor {
 
  private:
   Result<QueryResult> RunUnion(const QueryPlan& plan, QueryTrace* trace);
+  /// Fused union: all active disjunct branches travel in one batch
+  /// envelope per provider. Returns NotSupported when the plan cannot be
+  /// fused (fewer than two active branches, mismatched branch quorums) or
+  /// when an envelope round fails outright — the caller then falls back
+  /// to the classic per-branch path.
+  Result<QueryResult> RunUnionBatched(const QueryPlan& plan,
+                                      QueryTrace* trace);
   Result<QueryResult> RunPipelineWithRetry(const PipelinePlan& pipe,
                                            QueryTrace* trace);
   Result<QueryResult> RunPipeline(const PipelinePlan& pipe, size_t quorum,
                                   QueryTrace* trace);
+  /// Builds the per-provider share-space requests; returns true when the
+  /// predicates provably match nothing (no communication needed).
+  Result<bool> BuildPipelineRequests(const PipelinePlan& pipe,
+                                     std::vector<Buffer>* requests);
+  /// The zero-communication result of a provably-empty pipeline: marks
+  /// the pipeline's nodes executed with zero legs.
+  Result<QueryResult> EmptyPipeline(const PipelinePlan& pipe,
+                                    QueryTrace* trace);
+  /// Response half of RunPipeline: majority-groups the (complete, header
+  /// included) per-provider responses and evaluates the action.
+  Result<QueryResult> DecodePipeline(
+      const PipelinePlan& pipe,
+      const std::vector<ProviderResponse>& responses, QueryTrace* trace);
   Result<QueryResult> RunFetch(const PipelinePlan& pipe,
                                const std::vector<ProviderResponse>& responses,
                                QueryTrace* trace);
   Result<QueryResult> RunJoin(const QueryPlan& plan, QueryTrace* trace);
+  Result<bool> BuildJoinRequests(const QueryPlan& plan,
+                                 std::vector<Buffer>* requests);
+  Result<QueryResult> DecodeJoin(const QueryPlan& plan,
+                                 const std::vector<ProviderResponse>& responses,
+                                 QueryTrace* trace);
   Status ApplyOverlay(const PipelinePlan& pipe, QueryResult* result,
                       QueryTrace* trace);
 

@@ -41,6 +41,10 @@ class PlanHost {
   virtual size_t threshold_k() const = 0;
   virtual OpSlotMode op_mode() const = 0;
   virtual size_t pending_lazy_ops() const = 0;
+  /// Max sub-operations coalesced into one batch envelope per provider
+  /// (net/batch.h); values below 2 disable executor-side batching and
+  /// reproduce the per-op fan-outs byte-for-byte.
+  virtual size_t batch_max_ops() const = 0;
 
   // --- Transport (Executor) ---------------------------------------------
   virtual Network* network() = 0;

@@ -23,6 +23,7 @@
 #include "codec/value.h"
 #include "common/buffer.h"
 #include "common/status.h"
+#include "net/batch.h"
 #include "storage/share_table.h"
 
 namespace ssdb {
@@ -43,7 +44,12 @@ enum class MsgType : uint8_t {
   kPublicFilter = 13,
   kTableStats = 14,
   kRefreshRows = 15,
+  /// A batched envelope of complete sub-requests (net/batch.h). Nested
+  /// envelopes are rejected.
+  kBatch = 16,
 };
+static_assert(static_cast<uint8_t>(MsgType::kBatch) == kBatchMsgTag,
+              "MsgType::kBatch must match the net-layer envelope tag");
 
 /// Provider-side evaluation strategy for a query.
 enum class QueryAction : uint8_t {

@@ -45,67 +45,27 @@ void Provider::AttachMetrics(MetricsRegistry* registry,
 }
 
 Result<Buffer> Provider::Handle(Slice request) {
+  // A batch envelope counts as ONE request, mirroring the network's
+  // one-call-per-envelope accounting.
   BumpRequests();
   Decoder dec(request);
   uint8_t type = 0;
   Buffer out;
   Status st = dec.GetU8(&type);
   if (st.ok()) {
-    std::shared_lock<std::shared_mutex> read_lock(state_mu_, std::defer_lock);
-    std::unique_lock<std::shared_mutex> write_lock(state_mu_, std::defer_lock);
-    if (IsMutatingMsg(static_cast<MsgType>(type))) {
-      write_lock.lock();
+    if (static_cast<MsgType>(type) == MsgType::kBatch) {
+      st = HandleBatch(&dec, &out);
     } else {
-      read_lock.lock();
-    }
-    switch (static_cast<MsgType>(type)) {
-      case MsgType::kCreateTable:
-        st = HandleCreateTable(&dec, &out);
-        break;
-      case MsgType::kDropTable:
-        st = HandleDropTable(&dec, &out);
-        break;
-      case MsgType::kInsertRows:
-        st = HandleInsertRows(&dec, &out);
-        break;
-      case MsgType::kDeleteRows:
-        st = HandleDeleteRows(&dec, &out);
-        break;
-      case MsgType::kUpdateRows:
-        st = HandleUpdateRows(&dec, &out);
-        break;
-      case MsgType::kGetRows:
-        st = HandleGetRows(&dec, &out);
-        break;
-      case MsgType::kQuery:
-        st = HandleQuery(&dec, &out);
-        break;
-      case MsgType::kJoin:
-        st = HandleJoin(&dec, &out);
-        break;
-      case MsgType::kCreatePublicTable:
-        st = HandleCreatePublicTable(&dec, &out);
-        break;
-      case MsgType::kInsertPublicRows:
-        st = HandleInsertPublicRows(&dec, &out);
-        break;
-      case MsgType::kFetchPublicColumn:
-        st = HandleFetchPublicColumn(&dec, &out);
-        break;
-      case MsgType::kAttachShareIndex:
-        st = HandleAttachShareIndex(&dec, &out);
-        break;
-      case MsgType::kPublicFilter:
-        st = HandlePublicFilter(&dec, &out);
-        break;
-      case MsgType::kTableStats:
-        st = HandleTableStats(&dec, &out);
-        break;
-      case MsgType::kRefreshRows:
-        st = HandleRefreshRows(&dec, &out);
-        break;
-      default:
-        st = Status::InvalidArgument("provider: unknown message type");
+      std::shared_lock<std::shared_mutex> read_lock(state_mu_,
+                                                    std::defer_lock);
+      std::unique_lock<std::shared_mutex> write_lock(state_mu_,
+                                                     std::defer_lock);
+      if (IsMutatingMsg(static_cast<MsgType>(type))) {
+        write_lock.lock();
+      } else {
+        read_lock.lock();
+      }
+      st = Dispatch(static_cast<MsgType>(type), &dec, &out);
     }
   }
   if (!st.ok()) {
@@ -116,6 +76,86 @@ Result<Buffer> Provider::Handle(Slice request) {
     return err;
   }
   return out;
+}
+
+Status Provider::Dispatch(MsgType type, Decoder* dec, Buffer* out) {
+  switch (type) {
+    case MsgType::kCreateTable:
+      return HandleCreateTable(dec, out);
+    case MsgType::kDropTable:
+      return HandleDropTable(dec, out);
+    case MsgType::kInsertRows:
+      return HandleInsertRows(dec, out);
+    case MsgType::kDeleteRows:
+      return HandleDeleteRows(dec, out);
+    case MsgType::kUpdateRows:
+      return HandleUpdateRows(dec, out);
+    case MsgType::kGetRows:
+      return HandleGetRows(dec, out);
+    case MsgType::kQuery:
+      return HandleQuery(dec, out);
+    case MsgType::kJoin:
+      return HandleJoin(dec, out);
+    case MsgType::kCreatePublicTable:
+      return HandleCreatePublicTable(dec, out);
+    case MsgType::kInsertPublicRows:
+      return HandleInsertPublicRows(dec, out);
+    case MsgType::kFetchPublicColumn:
+      return HandleFetchPublicColumn(dec, out);
+    case MsgType::kAttachShareIndex:
+      return HandleAttachShareIndex(dec, out);
+    case MsgType::kPublicFilter:
+      return HandlePublicFilter(dec, out);
+    case MsgType::kTableStats:
+      return HandleTableStats(dec, out);
+    case MsgType::kRefreshRows:
+      return HandleRefreshRows(dec, out);
+    case MsgType::kBatch:
+      return Status::InvalidArgument("provider: nested batch envelope");
+  }
+  return Status::InvalidArgument("provider: unknown message type");
+}
+
+Status Provider::HandleBatch(Decoder* dec, Buffer* out) {
+  std::vector<Slice> ops;
+  SSDB_RETURN_IF_ERROR(DecodeBatchRequestPayload(dec, &ops));
+
+  // One lock acquisition covers the whole envelope, exclusive iff any
+  // sub-op mutates: a batch executes atomically with respect to other
+  // messages, in sub-op order.
+  std::shared_lock<std::shared_mutex> read_lock(state_mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> write_lock(state_mu_, std::defer_lock);
+  bool mutating = false;
+  for (const Slice& op : ops) {
+    if (!op.empty() && IsMutatingMsg(static_cast<MsgType>(op.data()[0]))) {
+      mutating = true;
+      break;
+    }
+  }
+  if (mutating) {
+    write_lock.lock();
+  } else {
+    read_lock.lock();
+  }
+
+  // Per-op errors are embedded as error sub-responses inside an OK outer
+  // envelope, so one malformed op can never mask its siblings' results.
+  std::vector<Buffer> responses(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    Decoder op_dec(ops[i]);
+    uint8_t sub_type = 0;
+    Status st = op_dec.GetU8(&sub_type);
+    if (st.ok()) {
+      st = Dispatch(static_cast<MsgType>(sub_type), &op_dec, &responses[i]);
+    }
+    if (!st.ok()) {
+      responses[i].clear();
+      EncodeErrorResponse(st, &responses[i]);
+    }
+  }
+  EncodeOkHeader(out);
+  EncodeBatchResponsePayload(responses, out);
+  return Status::OK();
 }
 
 Result<ShareTable*> Provider::FindTable(uint32_t table_id) {

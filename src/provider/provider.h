@@ -95,6 +95,14 @@ class Provider : public ProviderEndpoint {
     std::map<uint32_t, PublicColumnIndex> share_index;
   };
 
+  /// Runs one already-typed message under the caller-held state lock and
+  /// appends its full response. Rejects kBatch (no nested envelopes).
+  Status Dispatch(MsgType type, Decoder* dec, Buffer* out);
+  /// Executes a batch envelope: every sub-op runs in order under one lock
+  /// acquisition, per-op errors are embedded as error sub-responses inside
+  /// an OK outer response (net/batch.h).
+  Status HandleBatch(Decoder* dec, Buffer* out);
+
   // Dispatch helpers; each appends its full response (header + payload).
   Status HandleCreateTable(Decoder* dec, Buffer* out);
   Status HandleDropTable(Decoder* dec, Buffer* out);

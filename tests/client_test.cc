@@ -31,6 +31,34 @@ TEST(ClientCreate, Validation) {
   EXPECT_FALSE(DataSourceClient::Create(&net, {0, 1, 9}, options).ok());
 }
 
+TEST(ClientCreate, LazyZeroFlushThresholdIsRejected) {
+  // Regression: lazy_updates with lazy_flush_threshold == 0 used to be
+  // accepted and silently meant "never auto-flush", so buffered writes
+  // only reached the providers on an explicit Flush(). The combination
+  // is now rejected at Create.
+  Network net;
+  std::vector<size_t> providers;
+  for (int i = 0; i < 3; ++i) {
+    providers.push_back(
+        net.AddProvider(std::make_shared<Provider>("p" + std::to_string(i))));
+  }
+  ClientOptions options;
+  options.k = 2;
+  options.lazy_updates = true;
+  options.lazy_flush_threshold = 0;
+  auto rejected = DataSourceClient::Create(&net, providers, options);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.status().IsInvalidArgument())
+      << rejected.status().ToString();
+  // Eager mode never consults the threshold, so zero stays legal there.
+  options.lazy_updates = false;
+  EXPECT_TRUE(DataSourceClient::Create(&net, providers, options).ok());
+  // And the smallest lazy threshold (flush after every op) is legal too.
+  options.lazy_updates = true;
+  options.lazy_flush_threshold = 1;
+  EXPECT_TRUE(DataSourceClient::Create(&net, providers, options).ok());
+}
+
 TEST(ClientCreate, DistinctMasterKeysYieldDistinctShares) {
   // Two clients with different keys over the same provider fleet must
   // produce unrelated deterministic shares (no cross-tenant equality).

@@ -164,6 +164,45 @@ TEST(Aggregates, EmptyMatchSets) {
   EXPECT_TRUE(grouped->groups.empty());
 }
 
+TEST(Aggregates, MedianOverEmptySetIsAnExplicitError) {
+  // Regression: MEDIAN over zero matching rows used to report a silent 0
+  // (indistinguishable from a real median of 0). An empty result set now
+  // surfaces as NotFound, on both the provider-round path and the
+  // no-communication always-empty short circuit.
+  OutsourcedDbOptions options;
+  options.n = 3;
+  options.client.k = 2;
+  auto db = std::move(OutsourcedDatabase::Create(options)).value();
+  ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
+  ASSERT_TRUE(db->Insert("Employees",
+                         {{Value::Str("ADA"), Value::Int(100), Value::Int(1)},
+                          {Value::Str("BOB"), Value::Int(200), Value::Int(1)}})
+                  .ok());
+
+  // In-domain predicate matching nothing: providers are contacted, the
+  // reconstructed match set is empty.
+  auto med = db->Execute(Query::Select("Employees")
+                             .Where(Eq("dept", Value::Int(2)))
+                             .Aggregate(AggregateOp::kMedian, "salary"));
+  ASSERT_FALSE(med.ok());
+  EXPECT_TRUE(med.status().IsNotFound()) << med.status().ToString();
+
+  // Out-of-domain predicate: provably empty, no provider round at all —
+  // the same contract must hold.
+  auto short_circuit =
+      db->Execute(Query::Select("Employees")
+                      .Where(Eq("dept", Value::Int(500)))
+                      .Aggregate(AggregateOp::kMedian, "salary"));
+  ASSERT_FALSE(short_circuit.ok());
+  EXPECT_TRUE(short_circuit.status().IsNotFound())
+      << short_circuit.status().ToString();
+
+  // Non-empty sets keep working.
+  auto ok = db->Execute(
+      Query::Select("Employees").Aggregate(AggregateOp::kMedian, "salary"));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
 TEST(Aggregates, SumAtDomainScaleStaysExact) {
   // SUM is exact while the sum of offsets stays below 2^61-1; verify a
   // case safely under the bound with large values.

@@ -96,6 +96,44 @@ TEST(PlanNodes, ScanKindSelection) {
   EXPECT_EQ(exact_scans, 2) << disj->trace.ToString();
 }
 
+TEST(PlanNodes, ReversedRangesShortCircuitWithoutProviderContact) {
+  // Regression: BETWEEN with lo > hi must return an empty result with a
+  // well-formed zero-leg trace. Reversed string ranges used to surface
+  // the lexicographic codec's InvalidArgument as a query error; reversed
+  // ranges must match nothing instead, without contacting any provider.
+  auto db = MakeEmployeeDb(3, 2, 50);
+  const uint64_t calls_before = db->network_stats().calls;
+  uint64_t requests_before = 0;
+  for (size_t i = 0; i < db->n(); ++i) {
+    requests_before += db->provider(i).stats().requests.load();
+  }
+  const uint64_t clock_before = db->simulated_time_us();
+
+  auto num = db->Execute(
+      Query::Select("Employees")
+          .Where(Between("salary", Value::Int(90000), Value::Int(40000))));
+  ASSERT_TRUE(num.ok()) << num.status().ToString();
+  EXPECT_TRUE(num->rows.empty());
+  EXPECT_EQ(num->trace.total_provider_legs(), 0u);
+  EXPECT_FALSE(num->trace.nodes.empty());
+
+  auto lex = db->Execute(
+      Query::Select("Employees")
+          .Where(Between("name", Value::Str("ZZ"), Value::Str("AA"))));
+  ASSERT_TRUE(lex.ok()) << lex.status().ToString();
+  EXPECT_TRUE(lex->rows.empty());
+  EXPECT_EQ(lex->trace.total_provider_legs(), 0u);
+
+  // No wire traffic, no provider requests, no virtual time.
+  EXPECT_EQ(db->network_stats().calls, calls_before);
+  uint64_t requests_after = 0;
+  for (size_t i = 0; i < db->n(); ++i) {
+    requests_after += db->provider(i).stats().requests.load();
+  }
+  EXPECT_EQ(requests_after, requests_before);
+  EXPECT_EQ(db->simulated_time_us(), clock_before);
+}
+
 TEST(PlanNodes, LazyOverlayAppears) {
   auto db = MakeEmployeeDb(4, 2, 50, /*fanout_threads=*/0, /*lazy=*/true);
   // Buffer a write client-side; a row query must merge the pending log

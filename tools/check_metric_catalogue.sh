@@ -26,6 +26,25 @@ for name in $names; do
   fi
 done
 
+# Series that must exist in BOTH src/ and the catalogue: guards against
+# an instrumented layer being deleted while its docs (or tests) still
+# reference it. Extend this list when a subsystem adds a series family.
+required="
+ssdb_net_batch_envelopes_total
+ssdb_net_batch_ops_total
+ssdb_net_batch_ops_per_envelope
+"
+for name in $required; do
+  if ! echo "$names" | grep -qx "$name"; then
+    echo "check_metric_catalogue: required series '$name' is no longer charged anywhere in src/" >&2
+    missing=1
+  fi
+  if ! grep -q "$name" "$catalogue"; then
+    echo "check_metric_catalogue: required series '$name' missing from docs/PROTOCOL.md" >&2
+    missing=1
+  fi
+done
+
 if [ "$missing" -ne 0 ]; then
   echo "check_metric_catalogue: FAILED — document the series above in the Telemetry catalogue" >&2
   exit 1
