@@ -94,8 +94,7 @@ void BM_Fault_AvailabilityUnderLoss(benchmark::State& state) {
     db = it->second.get();
   } else {
     OutsourcedDbOptions options;
-    options.n = 5;
-    options.client.k = k;
+    options.topology = Topology(/*m=*/1, /*n_per=*/5, /*k=*/k);
     auto created = OutsourcedDatabase::Create(options);
     if (!created.ok()) {
       state.SkipWithError("setup failed");
@@ -139,8 +138,7 @@ void BM_Fault_StragglerHedging(benchmark::State& state) {
     db = it->second.get();
   } else {
     OutsourcedDbOptions options;
-    options.n = 5;
-    options.client.k = 2;
+    options.topology = Topology(/*m=*/1, /*n_per=*/5, /*k=*/2);
     options.client.resilience.hedge.enabled = hedged;
     options.client.resilience.hedge.threshold_us = 100000;
     auto created = OutsourcedDatabase::Create(options);
@@ -179,8 +177,7 @@ void BM_Fault_WriteAmplification(benchmark::State& state) {
   // bytes per inserted row at n=5 (the §V.A "overhead ... does result in
   // greater fault-tolerance" trade).
   OutsourcedDbOptions options;
-  options.n = 5;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/5, /*k=*/2);
   auto db = OutsourcedDatabase::Create(options);
   if (!db.ok()) {
     state.SkipWithError("setup failed");

@@ -31,8 +31,7 @@ JoinSetup* SharedJoinDb(size_t employees, size_t managers) {
   if (it != cache.end()) return it->second.get();
 
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   auto db = OutsourcedDatabase::Create(options);
   if (!db.ok()) return nullptr;
 

@@ -16,8 +16,7 @@ std::unique_ptr<OutsourcedDatabase> FreshDb(size_t n, size_t k, bool lazy,
                                             size_t rows,
                                             size_t batch_max_ops = 128) {
   OutsourcedDbOptions options;
-  options.n = n;
-  options.client.k = k;
+  options.topology = Topology(/*m=*/1, /*n_per=*/n, /*k=*/k);
   options.client.lazy_updates = lazy;
   options.client.batch_max_ops = batch_max_ops;
   auto db = OutsourcedDatabase::Create(options);

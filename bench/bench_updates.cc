@@ -18,8 +18,7 @@ namespace {
 std::unique_ptr<OutsourcedDatabase> FreshDb(bool lazy, size_t rows,
                                             size_t batch_max_ops = 128) {
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   options.client.lazy_updates = lazy;
   options.client.lazy_flush_threshold = 1'000'000;  // manual flush
   options.client.batch_max_ops = batch_max_ops;
@@ -167,8 +166,7 @@ void BM_Update_FlushCoalescing(benchmark::State& state) {
   const size_t batch_max = static_cast<size_t>(state.range(0));
   const size_t tables = 8;
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   options.client.lazy_updates = true;
   options.client.lazy_flush_threshold = 1'000'000;  // manual flush
   options.client.batch_max_ops = batch_max;

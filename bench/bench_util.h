@@ -93,8 +93,7 @@ inline OutsourcedDatabase* SharedEmployeeDb(size_t n, size_t k, size_t rows,
   if (it != cache.end()) return it->second.get();
 
   OutsourcedDbOptions options;
-  options.n = n;
-  options.client.k = k;
+  options.topology = Topology(/*m=*/1, /*n_per=*/n, /*k=*/k);
   options.fanout_threads = fanout_threads;
   auto db = OutsourcedDatabase::Create(options);
   if (!db.ok()) return nullptr;

@@ -36,8 +36,7 @@ void Check(OutsourcedDatabase* db, const char* phase) {
 
 int main() {
   OutsourcedDbOptions options;
-  options.n = 5;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/5, /*k=*/2);
   auto db_r = OutsourcedDatabase::Create(options);
   if (!db_r.ok()) return 1;
   auto& db = *db_r.value();

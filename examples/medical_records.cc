@@ -20,8 +20,7 @@ int main(int argc, char** argv) {
   if (argc > 1) num_records = static_cast<size_t>(std::atoll(argv[1]));
 
   OutsourcedDbOptions options;
-  options.n = 5;
-  options.client.k = 3;
+  options.topology = Topology(/*m=*/1, /*n_per=*/5, /*k=*/3);
   auto db_r = OutsourcedDatabase::Create(options);
   if (!db_r.ok()) {
     std::fprintf(stderr, "%s\n", db_r.status().ToString().c_str());

@@ -26,8 +26,7 @@ using namespace ssdb;  // NOLINT: example brevity
 
 int main() {
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   auto db_r = OutsourcedDatabase::Create(options);
   if (!db_r.ok()) return 1;
   auto& db = *db_r.value();

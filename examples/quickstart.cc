@@ -53,8 +53,7 @@ void Figure1() {
 int FullSystem() {
   std::printf("=== Full system: Employees outsourced to 3 providers ===\n");
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db_r = OutsourcedDatabase::Create(options);
   if (!db_r.ok()) {
     std::fprintf(stderr, "create failed: %s\n",

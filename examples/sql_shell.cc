@@ -5,7 +5,9 @@
 // plaintext never leaves this process. Prefix a SELECT with EXPLAIN to
 // render its plan without running it, or with TRACE to run it and dump
 // the per-node execution trace (provider legs, exact bytes, virtual-clock
-// charges). With no arguments a scripted demo session runs; pass
+// charges). TOPOLOGY prints the shard map: per-group row counts, wire
+// totals and each provider's scoreboard health. With no arguments a
+// scripted demo session runs; pass
 // statements as arguments to run your own, e.g.
 //
 //   ./build/examples/example_sql_shell "SELECT name, salary FROM
@@ -84,8 +86,54 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return true;
 }
 
+const char* BreakerName(ProviderScoreboard::BreakerState state) {
+  switch (state) {
+    case ProviderScoreboard::BreakerState::kOpen:
+      return "open";
+    case ProviderScoreboard::BreakerState::kHalfOpen:
+      return "half-open";
+    default:
+      return "closed";
+  }
+}
+
+/// TOPOLOGY prints the deployment shape: the shard map, every group's
+/// row share and wire totals, and each provider's scoreboard health.
+void PrintTopology(OutsourcedDatabase& db) {
+  const Topology& topo = db.topology();
+  std::printf("  %zu shard group%s x %zu providers, k=%zu, %s partitioning "
+              "on the key column\n",
+              topo.shards, topo.shards == 1 ? "" : "s",
+              topo.providers_per_shard, topo.threshold,
+              PartitionerName(topo.partitioner));
+  for (size_t s = 0; s < topo.shards; ++s) {
+    // Every provider of a group hosts the same row ids; the first one's
+    // count is the group's share of the row space.
+    const size_t first = s * topo.providers_per_shard;
+    const ChannelStats stats = db.shard_stats(s);
+    std::printf("  shard %zu: %zu rows, %llu calls, %llu B moved\n", s,
+                db.provider(first).num_rows(),
+                static_cast<unsigned long long>(stats.calls),
+                static_cast<unsigned long long>(stats.total_bytes()));
+    for (size_t j = 0; j < topo.providers_per_shard; ++j) {
+      const size_t i = first + j;
+      const auto entry = db.scoreboard().Snapshot(i);
+      std::printf("    %-10s breaker=%-9s ewma=%7.0fus samples=%llu "
+                  "failures=%llu\n",
+                  db.provider(i).name().c_str(), BreakerName(entry.state),
+                  entry.ewma_us,
+                  static_cast<unsigned long long>(entry.samples),
+                  static_cast<unsigned long long>(entry.failures));
+    }
+  }
+}
+
 bool RunStatement(OutsourcedDatabase& db, const std::string& sql) {
   std::string rest;
+  if (Trim(sql) == "TOPOLOGY") {
+    PrintTopology(db);
+    return true;
+  }
   // METRICS prints the Prometheus exposition of every ssdb_* series;
   // METRICS EXPORT <file> writes the JSON snapshot instead.
   if (Trim(sql) == "METRICS") {
@@ -176,8 +224,7 @@ bool RunStatement(OutsourcedDatabase& db, const std::string& sql) {
 
 int main(int argc, char** argv) {
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/2, /*n_per=*/4, /*k=*/2);
   auto db_r = OutsourcedDatabase::Create(options);
   if (!db_r.ok()) return 1;
   auto& db = *db_r.value();
@@ -189,13 +236,17 @@ int main(int argc, char** argv) {
   if (!db.CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) return 1;
   EmployeeGenerator gen(2026, Distribution::kUniform);
   if (!db.Insert("Employees", gen.Rows(1000)).ok()) return 1;
-  std::printf("Employees: 1000 rows outsourced to 4 providers (k=2)\n\n");
+  std::printf(
+      "Employees: 1000 rows outsourced to %zu shard groups x %zu providers "
+      "(k=%zu)\n\n",
+      db.shards(), db.providers_per_shard(), db.k());
 
   std::vector<std::string> statements;
   if (argc > 1) {
     for (int i = 1; i < argc; ++i) statements.emplace_back(argv[i]);
   } else {
     statements = {
+        "TOPOLOGY",
         "SELECT COUNT(*) FROM Employees",
         "SELECT name, salary FROM Employees WHERE salary BETWEEN 199000 AND "
         "200000",

@@ -41,6 +41,7 @@ DataSourceClient::DataSourceClient(Network* network,
     : network_(network),
       providers_(std::move(providers)),
       options_(std::move(options)),
+      topology_(options_.topology),
       ctx_(std::move(ctx)),
       op_xs_(std::move(op_xs)),
       rng_(options_.rng_seed),
@@ -70,6 +71,16 @@ DataSourceClient::DataSourceClient(Network* network,
       metrics_.GetCounter("ssdb_client_deadline_exceeded_total");
   cm_.breaker_skips = metrics_.GetCounter("ssdb_client_breaker_skips_total");
   scoreboard_.AttachTelemetry(&metrics_, &tracer_);
+  // Slice the flat provider list into shard groups: group s owns
+  // providers_[s*n_per .. (s+1)*n_per), and position p within a group is
+  // share evaluation point p.
+  shard_providers_.resize(topology_.shards);
+  for (size_t s = 0; s < topology_.shards; ++s) {
+    const size_t n_per = topology_.providers_per_shard;
+    shard_providers_[s].assign(
+        providers_.begin() + static_cast<long>(s * n_per),
+        providers_.begin() + static_cast<long>((s + 1) * n_per));
+  }
 }
 
 ClientStats DataSourceClient::stats() const {
@@ -96,10 +107,12 @@ Result<std::unique_ptr<DataSourceClient>> DataSourceClient::Create(
   if (network == nullptr) {
     return Status::InvalidArgument("client: null network");
   }
-  if (n == 0 || options.k == 0 || options.k > n) {
+  if (n == 0 ||
+      (options.topology.threshold == 0 &&
+       (options.k == 0 || options.k > n))) {
     return Status::InvalidArgument("client: require 1 <= k <= n, n > 0");
   }
-  if (n > 255) {
+  if (options.topology.shards <= 1 && n > 255) {
     return Status::InvalidArgument(
         "client: at most 255 providers (order-preserving x points)");
   }
@@ -114,13 +127,38 @@ Result<std::unique_ptr<DataSourceClient>> DataSourceClient::Create(
         "(a zero threshold would never auto-flush the write log)");
   }
 
+  // Resolve the deployment topology: explicit Topology fields win; zeros
+  // inherit the deprecated flat aliases, yielding the seed 1-shard shape.
+  Topology topo = options.topology;
+  if (topo.shards == 0) topo.shards = 1;
+  if (topo.providers_per_shard == 0) {
+    if (n % topo.shards != 0) {
+      return Status::InvalidArgument(
+          "client: provider count does not divide into topology.shards "
+          "equal groups");
+    }
+    topo.providers_per_shard = n / topo.shards;
+  }
+  if (topo.threshold == 0) topo.threshold = options.k;
+  if (topo.total_providers() != n) {
+    return Status::InvalidArgument(
+        "client: topology requires shards * providers_per_shard == "
+        "provider count");
+  }
+  SSDB_RETURN_IF_ERROR(ValidateTopology(topo));
+  options.topology = topo;
+  options.k = topo.threshold;  // deprecated alias stays in sync
+  const size_t n_per = topo.providers_per_shard;
+
   // Secret evaluation points X for the field sharing, derived from the
   // master key (the "secret information X, known only to the data
-  // source" of §III).
+  // source" of §III). One set of per-position points serves every shard
+  // group: a row's share at group position p is evaluated at X[p]
+  // regardless of which group stores it.
   const Prf xprf = Prf::Derive(Slice(options.master_key), Slice("X"));
   std::vector<Fp61> xs;
   uint64_t tweak = 0;
-  while (xs.size() < n) {
+  while (xs.size() < n_per) {
     const Fp61 cand =
         Fp61::FromCanonical(xprf.EvalUniform(xs.size(), tweak++,
                                              Fp61::kP - 1) +
@@ -128,14 +166,16 @@ Result<std::unique_ptr<DataSourceClient>> DataSourceClient::Create(
     if (std::find(xs.begin(), xs.end(), cand) == xs.end()) xs.push_back(cand);
   }
   SSDB_ASSIGN_OR_RETURN(SharingContext ctx,
-                        SharingContext::Create(n, options.k, std::move(xs)));
+                        SharingContext::Create(n_per, options.k,
+                                               std::move(xs)));
 
   // Small distinct evaluation points for the order-preserving polynomials.
   std::vector<uint32_t> pool(OrderPreservingScheme::kMaxX);
   for (uint32_t i = 0; i < pool.size(); ++i) pool[i] = i + 1;
   Rng xrng(xprf.Eval64(0xFEED, 0));
   xrng.Shuffle(&pool);
-  std::vector<uint32_t> op_xs(pool.begin(), pool.begin() + static_cast<long>(n));
+  std::vector<uint32_t> op_xs(pool.begin(),
+                              pool.begin() + static_cast<long>(n_per));
 
   return std::unique_ptr<DataSourceClient>(
       new DataSourceClient(network, std::move(providers), std::move(options),
@@ -178,12 +218,21 @@ uint64_t DataSourceClient::RowTag(uint32_t table_id, uint64_t row_id,
   return prf_tag_.EvalBytes(buf.AsSlice());
 }
 
+Result<size_t> DataSourceClient::ShardOfRow(const TableInfo& info,
+                                            const std::vector<Value>& row) {
+  if (topology_.shards <= 1) return static_cast<size_t>(0);
+  const ColumnSpec& key = info.schema.columns[0];
+  SSDB_ASSIGN_OR_RETURN(int64_t code, key.EncodeToCode(row[0]));
+  SSDB_ASSIGN_OR_RETURN(OpDomain dom, key.CodeDomain());
+  return ShardForCode(topology_.partitioner, topology_.shards, code, dom);
+}
+
 Result<std::vector<StoredRow>> DataSourceClient::BuildShareRows(
     TableInfo* info, uint64_t row_id, const std::vector<Value>& row) {
   const TableSchema& schema = info->schema;
   SSDB_RETURN_IF_ERROR(schema.ValidateRow(row));
 
-  const size_t num_providers = providers_.size();
+  const size_t num_providers = topology_.providers_per_shard;
   std::vector<StoredRow> out(num_providers);
   for (size_t p = 0; p < num_providers; ++p) {
     out[p].row_id = row_id;
@@ -227,9 +276,9 @@ Result<std::vector<StoredRow>> DataSourceClient::BuildShareRows(
 
 // --- Transport ----------------------------------------------------------------
 
-Status DataSourceClient::CallAll(const std::vector<Buffer>& requests) {
-  Network::FanOutResult fan =
-      network_->CallManyDistinct(providers_, requests);
+Status DataSourceClient::CallGroup(const std::vector<size_t>& providers,
+                                   const std::vector<Buffer>& requests) {
+  Network::FanOutResult fan = network_->CallManyDistinct(providers, requests);
   for (size_t i = 0; i < fan.responses.size(); ++i) {
     if (!fan.responses[i].ok()) return fan.responses[i].status();
     Decoder dec(Slice(*fan.responses[i]));
@@ -238,10 +287,19 @@ Status DataSourceClient::CallAll(const std::vector<Buffer>& requests) {
   return Status::OK();
 }
 
-Status DataSourceClient::CallAllSame(const Buffer& request) {
-  std::vector<Buffer> requests(providers_.size());
+Status DataSourceClient::CallAll(const std::vector<Buffer>& requests) {
+  return CallGroup(providers_, requests);
+}
+
+Status DataSourceClient::CallGroupSame(const std::vector<size_t>& providers,
+                                       const Buffer& request) {
+  std::vector<Buffer> requests(providers.size());
   for (auto& b : requests) b.Append(request.AsSlice());
-  return CallAll(requests);
+  return CallGroup(providers, requests);
+}
+
+Status DataSourceClient::CallAllSame(const Buffer& request) {
+  return CallGroupSame(providers_, request);
 }
 
 Status DataSourceClient::CallAllBatched(
@@ -249,43 +307,51 @@ Status DataSourceClient::CallAllBatched(
   if (per_provider_ops.size() != providers_.size()) {
     return Status::Internal("client: batched fan-out arity mismatch");
   }
-  const size_t total = per_provider_ops[0].size();
+  size_t total = 0;
   for (const auto& ops : per_provider_ops) {
-    if (ops.size() != total) {
-      return Status::Internal("client: uneven batched op counts");
-    }
+    total = std::max(total, ops.size());
   }
   if (total == 0) return Status::OK();
 
   const size_t max_ops = std::max<size_t>(options_.batch_max_ops, 1);
   for (size_t begin = 0; begin < total; begin += max_ops) {
-    const size_t end = std::min(total, begin + max_ops);
-    const size_t span = end - begin;
-    std::vector<Buffer> requests(providers_.size());
+    // Round r covers ops [begin, begin+max_ops) of each provider's own
+    // list; providers with nothing left sit the round out (sharded writes
+    // produce ragged lists — all shard groups advance in parallel).
+    std::vector<size_t> group;
+    std::vector<Buffer> requests;
+    std::vector<size_t> spans;
     for (size_t p = 0; p < providers_.size(); ++p) {
+      const std::vector<Buffer>& ops = per_provider_ops[p];
+      if (begin >= ops.size()) continue;
+      const size_t end = std::min(ops.size(), begin + max_ops);
+      const size_t span = end - begin;
+      Buffer req;
       if (span == 1) {
         // A lone op travels unwrapped: identical bytes to a plain call.
-        requests[p].Append(per_provider_ops[p][begin].AsSlice());
+        req.Append(ops[begin].AsSlice());
       } else {
-        std::vector<Slice> ops;
-        ops.reserve(span);
+        std::vector<Slice> slices;
+        slices.reserve(span);
         for (size_t i = begin; i < end; ++i) {
-          ops.push_back(per_provider_ops[p][i].AsSlice());
+          slices.push_back(ops[i].AsSlice());
         }
-        EncodeBatchRequest(ops, &requests[p]);
+        EncodeBatchRequest(slices, &req);
         ChargeBatchEnvelope(&metrics_, span);
       }
+      group.push_back(providers_[p]);
+      requests.push_back(std::move(req));
+      spans.push_back(span);
     }
-    Network::FanOutResult fan =
-        network_->CallManyDistinct(providers_, requests);
+    Network::FanOutResult fan = network_->CallManyDistinct(group, requests);
     for (size_t i = 0; i < fan.responses.size(); ++i) {
       if (!fan.responses[i].ok()) return fan.responses[i].status();
       Decoder dec(Slice(*fan.responses[i]));
       SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&dec));
-      if (span == 1) continue;
+      if (spans[i] == 1) continue;
       std::vector<Slice> subs;
       SSDB_RETURN_IF_ERROR(DecodeBatchResponsePayload(&dec, &subs));
-      if (subs.size() != span) {
+      if (subs.size() != spans[i]) {
         return Status::Corruption("client: batch response arity mismatch");
       }
       for (const Slice& sub : subs) {
@@ -373,26 +439,35 @@ Status DataSourceClient::Insert(const std::string& table,
       op.table = table;
       op.row_id = info.next_row_id++;
       op.row = row;
+      SSDB_ASSIGN_OR_RETURN(op.shard, ShardOfRow(info, row));
       SSDB_RETURN_IF_ERROR(AppendLazy(std::move(op)));
     }
     return Status::OK();
   }
 
-  // Eager: one batched insert message per provider.
+  // Eager: one batched insert message per provider; a row's shares go
+  // only to its owning shard group, all groups in one fan-out round.
+  const size_t n_per = topology_.providers_per_shard;
   std::vector<std::vector<StoredRow>> per_provider(providers_.size());
   for (const auto& row : rows) {
     const uint64_t row_id = info.next_row_id++;
+    SSDB_ASSIGN_OR_RETURN(size_t shard, ShardOfRow(info, row));
     SSDB_ASSIGN_OR_RETURN(std::vector<StoredRow> shares,
                           BuildShareRows(&info, row_id, row));
-    for (size_t p = 0; p < providers_.size(); ++p) {
-      per_provider[p].push_back(std::move(shares[p]));
+    for (size_t p = 0; p < n_per; ++p) {
+      per_provider[shard * n_per + p].push_back(std::move(shares[p]));
     }
   }
-  std::vector<Buffer> requests(providers_.size());
-  for (size_t p = 0; p < providers_.size(); ++p) {
-    EncodeInsertRows(info.id, info.layout, per_provider[p], &requests[p]);
+  std::vector<size_t> group;
+  std::vector<Buffer> requests;
+  for (size_t g = 0; g < providers_.size(); ++g) {
+    if (topology_.shards > 1 && per_provider[g].empty()) continue;
+    Buffer req;
+    EncodeInsertRows(info.id, info.layout, per_provider[g], &req);
+    group.push_back(providers_[g]);
+    requests.push_back(std::move(req));
   }
-  return CallAll(requests);
+  return CallGroup(group, requests);
 }
 
 Status DataSourceClient::BulkLoad(
@@ -404,27 +479,39 @@ Status DataSourceClient::BulkLoad(
   TableInfo& info = it->second;
   if (rows.empty()) return Status::OK();
 
-  // Share every row up front (the initial-outsourcing cost is CPU-bound
-  // client side), then ship kInsertRows chunks of at most batch_max_ops
-  // rows each; CallAllBatched coalesces the chunks into envelope rounds.
+  // Shard assignment first (row ids run in input order), then each
+  // group's run is cut into kInsertRows chunks of at most batch_max_ops
+  // rows; CallAllBatched ships round r of every shard group in one
+  // parallel envelope round. Sharing is CPU-bound client side.
   const size_t chunk_rows = std::max<size_t>(options_.batch_max_ops, 1);
+  const size_t n_per = topology_.providers_per_shard;
+  std::vector<std::vector<std::pair<uint64_t, size_t>>> shard_rows(
+      topology_.shards);  // (row id, input index) per owning group
+  for (size_t r = 0; r < rows.size(); ++r) {
+    SSDB_RETURN_IF_ERROR(info.schema.ValidateRow(rows[r]));
+    const uint64_t row_id = info.next_row_id++;
+    SSDB_ASSIGN_OR_RETURN(size_t shard, ShardOfRow(info, rows[r]));
+    shard_rows[shard].emplace_back(row_id, r);
+  }
   std::vector<std::vector<Buffer>> per_provider_ops(providers_.size());
-  for (size_t begin = 0; begin < rows.size(); begin += chunk_rows) {
-    const size_t end = std::min(rows.size(), begin + chunk_rows);
-    std::vector<std::vector<StoredRow>> per_provider(providers_.size());
-    for (size_t r = begin; r < end; ++r) {
-      SSDB_RETURN_IF_ERROR(info.schema.ValidateRow(rows[r]));
-      const uint64_t row_id = info.next_row_id++;
-      SSDB_ASSIGN_OR_RETURN(std::vector<StoredRow> shares,
-                            BuildShareRows(&info, row_id, rows[r]));
-      for (size_t p = 0; p < providers_.size(); ++p) {
-        per_provider[p].push_back(std::move(shares[p]));
+  for (size_t s = 0; s < topology_.shards; ++s) {
+    const auto& assigned = shard_rows[s];
+    for (size_t begin = 0; begin < assigned.size(); begin += chunk_rows) {
+      const size_t end = std::min(assigned.size(), begin + chunk_rows);
+      std::vector<std::vector<StoredRow>> per_pos(n_per);
+      for (size_t i = begin; i < end; ++i) {
+        SSDB_ASSIGN_OR_RETURN(
+            std::vector<StoredRow> shares,
+            BuildShareRows(&info, assigned[i].first, rows[assigned[i].second]));
+        for (size_t p = 0; p < n_per; ++p) {
+          per_pos[p].push_back(std::move(shares[p]));
+        }
       }
-    }
-    for (size_t p = 0; p < providers_.size(); ++p) {
-      Buffer msg;
-      EncodeInsertRows(info.id, info.layout, per_provider[p], &msg);
-      per_provider_ops[p].push_back(std::move(msg));
+      for (size_t p = 0; p < n_per; ++p) {
+        Buffer msg;
+        EncodeInsertRows(info.id, info.layout, per_pos[p], &msg);
+        per_provider_ops[s * n_per + p].push_back(std::move(msg));
+      }
     }
   }
   return CallAllBatched(per_provider_ops);
@@ -810,6 +897,13 @@ Result<uint64_t> DataSourceClient::Update(const std::string& table,
     for (size_t i = 0; i < matched.rows.size(); ++i) {
       std::vector<Value> new_row = matched.rows[i];
       new_row[set_idx] = value;
+      SSDB_ASSIGN_OR_RETURN(size_t shard, ShardOfRow(info, matched.rows[i]));
+      SSDB_ASSIGN_OR_RETURN(size_t new_shard, ShardOfRow(info, new_row));
+      if (new_shard != shard) {
+        return Status::NotSupported(
+            "client: UPDATE would move the partition key to another shard "
+            "group; DELETE and re-INSERT instead");
+      }
       // Coalesce with a pending op on the same row if present.
       bool coalesced = false;
       for (LazyOp& op : lazy_log_) {
@@ -826,6 +920,7 @@ Result<uint64_t> DataSourceClient::Update(const std::string& table,
         op.table = table;
         op.row_id = matched.row_ids[i];
         op.row = std::move(new_row);
+        op.shard = shard;
         SSDB_RETURN_IF_ERROR(AppendLazy(std::move(op)));
       }
       ++updated;
@@ -833,25 +928,40 @@ Result<uint64_t> DataSourceClient::Update(const std::string& table,
     return updated;
   }
 
-  // Eager reshare: fresh polynomials for every updated row (§V.C).
+  // Eager reshare: fresh polynomials for every updated row (§V.C). The
+  // reshare stays on the row's owning shard group; updates that would
+  // move the partition key across groups are rejected.
+  const size_t n_per = topology_.providers_per_shard;
   std::vector<std::vector<StoredRow>> per_provider(providers_.size());
   for (size_t i = 0; i < matched.rows.size(); ++i) {
     std::vector<Value> new_row = matched.rows[i];
     new_row[set_idx] = value;
+    SSDB_ASSIGN_OR_RETURN(size_t shard, ShardOfRow(info, matched.rows[i]));
+    SSDB_ASSIGN_OR_RETURN(size_t new_shard, ShardOfRow(info, new_row));
+    if (new_shard != shard) {
+      return Status::NotSupported(
+          "client: UPDATE would move the partition key to another shard "
+          "group; DELETE and re-INSERT instead");
+    }
     SSDB_ASSIGN_OR_RETURN(
         std::vector<StoredRow> shares,
         BuildShareRows(&info, matched.row_ids[i], new_row));
-    for (size_t p = 0; p < providers_.size(); ++p) {
-      per_provider[p].push_back(std::move(shares[p]));
+    for (size_t p = 0; p < n_per; ++p) {
+      per_provider[shard * n_per + p].push_back(std::move(shares[p]));
     }
     ++updated;
   }
   if (updated == 0) return updated;
-  std::vector<Buffer> requests(providers_.size());
-  for (size_t p = 0; p < providers_.size(); ++p) {
-    EncodeUpdateRows(info.id, info.layout, per_provider[p], &requests[p]);
+  std::vector<size_t> group;
+  std::vector<Buffer> requests;
+  for (size_t g = 0; g < providers_.size(); ++g) {
+    if (topology_.shards > 1 && per_provider[g].empty()) continue;
+    Buffer req;
+    EncodeUpdateRows(info.id, info.layout, per_provider[g], &req);
+    group.push_back(providers_[g]);
+    requests.push_back(std::move(req));
   }
-  SSDB_RETURN_IF_ERROR(CallAll(requests));
+  SSDB_RETURN_IF_ERROR(CallGroup(group, requests));
   return updated;
 }
 
@@ -869,7 +979,8 @@ Result<uint64_t> DataSourceClient::Delete(const std::string& table,
   if (matched.row_ids.empty()) return static_cast<uint64_t>(0);
 
   if (options_.lazy_updates) {
-    for (uint64_t id : matched.row_ids) {
+    for (size_t i = 0; i < matched.row_ids.size(); ++i) {
+      const uint64_t id = matched.row_ids[i];
       // A pending insert/update of this row is simply dropped.
       bool was_pending_insert = false;
       for (auto op_it = lazy_log_.begin(); op_it != lazy_log_.end();) {
@@ -885,15 +996,42 @@ Result<uint64_t> DataSourceClient::Delete(const std::string& table,
         op.kind = LazyOp::Kind::kDelete;
         op.table = table;
         op.row_id = id;
+        SSDB_ASSIGN_OR_RETURN(op.shard, ShardOfRow(info, matched.rows[i]));
         SSDB_RETURN_IF_ERROR(AppendLazy(std::move(op)));
       }
     }
     return static_cast<uint64_t>(matched.row_ids.size());
   }
 
-  Buffer req;
-  EncodeDeleteRows(info.id, matched.row_ids, &req);
-  SSDB_RETURN_IF_ERROR(CallAllSame(req));
+  if (topology_.shards <= 1) {
+    Buffer req;
+    EncodeDeleteRows(info.id, matched.row_ids, &req);
+    SSDB_RETURN_IF_ERROR(CallAllSame(req));
+    return static_cast<uint64_t>(matched.row_ids.size());
+  }
+
+  // Sharded delete: each group is told only about the row ids it stores
+  // (a provider rejects deletes of ids it never held), one fan-out round
+  // across all affected groups.
+  std::vector<std::vector<uint64_t>> shard_ids(topology_.shards);
+  for (size_t i = 0; i < matched.row_ids.size(); ++i) {
+    SSDB_ASSIGN_OR_RETURN(size_t shard, ShardOfRow(info, matched.rows[i]));
+    shard_ids[shard].push_back(matched.row_ids[i]);
+  }
+  std::vector<size_t> group;
+  std::vector<Buffer> requests;
+  for (size_t s = 0; s < topology_.shards; ++s) {
+    if (shard_ids[s].empty()) continue;
+    Buffer req;
+    EncodeDeleteRows(info.id, shard_ids[s], &req);
+    for (size_t p : shard_providers_[s]) {
+      group.push_back(p);
+      Buffer copy;
+      copy.Append(req.AsSlice());
+      requests.push_back(std::move(copy));
+    }
+  }
+  SSDB_RETURN_IF_ERROR(CallGroup(group, requests));
   return static_cast<uint64_t>(matched.row_ids.size());
 }
 
@@ -909,29 +1047,32 @@ Status DataSourceClient::Flush() {
   if (lazy_log_.empty()) return Status::OK();
   cm_.lazy_flushes->Inc();
 
-  // Coalesce per (table, row_id), preserving op order.
+  // Coalesce per (table, row_id), preserving op order. A row's shard is
+  // fixed at append time and survives coalescing (cross-shard partition
+  // key moves are rejected at Update).
   struct Final {
     LazyOp::Kind kind;
     std::vector<Value> row;
+    size_t shard = 0;
   };
   std::map<std::pair<std::string, uint64_t>, Final> final_ops;
   for (const LazyOp& op : lazy_log_) {
     auto key = std::make_pair(op.table, op.row_id);
     auto fit = final_ops.find(key);
     if (fit == final_ops.end()) {
-      final_ops.emplace(key, Final{op.kind, op.row});
+      final_ops.emplace(key, Final{op.kind, op.row, op.shard});
       continue;
     }
     switch (op.kind) {
       case LazyOp::Kind::kInsert:
-        fit->second = Final{LazyOp::Kind::kInsert, op.row};
+        fit->second = Final{LazyOp::Kind::kInsert, op.row, op.shard};
         break;
       case LazyOp::Kind::kUpdate:
         // insert+update stays an insert with the newer payload.
         fit->second.row = op.row;
         break;
       case LazyOp::Kind::kDelete:
-        fit->second = Final{LazyOp::Kind::kDelete, {}};
+        fit->second = Final{LazyOp::Kind::kDelete, {}, fit->second.shard};
         break;
     }
   }
@@ -941,11 +1082,22 @@ Status DataSourceClient::Flush() {
   // shipped as ONE envelope round per provider instead of up to three
   // sequential rounds per table.
   const bool coalesce = options_.batch_max_ops >= 2;
+  const size_t n_per = topology_.providers_per_shard;
+  const bool sharded = topology_.shards > 1;
+  // With shard groups, a provider's slot holds only its group's rows;
+  // providers with nothing to do for a message kind are skipped entirely.
+  auto any_rows = [](const std::vector<std::vector<StoredRow>>& v) {
+    for (const auto& rows : v) {
+      if (!rows.empty()) return true;
+    }
+    return false;
+  };
   std::vector<std::vector<Buffer>> flush_ops(providers_.size());
   for (auto& [table_name, info] : tables_) {
     std::vector<std::vector<StoredRow>> inserts(providers_.size());
     std::vector<std::vector<StoredRow>> updates(providers_.size());
-    std::vector<uint64_t> deletes;
+    std::vector<std::vector<uint64_t>> deletes(topology_.shards);
+    bool any_deletes = false;
     for (auto& [key, final_op] : final_ops) {
       if (key.first != table_name) continue;
       switch (final_op.kind) {
@@ -953,8 +1105,9 @@ Status DataSourceClient::Flush() {
           SSDB_ASSIGN_OR_RETURN(
               std::vector<StoredRow> shares,
               BuildShareRows(&info, key.second, final_op.row));
-          for (size_t p = 0; p < providers_.size(); ++p) {
-            inserts[p].push_back(std::move(shares[p]));
+          for (size_t p = 0; p < n_per; ++p) {
+            inserts[final_op.shard * n_per + p].push_back(
+                std::move(shares[p]));
           }
           break;
         }
@@ -962,58 +1115,81 @@ Status DataSourceClient::Flush() {
           SSDB_ASSIGN_OR_RETURN(
               std::vector<StoredRow> shares,
               BuildShareRows(&info, key.second, final_op.row));
-          for (size_t p = 0; p < providers_.size(); ++p) {
-            updates[p].push_back(std::move(shares[p]));
+          for (size_t p = 0; p < n_per; ++p) {
+            updates[final_op.shard * n_per + p].push_back(
+                std::move(shares[p]));
           }
           break;
         }
         case LazyOp::Kind::kDelete:
-          deletes.push_back(key.second);
+          deletes[final_op.shard].push_back(key.second);
+          any_deletes = true;
           break;
       }
     }
-    if (!inserts[0].empty()) {
+    if (any_rows(inserts)) {
       if (coalesce) {
-        for (size_t p = 0; p < providers_.size(); ++p) {
+        for (size_t g = 0; g < providers_.size(); ++g) {
+          if (sharded && inserts[g].empty()) continue;
           Buffer msg;
-          EncodeInsertRows(info.id, info.layout, inserts[p], &msg);
-          flush_ops[p].push_back(std::move(msg));
+          EncodeInsertRows(info.id, info.layout, inserts[g], &msg);
+          flush_ops[g].push_back(std::move(msg));
         }
       } else {
-        std::vector<Buffer> reqs(providers_.size());
-        for (size_t p = 0; p < providers_.size(); ++p) {
-          EncodeInsertRows(info.id, info.layout, inserts[p], &reqs[p]);
+        std::vector<size_t> group;
+        std::vector<Buffer> reqs;
+        for (size_t g = 0; g < providers_.size(); ++g) {
+          if (sharded && inserts[g].empty()) continue;
+          Buffer req;
+          EncodeInsertRows(info.id, info.layout, inserts[g], &req);
+          group.push_back(providers_[g]);
+          reqs.push_back(std::move(req));
         }
-        SSDB_RETURN_IF_ERROR(CallAll(reqs));
+        SSDB_RETURN_IF_ERROR(CallGroup(group, reqs));
       }
     }
-    if (!updates[0].empty()) {
+    if (any_rows(updates)) {
       if (coalesce) {
-        for (size_t p = 0; p < providers_.size(); ++p) {
+        for (size_t g = 0; g < providers_.size(); ++g) {
+          if (sharded && updates[g].empty()) continue;
           Buffer msg;
-          EncodeUpdateRows(info.id, info.layout, updates[p], &msg);
-          flush_ops[p].push_back(std::move(msg));
+          EncodeUpdateRows(info.id, info.layout, updates[g], &msg);
+          flush_ops[g].push_back(std::move(msg));
         }
       } else {
-        std::vector<Buffer> reqs(providers_.size());
-        for (size_t p = 0; p < providers_.size(); ++p) {
-          EncodeUpdateRows(info.id, info.layout, updates[p], &reqs[p]);
+        std::vector<size_t> group;
+        std::vector<Buffer> reqs;
+        for (size_t g = 0; g < providers_.size(); ++g) {
+          if (sharded && updates[g].empty()) continue;
+          Buffer req;
+          EncodeUpdateRows(info.id, info.layout, updates[g], &req);
+          group.push_back(providers_[g]);
+          reqs.push_back(std::move(req));
         }
-        SSDB_RETURN_IF_ERROR(CallAll(reqs));
+        SSDB_RETURN_IF_ERROR(CallGroup(group, reqs));
       }
     }
-    if (!deletes.empty()) {
-      Buffer req;
-      EncodeDeleteRows(info.id, deletes, &req);
-      if (coalesce) {
-        for (size_t p = 0; p < providers_.size(); ++p) {
-          Buffer msg;
-          msg.Append(req.AsSlice());
-          flush_ops[p].push_back(std::move(msg));
+    if (any_deletes) {
+      std::vector<size_t> group;
+      std::vector<Buffer> reqs;
+      for (size_t s = 0; s < topology_.shards; ++s) {
+        if (deletes[s].empty()) continue;
+        Buffer req;
+        EncodeDeleteRows(info.id, deletes[s], &req);
+        for (size_t p = 0; p < n_per; ++p) {
+          if (coalesce) {
+            Buffer msg;
+            msg.Append(req.AsSlice());
+            flush_ops[s * n_per + p].push_back(std::move(msg));
+          } else {
+            group.push_back(shard_providers_[s][p]);
+            Buffer copy;
+            copy.Append(req.AsSlice());
+            reqs.push_back(std::move(copy));
+          }
         }
-      } else {
-        SSDB_RETURN_IF_ERROR(CallAllSame(req));
       }
+      if (!coalesce) SSDB_RETURN_IF_ERROR(CallGroup(group, reqs));
     }
   }
   if (coalesce) SSDB_RETURN_IF_ERROR(CallAllBatched(flush_ops));
@@ -1039,50 +1215,55 @@ Status DataSourceClient::RefreshTable(const std::string& table) {
   EncodeTableStats(info.id, &probe);
   SSDB_RETURN_IF_ERROR(CallAllSame(probe));
 
-  // Fetch the row id set from a read quorum.
+  // Fetch each shard group's row id set from that group's read quorum,
+  // then ship fresh zero-shares per (row, column). Every provider of a
+  // group must apply its deltas or the group's sharing desynchronizes,
+  // so within a group this is the seed's n-of-n refresh.
+  const size_t n_per = topology_.providers_per_shard;
   QueryRequest idq;
   idq.table_id = info.id;
   idq.action = QueryAction::kFetchRowIds;
   Buffer id_request;
   EncodeQuery(idq, &id_request);
-  std::vector<Buffer> requests(providers_.size());
-  for (auto& b : requests) b.Append(id_request.AsSlice());
-  SSDB_ASSIGN_OR_RETURN(
-      std::vector<Executor::ProviderResponse> responses,
-      Executor::CallQuorum(network_, providers_, requests, options_.k,
-                           /*minimum=*/0, /*trace=*/nullptr,
-                           options_.resilience, &scoreboard_,
-                           /*order=*/{}, &metrics_));
-  std::vector<uint64_t> row_ids;
-  Status last = Status::Unavailable("client: no usable id response");
-  for (const auto& r : responses) {
-    Decoder dec(Slice(r.bytes));
-    last = DecodeResponseHeader(&dec);
-    if (!last.ok()) continue;
-    last = DecodeRowIdsResponse(&dec, &row_ids);
-    if (last.ok()) break;
-  }
-  SSDB_RETURN_IF_ERROR(last);
-
-  // Fresh zero-shares per (row, column); every provider must apply them
-  // or the sharing desynchronizes, so this is an n-of-n operation.
   std::vector<std::vector<RefreshDelta>> per_provider(providers_.size());
-  for (auto& v : per_provider) v.reserve(row_ids.size());
-  for (uint64_t row_id : row_ids) {
-    for (size_t p = 0; p < providers_.size(); ++p) {
-      per_provider[p].push_back(RefreshDelta{row_id, {}});
-      per_provider[p].back().column_deltas.resize(info.schema.columns.size());
+  for (size_t s = 0; s < topology_.shards; ++s) {
+    std::vector<Buffer> requests(n_per);
+    for (auto& b : requests) b.Append(id_request.AsSlice());
+    SSDB_ASSIGN_OR_RETURN(
+        std::vector<Executor::ProviderResponse> responses,
+        Executor::CallQuorum(network_, shard_providers_[s], requests,
+                             options_.k, /*minimum=*/0, /*trace=*/nullptr,
+                             options_.resilience, &scoreboard_,
+                             /*order=*/{}, &metrics_));
+    std::vector<uint64_t> row_ids;
+    Status last = Status::Unavailable("client: no usable id response");
+    for (const auto& r : responses) {
+      Decoder dec(Slice(r.bytes));
+      last = DecodeResponseHeader(&dec);
+      if (!last.ok()) continue;
+      last = DecodeRowIdsResponse(&dec, &row_ids);
+      if (last.ok()) break;
     }
-    for (size_t c = 0; c < info.schema.columns.size(); ++c) {
-      const std::vector<Fp61> zeros = ctx_.ZeroShares(&rng_);
-      for (size_t p = 0; p < providers_.size(); ++p) {
-        per_provider[p].back().column_deltas[c] = zeros[p].value();
+    SSDB_RETURN_IF_ERROR(last);
+
+    for (uint64_t row_id : row_ids) {
+      for (size_t p = 0; p < n_per; ++p) {
+        per_provider[s * n_per + p].push_back(RefreshDelta{row_id, {}});
+        per_provider[s * n_per + p].back().column_deltas.resize(
+            info.schema.columns.size());
+      }
+      for (size_t c = 0; c < info.schema.columns.size(); ++c) {
+        const std::vector<Fp61> zeros = ctx_.ZeroShares(&rng_);
+        for (size_t p = 0; p < n_per; ++p) {
+          per_provider[s * n_per + p].back().column_deltas[c] =
+              zeros[p].value();
+        }
       }
     }
   }
   std::vector<Buffer> refresh_requests(providers_.size());
-  for (size_t p = 0; p < providers_.size(); ++p) {
-    EncodeRefreshRows(info.id, per_provider[p], &refresh_requests[p]);
+  for (size_t g = 0; g < providers_.size(); ++g) {
+    EncodeRefreshRows(info.id, per_provider[g], &refresh_requests[g]);
   }
   return CallAll(refresh_requests);
 }
@@ -1250,6 +1431,9 @@ Status DataSourceClient::SubscribePublicColumn(const std::string& name,
   // attach it to every provider.
   SSDB_ASSIGN_OR_RETURN(OpDomain dom, spec.CodeDomain());
   SSDB_ASSIGN_OR_RETURN(OrderPreservingScheme * scheme, GetOpScheme(spec));
+  // Public tables replicate to every provider; a provider's index uses
+  // its within-group evaluation position (p mod providers_per_shard).
+  const size_t n_per = topology_.providers_per_shard;
   std::vector<Buffer> requests(providers_.size());
   std::vector<std::vector<ShareIndexEntry>> entries(providers_.size());
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -1260,9 +1444,9 @@ Status DataSourceClient::SubscribePublicColumn(const std::string& name,
       ShareIndexEntry e;
       e.row_id = row_ids[i];
       e.det_share = ctx_.DeterministicShareFor(prf_det_, spec.DomainTag(),
-                                               Fp61::FromU64(w), p)
+                                               Fp61::FromU64(w), p % n_per)
                         .value();
-      SSDB_ASSIGN_OR_RETURN(e.op_share, scheme->Share(code, p));
+      SSDB_ASSIGN_OR_RETURN(e.op_share, scheme->Share(code, p % n_per));
       entries[p].push_back(e);
     }
   }
@@ -1303,10 +1487,11 @@ Result<QueryResult> DataSourceClient::QueryPublic(const std::string& name,
   bool always_empty = false;
 
   Status last = Status::Unavailable("client: no provider reachable");
+  const size_t n_per = topology_.providers_per_shard;
   for (size_t p = 0; p < providers_.size(); ++p) {
     SSDB_ASSIGN_OR_RETURN(
         SharePredicate sp,
-        RewriteForProvider(view, predicate, p, &always_empty));
+        RewriteForProvider(view, predicate, p % n_per, &always_empty));
     if (always_empty) return QueryResult();
     Buffer req;
     EncodePublicFilter(info.id, static_cast<uint32_t>(col_idx), sp, &req);

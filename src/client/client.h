@@ -29,6 +29,7 @@
 #include "client/query.h"
 #include "codec/schema.h"
 #include "common/rng.h"
+#include "core/topology.h"
 #include "crypto/prf.h"
 #include "net/network.h"
 #include "plan/host.h"
@@ -40,8 +41,14 @@ namespace ssdb {
 
 /// Configuration of a data source.
 struct ClientOptions {
-  /// Reconstruction threshold k (1 < k <= n). Range-capable columns
-  /// additionally require k >= 2.
+  /// Deployment shape: shard groups, providers per group, threshold and
+  /// partitioner (core/topology.h). Zero-valued fields derive from the
+  /// provider list and the deprecated `k` alias below, yielding the
+  /// seed system's 1-shard topology.
+  Topology topology;
+  /// Deprecated alias for `topology.threshold`: reconstruction threshold
+  /// k (1 <= k <= providers_per_shard). Range-capable columns
+  /// additionally require k >= 2. Ignored when topology.threshold != 0.
   size_t k = 2;
   /// Master secret; all PRF keys and the secret points X derive from it.
   std::string master_key = "ssdb-demo-master-key";
@@ -211,6 +218,10 @@ class DataSourceClient : private PlanHost {
 
   size_t n() const { return providers_.size(); }
   size_t k() const { return options_.k; }
+  /// The resolved deployment shape (fields never zero after Create).
+  const Topology& topology() const { return topology_; }
+  size_t shards() const { return topology_.shards; }
+  size_t providers_per_shard() const { return topology_.providers_per_shard; }
   /// Snapshot of the client-side counters, read from the registry.
   ClientStats stats() const;
   /// The deployment's metrics registry, owned by this client; the
@@ -247,6 +258,7 @@ class DataSourceClient : private PlanHost {
     std::string table;
     uint64_t row_id = 0;
     std::vector<Value> row;  // kInsert / kUpdate
+    size_t shard = 0;        ///< Owning shard group, fixed at append time.
   };
 
   DataSourceClient(Network* network, std::vector<size_t> providers,
@@ -255,21 +267,36 @@ class DataSourceClient : private PlanHost {
 
   // Share construction.
   Result<OrderPreservingScheme*> GetOpScheme(const ColumnSpec& column);
+  /// Builds the providers_per_shard share rows of `row` for its owning
+  /// shard group (position p in the result goes to the group's p-th
+  /// provider). Share bytes depend only on the position, never the shard.
   Result<std::vector<StoredRow>> BuildShareRows(TableInfo* info,
                                                 uint64_t row_id,
                                                 const std::vector<Value>& row);
   uint64_t RowTag(uint32_t table_id, uint64_t row_id,
                   const std::vector<int64_t>& codes) const;
+  /// The shard group owning `row` (partition key = first schema column).
+  Result<size_t> ShardOfRow(const TableInfo& info,
+                            const std::vector<Value>& row);
 
   // Transport (writes / management; reads go through Executor::CallQuorum).
   Status CallAll(const std::vector<Buffer>& requests);
   Status CallAllSame(const Buffer& request);
+  /// One parallel fan-out round over an arbitrary provider subset;
+  /// requests[i] goes to network index `providers[i]`. CallAll is the
+  /// all-providers case.
+  Status CallGroup(const std::vector<size_t>& providers,
+                   const std::vector<Buffer>& requests);
+  Status CallGroupSame(const std::vector<size_t>& providers,
+                       const Buffer& request);
   /// Sends `per_provider_ops[p]` to provider p, coalescing multiple
   /// messages into batch envelopes of at most batch_max_ops sub-ops (one
-  /// round trip per envelope). Every provider must carry the same op
-  /// count; a single op per provider is sent unwrapped (identical bytes
-  /// to CallAll). Fails on the first transport, envelope or sub-response
-  /// error.
+  /// round trip per envelope). Op counts may differ per provider (sharded
+  /// writes): round r carries ops [r*max, (r+1)*max) of each provider's
+  /// own list and providers with nothing left sit the round out. A
+  /// provider whose round slice is a single op receives it unwrapped
+  /// (identical bytes to CallAll). Fails on the first transport, envelope
+  /// or sub-response error.
   Status CallAllBatched(
       const std::vector<std::vector<Buffer>>& per_provider_ops);
 
@@ -280,12 +307,20 @@ class DataSourceClient : private PlanHost {
 
   // --- PlanHost (the plan layer's view of this client) -------------------
   Result<PlanTable> ResolveTable(const std::string& name) override;
-  size_t num_providers() const override { return providers_.size(); }
+  size_t num_providers() const override {
+    return topology_.providers_per_shard;
+  }
   size_t threshold_k() const override { return options_.k; }
+  size_t num_shards() const override { return topology_.shards; }
+  Partitioner partitioner() const override { return topology_.partitioner; }
   OpSlotMode op_mode() const override { return options_.op_mode; }
   size_t batch_max_ops() const override { return options_.batch_max_ops; }
   const std::vector<size_t>& provider_indices() const override {
     return providers_;
+  }
+  const std::vector<size_t>& shard_provider_indices(
+      size_t shard) const override {
+    return shard_providers_[shard];
   }
   /// Query rewriting (§V.A): plaintext predicate -> provider i's share
   /// space.
@@ -320,6 +355,12 @@ class DataSourceClient : private PlanHost {
   Network* network_;
   std::vector<size_t> providers_;
   ClientOptions options_;
+  /// Resolved topology (all fields concrete; shards * providers_per_shard
+  /// == providers_.size()).
+  Topology topology_;
+  /// providers_ sliced into shard groups: shard_providers_[s][p] is the
+  /// network index of group s's p-th provider (= share evaluation point p).
+  std::vector<std::vector<size_t>> shard_providers_;
   SharingContext ctx_;
   std::vector<uint32_t> op_xs_;
   Rng rng_;

@@ -145,6 +145,9 @@ struct GroupResult {
   int64_t sum = 0;
   uint64_t count = 0;
   double average = 0.0;
+  /// Smallest row id in the group (providers order groups by it; the
+  /// shard-merge path uses it to keep the merged order deterministic).
+  uint64_t rep_row_id = 0;
 };
 
 /// \brief Result of a query: reconstructed plaintext rows and/or an

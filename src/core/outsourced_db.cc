@@ -4,25 +4,66 @@ namespace ssdb {
 
 Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
     OutsourcedDbOptions options) {
-  if (options.n == 0) {
+  // Resolve the deployment shape: an explicit Topology (on these options
+  // or on the client options) wins; the deprecated flat `n` alias yields
+  // the seed 1-shard layout. Full validation happens once, in
+  // DataSourceClient::Create.
+  Topology topo = options.topology;
+  const bool db_set = topo.shards != 1 || topo.providers_per_shard != 0 ||
+                      topo.threshold != 0 ||
+                      topo.partitioner != Partitioner::kHash;
+  if (!db_set) topo = options.client.topology;
+  if (topo.shards == 0) topo.shards = 1;
+  if (topo.shards > 1 && topo.providers_per_shard == 0) {
+    if (options.n % topo.shards != 0) {
+      return Status::InvalidArgument(
+          "OutsourcedDatabase: n does not divide into topology.shards equal "
+          "groups");
+    }
+    topo.providers_per_shard = options.n / topo.shards;
+  }
+  const size_t total =
+      topo.providers_per_shard != 0 ? topo.total_providers() : options.n;
+  if (total == 0) {
     return Status::InvalidArgument("OutsourcedDatabase: n must be positive");
   }
+  options.n = total;  // deprecated alias reports the total provider count
+  options.client.topology = topo;
+
   auto network = std::make_unique<Network>(
       options.network, /*failure_seed=*/0xFA11, options.fanout_threads);
   std::vector<std::shared_ptr<Provider>> providers;
   std::vector<size_t> indices;
-  for (size_t i = 0; i < options.n; ++i) {
-    auto p = std::make_shared<Provider>("DAS" + std::to_string(i + 1));
+  for (size_t i = 0; i < total; ++i) {
+    // The 1-shard names are the seed system's; multi-shard names carry
+    // the group ("S2-DAS3" = shard group 1's evaluation point 2).
+    const std::string name =
+        topo.shards <= 1
+            ? "DAS" + std::to_string(i + 1)
+            : "S" + std::to_string(i / topo.providers_per_shard + 1) +
+                  "-DAS" + std::to_string(i % topo.providers_per_shard + 1);
+    auto p = std::make_shared<Provider>(name);
     indices.push_back(network->AddProvider(p));
     providers.push_back(std::move(p));
   }
   SSDB_ASSIGN_OR_RETURN(
       std::unique_ptr<DataSourceClient> client,
       DataSourceClient::Create(network.get(), indices, options.client));
+  // Keep the option aliases in sync with the resolved topology, so n()/k()
+  // report what was actually built.
+  options.client.topology = client->topology();
+  options.client.k = client->topology().threshold;
   // One registry per deployment: network links and providers mirror
   // their counters into the client's registry so every layer shares a
   // single exportable namespace.
   network->AttachMetrics(client->metrics());
+  if (client->shards() > 1) {
+    std::vector<size_t> shard_of(network->num_providers(), 0);
+    for (size_t i = 0; i < indices.size(); ++i) {
+      shard_of[indices[i]] = i / client->providers_per_shard();
+    }
+    network->AttachShardMetrics(client->metrics(), shard_of);
+  }
   for (size_t i = 0; i < providers.size(); ++i) {
     providers[i]->AttachMetrics(client->metrics(), std::to_string(indices[i]));
   }
@@ -31,9 +72,19 @@ Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
                              std::move(providers), std::move(client)));
 }
 
+ChannelStats OutsourcedDatabase::shard_stats(size_t shard) const {
+  ChannelStats total;
+  const size_t per = client_->providers_per_shard();
+  for (size_t p = shard * per; p < (shard + 1) * per; ++p) {
+    total += network_->stats(p);
+  }
+  return total;
+}
+
 void OutsourcedDatabase::ResetAllStats() {
   // One call, every layer: client counters, per-link channel stats,
-  // provider work counters, every registry series, and recorded spans.
+  // provider work counters, every registry series, recorded spans, and
+  // the resilience scoreboard's health history (EWMAs, breaker state).
   // The virtual clock is NOT reset — reconciliation guarantees hold for
   // deltas from any common reset point, and tests diff the clock
   // separately. (EncryptedDas::ResetStats set the one-call shape.)
@@ -41,6 +92,7 @@ void OutsourcedDatabase::ResetAllStats() {
   tracer().Clear();
   network_->ResetStats();
   for (auto& p : providers_) p->ResetStats();
+  client_->scoreboard()->Reset();
 }
 
 }  // namespace ssdb

@@ -46,7 +46,20 @@ namespace ssdb {
 
 /// Options assembling a full deployment.
 struct OutsourcedDbOptions {
-  /// Number of service providers n.
+  /// Deployment shape: shard groups, providers per group, threshold and
+  /// partitioner (core/topology.h). Zero-valued fields inherit the
+  /// deprecated flat aliases (`n` below, `client.k`), yielding the seed
+  /// system's 1-shard topology:
+  ///
+  ///   options.topology = Topology(/*m=*/4, /*n_per=*/4, /*k=*/2,
+  ///                               Partitioner::kRange);
+  ///
+  /// builds 16 providers in 4 range-partitioned shard groups.
+  Topology topology;
+  /// Deprecated alias for the provider count: with a default `topology`
+  /// this is the seed system's flat n; with `topology.shards > 1` and
+  /// `topology.providers_per_shard == 0` it is split into `shards` equal
+  /// groups. Ignored when `topology.providers_per_shard != 0`.
   size_t n = 4;
   /// Network latency/bandwidth model for every client<->provider link.
   NetworkCostModel network;
@@ -159,8 +172,15 @@ class OutsourcedDatabase {
 
   // --- Introspection ------------------------------------------------------
 
+  /// Total provider count across all shard groups.
   size_t n() const { return options_.n; }
   size_t k() const { return options_.client.k; }
+  /// The resolved deployment shape (fields never zero after Create).
+  const Topology& topology() const { return client_->topology(); }
+  size_t shards() const { return client_->shards(); }
+  size_t providers_per_shard() const { return client_->providers_per_shard(); }
+  /// Aggregated channel stats of shard group `shard`'s links.
+  ChannelStats shard_stats(size_t shard) const;
   DataSourceClient& client() { return *client_; }
   Network& network() { return *network_; }
   Provider& provider(size_t i) { return *providers_[i]; }

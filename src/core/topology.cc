@@ -1,0 +1,55 @@
+#include "core/topology.h"
+
+#include "common/hash.h"
+
+namespace ssdb {
+
+const char* PartitionerName(Partitioner partitioner) {
+  return partitioner == Partitioner::kRange ? "range" : "hash";
+}
+
+Status ValidateTopology(const Topology& topology) {
+  if (topology.shards == 0) {
+    return Status::InvalidArgument("topology: shards must be >= 1");
+  }
+  if (topology.providers_per_shard == 0) {
+    return Status::InvalidArgument(
+        "topology: providers_per_shard must be >= 1");
+  }
+  if (topology.providers_per_shard > 255) {
+    return Status::InvalidArgument(
+        "topology: at most 255 providers per shard (share evaluation "
+        "points are one byte)");
+  }
+  if (topology.threshold == 0 ||
+      topology.threshold > topology.providers_per_shard) {
+    return Status::InvalidArgument(
+        "topology: threshold k must satisfy 1 <= k <= providers_per_shard");
+  }
+  return Status::OK();
+}
+
+size_t ShardForCode(Partitioner partitioner, size_t shards, int64_t code,
+                    const OpDomain& domain) {
+  if (shards <= 1) return 0;
+  // Offset into the domain; clamp out-of-domain codes to the edges so the
+  // mapping is total (routing for provably-empty predicates is decided
+  // before this function).
+  u128 w = 0;
+  if (code > domain.lo) {
+    w = static_cast<u128>(static_cast<uint64_t>(code) -
+                          static_cast<uint64_t>(domain.lo));
+    if (w >= domain.size()) w = domain.size() - 1;
+  }
+  if (partitioner == Partitioner::kRange) {
+    return static_cast<size_t>((w * shards) / domain.size());
+  }
+  const uint64_t w64 = static_cast<uint64_t>(w);
+  uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<uint8_t>(w64 >> (8 * i));
+  }
+  return static_cast<size_t>(Fnv1a64(Slice(bytes, sizeof(bytes))) % shards);
+}
+
+}  // namespace ssdb

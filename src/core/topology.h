@@ -1,0 +1,76 @@
+// Shard topology of an outsourced deployment.
+//
+// The row space of every table is partitioned across `shards` independent
+// provider groups of `providers_per_shard` providers each. Every row lives
+// on exactly one shard group, chosen by the partitioner from the row's key
+// attribute (the first schema column): hash partitioning by default, or
+// contiguous range partitioning over the key's order-preserving domain.
+// Within a shard group the seed system's k-of-n secret sharing applies
+// unchanged — `threshold` shares reconstruct, fewer reveal nothing — so a
+// shard group is exactly the paper's n-provider deployment in miniature.
+//
+// The degenerate 1-shard topology is the seed system: same share streams,
+// same provider byte traffic, same virtual-clock charges.
+
+#ifndef SSDB_CORE_TOPOLOGY_H_
+#define SSDB_CORE_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/wide_int.h"
+#include "sss/order_preserving.h"
+
+namespace ssdb {
+
+/// How key codes map to shard groups.
+enum class Partitioner : uint8_t {
+  /// FNV-1a of the key code modulo `shards`. Spreads any key distribution
+  /// evenly; point lookups route to one shard, range scans scatter.
+  kHash,
+  /// The key's order-preserving domain cut into `shards` contiguous
+  /// intervals of equal width. Point lookups AND range scans prune to the
+  /// owning shard interval.
+  kRange,
+};
+
+/// Stable lower-case name ("hash" / "range") for traces, EXPLAIN and docs.
+const char* PartitionerName(Partitioner partitioner);
+
+/// \brief The unified deployment shape consumed by OutsourcedDatabase::Create.
+///
+/// Zero-valued fields inherit from the deprecated flat aliases
+/// (`OutsourcedDbOptions::n`, `ClientOptions::k`), which populate a 1-shard
+/// topology — existing callers keep working unchanged.
+struct Topology {
+  size_t shards = 1;               ///< Number of shard groups (m >= 1).
+  size_t providers_per_shard = 0;  ///< Providers per group; 0 = derive.
+  size_t threshold = 0;            ///< Reconstruction threshold k; 0 = derive.
+  Partitioner partitioner = Partitioner::kHash;
+
+  Topology() = default;
+  Topology(size_t m, size_t n_per, size_t k,
+           Partitioner part = Partitioner::kHash)
+      : shards(m),
+        providers_per_shard(n_per),
+        threshold(k),
+        partitioner(part) {}
+
+  /// Total provider count across all shard groups.
+  size_t total_providers() const { return shards * providers_per_shard; }
+};
+
+/// Validates a fully-resolved topology (no zero placeholders left):
+/// shards >= 1, 1 <= threshold <= providers_per_shard <= 255.
+Status ValidateTopology(const Topology& topology);
+
+/// The shard group owning key code `code` drawn from `domain`. Codes
+/// outside the domain clamp to the edge shards (range) or hash like any
+/// other value — callers that can prove emptiness route before this.
+size_t ShardForCode(Partitioner partitioner, size_t shards, int64_t code,
+                    const OpDomain& domain);
+
+}  // namespace ssdb
+
+#endif  // SSDB_CORE_TOPOLOGY_H_

@@ -33,6 +33,21 @@ void Network::RegisterLinkMetrics(size_t provider) {
   m.round_trip_us = registry_->GetHistogram("ssdb_net_round_trip_us", labels);
 }
 
+void Network::AttachShardMetrics(
+    MetricsRegistry* registry, const std::vector<size_t>& shard_of_provider) {
+  for (size_t i = 0; i < links_.size() && i < shard_of_provider.size(); ++i) {
+    const MetricLabels labels = {
+        {"shard", std::to_string(shard_of_provider[i])}};
+    LinkMetrics& m = links_[i].metrics;
+    m.shard_requests =
+        registry->GetCounter("ssdb_shard_requests_total", labels);
+    m.shard_bytes_sent =
+        registry->GetCounter("ssdb_shard_bytes_sent_total", labels);
+    m.shard_bytes_received =
+        registry->GetCounter("ssdb_shard_bytes_received_total", labels);
+  }
+}
+
 ThreadPool& Network::pool() {
   std::call_once(pool_once_,
                  [this] { pool_ = std::make_unique<ThreadPool>(
@@ -78,6 +93,13 @@ Result<std::vector<uint8_t>> Network::CallNoClock(size_t provider,
       if (trace->bytes_received) m.bytes_received->Inc(trace->bytes_received);
       if (trace->deadline_exceeded) m.deadline_exceeded->Inc();
       m.round_trip_us->Observe(trace->elapsed_us);
+    }
+    if (m.shard_requests != nullptr) {
+      m.shard_requests->Inc();
+      if (trace->bytes_sent) m.shard_bytes_sent->Inc(trace->bytes_sent);
+      if (trace->bytes_received) {
+        m.shard_bytes_received->Inc(trace->bytes_received);
+      }
     }
   }
   return result;

@@ -198,6 +198,17 @@ class Network {
   /// (same call sites, same values) from any common reset point.
   void AttachMetrics(MetricsRegistry* registry);
 
+  /// Additionally mirrors every leg into per-shard-group series —
+  /// `ssdb_shard_requests_total`, `ssdb_shard_bytes_sent_total`,
+  /// `ssdb_shard_bytes_received_total`, labelled {shard} — where entry i
+  /// of `shard_of_provider` names provider i's group. Bumped at the same
+  /// call site from the same figures as the per-provider mirror, so the
+  /// shard series reconcile exactly with the ChannelStats of the group's
+  /// links. Only multi-shard deployments attach this: the 1-shard
+  /// telemetry export stays byte-identical to the seed system.
+  void AttachShardMetrics(MetricsRegistry* registry,
+                          const std::vector<size_t>& shard_of_provider);
+
   VirtualClock& clock() { return clock_; }
   const NetworkCostModel& model() const { return model_; }
 
@@ -215,6 +226,10 @@ class Network {
     MetricCounter* bytes_received = nullptr;
     MetricCounter* deadline_exceeded = nullptr;
     MetricHistogram* round_trip_us = nullptr;
+    // Per-shard-group mirror (null until AttachShardMetrics).
+    MetricCounter* shard_requests = nullptr;
+    MetricCounter* shard_bytes_sent = nullptr;
+    MetricCounter* shard_bytes_received = nullptr;
   };
 
   struct Link {

@@ -144,6 +144,38 @@ std::vector<size_t> ProviderScoreboard::RankedPositions(size_t n,
   return out;
 }
 
+std::vector<size_t> ProviderScoreboard::RankedWithin(
+    const std::vector<size_t>& providers, uint64_t now_us) const {
+  struct Key {
+    bool open;
+    double ewma;
+    size_t pos;
+  };
+  std::vector<Key> keys;
+  keys.reserve(providers.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t pos = 0; pos < providers.size(); ++pos) {
+      Key k{false, 0.0, pos};
+      const size_t provider = providers[pos];
+      if (provider < entries_.size()) {
+        const Entry& e = entries_[provider];
+        k.open = e.state == BreakerState::kOpen && now_us < e.open_until_us;
+        k.ewma = e.ewma_us;
+      }
+      keys.push_back(k);
+    }
+  }
+  std::stable_sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.open != b.open) return !a.open;
+    return a.ewma < b.ewma;
+  });
+  std::vector<size_t> out;
+  out.reserve(keys.size());
+  for (const Key& k : keys) out.push_back(k.pos);
+  return out;
+}
+
 uint64_t ProviderScoreboard::HedgeThresholdUs(const HedgePolicy& policy) const {
   if (policy.threshold_us > 0) return policy.threshold_us;
   std::vector<double> ewmas;
@@ -397,6 +429,117 @@ QuorumResult RunResilientQuorum(Network* network,
                 "client: fewer than the required providers responded (" +
                 std::to_string(out.responses.size()) + "/" +
                 std::to_string(minimum) + ")");
+  return out;
+}
+
+ScatterQuorumResult RunScatterQuorum(Network* network,
+                                     const std::vector<ScatterShardSpec>& specs,
+                                     const std::vector<Buffer>& requests,
+                                     ProviderScoreboard* board) {
+  ScatterQuorumResult out;
+  out.shards.resize(specs.size());
+  auto request_slice = [&requests](size_t pos) {
+    return pos < requests.size() ? requests[pos].AsSlice() : Slice();
+  };
+
+  // Phase 1: every group's first-round legs travel in ONE parallel round,
+  // so the clock advances once, by the slowest leg anywhere — this is
+  // what makes a scatter cheaper in simulated time than sequential
+  // per-group fan-outs.
+  struct LegRef {
+    size_t shard = 0;
+    size_t pos = 0;
+  };
+  std::vector<LegRef> flat;
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const size_t desired =
+        std::min(specs[s].desired, specs[s].providers->size());
+    for (size_t pos = 0; pos < desired; ++pos) {
+      flat.push_back(LegRef{s, pos});
+    }
+  }
+  std::vector<Result<std::vector<uint8_t>>> first(
+      flat.size(),
+      Result<std::vector<uint8_t>>(Status::Internal("fan-out leg not run")));
+  std::vector<CallTrace> first_legs(flat.size());
+  network->pool().ParallelFor(flat.size(), [&](size_t i) {
+    const LegRef& ref = flat[i];
+    first[i] =
+        network->CallUnclocked((*specs[ref.shard].providers)[ref.pos],
+                               request_slice(ref.pos), &first_legs[i], 0);
+  });
+  uint64_t slowest = 0;
+  for (const CallTrace& t : first_legs) {
+    slowest = std::max(slowest, t.elapsed_us);
+  }
+  network->clock().Advance(slowest);
+  out.fanout_clock_us = slowest;
+
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const LegRef& ref = flat[i];
+    QuorumResult& q = out.shards[ref.shard];
+    ResilientLeg leg;
+    leg.provider = (*specs[ref.shard].providers)[ref.pos];
+    leg.bytes_sent = first_legs[i].bytes_sent;
+    leg.bytes_received = first_legs[i].bytes_received;
+    leg.round_trip_us = first_legs[i].elapsed_us;
+    leg.ok = first[i].ok();
+    q.legs.push_back(leg);
+    if (q.fanout_rounds == 0) q.fanout_rounds = 1;
+    if (first[i].ok()) {
+      q.responses.push_back(
+          QuorumResult::Response{ref.pos, std::move(*first[i])});
+    }
+  }
+
+  // Phase 2: sequential replacement of failed legs, per group, each a
+  // full round trip charged to that group alone.
+  for (size_t s = 0; s < specs.size(); ++s) {
+    const std::vector<size_t>& providers = *specs[s].providers;
+    const size_t desired = std::min(specs[s].desired, providers.size());
+    const size_t minimum =
+        specs[s].minimum == 0 ? desired : specs[s].minimum;
+    QuorumResult& q = out.shards[s];
+    size_t next = desired;
+    while (q.responses.size() < desired && next < providers.size()) {
+      const size_t pos = next++;
+      CallTrace t;
+      auto r =
+          network->CallUnclocked(providers[pos], request_slice(pos), &t, 0);
+      ResilientLeg leg;
+      leg.provider = providers[pos];
+      leg.bytes_sent = t.bytes_sent;
+      leg.bytes_received = t.bytes_received;
+      leg.round_trip_us = t.elapsed_us;
+      leg.ok = r.ok();
+      q.legs.push_back(leg);
+      q.fanout_rounds += 1;
+      network->clock().Advance(t.elapsed_us);
+      q.clock_advance_us += t.elapsed_us;
+      if (r.ok()) {
+        q.responses.push_back(QuorumResult::Response{pos, std::move(*r)});
+      }
+    }
+    q.status =
+        q.responses.size() >= minimum
+            ? Status::OK()
+            : Status::Unavailable(
+                  "client: fewer than the required providers responded (" +
+                  std::to_string(q.responses.size()) + "/" +
+                  std::to_string(minimum) + ")");
+  }
+
+  // Scoreboard fold: sequential, (group, leg) order, post-fan-out clock.
+  if (board != nullptr) {
+    const uint64_t record_now_us = network->clock().now_us();
+    const BreakerPolicy no_breaker;
+    for (const QuorumResult& q : out.shards) {
+      for (const ResilientLeg& leg : q.legs) {
+        board->RecordOutcome(leg.provider, leg.ok, leg.round_trip_us,
+                             no_breaker, record_now_us);
+      }
+    }
+  }
   return out;
 }
 

@@ -143,6 +143,12 @@ class ProviderScoreboard {
   /// ties by position. Deterministic.
   std::vector<size_t> RankedPositions(size_t n, uint64_t now_us) const;
 
+  /// Like RankedPositions, but ranks the given network provider indices
+  /// (one shard group's providers) and returns LOCAL positions into
+  /// `providers`. RankedWithin({0..n-1}) == RankedPositions(n).
+  std::vector<size_t> RankedWithin(const std::vector<size_t>& providers,
+                                   uint64_t now_us) const;
+
   /// The hedge latency threshold per `policy` (see HedgePolicy); 0 means
   /// "do not hedge".
   uint64_t HedgeThresholdUs(const HedgePolicy& policy) const;
@@ -222,6 +228,41 @@ QuorumResult RunResilientQuorum(Network* network,
                                 const std::vector<size_t>& order,
                                 const ResiliencePolicy& policy,
                                 ProviderScoreboard* board);
+
+/// One shard group's quorum parameters for RunScatterQuorum. `providers`
+/// lists the group's network indices; position p is share evaluation
+/// point p and `requests[p]` is its payload (shared across groups —
+/// share-space rewrites depend only on the evaluation point).
+struct ScatterShardSpec {
+  const std::vector<size_t>* providers = nullptr;
+  size_t desired = 0;
+  size_t minimum = 0;  ///< 0 = `desired`.
+};
+
+/// Outcome of one multi-shard scatter fan-out. The parallel phase-1
+/// round is charged to the clock ONCE, by the globally slowest leg
+/// (`fanout_clock_us`); each shard's QuorumResult carries only its own
+/// sequential replacement-leg advances in `clock_advance_us`, so
+/// fanout_clock_us + sum(shards[i].clock_advance_us) equals the
+/// VirtualClock delta.
+struct ScatterQuorumResult {
+  std::vector<QuorumResult> shards;  ///< One per spec, same order.
+  uint64_t fanout_clock_us = 0;      ///< The shared parallel-round advance.
+};
+
+/// \brief One parallel quorum fan-out across several shard groups.
+///
+/// All groups' phase-1 legs are issued in a single parallel round — the
+/// clock advances once, by the slowest leg anywhere — then failed legs
+/// are replaced sequentially per group, exactly as in the classic
+/// two-phase fan-out. Resilience knobs (retries, deadlines, hedging,
+/// breaker) are NOT applied: callers with an enabled ResiliencePolicy
+/// must fall back to per-group RunResilientQuorum rounds. Scoreboard
+/// outcomes are folded sequentially in (group, leg) order.
+ScatterQuorumResult RunScatterQuorum(Network* network,
+                                     const std::vector<ScatterShardSpec>& specs,
+                                     const std::vector<Buffer>& requests,
+                                     ProviderScoreboard* board);
 
 }  // namespace ssdb
 

@@ -55,6 +55,21 @@ PlanNodeTrace* Executor::Rec(const PlanNode* node, QueryTrace* trace) {
   return &trace->nodes[it->second];
 }
 
+const std::vector<size_t>& Executor::PipeProviders(
+    const PipelinePlan& pipe) const {
+  return pipe.sharded ? host_->shard_provider_indices(pipe.shard)
+                      : host_->provider_indices();
+}
+
+void Executor::StampShard(const PipelinePlan& pipe, QueryTrace* trace) {
+  if (!pipe.sharded) return;
+  const int shard = static_cast<int>(pipe.shard);
+  for (const PlanNode* node :
+       {pipe.scan, pipe.reconstruct, pipe.aggregate, pipe.overlay}) {
+    if (PlanNodeTrace* rec = Rec(node, trace)) rec->shard = shard;
+  }
+}
+
 Result<std::vector<Executor::ProviderResponse>> Executor::CallQuorum(
     Network* network, const std::vector<size_t>& providers,
     const std::vector<Buffer>& requests, size_t desired, size_t minimum,
@@ -116,7 +131,10 @@ namespace {
 const char* QueryKindName(const QueryPlan& plan) {
   if (plan.is_join) return "join";
   if (plan.is_union) return "union";
-  switch (plan.pipelines.front().action) {
+  // A scattered MEDIAN runs per-shard fetch pipelines; the logical kind
+  // is still the scatter action.
+  switch (plan.is_scatter ? plan.scatter_action
+                          : plan.pipelines.front().action) {
     case QueryAction::kFetchRows: return "fetch";
     case QueryAction::kFetchRowIds: return "fetch_ids";
     case QueryAction::kCount: return "count";
@@ -150,9 +168,10 @@ Result<QueryResult> Executor::Execute(const QueryPlan& plan) {
   }
 
   Result<QueryResult> result =
-      plan.is_join    ? RunJoin(plan, &trace)
-      : plan.is_union ? RunUnion(plan, &trace)
-                      : RunPipelineWithRetry(plan.pipelines.front(), &trace);
+      plan.is_join      ? RunJoin(plan, &trace)
+      : plan.is_scatter ? RunScatter(plan, &trace)
+      : plan.is_union   ? RunUnion(plan, &trace)
+                        : RunPipelineWithRetry(plan.pipelines.front(), &trace);
 
   if (query_span != 0) {
     EmitNodeSpans(trace, query_span, query_start_us, tracer);
@@ -233,7 +252,6 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     const std::vector<const QueryPlan*>& plans) {
   std::vector<std::optional<Result<QueryResult>>> slots(plans.size());
   const size_t batch_max = host_->batch_max_ops();
-  const std::vector<size_t>& providers = host_->provider_indices();
   Tracer* tracer = host_->tracer();
 
   // Plans the envelope cannot carry — unions (they batch internally),
@@ -249,13 +267,17 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     std::vector<Buffer> requests;  // per provider
   };
   // Only identical fan-outs can share an envelope: group by (join?,
-  // desired, minimum, contact order).
-  std::map<std::tuple<bool, size_t, size_t, std::vector<size_t>>,
+  // shard group, desired, minimum, contact order).
+  std::map<std::tuple<bool, size_t, size_t, size_t, std::vector<size_t>>,
            std::vector<Item>>
       groups;
   for (size_t i = 0; i < plans.size(); ++i) {
     const QueryPlan& plan = *plans[i];
-    if (batch_max < 2 || plan.is_union) {
+    // Scatter plans and multi-shard joins fan out to several shard
+    // groups at once; they run individually where Execute owns the
+    // cross-group orchestration.
+    if (batch_max < 2 || plan.is_union || plan.is_scatter ||
+        (plan.is_join && plan.shards > 1)) {
       individual.push_back(i);
       continue;
     }
@@ -277,7 +299,9 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     const std::vector<size_t>& order =
         plan.is_join ? plan.join.quorum_order
                      : plan.pipelines.front().quorum_order;
-    groups[{plan.is_join, desired, minimum, order}].push_back(
+    const size_t shard =
+        plan.is_join ? 0 : plan.pipelines.front().shard;
+    groups[{plan.is_join, shard, desired, minimum, order}].push_back(
         Item{i, std::move(requests)});
   }
 
@@ -285,9 +309,11 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     return p.is_join ? p.join.join : p.pipelines.front().scan;
   };
   for (auto& [key, items] : groups) {
-    const size_t desired = std::get<1>(key);
-    const size_t minimum = std::get<2>(key);
-    const std::vector<size_t>& order = std::get<3>(key);
+    const std::vector<size_t>& providers =
+        host_->shard_provider_indices(std::get<1>(key));
+    const size_t desired = std::get<2>(key);
+    const size_t minimum = std::get<3>(key);
+    const std::vector<size_t>& order = std::get<4>(key);
     for (size_t begin = 0; begin < items.size(); begin += batch_max) {
       const size_t end = std::min(items.size(), begin + batch_max);
       const size_t span = end - begin;
@@ -350,6 +376,7 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
         if (PlanNodeTrace* rec = Rec(fanout_node(plan), trace)) {
           rec->executed = true;
         }
+        if (!plan.is_join) StampShard(plan.pipelines.front(), trace);
         Result<QueryResult> part =
             plan.is_join
                 ? DecodeJoin(plan, per_item[j], trace)
@@ -438,8 +465,7 @@ Result<QueryResult> Executor::RunUnion(const QueryPlan& plan,
 
 Result<QueryResult> Executor::RunUnionBatched(const QueryPlan& plan,
                                               QueryTrace* trace) {
-  const std::vector<size_t>& providers = host_->provider_indices();
-  const size_t num_providers = providers.size();
+  const size_t num_providers = host_->num_providers();
   const size_t batch_max = host_->batch_max_ops();
 
   // Build every branch's per-provider requests up front; provably-empty
@@ -467,7 +493,14 @@ Result<QueryResult> Executor::RunUnionBatched(const QueryPlan& plan,
         pipe->quorum_order != lead->quorum_order) {
       return Status::NotSupported("batch: union branch quorums differ");
     }
+    // A batch envelope travels to exactly one shard group's providers;
+    // branches routed to different groups fall back to per-branch
+    // fan-outs.
+    if (pipe->shard != lead->shard) {
+      return Status::NotSupported("batch: union branches span shard groups");
+    }
   }
+  const std::vector<size_t>& providers = PipeProviders(*lead);
 
   PlanNodeTrace* root_rec = Rec(plan.root.get(), trace);
   std::map<uint64_t, std::vector<Value>> merged;
@@ -527,6 +560,7 @@ Result<QueryResult> Executor::RunUnionBatched(const QueryPlan& plan,
 
     for (size_t b = 0; b < span; ++b) {
       const PipelinePlan& pipe = *active[begin + b];
+      StampShard(pipe, trace);
       if (PlanNodeTrace* rec = Rec(pipe.scan, trace)) rec->executed = true;
       Result<QueryResult> part = DecodePipeline(pipe, per_branch[b], trace);
       // Partial-batch failures retry at sub-batch granularity: only the
@@ -610,7 +644,9 @@ Result<QueryResult> Executor::RunPipelineWithRetry(const PipelinePlan& pipe,
 
 Result<bool> Executor::BuildPipelineRequests(const PipelinePlan& pipe,
                                              std::vector<Buffer>* requests) {
-  const size_t num_providers = host_->provider_indices().size();
+  // One request per share evaluation point; the rewrites depend only on
+  // the point, so the same vector serves any shard group.
+  const size_t num_providers = host_->num_providers();
   const TableSchema& schema = *pipe.table.schema;
 
   // Rewrite per provider (§V.A).
@@ -645,6 +681,7 @@ Result<QueryResult> Executor::EmptyPipeline(const PipelinePlan& pipe,
     return Status::NotFound("client: MEDIAN over an empty result set");
   }
   // The whole pipeline still "ran" (trivially) for trace purposes.
+  StampShard(pipe, trace);
   if (PlanNodeTrace* rec = Rec(pipe.scan, trace)) rec->executed = true;
   if (PlanNodeTrace* rec = Rec(pipe.aggregate, trace)) rec->executed = true;
   if (PlanNodeTrace* rec = Rec(pipe.reconstruct, trace)) rec->executed = true;
@@ -653,7 +690,8 @@ Result<QueryResult> Executor::EmptyPipeline(const PipelinePlan& pipe,
 
 Result<QueryResult> Executor::RunPipeline(const PipelinePlan& pipe,
                                           size_t quorum, QueryTrace* trace) {
-  const std::vector<size_t>& providers = host_->provider_indices();
+  const std::vector<size_t>& providers = PipeProviders(pipe);
+  StampShard(pipe, trace);
   PlanNodeTrace* scan_rec = Rec(pipe.scan, trace);
 
   std::vector<Buffer> requests;
@@ -795,6 +833,7 @@ Result<QueryResult> Executor::DecodePipeline(
               IndexedShare{p.provider, Fp61::FromCanonical(gp.sum_share)});
         }
         GroupResult group;
+        group.rep_row_id = parsed.front().groups[g].rep_row_id;
         SSDB_ASSIGN_OR_RETURN(
             group.key,
             host_->ReconstructColumnValue(key_col, key_shares, nullptr));
@@ -927,7 +966,7 @@ Result<QueryResult> Executor::RunFetch(
 Result<bool> Executor::BuildJoinRequests(const QueryPlan& plan,
                                          std::vector<Buffer>* requests) {
   const JoinPlanSpec& spec = plan.join;
-  const size_t num_providers = host_->provider_indices().size();
+  const size_t num_providers = host_->num_providers();
   requests->clear();
   requests->resize(num_providers);
   bool always_empty = false;
@@ -963,8 +1002,7 @@ Result<bool> Executor::BuildJoinRequests(const QueryPlan& plan,
 Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
                                       QueryTrace* trace) {
   const JoinPlanSpec& spec = plan.join;
-  const std::vector<size_t>& providers = host_->provider_indices();
-  const size_t num_providers = providers.size();
+  const size_t num_providers = host_->num_providers();
   PlanNodeTrace* join_rec = Rec(spec.join, trace);
 
   std::vector<Buffer> requests;
@@ -981,23 +1019,44 @@ Result<QueryResult> Executor::RunJoin(const QueryPlan& plan,
     return empty;
   }
 
-  Result<std::vector<ProviderResponse>> responses_r =
-      CallQuorum(host_->network(), providers, requests, spec.quorum_desired,
-                 spec.quorum_min, join_rec, host_->resilience(),
-                 host_->scoreboard(), spec.quorum_order, host_->metrics());
-  if (!responses_r.ok() && responses_r.status().IsUnavailable() &&
-      host_->resilience().enabled() &&
-      spec.quorum_desired < num_providers) {
-    // Graceful degradation, as in RunPipelineWithRetry: one wider round.
-    host_->metrics()->GetCounter("ssdb_plan_replans_total")->Inc();
-    responses_r =
-        CallQuorum(host_->network(), providers, requests, num_providers,
+  // One quorum round per shard group (matching join keys co-locate: both
+  // sides partition on the key attribute); the per-group pair sets
+  // concatenate in group order. With one shard this is the seed system's
+  // single round against the flat provider list.
+  std::vector<size_t> shard_list = plan.routed_shards;
+  if (shard_list.empty()) shard_list.push_back(0);
+  QueryResult total;
+  total.join_left_columns =
+      static_cast<uint32_t>(spec.left.schema->columns.size());
+  for (size_t shard : shard_list) {
+    const std::vector<size_t>& providers =
+        plan.shards > 1 ? host_->shard_provider_indices(shard)
+                        : host_->provider_indices();
+    Result<std::vector<ProviderResponse>> responses_r =
+        CallQuorum(host_->network(), providers, requests, spec.quorum_desired,
                    spec.quorum_min, join_rec, host_->resilience(),
                    host_->scoreboard(), spec.quorum_order, host_->metrics());
+    if (!responses_r.ok() && responses_r.status().IsUnavailable() &&
+        host_->resilience().enabled() &&
+        spec.quorum_desired < num_providers) {
+      // Graceful degradation, as in RunPipelineWithRetry: one wider round.
+      host_->metrics()->GetCounter("ssdb_plan_replans_total")->Inc();
+      responses_r =
+          CallQuorum(host_->network(), providers, requests, num_providers,
+                     spec.quorum_min, join_rec, host_->resilience(),
+                     host_->scoreboard(), spec.quorum_order, host_->metrics());
+    }
+    if (!responses_r.ok()) return responses_r.status();
+    if (join_rec != nullptr) join_rec->executed = true;
+    SSDB_ASSIGN_OR_RETURN(QueryResult part,
+                          DecodeJoin(plan, *responses_r, trace));
+    if (plan.shards <= 1) return part;
+    total.rows.insert(total.rows.end(),
+                      std::make_move_iterator(part.rows.begin()),
+                      std::make_move_iterator(part.rows.end()));
   }
-  if (!responses_r.ok()) return responses_r.status();
-  if (join_rec != nullptr) join_rec->executed = true;
-  return DecodeJoin(plan, *responses_r, trace);
+  total.count = total.rows.size();
+  return total;
 }
 
 Result<QueryResult> Executor::DecodeJoin(
@@ -1081,7 +1140,286 @@ Result<QueryResult> Executor::DecodeJoin(
   if (rec_rec != nullptr) {
     rec_rec->executed = true;
     rec_rec->shares_used = best.size();
-    rec_rec->rows_reconstructed = 2 * out.rows.size();
+    rec_rec->rows_reconstructed += 2 * out.rows.size();
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::RunScatter(const QueryPlan& plan,
+                                         QueryTrace* trace) {
+  PlanNodeTrace* root_rec = Rec(plan.root.get(), trace);
+  const size_t n_per = host_->num_providers();
+
+  // Every per-shard pipeline carries the same query, so one per-position
+  // request vector serves all routed shard groups.
+  const PipelinePlan& proto = plan.pipelines.front();
+  std::vector<Buffer> requests;
+  SSDB_ASSIGN_OR_RETURN(bool always_empty,
+                        BuildPipelineRequests(proto, &requests));
+
+  std::vector<Result<QueryResult>> parts;
+  parts.reserve(plan.pipelines.size());
+  if (always_empty) {
+    for (const PipelinePlan& pipe : plan.pipelines) {
+      parts.push_back(EmptyPipeline(pipe, trace));
+    }
+  } else if (!host_->resilience().enabled()) {
+    // One parallel fan-out round across every routed shard group: the
+    // clock advances once, by the globally slowest leg, charged to the
+    // ShardMerge root; sequential replacement legs charge their own
+    // shard's scan node, so node clock totals still sum to the
+    // VirtualClock delta.
+    std::vector<ScatterShardSpec> specs;
+    specs.reserve(plan.pipelines.size());
+    for (const PipelinePlan& pipe : plan.pipelines) {
+      specs.push_back(
+          ScatterShardSpec{&host_->shard_provider_indices(pipe.shard),
+                           pipe.quorum_desired, pipe.quorum_min});
+    }
+    const uint64_t start_us = host_->network()->clock().now_us();
+    ScatterQuorumResult sq = RunScatterQuorum(host_->network(), specs,
+                                              requests, host_->scoreboard());
+    if (root_rec != nullptr) {
+      if (root_rec->round_trips == 0) root_rec->clock_start_us = start_us;
+      root_rec->round_trips += 1;
+      root_rec->clock_us += sq.fanout_clock_us;
+    }
+    for (size_t i = 0; i < plan.pipelines.size(); ++i) {
+      const PipelinePlan& pipe = plan.pipelines[i];
+      StampShard(pipe, trace);
+      QuorumResult& q = sq.shards[i];
+      if (PlanNodeTrace* scan_rec = Rec(pipe.scan, trace)) {
+        if (scan_rec->round_trips == 0) scan_rec->clock_start_us = start_us;
+        scan_rec->round_trips += q.fanout_rounds;
+        scan_rec->clock_us += q.clock_advance_us;
+        for (const ResilientLeg& leg : q.legs) {
+          RecordLeg(scan_rec, leg.provider, leg.bytes_sent,
+                    leg.bytes_received, leg.round_trip_us, leg.ok);
+        }
+        scan_rec->executed = true;
+      }
+      if (!q.status.ok()) {
+        parts.push_back(q.status);
+        continue;
+      }
+      std::vector<ProviderResponse> responses;
+      responses.reserve(q.responses.size());
+      for (QuorumResult::Response& r : q.responses) {
+        responses.push_back(ProviderResponse{r.slot, std::move(r.bytes)});
+      }
+      parts.push_back(DecodePipeline(pipe, responses, trace));
+    }
+  } else {
+    // Resilience knobs on: sequential per-group rounds through the full
+    // resilient quorum path (retries, deadlines, hedging, breaker).
+    for (const PipelinePlan& pipe : plan.pipelines) {
+      parts.push_back(RunPipeline(pipe, pipe.quorum_desired, trace));
+    }
+  }
+
+  // Per-shard retry ladder, mirroring RunPipelineWithRetry.
+  std::vector<QueryResult> results;
+  results.reserve(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    const PipelinePlan& pipe = plan.pipelines[i];
+    Result<QueryResult>& part = parts[i];
+    if (!part.ok() && part.status().IsUnavailable() &&
+        host_->resilience().enabled() && pipe.quorum_desired < n_per) {
+      host_->metrics()->GetCounter("ssdb_plan_replans_total")->Inc();
+      part = RunPipeline(pipe, n_per, trace);
+    }
+    if (!part.ok() && part.status().IsCorruption() &&
+        host_->threshold_k() < n_per) {
+      host_->OnCorruptionRetry();
+      part = RunPipeline(pipe, n_per, trace);
+    }
+    if (!part.ok()) return part.status();
+    if (plan.scatter_action == QueryAction::kFetchRows) {
+      // Row results overlay the pending write log per shard, like union
+      // branches; the row-id merge dedups. (Aggregates flushed the log
+      // at submit time, and their overlay is a no-op anyway.)
+      SSDB_RETURN_IF_ERROR(ApplyOverlay(pipe, &part.value(), trace));
+    }
+    results.push_back(std::move(*part));
+  }
+  return MergeScatter(plan, &results, trace);
+}
+
+Result<QueryResult> Executor::MergeScatter(const QueryPlan& plan,
+                                           std::vector<QueryResult>* parts,
+                                           QueryTrace* trace) {
+  const PipelinePlan& proto = plan.pipelines.front();
+  const TableSchema& schema = *proto.table.schema;
+  PlanNodeTrace* root_rec = Rec(plan.root.get(), trace);
+  QueryResult out;
+  switch (plan.scatter_action) {
+    case QueryAction::kFetchRows: {
+      // Shard groups hold disjoint row-id sets; the ordered merge makes
+      // the result independent of group order.
+      std::map<uint64_t, std::vector<Value>> merged;
+      for (QueryResult& part : *parts) {
+        for (size_t i = 0; i < part.rows.size(); ++i) {
+          merged.emplace(part.row_ids[i], std::move(part.rows[i]));
+        }
+      }
+      for (auto& [id, row] : merged) {
+        out.row_ids.push_back(id);
+        out.rows.push_back(std::move(row));
+      }
+      out.count = out.rows.size();
+      break;
+    }
+    case QueryAction::kCount: {
+      for (const QueryResult& part : *parts) out.count += part.count;
+      out.aggregate_int = static_cast<int64_t>(out.count);
+      break;
+    }
+    case QueryAction::kPartialSum: {
+      for (const QueryResult& part : *parts) {
+        out.aggregate_int += part.aggregate_int;
+        out.count += part.count;
+      }
+      out.aggregate_double = out.count == 0
+                                 ? 0.0
+                                 : static_cast<double>(out.aggregate_int) /
+                                       static_cast<double>(out.count);
+      break;
+    }
+    case QueryAction::kArgMin:
+    case QueryAction::kArgMax: {
+      // Each part carries its group's extreme rows with the extreme code
+      // in aggregate_int; groups with no matching rows have no extreme.
+      // Ties across groups merge by row id.
+      bool have = false;
+      int64_t best = 0;
+      for (const QueryResult& part : *parts) {
+        if (part.rows.empty()) continue;
+        if (!have || (plan.scatter_action == QueryAction::kArgMin
+                          ? part.aggregate_int < best
+                          : part.aggregate_int > best)) {
+          best = part.aggregate_int;
+          have = true;
+        }
+      }
+      if (have) {
+        std::map<uint64_t, std::vector<Value>> merged;
+        for (QueryResult& part : *parts) {
+          if (part.rows.empty() || part.aggregate_int != best) continue;
+          for (size_t i = 0; i < part.rows.size(); ++i) {
+            merged.emplace(part.row_ids[i], std::move(part.rows[i]));
+          }
+        }
+        for (auto& [id, row] : merged) {
+          out.row_ids.push_back(id);
+          out.rows.push_back(std::move(row));
+        }
+        if (!plan.scatter_strip_appended) {
+          out.aggregate_int = best;
+          out.aggregate_double = static_cast<double>(best);
+        }
+      }
+      out.count = out.rows.size();
+      break;
+    }
+    case QueryAction::kMedian: {
+      // The per-shard pipelines fetched every matching row; the global
+      // (lower) median is picked client-side by (code, row id), exactly
+      // the provider's (op share, row id) order.
+      size_t pos = proto.result_columns.size();
+      for (size_t c = 0; c < proto.result_columns.size(); ++c) {
+        if (proto.result_columns[c] ==
+            &schema.columns[plan.scatter_target_column]) {
+          pos = c;
+        }
+      }
+      if (pos >= proto.result_columns.size()) {
+        return Status::Internal(
+            "client: scattered MEDIAN lost its target column");
+      }
+      struct Cand {
+        int64_t code;
+        uint64_t row_id;
+        size_t part;
+        size_t idx;
+      };
+      std::vector<Cand> cands;
+      for (size_t p = 0; p < parts->size(); ++p) {
+        QueryResult& part = (*parts)[p];
+        for (size_t i = 0; i < part.rows.size(); ++i) {
+          SSDB_ASSIGN_OR_RETURN(
+              int64_t code,
+              proto.result_columns[pos]->EncodeToCode(part.rows[i][pos]));
+          cands.push_back(Cand{code, part.row_ids[i], p, i});
+        }
+      }
+      if (cands.empty()) {
+        return Status::NotFound("client: MEDIAN over an empty result set");
+      }
+      std::sort(cands.begin(), cands.end(),
+                [](const Cand& a, const Cand& b) {
+                  return a.code != b.code ? a.code < b.code
+                                          : a.row_id < b.row_id;
+                });
+      const Cand& pick = cands[(cands.size() - 1) / 2];
+      out.row_ids.push_back(pick.row_id);
+      out.rows.push_back(std::move((*parts)[pick.part].rows[pick.idx]));
+      out.count = 1;
+      if (!plan.scatter_strip_appended) {
+        out.aggregate_int = pick.code;
+        out.aggregate_double = static_cast<double>(pick.code);
+      }
+      break;
+    }
+    case QueryAction::kGroupedSum: {
+      // Merge groups by key code; order by the smallest representative
+      // row id, matching the provider-side first-appearance order.
+      const ColumnSpec& key_col = schema.columns[proto.group_column];
+      std::map<int64_t, GroupResult> by_code;
+      for (QueryResult& part : *parts) {
+        for (GroupResult& group : part.groups) {
+          SSDB_ASSIGN_OR_RETURN(int64_t code,
+                                key_col.EncodeToCode(group.key));
+          auto it = by_code.find(code);
+          if (it == by_code.end()) {
+            by_code.emplace(code, std::move(group));
+          } else {
+            GroupResult& merged = it->second;
+            merged.sum += group.sum;
+            merged.count += group.count;
+            merged.rep_row_id =
+                std::min(merged.rep_row_id, group.rep_row_id);
+          }
+        }
+      }
+      std::vector<GroupResult> groups;
+      groups.reserve(by_code.size());
+      for (auto& [code, group] : by_code) {
+        group.average = group.count == 0
+                            ? 0.0
+                            : static_cast<double>(group.sum) /
+                                  static_cast<double>(group.count);
+        out.count += group.count;
+        groups.push_back(std::move(group));
+      }
+      std::sort(groups.begin(), groups.end(),
+                [](const GroupResult& a, const GroupResult& b) {
+                  return a.rep_row_id < b.rep_row_id;
+                });
+      out.groups = std::move(groups);
+      break;
+    }
+    case QueryAction::kFetchRowIds:
+      return Status::Internal("client: unhandled scatter action");
+  }
+  if (plan.scatter_strip_appended) {
+    // The aggregate target column was appended to the projection solely
+    // for the client-side pick; the caller never asked for it.
+    for (std::vector<Value>& row : out.rows) row.pop_back();
+  }
+  if (root_rec != nullptr) {
+    root_rec->executed = true;
+    root_rec->rows_reconstructed =
+        out.groups.empty() ? out.rows.size() : out.groups.size();
   }
   return out;
 }

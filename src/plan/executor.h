@@ -67,6 +67,24 @@ class Executor {
       MetricsRegistry* registry = nullptr);
 
  private:
+  /// Scatter-gather over the plan's routed shard groups: one parallel
+  /// fan-out round across every group (clock advanced once, by the
+  /// globally slowest leg — charged to the ShardMerge root) when the
+  /// resilience policy is disabled, else sequential per-group rounds
+  /// through the full resilient path. Partial results merge client-side
+  /// per plan.scatter_action.
+  Result<QueryResult> RunScatter(const QueryPlan& plan, QueryTrace* trace);
+  /// The client-side merge half of RunScatter; `parts[i]` is pipeline
+  /// i's decoded result.
+  Result<QueryResult> MergeScatter(const QueryPlan& plan,
+                                   std::vector<QueryResult>* parts,
+                                   QueryTrace* trace);
+  /// Providers a pipeline fans out to: its shard group's list in a
+  /// sharded plan, the flat provider list otherwise.
+  const std::vector<size_t>& PipeProviders(const PipelinePlan& pipe) const;
+  /// Stamps the pipeline's shard on its trace records (sharded plans
+  /// only; 1-shard traces stay identical to the seed system).
+  void StampShard(const PipelinePlan& pipe, QueryTrace* trace);
   Result<QueryResult> RunUnion(const QueryPlan& plan, QueryTrace* trace);
   /// Fused union: all active disjunct branches travel in one batch
   /// envelope per provider. Returns NotSupported when the plan cannot be

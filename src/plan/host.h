@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "client/query.h"
+#include "core/topology.h"
 #include "field/fp61.h"
 #include "net/network.h"
 #include "net/resilience.h"
@@ -37,8 +38,13 @@ class PlanHost {
 
   // --- Catalog (Planner) ------------------------------------------------
   virtual Result<PlanTable> ResolveTable(const std::string& name) = 0;
+  /// Providers per shard group (the seed system's n when num_shards()==1).
   virtual size_t num_providers() const = 0;
   virtual size_t threshold_k() const = 0;
+  /// Number of shard groups the row space is partitioned across (>= 1).
+  virtual size_t num_shards() const = 0;
+  /// How key codes map to shard groups (meaningful when num_shards() > 1).
+  virtual Partitioner partitioner() const = 0;
   virtual OpSlotMode op_mode() const = 0;
   virtual size_t pending_lazy_ops() const = 0;
   /// Max sub-operations coalesced into one batch envelope per provider
@@ -50,6 +56,11 @@ class PlanHost {
   virtual Network* network() = 0;
   /// Network indices of the client's providers, in fan-out order.
   virtual const std::vector<size_t>& provider_indices() const = 0;
+  /// Network indices of shard group `shard`'s providers; position p within
+  /// the returned vector is share evaluation point p. Equals
+  /// provider_indices() when num_shards() == 1.
+  virtual const std::vector<size_t>& shard_provider_indices(
+      size_t shard) const = 0;
   /// The client's resilience configuration (default: fully disabled).
   virtual const ResiliencePolicy& resilience() const = 0;
   /// The client's provider health scoreboard (never null; idle when the

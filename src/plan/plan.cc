@@ -20,6 +20,8 @@ const char* PlanNodeKindName(PlanNodeKind kind) {
       return "Reconstruct";
     case PlanNodeKind::kLazyOverlay:
       return "LazyOverlay";
+    case PlanNodeKind::kShardMerge:
+      return "ShardMerge";
   }
   return "Unknown";
 }
@@ -47,6 +49,15 @@ std::string QueryPlan::Render() const {
   if (root != nullptr) RenderNode(*root, 0, &out);
   out += "read quorum: " + std::to_string(k) + " of " + std::to_string(n) +
          " providers; writes fan out to " + std::to_string(n) + "\n";
+  if (shards > 1) {
+    out += "shard groups: " + std::to_string(routed_shards.size()) + " of " +
+           std::to_string(shards) + " routed {";
+    for (size_t i = 0; i < routed_shards.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(routed_shards[i]);
+    }
+    out += "}\n";
+  }
   return out;
 }
 

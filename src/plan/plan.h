@@ -32,6 +32,7 @@ enum class PlanNodeKind : uint8_t {
   kEquiJoin,        ///< Provider-side same-domain equi-join.
   kReconstruct,     ///< k-of-n Lagrange reconstruction of share rows.
   kLazyOverlay,     ///< Merge of the client-side pending write log.
+  kShardMerge,      ///< Client-side merge of per-shard-group pipelines.
 };
 
 const char* PlanNodeKindName(PlanNodeKind kind);
@@ -76,6 +77,12 @@ struct PipelinePlan {
   /// Provider positions in contact order, healthiest first (scoreboard
   /// ranking); empty = the classic identity order.
   std::vector<size_t> quorum_order;
+  /// Shard group this pipeline fans out to (always 0 at one shard).
+  size_t shard = 0;
+  /// True only in a multi-shard deployment: the executor then resolves
+  /// providers through shard_provider_indices(shard) and stamps the shard
+  /// on the pipeline's trace records.
+  bool sharded = false;
 
   // Non-owning pointers into the plan tree (null when the node is absent).
   PlanNode* scan = nullptr;
@@ -105,10 +112,31 @@ struct QueryPlan {
   bool is_join = false;
   /// Root is a DisjunctUnion over pipelines (is_join == false).
   bool is_union = false;
+  /// Root is a ShardMerge over per-shard-group pipelines: the fan-out
+  /// goes to every routed group in one parallel round and the partial
+  /// results merge client-side according to scatter_action.
+  bool is_scatter = false;
+  /// The logical provider-side action of a scatter plan (the action the
+  /// 1-shard plan would have run); per-shard pipelines may differ (a
+  /// scattered MEDIAN fetches rows per shard and picks client-side).
+  QueryAction scatter_action = QueryAction::kFetchRows;
+  /// Schema column index of the aggregate target of a scattered MEDIAN
+  /// (its per-shard fetch pipelines carry no aggregate of their own).
+  uint32_t scatter_target_column = 0;
+  /// True when the aggregate target column was appended to the per-shard
+  /// projection solely for the client-side pick; the merge strips the
+  /// extra trailing value from every result row.
+  bool scatter_strip_appended = false;
   std::vector<PipelinePlan> pipelines;
   JoinPlanSpec join;
-  size_t n = 0;  ///< Providers.
+  size_t n = 0;  ///< Providers per shard group.
   size_t k = 0;  ///< Reconstruction threshold.
+  /// Shard groups in the deployment (1 = the seed system).
+  size_t shards = 1;
+  /// Shard groups this plan routes to (subset of 0..shards-1; every
+  /// group for unrouted scans). Singleton for exact-match queries under
+  /// any partitioner and pruned ranges under range partitioning.
+  std::vector<size_t> routed_shards;
 
   /// Renders the EXPLAIN text from the node tree.
   std::string Render() const;

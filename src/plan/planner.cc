@@ -121,6 +121,91 @@ Result<std::string> Planner::DescribePredicate(const TableSchema& schema,
   return Status::Internal("planner: unhandled predicate kind");
 }
 
+std::vector<size_t> Planner::RouteShards(const Query& query,
+                                         const TableSchema& schema) const {
+  const size_t shards = host_->num_shards();
+  std::vector<size_t> all(shards);
+  for (size_t s = 0; s < shards; ++s) all[s] = s;
+  if (shards <= 1) return all;
+  const ColumnSpec& key = schema.columns[0];
+  Result<OpDomain> dom_r = key.CodeDomain();
+  if (!dom_r.ok()) return all;
+  const OpDomain& dom = *dom_r;
+
+  bool any = false;
+  std::vector<bool> routed(shards, true);
+  auto intersect = [&](const std::vector<bool>& with) {
+    for (size_t s = 0; s < shards; ++s) routed[s] = routed[s] && with[s];
+    any = true;
+  };
+  auto interval = [&](int64_t lo, int64_t hi) {
+    // A code interval maps to a contiguous shard interval only under
+    // range partitioning (ShardForCode is monotone there).
+    std::vector<bool> with(shards, false);
+    if (lo <= hi) {
+      const size_t s_lo = ShardForCode(Partitioner::kRange, shards, lo, dom);
+      const size_t s_hi = ShardForCode(Partitioner::kRange, shards, hi, dom);
+      for (size_t s = s_lo; s <= s_hi; ++s) with[s] = true;
+    }
+    intersect(with);
+  };
+  for (const Predicate& pred : query.predicates()) {
+    if (pred.column != key.name) continue;
+    switch (pred.kind) {
+      case Predicate::Kind::kEq: {
+        Result<int64_t> code = key.EncodeToCode(pred.eq);
+        if (!code.ok()) break;  // Execution reproduces the 1-shard outcome.
+        std::vector<bool> with(shards, false);
+        with[ShardForCode(host_->partitioner(), shards, *code, dom)] = true;
+        intersect(with);
+        break;
+      }
+      case Predicate::Kind::kBetween: {
+        if (host_->partitioner() != Partitioner::kRange) break;
+        Result<int64_t> lo = key.EncodeToCode(pred.lo);
+        Result<int64_t> hi = key.EncodeToCode(pred.hi);
+        if (!lo.ok() || !hi.ok()) break;
+        interval(*lo, *hi);
+        break;
+      }
+      case Predicate::Kind::kPrefix: {
+        if (host_->partitioner() != Partitioner::kRange) break;
+        if (key.type != ValueType::kString) break;
+        Result<String27> codec = String27::Create(key.string_width);
+        if (!codec.ok()) break;
+        Result<OpDomain> range = codec->PrefixRange(pred.prefix);
+        if (!range.ok()) break;
+        interval(range->lo, range->hi);
+        break;
+      }
+    }
+  }
+  if (!any) return all;
+  std::vector<size_t> out;
+  for (size_t s = 0; s < shards; ++s) {
+    if (routed[s]) out.push_back(s);
+  }
+  // A contradictory conjunction owns no shard; any single group answers
+  // (with the provably empty result).
+  if (out.empty()) out.push_back(0);
+  return out;
+}
+
+void Planner::BindShard(PipelinePlan* pipe, size_t shard) {
+  pipe->shard = shard;
+  pipe->sharded = true;
+  if (host_->resilience().prefer_healthy) {
+    pipe->quorum_order = host_->scoreboard()->RankedWithin(
+        host_->shard_provider_indices(shard),
+        host_->network()->clock().now_us());
+  }
+  if (pipe->scan != nullptr) {
+    pipe->scan->details.push_back("routed to shard group " +
+                                  std::to_string(shard) + " of " +
+                                  std::to_string(host_->num_shards()));
+  }
+}
+
 Result<std::unique_ptr<PlanNode>> Planner::PlanPipeline(const Query& query,
                                                         PipelinePlan* out) {
   SSDB_RETURN_IF_ERROR(
@@ -269,10 +354,34 @@ Result<std::unique_ptr<PlanNode>> Planner::PlanPipeline(const Query& query,
   return top;
 }
 
+namespace {
+
+/// The ShardMerge root's merge rule, by logical action.
+const char* MergeRuleName(QueryAction action) {
+  switch (action) {
+    case QueryAction::kCount:
+      return "counts summed";
+    case QueryAction::kPartialSum:
+      return "partial sums added";
+    case QueryAction::kArgMin:
+    case QueryAction::kArgMax:
+      return "global extreme picked client-side";
+    case QueryAction::kMedian:
+      return "global median picked client-side";
+    case QueryAction::kGroupedSum:
+      return "groups merged by key";
+    default:
+      return "merged by row id";
+  }
+}
+
+}  // namespace
+
 Result<QueryPlan> Planner::Plan(const Query& query) {
   QueryPlan plan;
   plan.n = host_->num_providers();
   plan.k = host_->threshold_k();
+  plan.shards = host_->num_shards();
 
   if (!query.disjuncts().empty()) {
     if (query.aggregate() != AggregateOp::kNone) {
@@ -284,26 +393,113 @@ Result<QueryPlan> Planner::Plan(const Query& query) {
         PlanNodeKind::kDisjunctUnion,
         "DisjunctUnion[" + std::to_string(query.disjuncts().size()) +
             " branches, merged by row id]");
+    std::vector<bool> branch_shards(plan.shards, false);
     for (const Predicate& disjunct : query.disjuncts()) {
       // One sub-query per disjunct; the conjuncts apply to each branch.
       Query sub = Query::Select(query.table());
       for (const Predicate& p : query.predicates()) sub.Where(p);
       sub.Where(disjunct);
       if (!query.projection().empty()) sub.Project(query.projection());
-      PipelinePlan pipeline;
-      SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> child,
-                            PlanPipeline(sub, &pipeline));
-      root->children.push_back(std::move(child));
-      plan.pipelines.push_back(std::move(pipeline));
+      if (plan.shards <= 1) {
+        PipelinePlan pipeline;
+        SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> child,
+                              PlanPipeline(sub, &pipeline));
+        root->children.push_back(std::move(child));
+        plan.pipelines.push_back(std::move(pipeline));
+        continue;
+      }
+      // Multi-shard: one pipeline per (branch, routed shard group); the
+      // row-id merge dedups across both axes.
+      SSDB_ASSIGN_OR_RETURN(PlanTable table,
+                            host_->ResolveTable(query.table()));
+      for (size_t s : RouteShards(sub, *table.schema)) {
+        PipelinePlan pipeline;
+        SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> child,
+                              PlanPipeline(sub, &pipeline));
+        BindShard(&pipeline, s);
+        branch_shards[s] = true;
+        root->children.push_back(std::move(child));
+        plan.pipelines.push_back(std::move(pipeline));
+      }
+    }
+    for (size_t s = 0; s < branch_shards.size(); ++s) {
+      if (branch_shards[s]) plan.routed_shards.push_back(s);
     }
     plan.root = std::move(root);
     return plan;
   }
 
-  PipelinePlan pipeline;
-  SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> root,
-                        PlanPipeline(query, &pipeline));
-  plan.pipelines.push_back(std::move(pipeline));
+  if (plan.shards <= 1) {
+    PipelinePlan pipeline;
+    SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> root,
+                          PlanPipeline(query, &pipeline));
+    plan.pipelines.push_back(std::move(pipeline));
+    plan.root = std::move(root);
+    return plan;
+  }
+
+  // Multi-shard: route on the partition key's conjuncts.
+  PlanTable table;
+  QueryAction action = QueryAction::kFetchRows;
+  uint32_t target_column = 0;
+  SSDB_RETURN_IF_ERROR(ResolveAction(query, &table, &action, &target_column));
+  plan.routed_shards = RouteShards(query, *table.schema);
+
+  if (plan.routed_shards.size() == 1) {
+    // Every matching row lives in one shard group; the plan is the seed
+    // system's, aimed at that group (aggregates stay provider-side).
+    PipelinePlan pipeline;
+    SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> root,
+                          PlanPipeline(query, &pipeline));
+    BindShard(&pipeline, plan.routed_shards.front());
+    plan.pipelines.push_back(std::move(pipeline));
+    plan.root = std::move(root);
+    return plan;
+  }
+
+  // Scatter-gather: one pipeline per routed shard group under a
+  // ShardMerge root; partial results merge client-side.
+  plan.is_scatter = true;
+  plan.scatter_action = action;
+  Query sub = query;
+  if (action == QueryAction::kMedian) {
+    // Per-shard medians do not compose; each group returns its matching
+    // rows and the client picks the global median by key code.
+    plan.scatter_target_column = target_column;
+    sub.Aggregate(AggregateOp::kNone);
+  }
+  if (action == QueryAction::kMedian || action == QueryAction::kArgMin ||
+      action == QueryAction::kArgMax) {
+    const std::string& target = table.schema->columns[target_column].name;
+    bool present = query.projection().empty();
+    for (const std::string& c : query.projection()) present |= (c == target);
+    if (!present) {
+      // The client-side pick needs the aggregate target; append it to the
+      // projection and strip it from the merged rows.
+      std::vector<std::string> proj = query.projection();
+      proj.push_back(target);
+      sub.Project(std::move(proj));
+      plan.scatter_target_column = target_column;
+      plan.scatter_strip_appended = true;
+    }
+  }
+
+  auto root = MakeNode(
+      PlanNodeKind::kShardMerge,
+      "ShardMerge[" + std::to_string(plan.routed_shards.size()) + " of " +
+          std::to_string(plan.shards) + " shard groups, " +
+          MergeRuleName(action) + "]");
+  root->details.push_back(
+      std::string(PartitionerName(host_->partitioner())) +
+      " partitioning on key column '" + table.schema->columns[0].name + "'");
+  for (size_t s : plan.routed_shards) {
+    PipelinePlan pipeline;
+    SSDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> child,
+                          PlanPipeline(sub, &pipeline));
+    BindShard(&pipeline, s);
+    root->children.push_back(std::move(child));
+    plan.pipelines.push_back(std::move(pipeline));
+  }
   plan.root = std::move(root);
   return plan;
 }
@@ -313,6 +509,7 @@ Result<QueryPlan> Planner::Plan(const JoinQuery& join) {
   plan.is_join = true;
   plan.n = host_->num_providers();
   plan.k = host_->threshold_k();
+  plan.shards = host_->num_shards();
   JoinPlanSpec& spec = plan.join;
   spec.query = join;
 
@@ -348,9 +545,20 @@ Result<QueryPlan> Planner::Plan(const JoinQuery& join) {
     return Status::NotSupported(
         "client: join columns declare different code domains");
   }
+  if (plan.shards > 1) {
+    // Shard groups partition each table on its first column; only a join
+    // on both partition keys is co-located (matching codes hash or range
+    // to the same group on both sides).
+    if (lcol != 0 || rcol != 0) {
+      return Status::NotSupported(
+          "client: sharded joins need the partition key (the first schema "
+          "column) on both sides");
+    }
+    for (size_t s = 0; s < plan.shards; ++s) plan.routed_shards.push_back(s);
+  }
   spec.quorum_desired = plan.k;
   spec.quorum_min = plan.k;
-  if (host_->resilience().prefer_healthy) {
+  if (host_->resilience().prefer_healthy && plan.shards <= 1) {
     spec.quorum_order = host_->scoreboard()->RankedPositions(
         plan.n, host_->network()->clock().now_us());
   }
@@ -364,6 +572,11 @@ Result<QueryPlan> Planner::Plan(const JoinQuery& join) {
   join_node->details.push_back(
       "provider-side same-domain join on deterministic shares (domain '" +
       lspec.domain_name + "')");
+  if (plan.shards > 1) {
+    join_node->details.push_back(
+        "runs in every one of the " + std::to_string(plan.shards) +
+        " shard groups (key-partitioned rows join co-located)");
+  }
   for (const Predicate& pred : join.left_predicates) {
     SSDB_ASSIGN_OR_RETURN(std::string line,
                           DescribePredicate(*spec.left.schema, pred));

@@ -33,6 +33,17 @@ class Planner {
   /// [LazyOverlay]) and returns its root node.
   Result<std::unique_ptr<PlanNode>> PlanPipeline(const Query& query,
                                                  PipelinePlan* out);
+  /// Shard groups the query's conjuncts on the partition key (the first
+  /// schema column) allow: equality routes under both partitioners,
+  /// range/prefix prune to a contiguous shard interval under range
+  /// partitioning. Predicates that fail to encode are skipped (execution
+  /// reproduces the 1-shard outcome); a contradictory conjunction routes
+  /// to a single arbitrary group (the result is provably empty).
+  std::vector<size_t> RouteShards(const Query& query,
+                                  const TableSchema& schema) const;
+  /// Binds a pipeline to one shard group: shard-local scoreboard quorum
+  /// order and an EXPLAIN routing line on the scan node.
+  void BindShard(PipelinePlan* pipe, size_t shard);
   /// Resolves table, validates the aggregate clause and selects the
   /// provider-side action (the former ResolveTableAndPreds).
   Status ResolveAction(const Query& query, PlanTable* table,

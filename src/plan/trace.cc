@@ -72,6 +72,10 @@ std::string QueryTrace::ToString() const {
   for (const PlanNodeTrace& n : nodes) {
     out.append(static_cast<size_t>(n.depth) * 2, ' ');
     out += n.label;
+    if (n.shard >= 0) {
+      std::snprintf(line, sizeof(line), "  [shard %d]", n.shard);
+      out += line;
+    }
     if (!n.executed) {
       out += "  [not executed]\n";
       continue;

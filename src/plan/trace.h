@@ -53,6 +53,10 @@ struct PlanNodeTrace {
   int depth = 0;
   /// True once the executor ran this node.
   bool executed = false;
+  /// Shard group this node fanned out to; -1 when the node is not bound
+  /// to a single group (merge/join roots) or the deployment has one
+  /// shard (keeping 1-shard traces identical to the seed system).
+  int shard = -1;
 
   /// Provider legs issued by this node, in provider order per round.
   std::vector<PlanLegTrace> legs;

@@ -71,6 +71,16 @@ class Provider : public ProviderEndpoint {
     return tables_.size();
   }
 
+  /// Total share rows hosted across all tables. Under a multi-shard
+  /// topology this is the provider's partition of the row space, so the
+  /// per-group sums expose the partitioner's balance (sql_shell TOPOLOGY).
+  size_t num_rows() const {
+    std::shared_lock<std::shared_mutex> lock(state_mu_);
+    size_t total = 0;
+    for (const auto& [id, table] : tables_) total += table.size();
+    return total;
+  }
+
   /// Direct (test-only) access to a hosted table.
   Result<const ShareTable*> GetTableForTest(uint32_t table_id) const;
 

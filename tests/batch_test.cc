@@ -25,8 +25,7 @@ std::unique_ptr<OutsourcedDatabase> MakeDb(size_t n, size_t k, size_t rows,
                                            size_t fanout_threads = 0,
                                            bool lazy = false) {
   OutsourcedDbOptions options;
-  options.n = n;
-  options.client.k = k;
+  options.topology = Topology(/*m=*/1, /*n_per=*/n, /*k=*/k);
   options.client.batch_max_ops = batch_max_ops;
   options.fanout_threads = fanout_threads;
   options.client.lazy_updates = lazy;
@@ -330,8 +329,7 @@ TEST(BatchEquivalence, LazyFlushCoalescesPerProvider) {
 TEST(BatchEquivalence, BatchedJoinsMatchSerialExecution) {
   auto setup = [](size_t batch_max_ops) {
     OutsourcedDbOptions options;
-    options.n = 4;
-    options.client.k = 2;
+    options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
     options.client.batch_max_ops = batch_max_ops;
     auto db = std::move(OutsourcedDatabase::Create(options)).value();
     TableSchema employees;

@@ -160,8 +160,7 @@ ScenarioRun RunScenario(uint64_t seed, Scenario scenario, bool chaos,
                         size_t fanout_threads) {
   ScenarioRun run;
   OutsourcedDbOptions options;
-  options.n = kProviders;
-  options.client.k = kThreshold;
+  options.topology = Topology(/*m=*/1, /*n_per=*/kProviders, /*k=*/kThreshold);
   options.fanout_threads = fanout_threads;
   if (chaos) {
     ResiliencePolicy& rp = options.client.resilience;

@@ -63,8 +63,7 @@ TEST(ClientCreate, DistinctMasterKeysYieldDistinctShares) {
   // Two clients with different keys over the same provider fleet must
   // produce unrelated deterministic shares (no cross-tenant equality).
   OutsourcedDbOptions o1, o2;
-  o1.n = o2.n = 2;
-  o1.client.k = o2.client.k = 2;
+  o1.topology = o2.topology = Topology(/*m=*/1, /*n_per=*/2, /*k=*/2);
   o1.client.master_key = "tenant-a";
   o2.client.master_key = "tenant-b";
   auto db1 = std::move(OutsourcedDatabase::Create(o1)).value();
@@ -93,8 +92,7 @@ TEST(ClientCreate, DistinctMasterKeysYieldDistinctShares) {
 
 TEST(ClientQuorum, FirstProvidersDownFallsBackToOthers) {
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   EmployeeGenerator gen(1, Distribution::kUniform);
@@ -109,8 +107,7 @@ TEST(ClientQuorum, FirstProvidersDownFallsBackToOthers) {
 
 TEST(ClientLazy, AutoFlushAtThreshold) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   options.client.lazy_updates = true;
   options.client.lazy_flush_threshold = 5;
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
@@ -131,8 +128,7 @@ TEST(ClientLazy, AutoFlushAtThreshold) {
 
 TEST(ClientPublic, ErrorsAndGuards) {
   OutsourcedDbOptions options;
-  options.n = 2;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/2, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   std::vector<ColumnSpec> cols = {IntColumn("v", 0, 100)};
   ASSERT_TRUE(db->PublishPublicTable("P", cols, {{Value::Int(5)}}).ok());
@@ -157,8 +153,7 @@ TEST(ClientPublic, ErrorsAndGuards) {
 
 TEST(ClientStats, CountersAdvance) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   EmployeeGenerator gen(2, Distribution::kUniform);
@@ -172,8 +167,7 @@ TEST(ClientStats, CountersAdvance) {
 
 TEST(ClientErrors, AggregateShapeErrors) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   TableSchema schema;
   schema.table_name = "T";
@@ -203,8 +197,7 @@ TEST(ClientErrors, AggregateShapeErrors) {
 
 TEST(ClientErrors, BetweenTypeMismatch) {
   OutsourcedDbOptions options;
-  options.n = 2;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/2, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   auto r = db->Execute(Query::Select("Employees")
@@ -222,8 +215,7 @@ TEST(ClientDomains, SameColumnNameDifferentDomainsDoNotCollide) {
   // different domains; the default domain names are table-qualified so
   // their sharing schemes stay independent.
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   TableSchema a;
   a.table_name = "A";
@@ -250,8 +242,7 @@ TEST(ClientDomains, SameColumnNameDifferentDomainsDoNotCollide) {
 
 TEST(ClientDomains, ExplicitSharedDomainMustAgreeAcrossTables) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   TableSchema a;
   a.table_name = "A";

@@ -224,8 +224,7 @@ struct WorkloadTrace {
 /// corruption faults — and records everything observable.
 WorkloadTrace RunWorkload(size_t fanout_threads) {
   OutsourcedDbOptions options;
-  options.n = 5;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/5, /*k=*/2);
   options.fanout_threads = fanout_threads;
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
 
@@ -287,8 +286,7 @@ TEST(Determinism, SerialStreamIdenticalAcrossFanOutThreadCounts) {
 
 TEST(ExecuteBatch, SlotsMatchSerialExecution) {
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   options.fanout_threads = 4;
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
@@ -315,8 +313,7 @@ TEST(ExecuteBatch, NestedFanOutCompletesOnSingleWorkerPool) {
   // A batch whose per-query fan-out legs run on the same one-worker pool:
   // only caller participation keeps this from deadlocking.
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   options.fanout_threads = 1;
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
@@ -338,8 +335,7 @@ TEST(ExecuteBatch, SurvivesFaultsInjectedMidBatch) {
   // thread-safe); every slot must still come back ok or Unavailable —
   // never torn state.
   OutsourcedDbOptions options;
-  options.n = 5;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/5, /*k=*/2);
   options.fanout_threads = 4;
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());

@@ -100,8 +100,7 @@ TEST(String27, MaxWidthBoundary) {
 
 TEST(Aggregates, MedianEvenAndOddCounts) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   TableSchema schema;
   schema.table_name = "T";
@@ -124,8 +123,7 @@ TEST(Aggregates, MedianEvenAndOddCounts) {
 
 TEST(Aggregates, MinWithTiesReturnsAllTiedRows) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   TableSchema schema;
   schema.table_name = "T";
@@ -143,8 +141,7 @@ TEST(Aggregates, MinWithTiesReturnsAllTiedRows) {
 
 TEST(Aggregates, EmptyMatchSets) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   auto sum = db->Execute(Query::Select("Employees")
@@ -170,8 +167,7 @@ TEST(Aggregates, MedianOverEmptySetIsAnExplicitError) {
   // surfaces as NotFound, on both the provider-round path and the
   // no-communication always-empty short circuit.
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   ASSERT_TRUE(db->Insert("Employees",
@@ -207,8 +203,7 @@ TEST(Aggregates, SumAtDomainScaleStaysExact) {
   // SUM is exact while the sum of offsets stays below 2^61-1; verify a
   // case safely under the bound with large values.
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   TableSchema schema;
   schema.table_name = "Big";
@@ -227,8 +222,7 @@ TEST(Aggregates, SumAtDomainScaleStaysExact) {
 
 TEST(Explain, RendersPlan) {
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   auto plan = db->Explain(Query::Select("Employees")
@@ -251,8 +245,7 @@ TEST(Explain, RendersPlan) {
 TEST(Network, ManyProvidersMaxConfig) {
   // n = 64, k = 32: still correct, just heavier.
   OutsourcedDbOptions options;
-  options.n = 64;
-  options.client.k = 32;
+  options.topology = Topology(/*m=*/1, /*n_per=*/64, /*k=*/32);
   auto db_r = OutsourcedDatabase::Create(options);
   ASSERT_TRUE(db_r.ok());
   auto& db = *db_r.value();

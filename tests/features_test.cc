@@ -14,8 +14,7 @@ namespace {
 
 std::unique_ptr<OutsourcedDatabase> MakeDb(size_t n = 4, size_t k = 2) {
   OutsourcedDbOptions options;
-  options.n = n;
-  options.client.k = k;
+  options.topology = Topology(/*m=*/1, /*n_per=*/n, /*k=*/k);
   auto db = OutsourcedDatabase::Create(options);
   EXPECT_TRUE(db.ok());
   return std::move(db).value();

@@ -26,8 +26,7 @@ TableSchema EmployeesSchema() {
 std::unique_ptr<OutsourcedDatabase> MakeDb(size_t n = 4, size_t k = 2,
                                            bool lazy = false) {
   OutsourcedDbOptions options;
-  options.n = n;
-  options.client.k = k;
+  options.topology = Topology(/*m=*/1, /*n_per=*/n, /*k=*/k);
   options.client.lazy_updates = lazy;
   auto db = OutsourcedDatabase::Create(options);
   EXPECT_TRUE(db.ok()) << db.status().ToString();

@@ -94,8 +94,7 @@ TEST(MetricsRegistry, ExportsAreSortedAndWellFormed) {
 /// so the workload below can cover exact / range / aggregate / join.
 std::unique_ptr<OutsourcedDatabase> MakeTwoTableDb(size_t fanout_threads) {
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   options.fanout_threads = fanout_threads;
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   TableSchema employees;

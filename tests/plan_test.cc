@@ -21,8 +21,7 @@ std::unique_ptr<OutsourcedDatabase> MakeEmployeeDb(size_t n, size_t k,
                                                    size_t fanout_threads = 0,
                                                    bool lazy = false) {
   OutsourcedDbOptions options;
-  options.n = n;
-  options.client.k = k;
+  options.topology = Topology(/*m=*/1, /*n_per=*/n, /*k=*/k);
   options.fanout_threads = fanout_threads;
   options.client.lazy_updates = lazy;
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
@@ -247,8 +246,7 @@ TEST_P(PlanTraceReconciliation, TraceMatchesChannelStatsExactly) {
 TEST_P(PlanTraceReconciliation, JoinTraceMatchesChannelStatsExactly) {
   const size_t threads = GetParam();
   OutsourcedDbOptions options;
-  options.n = 4;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
   options.fanout_threads = threads;
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   TableSchema employees;

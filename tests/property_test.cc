@@ -113,8 +113,7 @@ class RandomWorkload : public ::testing::TestWithParam<Config> {};
 TEST_P(RandomWorkload, MatchesReferenceModel) {
   const Config config = GetParam();
   OutsourcedDbOptions options;
-  options.n = config.n;
-  options.client.k = config.k;
+  options.topology = Topology(/*m=*/1, /*n_per=*/config.n, /*k=*/config.k);
   options.client.lazy_updates = config.lazy;
   options.client.op_mode = config.mode;
   auto db_r = OutsourcedDatabase::Create(options);
@@ -231,8 +230,7 @@ TEST(RandomFailures, QueriesSurviveRandomFailureChurn) {
   // Queries keep answering correctly while failure modes churn randomly,
   // as long as k healthy providers remain reachable.
   OutsourcedDbOptions options;
-  options.n = 6;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/6, /*k=*/2);
   auto db_r = OutsourcedDatabase::Create(options);
   ASSERT_TRUE(db_r.ok());
   auto& db = *db_r.value();
@@ -279,8 +277,7 @@ TEST(QuorumDegradation, AllSurvivableFailureCountsSucceedWithoutBreakerLeaks) {
 
   for (size_t f = 0; f < n - k + 1; ++f) {
     OutsourcedDbOptions options;
-    options.n = n;
-    options.client.k = k;
+    options.topology = Topology(/*m=*/1, /*n_per=*/n, /*k=*/k);
     options.client.resilience.breaker.enabled = true;
     options.client.resilience.breaker.failures_to_open = 1;
     options.client.resilience.breaker.open_cooldown_us = 1ull << 60;

@@ -14,8 +14,7 @@ namespace {
 
 TEST(Scenario, FullLifecycle) {
   OutsourcedDbOptions options;
-  options.n = 5;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/5, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
 
   // 1. Two private tables sharing the eid domain, one public directory.

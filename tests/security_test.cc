@@ -15,8 +15,7 @@ namespace {
 std::unique_ptr<OutsourcedDatabase> MakeDb(size_t n, size_t k,
                                            const std::string& key) {
   OutsourcedDbOptions options;
-  options.n = n;
-  options.client.k = k;
+  options.topology = Topology(/*m=*/1, /*n_per=*/n, /*k=*/k);
   options.client.master_key = key;
   return std::move(OutsourcedDatabase::Create(options)).value();
 }

@@ -1,0 +1,584 @@
+// Shard-group topology tests: Topology resolution and deprecated
+// aliases, partition-key routing, scatter-gather equivalence with the
+// 1-shard seed system, per-shard telemetry reconciliation, and fault
+// isolation between shard groups.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/outsourced_db.h"
+#include "core/topology.h"
+
+namespace ssdb {
+namespace {
+
+TableSchema EmployeesSchema() {
+  TableSchema schema;
+  schema.table_name = "Employees";
+  schema.columns = {
+      StringColumn("name", 8),
+      IntColumn("salary", 0, 1'000'000),
+      IntColumn("dept", 0, 100),
+  };
+  return schema;
+}
+
+const std::vector<std::string>& Names() {
+  static const std::vector<std::string> kNames = {
+      "ALICE", "BOB",    "CAROL",  "DAVE",   "ERIN",   "FRANK",
+      "GRACE", "HEIDI",  "IVAN",   "JOHN",   "KAREN",  "LARRY",
+      "MALLORY", "NIA",  "OSCAR",  "PEGGY",  "QUINN",  "RUPERT",
+      "SYBIL", "TRENT",  "URSULA", "VICTOR", "WENDY",  "XAVIER",
+  };
+  return kNames;
+}
+
+std::vector<std::vector<Value>> EmployeeRows() {
+  std::vector<std::vector<Value>> rows;
+  for (size_t i = 0; i < Names().size(); ++i) {
+    rows.push_back({Value::Str(Names()[i]),
+                    Value::Int(static_cast<int64_t>((i * 3137) % 90000 + 5000)),
+                    Value::Int(static_cast<int64_t>(i % 5))});
+  }
+  // A second JOHN so exact matches return multiple rows.
+  rows.push_back({Value::Str("JOHN"), Value::Int(42000), Value::Int(3)});
+  return rows;
+}
+
+std::unique_ptr<OutsourcedDatabase> MakeSharded(
+    size_t shards, size_t n_per, size_t k,
+    Partitioner part = Partitioner::kHash, size_t fanout_threads = 1) {
+  OutsourcedDbOptions options;
+  options.topology = Topology(shards, n_per, k, part);
+  options.fanout_threads = fanout_threads;
+  auto db = OutsourcedDatabase::Create(options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+void LoadEmployees(OutsourcedDatabase* db) {
+  ASSERT_TRUE(db->CreateTable(EmployeesSchema()).ok());
+  std::vector<std::vector<Value>> rows = EmployeeRows();
+  // Most rows arrive through the batched bulk path, the tail through
+  // per-row inserts, so both write paths shard identically.
+  std::vector<std::vector<Value>> bulk(rows.begin(), rows.end() - 3);
+  std::vector<std::vector<Value>> tail(rows.end() - 3, rows.end());
+  ASSERT_TRUE(db->BulkLoad("Employees", bulk).ok());
+  const Status st = db->Insert("Employees", tail);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+}
+
+/// Canonical, order-independent rendering of a result for equivalence
+/// comparisons across shard counts.
+std::string Fingerprint(const QueryResult& r) {
+  std::string out = "count=" + std::to_string(r.count) +
+                    " agg_i=" + std::to_string(r.aggregate_int) +
+                    " agg_d=" + std::to_string(r.aggregate_double) +
+                    " jlc=" + std::to_string(r.join_left_columns);
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  for (size_t i = 0; i < r.rows.size(); ++i) {
+    std::string s;
+    for (const Value& v : r.rows[i]) s += v.ToString() + ",";
+    rows.emplace_back(i < r.row_ids.size() ? r.row_ids[i] : 0, std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [id, s] : rows) {
+    out += "\n" + std::to_string(id) + ":" + s;
+  }
+  for (const GroupResult& g : r.groups) {
+    out += "\nG " + g.key.ToString() + " sum=" + std::to_string(g.sum) +
+           " n=" + std::to_string(g.count) +
+           " avg=" + std::to_string(g.average);
+  }
+  return out;
+}
+
+/// Every query class of §V.A, routed and unrouted.
+std::vector<Query> QueryBattery() {
+  std::vector<Query> qs;
+  qs.push_back(
+      Query::Select("Employees").Where(Eq("name", Value::Str("JOHN"))));
+  qs.push_back(
+      Query::Select("Employees").Where(Eq("name", Value::Str("NOBODY"))));
+  qs.push_back(Query::Select("Employees")
+                   .Where(Between("salary", Value::Int(10000),
+                                  Value::Int(40000))));
+  qs.push_back(Query::Select("Employees").Where(Prefix("name", "A")));
+  qs.push_back(Query::Select("Employees"));
+  qs.push_back(Query::Select("Employees").Aggregate(AggregateOp::kCount));
+  qs.push_back(
+      Query::Select("Employees").Aggregate(AggregateOp::kSum, "salary"));
+  qs.push_back(Query::Select("Employees")
+                   .Where(Between("salary", Value::Int(5000),
+                                  Value::Int(60000)))
+                   .Aggregate(AggregateOp::kAvg, "salary"));
+  qs.push_back(
+      Query::Select("Employees").Aggregate(AggregateOp::kMin, "salary"));
+  qs.push_back(
+      Query::Select("Employees").Aggregate(AggregateOp::kMax, "salary"));
+  qs.push_back(
+      Query::Select("Employees").Aggregate(AggregateOp::kMedian, "salary"));
+  qs.push_back(Query::Select("Employees")
+                   .Project({"name"})
+                   .Aggregate(AggregateOp::kMin, "salary"));
+  qs.push_back(Query::Select("Employees")
+                   .Project({"name"})
+                   .Aggregate(AggregateOp::kMedian, "salary"));
+  qs.push_back(Query::Select("Employees")
+                   .Aggregate(AggregateOp::kSum, "salary")
+                   .GroupBy("dept"));
+  qs.push_back(Query::Select("Employees")
+                   .WhereAny({Eq("name", Value::Str("JOHN")),
+                              Eq("name", Value::Str("ALICE")),
+                              Prefix("name", "B")}));
+  qs.push_back(Query::Select("Employees").Where(Eq("dept", Value::Int(2))));
+  qs.push_back(Query::Select("Employees")
+                   .Where(Eq("name", Value::Str("JOHN")))
+                   .Aggregate(AggregateOp::kSum, "salary"));
+  return qs;
+}
+
+size_t ShardOfName(const std::string& name, size_t shards,
+                   Partitioner part = Partitioner::kHash) {
+  const ColumnSpec key = StringColumn("name", 8);
+  auto code = key.EncodeToCode(Value::Str(name));
+  auto dom = key.CodeDomain();
+  EXPECT_TRUE(code.ok() && dom.ok());
+  return ShardForCode(part, shards, *code, *dom);
+}
+
+TEST(ShardTopology, ResolvesExplicitTopologyAndDeprecatedAliases) {
+  // The deprecated flat fields build the seed 1-shard shape.
+  {
+    OutsourcedDbOptions options;
+    options.n = 4;
+    options.client.k = 2;
+    auto db = OutsourcedDatabase::Create(options);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ((*db)->shards(), 1u);
+    EXPECT_EQ((*db)->providers_per_shard(), 4u);
+    EXPECT_EQ((*db)->topology().threshold, 2u);
+    EXPECT_EQ((*db)->n(), 4u);
+    EXPECT_EQ((*db)->k(), 2u);
+  }
+  // An explicit Topology wins and the alias reports the total.
+  {
+    OutsourcedDbOptions options;
+    options.topology = Topology(2, 3, 2);
+    auto db = OutsourcedDatabase::Create(options);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ((*db)->shards(), 2u);
+    EXPECT_EQ((*db)->providers_per_shard(), 3u);
+    EXPECT_EQ((*db)->n(), 6u);
+    EXPECT_EQ((*db)->provider(0).name(), "S1-DAS1");
+    EXPECT_EQ((*db)->provider(5).name(), "S2-DAS3");
+  }
+  // shards set with providers_per_shard = 0: the flat n splits evenly.
+  {
+    OutsourcedDbOptions options;
+    options.n = 8;
+    options.client.k = 2;
+    options.topology.shards = 2;
+    auto db = OutsourcedDatabase::Create(options);
+    ASSERT_TRUE(db.ok());
+    EXPECT_EQ((*db)->providers_per_shard(), 4u);
+  }
+  // Indivisible n and k > providers_per_shard are rejected up front.
+  {
+    OutsourcedDbOptions options;
+    options.n = 7;
+    options.topology.shards = 2;
+    EXPECT_FALSE(OutsourcedDatabase::Create(options).ok());
+  }
+  {
+    OutsourcedDbOptions options;
+    options.topology = Topology(2, 3, 5);
+    EXPECT_FALSE(OutsourcedDatabase::Create(options).ok());
+  }
+}
+
+TEST(ShardTopology, OneShardTopologyIsByteIdenticalToTheSeedOptions) {
+  OutsourcedDbOptions flat;
+  flat.n = 4;
+  flat.client.k = 2;
+  flat.fanout_threads = 1;
+  auto a = OutsourcedDatabase::Create(flat);
+  ASSERT_TRUE(a.ok());
+
+  OutsourcedDbOptions topo;
+  topo.topology = Topology(1, 4, 2);
+  topo.fanout_threads = 1;
+  auto b = OutsourcedDatabase::Create(topo);
+  ASSERT_TRUE(b.ok());
+
+  for (OutsourcedDatabase* db : {a->get(), b->get()}) {
+    LoadEmployees(db);
+  }
+  for (const Query& q : QueryBattery()) {
+    auto ra = (*a)->Execute(q);
+    auto rb = (*b)->Execute(q);
+    ASSERT_EQ(ra.ok(), rb.ok());
+    if (!ra.ok()) continue;
+    EXPECT_EQ(Fingerprint(*ra), Fingerprint(*rb));
+  }
+  // Identical byte streams, virtual clock and telemetry export.
+  const ChannelStats sa = (*a)->network_stats();
+  const ChannelStats sb = (*b)->network_stats();
+  EXPECT_EQ(sa.calls, sb.calls);
+  EXPECT_EQ(sa.failures, sb.failures);
+  EXPECT_EQ(sa.bytes_sent, sb.bytes_sent);
+  EXPECT_EQ(sa.bytes_received, sb.bytes_received);
+  EXPECT_EQ((*a)->simulated_time_us(), (*b)->simulated_time_us());
+  EXPECT_EQ((*a)->metrics().ExportPrometheus(),
+            (*b)->metrics().ExportPrometheus());
+}
+
+TEST(ShardRouting, EquivalentResultsAcrossShardCountsAndFanoutThreads) {
+  // The reference run: the seed system.
+  auto ref = MakeSharded(1, 4, 2, Partitioner::kHash, 1);
+  LoadEmployees(ref.get());
+  std::vector<std::string> expected;
+  for (const Query& q : QueryBattery()) {
+    auto r = ref->Execute(q);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    expected.push_back(Fingerprint(*r));
+  }
+
+  struct Config {
+    size_t shards;
+    Partitioner part;
+  };
+  const Config configs[] = {{2, Partitioner::kHash},
+                            {4, Partitioner::kHash},
+                            {2, Partitioner::kRange},
+                            {4, Partitioner::kRange}};
+  for (const Config& cfg : configs) {
+    std::map<size_t, uint64_t> clock_by_fanout;
+    for (size_t fanout : {1u, 4u, 8u}) {
+      SCOPED_TRACE("shards=" + std::to_string(cfg.shards) + " partitioner=" +
+                   PartitionerName(cfg.part) + " fanout=" +
+                   std::to_string(fanout));
+      auto db = MakeSharded(cfg.shards, 4, 2, cfg.part, fanout);
+      LoadEmployees(db.get());
+      const std::vector<Query> battery = QueryBattery();
+      for (size_t i = 0; i < battery.size(); ++i) {
+        auto r = db->Execute(battery[i]);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(Fingerprint(*r), expected[i]) << "query " << i;
+      }
+      // Updates and deletes shard correctly too.
+      auto updated = db->Update("Employees",
+                                {Eq("name", Value::Str("JOHN"))}, "salary",
+                                Value::Int(77000));
+      ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+      EXPECT_EQ(updated.value(), 2u);
+      auto deleted = db->Delete("Employees", {Eq("dept", Value::Int(4))});
+      ASSERT_TRUE(deleted.ok()) << deleted.status().ToString();
+      auto after = db->Execute(Query::Select("Employees"));
+      ASSERT_TRUE(after.ok());
+      EXPECT_EQ(after->rows.size(), EmployeeRows().size() - deleted.value());
+      // Deterministic for any fan-out thread count: the virtual clock of
+      // the whole run is identical.
+      clock_by_fanout[fanout] = db->simulated_time_us();
+    }
+    EXPECT_EQ(clock_by_fanout[1], clock_by_fanout[4]);
+    EXPECT_EQ(clock_by_fanout[1], clock_by_fanout[8]);
+  }
+}
+
+TEST(ShardRouting, ExactMatchContactsExactlyOneShardGroup) {
+  const size_t kShards = 4;
+  auto db = MakeSharded(kShards, 3, 2);
+  LoadEmployees(db.get());
+  const size_t owner = ShardOfName("JOHN", kShards);
+
+  std::vector<ChannelStats> before;
+  for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s));
+  auto r = db->Execute(
+      Query::Select("Employees").Where(Eq("name", Value::Str("JOHN"))));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);
+  for (size_t s = 0; s < kShards; ++s) {
+    const uint64_t calls = db->shard_stats(s).calls - before[s].calls;
+    if (s == owner) {
+      EXPECT_GT(calls, 0u) << "owning shard group was not contacted";
+    } else {
+      EXPECT_EQ(calls, 0u) << "shard group " << s
+                           << " contacted for a routed exact match";
+    }
+  }
+  // The trace and EXPLAIN both surface the routing.
+  for (const PlanNodeTrace& node : r->trace.nodes) {
+    if (!node.legs.empty()) {
+      EXPECT_EQ(node.shard, static_cast<int>(owner));
+    }
+  }
+  auto explain = db->Explain(
+      Query::Select("Employees").Where(Eq("name", Value::Str("JOHN"))));
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("routed to shard group " + std::to_string(owner)),
+            std::string::npos)
+      << *explain;
+}
+
+TEST(ShardRouting, RangePartitioningPrunesRangeScans) {
+  const size_t kShards = 4;
+  auto db = MakeSharded(kShards, 3, 2, Partitioner::kRange);
+  LoadEmployees(db.get());
+
+  // 'A%' names occupy the first sliver of the base-27 key domain: under
+  // range partitioning the scan prunes to the edge shard group(s).
+  std::vector<ChannelStats> before;
+  for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s));
+  const Query q = Query::Select("Employees").Where(Prefix("name", "A"));
+  auto r = db->Execute(q);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 1u);  // ALICE
+  size_t contacted = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    if (db->shard_stats(s).calls > before[s].calls) contacted++;
+  }
+  EXPECT_EQ(contacted, 1u) << "prefix scan was not pruned";
+
+  auto explain = db->Explain(q);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("routed to shard group 0 of 4"), std::string::npos)
+      << *explain;
+
+  // An unrouted scan names every group in EXPLAIN.
+  auto scatter = db->Explain(Query::Select("Employees"));
+  ASSERT_TRUE(scatter.ok());
+  EXPECT_NE(scatter->find("ShardMerge[4 of 4 shard groups"),
+            std::string::npos)
+      << *scatter;
+  EXPECT_NE(scatter->find("shard groups: 4 of 4 routed {0,1,2,3}"),
+            std::string::npos)
+      << *scatter;
+}
+
+TEST(ShardTelemetry, TracesReconcileWithChannelStatsAndShardSeries) {
+  for (size_t fanout : {1u, 4u, 8u}) {
+    SCOPED_TRACE("fanout=" + std::to_string(fanout));
+    const size_t kShards = 2, kPer = 4;
+    auto db = MakeSharded(kShards, kPer, 2, Partitioner::kHash, fanout);
+    LoadEmployees(db.get());
+    db->ResetAllStats();
+    std::vector<ChannelStats> before;
+    for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s));
+    const uint64_t clock_before = db->simulated_time_us();
+
+    auto r = db->Execute(Query::Select("Employees")
+                             .Where(Between("salary", Value::Int(5000),
+                                            Value::Int(95000))));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+    // The trace's clock total IS the virtual-clock delta.
+    EXPECT_EQ(r->trace.total_clock_us(),
+              db->simulated_time_us() - clock_before);
+
+    // Per-provider trace bytes reconcile with the channel stats.
+    const auto per_provider = r->trace.PerProviderBytes();
+    for (const auto& [provider, bytes] : per_provider) {
+      EXPECT_EQ(bytes.first, db->network().stats(provider).bytes_sent);
+      EXPECT_EQ(bytes.second, db->network().stats(provider).bytes_received);
+    }
+
+    // Per-shard: the legs of each group's nodes sum to the group's
+    // ChannelStats delta, which the ssdb_shard_* series mirror exactly.
+    for (size_t s = 0; s < kShards; ++s) {
+      uint64_t sent = 0, received = 0, legs = 0;
+      for (const PlanNodeTrace& node : r->trace.nodes) {
+        if (node.shard != static_cast<int>(s)) continue;
+        sent += node.bytes_sent;
+        received += node.bytes_received;
+        legs += node.legs.size();
+      }
+      const ChannelStats delta_base = before[s];
+      const ChannelStats now = db->shard_stats(s);
+      EXPECT_EQ(sent, now.bytes_sent - delta_base.bytes_sent);
+      EXPECT_EQ(received, now.bytes_received - delta_base.bytes_received);
+      EXPECT_EQ(legs, now.calls - delta_base.calls);
+      const MetricLabels labels = {{"shard", std::to_string(s)}};
+      EXPECT_EQ(db->metrics()
+                    .GetCounter("ssdb_shard_requests_total", labels)
+                    ->value(),
+                now.calls);
+      EXPECT_EQ(db->metrics()
+                    .GetCounter("ssdb_shard_bytes_sent_total", labels)
+                    ->value(),
+                now.bytes_sent);
+      EXPECT_EQ(db->metrics()
+                    .GetCounter("ssdb_shard_bytes_received_total", labels)
+                    ->value(),
+                now.bytes_received);
+    }
+  }
+}
+
+TEST(ShardFaults, FaultsInOneGroupDoNotPerturbOtherGroupsAnswers) {
+  const size_t kShards = 2, kPer = 4;
+  const size_t owner = ShardOfName("JOHN", kShards);
+  const size_t other = 1 - owner;
+
+  // Fault-free reference.
+  auto clean = MakeSharded(kShards, kPer, 2);
+  LoadEmployees(clean.get());
+  const Query routed =
+      Query::Select("Employees").Where(Eq("name", Value::Str("JOHN")));
+  auto clean_routed = clean->Execute(routed);
+  ASSERT_TRUE(clean_routed.ok());
+  auto clean_count =
+      clean->Execute(Query::Select("Employees").Aggregate(AggregateOp::kCount));
+  ASSERT_TRUE(clean_count.ok());
+
+  // Same deployment with one provider of the *other* group down.
+  auto faulty = MakeSharded(kShards, kPer, 2);
+  LoadEmployees(faulty.get());
+  faulty->faults().Down(other * kPer + 1);
+
+  auto faulty_routed = faulty->Execute(routed);
+  ASSERT_TRUE(faulty_routed.ok()) << faulty_routed.status().ToString();
+  EXPECT_EQ(Fingerprint(*faulty_routed), Fingerprint(*clean_routed));
+  // Not just the answer: the routed query's byte streams and clock charge
+  // are untouched by the other group's fault.
+  EXPECT_EQ(faulty_routed->trace.PerProviderBytes(),
+            clean_routed->trace.PerProviderBytes());
+  EXPECT_EQ(faulty_routed->trace.total_clock_us(),
+            clean_routed->trace.total_clock_us());
+
+  // A scatter query still answers correctly: the faulted group fills its
+  // quorum from its spare providers.
+  auto faulty_count = faulty->Execute(
+      Query::Select("Employees").Aggregate(AggregateOp::kCount));
+  ASSERT_TRUE(faulty_count.ok()) << faulty_count.status().ToString();
+  EXPECT_EQ(faulty_count->aggregate_int, clean_count->aggregate_int);
+}
+
+TEST(ShardWrites, UpdateMovingThePartitionKeyAcrossGroupsIsRejected) {
+  const size_t kShards = 2;
+  auto db = MakeSharded(kShards, 3, 2);
+  LoadEmployees(db.get());
+
+  // Find two loaded names owned by different groups.
+  std::string from, to;
+  for (const std::string& name : Names()) {
+    if (from.empty()) {
+      from = name;
+    } else if (ShardOfName(name, kShards) != ShardOfName(from, kShards)) {
+      to = name;
+      break;
+    }
+  }
+  ASSERT_FALSE(to.empty());
+  auto moved = db->Update("Employees", {Eq("name", Value::Str(from))}, "name",
+                          Value::Str(to));
+  EXPECT_TRUE(moved.status().IsNotSupported()) << moved.status().ToString();
+  EXPECT_NE(moved.status().message().find("partition key"), std::string::npos)
+      << moved.status().ToString();
+
+  // A key rewrite within the owning group still works.
+  std::string same;
+  for (const char* candidate : {"AAAA", "AAAB", "AAAC", "AAAD", "AAAE",
+                                "AAAF", "AAAG", "AAAH"}) {
+    if (ShardOfName(candidate, kShards) == ShardOfName(from, kShards)) {
+      same = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(same.empty());
+  auto renamed = db->Update("Employees", {Eq("name", Value::Str(from))},
+                            "name", Value::Str(same));
+  ASSERT_TRUE(renamed.ok()) << renamed.status().ToString();
+  auto r = db->Execute(
+      Query::Select("Employees").Where(Eq("name", Value::Str(same))));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), renamed.value());
+}
+
+TEST(ShardJoins, JoinsNeedThePartitionKeyOnBothSidesAndStayEquivalent) {
+  // Cross-table joins need an explicitly shared domain on the join
+  // column (client-qualified defaults never collide across tables).
+  TableSchema people;
+  people.table_name = "People";
+  people.columns = {
+      StringColumn("name", 8, kCapExactMatch | kCapRange, "person"),
+      IntColumn("salary", 0, 1'000'000)};
+  TableSchema badges;
+  badges.table_name = "Badges";
+  badges.columns = {
+      StringColumn("name", 8, kCapExactMatch | kCapRange, "person"),
+      IntColumn("badge", 0, 1000)};
+  const std::vector<std::vector<Value>> people_rows = {
+      {Value::Str("JOHN"), Value::Int(20000)},
+      {Value::Str("ALICE"), Value::Int(35000)},
+      {Value::Str("BOB"), Value::Int(50000)},
+      {Value::Str("WENDY"), Value::Int(61000)},
+  };
+  const std::vector<std::vector<Value>> badge_rows = {
+      {Value::Str("JOHN"), Value::Int(7)},
+      {Value::Str("ALICE"), Value::Int(11)},
+      {Value::Str("ZARA"), Value::Int(13)},
+  };
+
+  JoinQuery jq;
+  jq.left_table = "People";
+  jq.left_column = "name";
+  jq.right_table = "Badges";
+  jq.right_column = "name";
+
+  auto load = [&](OutsourcedDatabase* db) {
+    ASSERT_TRUE(db->CreateTable(people).ok());
+    ASSERT_TRUE(db->CreateTable(badges).ok());
+    ASSERT_TRUE(db->Insert("People", people_rows).ok());
+    ASSERT_TRUE(db->Insert("Badges", badge_rows).ok());
+  };
+
+  auto ref = MakeSharded(1, 4, 2);
+  load(ref.get());
+  auto ref_join = ref->Execute(jq);
+  ASSERT_TRUE(ref_join.ok()) << ref_join.status().ToString();
+  EXPECT_EQ(ref_join->rows.size(), 2u);
+
+  auto db = MakeSharded(2, 4, 2);
+  load(db.get());
+  auto sharded_join = db->Execute(jq);
+  ASSERT_TRUE(sharded_join.ok()) << sharded_join.status().ToString();
+  EXPECT_EQ(Fingerprint(*sharded_join), Fingerprint(*ref_join));
+
+  // A join column that is not the partition key cannot run co-located.
+  TableSchema flipped;
+  flipped.table_name = "Flipped";
+  flipped.columns = {
+      IntColumn("badge", 0, 1000),
+      StringColumn("name", 8, kCapExactMatch | kCapRange, "person")};
+  ASSERT_TRUE(db->CreateTable(flipped).ok());
+  JoinQuery bad = jq;
+  bad.right_table = "Flipped";
+  auto rejected = db->Execute(bad);
+  EXPECT_TRUE(rejected.status().IsNotSupported())
+      << rejected.status().ToString();
+  EXPECT_NE(rejected.status().message().find("partition key"),
+            std::string::npos);
+}
+
+TEST(ShardTelemetry, ResetAllStatsClearsTheScoreboard) {
+  auto db = MakeSharded(1, 4, 2);
+  LoadEmployees(db.get());
+  ASSERT_TRUE(db->Execute(Query::Select("Employees")).ok());
+  // Quorum legs folded health samples into the scoreboard.
+  EXPECT_GT(db->scoreboard().Snapshot(0).samples, 0u);
+  db->ResetAllStats();
+  const auto entry = db->scoreboard().Snapshot(0);
+  EXPECT_EQ(entry.samples, 0u);
+  EXPECT_EQ(entry.ewma_us, 0.0);
+  EXPECT_EQ(entry.failures, 0u);
+}
+
+}  // namespace
+}  // namespace ssdb

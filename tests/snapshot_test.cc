@@ -63,8 +63,7 @@ TEST(ShareTableSnapshot, CorruptSnapshotRejected) {
 
 TEST(ProviderSnapshot, CrashAndRestartKeepsServing) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   EmployeeGenerator gen(42, Distribution::kUniform);
@@ -102,8 +101,7 @@ TEST(ProviderSnapshot, CrashAndRestartKeepsServing) {
 
 TEST(ProviderSnapshot, FileRoundTrip) {
   OutsourcedDbOptions options;
-  options.n = 2;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/2, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   EmployeeGenerator gen(7, Distribution::kUniform);

@@ -105,8 +105,7 @@ class SqlEndToEnd : public ::testing::Test {
  protected:
   void SetUp() override {
     OutsourcedDbOptions options;
-    options.n = 4;
-    options.client.k = 2;
+    options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
     db_ = std::move(OutsourcedDatabase::Create(options)).value();
     TableSchema schema;
     schema.table_name = "Employees";

@@ -131,8 +131,7 @@ TEST(Intersection, SharedValidation) {
 
 TEST(QueryMix, RunsAllOperationClassesAndStaysConsistent) {
   OutsourcedDbOptions options;
-  options.n = 3;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   EmployeeGenerator gen(11, Distribution::kUniform);
@@ -162,8 +161,7 @@ TEST(QueryMix, RunsAllOperationClassesAndStaysConsistent) {
 
 TEST(QueryMix, ZeroRatiosSkipClasses) {
   OutsourcedDbOptions options;
-  options.n = 2;
-  options.client.k = 2;
+  options.topology = Topology(/*m=*/1, /*n_per=*/2, /*k=*/2);
   auto db = std::move(OutsourcedDatabase::Create(options)).value();
   ASSERT_TRUE(db->CreateTable(EmployeeGenerator::EmployeesSchema()).ok());
   EmployeeGenerator gen(12, Distribution::kUniform);

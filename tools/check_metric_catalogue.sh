@@ -33,6 +33,9 @@ required="
 ssdb_net_batch_envelopes_total
 ssdb_net_batch_ops_total
 ssdb_net_batch_ops_per_envelope
+ssdb_shard_requests_total
+ssdb_shard_bytes_sent_total
+ssdb_shard_bytes_received_total
 "
 for name in $required; do
   if ! echo "$names" | grep -qx "$name"; then
