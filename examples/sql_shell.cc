@@ -110,7 +110,7 @@ void PrintTopology(OutsourcedDatabase& db) {
     // Every provider of a group hosts the same row ids; the first one's
     // count is the group's share of the row space.
     const size_t first = s * topo.providers_per_shard;
-    const ChannelStats stats = db.shard_stats(s);
+    const ChannelStats stats = db.shard_stats(s).value();
     std::printf("  shard %zu: %zu rows, %llu calls, %llu B moved\n", s,
                 db.provider(first).num_rows(),
                 static_cast<unsigned long long>(stats.calls),

@@ -276,9 +276,46 @@ Result<std::vector<StoredRow>> DataSourceClient::BuildShareRows(
 
 // --- Transport ----------------------------------------------------------------
 
+namespace {
+/// True when `request` is a mutating wire message (type byte inspection).
+bool IsMutatingRequest(const Buffer& request) {
+  Slice bytes = request.AsSlice();
+  return !bytes.empty() && IsMutatingMessage(static_cast<MsgType>(bytes[0]));
+}
+}  // namespace
+
 Status DataSourceClient::CallGroup(const std::vector<size_t>& providers,
                                    const std::vector<Buffer>& requests) {
-  Network::FanOutResult fan = network_->CallManyDistinct(providers, requests);
+  // Killed providers absorb their mutating legs into the resync queue:
+  // the write succeeds on the survivors and the exact bytes replay at
+  // Restart. Non-mutating legs still travel (and fail Unavailable),
+  // matching kDown semantics.
+  std::vector<size_t> live;
+  std::vector<Buffer> live_requests;
+  {
+    std::lock_guard<std::mutex> lock(outage_mu_);
+    if (!out_providers_.empty()) {
+      for (size_t i = 0; i < providers.size(); ++i) {
+        if (out_providers_.count(providers[i]) != 0 &&
+            IsMutatingRequest(requests[i])) {
+          Buffer copy;
+          copy.Append(requests[i].AsSlice());
+          pending_resync_[providers[i]].push_back(std::move(copy));
+          continue;
+        }
+        live.push_back(providers[i]);
+        Buffer copy;
+        copy.Append(requests[i].AsSlice());
+        live_requests.push_back(std::move(copy));
+      }
+      if (live.empty()) return Status::OK();
+    }
+  }
+  const bool intercepted = !live.empty();
+  const std::vector<size_t>& group = intercepted ? live : providers;
+  const std::vector<Buffer>& payloads =
+      intercepted ? live_requests : requests;
+  Network::FanOutResult fan = network_->CallManyDistinct(group, payloads);
   for (size_t i = 0; i < fan.responses.size(); ++i) {
     if (!fan.responses[i].ok()) return fan.responses[i].status();
     Decoder dec(Slice(*fan.responses[i]));
@@ -307,9 +344,29 @@ Status DataSourceClient::CallAllBatched(
   if (per_provider_ops.size() != providers_.size()) {
     return Status::Internal("client: batched fan-out arity mismatch");
   }
+  // Killed providers absorb their ops into the resync queue BEFORE
+  // enveloping: the queue holds individual wire messages, never batch
+  // envelopes, so catch-up replay can re-chunk them by batch_max_ops.
+  std::vector<bool> skip(per_provider_ops.size(), false);
+  {
+    std::lock_guard<std::mutex> lock(outage_mu_);
+    if (!out_providers_.empty()) {
+      for (size_t p = 0; p < providers_.size(); ++p) {
+        if (out_providers_.count(providers_[p]) == 0) continue;
+        skip[p] = true;
+        for (const Buffer& op : per_provider_ops[p]) {
+          Buffer copy;
+          copy.Append(op.AsSlice());
+          pending_resync_[providers_[p]].push_back(std::move(copy));
+        }
+      }
+    }
+  }
+
   size_t total = 0;
-  for (const auto& ops : per_provider_ops) {
-    total = std::max(total, ops.size());
+  for (size_t p = 0; p < per_provider_ops.size(); ++p) {
+    if (skip[p]) continue;
+    total = std::max(total, per_provider_ops[p].size());
   }
   if (total == 0) return Status::OK();
 
@@ -322,6 +379,7 @@ Status DataSourceClient::CallAllBatched(
     std::vector<Buffer> requests;
     std::vector<size_t> spans;
     for (size_t p = 0; p < providers_.size(); ++p) {
+      if (skip[p]) continue;
       const std::vector<Buffer>& ops = per_provider_ops[p];
       if (begin >= ops.size()) continue;
       const size_t end = std::min(ops.size(), begin + max_ops);
@@ -360,6 +418,83 @@ Status DataSourceClient::CallAllBatched(
       }
     }
   }
+  return Status::OK();
+}
+
+// --- Kill/restart recovery ------------------------------------------------------
+
+void DataSourceClient::BeginProviderOutage(size_t network_index) {
+  std::lock_guard<std::mutex> lock(outage_mu_);
+  out_providers_.insert(network_index);
+  pending_resync_[network_index];  // ensure the queue exists (may be empty)
+}
+
+bool DataSourceClient::provider_out(size_t network_index) const {
+  std::lock_guard<std::mutex> lock(outage_mu_);
+  return out_providers_.count(network_index) != 0;
+}
+
+size_t DataSourceClient::pending_resync_ops(size_t network_index) const {
+  std::lock_guard<std::mutex> lock(outage_mu_);
+  auto it = pending_resync_.find(network_index);
+  return it == pending_resync_.end() ? 0 : it->second.size();
+}
+
+Status DataSourceClient::ResyncProvider(size_t network_index) {
+  std::vector<Buffer> queued;
+  {
+    std::lock_guard<std::mutex> lock(outage_mu_);
+    if (out_providers_.erase(network_index) == 0) return Status::OK();
+    auto it = pending_resync_.find(network_index);
+    if (it != pending_resync_.end()) {
+      queued = std::move(it->second);
+      pending_resync_.erase(it);
+    }
+  }
+
+  const uint64_t start_us = network_->clock().now_us();
+  // Ship the missed writes in their original order, re-chunked into batch
+  // envelopes exactly like a bulk load (a lone op travels unwrapped).
+  const size_t max_ops = std::max<size_t>(options_.batch_max_ops, 1);
+  for (size_t begin = 0; begin < queued.size(); begin += max_ops) {
+    const size_t end = std::min(queued.size(), begin + max_ops);
+    const size_t span = end - begin;
+    Buffer req;
+    if (span == 1) {
+      req.Append(queued[begin].AsSlice());
+    } else {
+      std::vector<Slice> slices;
+      slices.reserve(span);
+      for (size_t i = begin; i < end; ++i) slices.push_back(queued[i].AsSlice());
+      EncodeBatchRequest(slices, &req);
+      ChargeBatchEnvelope(&metrics_, span);
+    }
+    SSDB_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                          network_->Call(network_index, req.AsSlice()));
+    Decoder dec{Slice(response)};
+    SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&dec));
+    if (span > 1) {
+      std::vector<Slice> subs;
+      SSDB_RETURN_IF_ERROR(DecodeBatchResponsePayload(&dec, &subs));
+      if (subs.size() != span) {
+        return Status::Corruption("client: resync response arity mismatch");
+      }
+      for (const Slice& sub : subs) {
+        Decoder sub_dec(sub);
+        SSDB_RETURN_IF_ERROR(DecodeResponseHeader(&sub_dec));
+      }
+    }
+  }
+
+  if (!queued.empty()) {
+    metrics_
+        .GetCounter("ssdb_recovery_resync_ops_total",
+                    {{"provider", std::to_string(network_index)}})
+        ->Inc(queued.size());
+  }
+  tracer_.AddSpan("resync provider " + std::to_string(network_index),
+                  "recovery", start_us, network_->clock().now_us() - start_us,
+                  0, {{"ops", std::to_string(queued.size())}});
   return Status::OK();
 }
 

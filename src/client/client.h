@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -214,6 +215,31 @@ class DataSourceClient : private PlanHost {
   Result<QueryResult> QueryPublic(const std::string& name,
                                   const Predicate& predicate);
 
+  // --- Kill/restart recovery (storage/engine.h, net/fault_controller.h) ---
+
+  /// Opens a client-side outage for network provider `network_index`
+  /// (called by the FaultController kill hook): from now on every
+  /// mutating request targeted at it is queued verbatim instead of sent,
+  /// while reads keep failing over to spare shares as with kDown. The
+  /// queue preserves send order, so catch-up replay applies the missed
+  /// writes exactly as the survivors saw them.
+  void BeginProviderOutage(size_t network_index);
+
+  /// Closes the outage and ships the queued writes to the restarted
+  /// provider as batch envelopes of at most batch_max_ops sub-ops (a lone
+  /// op travels unwrapped), validating every sub-response. Never reshares
+  /// rows — resharing for one provider would break the polynomial
+  /// consistency of existing shares across the group; the queue holds the
+  /// exact bytes the provider would have received live. No-op when no
+  /// outage is open.
+  Status ResyncProvider(size_t network_index);
+
+  /// True while an outage is open for `network_index`.
+  bool provider_out(size_t network_index) const;
+
+  /// Mutating requests currently queued for `network_index`.
+  size_t pending_resync_ops(size_t network_index) const;
+
   // --- Introspection ------------------------------------------------------
 
   size_t n() const { return providers_.size(); }
@@ -377,6 +403,14 @@ class DataSourceClient : private PlanHost {
   std::map<uint64_t, std::unique_ptr<OrderPreservingScheme>> op_schemes_;
   std::vector<LazyOp> lazy_log_;
   ProviderScoreboard scoreboard_;
+
+  /// Guards out_providers_/pending_resync_ (read on every write fan-out;
+  /// kill/restart drills may overlap a running workload).
+  mutable std::mutex outage_mu_;
+  /// Network indices with an open outage.
+  std::set<size_t> out_providers_;
+  /// Per-provider queue of missed mutating requests, in send order.
+  std::map<size_t, std::vector<Buffer>> pending_resync_;
 
   // Telemetry. The registry/tracer live here (one per deployment); the
   // `ssdb_client_*` handles are cached at construction — the former

@@ -1,19 +1,39 @@
 #include "core/outsourced_db.h"
 
+#include <cstdio>
+#include <mutex>
+
+#include "storage/engine.h"
+
 namespace ssdb {
 
 Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
     OutsourcedDbOptions options) {
   // Resolve the deployment shape: an explicit Topology (on these options
   // or on the client options) wins; the deprecated flat `n` alias yields
-  // the seed 1-shard layout. Full validation happens once, in
+  // the seed 1-shard topology. Full validation happens once, in
   // DataSourceClient::Create.
   Topology topo = options.topology;
   const bool db_set = topo.shards != 1 || topo.providers_per_shard != 0 ||
                       topo.threshold != 0 ||
                       topo.partitioner != Partitioner::kHash;
+  const bool client_set = topo.providers_per_shard == 0 &&
+                          options.client.topology.providers_per_shard != 0;
   if (!db_set) topo = options.client.topology;
   if (topo.shards == 0) topo.shards = 1;
+  if (!db_set && !client_set) {
+    // The deployment shape came from the deprecated flat aliases
+    // (OutsourcedDbOptions::n / ClientOptions::k). Say so once per
+    // process — existing callers keep working unchanged.
+    static std::once_flag deprecation_once;
+    std::call_once(deprecation_once, [] {
+      std::fprintf(stderr,
+                   "ssdb: note: OutsourcedDbOptions::n and ClientOptions::k "
+                   "are deprecated aliases; set options.topology = "
+                   "Topology(shards, providers_per_shard, threshold, "
+                   "partitioner) instead (core/topology.h).\n");
+    });
+  }
   if (topo.shards > 1 && topo.providers_per_shard == 0) {
     if (options.n % topo.shards != 0) {
       return Status::InvalidArgument(
@@ -30,6 +50,14 @@ Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
   options.n = total;  // deprecated alias reports the total provider count
   options.client.topology = topo;
 
+  const bool durable =
+      options.storage.backend == StorageOptions::Backend::kDurable;
+  if (durable && options.storage.dir.empty()) {
+    return Status::InvalidArgument(
+        "OutsourcedDatabase: storage.dir is required for the durable "
+        "backend");
+  }
+
   auto network = std::make_unique<Network>(
       options.network, /*failure_seed=*/0xFA11, options.fanout_threads);
   std::vector<std::shared_ptr<Provider>> providers;
@@ -42,7 +70,19 @@ Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
             ? "DAS" + std::to_string(i + 1)
             : "S" + std::to_string(i / topo.providers_per_shard + 1) +
                   "-DAS" + std::to_string(i % topo.providers_per_shard + 1);
-    auto p = std::make_shared<Provider>(name);
+    std::unique_ptr<StorageEngine> engine;
+    if (durable) {
+      DurableEngineOptions eng;
+      eng.dir = options.storage.dir + "/" + name;
+      eng.snapshot_every = options.storage.wal_snapshot_every;
+      engine = std::make_unique<DurableEngine>(std::move(eng));
+    }
+    auto p = std::make_shared<Provider>(name, std::move(engine));
+    // Open recovers whatever an earlier deployment left under the
+    // provider's directory (snapshot + WAL replay); MemoryEngine is a
+    // no-op. Runs before any client traffic, so recovered state is
+    // visible to the first request.
+    SSDB_RETURN_IF_ERROR(p->OpenStorage());
     indices.push_back(network->AddProvider(p));
     providers.push_back(std::move(p));
   }
@@ -66,13 +106,25 @@ Result<std::unique_ptr<OutsourcedDatabase>> OutsourcedDatabase::Create(
   }
   for (size_t i = 0; i < providers.size(); ++i) {
     providers[i]->AttachMetrics(client->metrics(), std::to_string(indices[i]));
+    // Only durable deployments grow the ssdb_wal_* / ssdb_recovery_*
+    // series: the MemoryEngine telemetry export stays byte-identical to
+    // the seed system (the AttachShardMetrics m>1-only pattern).
+    if (durable) {
+      providers[i]->AttachDurabilityMetrics(client->metrics(),
+                                            std::to_string(indices[i]));
+    }
   }
   return std::unique_ptr<OutsourcedDatabase>(
       new OutsourcedDatabase(std::move(options), std::move(network),
                              std::move(providers), std::move(client)));
 }
 
-ChannelStats OutsourcedDatabase::shard_stats(size_t shard) const {
+Result<ChannelStats> OutsourcedDatabase::shard_stats(size_t shard) const {
+  if (shard >= client_->shards()) {
+    return Status::InvalidArgument(
+        "OutsourcedDatabase: shard " + std::to_string(shard) +
+        " out of range (shards = " + std::to_string(client_->shards()) + ")");
+  }
   ChannelStats total;
   const size_t per = client_->providers_per_shard();
   for (size_t p = shard * per; p < (shard + 1) * per; ++p) {

@@ -6,8 +6,7 @@
 // need this header:
 //
 //   OutsourcedDbOptions options;
-//   options.n = 3;
-//   options.client.k = 2;
+//   options.topology = Topology(/*m=*/1, /*n_per=*/3, /*k=*/2);
 //   auto db = OutsourcedDatabase::Create(options).value();
 //   db->CreateTable(...);
 //   db->Insert("Employees", rows);
@@ -44,6 +43,23 @@
 
 namespace ssdb {
 
+/// Provider-side storage configuration (storage/engine.h).
+struct StorageOptions {
+  enum class Backend {
+    kMemory,   ///< RAM only (the seed system); nothing survives a kill.
+    kDurable,  ///< Per-provider WAL + snapshots under `dir`; providers
+               ///< survive faults().Kill + Restart with state intact.
+  };
+  Backend backend = Backend::kMemory;
+  /// Root directory for durable provider state; each provider gets the
+  /// subdirectory `dir/<provider name>` (created on open). Required for
+  /// kDurable.
+  std::string dir;
+  /// Checkpoint cadence: snapshot the full state and truncate the WAL
+  /// after this many logged mutations (0 = never; WAL grows unbounded).
+  size_t wal_snapshot_every = 256;
+};
+
 /// Options assembling a full deployment.
 struct OutsourcedDbOptions {
   /// Deployment shape: shard groups, providers per group, threshold and
@@ -68,6 +84,11 @@ struct OutsourcedDbOptions {
   /// Worker threads for the provider fan-out pool (0 = one per hardware
   /// thread). 1 reproduces the serial execution order exactly.
   size_t fanout_threads = 0;
+  /// Provider storage backend. The default MemoryEngine deployment is
+  /// byte-identical to the seed system (results, wire bytes, virtual
+  /// clock, telemetry exports); kDurable adds WAL + snapshot recovery and
+  /// the `ssdb_wal_*` / `ssdb_recovery_*` telemetry series.
+  StorageOptions storage;
 };
 
 /// \brief A complete simulated deployment: n providers + network + client.
@@ -165,6 +186,15 @@ class OutsourcedDatabase {
   /// .Drop(i, p), .Corrupt(i), .Slow(i, f), .Flaky(i, p), .Heal(i),
   /// .HealAll(), or RAII ScopedFault. HealAll also resets the resilience
   /// scoreboard, so healed faults do not echo as open breakers.
+  ///
+  /// Kill/restart (the durable-provider chaos drill): db.faults().Kill(i)
+  /// drops provider i's RAM state and takes its link down; writes issued
+  /// while it is dead succeed on the survivors and queue client-side.
+  /// db.faults().Restart(i) recovers it from durable storage (snapshot +
+  /// WAL replay), ships the queued writes, and resets its scoreboard
+  /// entry so it rejoins quorums as a fresh peer. With the default
+  /// MemoryEngine backend a restart recovers only the queued writes —
+  /// use StorageOptions::Backend::kDurable for full recovery.
   FaultController& faults() { return faults_; }
 
   /// The client's provider health scoreboard (resilience layer).
@@ -179,8 +209,9 @@ class OutsourcedDatabase {
   const Topology& topology() const { return client_->topology(); }
   size_t shards() const { return client_->shards(); }
   size_t providers_per_shard() const { return client_->providers_per_shard(); }
-  /// Aggregated channel stats of shard group `shard`'s links.
-  ChannelStats shard_stats(size_t shard) const;
+  /// Aggregated channel stats of shard group `shard`'s links; returns
+  /// InvalidArgument when `shard >= shards()`.
+  Result<ChannelStats> shard_stats(size_t shard) const;
   DataSourceClient& client() { return *client_; }
   Network& network() { return *network_; }
   Provider& provider(size_t i) { return *providers_[i]; }
@@ -217,6 +248,19 @@ class OutsourcedDatabase {
         client_(std::move(client)),
         faults_(network_.get()) {
     faults_.AttachScoreboard(client_->scoreboard());
+    // Kill/restart lifecycle: Kill crashes the engine (RAM state gone)
+    // and opens the client-side outage so missed writes queue; Restart
+    // recovers from durable storage, then replays the queue. Provider i's
+    // network index is i (AddProvider assigns sequentially at Create).
+    faults_.AttachLifecycle(
+        [this](size_t i) {
+          providers_[i]->Crash();
+          client_->BeginProviderOutage(i);
+        },
+        [this](size_t i) {
+          SSDB_RETURN_IF_ERROR(providers_[i]->Restart());
+          return client_->ResyncProvider(i);
+        });
   }
 
   OutsourcedDbOptions options_;

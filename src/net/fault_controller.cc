@@ -4,6 +4,23 @@
 
 namespace ssdb {
 
+void FaultController::Kill(size_t i) {
+  network_->SetFailure(i, FailureMode::kKill);
+  if (on_kill_) on_kill_(i);
+}
+
+Status FaultController::Restart(size_t i) {
+  if (mode(i) != FailureMode::kKill) return Status::OK();
+  // The link heals first: the restart hook's catch-up writes (batched
+  // missed-mutation envelopes) travel over this same link. The hook runs
+  // synchronously before control returns to the workload, so nothing can
+  // observe the provider between link-heal and recovery completing.
+  network_->SetFailure(i, FailureMode::kHealthy);
+  if (on_restart_) SSDB_RETURN_IF_ERROR(on_restart_(i));
+  if (scoreboard_ != nullptr) scoreboard_->ResetProvider(i);
+  return Status::OK();
+}
+
 void FaultController::HealAll() {
   for (size_t i = 0; i < network_->num_providers(); ++i) Heal(i);
   if (scoreboard_ != nullptr) scoreboard_->Reset();

@@ -21,7 +21,9 @@
 #define SSDB_NET_FAULT_CONTROLLER_H_
 
 #include <cstddef>
+#include <functional>
 
+#include "common/status.h"
 #include "net/network.h"
 
 namespace ssdb {
@@ -62,16 +64,52 @@ class FaultController {
     network_->SetFailure(i, mode, param);
   }
 
-  /// Restores provider `i` to healthy.
-  void Heal(size_t i) { network_->SetFailure(i, FailureMode::kHealthy); }
+  /// Restores provider `i` to healthy. A killed provider is restarted
+  /// (Restart), not merely healed — healing only the link would bring a
+  /// provider back with its RAM state still lost.
+  void Heal(size_t i) {
+    if (mode(i) == FailureMode::kKill) {
+      (void)Restart(i);
+      return;
+    }
+    network_->SetFailure(i, FailureMode::kHealthy);
+  }
 
-  /// Restores every provider to healthy and — when a scoreboard is
-  /// attached — forgets the resilience layer's health history, so healed
-  /// faults do not echo as open breakers or stale latency estimates.
+  /// Kills provider `i`: the link goes to FailureMode::kKill (every call
+  /// Unavailable) and the attached kill hook crashes the provider's
+  /// storage engine, dropping all of its RAM state. What Restart can
+  /// recover is exactly what the engine made durable (MemoryEngine:
+  /// nothing; DurableEngine: snapshot + WAL).
+  void Kill(size_t i);
+
+  /// Restarts a killed provider: the restart hook reopens its storage
+  /// engine (snapshot load + WAL redo replay), the client ships the
+  /// writes the provider missed while dead (batched catch-up envelopes),
+  /// the link heals, and the scoreboard forgets the provider's failure
+  /// history so quorum ranking treats it as recovered. No-op on a
+  /// provider that is not killed.
+  Status Restart(size_t i);
+
+  /// Restores every provider to healthy; killed providers are restarted
+  /// (storage recovery + catch-up), and — when a scoreboard is attached —
+  /// the resilience layer's health history is forgotten, so healed faults
+  /// do not echo as open breakers or stale latency estimates.
   void HealAll();
 
   /// Registers the client's health scoreboard for HealAll resets.
   void AttachScoreboard(ProviderScoreboard* board) { scoreboard_ = board; }
+
+  /// Registers the kill/restart lifecycle hooks (wired by
+  /// OutsourcedDatabase::Create): `on_kill` crashes provider `i`'s
+  /// storage engine and opens the client-side outage (missed writes start
+  /// queueing); `on_restart` recovers the provider from durable storage
+  /// and replays the queued writes to it. Without hooks, Kill degrades to
+  /// Down and Restart to Heal.
+  void AttachLifecycle(std::function<void(size_t)> on_kill,
+                       std::function<Status(size_t)> on_restart) {
+    on_kill_ = std::move(on_kill);
+    on_restart_ = std::move(on_restart);
+  }
 
   /// Current mode of provider `i`.
   FailureMode mode(size_t i) const { return network_->failure_mode(i); }
@@ -82,12 +120,16 @@ class FaultController {
  private:
   Network* network_;
   ProviderScoreboard* scoreboard_ = nullptr;
+  std::function<void(size_t)> on_kill_;
+  std::function<Status(size_t)> on_restart_;
 };
 
 /// \brief RAII fault: applies a failure on construction and restores the
 /// provider's previous failure state on exit — including exception
 /// unwind, so a throwing test body never leaks an injected fault into the
-/// next test.
+/// next test. Not for FailureMode::kKill: kill/restart is a lifecycle
+/// (engine crash + recovery + catch-up), not a link state — use
+/// FaultController::Kill / Restart explicitly.
 class ScopedFault {
  public:
   ScopedFault(FaultController& faults, size_t provider, FailureMode mode,

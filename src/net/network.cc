@@ -118,13 +118,14 @@ Result<std::vector<uint8_t>> Network::CallNoClockImpl(size_t provider,
   link.stats.calls++;
 
   // Failure injection happens "on the wire".
-  if (link.mode == FailureMode::kDown) {
+  if (link.mode == FailureMode::kDown || link.mode == FailureMode::kKill) {
     link.stats.failures++;
     trace->elapsed_us = model_.latency_us;  // timeout charged as one latency
     return CapFailureAtDeadline(
         deadline_us, trace,
         Status::Unavailable("provider " + link.endpoint->name() +
-                            " is down"));
+                            (link.mode == FailureMode::kKill ? " was killed"
+                                                             : " is down")));
   }
   if (link.mode == FailureMode::kDropSome &&
       link.rng.Bernoulli(link.param)) {

@@ -73,6 +73,13 @@ enum class FailureMode {
                      ///< `param` (per-link seeded stream); while bad, every
                      ///< call is dropped. Unlike kDropSome the failures are
                      ///< correlated, modelling a flapping provider.
+  kKill,             ///< Provider process death: on the wire identical to
+                     ///< kDown (every call Unavailable), but the mode marks
+                     ///< the provider's RAM state as lost — set via
+                     ///< FaultController::Kill, which also crashes the
+                     ///< provider's storage engine, and cleared by
+                     ///< FaultController::Restart, which recovers it from
+                     ///< durable storage.
 };
 
 /// Exact accounting for one call leg, as charged to the channel stats and

@@ -203,6 +203,11 @@ void ProviderScoreboard::Reset() {
   entries_.clear();
 }
 
+void ProviderScoreboard::ResetProvider(size_t provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (provider < entries_.size()) entries_[provider] = Entry();
+}
+
 QuorumResult RunResilientQuorum(Network* network,
                                 const std::vector<size_t>& providers,
                                 const std::vector<Buffer>& requests,

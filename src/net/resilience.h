@@ -159,6 +159,12 @@ class ProviderScoreboard {
   /// FaultController::HealAll so healed faults do not echo).
   void Reset();
 
+  /// Forgets one provider's history and closes its breaker, leaving every
+  /// other entry untouched. Used by FaultController::Restart so a
+  /// recovered provider rejoins quorum ranking as a fresh optimistic peer
+  /// instead of dragging its death around as an open breaker.
+  void ResetProvider(size_t provider);
+
   /// Publishes breaker state changes: each transition bumps
   /// `ssdb_resilience_breaker_transitions_total{provider, to}` and emits
   /// an instant "breaker" span event under the caller's current span.

@@ -248,7 +248,11 @@ Result<std::unique_ptr<PlanNode>> Planner::PlanPipeline(const Query& query,
   out->quorum_min = k;
   // Scoreboard-aware quorum selection: contact the healthiest providers
   // first (breaker-open ones last). The ranking changes only which
-  // positions serve the quorum, never the plan shape or labels.
+  // positions serve the quorum, never the plan shape or labels. A
+  // provider recovered from a kill (FaultController::Restart) rejoins
+  // here automatically: ResetProvider cleared its scoreboard entry, so
+  // the ranking treats it as a fresh optimistic peer instead of
+  // deprioritizing it for its pre-crash failure history.
   if (host_->resilience().prefer_healthy) {
     out->quorum_order = host_->scoreboard()->RankedPositions(
         n, host_->network()->clock().now_us());

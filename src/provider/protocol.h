@@ -51,6 +51,27 @@ enum class MsgType : uint8_t {
 static_assert(static_cast<uint8_t>(MsgType::kBatch) == kBatchMsgTag,
               "MsgType::kBatch must match the net-layer envelope tag");
 
+/// True for messages that create/drop tables or rewrite row state. The
+/// provider serializes these exclusively, WAL-logs them (storage/engine.h),
+/// and the client queues them for catch-up when their target is killed
+/// (kBatch envelopes are classified by their sub-messages, not here).
+inline bool IsMutatingMessage(MsgType type) {
+  switch (type) {
+    case MsgType::kCreateTable:
+    case MsgType::kDropTable:
+    case MsgType::kInsertRows:
+    case MsgType::kDeleteRows:
+    case MsgType::kUpdateRows:
+    case MsgType::kCreatePublicTable:
+    case MsgType::kInsertPublicRows:
+    case MsgType::kAttachShareIndex:
+    case MsgType::kRefreshRows:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Provider-side evaluation strategy for a query.
 enum class QueryAction : uint8_t {
   kFetchRows = 0,   ///< Return the matching share rows.

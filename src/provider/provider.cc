@@ -8,30 +8,6 @@
 
 namespace ssdb {
 
-namespace {
-
-// Messages that create/drop tables or rewrite row state. Handle serializes
-// these exclusively against every other message, so read-only messages can
-// hold pointers into table internals for the duration of their handler.
-bool IsMutatingMsg(MsgType type) {
-  switch (type) {
-    case MsgType::kCreateTable:
-    case MsgType::kDropTable:
-    case MsgType::kInsertRows:
-    case MsgType::kDeleteRows:
-    case MsgType::kUpdateRows:
-    case MsgType::kCreatePublicTable:
-    case MsgType::kInsertPublicRows:
-    case MsgType::kAttachShareIndex:
-    case MsgType::kRefreshRows:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
 void Provider::AttachMetrics(MetricsRegistry* registry,
                              const std::string& label) {
   const MetricLabels labels = {{"provider", label}};
@@ -60,12 +36,21 @@ Result<Buffer> Provider::Handle(Slice request) {
                                                     std::defer_lock);
       std::unique_lock<std::shared_mutex> write_lock(state_mu_,
                                                      std::defer_lock);
-      if (IsMutatingMsg(static_cast<MsgType>(type))) {
+      const bool mutating = IsMutatingMessage(static_cast<MsgType>(type));
+      if (mutating) {
         write_lock.lock();
       } else {
         read_lock.lock();
       }
       st = Dispatch(static_cast<MsgType>(type), &dec, &out);
+      if (mutating) {
+        // WAL-log every dispatched mutating message, successful or not:
+        // handlers are deterministic, so replaying a partially-applied
+        // message reproduces the partial application exactly. Logged
+        // under the exclusive lock — log order equals apply order.
+        Status log_st = engine_->LogMutation(request);
+        if (st.ok() && !log_st.ok()) st = log_st;
+      }
     }
   }
   if (!st.ok()) {
@@ -127,7 +112,7 @@ Status Provider::HandleBatch(Decoder* dec, Buffer* out) {
   std::unique_lock<std::shared_mutex> write_lock(state_mu_, std::defer_lock);
   bool mutating = false;
   for (const Slice& op : ops) {
-    if (!op.empty() && IsMutatingMsg(static_cast<MsgType>(op.data()[0]))) {
+    if (!op.empty() && IsMutatingMessage(static_cast<MsgType>(op.data()[0]))) {
       mutating = true;
       break;
     }
@@ -147,6 +132,12 @@ Status Provider::HandleBatch(Decoder* dec, Buffer* out) {
     Status st = op_dec.GetU8(&sub_type);
     if (st.ok()) {
       st = Dispatch(static_cast<MsgType>(sub_type), &op_dec, &responses[i]);
+      // Mutating sub-ops are WAL-logged individually, in envelope order,
+      // successful or not (see Handle) — replay re-applies the envelope's
+      // effects op for op.
+      if (IsMutatingMessage(static_cast<MsgType>(sub_type))) {
+        SSDB_RETURN_IF_ERROR(engine_->LogMutation(ops[i]));
+      }
     }
     if (!st.ok()) {
       responses[i].clear();
@@ -159,16 +150,18 @@ Status Provider::HandleBatch(Decoder* dec, Buffer* out) {
 }
 
 Result<ShareTable*> Provider::FindTable(uint32_t table_id) {
-  auto it = tables_.find(table_id);
-  if (it == tables_.end()) {
+  auto& tables = engine_->state().tables;
+  auto it = tables.find(table_id);
+  if (it == tables.end()) {
     return Status::NotFound("provider: unknown table id");
   }
   return &it->second;
 }
 
-Result<Provider::PublicTable*> Provider::FindPublicTable(uint32_t table_id) {
-  auto it = public_tables_.find(table_id);
-  if (it == public_tables_.end()) {
+Result<PublicTable*> Provider::FindPublicTable(uint32_t table_id) {
+  auto& public_tables = engine_->state().public_tables;
+  auto it = public_tables.find(table_id);
+  if (it == public_tables.end()) {
     return Status::NotFound("provider: unknown public table id");
   }
   return &it->second;
@@ -176,8 +169,9 @@ Result<Provider::PublicTable*> Provider::FindPublicTable(uint32_t table_id) {
 
 Result<const ShareTable*> Provider::GetTableForTest(uint32_t table_id) const {
   std::shared_lock<std::shared_mutex> lock(state_mu_);
-  auto it = tables_.find(table_id);
-  if (it == tables_.end()) {
+  const auto& tables = engine_->state().tables;
+  auto it = tables.find(table_id);
+  if (it == tables.end()) {
     return Status::NotFound("provider: unknown table id");
   }
   return &it->second;
@@ -195,10 +189,11 @@ Status Provider::HandleCreateTable(Decoder* dec, Buffer* out) {
   for (auto& c : layout) {
     SSDB_RETURN_IF_ERROR(ProviderColumnLayout::DecodeFrom(dec, &c));
   }
-  if (tables_.count(table_id) != 0) {
+  auto& tables = engine_->state().tables;
+  if (tables.count(table_id) != 0) {
     return Status::AlreadyExists("provider: table id already exists");
   }
-  tables_.emplace(table_id, ShareTable(std::move(layout)));
+  tables.emplace(table_id, ShareTable(std::move(layout)));
   EncodeOkHeader(out);
   return Status::OK();
 }
@@ -206,7 +201,7 @@ Status Provider::HandleCreateTable(Decoder* dec, Buffer* out) {
 Status Provider::HandleDropTable(Decoder* dec, Buffer* out) {
   uint32_t table_id = 0;
   SSDB_RETURN_IF_ERROR(dec->GetU32(&table_id));
-  if (tables_.erase(table_id) == 0) {
+  if (engine_->state().tables.erase(table_id) == 0) {
     return Status::NotFound("provider: unknown table id");
   }
   EncodeOkHeader(out);
@@ -567,12 +562,13 @@ Status Provider::HandleCreatePublicTable(Decoder* dec, Buffer* out) {
   if (num_columns == 0 || num_columns > 4096) {
     return Status::InvalidArgument("provider: implausible public column count");
   }
-  if (public_tables_.count(table_id) != 0) {
+  auto& public_tables = engine_->state().public_tables;
+  if (public_tables.count(table_id) != 0) {
     return Status::AlreadyExists("provider: public table id already exists");
   }
   PublicTable t;
   t.num_columns = num_columns;
-  public_tables_.emplace(table_id, std::move(t));
+  public_tables.emplace(table_id, std::move(t));
   EncodeOkHeader(out);
   return Status::OK();
 }
@@ -708,115 +704,42 @@ Status Provider::HandleTableStats(Decoder* dec, Buffer* out) {
   return Status::OK();
 }
 
-// --- Snapshots ---------------------------------------------------------------
+// --- Durability & lifecycle ---------------------------------------------------
 
-namespace {
-constexpr uint32_t kProviderSnapshotMagic = 0x50534E50;  // "PSNP"
-}  // namespace
+Status Provider::OpenStorage() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  // Replay re-dispatches each logged wire message through the live
+  // handlers (the lock is already held; Dispatch never takes it). The
+  // mutating handlers bump no work counters, so recovery leaves
+  // ProviderStats and the ssdb_provider_* series untouched.
+  return engine_->Open(name_, [this](Slice record) {
+    Decoder dec(record);
+    uint8_t type = 0;
+    SSDB_RETURN_IF_ERROR(dec.GetU8(&type));
+    Buffer scratch;
+    return Dispatch(static_cast<MsgType>(type), &dec, &scratch);
+  });
+}
+
+void Provider::Crash() {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  engine_->Crash();
+}
+
+// --- Snapshots ---------------------------------------------------------------
 
 void Provider::SaveSnapshot(Buffer* out) const {
   std::shared_lock<std::shared_mutex> lock(state_mu_);
-  out->PutU32(kProviderSnapshotMagic);
-  out->PutLengthPrefixed(Slice(name_));
-  out->PutVarint(tables_.size());
-  for (const auto& [id, table] : tables_) {
-    out->PutU32(id);
-    table.SaveSnapshot(out);
-  }
-  out->PutVarint(public_tables_.size());
-  for (const auto& [id, table] : public_tables_) {
-    out->PutU32(id);
-    out->PutU32(table.num_columns);
-    out->PutVarint(table.rows.size());
-    for (const auto& row : table.rows) {
-      for (const Value& v : row) v.EncodeTo(out);
-    }
-    out->PutVarint(table.share_index.size());
-    for (const auto& [col, idx] : table.share_index) {
-      out->PutU32(col);
-      out->PutVarint(idx.det.size());
-      for (const auto& [det, row_id] : idx.det) {
-        out->PutU64(det);
-        out->PutU64(row_id);
-      }
-      out->PutVarint(idx.op.size());
-      idx.op.Scan(0, ~static_cast<u128>(0), [&](u128 key, uint64_t row_id) {
-        out->PutU128(key);
-        out->PutU64(row_id);
-        return true;
-      });
-    }
-  }
+  EncodeProviderState(engine_->state(), name_, out);
 }
 
 Status Provider::LoadSnapshot(Slice snapshot) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
-  Decoder dec(snapshot);
-  uint32_t magic = 0;
-  SSDB_RETURN_IF_ERROR(dec.GetU32(&magic));
-  if (magic != kProviderSnapshotMagic) {
-    return Status::Corruption("provider snapshot: bad magic");
-  }
   std::string name;
-  SSDB_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&name));
-
-  std::map<uint32_t, ShareTable> tables;
-  uint64_t n = 0;
-  SSDB_RETURN_IF_ERROR(dec.GetVarint(&n));
-  for (uint64_t i = 0; i < n; ++i) {
-    uint32_t id = 0;
-    SSDB_RETURN_IF_ERROR(dec.GetU32(&id));
-    SSDB_ASSIGN_OR_RETURN(ShareTable table, ShareTable::LoadSnapshot(&dec));
-    tables.emplace(id, std::move(table));
-  }
-
-  std::map<uint32_t, PublicTable> public_tables;
-  SSDB_RETURN_IF_ERROR(dec.GetVarint(&n));
-  for (uint64_t i = 0; i < n; ++i) {
-    uint32_t id = 0;
-    PublicTable table;
-    SSDB_RETURN_IF_ERROR(dec.GetU32(&id));
-    SSDB_RETURN_IF_ERROR(dec.GetU32(&table.num_columns));
-    if (table.num_columns == 0 || table.num_columns > 4096) {
-      return Status::Corruption("provider snapshot: bad public column count");
-    }
-    uint64_t rows = 0;
-    SSDB_RETURN_IF_ERROR(dec.GetVarint(&rows));
-    for (uint64_t r = 0; r < rows; ++r) {
-      std::vector<Value> row(table.num_columns);
-      for (auto& v : row) SSDB_RETURN_IF_ERROR(Value::DecodeFrom(&dec, &v));
-      table.rows.push_back(std::move(row));
-    }
-    uint64_t indexes = 0;
-    SSDB_RETURN_IF_ERROR(dec.GetVarint(&indexes));
-    for (uint64_t x = 0; x < indexes; ++x) {
-      uint32_t col = 0;
-      SSDB_RETURN_IF_ERROR(dec.GetU32(&col));
-      PublicColumnIndex& idx = table.share_index[col];
-      uint64_t det_entries = 0;
-      SSDB_RETURN_IF_ERROR(dec.GetVarint(&det_entries));
-      for (uint64_t e = 0; e < det_entries; ++e) {
-        uint64_t det = 0, row_id = 0;
-        SSDB_RETURN_IF_ERROR(dec.GetU64(&det));
-        SSDB_RETURN_IF_ERROR(dec.GetU64(&row_id));
-        idx.det.emplace(det, row_id);
-      }
-      uint64_t op_entries = 0;
-      SSDB_RETURN_IF_ERROR(dec.GetVarint(&op_entries));
-      for (uint64_t e = 0; e < op_entries; ++e) {
-        u128 key = 0;
-        uint64_t row_id = 0;
-        SSDB_RETURN_IF_ERROR(dec.GetU128(&key));
-        SSDB_RETURN_IF_ERROR(dec.GetU64(&row_id));
-        idx.op.Insert(key, row_id);
-      }
-    }
-    public_tables.emplace(id, std::move(table));
-  }
-
+  ProviderState state;
+  SSDB_RETURN_IF_ERROR(DecodeProviderState(snapshot, &name, &state));
   name_ = std::move(name);
-  tables_ = std::move(tables);
-  public_tables_ = std::move(public_tables);
+  engine_->state() = std::move(state);
   return Status::OK();
 }
 

@@ -28,6 +28,7 @@
 #include "net/network.h"
 #include "provider/protocol.h"
 #include "storage/btree.h"
+#include "storage/engine.h"
 #include "storage/share_table.h"
 
 namespace ssdb {
@@ -43,9 +44,21 @@ struct ProviderStats {
 };
 
 /// \brief One database service provider.
+///
+/// The Provider owns the protocol: request decoding, locking, handler
+/// dispatch and response encoding. All stored state — share tables and
+/// hosted public tables — lives in a pluggable StorageEngine
+/// (storage/engine.h): MemoryEngine (the default; the seed system's
+/// RAM-only behavior) or DurableEngine (per-provider WAL + snapshots,
+/// surviving Crash()/Restart()).
 class Provider : public ProviderEndpoint {
  public:
-  explicit Provider(std::string name) : name_(std::move(name)) {}
+  /// A null `engine` means MemoryEngine (the seed system's provider).
+  explicit Provider(std::string name,
+                    std::unique_ptr<StorageEngine> engine = nullptr)
+      : name_(std::move(name)),
+        engine_(engine != nullptr ? std::move(engine)
+                                  : std::make_unique<MemoryEngine>()) {}
 
   // ProviderEndpoint:
   Result<Buffer> Handle(Slice request) override;
@@ -68,7 +81,7 @@ class Provider : public ProviderEndpoint {
   /// Number of share tables currently hosted.
   size_t num_tables() const {
     std::shared_lock<std::shared_mutex> lock(state_mu_);
-    return tables_.size();
+    return engine_->state().tables.size();
   }
 
   /// Total share rows hosted across all tables. Under a multi-shard
@@ -77,12 +90,44 @@ class Provider : public ProviderEndpoint {
   size_t num_rows() const {
     std::shared_lock<std::shared_mutex> lock(state_mu_);
     size_t total = 0;
-    for (const auto& [id, table] : tables_) total += table.size();
+    for (const auto& [id, table] : engine_->state().tables) {
+      total += table.size();
+    }
     return total;
   }
 
   /// Direct (test-only) access to a hosted table.
   Result<const ShareTable*> GetTableForTest(uint32_t table_id) const;
+
+  // --- Durability & lifecycle -------------------------------------------
+
+  /// The storage engine backing this provider's state.
+  StorageEngine& engine() { return *engine_; }
+  const StorageEngine& engine() const { return *engine_; }
+
+  /// Opens the storage engine: for a DurableEngine this loads the last
+  /// snapshot and redo-replays the WAL through the provider's own
+  /// handlers; for MemoryEngine it is a no-op. Called once after
+  /// construction (OutsourcedDatabase::Create) and again by Restart().
+  Status OpenStorage();
+
+  /// Simulates process death: all in-memory state is dropped without any
+  /// flush. Combine with FailureMode::kKill on the network link so
+  /// in-flight and subsequent calls fail Unavailable.
+  void Crash();
+
+  /// Restarts a crashed provider from durable storage: snapshot load +
+  /// WAL replay (MemoryEngine restarts empty). The caller resyncs missed
+  /// writes afterwards (DataSourceClient::ResyncProvider).
+  Status Restart() { return OpenStorage(); }
+
+  /// Mirrors the engine's `ssdb_wal_*` / `ssdb_recovery_*` counters into
+  /// `registry`. Only durable deployments attach this, so MemoryEngine
+  /// telemetry exports stay byte-identical to the seed.
+  void AttachDurabilityMetrics(MetricsRegistry* registry,
+                               const std::string& label) {
+    engine_->AttachMetrics(registry, label);
+  }
 
   /// Serializes the provider's entire state — share tables, public tables
   /// and attached share indexes — so a provider process can restart from
@@ -95,16 +140,6 @@ class Provider : public ProviderEndpoint {
   Status LoadSnapshotFromFile(const std::string& path);
 
  private:
-  struct PublicColumnIndex {
-    std::unordered_multimap<uint64_t, uint64_t> det;  // det share -> row id
-    BPlusTree op;                                     // op share -> row id
-  };
-  struct PublicTable {
-    uint32_t num_columns = 0;
-    std::vector<std::vector<Value>> rows;  // row id = position
-    std::map<uint32_t, PublicColumnIndex> share_index;
-  };
-
   /// Runs one already-typed message under the caller-held state lock and
   /// appends its full response. Rejects kBatch (no nested envelopes).
   Status Dispatch(MsgType type, Decoder* dec, Buffer* out);
@@ -166,13 +201,14 @@ class Provider : public ProviderEndpoint {
   MetricCounter* metric_rows_examined_ = nullptr;
   MetricCounter* metric_rows_returned_ = nullptr;
   MetricCounter* metric_index_lookups_ = nullptr;
-  /// Guards the table maps (not the tables' contents — each ShareTable has
-  /// its own lock). Handle takes it exclusively for messages that create,
-  /// drop or rewrite tables, shared otherwise, so read-only fan-out legs
-  /// proceed in parallel while DDL/DML serializes against them.
+  /// Guards the engine's table maps (not the tables' contents — each
+  /// ShareTable has its own lock). Handle takes it exclusively for
+  /// messages that create, drop or rewrite tables, shared otherwise, so
+  /// read-only fan-out legs proceed in parallel while DDL/DML serializes
+  /// against them. WAL appends happen under the exclusive lock, so each
+  /// provider's log order equals its apply order.
   mutable std::shared_mutex state_mu_;
-  std::map<uint32_t, ShareTable> tables_;
-  std::map<uint32_t, PublicTable> public_tables_;
+  std::unique_ptr<StorageEngine> engine_;
 };
 
 }  // namespace ssdb

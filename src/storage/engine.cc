@@ -1,0 +1,319 @@
+#include "storage/engine.h"
+
+#include <filesystem>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace ssdb {
+
+// --- PSNP snapshot codec -----------------------------------------------------
+
+namespace {
+constexpr uint32_t kProviderSnapshotMagic = 0x50534E50;  // "PSNP"
+}  // namespace
+
+void EncodeProviderState(const ProviderState& state, const std::string& name,
+                         Buffer* out) {
+  out->PutU32(kProviderSnapshotMagic);
+  out->PutLengthPrefixed(Slice(name));
+  out->PutVarint(state.tables.size());
+  for (const auto& [id, table] : state.tables) {
+    out->PutU32(id);
+    table.SaveSnapshot(out);
+  }
+  out->PutVarint(state.public_tables.size());
+  for (const auto& [id, table] : state.public_tables) {
+    out->PutU32(id);
+    out->PutU32(table.num_columns);
+    out->PutVarint(table.rows.size());
+    for (const auto& row : table.rows) {
+      for (const Value& v : row) v.EncodeTo(out);
+    }
+    out->PutVarint(table.share_index.size());
+    for (const auto& [col, idx] : table.share_index) {
+      out->PutU32(col);
+      out->PutVarint(idx.det.size());
+      for (const auto& [det, row_id] : idx.det) {
+        out->PutU64(det);
+        out->PutU64(row_id);
+      }
+      out->PutVarint(idx.op.size());
+      idx.op.Scan(0, ~static_cast<u128>(0), [&](u128 key, uint64_t row_id) {
+        out->PutU128(key);
+        out->PutU64(row_id);
+        return true;
+      });
+    }
+  }
+}
+
+Status DecodeProviderState(Slice snapshot, std::string* name,
+                           ProviderState* state) {
+  Decoder dec(snapshot);
+  uint32_t magic = 0;
+  SSDB_RETURN_IF_ERROR(dec.GetU32(&magic));
+  if (magic != kProviderSnapshotMagic) {
+    return Status::Corruption("provider snapshot: bad magic");
+  }
+  std::string decoded_name;
+  SSDB_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&decoded_name));
+
+  ProviderState out;
+  uint64_t n = 0;
+  SSDB_RETURN_IF_ERROR(dec.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t id = 0;
+    SSDB_RETURN_IF_ERROR(dec.GetU32(&id));
+    SSDB_ASSIGN_OR_RETURN(ShareTable table, ShareTable::LoadSnapshot(&dec));
+    out.tables.emplace(id, std::move(table));
+  }
+
+  SSDB_RETURN_IF_ERROR(dec.GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t id = 0;
+    PublicTable table;
+    SSDB_RETURN_IF_ERROR(dec.GetU32(&id));
+    SSDB_RETURN_IF_ERROR(dec.GetU32(&table.num_columns));
+    if (table.num_columns == 0 || table.num_columns > 4096) {
+      return Status::Corruption("provider snapshot: bad public column count");
+    }
+    uint64_t rows = 0;
+    SSDB_RETURN_IF_ERROR(dec.GetVarint(&rows));
+    for (uint64_t r = 0; r < rows; ++r) {
+      std::vector<Value> row(table.num_columns);
+      for (auto& v : row) SSDB_RETURN_IF_ERROR(Value::DecodeFrom(&dec, &v));
+      table.rows.push_back(std::move(row));
+    }
+    uint64_t indexes = 0;
+    SSDB_RETURN_IF_ERROR(dec.GetVarint(&indexes));
+    for (uint64_t x = 0; x < indexes; ++x) {
+      uint32_t col = 0;
+      SSDB_RETURN_IF_ERROR(dec.GetU32(&col));
+      PublicColumnIndex& idx = table.share_index[col];
+      uint64_t det_entries = 0;
+      SSDB_RETURN_IF_ERROR(dec.GetVarint(&det_entries));
+      for (uint64_t e = 0; e < det_entries; ++e) {
+        uint64_t det = 0, row_id = 0;
+        SSDB_RETURN_IF_ERROR(dec.GetU64(&det));
+        SSDB_RETURN_IF_ERROR(dec.GetU64(&row_id));
+        idx.det.emplace(det, row_id);
+      }
+      uint64_t op_entries = 0;
+      SSDB_RETURN_IF_ERROR(dec.GetVarint(&op_entries));
+      for (uint64_t e = 0; e < op_entries; ++e) {
+        u128 key = 0;
+        uint64_t row_id = 0;
+        SSDB_RETURN_IF_ERROR(dec.GetU128(&key));
+        SSDB_RETURN_IF_ERROR(dec.GetU64(&row_id));
+        idx.op.Insert(key, row_id);
+      }
+    }
+    out.public_tables.emplace(id, std::move(table));
+  }
+
+  *name = std::move(decoded_name);
+  *state = std::move(out);
+  return Status::OK();
+}
+
+// --- DurableEngine -----------------------------------------------------------
+
+namespace {
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("storage engine: cannot open " + path);
+  }
+  out->clear();
+  uint8_t chunk[4096];
+  size_t got = 0;
+  while ((got = fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out->insert(out->end(), chunk, chunk + got);
+  }
+  fclose(f);
+  return Status::OK();
+}
+
+Status WriteFileBytes(const std::string& path, Slice bytes) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("storage engine: cannot open " + path +
+                            " for writing");
+  }
+  const size_t written = fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_rc = fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return Status::Internal("storage engine: short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DurableEngine::~DurableEngine() {
+  if (wal_ != nullptr) fclose(wal_);
+}
+
+void DurableEngine::AttachMetrics(MetricsRegistry* registry,
+                                  const std::string& label) {
+  const MetricLabels labels = {{"provider", label}};
+  metric_appends_ = registry->GetCounter("ssdb_wal_appends_total", labels);
+  metric_bytes_ = registry->GetCounter("ssdb_wal_bytes_total", labels);
+  metric_checkpoints_ =
+      registry->GetCounter("ssdb_wal_checkpoints_total", labels);
+  metric_replayed_ =
+      registry->GetCounter("ssdb_recovery_replayed_records_total", labels);
+  metric_truncated_bytes_ =
+      registry->GetCounter("ssdb_recovery_truncated_bytes_total", labels);
+  metric_restarts_ =
+      registry->GetCounter("ssdb_recovery_restarts_total", labels);
+}
+
+Status DurableEngine::OpenWalForAppend(
+    const std::vector<uint8_t>& good_prefix) {
+  // Rewrite the surviving prefix (drops any torn tail) and keep the
+  // handle positioned at the end for appends.
+  wal_ = fopen(wal_path().c_str(), "wb");
+  if (wal_ == nullptr) {
+    return Status::Internal("storage engine: cannot open " + wal_path());
+  }
+  if (!good_prefix.empty() &&
+      fwrite(good_prefix.data(), 1, good_prefix.size(), wal_) !=
+          good_prefix.size()) {
+    return Status::Internal("storage engine: short WAL rewrite");
+  }
+  if (fflush(wal_) != 0) {
+    return Status::Internal("storage engine: WAL flush failed");
+  }
+  return Status::OK();
+}
+
+Status DurableEngine::Open(const std::string& provider_name,
+                           const ReplayFn& replay) {
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("storage engine: empty durable dir");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::Internal("storage engine: cannot create " + options_.dir +
+                            ": " + ec.message());
+  }
+  name_ = provider_name;
+  if (wal_ != nullptr) {
+    fclose(wal_);
+    wal_ = nullptr;
+  }
+  state_.Clear();
+  replayed_records_ = 0;
+  truncated_bytes_ = 0;
+
+  // 1. Last checkpoint, if any.
+  std::vector<uint8_t> snap;
+  Status snap_st = ReadFileBytes(snapshot_path(), &snap);
+  if (snap_st.ok()) {
+    std::string snap_name;
+    SSDB_RETURN_IF_ERROR(DecodeProviderState(Slice(snap), &snap_name, &state_));
+  } else if (!snap_st.IsNotFound()) {
+    return snap_st;
+  }
+
+  // 2. Redo-replay the WAL suffix. A record is varint(len) + u64 FNV-1a
+  // checksum + payload; the first undecodable or checksum-failing record
+  // marks a torn tail (the process died mid-append) and everything from
+  // its offset on is truncated.
+  std::vector<uint8_t> wal_bytes;
+  Status wal_st = ReadFileBytes(wal_path(), &wal_bytes);
+  if (!wal_st.ok() && !wal_st.IsNotFound()) return wal_st;
+  size_t good_len = 0;
+  uint64_t records = 0;
+  if (wal_st.ok() && !wal_bytes.empty()) {
+    Decoder dec{Slice(wal_bytes)};
+    while (dec.remaining() > 0) {
+      uint64_t len = 0;
+      uint64_t checksum = 0;
+      Slice payload;
+      if (!dec.GetVarint(&len).ok() || !dec.GetU64(&checksum).ok() ||
+          dec.remaining() < len ||
+          !dec.GetRaw(static_cast<size_t>(len), &payload).ok()) {
+        break;  // torn tail
+      }
+      if (Fnv1a64(payload) != checksum) break;  // corrupt tail
+      // Replay ignores semantic errors: handlers are deterministic, so a
+      // live error recurs identically and state cannot drift.
+      (void)replay(payload);
+      ++records;
+      good_len = wal_bytes.size() - dec.remaining();
+    }
+  }
+  truncated_bytes_ = wal_bytes.size() - good_len;
+  wal_bytes.resize(good_len);
+  replayed_records_ = records;
+  wal_records_ = records;
+  if (metric_replayed_ != nullptr && records) metric_replayed_->Inc(records);
+  if (metric_truncated_bytes_ != nullptr && truncated_bytes_) {
+    metric_truncated_bytes_->Inc(truncated_bytes_);
+  }
+  if (crashed_) {
+    crashed_ = false;
+    if (metric_restarts_ != nullptr) metric_restarts_->Inc();
+  }
+  return OpenWalForAppend(wal_bytes);
+}
+
+Status DurableEngine::LogMutation(Slice request) {
+  if (wal_ == nullptr) {
+    return Status::Internal("storage engine: WAL not open (crashed?)");
+  }
+  Buffer record;
+  record.PutVarint(request.size());
+  record.PutU64(Fnv1a64(request));
+  record.Append(request);
+  if (fwrite(record.data(), 1, record.size(), wal_) != record.size() ||
+      fflush(wal_) != 0) {
+    return Status::Internal("storage engine: WAL append failed");
+  }
+  ++wal_records_;
+  if (metric_appends_ != nullptr) metric_appends_->Inc();
+  if (metric_bytes_ != nullptr) metric_bytes_->Inc(record.size());
+  if (options_.snapshot_every > 0 && wal_records_ >= options_.snapshot_every) {
+    return Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status DurableEngine::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::Internal("storage engine: WAL not open (crashed?)");
+  }
+  Buffer snap;
+  EncodeProviderState(state_, name_, &snap);
+  const std::string tmp = options_.dir + "/snapshot.tmp";
+  SSDB_RETURN_IF_ERROR(WriteFileBytes(tmp, snap.AsSlice()));
+  if (rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+    return Status::Internal("storage engine: cannot publish snapshot");
+  }
+  // The snapshot covers everything: truncate the WAL.
+  fclose(wal_);
+  wal_ = nullptr;
+  wal_records_ = 0;
+  ++checkpoints_;
+  if (metric_checkpoints_ != nullptr) metric_checkpoints_->Inc();
+  return OpenWalForAppend({});
+}
+
+void DurableEngine::Crash() {
+  // Process death: nothing is flushed or checkpointed. The WAL handle is
+  // dropped as-is (every append was already flushed record-by-record, so
+  // what is on disk is exactly the applied mutation stream).
+  if (wal_ != nullptr) {
+    fclose(wal_);
+    wal_ = nullptr;
+  }
+  state_.Clear();
+  crashed_ = true;
+}
+
+}  // namespace ssdb

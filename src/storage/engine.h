@@ -1,0 +1,225 @@
+// Pluggable provider storage engines.
+//
+// A Provider's durable obligations (the paper's "reliable data storage"
+// service promise, §II) are factored out of the protocol handler into a
+// StorageEngine: the engine owns the provider's entire state — share
+// tables plus hosted public tables and their attached share indexes —
+// and decides what surviving a process death means.
+//
+//   * MemoryEngine: the seed system's behavior. State lives only in RAM;
+//     Crash() loses everything and Open() starts empty. Byte-identical
+//     to the pre-engine provider in results, wire bytes, virtual clock
+//     and telemetry exports at any fanout_threads.
+//   * DurableEngine: layers a per-provider append-only write-ahead log
+//     plus periodic snapshots under a directory. Every applied mutating
+//     wire message is appended to the WAL as a length-prefixed,
+//     checksummed record (the records ARE wire messages — the WAL reuses
+//     the provider protocol codec); every `snapshot_every` records the
+//     full state is checkpointed (snapshot.tmp + rename) and the WAL is
+//     truncated. Open() loads the last snapshot and redo-replays the
+//     surviving WAL suffix; a torn or corrupt tail (killed mid-append)
+//     is truncated at the last intact record.
+//
+// The WAL is a redo log of raw request messages: replay re-dispatches
+// each record through the provider's own handlers, so recovery cannot
+// drift from live execution. Records are logged whether or not the
+// handler reported success — handlers are deterministic, so a partially
+// applied message (e.g. an insert batch failing at row j) partially
+// re-applies identically on replay.
+
+#ifndef SSDB_STORAGE_ENGINE_H_
+#define SSDB_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/value.h"
+#include "common/buffer.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "storage/btree.h"
+#include "storage/share_table.h"
+
+namespace ssdb {
+
+/// Private share index attached over one public column (§V.D mash-up).
+struct PublicColumnIndex {
+  std::unordered_multimap<uint64_t, uint64_t> det;  ///< det share -> row id
+  BPlusTree op;                                     ///< op share -> row id
+};
+
+/// A plaintext public table hosted at a provider.
+struct PublicTable {
+  uint32_t num_columns = 0;
+  std::vector<std::vector<Value>> rows;  ///< row id = position
+  std::map<uint32_t, PublicColumnIndex> share_index;
+};
+
+/// Everything a provider stores: its share tables and hosted public
+/// tables. Owned by the engine; the Provider's protocol handlers operate
+/// on it under the provider's state lock.
+struct ProviderState {
+  std::map<uint32_t, ShareTable> tables;
+  std::map<uint32_t, PublicTable> public_tables;
+
+  void Clear() {
+    tables.clear();
+    public_tables.clear();
+  }
+};
+
+/// Serializes a full provider state ("PSNP" snapshot format: magic,
+/// provider name, share tables with indexes, public tables with share
+/// indexes). The same codec backs Provider::SaveSnapshot and the
+/// DurableEngine's checkpoint files.
+void EncodeProviderState(const ProviderState& state, const std::string& name,
+                         Buffer* out);
+
+/// Decodes a PSNP snapshot. On success `state`/`name` are replaced;
+/// on error they are untouched.
+Status DecodeProviderState(Slice snapshot, std::string* name,
+                           ProviderState* state);
+
+/// \brief Storage engine interface: owns the provider state and its
+/// durability story. All methods are called under the owning Provider's
+/// exclusive state lock (never concurrently).
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  ProviderState& state() { return state_; }
+  const ProviderState& state() const { return state_; }
+
+  /// Applies one logged WAL record (a complete mutating wire message) to
+  /// the state during recovery. Semantic errors are ignored by replay:
+  /// handlers are deterministic, so an error recurs exactly as it did
+  /// live and the resulting state is identical either way.
+  using ReplayFn = std::function<Status(Slice record)>;
+
+  /// Brings the engine to its post-recovery state. MemoryEngine: no-op
+  /// (state starts/stays as it is in RAM). DurableEngine: loads the last
+  /// snapshot, truncates any torn WAL tail, replays the surviving
+  /// records through `replay`, and readies the WAL for appends.
+  virtual Status Open(const std::string& provider_name,
+                      const ReplayFn& replay) = 0;
+
+  /// Records one applied mutating wire message. DurableEngine appends a
+  /// checksummed WAL record and checkpoints at the configured cadence.
+  virtual Status LogMutation(Slice request) = 0;
+
+  /// Simulates process death: all in-memory state is dropped without any
+  /// flush or checkpoint. What Open() can rebuild afterwards is exactly
+  /// what the engine made durable beforehand.
+  virtual void Crash() = 0;
+
+  /// True when state survives Crash()+Open() (drives the kill/restart
+  /// fault drill and the durable-only telemetry attach).
+  virtual bool durable() const { return false; }
+
+  /// Mirrors durability counters into `registry` under the `ssdb_wal_*`
+  /// / `ssdb_recovery_*` series labelled {provider: `label`}. Base
+  /// engines expose nothing; only durable deployments attach, so
+  /// MemoryEngine telemetry exports stay byte-identical to the seed.
+  virtual void AttachMetrics(MetricsRegistry* registry,
+                             const std::string& label) {
+    (void)registry;
+    (void)label;
+  }
+
+ protected:
+  ProviderState state_;
+};
+
+/// \brief The seed system's engine: RAM only, nothing survives a crash.
+class MemoryEngine : public StorageEngine {
+ public:
+  Status Open(const std::string& provider_name,
+              const ReplayFn& replay) override {
+    (void)provider_name;
+    (void)replay;
+    return Status::OK();
+  }
+  Status LogMutation(Slice request) override {
+    (void)request;
+    return Status::OK();
+  }
+  void Crash() override { state_.Clear(); }
+};
+
+/// Configuration of a DurableEngine.
+struct DurableEngineOptions {
+  /// Directory holding this provider's wal.log / snapshot.bin (created
+  /// on Open; one directory per provider).
+  std::string dir;
+  /// Checkpoint the state and truncate the WAL after this many appended
+  /// records. 0 disables periodic checkpoints (explicit Checkpoint()
+  /// still works).
+  size_t snapshot_every = 256;
+};
+
+/// \brief WAL + snapshot engine: state survives Crash()+Open().
+///
+/// File layout under `dir`:
+///   wal.log      varint(payload len) | u64 FNV-1a checksum | payload
+///   snapshot.bin PSNP provider state (EncodeProviderState)
+///   snapshot.tmp checkpoint staging; renamed over snapshot.bin
+///
+/// All I/O content is a pure function of the applied request byte
+/// streams, so WAL/snapshot files are deterministic under seed and
+/// identical at any fanout_threads.
+class DurableEngine : public StorageEngine {
+ public:
+  explicit DurableEngine(DurableEngineOptions options)
+      : options_(std::move(options)) {}
+  ~DurableEngine() override;
+
+  Status Open(const std::string& provider_name,
+              const ReplayFn& replay) override;
+  Status LogMutation(Slice request) override;
+  void Crash() override;
+  bool durable() const override { return true; }
+  void AttachMetrics(MetricsRegistry* registry,
+                     const std::string& label) override;
+
+  /// Snapshots the full state (snapshot.tmp + atomic rename) and
+  /// truncates the WAL. Called automatically every
+  /// `snapshot_every` appends; public for drills and tests.
+  Status Checkpoint();
+
+  // Introspection (tests / drills).
+  uint64_t wal_records() const { return wal_records_; }
+  uint64_t replayed_records() const { return replayed_records_; }
+  uint64_t truncated_bytes() const { return truncated_bytes_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+  const std::string& dir() const { return options_.dir; }
+  std::string wal_path() const { return options_.dir + "/wal.log"; }
+  std::string snapshot_path() const { return options_.dir + "/snapshot.bin"; }
+
+ private:
+  Status OpenWalForAppend(const std::vector<uint8_t>& good_prefix);
+
+  DurableEngineOptions options_;
+  std::string name_;
+  FILE* wal_ = nullptr;
+  uint64_t wal_records_ = 0;  ///< Records in the WAL since last checkpoint.
+  uint64_t replayed_records_ = 0;  ///< Replayed by the most recent Open.
+  uint64_t truncated_bytes_ = 0;   ///< Torn-tail bytes cut by the last Open.
+  uint64_t checkpoints_ = 0;
+  bool crashed_ = false;  ///< Set by Crash(); the next Open is a restart.
+
+  MetricCounter* metric_appends_ = nullptr;
+  MetricCounter* metric_bytes_ = nullptr;
+  MetricCounter* metric_checkpoints_ = nullptr;
+  MetricCounter* metric_replayed_ = nullptr;
+  MetricCounter* metric_truncated_bytes_ = nullptr;
+  MetricCounter* metric_restarts_ = nullptr;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_STORAGE_ENGINE_H_

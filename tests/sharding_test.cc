@@ -299,13 +299,13 @@ TEST(ShardRouting, ExactMatchContactsExactlyOneShardGroup) {
   const size_t owner = ShardOfName("JOHN", kShards);
 
   std::vector<ChannelStats> before;
-  for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s));
+  for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s).value());
   auto r = db->Execute(
       Query::Select("Employees").Where(Eq("name", Value::Str("JOHN"))));
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows.size(), 2u);
   for (size_t s = 0; s < kShards; ++s) {
-    const uint64_t calls = db->shard_stats(s).calls - before[s].calls;
+    const uint64_t calls = db->shard_stats(s)->calls - before[s].calls;
     if (s == owner) {
       EXPECT_GT(calls, 0u) << "owning shard group was not contacted";
     } else {
@@ -335,14 +335,14 @@ TEST(ShardRouting, RangePartitioningPrunesRangeScans) {
   // 'A%' names occupy the first sliver of the base-27 key domain: under
   // range partitioning the scan prunes to the edge shard group(s).
   std::vector<ChannelStats> before;
-  for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s));
+  for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s).value());
   const Query q = Query::Select("Employees").Where(Prefix("name", "A"));
   auto r = db->Execute(q);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows.size(), 1u);  // ALICE
   size_t contacted = 0;
   for (size_t s = 0; s < kShards; ++s) {
-    if (db->shard_stats(s).calls > before[s].calls) contacted++;
+    if (db->shard_stats(s)->calls > before[s].calls) contacted++;
   }
   EXPECT_EQ(contacted, 1u) << "prefix scan was not pruned";
 
@@ -370,7 +370,7 @@ TEST(ShardTelemetry, TracesReconcileWithChannelStatsAndShardSeries) {
     LoadEmployees(db.get());
     db->ResetAllStats();
     std::vector<ChannelStats> before;
-    for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s));
+    for (size_t s = 0; s < kShards; ++s) before.push_back(db->shard_stats(s).value());
     const uint64_t clock_before = db->simulated_time_us();
 
     auto r = db->Execute(Query::Select("Employees")
@@ -400,7 +400,7 @@ TEST(ShardTelemetry, TracesReconcileWithChannelStatsAndShardSeries) {
         legs += node.legs.size();
       }
       const ChannelStats delta_base = before[s];
-      const ChannelStats now = db->shard_stats(s);
+      const ChannelStats now = db->shard_stats(s).value();
       EXPECT_EQ(sent, now.bytes_sent - delta_base.bytes_sent);
       EXPECT_EQ(received, now.bytes_received - delta_base.bytes_received);
       EXPECT_EQ(legs, now.calls - delta_base.calls);
@@ -565,6 +565,64 @@ TEST(ShardJoins, JoinsNeedThePartitionKeyOnBothSidesAndStayEquivalent) {
       << rejected.status().ToString();
   EXPECT_NE(rejected.status().message().find("partition key"),
             std::string::npos);
+}
+
+TEST(TopologyValidation, RejectsZeroShards) {
+  Topology t(/*m=*/0, /*n_per=*/3, /*k=*/2);
+  const Status st = ValidateTopology(t);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("shards"), std::string::npos);
+}
+
+TEST(TopologyValidation, RejectsThresholdAboveGroupSize) {
+  Topology t(/*m=*/2, /*n_per=*/3, /*k=*/4);
+  EXPECT_TRUE(ValidateTopology(t).IsInvalidArgument());
+
+  // The same misconfiguration surfaces from the deployment factory.
+  OutsourcedDbOptions options;
+  options.topology = Topology(2, 3, 4);
+  auto db = OutsourcedDatabase::Create(options);
+  EXPECT_TRUE(db.status().IsInvalidArgument()) << db.status().ToString();
+}
+
+TEST(TopologyValidation, RejectsZeroProvidersPerShardAndOversizedGroups) {
+  Topology zero(/*m=*/2, /*n_per=*/0, /*k=*/1);
+  EXPECT_TRUE(ValidateTopology(zero).IsInvalidArgument());
+  Topology oversized(/*m=*/1, /*n_per=*/256, /*k=*/2);
+  EXPECT_TRUE(ValidateTopology(oversized).IsInvalidArgument());
+}
+
+TEST(TopologyValidation, RangePartitionerWithStringKeyMatchesSingleShard) {
+  // The partition key is the schema's FIRST column, here a string: range
+  // partitioning splits the lexicographic base-27 code domain, not an
+  // integer key. The sharded deployment must answer every query class
+  // exactly like the 1-shard seed system.
+  auto sharded = MakeSharded(2, 3, 2, Partitioner::kRange);
+  auto flat = MakeSharded(1, 3, 2);
+  LoadEmployees(sharded.get());
+  LoadEmployees(flat.get());
+  // Both groups really hold a slice of the rows (the names span A..X).
+  EXPECT_GT(sharded->provider(0).num_rows(), 0u);
+  EXPECT_GT(sharded->provider(3).num_rows(), 0u);
+  for (const Query& q : QueryBattery()) {
+    auto rs = sharded->Execute(q);
+    auto rf = flat->Execute(q);
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+    EXPECT_EQ(Fingerprint(*rs), Fingerprint(*rf));
+  }
+}
+
+TEST(ShardTelemetry, ShardStatsOutOfRangeReturnsInvalidArgument) {
+  auto db = MakeSharded(2, 3, 2);
+  ASSERT_TRUE(db->shard_stats(0).ok());
+  ASSERT_TRUE(db->shard_stats(1).ok());
+  const auto out_of_range = db->shard_stats(2);
+  EXPECT_TRUE(out_of_range.status().IsInvalidArgument())
+      << out_of_range.status().ToString();
+  EXPECT_NE(out_of_range.status().message().find("out of range"),
+            std::string::npos);
+  EXPECT_TRUE(db->shard_stats(~size_t{0}).status().IsInvalidArgument());
 }
 
 TEST(ShardTelemetry, ResetAllStatsClearsTheScoreboard) {

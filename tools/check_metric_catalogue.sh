@@ -36,6 +36,13 @@ ssdb_net_batch_ops_per_envelope
 ssdb_shard_requests_total
 ssdb_shard_bytes_sent_total
 ssdb_shard_bytes_received_total
+ssdb_wal_appends_total
+ssdb_wal_bytes_total
+ssdb_wal_checkpoints_total
+ssdb_recovery_replayed_records_total
+ssdb_recovery_truncated_bytes_total
+ssdb_recovery_restarts_total
+ssdb_recovery_resync_ops_total
 "
 for name in $required; do
   if ! echo "$names" | grep -qx "$name"; then
