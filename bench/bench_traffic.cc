@@ -1,0 +1,300 @@
+// Standing capacity benchmark: open-loop multi-tenant traffic against
+// representative deployment shapes (shards, n, k, batch_max_ops).
+//
+//   * BM_TrafficKnee — sweeps the offered arrival rate with
+//     KneeFinder::Sweep and reports the saturation knee (offered qps at
+//     the last latency-flat point) plus the pre-knee p99.
+//   * BM_TrafficSlo — re-runs single points at 50% / 90% of the located
+//     knee: the steady-state SLO figures a capacity planner quotes.
+//   * BM_TrafficQuota — offers 20% MORE than the knee, once unprotected
+//     and once with per-tenant token-bucket quotas sized below capacity;
+//     reports how far admission control pulls p99 back toward the
+//     pre-knee value and how many requests it sheds to get there.
+//
+// Every figure is derived from the deterministic virtual-clock queue
+// model, so counters are identical run to run; wall time only reflects
+// the host. Extra flags on top of the usual benchmark ones:
+//
+//   --metrics_json=<path>  registry snapshots (ssdb_traffic_* /
+//                          ssdb_admission_* series) per labelled run
+//   --knee_json=<path>     the seed baseline document recorded in
+//                          BENCH_traffic.json (knee + 50%/90% points)
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "traffic/knee.h"
+#include "traffic/traffic.h"
+
+namespace ssdb {
+namespace bench {
+namespace {
+
+/// One swept deployment shape.
+struct Shape {
+  const char* label;
+  size_t shards;
+  size_t providers_per_shard;
+  size_t k;
+  size_t batch_max_ops;
+};
+
+// m=1 is the paper's flat deployment; m=4 shards the row space; the
+// third shape shrinks the wire batch to expose batching headroom.
+constexpr Shape kShapes[] = {
+    {"m1_n4_k2_b128", 1, 4, 2, 128},
+    {"m4_n4_k2_b128", 4, 4, 2, 128},
+    {"m1_n4_k2_b16", 1, 4, 2, 16},
+};
+
+DeploymentFactory FactoryFor(const Shape& shape) {
+  return [shape]() -> Result<std::unique_ptr<OutsourcedDatabase>> {
+    OutsourcedDbOptions options;
+    options.topology = Topology(shape.shards, shape.providers_per_shard,
+                                shape.k, Partitioner::kHash);
+    options.client.batch_max_ops = shape.batch_max_ops;
+    return OutsourcedDatabase::Create(options);
+  };
+}
+
+/// The shared tenant mix: eight tenants, mostly reads with a write
+/// trickle, join-free so the same specs run on every shape (sharded
+/// joins need the partition key on both sides).
+std::vector<TenantSpec> BenchTenants() {
+  std::vector<TenantSpec> tenants;
+  for (int i = 0; i < 8; ++i) {
+    TenantSpec spec;
+    spec.name = "tenant" + std::to_string(i);
+    spec.rows = 64;
+    spec.requests = 40;
+    spec.arrival_qps = 16.0;  // 128 qps offered at scale 1.0
+    spec.arrivals = ArrivalProcess::kPoisson;
+    spec.mix.point_read = 0.60;
+    spec.mix.range_scan = 0.15;
+    spec.mix.aggregate = 0.10;
+    spec.mix.update = 0.10;
+    spec.mix.insert = 0.05;
+    spec.mix.join = 0.0;
+    tenants.push_back(std::move(spec));
+  }
+  return tenants;
+}
+
+TrafficOptions BenchOptions() {
+  TrafficOptions options;
+  options.seed = 0x7EA44C;
+  options.service_workers = 4;
+  return options;
+}
+
+/// Sweeps are deterministic and reused across benchmarks and the
+/// baseline writer, so each shape runs its sweep once per process.
+const KneeReport& SweepFor(const Shape& shape) {
+  static std::map<std::string, KneeReport> cache;
+  auto it = cache.find(shape.label);
+  if (it != cache.end()) return it->second;
+
+  KneeSweepOptions sweep;
+  sweep.rate_scales = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  auto report =
+      KneeFinder::Sweep(FactoryFor(shape), BenchTenants(), BenchOptions(), sweep);
+  if (!report.ok()) {
+    std::fprintf(stderr, "sweep failed for %s: %s\n", shape.label,
+                 report.status().ToString().c_str());
+    return cache.emplace(shape.label, KneeReport{}).first->second;
+  }
+  return cache.emplace(shape.label, std::move(report).value()).first->second;
+}
+
+void BM_TrafficKnee(benchmark::State& state) {
+  const Shape& shape = kShapes[state.range(0)];
+  state.SetLabel(shape.label);
+  for (auto _ : state) {
+    const KneeReport& report = SweepFor(shape);
+    benchmark::DoNotOptimize(report.knee_qps);
+  }
+  const KneeReport& report = SweepFor(shape);
+  state.counters["knee_found"] = benchmark::Counter(report.found ? 1 : 0);
+  state.counters["knee_scale"] = benchmark::Counter(report.knee_scale);
+  state.counters["knee_qps"] = benchmark::Counter(report.knee_qps);
+  state.counters["pre_knee_p99_us"] =
+      benchmark::Counter(static_cast<double>(report.pre_knee_p99_us));
+}
+BENCHMARK(BM_TrafficKnee)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+/// Runs one point at `fraction` of the located knee and snapshots the
+/// deployment registry so --metrics_json captures the traffic series.
+Result<TrafficReport> SloPoint(const Shape& shape, double fraction,
+                               const std::string& snapshot_label) {
+  const KneeReport& knee = SweepFor(shape);
+  const double scale = knee.found ? knee.knee_scale * fraction : fraction;
+  auto factory = FactoryFor(shape);
+  std::vector<TenantSpec> tenants = BenchTenants();
+  for (TenantSpec& spec : tenants) spec.arrival_qps *= scale;
+  SSDB_ASSIGN_OR_RETURN(std::unique_ptr<OutsourcedDatabase> db, factory());
+  TrafficHarness harness(db.get(), std::move(tenants), BenchOptions());
+  SSDB_RETURN_IF_ERROR(harness.Setup());
+  SSDB_ASSIGN_OR_RETURN(TrafficReport report, harness.Run());
+  SnapshotDeployment(snapshot_label, db.get());
+  return report;
+}
+
+void BM_TrafficSlo(benchmark::State& state) {
+  const Shape& shape = kShapes[state.range(0)];
+  const double fraction = state.range(1) / 100.0;
+  const std::string label =
+      std::string(shape.label) + "_slo" + std::to_string(state.range(1));
+  state.SetLabel(label);
+  Result<TrafficReport> report = Status::Internal("never ran");
+  for (auto _ : state) {
+    report = SloPoint(shape, fraction, label);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+  }
+  state.counters["offered_qps"] = benchmark::Counter(report.value().offered_qps());
+  state.counters["completed_qps"] =
+      benchmark::Counter(report.value().completed_qps());
+  state.counters["p50_us"] =
+      benchmark::Counter(static_cast<double>(report.value().global.p50_us));
+  state.counters["p99_us"] =
+      benchmark::Counter(static_cast<double>(report.value().global.p99_us));
+  state.counters["p999_us"] =
+      benchmark::Counter(static_cast<double>(report.value().global.p999_us));
+}
+BENCHMARK(BM_TrafficSlo)
+    ->ArgsProduct({{0, 1, 2}, {50, 90}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrafficQuota(benchmark::State& state) {
+  const Shape& shape = kShapes[state.range(0)];
+  const std::string label = std::string(shape.label) + "_quota";
+  state.SetLabel(label);
+  const KneeReport& knee = SweepFor(shape);
+  if (!knee.found) {
+    state.SkipWithError("no knee located");
+    return;
+  }
+  // 20% past the knee; quotas cap each tenant at its fair share of ~70%
+  // of knee capacity, so admission sheds the excess deterministically.
+  std::vector<TenantSpec> tenants = BenchTenants();
+  const double quota_per_tenant =
+      0.7 * knee.knee_qps / static_cast<double>(tenants.size());
+  for (TenantSpec& spec : tenants) spec.quota_qps = quota_per_tenant;
+
+  Result<TrafficReport> unprotected = Status::Internal("never ran");
+  Result<TrafficReport> protected_run = Status::Internal("never ran");
+  for (auto _ : state) {
+    unprotected = KneeFinder::RunPoint(FactoryFor(shape), BenchTenants(),
+                                       knee.knee_scale * 1.2, BenchOptions());
+    protected_run = KneeFinder::RunPoint(FactoryFor(shape), tenants,
+                                         knee.knee_scale * 1.2, BenchOptions());
+    if (!unprotected.ok() || !protected_run.ok()) {
+      state.SkipWithError("quota point failed");
+      return;
+    }
+  }
+  const TrafficReport& raw = unprotected.value();
+  const TrafficReport& gated = protected_run.value();
+  state.counters["pre_knee_p99_us"] =
+      benchmark::Counter(static_cast<double>(knee.pre_knee_p99_us));
+  state.counters["unprotected_p99_us"] =
+      benchmark::Counter(static_cast<double>(raw.global.p99_us));
+  state.counters["quota_p99_us"] =
+      benchmark::Counter(static_cast<double>(gated.global.p99_us));
+  state.counters["quota_rejected"] =
+      benchmark::Counter(static_cast<double>(gated.global.rejected_quota));
+  state.counters["quota_completed"] =
+      benchmark::Counter(static_cast<double>(gated.global.completed));
+}
+BENCHMARK(BM_TrafficQuota)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+/// Writes the BENCH_traffic.json seed baseline: per shape, the sweep and
+/// fresh points at 50% / 90% of the knee.
+bool WriteKneeBaseline(const std::string& path) {
+  std::ofstream outf(path, std::ios::binary);
+  if (!outf) {
+    std::fprintf(stderr, "cannot write knee baseline to '%s'\n", path.c_str());
+    return false;
+  }
+  outf << "{\n  \"comment\": \"Seed baseline for bench_traffic: saturation "
+          "knee per deployment shape and steady-state p99 at 50%/90% of the "
+          "knee. All figures derive from the deterministic virtual-clock "
+          "queue model (seed 0x7EA44C), so they are exact expectations, not "
+          "measurements.\",\n";
+  bool first_shape = true;
+  for (const Shape& shape : kShapes) {
+    const KneeReport& knee = SweepFor(shape);
+    if (!first_shape) outf << ",\n";
+    first_shape = false;
+    outf << "  \"" << shape.label << "\": {\n    \"knee\": ";
+    // Indent the nested documents to keep the file readable.
+    std::string knee_json = knee.ToJson();
+    outf << knee_json.substr(0, knee_json.size() - 1);  // trim trailing \n
+    for (int pct : {50, 90}) {
+      auto point = SloPoint(shape, pct / 100.0,
+                            std::string(shape.label) + "_baseline" +
+                                std::to_string(pct));
+      outf << ",\n    \"slo" << pct << "\": ";
+      if (point.ok()) {
+        outf << "{\"offered_qps\": " << point.value().offered_qps()
+             << ", \"p50_us\": " << point.value().global.p50_us
+             << ", \"p99_us\": " << point.value().global.p99_us
+             << ", \"p999_us\": " << point.value().global.p999_us
+             << ", \"completed\": " << point.value().global.completed << "}";
+      } else {
+        outf << "{\"error\": \"" << point.status().ToString() << "\"}";
+      }
+    }
+    outf << "\n  }";
+  }
+  outf << "\n}\n";
+  return true;
+}
+
+/// Removes --knee_json=<path> from argv (mirrors ConsumeMetricsJsonFlag).
+std::string ConsumeKneeJsonFlag(int* argc, char** argv) {
+  static constexpr char kPrefix[] = "--knee_json=";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      path = argv[i] + sizeof(kPrefix) - 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ssdb
+
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      ::ssdb::bench::ConsumeMetricsJsonFlag(&argc, argv);
+  const std::string knee_path =
+      ::ssdb::bench::ConsumeKneeJsonFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!knee_path.empty() && !::ssdb::bench::WriteKneeBaseline(knee_path)) {
+    return 1;
+  }
+  if (!metrics_path.empty() &&
+      !::ssdb::bench::WriteMetricsSnapshot(metrics_path)) {
+    return 1;
+  }
+  return 0;
+}

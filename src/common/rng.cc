@@ -16,11 +16,21 @@ uint64_t SplitMix64(uint64_t* x) {
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 }  // namespace
 
-Rng::Rng(uint64_t seed) {
+Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t x = seed;
   for (auto& s : s_) s = SplitMix64(&x);
   // Avoid the (astronomically unlikely) all-zero state.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::ForkSeed(uint64_t stream_id) const {
+  // Decorrelate consecutive stream ids before mixing the parent seed in;
+  // two splitmix rounds so child seeds share no low-bit structure with
+  // either input.
+  uint64_t x = stream_id;
+  uint64_t h = SplitMix64(&x);
+  x = seed_ ^ h;
+  return SplitMix64(&x);
 }
 
 uint64_t Rng::Next() {

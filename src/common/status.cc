@@ -27,6 +27,8 @@ const char* CodeName(StatusCode code) {
       return "PermissionDenied";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

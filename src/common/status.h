@@ -29,6 +29,9 @@ enum class StatusCode : int {
   kInternal = 8,          ///< Invariant violation inside the library.
   kPermissionDenied = 9,  ///< Provider rejected an unauthorized request.
   kDeadlineExceeded = 10,  ///< Call overran its virtual-clock deadline.
+  kResourceExhausted = 11,  ///< Admission control rejected the request
+                            ///< (per-tenant queue-depth limit or
+                            ///< token-bucket quota; see src/traffic/).
 };
 
 /// \brief Result of an operation that can fail without a payload.
@@ -76,6 +79,9 @@ class Status {
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -93,6 +99,9 @@ class Status {
   }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   StatusCode code() const { return code_; }

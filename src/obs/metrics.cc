@@ -87,6 +87,23 @@ uint64_t MetricHistogram::BucketUpperBound(size_t i) {
   return (uint64_t{1} << i) - 1;
 }
 
+uint64_t MetricHistogram::ValueAtQuantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;  // ceil
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += bucket(i);
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
 void MetricHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -91,6 +91,13 @@ class MetricHistogram {
   uint64_t bucket(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  /// Deterministic quantile estimate: the inclusive upper bound of the
+  /// bucket holding the ceil(q * count)-th smallest sample (q clamped to
+  /// [0, 1]; 0 when the histogram is empty). Integer-only, a pure
+  /// function of the observed multiset, so p50/p99/p999 reports are
+  /// bit-identical across runs and thread counts. Only meaningful while
+  /// no concurrent Observe is in flight.
+  uint64_t ValueAtQuantile(double q) const;
   void Reset();
 
  private:

@@ -1,0 +1,95 @@
+#include "traffic/knee.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace ssdb {
+namespace {
+
+/// Fixed-precision float rendering so the JSON is byte-stable.
+std::string Fixed3(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string KneeReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"found\": " << (found ? "true" : "false")
+      << ",\n  \"knee_scale\": " << Fixed3(knee_scale)
+      << ",\n  \"knee_qps\": " << Fixed3(knee_qps)
+      << ",\n  \"pre_knee_p99_us\": " << pre_knee_p99_us
+      << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const KneePoint& p = points[i];
+    out << "    {\"scale\": " << Fixed3(p.scale)
+        << ", \"offered_qps\": " << Fixed3(p.offered_qps)
+        << ", \"completed_qps\": " << Fixed3(p.completed_qps)
+        << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+        << ", \"p999_us\": " << p.p999_us
+        << ", \"saturated\": " << (p.saturated ? "true" : "false") << "}";
+    if (i + 1 < points.size()) out << ",";
+    out << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+Result<TrafficReport> KneeFinder::RunPoint(const DeploymentFactory& factory,
+                                           std::vector<TenantSpec> tenants,
+                                           double rate_scale,
+                                           const TrafficOptions& options) {
+  if (rate_scale <= 0) return Status::InvalidArgument("rate_scale must be > 0");
+  for (TenantSpec& spec : tenants) spec.arrival_qps *= rate_scale;
+  SSDB_ASSIGN_OR_RETURN(std::unique_ptr<OutsourcedDatabase> db, factory());
+  TrafficHarness harness(db.get(), std::move(tenants), options);
+  SSDB_RETURN_IF_ERROR(harness.Setup());
+  return harness.Run();
+}
+
+Result<KneeReport> KneeFinder::Sweep(const DeploymentFactory& factory,
+                                     const std::vector<TenantSpec>& tenants,
+                                     const TrafficOptions& options,
+                                     const KneeSweepOptions& sweep) {
+  if (sweep.rate_scales.empty()) {
+    return Status::InvalidArgument("empty rate_scales");
+  }
+  std::vector<double> scales = sweep.rate_scales;
+  std::sort(scales.begin(), scales.end());
+
+  KneeReport report;
+  uint64_t baseline_p99 = 0;
+  for (size_t i = 0; i < scales.size(); ++i) {
+    SSDB_ASSIGN_OR_RETURN(TrafficReport point_report,
+                          RunPoint(factory, tenants, scales[i], options));
+    KneePoint point;
+    point.scale = scales[i];
+    point.offered_qps = point_report.offered_qps();
+    point.completed_qps = point_report.completed_qps();
+    point.p50_us = point_report.global.p50_us;
+    point.p99_us = point_report.global.p99_us;
+    point.p999_us = point_report.global.p999_us;
+    if (i == 0) baseline_p99 = point.p99_us;
+    // The lightest point IS the baseline, so it is unsaturated by
+    // definition; later points saturate past factor x baseline.
+    point.saturated =
+        i > 0 && static_cast<double>(point.p99_us) >
+                     sweep.saturation_factor * static_cast<double>(baseline_p99);
+    report.points.push_back(point);
+  }
+  for (size_t i = 0; i + 1 < report.points.size(); ++i) {
+    if (!report.points[i].saturated && report.points[i + 1].saturated) {
+      report.found = true;
+      report.knee_scale = report.points[i].scale;
+      report.knee_qps = report.points[i].offered_qps;
+      report.pre_knee_p99_us = report.points[i].p99_us;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace ssdb

@@ -1,0 +1,89 @@
+// Saturation-knee finder: sweeps the offered arrival rate of a tenant
+// mix against fresh deployments and locates the load at which the open
+// loop tips from latency-flat to queue-dominated.
+//
+// Below capacity an open-loop run's p99 latency is dominated by service
+// time and barely moves with load; past capacity the backlog grows for
+// the whole run and p99 explodes with it. The knee is the last swept
+// point whose p99 still sits below `saturation_factor` times the
+// lightest point's p99 — the standing capacity figure recorded per
+// deployment shape (shards, n, k, batch_max_ops) in BENCH_traffic.json.
+//
+// Every point runs the SAME tenant specs and harness seed with only
+// arrival_qps scaled, against a FRESH deployment built by the caller's
+// factory, so points are independent and the whole sweep is a pure
+// function of (factory, tenants, options, scales).
+
+#ifndef SSDB_TRAFFIC_KNEE_H_
+#define SSDB_TRAFFIC_KNEE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "traffic/traffic.h"
+
+namespace ssdb {
+
+/// Builds one fresh deployment per sweep point.
+using DeploymentFactory =
+    std::function<Result<std::unique_ptr<OutsourcedDatabase>>()>;
+
+/// Sweep shape.
+struct KneeSweepOptions {
+  /// Multipliers applied to every tenant's arrival_qps, swept in
+  /// ascending order (sorted internally). The first (lightest) point is
+  /// the latency baseline.
+  std::vector<double> rate_scales = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  /// A point saturates when its global p99 exceeds this multiple of the
+  /// baseline point's p99.
+  double saturation_factor = 3.0;
+};
+
+/// One swept load point.
+struct KneePoint {
+  double scale = 0.0;
+  double offered_qps = 0.0;
+  double completed_qps = 0.0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  bool saturated = false;
+};
+
+/// \brief Sweep result: the points and the located knee.
+struct KneeReport {
+  std::vector<KneePoint> points;  ///< Ascending by scale.
+  /// True when the sweep straddled the knee: at least one unsaturated
+  /// point followed by at least one saturated point.
+  bool found = false;
+  double knee_scale = 0.0;  ///< Last unsaturated scale before saturation.
+  double knee_qps = 0.0;    ///< Offered qps at the knee point.
+  uint64_t pre_knee_p99_us = 0;  ///< Global p99 at the knee point.
+
+  /// Deterministic JSON (fixed float precision).
+  std::string ToJson() const;
+};
+
+/// \brief Rate sweeps over the traffic harness.
+class KneeFinder {
+ public:
+  /// Runs one harness point per scale against a fresh factory-built
+  /// deployment; fails on the first Setup/Run error.
+  static Result<KneeReport> Sweep(const DeploymentFactory& factory,
+                                  const std::vector<TenantSpec>& tenants,
+                                  const TrafficOptions& options,
+                                  const KneeSweepOptions& sweep);
+
+  /// One extra point at `rate_scale` (e.g. re-running 0.5x / 0.9x of a
+  /// located knee, or an admission-control variant of the specs).
+  static Result<TrafficReport> RunPoint(const DeploymentFactory& factory,
+                                        std::vector<TenantSpec> tenants,
+                                        double rate_scale,
+                                        const TrafficOptions& options);
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_TRAFFIC_KNEE_H_

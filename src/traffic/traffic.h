@@ -1,0 +1,260 @@
+// Open-loop multi-tenant traffic harness (ROADMAP item 1).
+//
+// The paper's pitch is database management *as a service*: one operator
+// amortizing hardware and DBA cost across many tenants. This harness
+// exercises the system as that service. Every tenant gets its own
+// outsourced table and a deterministic request stream — seeded through
+// Rng::Fork keyed by the tenant's name, so adding or reordering tenants
+// never perturbs another tenant's stream — whose arrivals are driven by a
+// rate, NOT by completions:
+//
+//   * OPEN LOOP. Each request carries a scheduled virtual arrival time
+//     drawn from the tenant's arrival process (Poisson or uniform
+//     inter-arrival). Arrivals never wait for earlier responses, so when
+//     the offered load exceeds the modelled service capacity the backlog
+//     grows without bound and every later request is charged the queueing
+//     delay — which is what exposes the saturation knee a closed-loop
+//     driver hides (a closed loop self-throttles to the service rate).
+//
+//   * DETERMINISTIC QUEUE MODEL. The modelled front-end is a FIFO station
+//     of `service_workers` servers. A request's service time is its exact
+//     deterministic virtual-clock charge (the per-query QueryTrace total
+//     for reads and joins, the clock delta for mutations), so
+//       start      = max(arrival, earliest free server)
+//       completion = start + service
+//       latency    = completion - arrival    (queueing delay included)
+//     is a pure integer function of the seed — bit-identical across
+//     fanout_threads counts and same-seed runs. The deployment's
+//     VirtualClock keeps its usual role as the service-cost meter; the
+//     arrival timeline shares its unit (virtual microseconds).
+//
+//   * ADMISSION CONTROL. Per-tenant queue-depth limits (reject an arrival
+//     while `max_queue_depth` admitted requests are still in the system)
+//     and token-bucket quotas (`quota_qps` refill, `quota_burst` cap;
+//     admission consumes one token) bound the backlog. Rejected requests
+//     take the Status::ResourceExhausted path, consume no service and are
+//     counted per tenant and reason under `ssdb_admission_*`; they make
+//     the knee controllable instead of just observable.
+//
+// Request execution fans into OutsourcedDatabase::Execute /
+// ExecuteBatch: runs of consecutive admitted read queries coalesce into
+// one ExecuteBatch wave (serviced by the deployment's fan-out ThreadPool)
+// whenever no queue-depth limit is active — depth admission needs the
+// completion time of every earlier request before deciding, so it forces
+// request-at-a-time execution; token quotas depend only on the arrival
+// sequence and keep batching legal. Mutations are executed in arrival
+// order as write barriers between waves, so interleaved read answers are
+// identical in both modes; service charges are not (waves amortize
+// envelope rounds — see TrafficOptions::exec_batch).
+//
+// Latency, queueing delay and service time are recorded in the obs
+// layer's deterministic log-bucketed histograms, per tenant and global
+// (`tenant="_all"`), and the p50/p99/p999 figures in TrafficReport are
+// read back from those histograms via MetricHistogram::ValueAtQuantile.
+
+#ifndef SSDB_TRAFFIC_TRAFFIC_H_
+#define SSDB_TRAFFIC_TRAFFIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/outsourced_db.h"
+
+namespace ssdb {
+
+/// Inter-arrival process of one tenant's request stream.
+enum class ArrivalProcess : uint8_t {
+  kPoisson,  ///< Exponential inter-arrival (memoryless, bursty).
+  kUniform,  ///< Uniform in (0, 2/rate] — same mean, bounded burstiness.
+};
+
+/// Per-tenant operation mix (normalized internally; need not sum to 1).
+struct TenantOpMix {
+  double point_read = 0.55;  ///< Eq(name) fetch.
+  double range_scan = 0.20;  ///< Between(salary) scan.
+  double aggregate = 0.10;   ///< SUM/COUNT by dept, GROUP BY sweep.
+  double update = 0.10;      ///< UPDATE salary WHERE name.
+  double insert = 0.05;      ///< One-row insert.
+  double join = 0.0;         ///< Self equi-join on name (off by default).
+
+  double total() const {
+    return point_read + range_scan + aggregate + update + insert + join;
+  }
+};
+
+/// \brief One tenant of the simulated service: its table, key space,
+/// request stream and admission-control knobs.
+struct TenantSpec {
+  /// Unique tenant id; doubles as the tenant's table name and as the
+  /// Rng::Fork stream key (FNV-1a of the name), so a tenant's request
+  /// stream depends only on (harness seed, name).
+  std::string name;
+  /// Rows preloaded into the tenant's Employees-schema table at Setup.
+  size_t rows = 128;
+  /// Requests this tenant offers during the run.
+  size_t requests = 100;
+  /// Mean arrival rate in requests per virtual second.
+  double arrival_qps = 100.0;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  TenantOpMix mix;
+
+  // --- Admission control (0 = disabled) ---------------------------------
+  /// Reject an arrival while this many admitted requests of the tenant
+  /// are still in the system (queued or in service). Enabling this for
+  /// ANY tenant disables ExecuteBatch waves: depth admission must know
+  /// every earlier completion time before deciding.
+  size_t max_queue_depth = 0;
+  /// Token-bucket refill rate in tokens per virtual second; admission
+  /// consumes one token, an empty bucket rejects.
+  double quota_qps = 0.0;
+  /// Bucket capacity in tokens; <= 0 defaults to max(1, 0.05 * quota_qps)
+  /// (50 ms of refill).
+  double quota_burst = 0.0;
+};
+
+/// Harness-wide knobs.
+struct TrafficOptions {
+  uint64_t seed = 0x7EA44C;
+  /// Modelled front-end concurrency: FIFO servers of the queue station.
+  /// Capacity is roughly service_workers / mean-service-time.
+  size_t service_workers = 4;
+  /// Coalesce runs of consecutive admitted reads into one ExecuteBatch
+  /// wave (capped at exec_batch_max). Compatible share fetches inside a
+  /// wave share envelope rounds, so per-request service charges SHRINK —
+  /// batching is a capacity knob (that is why batch_max_ops is part of
+  /// the knee tuple), while answers, admission decisions and counts are
+  /// identical with batching on or off.
+  bool exec_batch = true;
+  size_t exec_batch_max = 64;
+  /// Fault-drill hook: invoked with the admission index (0-based count of
+  /// admitted requests so far) right before that request executes. Setting
+  /// it disables ExecuteBatch waves so the hook observes request-at-a-time
+  /// execution order (kill/restart drills inject faults here).
+  std::function<void(size_t)> before_request;
+};
+
+/// One operation of the pre-generated schedule.
+enum class TrafficOp : uint8_t {
+  kPointRead,
+  kRangeScan,
+  kAggregate,
+  kUpdate,
+  kInsert,
+  kJoin,
+};
+
+/// A scheduled request: everything execution needs is resolved at
+/// schedule-build time, so the run is a pure replay.
+struct TrafficRequest {
+  uint32_t tenant = 0;      ///< Index into the spec vector.
+  uint32_t seq = 0;         ///< Per-tenant sequence number.
+  uint64_t arrival_us = 0;  ///< Scheduled virtual arrival time.
+  TrafficOp op = TrafficOp::kPointRead;
+  std::string key;  ///< Point read / update / insert name.
+  int64_t a = 0;    ///< Range lo, dept, new salary, or insert salary.
+  int64_t b = 0;    ///< Range hi, aggregate variant, or insert dept.
+};
+
+/// Builds the merged multi-tenant schedule for `seed`: per-tenant streams
+/// forked by tenant NAME (never by position), merged and stably ordered
+/// by (arrival_us, tenant index, seq). Exposed for the stream-stability
+/// regression tests: tenant T's subsequence is invariant under adding,
+/// removing or reordering other tenants.
+std::vector<TrafficRequest> BuildTrafficSchedule(
+    const std::vector<TenantSpec>& tenants, uint64_t seed);
+
+/// What happened to one scheduled request, in arrival order.
+struct RequestOutcome {
+  uint32_t tenant = 0;
+  uint64_t arrival_us = 0;
+  /// OK for completed requests, ResourceExhausted for admission
+  /// rejections, the execution error otherwise.
+  Status status;
+  uint64_t latency_us = 0;      ///< completion - arrival (completed only).
+  uint64_t queue_delay_us = 0;  ///< service start - arrival.
+  uint64_t service_us = 0;      ///< Deterministic virtual service charge.
+};
+
+/// Per-tenant (or global, tenant = "_all") traffic accounting. Quantiles
+/// are read back from the deterministic log-bucketed histograms, so they
+/// are inclusive bucket upper bounds.
+struct TenantTraffic {
+  std::string tenant;
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;          ///< Admitted but errored at execution.
+  uint64_t rejected_queue = 0;  ///< Queue-depth rejections.
+  uint64_t rejected_quota = 0;  ///< Token-bucket rejections.
+  uint64_t p50_us = 0;          ///< Completed-request virtual latency.
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
+  uint64_t queue_delay_p99_us = 0;
+  uint64_t service_p50_us = 0;
+  uint64_t latency_sum_us = 0;
+  /// FNV-1a over every completed answer (and failed status) in arrival
+  /// order — the drill fingerprint compared against fault-free runs.
+  uint64_t answers_fingerprint = 14695981039346656037ULL;
+
+  uint64_t rejected() const { return rejected_queue + rejected_quota; }
+};
+
+/// \brief Result of one open-loop run.
+struct TrafficReport {
+  std::vector<TenantTraffic> tenants;  ///< Spec order.
+  TenantTraffic global;                ///< tenant = "_all".
+  std::vector<RequestOutcome> requests;
+  uint64_t last_arrival_us = 0;
+  uint64_t drained_us = 0;  ///< Last modelled completion time.
+
+  double offered_qps() const {
+    return last_arrival_us == 0
+               ? 0.0
+               : static_cast<double>(global.offered) * 1e6 /
+                     static_cast<double>(last_arrival_us);
+  }
+  double completed_qps() const {
+    return drained_us == 0 ? 0.0
+                           : static_cast<double>(global.completed) * 1e6 /
+                                 static_cast<double>(drained_us);
+  }
+
+  /// Deterministic integer-only JSON (aggregates; no per-request detail).
+  /// Bit-identical across fanout_threads counts and same-seed runs.
+  std::string ExportJson() const;
+};
+
+/// \brief The harness: builds tenant tables, replays the open-loop
+/// schedule against one deployment, reports SLO percentiles.
+class TrafficHarness {
+ public:
+  /// `db` must outlive the harness. Tenant names must be unique and
+  /// non-empty; validation happens in Setup.
+  TrafficHarness(OutsourcedDatabase* db, std::vector<TenantSpec> tenants,
+                 TrafficOptions options);
+
+  /// Creates one Employees-schema table per tenant and bulk loads its
+  /// seeded rows (one batched envelope round per chunk).
+  Status Setup();
+
+  /// Builds the schedule and replays it: admission, execution, queue
+  /// model, histograms. Traffic/admission series touched by this harness
+  /// are reset at entry, so each Run reports exactly its own window.
+  Result<TrafficReport> Run();
+
+  const std::vector<TenantSpec>& tenants() const { return tenants_; }
+
+ private:
+  OutsourcedDatabase* db_;
+  std::vector<TenantSpec> tenants_;
+  TrafficOptions options_;
+  bool setup_done_ = false;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_TRAFFIC_TRAFFIC_H_

@@ -2,12 +2,21 @@
 
 namespace ssdb {
 
+// Stream ids under the driver's seed (Rng::ForkSeed): the op-dice stream
+// and the row-generator stream are independent children of one root, so
+// neither perturbs the other and new streams can be added without
+// re-deriving ad-hoc xor constants per call site.
+namespace {
+constexpr uint64_t kOpStream = 1;
+constexpr uint64_t kDataStream = 2;
+}  // namespace
+
 QueryMixDriver::QueryMixDriver(OutsourcedDatabase* db, std::string table,
                                uint64_t seed, MixRatios ratios)
     : db_(db),
       table_(std::move(table)),
-      rng_(seed),
-      gen_(seed ^ 0xABCD, Distribution::kUniform),
+      rng_(Rng(seed).Fork(kOpStream)),
+      gen_(Rng(seed).ForkSeed(kDataStream), Distribution::kUniform),
       ratios_(ratios) {
   total_ratio_ = ratios_.point_lookup + ratios_.range_scan +
                  ratios_.aggregate + ratios_.update + ratios_.insert +

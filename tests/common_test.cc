@@ -144,6 +144,27 @@ TEST(Rng, DeterministicAndDistinctSeeds) {
   EXPECT_NE(a.Next(), c.Next());
 }
 
+TEST(Rng, ForkSeedDependsOnlyOnConstructionSeedAndStreamId) {
+  // The centralized seed-derivation contract: forking stream S is a pure
+  // function of (construction seed, S) — consuming the parent or forking
+  // siblings first must not perturb it, and distinct streams/parents must
+  // not collide. Multi-stream workloads (one stream per tenant) rely on
+  // this so adding a tenant never shifts another tenant's stream.
+  Rng fresh(123);
+  Rng consumed(123);
+  for (int i = 0; i < 100; ++i) consumed.Next();
+  EXPECT_EQ(fresh.ForkSeed(7), consumed.ForkSeed(7));
+  (void)fresh.ForkSeed(1);
+  (void)fresh.ForkSeed(2);
+  EXPECT_EQ(fresh.ForkSeed(7), consumed.ForkSeed(7));
+  EXPECT_NE(fresh.ForkSeed(7), fresh.ForkSeed(8));
+  EXPECT_NE(Rng(123).ForkSeed(7), Rng(124).ForkSeed(7));
+  // Forked children are the generator seeded with the forked seed.
+  Rng child = fresh.Fork(7);
+  Rng manual(fresh.ForkSeed(7));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.Next(), manual.Next());
+}
+
 TEST(Rng, UniformStaysInBounds) {
   Rng rng(7);
   for (int i = 0; i < 10000; ++i) {

@@ -36,6 +36,25 @@ TEST(MetricHistogram, BucketIndexIsBase2Log) {
   EXPECT_EQ(MetricHistogram::BucketUpperBound(64), ~0ULL);
 }
 
+TEST(MetricHistogram, ValueAtQuantileIsBucketUpperBoundOfCeilRank) {
+  MetricHistogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);  // empty histogram
+  // Samples 1..100: sample v lands in bucket floor(log2 v)+1, so the
+  // ceil(q*n)-th sample's bucket upper bound is the reported quantile.
+  for (uint64_t v = 1; v <= 100; ++v) h.Observe(v);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 1u);    // rank clamps to 1 -> value 1
+  EXPECT_EQ(h.ValueAtQuantile(0.01), 1u);   // rank 1
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 63u);   // rank 50 -> bucket [32,64)
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 127u);  // rank 99 -> bucket [64,128)
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 127u);
+  EXPECT_EQ(h.ValueAtQuantile(2.0), 127u);   // q clamps to 1
+  // All-zero samples sit in bucket 0.
+  MetricHistogram zeros;
+  zeros.Observe(0);
+  zeros.Observe(0);
+  EXPECT_EQ(zeros.ValueAtQuantile(0.999), 0u);
+}
+
 TEST(MetricsRegistry, HandlesAreStableAndResetKeepsRegistrations) {
   MetricsRegistry registry;
   MetricCounter* a = registry.GetCounter("ssdb_test_total",

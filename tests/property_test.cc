@@ -10,6 +10,7 @@
 #include <set>
 
 #include "core/outsourced_db.h"
+#include "traffic/traffic.h"
 #include "workload/generators.h"
 
 namespace ssdb {
@@ -329,6 +330,63 @@ TEST(QuorumDegradation, AllSurvivableFailureCountsSucceedWithoutBreakerLeaks) {
       EXPECT_GT(db.network().stats(0).calls, calls_after_first[0])
           << "healed provider 0 never readmitted (f=" << f << ")";
     }
+  }
+}
+
+TEST(TrafficConservation, HoldsAcrossRandomAdmissionConfigs) {
+  // Open-loop accounting is closed under any admission configuration:
+  // after the drain every offered request is exactly one of completed,
+  // failed or rejected; the global row is the tenant sum; and the
+  // latency histograms hold exactly one observation per completion,
+  // mirrored under tenant="_all".
+  Rng dice(0xC0FFEE);
+  for (int config = 0; config < 3; ++config) {
+    OutsourcedDbOptions options;
+    options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
+    auto db = std::move(OutsourcedDatabase::Create(options)).value();
+
+    std::vector<TenantSpec> tenants(2);
+    for (size_t t = 0; t < tenants.size(); ++t) {
+      TenantSpec& spec = tenants[t];
+      spec.name = "t" + std::to_string(t);
+      spec.rows = 16 + dice.Uniform(16);
+      spec.requests = 20 + dice.Uniform(20);
+      spec.arrival_qps = 20.0 + static_cast<double>(dice.Uniform(400));
+      if (dice.Bernoulli(0.5)) spec.max_queue_depth = 1 + dice.Uniform(4);
+      if (dice.Bernoulli(0.5)) {
+        spec.quota_qps = 5.0 + static_cast<double>(dice.Uniform(50));
+      }
+    }
+    TrafficOptions traffic_options;
+    traffic_options.seed = dice.Next();
+    TrafficHarness harness(db.get(), tenants, traffic_options);
+    ASSERT_TRUE(harness.Setup().ok());
+    auto report = harness.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+    uint64_t offered = 0, completed = 0, failed = 0, rejected = 0;
+    for (const TenantTraffic& t : report.value().tenants) {
+      EXPECT_EQ(t.offered, t.completed + t.failed + t.rejected())
+          << "config " << config << " tenant " << t.tenant;
+      EXPECT_EQ(db->metrics()
+                    .GetHistogram("ssdb_traffic_latency_us",
+                                  {{"tenant", t.tenant}})
+                    ->count(),
+                t.completed);
+      offered += t.offered;
+      completed += t.completed;
+      failed += t.failed;
+      rejected += t.rejected();
+    }
+    const TenantTraffic& global = report.value().global;
+    EXPECT_EQ(global.offered, offered) << "config " << config;
+    EXPECT_EQ(global.completed, completed);
+    EXPECT_EQ(global.failed, failed);
+    EXPECT_EQ(global.rejected(), rejected);
+    EXPECT_EQ(db->metrics()
+                  .GetHistogram("ssdb_traffic_latency_us", {{"tenant", "_all"}})
+                  ->count(),
+              completed);
   }
 }
 

@@ -1,0 +1,386 @@
+// Traffic suite (separate executable, CTest label "traffic").
+//
+// Exercises the open-loop multi-tenant harness end to end: bit-identical
+// SLO percentile exports across fan-out thread counts and same-seed
+// runs, open-loop queueing delay growth past the service rate, the
+// KneeFinder sweep, deterministic per-tenant admission rejections (queue
+// depth and token-bucket quota), conservation properties reconciled
+// against the metrics registry and ChannelStats, per-tenant stream
+// stability under tenant-set changes, and a kill/restart drill
+// mid-traffic over durable storage whose surviving tenants must answer
+// exactly like a fault-free run.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/outsourced_db.h"
+#include "traffic/knee.h"
+#include "traffic/traffic.h"
+
+namespace ssdb {
+namespace {
+
+std::unique_ptr<OutsourcedDatabase> MakeDb(size_t fanout_threads = 1,
+                                           size_t shards = 1) {
+  OutsourcedDbOptions options;
+  options.topology = Topology(shards, /*n_per=*/4, /*k=*/2);
+  options.fanout_threads = fanout_threads;
+  auto db = OutsourcedDatabase::Create(std::move(options));
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+/// Two small tenants with the default read-heavy mix.
+std::vector<TenantSpec> TwoTenants(double qps = 40.0) {
+  std::vector<TenantSpec> tenants(2);
+  tenants[0].name = "alpha";
+  tenants[0].rows = 32;
+  tenants[0].requests = 30;
+  tenants[0].arrival_qps = qps;
+  tenants[1].name = "beta";
+  tenants[1].rows = 24;
+  tenants[1].requests = 30;
+  tenants[1].arrival_qps = qps;
+  return tenants;
+}
+
+/// Only the ssdb_traffic_* / ssdb_admission_* lines of the Prometheus
+/// export: the series this harness owns, compared byte for byte.
+std::string TrafficSeries(OutsourcedDatabase* db) {
+  std::istringstream in(db->metrics().ExportPrometheus());
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("ssdb_traffic_") != std::string::npos ||
+        line.find("ssdb_admission_") != std::string::npos) {
+      out << line << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<TrafficReport> RunOnce(OutsourcedDatabase* db,
+                              std::vector<TenantSpec> tenants,
+                              TrafficOptions options = {}) {
+  TrafficHarness harness(db, std::move(tenants), options);
+  Status setup = harness.Setup();
+  if (!setup.ok()) return setup;
+  return harness.Run();
+}
+
+TEST(TrafficDeterminism, ExportsBitIdenticalAcrossFanoutThreadCounts) {
+  std::string first_json;
+  std::string first_series;
+  for (size_t threads : {1, 4, 8}) {
+    auto db = MakeDb(threads);
+    auto report = RunOnce(db.get(), TwoTenants());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GT(report.value().global.completed, 0u);
+    const std::string json = report.value().ExportJson();
+    const std::string series = TrafficSeries(db.get());
+    if (first_json.empty()) {
+      first_json = json;
+      first_series = series;
+      EXPECT_NE(first_series.find("ssdb_traffic_latency_us"),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(json, first_json) << "fanout_threads=" << threads;
+      EXPECT_EQ(series, first_series) << "fanout_threads=" << threads;
+    }
+  }
+}
+
+TEST(TrafficDeterminism, ExportsBitIdenticalAcrossSameSeedRuns) {
+  auto db1 = MakeDb();
+  auto db2 = MakeDb();
+  auto r1 = RunOnce(db1.get(), TwoTenants());
+  auto r2 = RunOnce(db2.get(), TwoTenants());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1.value().ExportJson(), r2.value().ExportJson());
+  EXPECT_EQ(TrafficSeries(db1.get()), TrafficSeries(db2.get()));
+}
+
+TEST(TrafficDeterminism, BatchingKeepsAnswersAndCountsChangesOnlyService) {
+  auto db1 = MakeDb();
+  auto db2 = MakeDb();
+  TrafficOptions batched;
+  batched.exec_batch = true;
+  TrafficOptions sequential;
+  sequential.exec_batch = false;
+  auto r1 = RunOnce(db1.get(), TwoTenants(), batched);
+  auto r2 = RunOnce(db2.get(), TwoTenants(), sequential);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  // Answers and admission accounting are mode-independent; service
+  // charges are not — waves amortize envelope rounds, so the batched
+  // run's total latency can only be lower.
+  ASSERT_EQ(r1.value().tenants.size(), r2.value().tenants.size());
+  for (size_t t = 0; t < r1.value().tenants.size(); ++t) {
+    const TenantTraffic& a = r1.value().tenants[t];
+    const TenantTraffic& b = r2.value().tenants[t];
+    EXPECT_EQ(a.answers_fingerprint, b.answers_fingerprint) << a.tenant;
+    EXPECT_EQ(a.offered, b.offered) << a.tenant;
+    EXPECT_EQ(a.completed, b.completed) << a.tenant;
+    EXPECT_EQ(a.failed, b.failed) << a.tenant;
+    EXPECT_EQ(a.rejected(), b.rejected()) << a.tenant;
+  }
+  EXPECT_EQ(r1.value().global.answers_fingerprint,
+            r2.value().global.answers_fingerprint);
+  EXPECT_LE(r1.value().global.latency_sum_us,
+            r2.value().global.latency_sum_us);
+}
+
+TEST(TrafficOpenLoop, QueueingDelayGrowsPastServiceRate) {
+  auto slow = MakeDb();
+  auto fast = MakeDb();
+  // 4 qps offered is far below capacity; 400 qps is far above it (mean
+  // service is tens of simulated milliseconds per request).
+  auto light = RunOnce(slow.get(), TwoTenants(/*qps=*/4.0));
+  auto heavy = RunOnce(fast.get(), TwoTenants(/*qps=*/400.0));
+  ASSERT_TRUE(light.ok() && heavy.ok());
+  EXPECT_GT(heavy.value().global.queue_delay_p99_us,
+            10 * std::max<uint64_t>(1, light.value().global.queue_delay_p99_us));
+  EXPECT_GT(heavy.value().global.p99_us, light.value().global.p99_us);
+  // The open loop charges latency from the SCHEDULED arrival: under
+  // overload the backlog (and so p99) must exceed the pure service time.
+  EXPECT_GT(heavy.value().global.p99_us, heavy.value().global.service_p50_us);
+}
+
+TEST(TrafficKnee, SweepLocatesSaturationForFlatAndShardedTopologies) {
+  for (size_t shards : {1, 4}) {
+    DeploymentFactory factory =
+        [shards]() -> Result<std::unique_ptr<OutsourcedDatabase>> {
+      OutsourcedDbOptions options;
+      options.topology = Topology(shards, /*n_per=*/4, /*k=*/2);
+      return OutsourcedDatabase::Create(std::move(options));
+    };
+    std::vector<TenantSpec> tenants = TwoTenants(/*qps=*/30.0);
+    KneeSweepOptions sweep;
+    sweep.rate_scales = {0.25, 1.0, 4.0, 16.0};
+    auto report = KneeFinder::Sweep(factory, tenants, TrafficOptions{}, sweep);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report.value().found) << "shards=" << shards;
+    EXPECT_GT(report.value().knee_qps, 0.0);
+    EXPECT_GT(report.value().pre_knee_p99_us, 0u);
+    // The sweep must straddle the knee: light points flat, heavy points
+    // saturated.
+    EXPECT_FALSE(report.value().points.front().saturated);
+    EXPECT_TRUE(report.value().points.back().saturated);
+  }
+}
+
+TEST(TrafficAdmission, QueueDepthRejectsDeterministicallyPerTenant) {
+  std::vector<uint64_t> fingerprints;
+  std::vector<uint64_t> rejected;
+  for (int run = 0; run < 2; ++run) {
+    auto db = MakeDb();
+    std::vector<TenantSpec> tenants = TwoTenants(/*qps=*/400.0);
+    tenants[0].max_queue_depth = 2;  // alpha is depth-limited, beta is not
+    auto report = RunOnce(db.get(), tenants);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const TenantTraffic& alpha = report.value().tenants[0];
+    const TenantTraffic& beta = report.value().tenants[1];
+    EXPECT_GT(alpha.rejected_queue, 0u);
+    EXPECT_EQ(alpha.rejected_quota, 0u);
+    EXPECT_EQ(beta.rejected(), 0u);
+    EXPECT_EQ(alpha.offered,
+              alpha.admitted + alpha.rejected_queue + alpha.rejected_quota);
+    // The registry's per-reason series must agree with the report.
+    EXPECT_EQ(db->metrics().CounterValue(
+                  "ssdb_admission_rejected_total",
+                  {{"tenant", "alpha"}, {"reason", "queue_depth"}}),
+              alpha.rejected_queue);
+    fingerprints.push_back(alpha.answers_fingerprint);
+    rejected.push_back(alpha.rejected_queue);
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+  EXPECT_EQ(rejected[0], rejected[1]);
+}
+
+TEST(TrafficAdmission, QuotaRejectsDeterministicallyAndSkipsExecution) {
+  std::vector<uint64_t> rejected;
+  for (int run = 0; run < 2; ++run) {
+    auto db = MakeDb();
+    std::vector<TenantSpec> tenants = TwoTenants(/*qps=*/100.0);
+    // alpha writes only, under a tight quota: every rejected insert must
+    // leave no trace in the table.
+    tenants[0].mix = TenantOpMix{0, 0, 0, 0, 1.0, 0};
+    tenants[0].quota_qps = 10.0;
+    tenants[0].quota_burst = 1.0;
+    auto report = RunOnce(db.get(), tenants);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const TenantTraffic& alpha = report.value().tenants[0];
+    EXPECT_GT(alpha.rejected_quota, 0u);
+    EXPECT_EQ(alpha.rejected_queue, 0u);
+    EXPECT_EQ(db->metrics().CounterValue(
+                  "ssdb_admission_rejected_total",
+                  {{"tenant", "alpha"}, {"reason", "quota"}}),
+              alpha.rejected_quota);
+    // Rejected inserts never executed: row count is preload + completed.
+    auto count = db->Execute(
+        Query::Select("alpha").Aggregate(AggregateOp::kCount));
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    EXPECT_EQ(static_cast<uint64_t>(count.value().aggregate_int),
+              tenants[0].rows + alpha.completed);
+    rejected.push_back(alpha.rejected_quota);
+  }
+  EXPECT_EQ(rejected[0], rejected[1]);
+}
+
+TEST(TrafficProperty, ConservationAndHistogramReconciliation) {
+  auto db = MakeDb();
+  std::vector<TenantSpec> tenants = TwoTenants(/*qps=*/200.0);
+  tenants[0].max_queue_depth = 3;
+  tenants[1].quota_qps = 40.0;
+  db->ResetAllStats();
+  TrafficOptions options;
+  options.exec_batch = false;  // every request is its own envelope round
+  auto report = RunOnce(db.get(), tenants, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const TrafficReport& r = report.value();
+
+  // At drain nothing is in flight: every offered request is accounted
+  // for, per tenant and globally, and the global row is the tenant sum.
+  uint64_t offered_sum = 0, completed_sum = 0, failed_sum = 0, rejected_sum = 0;
+  for (const TenantTraffic& t : r.tenants) {
+    EXPECT_EQ(t.offered, t.completed + t.failed + t.rejected()) << t.tenant;
+    EXPECT_EQ(t.admitted, t.completed + t.failed) << t.tenant;
+    offered_sum += t.offered;
+    completed_sum += t.completed;
+    failed_sum += t.failed;
+    rejected_sum += t.rejected();
+  }
+  EXPECT_EQ(r.global.offered, offered_sum);
+  EXPECT_EQ(r.global.completed, completed_sum);
+  EXPECT_EQ(r.global.failed, failed_sum);
+  EXPECT_EQ(r.global.rejected(), rejected_sum);
+
+  // Histogram counts reconcile: each completed request observes exactly
+  // once per histogram, per tenant and again under "_all", so the
+  // registry-wide totals are exactly twice the completed count...
+  MetricsRegistry& reg = db->metrics();
+  uint64_t latency_count = 0;
+  for (const TenantTraffic& t : r.tenants) {
+    latency_count +=
+        reg.GetHistogram("ssdb_traffic_latency_us", {{"tenant", t.tenant}})
+            ->count();
+  }
+  EXPECT_EQ(latency_count, completed_sum);
+  EXPECT_EQ(
+      reg.GetHistogram("ssdb_traffic_latency_us", {{"tenant", "_all"}})->count(),
+      completed_sum);
+  EXPECT_EQ(reg.CounterTotal("ssdb_traffic_completed_total"),
+            2 * completed_sum);
+  EXPECT_EQ(reg.CounterTotal("ssdb_traffic_offered_total"), 2 * offered_sum);
+
+  // ...and against the wire: every executed request crossed the network
+  // (>= threshold legs for reads, every provider for writes), while
+  // rejected requests never did. Stats were reset after Setup, so calls
+  // here belong to Run alone.
+  const uint64_t executed = completed_sum + failed_sum;
+  EXPECT_GE(db->network_stats().calls, 2 * executed);
+  EXPECT_GT(executed, 0u);
+}
+
+TEST(TrafficStreams, TenantStreamsAreStableUnderTenantSetChanges) {
+  std::vector<TenantSpec> two = TwoTenants();
+  std::vector<TenantSpec> three = two;
+  TenantSpec extra;
+  extra.name = "gamma";
+  extra.rows = 16;
+  extra.requests = 20;
+  extra.arrival_qps = 80.0;
+  three.push_back(extra);
+  std::vector<TenantSpec> swapped = {two[1], two[0]};
+
+  constexpr uint64_t kSeed = 42;
+  auto schedule_of = [&](const std::vector<TenantSpec>& tenants,
+                         const std::string& name) {
+    std::vector<TrafficRequest> out;
+    size_t index = 0;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      if (tenants[i].name == name) index = i;
+    }
+    for (const TrafficRequest& req : BuildTrafficSchedule(tenants, kSeed)) {
+      if (req.tenant == index) out.push_back(req);
+    }
+    return out;
+  };
+  for (const std::string name : {"alpha", "beta"}) {
+    const auto base = schedule_of(two, name);
+    ASSERT_FALSE(base.empty());
+    for (const auto* variant : {&three, &swapped}) {
+      const auto other = schedule_of(*variant, name);
+      ASSERT_EQ(base.size(), other.size()) << name;
+      for (size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base[i].arrival_us, other[i].arrival_us) << name;
+        EXPECT_EQ(base[i].op, other[i].op) << name;
+        EXPECT_EQ(base[i].key, other[i].key) << name;
+        EXPECT_EQ(base[i].a, other[i].a) << name;
+        EXPECT_EQ(base[i].b, other[i].b) << name;
+        EXPECT_EQ(base[i].seq, other[i].seq) << name;
+      }
+    }
+  }
+}
+
+TEST(TrafficDrill, KillRestartMidTrafficMatchesFaultFreeAnswers) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ssdb_traffic_drill").string();
+  std::filesystem::remove_all(dir);
+  auto make_durable = [&](const std::string& sub) {
+    OutsourcedDbOptions options;
+    options.topology = Topology(/*m=*/1, /*n_per=*/4, /*k=*/2);
+    options.fanout_threads = 1;
+    options.storage.backend = StorageOptions::Backend::kDurable;
+    options.storage.dir = dir + "/" + sub;
+    auto db = OutsourcedDatabase::Create(std::move(options));
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    return std::move(db).value();
+  };
+
+  TrafficOptions options;
+  options.exec_batch = false;  // match the drill's forced sequential path
+
+  auto baseline_db = make_durable("baseline");
+  auto baseline = RunOnce(baseline_db.get(), TwoTenants(), options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline.value().global.failed, 0u);
+
+  // Drill: provider 1 dies a third of the way in and comes back two
+  // thirds in; with k=2 of n=4 every read still reconstructs and writes
+  // queue client-side until the restart resyncs them.
+  auto drill_db = make_durable("drill");
+  OutsourcedDatabase* raw = drill_db.get();
+  const size_t total = baseline.value().global.admitted;
+  TrafficOptions drill_options = options;
+  drill_options.before_request = [raw, total](size_t index) {
+    if (index == total / 3) {
+      raw->faults().Kill(1);
+    } else if (index == 2 * total / 3) {
+      Status restarted = raw->faults().Restart(1);
+      EXPECT_TRUE(restarted.ok()) << restarted.ToString();
+    }
+  };
+  auto drill = RunOnce(raw, TwoTenants(), drill_options);
+  ASSERT_TRUE(drill.ok()) << drill.status().ToString();
+
+  // Every tenant survives the drill with bit-identical answers; latency
+  // figures may shift (re-planned reads cost different legs), answers
+  // must not.
+  EXPECT_EQ(drill.value().global.failed, 0u);
+  EXPECT_EQ(drill.value().global.completed, baseline.value().global.completed);
+  for (size_t t = 0; t < baseline.value().tenants.size(); ++t) {
+    EXPECT_EQ(drill.value().tenants[t].answers_fingerprint,
+              baseline.value().tenants[t].answers_fingerprint)
+        << baseline.value().tenants[t].tenant;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ssdb

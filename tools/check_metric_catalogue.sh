@@ -43,6 +43,14 @@ ssdb_recovery_replayed_records_total
 ssdb_recovery_truncated_bytes_total
 ssdb_recovery_restarts_total
 ssdb_recovery_resync_ops_total
+ssdb_traffic_offered_total
+ssdb_traffic_completed_total
+ssdb_traffic_failed_total
+ssdb_traffic_latency_us
+ssdb_traffic_queue_delay_us
+ssdb_traffic_service_us
+ssdb_admission_admitted_total
+ssdb_admission_rejected_total
 "
 for name in $required; do
   if ! echo "$names" | grep -qx "$name"; then
