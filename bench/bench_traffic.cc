@@ -19,6 +19,10 @@
 //                          ssdb_admission_* series) per labelled run
 //   --knee_json=<path>     the seed baseline document recorded in
 //                          BENCH_traffic.json (knee + 50%/90% points)
+//   --monitor_json=<path>  one monitored run on the flat shape: the full
+//                          TrafficReport JSON with the monitor block
+//                          (windows, billing, alerts, slow log) — the
+//                          BENCH_monitor.json baseline diffed in CI
 
 #include <benchmark/benchmark.h>
 
@@ -276,6 +280,62 @@ std::string ConsumeKneeJsonFlag(int* argc, char** argv) {
   return path;
 }
 
+/// Removes --monitor_json=<path> from argv.
+std::string ConsumeMonitorJsonFlag(int* argc, char** argv) {
+  static constexpr char kPrefix[] = "--monitor_json=";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      path = argv[i] + sizeof(kPrefix) - 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Writes the BENCH_monitor.json baseline: one monitored run of the flat
+/// shape at the bench mix, 1s windows, default alert rules against a
+/// 500ms p99 SLO. Every figure is a pure integer function of the seed,
+/// so CI diffs the file byte-for-byte.
+bool WriteMonitorBaseline(const std::string& path) {
+  const Shape& shape = kShapes[0];
+  auto factory = FactoryFor(shape);
+  auto db_r = factory();
+  if (!db_r.ok()) {
+    std::fprintf(stderr, "monitor baseline: %s\n",
+                 db_r.status().ToString().c_str());
+    return false;
+  }
+  TrafficOptions options = BenchOptions();
+  options.monitor = true;
+  options.monitor_options.window_us = 1000000;
+  options.monitor_options.slow_k = 4;
+  options.monitor_options.rules = DefaultAlertRules(/*p99_slo_us=*/500000);
+  TrafficHarness harness(db_r.value().get(), BenchTenants(), options);
+  Status setup = harness.Setup();
+  if (!setup.ok()) {
+    std::fprintf(stderr, "monitor baseline: %s\n", setup.ToString().c_str());
+    return false;
+  }
+  auto report = harness.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "monitor baseline: %s\n",
+                 report.status().ToString().c_str());
+    return false;
+  }
+  std::ofstream outf(path, std::ios::binary);
+  if (!outf) {
+    std::fprintf(stderr, "cannot write monitor baseline to '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  outf << report.value().ExportJson();
+  return true;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace ssdb
@@ -285,11 +345,17 @@ int main(int argc, char** argv) {
       ::ssdb::bench::ConsumeMetricsJsonFlag(&argc, argv);
   const std::string knee_path =
       ::ssdb::bench::ConsumeKneeJsonFlag(&argc, argv);
+  const std::string monitor_path =
+      ::ssdb::bench::ConsumeMonitorJsonFlag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   if (!knee_path.empty() && !::ssdb::bench::WriteKneeBaseline(knee_path)) {
+    return 1;
+  }
+  if (!monitor_path.empty() &&
+      !::ssdb::bench::WriteMonitorBaseline(monitor_path)) {
     return 1;
   }
   if (!metrics_path.empty() &&

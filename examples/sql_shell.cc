@@ -6,8 +6,11 @@
 // render its plan without running it, or with TRACE to run it and dump
 // the per-node execution trace (provider legs, exact bytes, virtual-clock
 // charges). TOPOLOGY prints the shard map: per-group row counts, wire
-// totals and each provider's scoreboard health. With no arguments a
-// scripted demo session runs; pass
+// totals and each provider's scoreboard health. Every statement is
+// metered under tenant "shell" and fed to a session monitor: MONITOR
+// prints the closed 200ms windows (counts, percentiles, slow queries),
+// METER the cumulative meter and bill, ALERTS the alert event log. With
+// no arguments a scripted demo session runs; pass
 // statements as arguments to run your own, e.g.
 //
 //   ./build/examples/example_sql_shell "SELECT name, salary FROM
@@ -21,11 +24,139 @@
 #include <vector>
 
 #include "core/outsourced_db.h"
+#include "obs/monitor.h"
 #include "workload/generators.h"
 
 using namespace ssdb;  // NOLINT: example brevity
 
 namespace {
+
+/// The shell meters every statement under tenant "shell" and feeds a
+/// session-scoped Monitor, so MONITOR / METER / ALERTS have live data.
+struct ShellSession {
+  Monitor monitor;
+  uint32_t seq = 0;
+};
+
+MeterSample ReadShellMeter(OutsourcedDatabase& db) {
+  const MetricLabels t = {{"tenant", "shell"}};
+  const MetricsRegistry& reg = db.metrics();
+  MeterSample m;
+  m.requests = reg.CounterValue("ssdb_meter_requests_total", t);
+  m.bytes_sent = reg.CounterValue("ssdb_meter_bytes_sent_total", t);
+  m.bytes_received = reg.CounterValue("ssdb_meter_bytes_received_total", t);
+  m.rounds = reg.CounterValue("ssdb_meter_rounds_total", t);
+  m.clock_us = reg.CounterValue("ssdb_meter_clock_us_total", t);
+  return m;
+}
+
+MeterSample MeterDelta(const MeterSample& after, const MeterSample& before) {
+  MeterSample d;
+  d.requests = after.requests - before.requests;
+  d.bytes_sent = after.bytes_sent - before.bytes_sent;
+  d.bytes_received = after.bytes_received - before.bytes_received;
+  d.rounds = after.rounds - before.rounds;
+  d.clock_us = after.clock_us - before.clock_us;
+  return d;
+}
+
+/// Executes one metered SQL statement and feeds the session monitor: the
+/// arrival is the virtual clock before execution, latency == service ==
+/// the clock the statement consumed (the shell has no queue).
+Result<QueryResult> RunMetered(OutsourcedDatabase& db, ShellSession& session,
+                               const std::string& sql) {
+  const uint64_t arrival_us = db.simulated_time_us();
+  const MeterSample before = ReadShellMeter(db);
+  auto result = db.Execute(sql, RequestContext{"shell"});
+  RequestObservation obs;
+  obs.tenant = "shell";
+  obs.seq = session.seq++;
+  obs.arrival_us = arrival_us;
+  if (result.ok()) {
+    obs.cls = RequestClass::kCompleted;
+    obs.service_us = db.simulated_time_us() - arrival_us;
+    obs.latency_us = obs.service_us;
+    obs.meter = MeterDelta(ReadShellMeter(db), before);
+    obs.trace = &result.value().trace;
+  } else {
+    obs.cls = RequestClass::kFailed;
+  }
+  session.monitor.Observe(obs);
+  return result;
+}
+
+void PrintMeterLine(const char* label, const MeterSample& m, uint64_t cost) {
+  std::printf("  %-10s requests=%llu up=%lluB down=%lluB rounds=%llu "
+              "clock=%lluus cost=%llu ucr\n",
+              label, static_cast<unsigned long long>(m.requests),
+              static_cast<unsigned long long>(m.bytes_sent),
+              static_cast<unsigned long long>(m.bytes_received),
+              static_cast<unsigned long long>(m.rounds),
+              static_cast<unsigned long long>(m.clock_us),
+              static_cast<unsigned long long>(cost));
+}
+
+/// MONITOR prints the closed windows of the session ring (last 10).
+void PrintMonitor(const ShellSession& session) {
+  const MonitorReport r = session.monitor.Report();
+  std::printf("  window=%lluus closed=%llu dropped=%llu (current window "
+              "still open)\n",
+              static_cast<unsigned long long>(r.window_us),
+              static_cast<unsigned long long>(r.windows_total),
+              static_cast<unsigned long long>(r.windows_dropped));
+  const size_t first = r.windows.size() > 10 ? r.windows.size() - 10 : 0;
+  for (size_t i = first; i < r.windows.size(); ++i) {
+    const MonitorWindow& w = r.windows[i];
+    if (w.offered == 0) continue;  // skip idle gap windows
+    std::printf("  w%-4llu [%llu, %llu) offered=%llu completed=%llu "
+                "failed=%llu p50=%lluus p99=%lluus cost=%llu ucr slow=%zu\n",
+                static_cast<unsigned long long>(w.index),
+                static_cast<unsigned long long>(w.start_us),
+                static_cast<unsigned long long>(w.end_us),
+                static_cast<unsigned long long>(w.offered),
+                static_cast<unsigned long long>(w.completed),
+                static_cast<unsigned long long>(w.failed),
+                static_cast<unsigned long long>(w.latency_p50_us),
+                static_cast<unsigned long long>(w.latency_p99_us),
+                static_cast<unsigned long long>(w.cost_microcredits),
+                w.slow.size());
+    for (const SlowQuery& sq : w.slow) {
+      std::printf("    slow: seq=%u service=%lluus up=%lluB down=%lluB\n",
+                  sq.seq, static_cast<unsigned long long>(sq.service_us),
+                  static_cast<unsigned long long>(sq.trace.total_bytes_sent()),
+                  static_cast<unsigned long long>(
+                      sq.trace.total_bytes_received()));
+    }
+  }
+}
+
+/// METER prints the session's cumulative meter (registry-backed, so it
+/// includes the still-open window) and the per-window billing total.
+void PrintMeter(OutsourcedDatabase& db, const ShellSession& session) {
+  const MeterSample m = ReadShellMeter(db);
+  const CostModel& cost = session.monitor.options().cost;
+  PrintMeterLine("shell", m, cost.Cost(m.requests, m.bytes(), m.clock_us));
+  const MonitorReport r = session.monitor.Report();
+  PrintMeterLine("billed", r.total.meter, r.total.cost_microcredits);
+  std::printf("  (billing closes with each %lluus window; the open window "
+              "is unbilled)\n",
+              static_cast<unsigned long long>(r.window_us));
+}
+
+void PrintAlerts(const ShellSession& session) {
+  const MonitorReport r = session.monitor.Report();
+  if (r.alerts.empty()) {
+    std::printf("  no alert events\n");
+    return;
+  }
+  for (const AlertEvent& e : r.alerts) {
+    std::printf("  t=%lluus %-10s rule=%s value=%llu threshold=%llu\n",
+                static_cast<unsigned long long>(e.window_end_us),
+                e.firing ? "FIRING" : "resolved", e.rule.c_str(),
+                static_cast<unsigned long long>(e.value),
+                static_cast<unsigned long long>(e.threshold));
+  }
+}
 
 void PrintResult(const QueryResult& result) {
   if (!result.groups.empty()) {
@@ -128,10 +259,25 @@ void PrintTopology(OutsourcedDatabase& db) {
   }
 }
 
-bool RunStatement(OutsourcedDatabase& db, const std::string& sql) {
+bool RunStatement(OutsourcedDatabase& db, ShellSession& session,
+                  const std::string& sql) {
   std::string rest;
   if (Trim(sql) == "TOPOLOGY") {
     PrintTopology(db);
+    return true;
+  }
+  // MONITOR / METER / ALERTS inspect the session's continuous monitor:
+  // windowed series, the cumulative bill, and the alert event log.
+  if (Trim(sql) == "MONITOR") {
+    PrintMonitor(session);
+    return true;
+  }
+  if (Trim(sql) == "METER") {
+    PrintMeter(db, session);
+    return true;
+  }
+  if (Trim(sql) == "ALERTS") {
+    PrintAlerts(session);
     return true;
   }
   // METRICS prints the Prometheus exposition of every ssdb_* series;
@@ -186,7 +332,7 @@ bool RunStatement(OutsourcedDatabase& db, const std::string& sql) {
     return true;
   }
   if (ConsumeKeyword(sql, "TRACE", &rest)) {
-    auto result = db.Execute(rest);
+    auto result = RunMetered(db, session, rest);
     if (!result.ok()) {
       std::printf("  error: %s\n", result.status().ToString().c_str());
       return false;
@@ -211,7 +357,7 @@ bool RunStatement(OutsourcedDatabase& db, const std::string& sql) {
     std::printf("\n");
     return true;
   }
-  auto result = db.Execute(sql);
+  auto result = RunMetered(db, session, sql);
   if (!result.ok()) {
     std::printf("  error: %s\n", result.status().ToString().c_str());
     return false;
@@ -232,6 +378,13 @@ int main(int argc, char** argv) {
   // Record spans for every statement so TRACE EXPORT has a full session
   // timeline; the tracer is off by default elsewhere.
   db.tracer().Enable(true);
+
+  // Session monitor: 200ms virtual-time windows, default alert rules with
+  // a 2s p99 SLO (generous — the demo should not page).
+  MonitorOptions mon_options;
+  mon_options.window_us = 200000;
+  mon_options.rules = DefaultAlertRules(/*p99_slo_us=*/2000000);
+  ShellSession session{Monitor(&db.metrics(), mon_options)};
 
   if (!db.CreateTable(EmployeeGenerator::EmployeesSchema()).ok()) return 1;
   EmployeeGenerator gen(2026, Distribution::kUniform);
@@ -261,6 +414,9 @@ int main(int argc, char** argv) {
         "SELECT MAX(salary) FROM Employees WHERE dept = 99",
         "DELETE FROM Employees WHERE dept = 99",
         "SELECT COUNT(*) FROM Employees",
+        "MONITOR",
+        "METER",
+        "ALERTS",
         "METRICS",
         "TRACE EXPORT sql_shell_trace.json",
     };
@@ -268,7 +424,7 @@ int main(int argc, char** argv) {
 
   for (const std::string& sql : statements) {
     std::printf("ssdb> %s\n", sql.c_str());
-    RunStatement(db, sql);
+    RunStatement(db, session, sql);
     std::printf("\n");
   }
 

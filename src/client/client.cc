@@ -315,6 +315,7 @@ Status DataSourceClient::CallGroup(const std::vector<size_t>& providers,
   const std::vector<size_t>& group = intercepted ? live : providers;
   const std::vector<Buffer>& payloads =
       intercepted ? live_requests : requests;
+  fanout_rounds_.fetch_add(1, std::memory_order_relaxed);
   Network::FanOutResult fan = network_->CallManyDistinct(group, payloads);
   for (size_t i = 0; i < fan.responses.size(); ++i) {
     if (!fan.responses[i].ok()) return fan.responses[i].status();
@@ -401,6 +402,7 @@ Status DataSourceClient::CallAllBatched(
       requests.push_back(std::move(req));
       spans.push_back(span);
     }
+    fanout_rounds_.fetch_add(1, std::memory_order_relaxed);
     Network::FanOutResult fan = network_->CallManyDistinct(group, requests);
     for (size_t i = 0; i < fan.responses.size(); ++i) {
       if (!fan.responses[i].ok()) return fan.responses[i].status();
@@ -603,6 +605,25 @@ Status DataSourceClient::Insert(const std::string& table,
     requests.push_back(std::move(req));
   }
   return CallGroup(group, requests);
+}
+
+Status DataSourceClient::Insert(const std::string& table,
+                                const std::vector<std::vector<Value>>& rows,
+                                const RequestContext& ctx) {
+  if (ctx.tenant.empty()) return Insert(table, rows);
+  const ChannelStats before = network_->TotalStats();
+  const uint64_t clock_before = network_->clock().now_us();
+  const uint64_t rounds_before =
+      fanout_rounds_.load(std::memory_order_relaxed);
+  const Status st = Insert(table, rows);
+  if (st.ok()) {
+    const ChannelStats after = network_->TotalStats();
+    ChargeMeter(ctx.tenant, 1, after.bytes_sent - before.bytes_sent,
+                after.bytes_received - before.bytes_received,
+                fanout_rounds_.load(std::memory_order_relaxed) - rounds_before,
+                network_->clock().now_us() - clock_before);
+  }
+  return st;
 }
 
 Status DataSourceClient::BulkLoad(
@@ -838,11 +859,37 @@ void DataSourceClient::OnTraceFinalized(const QueryTrace& trace) {
   cm_.hedged_legs->Inc(trace.total_hedged());
   cm_.deadline_exceeded->Inc(trace.total_deadline_exceeded());
   cm_.breaker_skips->Inc(trace.total_breaker_skips());
+  // Traces finalize only on success, so the meter bills exactly the
+  // requests a tenant got answers for.
+  ChargeMeter(trace.tenant, 1, trace.total_bytes_sent(),
+              trace.total_bytes_received(), trace.total_round_trips(),
+              trace.total_clock_us());
+}
+
+void DataSourceClient::ChargeMeter(const std::string& tenant,
+                                   uint64_t requests, uint64_t bytes_sent,
+                                   uint64_t bytes_received, uint64_t rounds,
+                                   uint64_t clock_us) {
+  if (tenant.empty()) return;
+  // Per-tenant stratum plus the "_all" aggregate: Σ tenants == "_all"
+  // holds by construction (same figures, same call site). GetCounter
+  // takes the registration mutex, but the charge is per REQUEST (not per
+  // leg) and tenant sets are small — cold-map lookups, warm handles.
+  for (const std::string& t : {tenant, std::string("_all")}) {
+    const MetricLabels labels = {{"tenant", t}};
+    metrics_.GetCounter("ssdb_meter_requests_total", labels)->Inc(requests);
+    metrics_.GetCounter("ssdb_meter_bytes_sent_total", labels)->Inc(bytes_sent);
+    metrics_.GetCounter("ssdb_meter_bytes_received_total", labels)
+        ->Inc(bytes_received);
+    metrics_.GetCounter("ssdb_meter_rounds_total", labels)->Inc(rounds);
+    metrics_.GetCounter("ssdb_meter_clock_us_total", labels)->Inc(clock_us);
+  }
 }
 
 // --- Query execution -------------------------------------------------------------
 
-Result<QueryResult> DataSourceClient::Execute(const Query& query) {
+Result<QueryResult> DataSourceClient::Execute(const Query& query,
+                                              const RequestContext& ctx) {
   cm_.queries->Inc();
   // Aggregates cannot be merged with a pending client-side log; flush first.
   if (!lazy_log_.empty() && query.aggregate() != AggregateOp::kNone) {
@@ -851,6 +898,7 @@ Result<QueryResult> DataSourceClient::Execute(const Query& query) {
   Planner planner(this);
   SSDB_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(query));
   Executor executor(this);
+  executor.set_tenant(ctx.tenant);
   return executor.Execute(plan);
 }
 
@@ -868,31 +916,35 @@ Result<std::string> DataSourceClient::Explain(const JoinQuery& join) {
 
 // --- Join -----------------------------------------------------------------------
 
-Result<QueryResult> DataSourceClient::Execute(const JoinQuery& join) {
+Result<QueryResult> DataSourceClient::Execute(const JoinQuery& join,
+                                              const RequestContext& ctx) {
   cm_.queries->Inc();
   if (!lazy_log_.empty()) SSDB_RETURN_IF_ERROR(Flush());
   Planner planner(this);
   SSDB_ASSIGN_OR_RETURN(QueryPlan plan, planner.Plan(join));
   Executor executor(this);
+  executor.set_tenant(ctx.tenant);
   return executor.Execute(plan);
 }
 
-Result<QueryResult> DataSourceClient::Execute(const std::string& sql) {
+Result<QueryResult> DataSourceClient::Execute(const std::string& sql,
+                                              const RequestContext& ctx) {
   SSDB_ASSIGN_OR_RETURN(SqlCommand cmd, ParseSql(sql));
   switch (cmd.kind) {
     case SqlCommand::Kind::kSelect:
-      return Execute(cmd.query);
+      return Execute(cmd.query, ctx);
     case SqlCommand::Kind::kUpdate: {
       SSDB_ASSIGN_OR_RETURN(
           uint64_t updated,
-          Update(cmd.table, cmd.where, cmd.set_column, cmd.set_value));
+          Update(cmd.table, cmd.where, cmd.set_column, cmd.set_value, ctx));
       QueryResult out;
       out.count = updated;
       out.aggregate_int = static_cast<int64_t>(updated);
       return out;
     }
     case SqlCommand::Kind::kDelete: {
-      SSDB_ASSIGN_OR_RETURN(uint64_t deleted, Delete(cmd.table, cmd.where));
+      SSDB_ASSIGN_OR_RETURN(uint64_t deleted,
+                            Delete(cmd.table, cmd.where, ctx));
       QueryResult out;
       out.count = deleted;
       out.aggregate_int = static_cast<int64_t>(deleted);
@@ -903,11 +955,18 @@ Result<QueryResult> DataSourceClient::Execute(const std::string& sql) {
 }
 
 std::vector<Result<QueryResult>> DataSourceClient::ExecuteBatch(
-    const std::vector<Query>& queries) {
+    const std::vector<Query>& queries,
+    const std::vector<RequestContext>& ctxs) {
   std::vector<Result<QueryResult>> out(
       queries.size(),
       Result<QueryResult>(Status::Internal("batch query not run")));
   if (queries.empty()) return out;
+  if (!ctxs.empty() && ctxs.size() != queries.size()) {
+    for (auto& slot : out) {
+      slot = Status::InvalidArgument("client: batch context arity mismatch");
+    }
+    return out;
+  }
 
   // Flush the lazy write log up front: per-query flushes would otherwise
   // race each other, and a batch of reads over a settled log is exactly
@@ -925,7 +984,7 @@ std::vector<Result<QueryResult>> DataSourceClient::ExecuteBatch(
     // participating ParallelFor makes the nesting (batch -> per-query
     // legs) deadlock-free.
     network_->pool().ParallelFor(queries.size(), [&](size_t i) {
-      out[i] = Execute(queries[i]);
+      out[i] = Execute(queries[i], ctxs.empty() ? RequestContext() : ctxs[i]);
     });
     return out;
   }
@@ -950,8 +1009,14 @@ std::vector<Result<QueryResult>> DataSourceClient::ExecuteBatch(
   std::vector<const QueryPlan*> plan_ptrs;
   plan_ptrs.reserve(plans.size());
   for (const QueryPlan& p : plans) plan_ptrs.push_back(&p);
+  std::vector<std::string> tenants;
+  if (!ctxs.empty()) {
+    tenants.reserve(plan_slots.size());
+    for (size_t slot : plan_slots) tenants.push_back(ctxs[slot].tenant);
+  }
   Executor executor(this);
-  std::vector<Result<QueryResult>> results = executor.ExecuteBatch(plan_ptrs);
+  std::vector<Result<QueryResult>> results =
+      executor.ExecuteBatch(plan_ptrs, tenants);
   for (size_t j = 0; j < results.size(); ++j) {
     out[plan_slots[j]] = std::move(results[j]);
   }
@@ -1100,6 +1165,27 @@ Result<uint64_t> DataSourceClient::Update(const std::string& table,
   return updated;
 }
 
+Result<uint64_t> DataSourceClient::Update(const std::string& table,
+                                          const std::vector<Predicate>& where,
+                                          const std::string& set_column,
+                                          const Value& value,
+                                          const RequestContext& ctx) {
+  if (ctx.tenant.empty()) return Update(table, where, set_column, value);
+  const ChannelStats before = network_->TotalStats();
+  const uint64_t clock_before = network_->clock().now_us();
+  const uint64_t rounds_before =
+      fanout_rounds_.load(std::memory_order_relaxed);
+  Result<uint64_t> r = Update(table, where, set_column, value);
+  if (r.ok()) {
+    const ChannelStats after = network_->TotalStats();
+    ChargeMeter(ctx.tenant, 1, after.bytes_sent - before.bytes_sent,
+                after.bytes_received - before.bytes_received,
+                fanout_rounds_.load(std::memory_order_relaxed) - rounds_before,
+                network_->clock().now_us() - clock_before);
+  }
+  return r;
+}
+
 Result<uint64_t> DataSourceClient::Delete(const std::string& table,
                                           const std::vector<Predicate>& where) {
   auto it = tables_.find(table);
@@ -1168,6 +1254,25 @@ Result<uint64_t> DataSourceClient::Delete(const std::string& table,
   }
   SSDB_RETURN_IF_ERROR(CallGroup(group, requests));
   return static_cast<uint64_t>(matched.row_ids.size());
+}
+
+Result<uint64_t> DataSourceClient::Delete(const std::string& table,
+                                          const std::vector<Predicate>& where,
+                                          const RequestContext& ctx) {
+  if (ctx.tenant.empty()) return Delete(table, where);
+  const ChannelStats before = network_->TotalStats();
+  const uint64_t clock_before = network_->clock().now_us();
+  const uint64_t rounds_before =
+      fanout_rounds_.load(std::memory_order_relaxed);
+  Result<uint64_t> r = Delete(table, where);
+  if (r.ok()) {
+    const ChannelStats after = network_->TotalStats();
+    ChargeMeter(ctx.tenant, 1, after.bytes_sent - before.bytes_sent,
+                after.bytes_received - before.bytes_received,
+                fanout_rounds_.load(std::memory_order_relaxed) - rounds_before,
+                network_->clock().now_us() - clock_before);
+  }
+  return r;
 }
 
 Status DataSourceClient::AppendLazy(LazyOp op) {

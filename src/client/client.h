@@ -125,6 +125,14 @@ class DataSourceClient : private PlanHost {
   /// Inserts plaintext rows (shared and distributed; lazy mode buffers).
   Status Insert(const std::string& table,
                 const std::vector<std::vector<Value>>& rows);
+  /// Metered insert: on success the whole call's network bytes, write
+  /// fan-out rounds and virtual-clock delta are charged to
+  /// `ctx.tenant`'s `ssdb_meter_*` series (plus the `_all` stratum).
+  /// Mutations run serialized (write barriers in the harness, sequential
+  /// shells), so the deltas are exactly this call's.
+  Status Insert(const std::string& table,
+                const std::vector<std::vector<Value>>& rows,
+                const RequestContext& ctx);
 
   /// Initial outsourcing path: shares and ships `rows` in one batched
   /// envelope round per `batch_max_ops`-row chunk, bypassing the lazy
@@ -139,25 +147,34 @@ class DataSourceClient : private PlanHost {
   // through one overloaded entry point returning QueryResult.
 
   /// Executes a single-table query (exact match / range / aggregates).
-  Result<QueryResult> Execute(const Query& query);
+  /// A non-empty `ctx.tenant` is stamped on the result's QueryTrace and,
+  /// on success, the query's requests/bytes/rounds/clock are charged to
+  /// the tenant's `ssdb_meter_*` series (plus the `_all` stratum).
+  Result<QueryResult> Execute(const Query& query,
+                              const RequestContext& ctx = {});
 
   /// Executes a same-domain equi-join (§V.A Join). Each result row is the
   /// left row's values followed by the right row's;
   /// QueryResult::join_left_columns gives the split point. Cross-domain
   /// joins return NotSupported, as in the paper.
-  Result<QueryResult> Execute(const JoinQuery& join);
+  Result<QueryResult> Execute(const JoinQuery& join,
+                              const RequestContext& ctx = {});
 
   /// Parses and runs one SQL statement (SELECT / UPDATE / DELETE — see
   /// client/sql.h for the grammar). UPDATE/DELETE report the affected row
   /// count through QueryResult::count.
-  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql,
+                              const RequestContext& ctx = {});
 
   /// Runs independent queries concurrently on the network's worker pool;
   /// slot i of the result corresponds to queries[i]. The virtual clock
   /// still advances by every query's slowest leg (batching buys wall-clock
   /// time, not modelled time). Flushes the lazy write log up front.
+  /// `ctxs` (empty, or one per query) attributes each slot's metering to
+  /// its own tenant — a fused wave may mix tenants.
   std::vector<Result<QueryResult>> ExecuteBatch(
-      const std::vector<Query>& queries);
+      const std::vector<Query>& queries,
+      const std::vector<RequestContext>& ctxs = {});
 
   /// Runs independent equi-joins; compatible join share fetches are
   /// coalesced into one batch envelope per provider (batch_max_ops < 2
@@ -181,10 +198,21 @@ class DataSourceClient : private PlanHost {
   Result<uint64_t> Update(const std::string& table,
                           const std::vector<Predicate>& where,
                           const std::string& set_column, const Value& value);
+  /// Metered update (see the metered Insert overload): the read phase's
+  /// bytes and clock are part of the charge; meter rounds count the
+  /// write fan-out rounds only.
+  Result<uint64_t> Update(const std::string& table,
+                          const std::vector<Predicate>& where,
+                          const std::string& set_column, const Value& value,
+                          const RequestContext& ctx);
 
   /// DELETE FROM table WHERE predicates. Returns rows deleted.
   Result<uint64_t> Delete(const std::string& table,
                           const std::vector<Predicate>& where);
+  /// Metered delete (see the metered Insert overload).
+  Result<uint64_t> Delete(const std::string& table,
+                          const std::vector<Predicate>& where,
+                          const RequestContext& ctx);
 
   /// Flushes the lazy write log (no-op when empty / eager mode).
   Status Flush();
@@ -372,6 +400,12 @@ class DataSourceClient : private PlanHost {
   void OnCorruptionRetry() override;
   void OnTraceFinalized(const QueryTrace& trace) override;
 
+  /// Charges one metered request to `tenant`'s `ssdb_meter_*` series and
+  /// the `tenant="_all"` aggregate stratum. No-op for empty tenants.
+  void ChargeMeter(const std::string& tenant, uint64_t requests,
+                   uint64_t bytes_sent, uint64_t bytes_received,
+                   uint64_t rounds, uint64_t clock_us);
+
   // Lazy log.
   Status AppendLazy(LazyOp op);
   Result<bool> MatchesPlain(const TableSchema& schema,
@@ -411,6 +445,11 @@ class DataSourceClient : private PlanHost {
   std::set<size_t> out_providers_;
   /// Per-provider queue of missed mutating requests, in send order.
   std::map<size_t, std::vector<Buffer>> pending_resync_;
+
+  /// Write fan-out rounds issued so far (one per CallGroup fan-out, one
+  /// per CallAllBatched envelope round). Metered mutations read its delta
+  /// as their `rounds` charge.
+  std::atomic<uint64_t> fanout_rounds_{0};
 
   // Telemetry. The registry/tracer live here (one per deployment); the
   // `ssdb_client_*` handles are cached at construction — the former

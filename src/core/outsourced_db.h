@@ -106,6 +106,13 @@ class OutsourcedDatabase {
                 const std::vector<std::vector<Value>>& rows) {
     return client_->Insert(table, rows);
   }
+  /// Metered insert: on success the call's bytes, write fan-out rounds
+  /// and clock delta are charged to ctx.tenant's `ssdb_meter_*` series.
+  Status Insert(const std::string& table,
+                const std::vector<std::vector<Value>>& rows,
+                const RequestContext& ctx) {
+    return client_->Insert(table, rows, ctx);
+  }
   /// Initial outsourcing: ships the rows in batched envelope rounds (one
   /// round trip per ClientOptions::batch_max_ops-row chunk) instead of
   /// per-call inserts; bypasses the lazy write log.
@@ -115,26 +122,34 @@ class OutsourcedDatabase {
   }
   // --- Queries: the unified Execute family ------------------------------
 
-  /// Executes a built single-table query.
-  Result<QueryResult> Execute(const Query& query) {
-    return client_->Execute(query);
+  /// Executes a built single-table query. A non-empty `ctx.tenant`
+  /// stamps the result's QueryTrace and bills the query to the tenant's
+  /// `ssdb_meter_*` series (see docs/PROTOCOL.md, "Continuous monitoring
+  /// & metering").
+  Result<QueryResult> Execute(const Query& query,
+                              const RequestContext& ctx = {}) {
+    return client_->Execute(query, ctx);
   }
   /// Executes a same-domain equi-join; each result row is left ++ right
   /// values, split at QueryResult::join_left_columns.
-  Result<QueryResult> Execute(const JoinQuery& join) {
-    return client_->Execute(join);
+  Result<QueryResult> Execute(const JoinQuery& join,
+                              const RequestContext& ctx = {}) {
+    return client_->Execute(join, ctx);
   }
   /// Parses and runs one SQL statement (SELECT / UPDATE / DELETE — see
   /// client/sql.h for the grammar). UPDATE/DELETE report the affected row
   /// count through QueryResult::count.
-  Result<QueryResult> Execute(const std::string& sql) {
-    return client_->Execute(sql);
+  Result<QueryResult> Execute(const std::string& sql,
+                              const RequestContext& ctx = {}) {
+    return client_->Execute(sql, ctx);
   }
   /// Runs independent queries concurrently on the fan-out worker pool;
-  /// slot i corresponds to queries[i].
+  /// slot i corresponds to queries[i]. `ctxs` (empty, or one per query)
+  /// meters each slot under its own tenant.
   std::vector<Result<QueryResult>> ExecuteBatch(
-      const std::vector<Query>& queries) {
-    return client_->ExecuteBatch(queries);
+      const std::vector<Query>& queries,
+      const std::vector<RequestContext>& ctxs = {}) {
+    return client_->ExecuteBatch(queries, ctxs);
   }
   /// Runs independent equi-joins; compatible share fetches coalesce into
   /// one batch envelope per provider.
@@ -157,9 +172,23 @@ class OutsourcedDatabase {
                           const std::string& set_column, const Value& value) {
     return client_->Update(table, where, set_column, value);
   }
+  /// Metered update (read phase billed in bytes/clock; rounds count the
+  /// write fan-out only).
+  Result<uint64_t> Update(const std::string& table,
+                          const std::vector<Predicate>& where,
+                          const std::string& set_column, const Value& value,
+                          const RequestContext& ctx) {
+    return client_->Update(table, where, set_column, value, ctx);
+  }
   Result<uint64_t> Delete(const std::string& table,
                           const std::vector<Predicate>& where) {
     return client_->Delete(table, where);
+  }
+  /// Metered delete.
+  Result<uint64_t> Delete(const std::string& table,
+                          const std::vector<Predicate>& where,
+                          const RequestContext& ctx) {
+    return client_->Delete(table, where, ctx);
   }
   Status Flush() { return client_->Flush(); }
   Status RefreshTable(const std::string& table) {

@@ -181,6 +181,23 @@ uint64_t MetricsRegistry::CounterTotal(const std::string& name) const {
   return total;
 }
 
+uint64_t MetricsRegistry::CounterTotal(const std::string& name,
+                                       const std::string& label_key,
+                                       const std::string& label_value) const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, s] : series_) {
+    if (s.name != name || !s.counter) continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k == label_key && v == label_value) {
+        total += s.counter->value();
+        break;
+      }
+    }
+  }
+  return total;
+}
+
 std::string MetricsRegistry::ExportPrometheus() const {
   std::ostringstream out;
   std::lock_guard<std::mutex> lock(mu_);

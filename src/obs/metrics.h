@@ -91,9 +91,13 @@ class MetricHistogram {
   uint64_t bucket(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
-  /// Deterministic quantile estimate: the inclusive upper bound of the
-  /// bucket holding the ceil(q * count)-th smallest sample (q clamped to
-  /// [0, 1]; 0 when the histogram is empty). Integer-only, a pure
+  /// Deterministic quantile estimate with a ceil-rank convention: the
+  /// result is the inclusive upper bound of the bucket holding the
+  /// rank-th smallest sample, where rank = ceil(q * count) clamped to
+  /// [1, count] (q itself is clamped to [0, 1] first, so q = 0 reads the
+  /// smallest sample's bucket). An EMPTY histogram returns 0 without
+  /// reading any bucket bound — callers never see a fabricated upper
+  /// bound for data that was never observed. Integer-only, a pure
   /// function of the observed multiset, so p50/p99/p999 reports are
   /// bit-identical across runs and thread counts. Only meaningful while
   /// no concurrent Observe is in flight.
@@ -127,8 +131,18 @@ class MetricsRegistry {
   uint64_t CounterValue(const std::string& name,
                         const MetricLabels& labels = {}) const;
   /// Sum of a counter over every label combination it was registered
-  /// with.
+  /// with. Beware metrics that keep both per-tenant series and a
+  /// `tenant="_all"` aggregate: this overload sums BOTH, so the result is
+  /// double the logical total — use the label-filtered overload below to
+  /// select one stratum.
   uint64_t CounterTotal(const std::string& name) const;
+  /// Sum of a counter over the series whose label set contains
+  /// `label_key == label_value` (0 when no series matches). With
+  /// label_key = "tenant" and label_value = "_all" this reads exactly the
+  /// aggregate stratum of a per-tenant metric, avoiding the
+  /// double-counting of the unfiltered overload.
+  uint64_t CounterTotal(const std::string& name, const std::string& label_key,
+                        const std::string& label_value) const;
 
   /// Prometheus text exposition (sorted, integer-only, deterministic).
   std::string ExportPrometheus() const;

@@ -1,0 +1,361 @@
+#include "obs/monitor.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssdb {
+namespace {
+
+// Registry series the monitor snapshots at window close (delta inputs)
+// and the self-series it charges. Names are literals here so the
+// catalogue lint sees them.
+constexpr char kBreakerSeries[] = "ssdb_resilience_breaker_transitions_total";
+constexpr char kWalTruncatedSeries[] = "ssdb_recovery_truncated_bytes_total";
+constexpr char kWindowsSeries[] = "ssdb_monitor_windows_total";
+constexpr char kDroppedSeries[] = "ssdb_monitor_windows_dropped_total";
+constexpr char kSlowSeries[] = "ssdb_monitor_slow_queries_total";
+constexpr char kAlertsFired[] = "ssdb_alerts_fired_total";
+constexpr char kAlertsResolved[] = "ssdb_alerts_resolved_total";
+constexpr char kCostSeries[] = "ssdb_meter_cost_microcredits_total";
+
+void AppendMeterJson(std::ostringstream* out, const MeterSample& m,
+                     uint64_t cost) {
+  *out << "{\"requests\": " << m.requests
+       << ", \"bytes_sent\": " << m.bytes_sent
+       << ", \"bytes_received\": " << m.bytes_received
+       << ", \"rounds\": " << m.rounds << ", \"clock_us\": " << m.clock_us
+       << ", \"cost_microcredits\": " << cost << "}";
+}
+
+void AppendTenantMeterJson(std::ostringstream* out, const TenantMeter& t) {
+  *out << "{\"tenant\": \"" << t.tenant << "\", \"meter\": ";
+  AppendMeterJson(out, t.meter, t.cost_microcredits);
+  *out << "}";
+}
+
+}  // namespace
+
+const char* AlertInputName(AlertInput input) {
+  switch (input) {
+    case AlertInput::kLatencyP99Us: return "latency_p99_us";
+    case AlertInput::kRejectedRatioPermille: return "rejected_ratio_permille";
+    case AlertInput::kFailedRequests: return "failed_requests";
+    case AlertInput::kBreakerOpens: return "breaker_opens";
+    case AlertInput::kWalTruncatedBytes: return "wal_truncated_bytes";
+  }
+  return "unknown";
+}
+
+std::vector<AlertRule> DefaultAlertRules(uint64_t p99_slo_us) {
+  return {
+      // Two consecutive breaching windows before paging on latency: one
+      // bursty window is noise, a sustained burn is an SLO violation.
+      {"latency_p99_burn", AlertInput::kLatencyP99Us, p99_slo_us, 2},
+      // > 10% of offered load rejected at admission.
+      {"admission_reject_ratio", AlertInput::kRejectedRatioPermille, 100, 1},
+      {"execution_failures", AlertInput::kFailedRequests, 0, 1},
+      {"breaker_open", AlertInput::kBreakerOpens, 0, 1},
+      {"wal_torn_tail", AlertInput::kWalTruncatedBytes, 0, 1},
+  };
+}
+
+uint64_t Monitor::LocalHist::Quantile(double q) const {
+  // Same ceil-rank convention as MetricHistogram::ValueAtQuantile; an
+  // empty histogram returns 0 without reading any bucket bound.
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < MetricHistogram::kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return MetricHistogram::BucketUpperBound(i);
+  }
+  return MetricHistogram::BucketUpperBound(MetricHistogram::kBuckets - 1);
+}
+
+void Monitor::LocalHist::Reset() {
+  for (uint64_t& b : buckets) b = 0;
+  count = 0;
+}
+
+Monitor::Monitor(MetricsRegistry* registry, MonitorOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (options_.window_us == 0) options_.window_us = 1;
+  rule_state_.resize(options_.rules.size());
+  total_.tenant = "_all";
+  if (registry_ != nullptr) {
+    // Baseline for the delta inputs: only what happens DURING the
+    // monitored run is attributed to its windows.
+    breaker_opens_last_ = registry_->CounterTotal(kBreakerSeries, "to", "open");
+    wal_truncated_last_ = registry_->CounterTotal(kWalTruncatedSeries);
+  }
+}
+
+void Monitor::Observe(const RequestObservation& obs) {
+  if (finished_) return;
+  CloseWindowsUpTo(obs.arrival_us);
+
+  ++offered_;
+  meter_ += obs.meter;
+  tenant_meter_[obs.tenant] += obs.meter;
+  switch (obs.cls) {
+    case RequestClass::kRejected:
+      ++rejected_;
+      return;
+    case RequestClass::kFailed:
+      ++failed_;
+      return;
+    case RequestClass::kCompleted:
+      break;
+  }
+  ++completed_;
+  latency_.Observe(obs.latency_us);
+  queue_delay_.Observe(obs.queue_delay_us);
+  latency_sum_us_ += obs.latency_us;
+  if (obs.latency_us > latency_max_us_) latency_max_us_ = obs.latency_us;
+
+  // Top-K slow log: the trace is copied only when the request actually
+  // enters the ranking. Order: service desc, then (arrival, tenant, seq)
+  // ascending — a total order, so the log is run-invariant.
+  if (options_.slow_k == 0) return;
+  auto rank_before = [](const SlowQuery& a, const SlowQuery& b) {
+    if (a.service_us != b.service_us) return a.service_us > b.service_us;
+    if (a.arrival_us != b.arrival_us) return a.arrival_us < b.arrival_us;
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    return a.seq < b.seq;
+  };
+  SlowQuery entry;
+  entry.tenant = obs.tenant;
+  entry.seq = obs.seq;
+  entry.arrival_us = obs.arrival_us;
+  entry.service_us = obs.service_us;
+  entry.latency_us = obs.latency_us;
+  if (slow_.size() >= options_.slow_k && !rank_before(entry, slow_.back())) {
+    return;  // Ranks at or below the current worst: not a new entry.
+  }
+  if (obs.trace != nullptr) entry.trace = *obs.trace;
+  slow_.push_back(std::move(entry));
+  std::sort(slow_.begin(), slow_.end(), rank_before);
+  if (slow_.size() > options_.slow_k) slow_.resize(options_.slow_k);
+}
+
+void Monitor::CloseWindowsUpTo(uint64_t t_us) {
+  while (t_us >= cur_start_us_ + options_.window_us) {
+    CloseWindow(cur_start_us_ + options_.window_us);
+  }
+}
+
+void Monitor::CloseWindow(uint64_t end_us) {
+  MonitorWindow w;
+  w.index = cur_index_;
+  w.start_us = cur_start_us_;
+  w.end_us = end_us;
+  w.offered = offered_;
+  w.completed = completed_;
+  w.failed = failed_;
+  w.rejected = rejected_;
+  w.latency_p50_us = latency_.Quantile(0.50);
+  w.latency_p99_us = latency_.Quantile(0.99);
+  w.latency_max_us = latency_max_us_;
+  w.latency_sum_us = latency_sum_us_;
+  w.queue_delay_p99_us = queue_delay_.Quantile(0.99);
+  w.meter = meter_;
+  w.cost_microcredits =
+      options_.cost.Cost(meter_.requests, meter_.bytes(), meter_.clock_us);
+  for (const auto& [tenant, meter] : tenant_meter_) {
+    TenantMeter tm;
+    tm.tenant = tenant;
+    tm.meter = meter;
+    tm.cost_microcredits =
+        options_.cost.Cost(meter.requests, meter.bytes(), meter.clock_us);
+    w.tenants.push_back(std::move(tm));
+  }
+  if (registry_ != nullptr) {
+    const uint64_t opens =
+        registry_->CounterTotal(kBreakerSeries, "to", "open");
+    const uint64_t truncated = registry_->CounterTotal(kWalTruncatedSeries);
+    w.breaker_opens = opens - breaker_opens_last_;
+    w.wal_truncated_bytes = truncated - wal_truncated_last_;
+    breaker_opens_last_ = opens;
+    wal_truncated_last_ = truncated;
+  }
+  w.slow = std::move(slow_);
+
+  EvaluateAlerts(w);
+
+  // Billing accumulates at window close, independent of ring retention
+  // (evicting a window never un-bills it). The cost model is linear, so
+  // summing window costs equals costing the summed meters.
+  for (const TenantMeter& tm : w.tenants) {
+    TenantMeter& bill = billing_[tm.tenant];
+    bill.tenant = tm.tenant;
+    bill.meter += tm.meter;
+    bill.cost_microcredits += tm.cost_microcredits;
+  }
+  total_.meter += w.meter;
+  total_.cost_microcredits += w.cost_microcredits;
+
+  if (registry_ != nullptr) {
+    registry_->GetCounter(kWindowsSeries)->Inc();
+    registry_->GetCounter(kSlowSeries)->Inc(w.slow.size());
+    for (const TenantMeter& tm : w.tenants) {
+      registry_->GetCounter(kCostSeries, {{"tenant", tm.tenant}})
+          ->Inc(tm.cost_microcredits);
+    }
+    registry_->GetCounter(kCostSeries, {{"tenant", "_all"}})
+        ->Inc(w.cost_microcredits);
+  }
+
+  ring_.push_back(std::move(w));
+  if (ring_.size() > std::max<size_t>(1, options_.ring_capacity)) {
+    ring_.pop_front();
+    ++windows_dropped_;
+    if (registry_ != nullptr) registry_->GetCounter(kDroppedSeries)->Inc();
+  }
+  ++windows_total_;
+
+  // Reset the open-window accumulators.
+  cur_start_us_ = end_us;
+  ++cur_index_;
+  offered_ = completed_ = failed_ = rejected_ = 0;
+  latency_max_us_ = latency_sum_us_ = 0;
+  latency_.Reset();
+  queue_delay_.Reset();
+  meter_ = MeterSample();
+  tenant_meter_.clear();
+  slow_.clear();
+}
+
+void Monitor::EvaluateAlerts(const MonitorWindow& w) {
+  for (size_t i = 0; i < options_.rules.size(); ++i) {
+    const AlertRule& rule = options_.rules[i];
+    RuleState& state = rule_state_[i];
+    uint64_t value = 0;
+    switch (rule.input) {
+      case AlertInput::kLatencyP99Us:
+        value = w.latency_p99_us;
+        break;
+      case AlertInput::kRejectedRatioPermille:
+        value = w.offered == 0 ? 0 : w.rejected * 1000 / w.offered;
+        break;
+      case AlertInput::kFailedRequests:
+        value = w.failed;
+        break;
+      case AlertInput::kBreakerOpens:
+        value = w.breaker_opens;
+        break;
+      case AlertInput::kWalTruncatedBytes:
+        value = w.wal_truncated_bytes;
+        break;
+    }
+    if (value > rule.threshold) {
+      ++state.breaches;
+      const uint32_t need = std::max<uint32_t>(1, rule.for_windows);
+      if (!state.firing && state.breaches >= need) {
+        state.firing = true;
+        alerts_.push_back({w.end_us, rule.name, true, value, rule.threshold});
+        if (registry_ != nullptr) {
+          registry_->GetCounter(kAlertsFired, {{"rule", rule.name}})->Inc();
+        }
+      }
+    } else {
+      state.breaches = 0;
+      if (state.firing) {
+        state.firing = false;
+        alerts_.push_back({w.end_us, rule.name, false, value, rule.threshold});
+        if (registry_ != nullptr) {
+          registry_->GetCounter(kAlertsResolved, {{"rule", rule.name}})->Inc();
+        }
+      }
+    }
+  }
+}
+
+void Monitor::Finish(uint64_t now_us) {
+  if (finished_) return;
+  CloseWindowsUpTo(now_us);
+  if (now_us > cur_start_us_) CloseWindow(now_us);
+  finished_ = true;
+}
+
+MonitorReport Monitor::Report() const {
+  MonitorReport report;
+  report.window_us = options_.window_us;
+  report.windows_total = windows_total_;
+  report.windows_dropped = windows_dropped_;
+  report.windows.assign(ring_.begin(), ring_.end());
+  report.alerts = alerts_;
+  for (const auto& [tenant, bill] : billing_) report.billing.push_back(bill);
+  report.total = total_;
+  return report;
+}
+
+std::string MonitorReport::ExportJson() const {
+  std::ostringstream out;
+  out << "{\n    \"window_us\": " << window_us
+      << ",\n    \"windows_total\": " << windows_total
+      << ",\n    \"windows_dropped\": " << windows_dropped
+      << ",\n    \"windows\": [\n";
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const MonitorWindow& w = windows[i];
+    out << "      {\"index\": " << w.index << ", \"start_us\": " << w.start_us
+        << ", \"end_us\": " << w.end_us << ", \"offered\": " << w.offered
+        << ", \"completed\": " << w.completed << ", \"failed\": " << w.failed
+        << ", \"rejected\": " << w.rejected
+        << ", \"latency_p50_us\": " << w.latency_p50_us
+        << ", \"latency_p99_us\": " << w.latency_p99_us
+        << ", \"latency_max_us\": " << w.latency_max_us
+        << ", \"latency_sum_us\": " << w.latency_sum_us
+        << ", \"queue_delay_p99_us\": " << w.queue_delay_p99_us
+        << ", \"breaker_opens\": " << w.breaker_opens
+        << ", \"wal_truncated_bytes\": " << w.wal_truncated_bytes
+        << ", \"meter\": ";
+    AppendMeterJson(&out, w.meter, w.cost_microcredits);
+    out << ", \"tenants\": [";
+    for (size_t t = 0; t < w.tenants.size(); ++t) {
+      if (t) out << ", ";
+      AppendTenantMeterJson(&out, w.tenants[t]);
+    }
+    out << "], \"slow\": [";
+    for (size_t s = 0; s < w.slow.size(); ++s) {
+      const SlowQuery& sq = w.slow[s];
+      if (s) out << ", ";
+      out << "{\"tenant\": \"" << sq.tenant << "\", \"seq\": " << sq.seq
+          << ", \"arrival_us\": " << sq.arrival_us
+          << ", \"service_us\": " << sq.service_us
+          << ", \"latency_us\": " << sq.latency_us
+          << ", \"trace_bytes_sent\": " << sq.trace.total_bytes_sent()
+          << ", \"trace_bytes_received\": " << sq.trace.total_bytes_received()
+          << ", \"trace_rounds\": " << sq.trace.total_round_trips()
+          << ", \"trace_legs\": " << sq.trace.total_provider_legs() << "}";
+    }
+    out << "]}";
+    if (i + 1 < windows.size()) out << ",";
+    out << "\n";
+  }
+  out << "    ],\n    \"alerts\": [\n";
+  for (size_t i = 0; i < alerts.size(); ++i) {
+    const AlertEvent& e = alerts[i];
+    out << "      {\"window_end_us\": " << e.window_end_us << ", \"rule\": \""
+        << e.rule << "\", \"event\": \"" << (e.firing ? "firing" : "resolved")
+        << "\", \"value\": " << e.value << ", \"threshold\": " << e.threshold
+        << "}";
+    if (i + 1 < alerts.size()) out << ",";
+    out << "\n";
+  }
+  out << "    ],\n    \"billing\": {\"tenants\": [";
+  for (size_t i = 0; i < billing.size(); ++i) {
+    if (i) out << ", ";
+    AppendTenantMeterJson(&out, billing[i]);
+  }
+  out << "], \"total\": ";
+  AppendTenantMeterJson(&out, total);
+  out << "}\n  }";
+  return out.str();
+}
+
+}  // namespace ssdb

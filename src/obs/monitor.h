@@ -1,0 +1,287 @@
+// Continuous monitor: windowed time series, per-tenant metering &
+// billing, SLO alert rules and a top-K slow-query log (ROADMAP:
+// observability as the service's standing SLA/billing instrument).
+//
+// The paper's DaaS pitch is pay-per-use economics: a provider amortizes
+// hardware and DBA cost across tenants, which only works if it can METER
+// each tenant's resource consumption and PROVE SLA compliance. The
+// MetricsRegistry gives cumulative totals; the Monitor adds the time
+// dimension: it cuts the virtual-clock timeline into fixed windows
+// ([k*window_us, (k+1)*window_us)) and aggregates per-window counts,
+// latency percentiles, per-tenant meter samples and billing cost into a
+// bounded ring buffer.
+//
+// Determinism contract: the Monitor is fed observations in ARRIVAL
+// order by a deterministic driver (the TrafficHarness accounting pass,
+// the sql_shell statement loop). Every observation's figures — service
+// charges from QueryTrace, meter samples from the `ssdb_meter_*`
+// charges — are pure integer functions of the seed and invariant under
+// `fanout_threads`, so every windowed rate, percentile, billing row,
+// alert event and slow-query entry is bit-identical across
+// fanout_threads {1,4,8} and same-seed runs.
+//
+// Low-frequency fault telemetry (circuit-breaker opens, WAL torn-tail
+// truncations) is not observation-borne: the Monitor snapshots the
+// registry totals at each window close and attributes the delta to the
+// closing window. Those charges happen at deterministic program points
+// of the driver's replay, so the attribution is deterministic too.
+//
+// Alert rules are declarative: `value(input) > threshold` for
+// `for_windows` CONSECUTIVE windows fires the rule (one "firing" event);
+// the first non-breaching window afterwards resolves it (one "resolved"
+// event). Events carry the virtual end time of the transition window.
+
+#ifndef SSDB_OBS_MONITOR_H_
+#define SSDB_OBS_MONITOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "plan/trace.h"
+
+namespace ssdb {
+
+/// Deterministic integer cost model, in microcredits (1e-6 credit):
+///   cost = a·requests + b·(bytes_sent + bytes_received) + c·clock_us
+/// The defaults make a WAN point read cost a few thousand microcredits;
+/// coefficients are part of the tenant's contract (docs/PROTOCOL.md).
+struct CostModel {
+  uint64_t a_per_request = 1000;  ///< Flat per-request charge.
+  uint64_t b_per_byte = 2;        ///< Communication volume charge.
+  uint64_t c_per_clock_us = 1;    ///< Service-time (virtual clock) charge.
+
+  uint64_t Cost(uint64_t requests, uint64_t bytes, uint64_t clock_us) const {
+    return a_per_request * requests + b_per_byte * bytes +
+           c_per_clock_us * clock_us;
+  }
+};
+
+/// One request's metered resource consumption — the same figures the
+/// client charges to the `ssdb_meter_*{tenant}` series, so window sums
+/// reconcile exactly with the registry meter totals.
+struct MeterSample {
+  uint64_t requests = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t rounds = 0;
+  uint64_t clock_us = 0;
+
+  uint64_t bytes() const { return bytes_sent + bytes_received; }
+  MeterSample& operator+=(const MeterSample& o) {
+    requests += o.requests;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    rounds += o.rounds;
+    clock_us += o.clock_us;
+    return *this;
+  }
+};
+
+/// The windowed figure an alert rule thresholds on.
+enum class AlertInput : uint8_t {
+  kLatencyP99Us,           ///< Completed-request latency p99 (SLO burn).
+  kRejectedRatioPermille,  ///< rejected * 1000 / offered.
+  kFailedRequests,         ///< Execution failures in the window.
+  kBreakerOpens,           ///< Breaker open transitions (registry delta).
+  kWalTruncatedBytes,      ///< WAL torn-tail truncation bytes (delta).
+};
+
+/// Stable grammar name of an input (used in exports and docs).
+const char* AlertInputName(AlertInput input);
+
+/// One declarative rule: fires when `value(input) > threshold` holds for
+/// `for_windows` consecutive windows; resolves on the first window that
+/// does not breach.
+struct AlertRule {
+  std::string name;
+  AlertInput input = AlertInput::kLatencyP99Us;
+  uint64_t threshold = 0;
+  uint32_t for_windows = 1;
+};
+
+/// The standard rule set: p99 latency burn vs. `p99_slo_us` (2 windows),
+/// >10% admission rejections, any breaker open, any WAL truncation.
+std::vector<AlertRule> DefaultAlertRules(uint64_t p99_slo_us);
+
+/// One structured alert-log event, stamped with virtual time.
+struct AlertEvent {
+  uint64_t window_end_us = 0;
+  std::string rule;
+  bool firing = false;  ///< true = fired, false = resolved.
+  uint64_t value = 0;   ///< The input value at the transition window.
+  uint64_t threshold = 0;
+};
+
+/// One slow-query log entry: the full QueryTrace of a top-K service-time
+/// query of its window (mutations carry no plan trace; their entry keeps
+/// an empty one).
+struct SlowQuery {
+  std::string tenant;
+  uint32_t seq = 0;  ///< The tenant's per-stream sequence number.
+  uint64_t arrival_us = 0;
+  uint64_t service_us = 0;
+  uint64_t latency_us = 0;
+  QueryTrace trace;
+};
+
+/// Per-tenant meter roll-up (one window, or the cumulative bill).
+struct TenantMeter {
+  std::string tenant;
+  MeterSample meter;
+  uint64_t cost_microcredits = 0;
+};
+
+/// One closed window of the ring.
+struct MonitorWindow {
+  uint64_t index = 0;     ///< 0-based window number since the origin.
+  uint64_t start_us = 0;  ///< Inclusive.
+  uint64_t end_us = 0;    ///< Exclusive (== start of the next window).
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t rejected = 0;
+  uint64_t latency_p50_us = 0;  ///< Ceil-rank log-bucket upper bounds.
+  uint64_t latency_p99_us = 0;
+  uint64_t latency_max_us = 0;  ///< Exact (not a bucket bound).
+  uint64_t latency_sum_us = 0;
+  uint64_t queue_delay_p99_us = 0;
+  MeterSample meter;  ///< All tenants of the window.
+  uint64_t cost_microcredits = 0;
+  std::vector<TenantMeter> tenants;  ///< Sorted by tenant name.
+  uint64_t breaker_opens = 0;
+  uint64_t wal_truncated_bytes = 0;
+  std::vector<SlowQuery> slow;  ///< Top-K by (service desc, arrival asc).
+};
+
+/// \brief Everything the monitor accumulated, as one copyable value.
+struct MonitorReport {
+  uint64_t window_us = 0;
+  uint64_t windows_total = 0;    ///< Closed windows, dropped included.
+  uint64_t windows_dropped = 0;  ///< Evicted from the bounded ring.
+  std::vector<MonitorWindow> windows;  ///< Ring contents, oldest first.
+  std::vector<AlertEvent> alerts;      ///< Full event log, in fire order.
+  std::vector<TenantMeter> billing;    ///< Cumulative, sorted by tenant.
+  TenantMeter total;                   ///< Cumulative, tenant = "_all".
+
+  /// Deterministic integer-only JSON (plus tenant/rule names):
+  /// bit-identical across fanout_threads counts and same-seed runs.
+  std::string ExportJson() const;
+};
+
+struct MonitorOptions {
+  /// Window width in virtual microseconds; boundaries are multiples of
+  /// it, so windowing is a pure function of the observation timeline.
+  uint64_t window_us = 1000000;
+  /// Ring capacity: closing window N+capacity evicts window N (counted
+  /// in windows_dropped; billing totals are unaffected by eviction).
+  size_t ring_capacity = 64;
+  /// Slow-query log entries kept per window.
+  size_t slow_k = 4;
+  CostModel cost;
+  std::vector<AlertRule> rules;
+};
+
+/// What happened to one observed request.
+enum class RequestClass : uint8_t { kCompleted, kFailed, kRejected };
+
+/// One request fed to Monitor::Observe, in arrival order.
+struct RequestObservation {
+  std::string tenant;
+  uint32_t seq = 0;
+  uint64_t arrival_us = 0;
+  RequestClass cls = RequestClass::kCompleted;
+  uint64_t latency_us = 0;      ///< Completed only.
+  uint64_t queue_delay_us = 0;  ///< Completed only.
+  uint64_t service_us = 0;      ///< Completed only.
+  /// The request's meter charge (zero for rejected/failed requests —
+  /// the service bills answers, not attempts).
+  MeterSample meter;
+  /// Borrowed plan trace; copied only if the request enters the top-K
+  /// slow log. May be null (mutations, rejections).
+  const QueryTrace* trace = nullptr;
+};
+
+/// \brief The monitor. Single-threaded by design: it is driven from the
+/// deterministic accounting pass of a harness (or a sequential shell),
+/// never from fan-out workers.
+class Monitor {
+ public:
+  /// `registry` may be null: registry-delta inputs (breaker opens, WAL
+  /// truncations) then read as zero and no self-series are charged.
+  Monitor(MetricsRegistry* registry, MonitorOptions options);
+
+  /// Feeds one request; `obs.arrival_us` must be non-decreasing across
+  /// calls. Crossing a window boundary first closes every window whose
+  /// end is <= the arrival (empty gap windows included — alerts resolve
+  /// during quiet periods).
+  void Observe(const RequestObservation& obs);
+
+  /// Closes every window up to `now_us`, then the final partial window
+  /// [start, now_us) if non-empty in time. Call exactly once, after the
+  /// last Observe.
+  void Finish(uint64_t now_us);
+
+  /// Snapshot of everything accumulated so far.
+  MonitorReport Report() const;
+
+  const MonitorOptions& options() const { return options_; }
+
+ private:
+  /// Single-threaded base-2 log-bucket histogram sharing the registry
+  /// histogram's bucket layout and ceil-rank quantile convention.
+  struct LocalHist {
+    uint64_t buckets[MetricHistogram::kBuckets] = {};
+    uint64_t count = 0;
+    void Observe(uint64_t v) {
+      ++buckets[MetricHistogram::BucketIndex(v)];
+      ++count;
+    }
+    uint64_t Quantile(double q) const;
+    void Reset();
+  };
+
+  void CloseWindowsUpTo(uint64_t t_us);
+  void CloseWindow(uint64_t end_us);
+  void EvaluateAlerts(const MonitorWindow& w);
+
+  MetricsRegistry* registry_;
+  MonitorOptions options_;
+  bool finished_ = false;
+
+  // Current (open) window accumulators.
+  uint64_t cur_start_us_ = 0;
+  uint64_t cur_index_ = 0;
+  uint64_t offered_ = 0, completed_ = 0, failed_ = 0, rejected_ = 0;
+  uint64_t latency_max_us_ = 0, latency_sum_us_ = 0;
+  LocalHist latency_, queue_delay_;
+  MeterSample meter_;
+  std::map<std::string, MeterSample> tenant_meter_;
+  std::vector<SlowQuery> slow_;  ///< Current top-K candidates, ranked.
+
+  // Registry snapshot at the last window close (delta inputs).
+  uint64_t breaker_opens_last_ = 0;
+  uint64_t wal_truncated_last_ = 0;
+
+  // Per-rule consecutive-breach state.
+  struct RuleState {
+    uint32_t breaches = 0;  ///< Consecutive breaching windows.
+    bool firing = false;
+  };
+  std::vector<RuleState> rule_state_;
+
+  // Closed state.
+  std::deque<MonitorWindow> ring_;
+  uint64_t windows_total_ = 0;
+  uint64_t windows_dropped_ = 0;
+  std::vector<AlertEvent> alerts_;
+  std::map<std::string, TenantMeter> billing_;
+  TenantMeter total_;
+};
+
+}  // namespace ssdb
+
+#endif  // SSDB_OBS_MONITOR_H_

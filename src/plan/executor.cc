@@ -178,6 +178,7 @@ Result<QueryResult> Executor::Execute(const QueryPlan& plan) {
     tracer->EndSpan(query_span, host_->network()->clock().now_us());
   }
   if (result.ok()) {
+    trace.tenant = tenant_;
     host_->OnTraceFinalized(trace);
     EmitQueryMetrics(kind, trace);
     result->trace = std::move(trace);
@@ -250,6 +251,17 @@ void Executor::EmitNodeSpans(const QueryTrace& trace, uint64_t query_span,
 
 std::vector<Result<QueryResult>> Executor::ExecuteBatch(
     const std::vector<const QueryPlan*>& plans) {
+  return ExecuteBatch(plans, {});
+}
+
+std::vector<Result<QueryResult>> Executor::ExecuteBatch(
+    const std::vector<const QueryPlan*>& plans,
+    const std::vector<std::string>& tenants) {
+  // Per-slot attribution; falls back to the executor-wide set_tenant
+  // stamp when the caller passed no per-plan tenants.
+  auto tenant_of = [&](size_t slot) -> const std::string& {
+    return slot < tenants.size() ? tenants[slot] : tenant_;
+  };
   std::vector<std::optional<Result<QueryResult>>> slots(plans.size());
   const size_t batch_max = host_->batch_max_ops();
   Tracer* tracer = host_->tracer();
@@ -407,6 +419,7 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
           EmitNodeSpans(*trace, span_id, start_us, tracer);
           tracer->EndSpan(span_id, host_->network()->clock().now_us());
         }
+        trace->tenant = tenant_of(slot);
         host_->OnTraceFinalized(*trace);
         EmitQueryMetrics(kind, *trace);
         part->trace = std::move(*trace);
@@ -416,9 +429,12 @@ std::vector<Result<QueryResult>> Executor::ExecuteBatch(
   }
 
   std::sort(individual.begin(), individual.end());
+  const std::string saved_tenant = tenant_;
   for (size_t slot : individual) {
+    tenant_ = tenant_of(slot);
     slots[slot] = Execute(*plans[slot]);
   }
+  tenant_ = saved_tenant;
   std::vector<Result<QueryResult>> out;
   out.reserve(plans.size());
   for (auto& s : slots) {

@@ -26,6 +26,11 @@ class Executor {
  public:
   explicit Executor(PlanHost* host) : host_(host) {}
 
+  /// Tenant attribution stamped on every trace this executor finalizes
+  /// (QueryTrace::tenant); empty = unattributed. The metering layer in
+  /// the client reads it from OnTraceFinalized.
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+
   /// Executes the plan; on success the QueryResult carries the trace.
   Result<QueryResult> Execute(const QueryPlan& plan);
 
@@ -38,6 +43,14 @@ class Executor {
   /// retry ladder. Slot i holds plan i's result.
   std::vector<Result<QueryResult>> ExecuteBatch(
       const std::vector<const QueryPlan*>& plans);
+
+  /// ExecuteBatch with per-plan tenant attribution: `tenants[i]` is
+  /// stamped on plan i's finalized trace (empty vector = none; otherwise
+  /// sizes must match). A wave mixing tenants still fuses — only the
+  /// trace stamp differs per slot.
+  std::vector<Result<QueryResult>> ExecuteBatch(
+      const std::vector<const QueryPlan*>& plans,
+      const std::vector<std::string>& tenants);
 
   /// One provider's successful response; `provider` is the client-local
   /// leg index (the share evaluation point index).
@@ -135,6 +148,8 @@ class Executor {
 
   PlanHost* host_;
   std::map<const PlanNode*, size_t> record_index_;
+  /// Stamped on finalized traces (set_tenant / per-plan batch tenants).
+  std::string tenant_;
 };
 
 }  // namespace ssdb

@@ -29,6 +29,12 @@ uint64_t QueryTrace::total_provider_legs() const {
   return total;
 }
 
+uint64_t QueryTrace::total_round_trips() const {
+  uint64_t total = 0;
+  for (const PlanNodeTrace& n : nodes) total += n.round_trips;
+  return total;
+}
+
 uint64_t QueryTrace::total_attempts() const {
   uint64_t total = 0;
   for (const PlanNodeTrace& n : nodes) total += n.attempts;

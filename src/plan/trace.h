@@ -23,6 +23,14 @@
 
 namespace ssdb {
 
+/// Caller-supplied context threaded from OutsourcedDatabase::Execute /
+/// ExecuteBatch through the Executor into the finalized QueryTrace, so
+/// the metering layer can attribute a request's resources to a tenant.
+/// Empty tenant = unattributed (no meter series are charged).
+struct RequestContext {
+  std::string tenant;
+};
+
 /// One provider leg issued by a plan node.
 struct PlanLegTrace {
   /// Network provider index of the leg.
@@ -91,6 +99,9 @@ struct PlanNodeTrace {
 /// \brief Trace of one executed query plan (pre-order node records).
 struct QueryTrace {
   std::vector<PlanNodeTrace> nodes;
+  /// Tenant attribution stamped from the RequestContext the query was
+  /// executed under (empty when the caller supplied none).
+  std::string tenant;
 
   uint64_t total_bytes_sent() const;
   uint64_t total_bytes_received() const;
@@ -98,6 +109,10 @@ struct QueryTrace {
   /// VirtualClock delta the query caused).
   uint64_t total_clock_us() const;
   uint64_t total_provider_legs() const;
+  /// Envelope fan-out rounds across all nodes (a fused ExecuteBatch wave
+  /// records its shared envelope rounds once, on the lead plan's fan-out
+  /// node — "lead pays" attribution).
+  uint64_t total_round_trips() const;
   /// Resilience totals across all nodes (zero with resilience disabled).
   uint64_t total_attempts() const;
   uint64_t total_hedged() const;

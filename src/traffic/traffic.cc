@@ -145,6 +145,70 @@ struct TenantSeries {
   }
 };
 
+/// Handles on the client-charged `ssdb_meter_*{tenant}` series. Run
+/// resets them at entry (each report meters its own window) and reads
+/// mutation meter samples as deltas around the barrier call — mutations
+/// carry no QueryTrace, and they run alone, so the delta is theirs.
+struct MeterSeries {
+  MetricCounter* requests;
+  MetricCounter* bytes_sent;
+  MetricCounter* bytes_received;
+  MetricCounter* rounds;
+  MetricCounter* clock_us;
+
+  static MeterSeries For(MetricsRegistry* reg, const std::string& tenant) {
+    const MetricLabels t = {{"tenant", tenant}};
+    MeterSeries m;
+    m.requests = reg->GetCounter("ssdb_meter_requests_total", t);
+    m.bytes_sent = reg->GetCounter("ssdb_meter_bytes_sent_total", t);
+    m.bytes_received = reg->GetCounter("ssdb_meter_bytes_received_total", t);
+    m.rounds = reg->GetCounter("ssdb_meter_rounds_total", t);
+    m.clock_us = reg->GetCounter("ssdb_meter_clock_us_total", t);
+    return m;
+  }
+
+  void Reset() {
+    requests->Reset();
+    bytes_sent->Reset();
+    bytes_received->Reset();
+    rounds->Reset();
+    clock_us->Reset();
+  }
+
+  MeterSample Read() const {
+    MeterSample m;
+    m.requests = requests->value();
+    m.bytes_sent = bytes_sent->value();
+    m.bytes_received = bytes_received->value();
+    m.rounds = rounds->value();
+    m.clock_us = clock_us->value();
+    return m;
+  }
+};
+
+MeterSample Minus(const MeterSample& after, const MeterSample& before) {
+  MeterSample d;
+  d.requests = after.requests - before.requests;
+  d.bytes_sent = after.bytes_sent - before.bytes_sent;
+  d.bytes_received = after.bytes_received - before.bytes_received;
+  d.rounds = after.rounds - before.rounds;
+  d.clock_us = after.clock_us - before.clock_us;
+  return d;
+}
+
+/// A read's meter sample, straight from its QueryTrace — the exact
+/// figures the client charged to the tenant's meter series, so monitor
+/// window sums reconcile with the registry by construction.
+MeterSample MeterFromTrace(const QueryTrace& trace) {
+  MeterSample m;
+  m.requests = 1;
+  m.bytes_sent = trace.total_bytes_sent();
+  m.bytes_received = trace.total_bytes_received();
+  m.rounds = trace.total_round_trips();
+  m.clock_us = trace.total_clock_us();
+  return m;
+}
+
 void AppendTenantJson(std::ostringstream* out, const TenantTraffic& t) {
   *out << "{\"tenant\": \"" << t.tenant << "\", \"offered\": " << t.offered
        << ", \"admitted\": " << t.admitted << ", \"completed\": " << t.completed
@@ -254,7 +318,9 @@ std::string TrafficReport::ExportJson() const {
     if (i + 1 < tenants.size()) out << ",";
     out << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ]";
+  if (monitored) out << ",\n  \"monitor\": " << monitor.ExportJson();
+  out << "\n}\n";
   return out.str();
 }
 
@@ -304,6 +370,44 @@ Result<TrafficReport> TrafficHarness::Run() {
   TenantSeries global_series = TenantSeries::For(reg, "_all");
   global_series.Reset();
 
+  // Meter series are charged by the client (every request below carries a
+  // RequestContext); reset them so Σ monitor windows == registry totals.
+  std::vector<MeterSeries> meters;
+  meters.reserve(tenants_.size());
+  for (const TenantSpec& spec : tenants_) {
+    meters.push_back(MeterSeries::For(reg, spec.name));
+    meters.back().Reset();
+  }
+  MeterSeries global_meter = MeterSeries::For(reg, "_all");
+  global_meter.Reset();
+
+  // The monitor baselines its registry-delta inputs (breaker opens, WAL
+  // truncations) at construction, so it must exist BEFORE execution:
+  // faults injected during the run are then window-attributed deltas.
+  const bool monitored = options_.monitor;
+  Monitor monitor(reg, options_.monitor_options);
+  std::vector<MeterSample> samples;
+  std::vector<QueryTrace> traces;
+  if (monitored) {
+    samples.resize(schedule.size());
+    traces.resize(schedule.size());
+    reg->GetCounter("ssdb_monitor_windows_total")->Reset();
+    reg->GetCounter("ssdb_monitor_windows_dropped_total")->Reset();
+    reg->GetCounter("ssdb_monitor_slow_queries_total")->Reset();
+    for (const AlertRule& rule : options_.monitor_options.rules) {
+      reg->GetCounter("ssdb_alerts_fired_total", {{"rule", rule.name}})->Reset();
+      reg->GetCounter("ssdb_alerts_resolved_total", {{"rule", rule.name}})
+          ->Reset();
+    }
+    for (const TenantSpec& spec : tenants_) {
+      reg->GetCounter("ssdb_meter_cost_microcredits_total",
+                      {{"tenant", spec.name}})
+          ->Reset();
+    }
+    reg->GetCounter("ssdb_meter_cost_microcredits_total", {{"tenant", "_all"}})
+        ->Reset();
+  }
+
   // Depth admission must observe every earlier completion before ruling
   // on an arrival, so any depth limit (or the fault-drill hook, which is
   // promised request-at-a-time order) forces the sequential path.
@@ -348,27 +452,37 @@ Result<TrafficReport> TrafficHarness::Run() {
     RequestOutcome& out = report.requests[i];
     if (options_.before_request) options_.before_request(admitted_index);
     ++admitted_index;
+    const RequestContext ctx{spec.name};
+    // Captures a completed read's meter sample and trace for the monitor.
+    auto record_read = [&](QueryResult&& qr) {
+      out.service_us = qr.trace.total_clock_us();
+      answers[i] = DescribeAnswer(qr);
+      if (monitored) {
+        samples[i] = MeterFromTrace(qr.trace);
+        traces[i] = std::move(qr.trace);
+      }
+    };
     switch (req.op) {
       case TrafficOp::kPointRead: {
         auto r = db_->Execute(
-            Query::Select(spec.name).Where(Eq("name", Value::Str(req.key))));
+            Query::Select(spec.name).Where(Eq("name", Value::Str(req.key))),
+            ctx);
         if (!r.ok()) {
           out.status = r.status();
           return;
         }
-        out.service_us = r.value().trace.total_clock_us();
-        answers[i] = DescribeAnswer(r.value());
+        record_read(std::move(r.value()));
         return;
       }
       case TrafficOp::kRangeScan: {
-        auto r = db_->Execute(Query::Select(spec.name).Where(
-            Between("salary", Value::Int(req.a), Value::Int(req.b))));
+        auto r = db_->Execute(Query::Select(spec.name).Where(Between(
+                                  "salary", Value::Int(req.a), Value::Int(req.b))),
+                              ctx);
         if (!r.ok()) {
           out.status = r.status();
           return;
         }
-        out.service_us = r.value().trace.total_clock_us();
-        answers[i] = DescribeAnswer(r.value());
+        record_read(std::move(r.value()));
         return;
       }
       case TrafficOp::kAggregate: {
@@ -386,37 +500,43 @@ Result<TrafficReport> TrafficHarness::Run() {
             q.Aggregate(AggregateOp::kSum, "salary").GroupBy("dept");
             break;
         }
-        auto r = db_->Execute(q);
+        auto r = db_->Execute(q, ctx);
         if (!r.ok()) {
           out.status = r.status();
           return;
         }
-        out.service_us = r.value().trace.total_clock_us();
-        answers[i] = DescribeAnswer(r.value());
+        record_read(std::move(r.value()));
         return;
       }
       case TrafficOp::kUpdate: {
         const uint64_t t0 = db_->simulated_time_us();
+        const MeterSample m0 =
+            monitored ? meters[req.tenant].Read() : MeterSample();
         auto r = db_->Update(spec.name, {Eq("name", Value::Str(req.key))},
-                             "salary", Value::Int(req.a));
+                             "salary", Value::Int(req.a), ctx);
         if (!r.ok()) {
           out.status = r.status();
           return;
         }
         out.service_us = db_->simulated_time_us() - t0;
+        if (monitored) samples[i] = Minus(meters[req.tenant].Read(), m0);
         answers[i] = "|updated=" + std::to_string(r.value());
         return;
       }
       case TrafficOp::kInsert: {
         const uint64_t t0 = db_->simulated_time_us();
+        const MeterSample m0 =
+            monitored ? meters[req.tenant].Read() : MeterSample();
         Status s = db_->Insert(
             spec.name, {{Value::Str(req.key), Value::Int(req.a),
-                         Value::Int(req.b)}});
+                         Value::Int(req.b)}},
+            ctx);
         if (!s.ok()) {
           out.status = s;
           return;
         }
         out.service_us = db_->simulated_time_us() - t0;
+        if (monitored) samples[i] = Minus(meters[req.tenant].Read(), m0);
         answers[i] = "|insert=1";
         return;
       }
@@ -428,13 +548,12 @@ Result<TrafficReport> TrafficHarness::Run() {
         join.right_column = "name";
         join.left_predicates = {
             Between("salary", Value::Int(req.a), Value::Int(req.b))};
-        auto r = db_->Execute(join);
+        auto r = db_->Execute(join, ctx);
         if (!r.ok()) {
           out.status = r.status();
           return;
         }
-        out.service_us = r.value().trace.total_clock_us();
-        answers[i] = DescribeAnswer(r.value());
+        record_read(std::move(r.value()));
         return;
       }
     }
@@ -546,7 +665,11 @@ Result<TrafficReport> TrafficHarness::Run() {
         }
         queries.push_back(std::move(q));
       }
-      std::vector<Result<QueryResult>> results = db_->ExecuteBatch(queries);
+      std::vector<RequestContext> ctxs;
+      ctxs.reserve(wave.size());
+      for (size_t i : wave) ctxs.push_back({tenants_[schedule[i].tenant].name});
+      std::vector<Result<QueryResult>> results =
+          db_->ExecuteBatch(queries, ctxs);
       for (size_t slot = 0; slot < wave.size(); ++slot) {
         const size_t i = wave[slot];
         RequestOutcome& out = report.requests[i];
@@ -556,6 +679,10 @@ Result<TrafficReport> TrafficHarness::Run() {
         }
         out.service_us = results[slot].value().trace.total_clock_us();
         answers[i] = DescribeAnswer(results[slot].value());
+        if (monitored) {
+          samples[i] = MeterFromTrace(results[slot].value().trace);
+          traces[i] = std::move(results[slot].value().trace);
+        }
       }
       admitted_index += wave.size();
       wave.clear();
@@ -596,6 +723,29 @@ Result<TrafficReport> TrafficHarness::Run() {
     out.arrival_us = req.arrival_us;
     TenantTraffic& tt = report.tenants[req.tenant];
     TenantSeries& ts = series[req.tenant];
+
+    if (monitored) {
+      // The monitor ingests arrival order — the one order shared by both
+      // execution modes — so its windows are batching- and
+      // fanout-invariant.
+      RequestObservation obs;
+      obs.tenant = tenants_[req.tenant].name;
+      obs.seq = req.seq;
+      obs.arrival_us = req.arrival_us;
+      if (out.status.IsResourceExhausted()) {
+        obs.cls = RequestClass::kRejected;
+      } else if (!out.status.ok()) {
+        obs.cls = RequestClass::kFailed;
+      } else {
+        obs.cls = RequestClass::kCompleted;
+        obs.latency_us = out.latency_us;
+        obs.queue_delay_us = out.queue_delay_us;
+        obs.service_us = out.service_us;
+        obs.meter = samples[i];
+        obs.trace = &traces[i];
+      }
+      monitor.Observe(obs);
+    }
 
     ++tt.offered;
     ++report.global.offered;
@@ -666,6 +816,12 @@ Result<TrafficReport> TrafficHarness::Run() {
     fill_quantiles(&report.tenants[t], series[t]);
   }
   fill_quantiles(&report.global, global_series);
+
+  if (monitored) {
+    monitor.Finish(std::max(report.drained_us, report.last_arrival_us));
+    report.monitored = true;
+    report.monitor = monitor.Report();
+  }
   return report;
 }
 

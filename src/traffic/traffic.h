@@ -63,6 +63,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/outsourced_db.h"
+#include "obs/monitor.h"
 
 namespace ssdb {
 
@@ -135,6 +136,16 @@ struct TrafficOptions {
   /// it disables ExecuteBatch waves so the hook observes request-at-a-time
   /// execution order (kill/restart drills inject faults here).
   std::function<void(size_t)> before_request;
+  /// Attach a continuous Monitor (obs/monitor.h) to the run: windowed
+  /// time series, per-tenant metering & billing, alert rules and the
+  /// top-K slow-query log land in TrafficReport::monitor. The monitor is
+  /// fed from the arrival-order accounting pass, so its output is
+  /// bit-identical across fanout_threads counts and same-seed runs.
+  /// (Across BATCHING modes only counts and answers are invariant:
+  /// waves amortize envelope rounds, so metered bytes/rounds/clock — and
+  /// hence costs and latency percentiles — legitimately differ.)
+  bool monitor = false;
+  MonitorOptions monitor_options;
 };
 
 /// One operation of the pre-generated schedule.
@@ -210,6 +221,8 @@ struct TrafficReport {
   std::vector<RequestOutcome> requests;
   uint64_t last_arrival_us = 0;
   uint64_t drained_us = 0;  ///< Last modelled completion time.
+  bool monitored = false;   ///< True when TrafficOptions::monitor was set.
+  MonitorReport monitor;    ///< Windowed series, billing, alerts, slow log.
 
   double offered_qps() const {
     return last_arrival_us == 0

@@ -86,6 +86,27 @@ TEST(MetricsRegistry, HandlesAreStableAndResetKeepsRegistrations) {
   EXPECT_EQ(registry.CounterTotal("ssdb_test_total"), 1u);
 }
 
+TEST(MetricsRegistry, LabelFilteredCounterTotalSelectsOneStratum) {
+  // Regression: metrics that keep per-tenant series AND a tenant="_all"
+  // aggregate double-count under the unfiltered CounterTotal. The
+  // label-filtered overload reads one stratum.
+  MetricsRegistry registry;
+  registry.GetCounter("ssdb_strata_total", {{"tenant", "alpha"}})->Inc(3);
+  registry.GetCounter("ssdb_strata_total", {{"tenant", "beta"}})->Inc(4);
+  registry.GetCounter("ssdb_strata_total", {{"tenant", "_all"}})->Inc(7);
+  EXPECT_EQ(registry.CounterTotal("ssdb_strata_total"), 14u);  // both strata
+  EXPECT_EQ(registry.CounterTotal("ssdb_strata_total", "tenant", "_all"), 7u);
+  EXPECT_EQ(registry.CounterTotal("ssdb_strata_total", "tenant", "alpha"), 3u);
+  // Several series may share the filter value (per-reason breakdowns).
+  registry.GetCounter("ssdb_strata_total",
+                      {{"tenant", "alpha"}, {"reason", "quota"}})
+      ->Inc(2);
+  EXPECT_EQ(registry.CounterTotal("ssdb_strata_total", "tenant", "alpha"), 5u);
+  // No matching label value (or an unregistered name) reads zero.
+  EXPECT_EQ(registry.CounterTotal("ssdb_strata_total", "tenant", "gamma"), 0u);
+  EXPECT_EQ(registry.CounterTotal("ssdb_missing_total", "tenant", "_all"), 0u);
+}
+
 TEST(MetricsRegistry, ExportsAreSortedAndWellFormed) {
   MetricsRegistry registry;
   registry.GetCounter("ssdb_z_total")->Inc(9);

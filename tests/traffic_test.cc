@@ -273,6 +273,21 @@ TEST(TrafficProperty, ConservationAndHistogramReconciliation) {
   EXPECT_EQ(
       reg.GetHistogram("ssdb_traffic_latency_us", {{"tenant", "_all"}})->count(),
       completed_sum);
+  // ...and the label-filtered CounterTotal reads one stratum at a time:
+  // the "_all" aggregate equals the logical total, per-tenant series sum
+  // to the same figure, and the unfiltered overload (which sums BOTH
+  // strata) is exactly double — never use it as a logical total on
+  // metrics that keep a tenant="_all" aggregate.
+  EXPECT_EQ(reg.CounterTotal("ssdb_traffic_completed_total", "tenant", "_all"),
+            completed_sum);
+  EXPECT_EQ(reg.CounterTotal("ssdb_traffic_offered_total", "tenant", "_all"),
+            offered_sum);
+  uint64_t per_tenant_completed = 0;
+  for (const TenantTraffic& t : r.tenants) {
+    per_tenant_completed +=
+        reg.CounterValue("ssdb_traffic_completed_total", {{"tenant", t.tenant}});
+  }
+  EXPECT_EQ(per_tenant_completed, completed_sum);
   EXPECT_EQ(reg.CounterTotal("ssdb_traffic_completed_total"),
             2 * completed_sum);
   EXPECT_EQ(reg.CounterTotal("ssdb_traffic_offered_total"), 2 * offered_sum);

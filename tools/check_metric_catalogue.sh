@@ -51,6 +51,17 @@ ssdb_traffic_queue_delay_us
 ssdb_traffic_service_us
 ssdb_admission_admitted_total
 ssdb_admission_rejected_total
+ssdb_meter_requests_total
+ssdb_meter_bytes_sent_total
+ssdb_meter_bytes_received_total
+ssdb_meter_rounds_total
+ssdb_meter_clock_us_total
+ssdb_meter_cost_microcredits_total
+ssdb_monitor_windows_total
+ssdb_monitor_windows_dropped_total
+ssdb_monitor_slow_queries_total
+ssdb_alerts_fired_total
+ssdb_alerts_resolved_total
 "
 for name in $required; do
   if ! echo "$names" | grep -qx "$name"; then
