@@ -773,6 +773,12 @@ Result<Value> DataSourceClient::ReconstructColumn(
     const ColumnSpec& column, const std::vector<IndexedShare>& shares,
     int64_t* code_out) const {
   SSDB_ASSIGN_OR_RETURN(Fp61 w, RobustFieldReconstruct(ctx_, shares));
+  return DecodeColumnValue(column, w, code_out);
+}
+
+Result<Value> DataSourceClient::DecodeColumnValue(const ColumnSpec& column,
+                                                  Fp61 w,
+                                                  int64_t* code_out) const {
   SSDB_ASSIGN_OR_RETURN(OpDomain dom, column.CodeDomain());
   if (static_cast<u128>(w.value()) >= dom.size()) {
     return Status::Corruption("client: reconstructed offset outside domain");
@@ -785,26 +791,50 @@ Result<Value> DataSourceClient::ReconstructColumn(
 Result<std::vector<Value>> DataSourceClient::ReconstructStoredRow(
     const PlanTable& table, const std::vector<const ColumnSpec*>& columns,
     bool full_row,
-    const std::vector<std::pair<size_t, StoredRow>>& provider_rows) {
+    const std::vector<std::pair<size_t, const StoredRow*>>& provider_rows) {
   std::vector<Value> row(columns.size());
   std::vector<int64_t> codes(columns.size());
+  // The provider subset is fixed for the whole row, so the Lagrange basis
+  // is resolved once here and every column reconstructs through it with a
+  // k-term dot product. GetBasis fails with exactly the statuses the
+  // per-column Reconstruct would have produced (too few shares, bad or
+  // duplicate provider) — never Corruption, so no robust-retry path is
+  // bypassed by returning it directly.
+  std::vector<size_t> providers(provider_rows.size());
+  for (size_t i = 0; i < provider_rows.size(); ++i) {
+    providers[i] = provider_rows[i].first;
+  }
+  SSDB_ASSIGN_OR_RETURN(SharingContext::BasisRef basis,
+                        ctx_.GetBasis(providers));
+  std::vector<Fp61> ys(provider_rows.size());
   for (size_t c = 0; c < columns.size(); ++c) {
-    std::vector<IndexedShare> shares;
-    shares.reserve(provider_rows.size());
-    for (const auto& [p, srow] : provider_rows) {
-      shares.push_back(
-          IndexedShare{p, Fp61::FromCanonical(srow.cells[c].secret)});
+    for (size_t i = 0; i < provider_rows.size(); ++i) {
+      ys[i] = Fp61::FromCanonical(provider_rows[i].second->cells[c].secret);
     }
-    SSDB_ASSIGN_OR_RETURN(row[c],
-                          ReconstructColumn(*columns[c], shares, &codes[c]));
+    Result<Fp61> w = ctx_.ReconstructWithBasis(basis, ys);
+    if (w.ok()) {
+      SSDB_ASSIGN_OR_RETURN(row[c],
+                            DecodeColumnValue(*columns[c], *w, &codes[c]));
+    } else {
+      // Inconsistent shares: drop to the robust per-column path, which
+      // retries with each provider excluded before reporting Corruption.
+      std::vector<IndexedShare> shares;
+      shares.reserve(provider_rows.size());
+      for (const auto& [p, srow] : provider_rows) {
+        shares.push_back(
+            IndexedShare{p, Fp61::FromCanonical(srow->cells[c].secret)});
+      }
+      SSDB_ASSIGN_OR_RETURN(row[c],
+                            ReconstructColumn(*columns[c], shares, &codes[c]));
+    }
   }
   // Tags cover every column, so they can only be checked on full rows.
   if (options_.verify_tags && full_row) {
     const uint64_t expect =
-        RowTag(table.id, provider_rows.front().second.row_id, codes);
+        RowTag(table.id, provider_rows.front().second->row_id, codes);
     size_t matches = 0;
     for (const auto& [p, srow] : provider_rows) {
-      if (srow.tag == expect) ++matches;
+      if (srow->tag == expect) ++matches;
     }
     if (matches * 2 <= provider_rows.size()) {
       return Status::Corruption("client: row integrity tag mismatch");

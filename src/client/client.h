@@ -358,6 +358,10 @@ class DataSourceClient : private PlanHost {
   Result<Value> ReconstructColumn(const ColumnSpec& column,
                                   const std::vector<IndexedShare>& shares,
                                   int64_t* code_out) const;
+  /// Maps a reconstructed field element into the column's value domain
+  /// (shared tail of ReconstructColumn and the batched row path).
+  Result<Value> DecodeColumnValue(const ColumnSpec& column, Fp61 w,
+                                  int64_t* code_out) const;
 
   // --- PlanHost (the plan layer's view of this client) -------------------
   Result<PlanTable> ResolveTable(const std::string& name) override;
@@ -393,7 +397,8 @@ class DataSourceClient : private PlanHost {
   Result<std::vector<Value>> ReconstructStoredRow(
       const PlanTable& table, const std::vector<const ColumnSpec*>& columns,
       bool full_row,
-      const std::vector<std::pair<size_t, StoredRow>>& provider_rows) override;
+      const std::vector<std::pair<size_t, const StoredRow*>>& provider_rows)
+      override;
   Status ApplyLazyOverlay(const PlanTable& table, const Query& query,
                           QueryResult* result) override;
   void OnRowsReconstructed(uint64_t rows) override;

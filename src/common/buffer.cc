@@ -4,24 +4,6 @@
 
 namespace ssdb {
 
-void Buffer::PutU16(uint16_t v) {
-  PutU8(static_cast<uint8_t>(v));
-  PutU8(static_cast<uint8_t>(v >> 8));
-}
-
-void Buffer::PutU32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void Buffer::PutU64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void Buffer::PutU128(u128 v) {
-  PutU64(U128Lo(v));
-  PutU64(U128Hi(v));
-}
-
 void Buffer::PutDouble(double v) {
   uint64_t bits;
   static_assert(sizeof(bits) == sizeof(v));
@@ -30,11 +12,14 @@ void Buffer::PutDouble(double v) {
 }
 
 void Buffer::PutVarint(uint64_t v) {
+  uint8_t b[10];
+  size_t n = 0;
   while (v >= 0x80) {
-    PutU8(static_cast<uint8_t>(v) | 0x80);
+    b[n++] = static_cast<uint8_t>(v) | 0x80;
     v >>= 7;
   }
-  PutU8(static_cast<uint8_t>(v));
+  b[n++] = static_cast<uint8_t>(v);
+  bytes_.insert(bytes_.end(), b, b + n);
 }
 
 void Buffer::PutLengthPrefixed(Slice s) {
@@ -62,29 +47,41 @@ Status Decoder::GetU8(uint8_t* out) {
   return Status::OK();
 }
 
+// Fixed-width loads go through memcpy (one unaligned load on common
+// targets) instead of per-byte shifts; the byte swap keeps the wire format
+// little-endian everywhere.
+namespace {
+template <typename T>
+inline T LoadLE(const uint8_t* p) {
+  T v;
+  memcpy(&v, p, sizeof(T));
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  if constexpr (sizeof(T) == 2) v = __builtin_bswap16(v);
+  if constexpr (sizeof(T) == 4) v = __builtin_bswap32(v);
+  if constexpr (sizeof(T) == 8) v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+}  // namespace
+
 Status Decoder::GetU16(uint16_t* out) {
   Slice raw;
   SSDB_RETURN_IF_ERROR(GetRaw(2, &raw));
-  *out = static_cast<uint16_t>(raw[0]) |
-         static_cast<uint16_t>(static_cast<uint16_t>(raw[1]) << 8);
+  *out = LoadLE<uint16_t>(raw.data());
   return Status::OK();
 }
 
 Status Decoder::GetU32(uint32_t* out) {
   Slice raw;
   SSDB_RETURN_IF_ERROR(GetRaw(4, &raw));
-  uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | raw[static_cast<size_t>(i)];
-  *out = v;
+  *out = LoadLE<uint32_t>(raw.data());
   return Status::OK();
 }
 
 Status Decoder::GetU64(uint64_t* out) {
   Slice raw;
   SSDB_RETURN_IF_ERROR(GetRaw(8, &raw));
-  uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | raw[static_cast<size_t>(i)];
-  *out = v;
+  *out = LoadLE<uint64_t>(raw.data());
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #define SSDB_COMMON_BUFFER_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,35 @@
 #include "common/wide_int.h"
 
 namespace ssdb {
+
+/// Unaligned little-endian load/store primitives for fixed-width codecs on
+/// hot paths (memcpy compiles to one unaligned access on common targets).
+inline uint64_t LoadU64LE(const uint8_t* p) {
+  uint64_t v;
+  memcpy(&v, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
+}
+
+/// Encoded size of a LEB128 varint, for reserve-exact envelope assembly.
+inline size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+inline uint8_t* StoreU64LE(uint8_t* p, uint64_t v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  memcpy(p, &v, 8);
+  return p + 8;
+}
 
 /// \brief Growable byte buffer used as the target of wire encoding.
 class Buffer {
@@ -36,10 +66,10 @@ class Buffer {
   std::vector<uint8_t>&& TakeBytes() { return std::move(bytes_); }
 
   void PutU8(uint8_t v) { bytes_.push_back(v); }
-  void PutU16(uint16_t v);
-  void PutU32(uint32_t v);
-  void PutU64(uint64_t v);
-  void PutU128(u128 v);
+  void PutU16(uint16_t v) { PutLE(v, 2); }
+  void PutU32(uint32_t v) { PutLE(v, 4); }
+  void PutU64(uint64_t v) { PutLE(v, 8); }
+  void PutU128(u128 v) { PutLE(v, 16); }
   void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
   void PutDouble(double v);
   /// LEB128 unsigned varint (1..10 bytes).
@@ -53,6 +83,15 @@ class Buffer {
   }
 
  private:
+  // Stages the little-endian bytes locally and appends with one insert, so
+  // each Put pays one grow check instead of one per byte.
+  template <typename T>
+  void PutLE(T v, size_t n) {
+    uint8_t b[16];
+    for (size_t i = 0; i < n; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+
   std::vector<uint8_t> bytes_;
 };
 

@@ -30,6 +30,18 @@ uint64_t SipHash24U64(const SipHashKey& key, uint64_t message,
 /// FNV-1a 64-bit (unkeyed, non-cryptographic).
 uint64_t Fnv1a64(Slice data);
 
+/// FNV-1a initial state and incremental step: folding the 8 little-endian
+/// bytes of `v` into `h` yields exactly Fnv1a64 over the concatenated
+/// byte string, without materializing it.
+inline constexpr uint64_t kFnv1a64Init = 0xCBF29CE484222325ULL;
+inline uint64_t Fnv1a64FoldU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<uint8_t>(v >> (8 * i));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
 }  // namespace ssdb
 
 #endif  // SSDB_COMMON_HASH_H_

@@ -38,30 +38,6 @@ Int256 Int256::FromU128(u128 v) {
   return r;
 }
 
-Int256 Int256::operator+(const Int256& o) const {
-  Int256 r;
-  u128 carry = 0;
-  for (int i = 0; i < 4; ++i) {
-    u128 s = static_cast<u128>(limbs_[i]) + o.limbs_[i] + carry;
-    r.limbs_[i] = U128Lo(s);
-    carry = s >> 64;
-  }
-  return r;
-}
-
-Int256 Int256::operator-() const {
-  Int256 r;
-  u128 carry = 1;
-  for (int i = 0; i < 4; ++i) {
-    u128 s = static_cast<u128>(~limbs_[i]) + carry;
-    r.limbs_[i] = U128Lo(s);
-    carry = s >> 64;
-  }
-  return r;
-}
-
-Int256 Int256::operator-(const Int256& o) const { return *this + (-o); }
-
 Int256 Int256::MulU128(u128 a, u128 b) {
   const uint64_t a0 = U128Lo(a), a1 = U128Hi(a);
   const uint64_t b0 = U128Lo(b), b1 = U128Hi(b);

@@ -54,11 +54,45 @@ class Int256 {
            limbs_[3] == 0;
   }
 
-  Int256 operator-() const;
-  Int256 operator+(const Int256& o) const;
-  Int256 operator-(const Int256& o) const;
-  Int256& operator+=(const Int256& o) { return *this = *this + o; }
-  Int256& operator-=(const Int256& o) { return *this = *this - o; }
+  // Add/sub/negate are inline single-pass limb chains: the
+  // __builtin_*_overflow carries compile to add/adc (resp. sub/sbb)
+  // sequences, and += / -= update limbs in place instead of routing
+  // through a temporary.
+  Int256& operator+=(const Int256& o) {
+    uint64_t c = 0;
+    for (int i = 0; i < 4; ++i) {
+      uint64_t s;
+      const uint64_t c1 = __builtin_add_overflow(limbs_[i], o.limbs_[i], &s);
+      const uint64_t c2 = __builtin_add_overflow(s, c, &limbs_[i]);
+      c = c1 | c2;
+    }
+    return *this;
+  }
+  Int256& operator-=(const Int256& o) {
+    uint64_t b = 0;
+    for (int i = 0; i < 4; ++i) {
+      uint64_t s;
+      const uint64_t b1 = __builtin_sub_overflow(limbs_[i], o.limbs_[i], &s);
+      const uint64_t b2 = __builtin_sub_overflow(s, b, &limbs_[i]);
+      b = b1 | b2;
+    }
+    return *this;
+  }
+  Int256 operator+(const Int256& o) const {
+    Int256 r = *this;
+    r += o;
+    return r;
+  }
+  Int256 operator-(const Int256& o) const {
+    Int256 r = *this;
+    r -= o;
+    return r;
+  }
+  Int256 operator-() const {
+    Int256 r;
+    r -= *this;
+    return r;
+  }
 
   /// Full signed product of two 128-bit values (never overflows 256 bits).
   static Int256 Mul128(i128 a, i128 b);

@@ -42,6 +42,35 @@ Result<std::vector<Fp61>> LagrangeBasisAtZero(const std::vector<Fp61>& xs) {
   return basis;
 }
 
+Result<std::vector<Fp61>> LagrangeBasisAt(const std::vector<Fp61>& xs,
+                                          Fp61 x) {
+  if (xs.empty()) {
+    return Status::InvalidArgument("LagrangeBasisAt: no points");
+  }
+  for (size_t i = 0; i < xs.size(); ++i) {
+    for (size_t j = i + 1; j < xs.size(); ++j) {
+      if (xs[i] == xs[j]) {
+        return Status::InvalidArgument(
+            "LagrangeBasisAt: duplicate x coordinate");
+      }
+    }
+  }
+  // w_i = prod_{j != i} (x - x_j) / (x_i - x_j)
+  std::vector<Fp61> basis(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    Fp61 num = Fp61::FromCanonical(1);
+    Fp61 den = Fp61::FromCanonical(1);
+    for (size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      num *= x - xs[j];
+      den *= xs[i] - xs[j];
+    }
+    SSDB_ASSIGN_OR_RETURN(Fp61 inv, den.Inverse());
+    basis[i] = num * inv;
+  }
+  return basis;
+}
+
 Result<Fp61> LagrangeAtZero(const std::vector<FpPoint>& points) {
   std::vector<Fp61> xs(points.size());
   for (size_t i = 0; i < points.size(); ++i) xs[i] = points[i].x;

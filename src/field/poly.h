@@ -56,6 +56,12 @@ Result<Fp61> LagrangeAtZero(const std::vector<FpPoint>& points);
 /// same provider subset amortizes the inversions.
 Result<std::vector<Fp61>> LagrangeBasisAtZero(const std::vector<Fp61>& xs);
 
+/// Lagrange basis weights at an arbitrary point `x`: for the unique
+/// degree < |xs| polynomial q through (xs[i], y_i), q(x) = sum_i w[i]*y_i.
+/// Used to turn the ">k shares consistent?" check into one cached dot
+/// product per extra share instead of a full re-interpolation.
+Result<std::vector<Fp61>> LagrangeBasisAt(const std::vector<Fp61>& xs, Fp61 x);
+
 /// Full interpolation: returns the unique degree < n polynomial through the
 /// n points (Newton's divided differences). Distinct x required.
 Result<FpPoly> Interpolate(const std::vector<FpPoint>& points);

@@ -3,6 +3,9 @@
 namespace ssdb {
 
 void EncodeBatchRequest(const std::vector<Slice>& ops, Buffer* out) {
+  size_t total = 1 + VarintLength(ops.size());
+  for (const Slice& op : ops) total += VarintLength(op.size()) + op.size();
+  out->reserve(out->size() + total);
   out->PutU8(kBatchMsgTag);
   out->PutVarint(ops.size());
   for (const Slice& op : ops) out->PutLengthPrefixed(op);
@@ -36,6 +39,9 @@ Status DecodeBatchRequestPayload(Decoder* dec, std::vector<Slice>* ops) {
 
 void EncodeBatchResponsePayload(const std::vector<Buffer>& responses,
                                 Buffer* out) {
+  size_t total = VarintLength(responses.size());
+  for (const Buffer& r : responses) total += VarintLength(r.size()) + r.size();
+  out->reserve(out->size() + total);
   out->PutVarint(responses.size());
   for (const Buffer& r : responses) out->PutLengthPrefixed(r.AsSlice());
 }

@@ -941,9 +941,11 @@ Result<QueryResult> Executor::RunFetch(
 
   std::unordered_map<uint64_t, std::vector<size_t>> groups;
   for (size_t i = 0; i < parsed.size(); ++i) {
-    Buffer sig;
-    for (const StoredRow& row : parsed[i].rows) sig.PutU64(row.row_id);
-    groups[Fnv1a64(sig.AsSlice())].push_back(i);
+    uint64_t sig = kFnv1a64Init;
+    for (const StoredRow& row : parsed[i].rows) {
+      sig = Fnv1a64FoldU64(sig, row.row_id);
+    }
+    groups[sig].push_back(i);
   }
   std::vector<size_t> best;
   for (auto& [sig, members] : groups) {
@@ -956,11 +958,13 @@ Result<QueryResult> Executor::RunFetch(
 
   const std::vector<StoredRow>& reference = parsed[best.front()].rows;
   QueryResult out;
+  std::vector<std::pair<size_t, const StoredRow*>> per_provider;
+  per_provider.reserve(best.size());
   for (size_t row_idx = 0; row_idx < reference.size(); ++row_idx) {
-    std::vector<std::pair<size_t, StoredRow>> per_provider;
+    per_provider.clear();
     for (size_t member : best) {
       per_provider.emplace_back(parsed[member].provider,
-                                parsed[member].rows[row_idx]);
+                                &parsed[member].rows[row_idx]);
     }
     SSDB_ASSIGN_OR_RETURN(
         std::vector<Value> row,
@@ -1110,12 +1114,12 @@ Result<QueryResult> Executor::DecodeJoin(
   }
   std::unordered_map<uint64_t, std::vector<size_t>> groups;
   for (size_t i = 0; i < parsed.size(); ++i) {
-    Buffer sig;
+    uint64_t sig = kFnv1a64Init;
     for (const auto& pr : parsed[i].pairs) {
-      sig.PutU64(pr.left.row_id);
-      sig.PutU64(pr.right.row_id);
+      sig = Fnv1a64FoldU64(sig, pr.left.row_id);
+      sig = Fnv1a64FoldU64(sig, pr.right.row_id);
     }
-    groups[Fnv1a64(sig.AsSlice())].push_back(i);
+    groups[sig].push_back(i);
   }
   std::vector<size_t> best;
   for (auto& [sig, members] : groups) {
@@ -1131,13 +1135,17 @@ Result<QueryResult> Executor::DecodeJoin(
 
   const auto& reference = parsed[best.front()].pairs;
   QueryResult out = std::move(empty);
+  std::vector<std::pair<size_t, const StoredRow*>> lrows, rrows;
+  lrows.reserve(best.size());
+  rrows.reserve(best.size());
   for (size_t i = 0; i < reference.size(); ++i) {
-    std::vector<std::pair<size_t, StoredRow>> lrows, rrows;
+    lrows.clear();
+    rrows.clear();
     for (size_t member : best) {
       lrows.emplace_back(parsed[member].provider,
-                         parsed[member].pairs[i].left);
+                         &parsed[member].pairs[i].left);
       rrows.emplace_back(parsed[member].provider,
-                         parsed[member].pairs[i].right);
+                         &parsed[member].pairs[i].right);
     }
     SSDB_ASSIGN_OR_RETURN(
         std::vector<Value> row,

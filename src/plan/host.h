@@ -92,10 +92,12 @@ class PlanHost {
       int64_t* code_out) = 0;
   /// Reconstructs one stored row from >= k provider copies, verifying the
   /// integrity tag on unprojected reads.
+  /// `provider_rows` holds borrowed pointers into the caller's decoded
+  /// responses; they are only read during the call.
   virtual Result<std::vector<Value>> ReconstructStoredRow(
       const PlanTable& table, const std::vector<const ColumnSpec*>& columns,
       bool full_row,
-      const std::vector<std::pair<size_t, StoredRow>>& provider_rows) = 0;
+      const std::vector<std::pair<size_t, const StoredRow*>>& provider_rows) = 0;
 
   // --- Result post-processing / stats (Executor) ------------------------
   /// Merges the client-side pending write log over a row result (§V.C).

@@ -129,6 +129,8 @@ namespace {
 void EncodeRowsMessage(MsgType type, uint32_t table_id,
                        const std::vector<ProviderColumnLayout>& layout,
                        const std::vector<StoredRow>& rows, Buffer* out) {
+  out->reserve(out->size() + 5 + VarintLength(rows.size()) +
+               rows.size() * StoredRowWireSize(layout));
   out->PutU8(static_cast<uint8_t>(type));
   out->PutU32(table_id);
   out->PutVarint(rows.size());
@@ -252,6 +254,8 @@ Status DecodeResponseHeader(Decoder* dec) {
 void EncodeRowsResponse(const std::vector<StoredRow>& rows,
                         const std::vector<ProviderColumnLayout>& layout,
                         Buffer* out) {
+  out->reserve(out->size() + VarintLength(rows.size()) +
+               rows.size() * StoredRowWireSize(layout));
   out->PutVarint(rows.size());
   for (const StoredRow& r : rows) EncodeStoredRow(r, layout, out);
 }
@@ -336,6 +340,9 @@ void EncodeJoinResponse(const std::vector<JoinedRowPair>& pairs,
                         const std::vector<ProviderColumnLayout>& left_layout,
                         const std::vector<ProviderColumnLayout>& right_layout,
                         Buffer* out) {
+  out->reserve(out->size() + VarintLength(pairs.size()) +
+               pairs.size() * (StoredRowWireSize(left_layout) +
+                               StoredRowWireSize(right_layout)));
   out->PutVarint(pairs.size());
   for (const auto& p : pairs) {
     EncodeStoredRow(p.left, left_layout, out);

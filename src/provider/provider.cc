@@ -259,16 +259,20 @@ Status Provider::HandleGetRows(Decoder* dec, Buffer* out) {
   SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(table_id));
   uint64_t n = 0;
   SSDB_RETURN_IF_ERROR(dec->GetVarint(&n));
-  std::vector<StoredRow> rows;
+  std::vector<uint64_t> ids(n);
   for (uint64_t i = 0; i < n; ++i) {
-    uint64_t id = 0;
-    SSDB_RETURN_IF_ERROR(dec->GetU64(&id));
-    SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
-    rows.push_back(*row);
+    SSDB_RETURN_IF_ERROR(dec->GetU64(&ids[i]));
   }
-  BumpRowsReturned(rows.size());
+  // Stream rows straight into the response under one table lock: on any
+  // error the caller discards `out`, so the partial encode never leaks.
   EncodeOkHeader(out);
-  EncodeRowsResponse(rows, table->layout(), out);
+  out->PutVarint(ids.size());
+  out->reserve(out->size() + ids.size() * StoredRowWireSize(table->layout()));
+  SSDB_RETURN_IF_ERROR(table->VisitRows(ids, [&](const StoredRow& row) {
+    EncodeStoredRow(row, table->layout(), out);
+    return Status::OK();
+  }));
+  BumpRowsReturned(ids.size());
   return Status::OK();
 }
 
@@ -315,18 +319,19 @@ Result<std::vector<uint64_t>> Provider::EvaluatePredicates(
   if (preds.size() == 1) return candidates;
 
   std::vector<uint64_t> out;
-  for (uint64_t id : candidates) {
-    SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table.Get(id));
-    bool all = true;
-    for (size_t i = 1; i < preds.size(); ++i) {
-      SSDB_ASSIGN_OR_RETURN(bool m, RowMatches(table, *row, preds[i]));
-      if (!m) {
-        all = false;
-        break;
-      }
-    }
-    if (all) out.push_back(id);
-  }
+  SSDB_RETURN_IF_ERROR(
+      table.VisitRows(candidates, [&](const StoredRow& row) -> Status {
+        bool all = true;
+        for (size_t i = 1; i < preds.size(); ++i) {
+          SSDB_ASSIGN_OR_RETURN(bool m, RowMatches(table, row, preds[i]));
+          if (!m) {
+            all = false;
+            break;
+          }
+        }
+        if (all) out.push_back(row.row_id);
+        return Status::OK();
+      }));
   return out;
 }
 
@@ -356,24 +361,31 @@ Status MakeProjection(const ShareTable& table,
   return Status::OK();
 }
 
-StoredRow ProjectRow(const StoredRow& row,
-                     const std::vector<uint32_t>& columns) {
-  StoredRow out;
-  out.row_id = row.row_id;
-  out.tag = row.tag;
-  out.cells.reserve(columns.size());
-  for (uint32_t c : columns) out.cells.push_back(row.cells[c]);
-  return out;
-}
-
 }  // namespace
 
 Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
   QueryRequest q;
   SSDB_RETURN_IF_ERROR(QueryRequest::DecodeFrom(dec, &q));
   SSDB_ASSIGN_OR_RETURN(ShareTable * table, FindTable(q.table_id));
-  SSDB_ASSIGN_OR_RETURN(std::vector<uint64_t> ids,
-                        EvaluatePredicates(*table, q.predicates));
+
+  // A query with no predicates matches every row; visiting the table
+  // directly (ascending row-id order, same as VisitRows over AllRowIds)
+  // skips materializing the id list and one map lookup per row.
+  const bool full_scan = q.predicates.empty();
+  std::vector<uint64_t> ids;
+  size_t matched = 0;
+  if (full_scan) {
+    matched = table->size();
+    BumpRowsExamined(matched);
+    if (q.action == QueryAction::kFetchRowIds) ids = table->AllRowIds();
+  } else {
+    SSDB_ASSIGN_OR_RETURN(ids, EvaluatePredicates(*table, q.predicates));
+    matched = ids.size();
+  }
+  const auto visit_matched = [&](const auto& fn) -> Status {
+    if (full_scan) return table->VisitAllRows(fn);
+    return table->VisitRows(ids, fn);
+  };
 
   std::vector<ProviderColumnLayout> proj_layout;
   std::vector<uint32_t> proj_columns;
@@ -382,15 +394,16 @@ Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
 
   switch (q.action) {
     case QueryAction::kFetchRows: {
-      std::vector<StoredRow> rows;
-      rows.reserve(ids.size());
-      for (uint64_t id : ids) {
-        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
-        rows.push_back(ProjectRow(*row, proj_columns));
-      }
-      BumpRowsReturned(rows.size());
+      // One lock for the whole result, no intermediate row copies: each
+      // matched row is projected straight into the response buffer.
       EncodeOkHeader(out);
-      EncodeRowsResponse(rows, proj_layout, out);
+      out->PutVarint(matched);
+      out->reserve(out->size() + matched * StoredRowWireSize(proj_layout));
+      SSDB_RETURN_IF_ERROR(visit_matched([&](const StoredRow& row) {
+        EncodeStoredRowProjected(row, proj_layout, proj_columns, out);
+        return Status::OK();
+      }));
+      BumpRowsReturned(matched);
       return Status::OK();
     }
     case QueryAction::kGroupedSum: {
@@ -406,20 +419,20 @@ Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
       // Group matched rows by the group column's det share; groups are
       // identified across providers by their minimal row id.
       std::unordered_map<uint64_t, GroupPartial> groups;
-      for (uint64_t id : ids) {
-        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
-        const uint64_t det = row->cells[q.group_column].det;
+      SSDB_RETURN_IF_ERROR(visit_matched([&](const StoredRow& row) {
+        const uint64_t det = row.cells[q.group_column].det;
         auto [it, inserted] = groups.try_emplace(det);
         GroupPartial& g = it->second;
-        if (inserted || id < g.rep_row_id) {
-          g.rep_row_id = id;
-          g.key_share = row->cells[q.group_column].secret;
+        if (inserted || row.row_id < g.rep_row_id) {
+          g.rep_row_id = row.row_id;
+          g.key_share = row.cells[q.group_column].secret;
         }
         g.sum_share = (Fp61::FromCanonical(g.sum_share) +
-                       Fp61::FromCanonical(row->cells[q.target_column].secret))
+                       Fp61::FromCanonical(row.cells[q.target_column].secret))
                           .value();
         g.count++;
-      }
+        return Status::OK();
+      }));
       std::vector<GroupPartial> ordered;
       ordered.reserve(groups.size());
       for (auto& [det, g] : groups) ordered.push_back(g);
@@ -438,7 +451,7 @@ Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
     }
     case QueryAction::kCount: {
       EncodeOkHeader(out);
-      EncodeCountResponse(ids.size(), out);
+      EncodeCountResponse(matched, out);
       return Status::OK();
     }
     case QueryAction::kPartialSum: {
@@ -448,12 +461,12 @@ Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
       // Additive homomorphism: the sum of secret shares is a share of the
       // sum (all polynomials are evaluated at this provider's x_i).
       Fp61 sum;
-      for (uint64_t id : ids) {
-        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
-        sum += Fp61::FromCanonical(row->cells[q.target_column].secret);
-      }
+      SSDB_RETURN_IF_ERROR(visit_matched([&](const StoredRow& row) {
+        sum += Fp61::FromCanonical(row.cells[q.target_column].secret);
+        return Status::OK();
+      }));
       EncodeOkHeader(out);
-      EncodeAggResponse(PartialAggregate{sum.value(), ids.size()}, out);
+      EncodeAggResponse(PartialAggregate{sum.value(), matched}, out);
       return Status::OK();
     }
     case QueryAction::kArgMin:
@@ -467,38 +480,50 @@ Status Provider::HandleQuery(Decoder* dec, Buffer* out) {
             "provider: MIN/MAX/MEDIAN need order-preserving shares on the "
             "target column");
       }
-      if (ids.empty()) {
+      if (matched == 0) {
         EncodeOkHeader(out);
         EncodeRowsResponse({}, proj_layout, out);
         return Status::OK();
       }
-      // Order matching rows by (op share, row id): identical at every
-      // provider since op order mirrors value order.
+      // Rank matching rows by (op share, row id): identical at every
+      // provider since op order mirrors value order. Pairs are distinct
+      // (row ids are unique), so the order statistics below select exactly
+      // the element a full sort would put at that rank — without the
+      // O(n log n) sort.
       std::vector<std::pair<u128, uint64_t>> ordered;
-      ordered.reserve(ids.size());
-      for (uint64_t id : ids) {
-        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
-        ordered.emplace_back(row->cells[q.target_column].op, id);
-      }
-      std::sort(ordered.begin(), ordered.end());
-      std::vector<StoredRow> rows;
+      ordered.reserve(matched);
+      SSDB_RETURN_IF_ERROR(visit_matched([&](const StoredRow& row) {
+        ordered.emplace_back(row.cells[q.target_column].op, row.row_id);
+        return Status::OK();
+      }));
+      std::vector<uint64_t> picked;
       if (q.action == QueryAction::kMedian) {
-        const auto& pick = ordered[(ordered.size() - 1) / 2];
-        SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(pick.second));
-        rows.push_back(ProjectRow(*row, proj_columns));
+        const size_t mid = (ordered.size() - 1) / 2;
+        std::nth_element(ordered.begin(),
+                         ordered.begin() + static_cast<ptrdiff_t>(mid),
+                         ordered.end());
+        picked.push_back(ordered[mid].second);
       } else {
-        const u128 extreme = q.action == QueryAction::kArgMin
-                                 ? ordered.front().first
-                                 : ordered.back().first;
+        u128 extreme = ordered.front().first;
         for (const auto& [op, id] : ordered) {
-          if (op != extreme) continue;
-          SSDB_ASSIGN_OR_RETURN(const StoredRow* row, table->Get(id));
-          rows.push_back(ProjectRow(*row, proj_columns));
+          if (q.action == QueryAction::kArgMin ? op < extreme : op > extreme) {
+            extreme = op;
+          }
         }
+        for (const auto& [op, id] : ordered) {
+          if (op == extreme) picked.push_back(id);
+        }
+        // Ties come out in visit order; sorted ids match the sorted-pairs
+        // order the full sort produced.
+        std::sort(picked.begin(), picked.end());
       }
-      BumpRowsReturned(rows.size());
+      BumpRowsReturned(picked.size());
       EncodeOkHeader(out);
-      EncodeRowsResponse(rows, proj_layout, out);
+      out->PutVarint(picked.size());
+      SSDB_RETURN_IF_ERROR(table->VisitRows(picked, [&](const StoredRow& row) {
+        EncodeStoredRowProjected(row, proj_layout, proj_columns, out);
+        return Status::OK();
+      }));
       return Status::OK();
     }
   }
@@ -528,30 +553,51 @@ Status Provider::HandleJoin(Decoder* dec, Buffer* out) {
   // same-domain attributes).
   std::unordered_multimap<uint64_t, uint64_t> build;
   build.reserve(right_ids.size());
-  for (uint64_t rid : right_ids) {
-    SSDB_ASSIGN_OR_RETURN(const StoredRow* row, right->Get(rid));
-    build.emplace(row->cells[j.right_column].det, rid);
-  }
+  SSDB_RETURN_IF_ERROR(right->VisitRows(right_ids, [&](const StoredRow& row) {
+    build.emplace(row.cells[j.right_column].det, row.row_id);
+    return Status::OK();
+  }));
   BumpRowsExamined(left_ids.size() + right_ids.size());
 
-  std::vector<JoinedRowPair> pairs;
-  for (uint64_t lid : left_ids) {
-    SSDB_ASSIGN_OR_RETURN(const StoredRow* lrow, left->Get(lid));
-    auto range = build.equal_range(lrow->cells[j.left_column].det);
-    // Collect matches sorted by right row id for determinism.
-    std::vector<uint64_t> rids;
-    for (auto it = range.first; it != range.second; ++it) {
-      rids.push_back(it->second);
-    }
-    std::sort(rids.begin(), rids.end());
-    for (uint64_t rid : rids) {
-      SSDB_ASSIGN_OR_RETURN(const StoredRow* rrow, right->Get(rid));
-      pairs.push_back(JoinedRowPair{*lrow, *rrow});
-    }
-  }
-  BumpRowsReturned(2 * pairs.size());
+  // Two flat passes instead of per-pair point reads: pass 1 pins each
+  // matching left row and lists its right row ids (sorted for
+  // determinism); pass 2 pins the right rows in that order. Pointers stay
+  // valid after the table locks drop because the provider's state lock
+  // keeps mutators out for the whole request. Locks are never nested, so
+  // self-joins (left == right) cannot re-enter one shared_mutex.
+  std::vector<const StoredRow*> lefts;
+  std::vector<uint64_t> rid_seq;
+  std::vector<uint64_t> rids;
+  SSDB_RETURN_IF_ERROR(
+      left->VisitRows(left_ids, [&](const StoredRow& lrow) -> Status {
+        auto range = build.equal_range(lrow.cells[j.left_column].det);
+        rids.clear();
+        for (auto it = range.first; it != range.second; ++it) {
+          rids.push_back(it->second);
+        }
+        std::sort(rids.begin(), rids.end());
+        for (uint64_t rid : rids) {
+          lefts.push_back(&lrow);
+          rid_seq.push_back(rid);
+        }
+        return Status::OK();
+      }));
+  std::vector<const StoredRow*> rights;
+  rights.reserve(rid_seq.size());
+  SSDB_RETURN_IF_ERROR(right->VisitRows(rid_seq, [&](const StoredRow& rrow) {
+    rights.push_back(&rrow);
+    return Status::OK();
+  }));
+  BumpRowsReturned(2 * lefts.size());
   EncodeOkHeader(out);
-  EncodeJoinResponse(pairs, left->layout(), right->layout(), out);
+  out->PutVarint(lefts.size());
+  out->reserve(out->size() +
+               lefts.size() * (StoredRowWireSize(left->layout()) +
+                               StoredRowWireSize(right->layout())));
+  for (size_t i = 0; i < lefts.size(); ++i) {
+    EncodeStoredRow(*lefts[i], left->layout(), out);
+    EncodeStoredRow(*rights[i], right->layout(), out);
+  }
   return Status::OK();
 }
 

@@ -78,6 +78,23 @@ u128 OrderPreservingScheme::Coefficient(uint64_t w, int power) const {
   return c.value_or(0);
 }
 
+std::vector<u128> OrderPreservingScheme::Coefficients(uint64_t w) const {
+  std::vector<u128> coeffs(static_cast<size_t>(degree_));
+  for (int power = 1; power <= degree_; ++power) {
+    coeffs[static_cast<size_t>(power) - 1] = Coefficient(w, power);
+  }
+  return coeffs;
+}
+
+u128 OrderPreservingScheme::EvalWithCoefficients(
+    const std::vector<u128>& coeffs, uint64_t w, uint32_t x) const {
+  u128 acc = 0;
+  for (int power = degree_; power >= 1; --power) {
+    acc = (acc + coeffs[static_cast<size_t>(power) - 1]) * x;
+  }
+  return acc + w;
+}
+
 u128 OrderPreservingScheme::EvalAt(uint64_t w, uint32_t x) const {
   u128 acc = 0;
   for (int power = degree_; power >= 1; --power) {
@@ -98,9 +115,17 @@ Result<u128> OrderPreservingScheme::Share(int64_t v, size_t provider) const {
 }
 
 Result<std::vector<u128>> OrderPreservingScheme::ShareAll(int64_t v) const {
+  if (!domain_.Contains(v)) {
+    return Status::OutOfRange("OP Share: value outside declared domain");
+  }
+  const uint64_t w =
+      static_cast<uint64_t>(v) - static_cast<uint64_t>(domain_.lo);
+  // One PRF/OPE pass for the coefficients, then a cheap Horner per
+  // provider — identical values to calling Share(v, i) n times.
+  const std::vector<u128> coeffs = Coefficients(w);
   std::vector<u128> out(xs_.size());
   for (size_t i = 0; i < xs_.size(); ++i) {
-    SSDB_ASSIGN_OR_RETURN(out[i], Share(v, i));
+    out[i] = EvalWithCoefficients(coeffs, w, xs_[i]);
   }
   return out;
 }
@@ -142,20 +167,45 @@ Result<int64_t> OrderPreservingScheme::Reconstruct(
     d_total *= di;
   }
 
-  Int256 sum;
-  for (size_t i = 0; i < t; ++i) {
-    const i128 y = static_cast<i128>(shares[i].y);
-    Int256 term = Int256::Mul128(y, nume[i]);
-    term = term.MulSmall(d_total / d[i]);
-    sum += term;
+  // Fast path: the whole sum usually fits in i128 (degree-1 schemes always
+  // do; higher degrees whenever the shares are small enough). Exact integer
+  // arithmetic either way, so falling back on overflow cannot change the
+  // result — only where it is computed.
+  i128 w;
+  bool exact = true;
+  bool have_w = false;
+  {
+    i128 acc = 0;
+    bool overflow = false;
+    for (size_t i = 0; i < t && !overflow; ++i) {
+      const i128 y = static_cast<i128>(shares[i].y);
+      i128 term;
+      overflow = __builtin_mul_overflow(y, nume[i], &term) ||
+                 __builtin_mul_overflow(term, d_total / d[i], &term) ||
+                 __builtin_add_overflow(acc, term, &acc);
+    }
+    if (!overflow) {
+      exact = acc % d_total == 0;
+      w = exact ? acc / d_total : 0;
+      have_w = true;
+    }
   }
-  bool exact = false;
-  const Int256 w256 = sum.DivSmall(d_total, &exact);
-  if (!exact || !w256.FitsInI128()) {
+  if (!have_w) {
+    Int256 sum;
+    for (size_t i = 0; i < t; ++i) {
+      const i128 y = static_cast<i128>(shares[i].y);
+      Int256 term = Int256::Mul128(y, nume[i]);
+      term = term.MulSmall(d_total / d[i]);
+      sum += term;
+    }
+    const Int256 w256 = sum.DivSmall(d_total, &exact);
+    if (exact && !w256.FitsInI128()) exact = false;
+    w = exact ? w256.ToI128() : 0;
+  }
+  if (!exact) {
     return Status::Corruption(
         "OP Reconstruct: shares do not interpolate to an integer");
   }
-  const i128 w = w256.ToI128();
   if (w < 0 || static_cast<u128>(w) >= domain_.size()) {
     return Status::Corruption(
         "OP Reconstruct: interpolated value outside the domain");
@@ -164,9 +214,14 @@ Result<int64_t> OrderPreservingScheme::Reconstruct(
 
   // The scheme is deterministic: validate every supplied share (including
   // the t used above) against a recomputation. This catches corrupt or
-  // inconsistent shares regardless of which subset was interpolated.
+  // inconsistent shares regardless of which subset was interpolated. The
+  // coefficients are per value, so they are recovered once and only the
+  // Horner evaluation runs per provider.
+  const uint64_t w_off = static_cast<uint64_t>(w);
+  const std::vector<u128> coeffs = Coefficients(w_off);
   for (const IndexedOpShare& s : shares) {
-    SSDB_ASSIGN_OR_RETURN(u128 expect, Share(v, s.provider));
+    const u128 expect =
+        EvalWithCoefficients(coeffs, w_off, xs_[s.provider]);
     if (expect != s.y) {
       return Status::Corruption("OP Reconstruct: share consistency check failed");
     }

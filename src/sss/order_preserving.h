@@ -120,6 +120,13 @@ class OrderPreservingScheme {
   /// Slotted coefficient for x^power (power in [1, degree]); strictly
   /// increasing in w.
   u128 Coefficient(uint64_t w, int power) const;
+  /// All non-constant coefficients for offset value w: entry p-1 is the
+  /// coefficient of x^p. The PRF/OPE work is per value, not per provider,
+  /// so multi-provider paths compute this once and Horner per x.
+  std::vector<u128> Coefficients(uint64_t w) const;
+  /// Horner evaluation at x given precomputed Coefficients(w).
+  u128 EvalWithCoefficients(const std::vector<u128>& coeffs, uint64_t w,
+                            uint32_t x) const;
   /// Polynomial value at x for offset value w.
   u128 EvalAt(uint64_t w, uint32_t x) const;
 

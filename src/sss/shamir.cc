@@ -1,14 +1,64 @@
 #include "sss/shamir.h"
 
 #include <algorithm>
+#include <array>
+#include <mutex>
+#include <numeric>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace ssdb {
+
+/// One cached Lagrange basis for a sorted provider subset of size m >= k.
+struct SharingContext::BasisEntry {
+  /// k weights: secret = sum_j at_zero[j] * y_{sorted j}.
+  std::vector<Fp61> at_zero;
+  /// (m - k) rows of k weights: extra share e is consistent iff
+  /// y_e == sum_j check[e-k][j] * y_{sorted j}. Exactly equivalent to the
+  /// seed's poly.Eval(x_e) == y_e check in exact field arithmetic.
+  std::vector<std::vector<Fp61>> check;
+};
+
+struct SharingContext::BasisCache {
+  mutable std::shared_mutex mu;
+  // Key: sorted provider indices, 4 bytes LE each. unique_ptr values keep
+  // entry addresses stable across rehashes, so BasisRef handles stay valid
+  // for the context's lifetime.
+  std::unordered_map<std::string, std::unique_ptr<BasisEntry>> entries;
+};
+
+SharingContext::SharingContext(size_t k, std::vector<Fp61> xs)
+    : k_(k), xs_(std::move(xs)), cache_(std::make_unique<BasisCache>()) {}
+
+SharingContext::SharingContext(const SharingContext& o)
+    : k_(o.k_), xs_(o.xs_), cache_(std::make_unique<BasisCache>()) {}
+
+SharingContext& SharingContext::operator=(const SharingContext& o) {
+  if (this != &o) {
+    k_ = o.k_;
+    xs_ = o.xs_;
+    cache_ = std::make_unique<BasisCache>();
+  }
+  return *this;
+}
+
+SharingContext::SharingContext(SharingContext&&) noexcept = default;
+SharingContext& SharingContext::operator=(SharingContext&&) noexcept = default;
+
+SharingContext::~SharingContext() = default;
 
 Result<SharingContext> SharingContext::Create(size_t n, size_t k,
                                               std::vector<Fp61> xs) {
   if (n == 0 || k == 0 || k > n) {
     return Status::InvalidArgument(
         "SharingContext: require 1 <= k <= n and n > 0");
+  }
+  if (k > kMaxThreshold) {
+    return Status::InvalidArgument(
+        "SharingContext: k > 131 would collide deterministic-share PRF "
+        "tweaks across adjacent domain tags");
   }
   if (xs.size() != n) {
     return Status::InvalidArgument("SharingContext: |X| must equal n");
@@ -32,9 +82,14 @@ Result<SharingContext> SharingContext::CreateRandom(size_t n, size_t k,
                                                     Rng* rng) {
   std::vector<Fp61> xs;
   xs.reserve(n);
+  // Same accept/reject decisions as the seed's linear-scan loop (a draw is
+  // rejected iff already present), so the Rng draw sequence — and thus
+  // every seeded fingerprint — is unchanged.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(n * 2);
   while (xs.size() < n) {
     const Fp61 x = Fp61::FromU64(rng->Uniform(Fp61::kP - 1) + 1);
-    if (std::find(xs.begin(), xs.end(), x) == xs.end()) xs.push_back(x);
+    if (seen.insert(x.value()).second) xs.push_back(x);
   }
   return Create(n, k, std::move(xs));
 }
@@ -63,7 +118,8 @@ Fp61 SharingContext::DeterministicShareFor(const Prf& prf,
                                            size_t provider) const {
   // coeff_j = PRF(secret, domain_tag || j), reduced into the field; the
   // polynomial is identical for equal secrets within a domain, so the
-  // share at a fixed x_i is equality-preserving.
+  // share at a fixed x_i is equality-preserving. Tweaks cannot collide
+  // across domains because Create enforces k <= 131.
   Fp61 acc;
   const Fp61 x = xs_[provider];
   for (size_t j = k_ - 1; j >= 1; --j) {
@@ -74,38 +130,138 @@ Fp61 SharingContext::DeterministicShareFor(const Prf& prf,
   return acc + secret;
 }
 
-Result<Fp61> SharingContext::Reconstruct(
-    const std::vector<IndexedShare>& shares) const {
-  if (shares.size() < k_) {
+namespace {
+
+/// Provider-index presence bitmap: fixed 256-bit fast path (every deployed
+/// topology caps providers-per-shard at 255), heap fallback beyond that.
+class ProviderBitmap {
+ public:
+  explicit ProviderBitmap(size_t n) {
+    if (n > 256) heap_.assign((n + 63) / 64, 0);
+    else inline_.fill(0);
+  }
+  /// Sets bit i; returns false if it was already set.
+  bool TestAndSet(size_t i) {
+    uint64_t* w = heap_.empty() ? &inline_[i >> 6] : &heap_[i >> 6];
+    const uint64_t bit = 1ULL << (i & 63);
+    if (*w & bit) return false;
+    *w |= bit;
+    return true;
+  }
+
+ private:
+  std::array<uint64_t, 4> inline_;
+  std::vector<uint64_t> heap_;
+};
+
+}  // namespace
+
+const SharingContext::BasisEntry* SharingContext::ResolveBasis(
+    const std::vector<uint32_t>& order,
+    const std::vector<size_t>& providers) const {
+  std::string key;
+  key.reserve(order.size() * 4);
+  for (uint32_t pos : order) {
+    const uint32_t p = static_cast<uint32_t>(providers[pos]);
+    key.push_back(static_cast<char>(p & 0xFF));
+    key.push_back(static_cast<char>((p >> 8) & 0xFF));
+    key.push_back(static_cast<char>((p >> 16) & 0xFF));
+    key.push_back(static_cast<char>((p >> 24) & 0xFF));
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_->mu);
+    auto it = cache_->entries.find(key);
+    if (it != cache_->entries.end()) return it->second.get();
+  }
+  // Build outside any lock: pure math on immutable xs_.
+  std::vector<Fp61> head(k_);
+  for (size_t j = 0; j < k_; ++j) head[j] = xs_[providers[order[j]]];
+  auto entry = std::make_unique<BasisEntry>();
+  auto at_zero = LagrangeBasisAtZero(head);
+  if (!at_zero.ok()) return nullptr;  // unreachable: xs_ distinct, non-zero
+  entry->at_zero = std::move(*at_zero);
+  entry->check.reserve(order.size() - k_);
+  for (size_t e = k_; e < order.size(); ++e) {
+    auto row = LagrangeBasisAt(head, xs_[providers[order[e]]]);
+    if (!row.ok()) return nullptr;
+    entry->check.push_back(std::move(*row));
+  }
+  std::unique_lock<std::shared_mutex> lock(cache_->mu);
+  auto [it, inserted] = cache_->entries.try_emplace(key, std::move(entry));
+  return it->second.get();
+}
+
+Result<SharingContext::BasisRef> SharingContext::GetBasis(
+    const std::vector<size_t>& providers) const {
+  if (providers.size() < k_) {
     return Status::Unavailable(
         "Reconstruct: fewer than k shares available");
   }
-  std::vector<FpPoint> points;
-  points.reserve(shares.size());
-  for (const IndexedShare& s : shares) {
-    if (s.provider >= xs_.size()) {
+  // Bounds + duplicate validation in caller order, so which error fires
+  // first matches the seed's per-share scan exactly.
+  ProviderBitmap seen(xs_.size());
+  for (size_t provider : providers) {
+    if (provider >= xs_.size()) {
       return Status::InvalidArgument("Reconstruct: provider index out of range");
     }
-    points.push_back(FpPoint{xs_[s.provider], s.y});
-    for (size_t j = 0; j + 1 < points.size(); ++j) {
-      if (points[j].x == points.back().x) {
-        return Status::InvalidArgument(
-            "Reconstruct: duplicate share from one provider");
-      }
+    if (!seen.TestAndSet(provider)) {
+      return Status::InvalidArgument(
+          "Reconstruct: duplicate share from one provider");
     }
   }
-  // Interpolate through the first k points, then check the rest lie on the
-  // same polynomial (cheap consistency / corruption detection).
-  std::vector<FpPoint> head(points.begin(),
-                            points.begin() + static_cast<long>(k_));
-  SSDB_ASSIGN_OR_RETURN(FpPoly poly, Interpolate(head));
-  for (size_t i = k_; i < points.size(); ++i) {
-    if (poly.Eval(points[i].x) != points[i].y) {
+  std::vector<uint32_t> order(providers.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return providers[a] < providers[b];
+  });
+  const BasisEntry* entry = ResolveBasis(order, providers);
+  if (entry == nullptr) {
+    return Status::Internal("Reconstruct: basis construction failed");
+  }
+  BasisRef ref;
+  ref.entry_ = entry;
+  ref.order_ = std::move(order);
+  return ref;
+}
+
+Result<Fp61> SharingContext::ReconstructWithBasis(
+    const BasisRef& basis, const std::vector<Fp61>& ys) const {
+  const auto* entry = static_cast<const BasisEntry*>(basis.entry_);
+  if (entry == nullptr || ys.size() != basis.order_.size()) {
+    return Status::InvalidArgument(
+        "ReconstructWithBasis: basis does not match the share vector");
+  }
+  // secret = sum over any k of the shares — for a consistent set every
+  // k-subset interpolates the same polynomial, so summing the sorted head
+  // is bit-identical to the seed's interpolate-the-caller's-head path.
+  Fp61 secret;
+  for (size_t j = 0; j < k_; ++j) {
+    secret += entry->at_zero[j] * ys[basis.order_[j]];
+  }
+  for (size_t e = 0; e < entry->check.size(); ++e) {
+    const std::vector<Fp61>& row = entry->check[e];
+    Fp61 expect;
+    for (size_t j = 0; j < k_; ++j) {
+      expect += row[j] * ys[basis.order_[j]];
+    }
+    if (expect != ys[basis.order_[k_ + e]]) {
       return Status::Corruption(
           "Reconstruct: shares are inconsistent (corrupt or mixed secrets)");
     }
   }
-  return poly.Eval(Fp61());
+  return secret;
+}
+
+Result<Fp61> SharingContext::Reconstruct(
+    const std::vector<IndexedShare>& shares) const {
+  std::vector<size_t> providers(shares.size());
+  std::vector<Fp61> ys(shares.size());
+  for (size_t i = 0; i < shares.size(); ++i) {
+    providers[i] = shares[i].provider;
+    ys[i] = shares[i].y;
+  }
+  SSDB_ASSIGN_OR_RETURN(BasisRef basis, GetBasis(providers));
+  return ReconstructWithBasis(basis, ys);
 }
 
 std::vector<Fp61> SharingContext::ZeroShares(Rng* rng) const {

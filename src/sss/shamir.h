@@ -27,6 +27,7 @@
 #define SSDB_SSS_SHAMIR_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -47,6 +48,13 @@ struct IndexedShare {
 /// \brief The data source's sharing state for a fixed (n, k, X).
 class SharingContext {
  public:
+  /// Largest accepted threshold. DeterministicShareFor derives coefficient
+  /// j of domain d from PRF tweak d*131 + j; with k > 131 the tweaks of
+  /// adjacent domains would collide (d*131 + 131 == (d+1)*131 + 0),
+  /// silently correlating shares across attribute domains, so Create
+  /// rejects such k outright.
+  static constexpr size_t kMaxThreshold = 131;
+
   /// Creates a context with explicit evaluation points (|xs| = n, all
   /// distinct and non-zero).
   static Result<SharingContext> Create(size_t n, size_t k,
@@ -77,19 +85,70 @@ class SharingContext {
   /// Reconstructs the secret from >= k shares (any subset of providers).
   /// Extra shares beyond k are used for consistency checking: if the
   /// points do not lie on one degree-(k-1) polynomial, returns Corruption.
+  ///
+  /// Internally this resolves the cached Lagrange basis for the share's
+  /// provider subset (see GetBasis) — reconstruction is a k-term dot
+  /// product plus one cached dot product per extra share, not a fresh
+  /// Newton interpolation per value.
   Result<Fp61> Reconstruct(const std::vector<IndexedShare>& shares) const;
+
+  /// Handle to one cached Lagrange basis. Valid for the lifetime of the
+  /// SharingContext that produced it (entries are never evicted); cheap to
+  /// copy/move. Also remembers the caller's provider order, so share
+  /// vectors passed to ReconstructWithBasis must list providers in the
+  /// same order as the GetBasis call.
+  class BasisRef {
+   public:
+    BasisRef() = default;
+    bool valid() const { return entry_ != nullptr; }
+
+   private:
+    friend class SharingContext;
+    const void* entry_ = nullptr;     // BasisEntry*, owned by the cache
+    std::vector<uint32_t> order_;     // sorted slot -> caller position
+  };
+
+  /// Resolves (building and caching on first use) the Lagrange basis for
+  /// a provider subset. The cache key is the *sorted* provider-index
+  /// subset, so every caller ordering of the same subset shares one entry.
+  /// Validates bounds and duplicates exactly like Reconstruct. Callers
+  /// reconstructing a whole row fetch the basis once and reuse it across
+  /// every column (the provider subset is per row, not per cell).
+  Result<BasisRef> GetBasis(const std::vector<size_t>& providers) const;
+
+  /// Reconstructs one value through a previously resolved basis. `ys[i]`
+  /// must be the share of the i-th provider passed to GetBasis. Returns
+  /// the same statuses as Reconstruct (Corruption on inconsistent >k
+  /// sets).
+  Result<Fp61> ReconstructWithBasis(const BasisRef& basis,
+                                    const std::vector<Fp61>& ys) const;
 
   /// Shares of zero with fresh randomness; adding them to existing shares
   /// re-randomizes the sharing without changing the secret (proactive
   /// refresh, a §VI(b) extension).
   std::vector<Fp61> ZeroShares(Rng* rng) const;
 
+  // The basis cache is per-context state behind a unique_ptr: moves carry
+  // it along, copies start with a fresh (empty) cache — the cache is a
+  // performance artifact, never semantic state.
+  SharingContext(SharingContext&&) noexcept;
+  SharingContext& operator=(SharingContext&&) noexcept;
+  SharingContext(const SharingContext& o);
+  SharingContext& operator=(const SharingContext& o);
+  ~SharingContext();
+
  private:
-  SharingContext(size_t k, std::vector<Fp61> xs)
-      : k_(k), xs_(std::move(xs)) {}
+  struct BasisEntry;
+  struct BasisCache;
+
+  SharingContext(size_t k, std::vector<Fp61> xs);
+
+  const BasisEntry* ResolveBasis(const std::vector<uint32_t>& order,
+                                 const std::vector<size_t>& providers) const;
 
   size_t k_;
   std::vector<Fp61> xs_;
+  std::unique_ptr<BasisCache> cache_;
 };
 
 }  // namespace ssdb

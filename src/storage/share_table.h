@@ -55,6 +55,16 @@ struct StoredRow {
 void EncodeStoredRow(const StoredRow& row,
                      const std::vector<ProviderColumnLayout>& layout,
                      Buffer* buf);
+/// Encodes the projection `columns` of `row`: byte-identical to projecting
+/// the row into a temporary and encoding that with the projected layout,
+/// without materializing the copy. `layout[c]` describes `columns[c]`.
+void EncodeStoredRowProjected(const StoredRow& row,
+                              const std::vector<ProviderColumnLayout>& layout,
+                              const std::vector<uint32_t>& columns,
+                              Buffer* buf);
+/// Exact wire size of EncodeStoredRow output for one row under `layout`
+/// (rows are fixed-width per layout), for reserve-exact encoding.
+size_t StoredRowWireSize(const std::vector<ProviderColumnLayout>& layout);
 Status DecodeStoredRow(Decoder* dec,
                        const std::vector<ProviderColumnLayout>& layout,
                        StoredRow* out);
@@ -92,6 +102,39 @@ class ShareTable {
 
   /// Point read by row id.
   Result<const StoredRow*> Get(uint64_t row_id) const;
+
+  /// Visits the listed rows, in list order, under ONE shared-lock
+  /// acquisition — the batched form of Get for handlers that touch many
+  /// rows per request. Fails with Get's NotFound on the first missing id;
+  /// a non-OK status from `visit` aborts the walk and is returned as-is.
+  /// The rows passed to `visit` follow the same lifetime rules as Get's
+  /// pointers (stable under concurrent reads, not across Delete/Update).
+  template <typename Fn>
+  Status VisitRows(const std::vector<uint64_t>& ids, Fn&& visit) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (uint64_t id : ids) {
+      auto it = rows_.find(id);
+      if (it == rows_.end()) {
+        return Status::NotFound("share row id not stored");
+      }
+      Status st = visit(it->second);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+  /// Visits every live row in ascending row-id order under one shared-lock
+  /// acquisition. Byte-for-byte equivalent to VisitRows(AllRowIds(), fn)
+  /// without materializing the id list or paying a map lookup per row.
+  template <typename Fn>
+  Status VisitAllRows(Fn&& visit) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    for (const auto& [id, row] : rows_) {
+      Status st = visit(row);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
 
   /// Row ids whose deterministic share in `column` equals `det_share`.
   Result<std::vector<uint64_t>> ExactMatch(size_t column,

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/outsourced_db.h"
 #include "net/batch.h"
 #include "provider/protocol.h"
@@ -116,6 +117,50 @@ TEST(BatchCodec, ResponseRoundTripAllowsEmpty) {
   Decoder dec2(none.AsSlice());
   ASSERT_TRUE(DecodeBatchResponsePayload(&dec2, &responses).ok());
   EXPECT_TRUE(responses.empty());
+}
+
+TEST(BatchCodec, FuzzReencodeByteIdentical) {
+  // Decode returns slice views into the envelope (no copies); re-encoding
+  // those views must reproduce the envelope byte for byte, including the
+  // reserve-exact size computation.
+  Rng rng(0xBA7C);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Buffer> ops(1 + rng.Uniform(8));
+    for (Buffer& op : ops) {
+      const size_t len = rng.Uniform(400);
+      for (size_t i = 0; i < len; ++i) {
+        op.PutU8(static_cast<uint8_t>(rng.Next()));
+      }
+    }
+    Buffer envelope;
+    EncodeBatchRequest(ops, &envelope);
+
+    Decoder dec(envelope.AsSlice());
+    uint8_t tag = 0;
+    ASSERT_TRUE(dec.GetU8(&tag).ok());
+    std::vector<Slice> views;
+    ASSERT_TRUE(DecodeBatchRequestPayload(&dec, &views).ok());
+    EXPECT_TRUE(dec.done());
+
+    Buffer reencoded;
+    EncodeBatchRequest(views, &reencoded);
+    ASSERT_EQ(reencoded.size(), envelope.size());
+    EXPECT_EQ(0,
+              memcmp(reencoded.data(), envelope.data(), envelope.size()))
+        << "trial " << trial;
+
+    // Same for the response payload framing.
+    Buffer payload;
+    EncodeBatchResponsePayload(ops, &payload);
+    Decoder pdec(payload.AsSlice());
+    std::vector<Slice> responses;
+    ASSERT_TRUE(DecodeBatchResponsePayload(&pdec, &responses).ok());
+    ASSERT_EQ(responses.size(), ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      ASSERT_EQ(responses[i].size(), ops[i].size());
+      EXPECT_EQ(0, memcmp(responses[i].data(), ops[i].data(), ops[i].size()));
+    }
+  }
 }
 
 TEST(BatchCodec, RejectsMalformedEnvelopes) {

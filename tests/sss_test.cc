@@ -499,5 +499,144 @@ TEST(OrderPreserving, RecursiveModeRoundTripAndMonotone) {
   }
 }
 
+// --- Cached-basis reconstruction vs. the interpolation reference ---------
+//
+// Reconstruct now resolves a cached Lagrange basis per provider subset; the
+// pre-cache algorithm interpolated a fresh Newton polynomial through the
+// first k shares in input order and Eval-checked the rest. The two must
+// agree bit for bit — same values, same statuses, same messages — over
+// random thresholds, subsets, orderings and corruptions.
+
+Result<Fp61> ReferenceReconstruct(const SharingContext& ctx,
+                                  const std::vector<IndexedShare>& shares) {
+  if (shares.size() < ctx.k()) {
+    return Status::Unavailable("Reconstruct: fewer than k shares available");
+  }
+  std::vector<FpPoint> points;
+  points.reserve(shares.size());
+  for (const IndexedShare& s : shares) {
+    if (s.provider >= ctx.n()) {
+      return Status::InvalidArgument(
+          "Reconstruct: provider index out of range");
+    }
+    points.push_back(FpPoint{ctx.xs()[s.provider], s.y});
+    for (size_t j = 0; j + 1 < points.size(); ++j) {
+      if (points[j].x == points.back().x) {
+        return Status::InvalidArgument(
+            "Reconstruct: duplicate share from one provider");
+      }
+    }
+  }
+  std::vector<FpPoint> head(points.begin(),
+                            points.begin() + static_cast<long>(ctx.k()));
+  SSDB_ASSIGN_OR_RETURN(FpPoly poly, Interpolate(head));
+  for (size_t i = ctx.k(); i < points.size(); ++i) {
+    if (poly.Eval(points[i].x) != points[i].y) {
+      return Status::Corruption(
+          "Reconstruct: shares are inconsistent (corrupt or mixed secrets)");
+    }
+  }
+  return poly.Eval(Fp61());
+}
+
+TEST(ShamirBasis, MatchesInterpolationReferenceBitForBit) {
+  Rng rng(0xBA515);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t n = 2 + rng.Uniform(8);       // 2..9 providers
+    const size_t k = 2 + rng.Uniform(n - 1);   // 2..n threshold
+    auto created = SharingContext::CreateRandom(n, k, &rng);
+    ASSERT_TRUE(created.ok());
+    const SharingContext ctx = std::move(created).value();
+
+    const Fp61 secret = Fp61::FromU64(rng.Uniform(Fp61::kP));
+    const auto shares = ctx.Split(secret, &rng);
+
+    // Random subset of size k..n in random order.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = n - 1; i > 0; --i) {
+      std::swap(idx[i], idx[rng.Uniform(i + 1)]);
+    }
+    const size_t m = k + rng.Uniform(n - k + 1);
+    std::vector<IndexedShare> subset;
+    for (size_t i = 0; i < m; ++i) {
+      subset.push_back({idx[i], shares[idx[i]]});
+    }
+    // Half the trials corrupt one share: exactly-k subsets must then agree
+    // on the (wrong) value, >k subsets must agree on Corruption.
+    if (rng.Uniform(2) == 0) {
+      subset[rng.Uniform(m)].y += Fp61::FromU64(1 + rng.Uniform(1000));
+    }
+
+    const Result<Fp61> got = ctx.Reconstruct(subset);
+    const Result<Fp61> want = ReferenceReconstruct(ctx, subset);
+    ASSERT_EQ(got.ok(), want.ok())
+        << "trial " << trial << ": " << got.status().ToString() << " vs "
+        << want.status().ToString();
+    if (got.ok()) {
+      EXPECT_EQ(got.value().value(), want.value().value()) << "trial "
+                                                           << trial;
+    } else {
+      EXPECT_EQ(got.status().ToString(), want.status().ToString());
+    }
+
+    // The explicit basis path must agree with Reconstruct as well.
+    std::vector<size_t> providers;
+    std::vector<Fp61> ys;
+    for (const IndexedShare& s : subset) {
+      providers.push_back(s.provider);
+      ys.push_back(s.y);
+    }
+    auto basis = ctx.GetBasis(providers);
+    ASSERT_TRUE(basis.ok());
+    const Result<Fp61> via_basis =
+        ctx.ReconstructWithBasis(basis.value(), ys);
+    ASSERT_EQ(via_basis.ok(), got.ok());
+    if (got.ok()) {
+      EXPECT_EQ(via_basis.value().value(), got.value().value());
+    } else {
+      EXPECT_EQ(via_basis.status().ToString(), got.status().ToString());
+    }
+  }
+}
+
+TEST(ShamirBasis, InconsistentOverKSetIsCorruption) {
+  Rng rng(0xC0);
+  const SharingContext ctx = MakeCtx(5, 2, 71);
+  const auto a = ctx.Split(Fp61::FromU64(1111), &rng);
+  const auto b = ctx.Split(Fp61::FromU64(2222), &rng);
+  // Mixed secrets across >k shares cannot lie on one degree-(k-1) curve.
+  auto r = ctx.Reconstruct({{0, a[0]}, {1, a[1]}, {2, b[2]}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(ShamirBasis, DuplicateDetectionStillFires) {
+  Rng rng(0xD0);
+  // n > 256 exercises the heap-backed provider bitmap fallback.
+  auto created = SharingContext::CreateRandom(300, 2, &rng);
+  ASSERT_TRUE(created.ok());
+  const SharingContext ctx = std::move(created).value();
+  const auto shares = ctx.Split(Fp61::FromU64(77), &rng);
+  // Duplicate in the extras (past the first k) must be caught too.
+  auto r = ctx.Reconstruct({{10, shares[10]}, {299, shares[299]},
+                            {10, shares[10]}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  auto basis = ctx.GetBasis({10, 299, 10});
+  EXPECT_FALSE(basis.ok());
+}
+
+TEST(ShamirBasis, ThresholdBoundaryAt131) {
+  Rng rng(0xE0);
+  EXPECT_TRUE(SharingContext::CreateRandom(140, 131, &rng).ok());
+  auto bad = SharingContext::CreateRandom(140, 132, &rng);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  // The PRF tweak for coefficient j of domain d is d*131 + j; k = 132
+  // would make (d, 131) and (d+1, 0) collide.
+  EXPECT_NE(bad.status().ToString().find("131"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ssdb

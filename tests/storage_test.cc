@@ -228,6 +228,46 @@ TEST(ShareTable, RowSerdeRoundTrip) {
   EXPECT_TRUE(DecodeStoredRow(&short_dec, layout, &bad).IsCorruption());
 }
 
+TEST(ShareTable, RowSerdeFuzzReencodeByteIdentical) {
+  // The encoder stages small rows on the stack and the decoder reads one
+  // zero-copy raw view; neither may change the wire bytes. Fuzz random
+  // layouts (including >15 columns, which exceeds the stack stage and
+  // takes the per-field fallback) and assert decode -> re-encode is
+  // byte-identical.
+  Rng rng(0xF022);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t columns = 1 + rng.Uniform(20);
+    std::vector<ProviderColumnLayout> layout(columns);
+    for (auto& col : layout) {
+      col.has_det = rng.Bernoulli(0.5);
+      col.has_op = rng.Bernoulli(0.5);
+    }
+    StoredRow row;
+    row.row_id = rng.Next();
+    row.tag = rng.Next();
+    row.cells.resize(columns);
+    for (auto& cell : row.cells) {
+      cell.secret = rng.Next();
+      cell.det = rng.Next();
+      cell.op = MakeU128(rng.Next(), rng.Next());
+    }
+    Buffer wire;
+    EncodeStoredRow(row, layout, &wire);
+    ASSERT_EQ(wire.size(), StoredRowWireSize(layout));
+
+    Decoder dec(wire.AsSlice());
+    StoredRow back;
+    ASSERT_TRUE(DecodeStoredRow(&dec, layout, &back).ok());
+    EXPECT_TRUE(dec.done());
+
+    Buffer rewire;
+    EncodeStoredRow(back, layout, &rewire);
+    ASSERT_EQ(rewire.size(), wire.size());
+    EXPECT_EQ(memcmp(rewire.data(), wire.data(), wire.size()), 0)
+        << "trial " << trial << " columns " << columns;
+  }
+}
+
 TEST(ShareTable, ArityMismatchRejected) {
   ShareTable table(TestLayout());
   StoredRow row;

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json from pinned-iteration bench runs.
+#
+# Every benchmark runs with --benchmark_min_time=0, which settles at exactly
+# one iteration, so counter magnitudes no longer depend on the iteration
+# counts the benchmark library happens to pick. The metrics snapshots contain
+# only virtual-clock (sim_us), byte and counter series -- wall time never
+# enters the registry -- so the assembled file is byte-identical across
+# machines, runs and fanout_threads. CI regenerates it and diffs against the
+# checked-in copy (see .github/workflows/ci.yml, "bench smoke").
+#
+# Usage: tools/make_bench_baseline.sh [build_dir] [output_file]
+set -eu
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_baseline.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD"/bench/bench_figure1 --benchmark_min_time=0 \
+    --metrics_json="$TMP/figure1.json" > /dev/null
+"$BUILD"/bench/bench_mixed_workload --benchmark_filter=BM_Mix \
+    --benchmark_min_time=0 --metrics_json="$TMP/mix.json" > /dev/null
+"$BUILD"/bench/bench_updates --benchmark_min_time=0 \
+    --metrics_json="$TMP/updates.json" > /dev/null
+
+{
+  printf '{"comment": "Pinned-iteration (--benchmark_min_time=0) telemetry baseline. Regenerate with tools/make_bench_baseline.sh; CI diffs a fresh capture against this file byte-for-byte. Only sim_us/bytes/counter series appear here (never wall time), so any diff means modelled behavior changed.",\n'
+  printf ' "bench_figure1": %s,\n' "$(cat "$TMP/figure1.json")"
+  printf ' "bench_mixed_workload": %s,\n' "$(cat "$TMP/mix.json")"
+  printf ' "bench_updates": %s}\n' "$(cat "$TMP/updates.json")"
+} > "$OUT"
+
+echo "wrote $OUT"
